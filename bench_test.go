@@ -1,0 +1,521 @@
+package selfckpt
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper's evaluation (each drives the same runner as cmd/sktbench and
+// reports the headline quantity as a custom metric), plus ablation
+// benchmarks for the design choices called out in DESIGN.md §4.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"selfckpt/internal/checkpoint"
+	"selfckpt/internal/cluster"
+	"selfckpt/internal/encoding"
+	"selfckpt/internal/experiments"
+	"selfckpt/internal/hpl"
+	"selfckpt/internal/shm"
+	"selfckpt/internal/simmpi"
+	"selfckpt/internal/skthpl"
+)
+
+// runExperiment executes a table/figure runner b.N times.
+func runExperiment(b *testing.B, id string) *experiments.Report {
+	b.Helper()
+	var rep *experiments.Report
+	var err error
+	runner := experiments.All()[id]
+	for i := 0; i < b.N; i++ {
+		if rep, err = runner(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return rep
+}
+
+func cell(b *testing.B, rep *experiments.Report, row, col int) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(rep.Rows[row][col], "%"), 64)
+	if err != nil {
+		b.Fatalf("cannot parse %q", rep.Rows[row][col])
+	}
+	return v
+}
+
+// --- One benchmark per paper artifact. ---
+
+func BenchmarkTable1MemoryAccounting(b *testing.B) {
+	rep := runExperiment(b, "table1")
+	b.ReportMetric(cell(b, rep, 3, 1), "self_avail_%_at_16")
+}
+
+func BenchmarkTable3FaultTolerantHPL(b *testing.B) {
+	rep := runExperiment(b, "table3")
+	b.ReportMetric(cell(b, rep, 5, 6), "skt_norm_eff_%")
+	b.ReportMetric(cell(b, rep, 4, 6), "scr_norm_eff_%")
+	b.ReportMetric(cell(b, rep, 2, 6), "blcr_hdd_norm_eff_%")
+}
+
+func BenchmarkFig6AvailableMemory(b *testing.B) {
+	rep := runExperiment(b, "fig6")
+	b.ReportMetric(cell(b, rep, 4, 2), "self_%_at_16")
+	b.ReportMetric(cell(b, rep, 4, 3), "double_%_at_16")
+}
+
+func BenchmarkFig7EfficiencyModelFit(b *testing.B) {
+	rep := runExperiment(b, "fig7")
+	b.ReportMetric(cell(b, rep, 0, 2), "eff_%_at_0.5GB")
+	b.ReportMetric(cell(b, rep, len(rep.Rows)-1, 2), "eff_%_at_4GB")
+}
+
+func BenchmarkFig8Top10Model(b *testing.B) {
+	rep := runExperiment(b, "fig8")
+	b.ReportMetric(cell(b, rep, 0, 1), "taihulight_official_%")
+}
+
+func BenchmarkFig10FailRestartCycle(b *testing.B) {
+	rep := runExperiment(b, "fig10")
+	for _, row := range rep.Rows {
+		if strings.Contains(row[0], "detect") {
+			v, _ := strconv.ParseFloat(row[1], 64)
+			b.ReportMetric(v, "detect_s")
+		}
+	}
+}
+
+func BenchmarkFig11SKTvsOriginal(b *testing.B) {
+	rep := runExperiment(b, "fig11")
+	b.ReportMetric(cell(b, rep, 0, 5), "tianhe1a_skt_vs_orig_%")
+	b.ReportMetric(cell(b, rep, 1, 5), "tianhe2_skt_vs_orig_%")
+}
+
+func BenchmarkFig12MemorySweep(b *testing.B) {
+	rep := runExperiment(b, "fig12")
+	b.ReportMetric(cell(b, rep, 4, 3), "tianhe1a_norm_eff_%_at_half")
+}
+
+func BenchmarkFig13Encoding(b *testing.B) {
+	rep := runExperiment(b, "fig13")
+	v, _ := strconv.ParseFloat(rep.Rows[2][3], 64)
+	b.ReportMetric(v, "th1a_encode_s_group16")
+}
+
+// --- Ablation benchmarks (DESIGN.md §4). ---
+
+// encodeOnce runs one group encode over `words` per rank and returns the
+// modelled time.
+func encodeOnce(b *testing.B, groupSize, words int, op *simmpi.Op) float64 {
+	b.Helper()
+	w, err := simmpi.NewWorld(simmpi.Config{Ranks: groupSize, Alpha: 1e-6, Bandwidth: []float64{5e8}, GFLOPS: []float64{10}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := w.Run(func(c *simmpi.Comm) error {
+		grp, err := encoding.NewGroup(c, op)
+		if err != nil {
+			return err
+		}
+		data := make([]float64, words)
+		for i := range data {
+			data[i] = float64(i + c.Rank())
+		}
+		ck := make([]float64, grp.StripeWords(words))
+		return grp.Encode(ck, data)
+	})
+	if res.Failed() {
+		b.Fatal(res.FirstError())
+	}
+	return res.MaxTime
+}
+
+// BenchmarkEncodeXORvsSUM compares the two reduction operators of §2.2.
+func BenchmarkEncodeXORvsSUM(b *testing.B) {
+	const group, words = 8, 1 << 16
+	for _, op := range []*simmpi.Op{simmpi.OpXor, simmpi.OpSum} {
+		op := op
+		b.Run(op.Name, func(b *testing.B) {
+			var t float64
+			for i := 0; i < b.N; i++ {
+				t = encodeOnce(b, group, words, op)
+			}
+			b.ReportMetric(t*1e3, "vtime_ms")
+		})
+	}
+}
+
+// BenchmarkStripeVsRoot is the §2.1 contention argument: stripe-based
+// encoding with rotated reduction roots versus the classic diskless-
+// checkpointing layout with a dedicated checksum node that gathers every
+// rank's data and combines it locally (Plank-style parity node). The
+// dedicated node's NIC serializes N−1 full-size transfers.
+func BenchmarkStripeVsRoot(b *testing.B) {
+	const group, words = 8, 1 << 16
+	b.Run("stripe-rotated-roots", func(b *testing.B) {
+		var t float64
+		for i := 0; i < b.N; i++ {
+			t = encodeOnce(b, group, words, simmpi.OpXor)
+		}
+		b.ReportMetric(t*1e3, "vtime_ms")
+	})
+	b.Run("dedicated-checksum-node", func(b *testing.B) {
+		var t float64
+		for i := 0; i < b.N; i++ {
+			w, err := simmpi.NewWorld(simmpi.Config{Ranks: group, Alpha: 1e-6, Bandwidth: []float64{5e8}, GFLOPS: []float64{10}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := w.Run(func(c *simmpi.Comm) error {
+				data := make([]float64, words)
+				if c.Rank() != 0 {
+					return c.Send(0, data)
+				}
+				acc := make([]float64, words)
+				buf := make([]float64, words)
+				for src := 1; src < group; src++ {
+					if err := c.Recv(src, buf); err != nil {
+						return err
+					}
+					simmpi.OpXor.Combine(acc, buf)
+					c.World().Compute(float64(words) * simmpi.OpXor.CostPerWord)
+				}
+				return nil
+			})
+			if res.Failed() {
+				b.Fatal(res.FirstError())
+			}
+			t = res.MaxTime
+		}
+		b.ReportMetric(t*1e3, "vtime_ms")
+	})
+}
+
+// BenchmarkEncodeGroupSize sweeps the group size (the fig13 trade-off).
+func BenchmarkEncodeGroupSize(b *testing.B) {
+	const words = 1 << 14
+	for _, n := range []int{2, 4, 8, 16} {
+		n := n
+		b.Run(fmt.Sprintf("N%d", n), func(b *testing.B) {
+			var t float64
+			for i := 0; i < b.N; i++ {
+				t = encodeOnce(b, n, words, simmpi.OpXor)
+			}
+			b.ReportMetric(t*1e3, "vtime_ms")
+		})
+	}
+}
+
+// BenchmarkCheckpointStrategies measures the modelled cost of one
+// checkpoint under each protocol at equal workspace.
+func BenchmarkCheckpointStrategies(b *testing.B) {
+	const group, words = 8, 1 << 14
+	for _, strategy := range []string{"self", "double", "single"} {
+		strategy := strategy
+		b.Run(strategy, func(b *testing.B) {
+			var vt float64
+			for i := 0; i < b.N; i++ {
+				stores := make([]*shm.Store, group)
+				for j := range stores {
+					stores[j] = shm.NewStore(0)
+				}
+				w, err := simmpi.NewWorld(simmpi.Config{Ranks: group, Alpha: 1e-6, Bandwidth: []float64{5e8}, GFLOPS: []float64{10}, MemBW: []float64{5e9}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				times := make([]float64, group)
+				res := w.Run(func(c *simmpi.Comm) error {
+					grp, err := encoding.NewGroup(c, simmpi.OpXor)
+					if err != nil {
+						return err
+					}
+					opts := checkpoint.Options{Group: grp, Store: stores[c.Rank()], Namespace: fmt.Sprintf("b/%d", c.Rank())}
+					var p checkpoint.Protector
+					switch strategy {
+					case "self":
+						p, err = checkpoint.NewSelf(opts)
+					case "double":
+						p, err = checkpoint.NewDouble(opts)
+					default:
+						p, err = checkpoint.NewSingle(opts)
+					}
+					if err != nil {
+						return err
+					}
+					data, _, err := p.Open(words)
+					if err != nil {
+						return err
+					}
+					for i := range data {
+						data[i] = float64(i)
+					}
+					t0 := c.Now()
+					if err := p.Checkpoint([]byte("iter1")); err != nil {
+						return err
+					}
+					times[c.Rank()] = c.Now() - t0
+					return nil
+				})
+				if res.Failed() {
+					b.Fatal(res.FirstError())
+				}
+				vt = times[0]
+			}
+			b.ReportMetric(vt*1e6, "vtime_us")
+		})
+	}
+}
+
+// BenchmarkCheckpointInterval is the Table 3 sensitivity: SKT-HPL GFLOPS
+// as the checkpoint interval varies.
+func BenchmarkCheckpointInterval(b *testing.B) {
+	for _, every := range []int{1, 2, 4, 8} {
+		every := every
+		b.Run(fmt.Sprintf("every%d", every), func(b *testing.B) {
+			var gflops float64
+			for i := 0; i < b.N; i++ {
+				m := cluster.NewMachine(cluster.Testbed(), 4, 0)
+				cfg := skthpl.Config{N: 96, NB: 8, Strategy: skthpl.StrategySelf, GroupSize: 2, RanksPerNode: 2, CheckpointEvery: every, Seed: 9}
+				res, err := m.Launch(cluster.JobSpec{Ranks: 8, RanksPerNode: 2}, 0, func(env *cluster.Env) error {
+					return skthpl.Rank(env, cfg)
+				})
+				if err != nil || res.Failed() {
+					b.Fatalf("%v %v", err, res.FirstError())
+				}
+				gflops = res.Metrics[skthpl.MetricGFLOPS]
+			}
+			b.ReportMetric(gflops, "vGFLOPS")
+		})
+	}
+}
+
+// BenchmarkA2Size is the self-protocol sensitivity to the non-SHM
+// resident metadata (A2) capacity.
+func BenchmarkA2Size(b *testing.B) {
+	const group, words = 4, 1 << 13
+	for _, metaCap := range []int{256, 4096, 65536} {
+		metaCap := metaCap
+		b.Run(fmt.Sprintf("A2_%dB", metaCap), func(b *testing.B) {
+			var frac float64
+			for i := 0; i < b.N; i++ {
+				stores := make([]*shm.Store, group)
+				for j := range stores {
+					stores[j] = shm.NewStore(0)
+				}
+				w, err := simmpi.NewWorld(simmpi.Config{Ranks: group, Bandwidth: []float64{5e8}, GFLOPS: []float64{10}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fr := make([]float64, group)
+				res := w.Run(func(c *simmpi.Comm) error {
+					grp, err := encoding.NewGroup(c, simmpi.OpXor)
+					if err != nil {
+						return err
+					}
+					p, err := checkpoint.NewSelf(checkpoint.Options{
+						Group: grp, Store: stores[c.Rank()],
+						Namespace: fmt.Sprintf("a2/%d", c.Rank()), MetaCap: metaCap,
+					})
+					if err != nil {
+						return err
+					}
+					if _, _, err := p.Open(words); err != nil {
+						return err
+					}
+					fr[c.Rank()] = p.Usage().AvailableFraction()
+					return nil
+				})
+				if res.Failed() {
+					b.Fatal(res.FirstError())
+				}
+				frac = fr[0]
+			}
+			b.ReportMetric(frac*100, "avail_%")
+		})
+	}
+}
+
+// BenchmarkDualParityEncode compares single-parity and RAID-6-style
+// dual-parity encoding cost at equal group size and data (the §2.1
+// extension's price).
+func BenchmarkDualParityEncode(b *testing.B) {
+	const group, words = 8, 1 << 14
+	b.Run("single-parity", func(b *testing.B) {
+		var t float64
+		for i := 0; i < b.N; i++ {
+			t = encodeOnce(b, group, words, simmpi.OpXor)
+		}
+		b.ReportMetric(t*1e3, "vtime_ms")
+	})
+	b.Run("dual-parity-rs", func(b *testing.B) {
+		var t float64
+		for i := 0; i < b.N; i++ {
+			w, err := simmpi.NewWorld(simmpi.Config{Ranks: group, Alpha: 1e-6, Bandwidth: []float64{5e8}, GFLOPS: []float64{10}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := w.Run(func(c *simmpi.Comm) error {
+				g, err := encoding.NewRSGroup(c)
+				if err != nil {
+					return err
+				}
+				data := make([]float64, words)
+				for i := range data {
+					data[i] = float64(i + c.Rank())
+				}
+				ck := make([]float64, g.ChecksumWords(words))
+				return g.Encode(ck, data)
+			})
+			if res.Failed() {
+				b.Fatal(res.FirstError())
+			}
+			t = res.MaxTime
+		}
+		b.ReportMetric(t*1e3, "vtime_ms")
+	})
+}
+
+// BenchmarkIncrementalDirtyFraction reproduces the §7 argument against
+// incremental checkpointing for HPL: the partial checkpoint's cost
+// approaches the full cost as the write set grows.
+func BenchmarkIncrementalDirtyFraction(b *testing.B) {
+	const group, words = 16, 1 << 14
+	for _, frac := range []float64{0.05, 0.25, 1.0} {
+		frac := frac
+		b.Run(fmt.Sprintf("dirty%.0f%%", frac*100), func(b *testing.B) {
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				stores := make([]*shm.Store, group)
+				for j := range stores {
+					stores[j] = shm.NewStore(0)
+				}
+				w, err := simmpi.NewWorld(simmpi.Config{Ranks: group, Alpha: 1e-6, Bandwidth: []float64{5e8}, GFLOPS: []float64{10}, MemBW: []float64{5e9}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				times := make([]float64, group)
+				res := w.Run(func(c *simmpi.Comm) error {
+					grp, err := encoding.NewGroup(c, simmpi.OpXor)
+					if err != nil {
+						return err
+					}
+					p, err := checkpoint.NewSelf(checkpoint.Options{Group: grp, Store: stores[c.Rank()], Namespace: fmt.Sprintf("inc/%d", c.Rank())})
+					if err != nil {
+						return err
+					}
+					data, _, err := p.Open(words)
+					if err != nil {
+						return err
+					}
+					for i := range data {
+						data[i] = float64(i)
+					}
+					if err := p.Checkpoint([]byte("full")); err != nil {
+						return err
+					}
+					dirty := int(frac * words)
+					for i := 0; i < dirty; i++ {
+						data[i] += 1
+					}
+					t0 := c.Now()
+					if err := p.CheckpointPartial([]byte("inc"), []checkpoint.Range{{Lo: 0, Hi: dirty}}); err != nil {
+						return err
+					}
+					times[c.Rank()] = c.Now() - t0
+					return nil
+				})
+				if res.Failed() {
+					b.Fatal(res.FirstError())
+				}
+				cost = times[0]
+			}
+			b.ReportMetric(cost*1e6, "vtime_us")
+		})
+	}
+}
+
+// BenchmarkPanelBcastAlgorithms compares HPL's panel-broadcast options
+// (binomial tree vs pipelined rings) by modelled solve time on a wide
+// grid, where the row broadcast matters most.
+func BenchmarkPanelBcastAlgorithms(b *testing.B) {
+	algos := []struct {
+		name string
+		fn   hpl.BcastFunc
+	}{{"binomial", hpl.BcastBinomial}, {"ring", hpl.BcastRing}, {"2ring", hpl.Bcast2Ring}}
+	for _, algo := range algos {
+		algo := algo
+		b.Run(algo.name, func(b *testing.B) {
+			var vt float64
+			for i := 0; i < b.N; i++ {
+				w, err := simmpi.NewWorld(simmpi.Config{Ranks: 16, Alpha: 1e-6, Bandwidth: []float64{2e8}, GFLOPS: []float64{50}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := w.Run(func(c *simmpi.Comm) error {
+					g, err := hpl.NewGrid(c, 2, 8)
+					if err != nil {
+						return err
+					}
+					m, err := hpl.NewMatrix(g, 192, 16, nil)
+					if err != nil {
+						return err
+					}
+					m.Generate(3)
+					s := hpl.NewSolver(m)
+					s.PanelBcast = algo.fn
+					if err := s.Factorize(nil); err != nil {
+						return err
+					}
+					_, err = s.Solve()
+					return err
+				})
+				if res.Failed() {
+					b.Fatal(res.FirstError())
+				}
+				vt = res.MaxTime
+			}
+			b.ReportMetric(vt*1e3, "vtime_ms")
+		})
+	}
+}
+
+// BenchmarkHPLSolve measures the real (wall-clock) cost of the distributed
+// factorization + solve, the compute-bound core every experiment drives.
+func BenchmarkHPLSolve(b *testing.B) {
+	for _, n := range []int{128, 256} {
+		n := n
+		b.Run(fmt.Sprintf("N%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w, err := simmpi.NewWorld(simmpi.Config{Ranks: 4, Alpha: 1e-7, Bandwidth: []float64{1e10}, GFLOPS: []float64{10}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := w.Run(func(c *simmpi.Comm) error {
+					g, err := hpl.NewGrid(c, 2, 2)
+					if err != nil {
+						return err
+					}
+					_, err = hpl.Run(g, n, 16, 7, 10, nil)
+					return err
+				})
+				if res.Failed() {
+					b.Fatal(res.FirstError())
+				}
+			}
+			b.ReportMetric(hpl.FlopCount(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "real_GFLOPS")
+		})
+	}
+}
+
+func BenchmarkTable2PlatformConstants(b *testing.B) {
+	rep := runExperiment(b, "table2")
+	// Per-process bandwidth column, MB/s: the §6.6 inversion.
+	v, _ := strconv.ParseFloat(rep.Rows[0][6], 64)
+	b.ReportMetric(v, "th1a_bw_per_proc_MBs")
+}
+
+func BenchmarkExt3RecoveryRatio(b *testing.B) {
+	rep := runExperiment(b, "ext3")
+	v, _ := strconv.ParseFloat(rep.Rows[1][3], 64)
+	b.ReportMetric(v, "recovery_over_checkpoint_g8")
+}

@@ -1,0 +1,51 @@
+// Command sktbench regenerates the paper's tables and figures on the
+// simulated substrates.
+//
+// Usage:
+//
+//	sktbench -exp table3        # one experiment
+//	sktbench -exp all           # everything, in presentation order
+//	sktbench -list              # show available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"selfckpt/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1, table2, table3, fig6..fig13) or 'all'")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	registry := experiments.All()
+	if *list {
+		for _, id := range experiments.Order() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := experiments.Order()
+	if *exp != "all" {
+		if _, ok := registry[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "sktbench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := registry[id]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sktbench: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.String())
+		fmt.Printf("(%s completed in %.1fs wall time)\n\n", id, time.Since(start).Seconds())
+	}
+}

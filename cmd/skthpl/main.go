@@ -1,0 +1,118 @@
+// Command skthpl runs one fault-tolerant HPL job on a simulated cluster,
+// optionally powering off a node mid-run to exercise the
+// work-fail-detect-restart cycle.
+//
+// Examples:
+//
+//	skthpl -nodes 4 -rpn 2 -n 96 -group 2                 # clean SKT-HPL run
+//	skthpl -nodes 4 -rpn 2 -n 96 -group 2 -kill-slot 1    # power off node 1 mid-checkpoint
+//	skthpl -strategy none -nodes 4 -rpn 2 -n 96           # original HPL (dies on node loss)
+//	skthpl -platform tianhe2 -nodes 8 -n 512 -group 8     # Tianhe-2 preset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"selfckpt/internal/checkpoint"
+	"selfckpt/internal/cluster"
+	"selfckpt/internal/skthpl"
+)
+
+func main() {
+	var (
+		platform = flag.String("platform", "testbed", "platform preset: tianhe1a, tianhe2, local, testbed")
+		nodes    = flag.Int("nodes", 4, "number of compute nodes")
+		spares   = flag.Int("spares", 1, "spare nodes for failure recovery")
+		rpn      = flag.Int("rpn", 0, "ranks per node (0 = one per core)")
+		n        = flag.Int("n", 96, "problem size N")
+		nb       = flag.Int("nb", 8, "panel width NB")
+		group    = flag.Int("group", 2, "encoding group size")
+		strategy = flag.String("strategy", "self", "checkpoint strategy: self, double, single, none")
+		every    = flag.Int("every", 2, "checkpoint every k panels (0 = never)")
+		seed     = flag.Uint64("seed", 42, "matrix seed")
+		killSlot = flag.Int("kill-slot", -1, "node slot to power off (-1 = no failure)")
+		killFP   = flag.String("kill-fp", checkpoint.FPMidFlush, "failpoint for the power-off (empty = use -kill-time)")
+		killTime = flag.Float64("kill-time", 0, "virtual seconds into the run to power off")
+		killOcc  = flag.Int("kill-occ", 2, "which occurrence of the failpoint triggers the power-off")
+		restarts = flag.Int("restarts", 2, "maximum daemon restarts")
+		dual     = flag.Bool("dual-parity", false, "use RAID-6-style dual parity (tolerates 2 losses per group)")
+		scatter  = flag.Bool("scattered", false, "use the rack-tolerant scattered group mapping")
+		look     = flag.Bool("lookahead", false, "enable HPL depth-1 lookahead (composes with checkpoints)")
+		l2every  = flag.Int("l2-every", 0, "flush every k-th checkpoint to persistent storage (0 = off)")
+	)
+	flag.Parse()
+
+	var p cluster.Platform
+	switch *platform {
+	case "tianhe1a":
+		p = cluster.Tianhe1A()
+	case "tianhe2":
+		p = cluster.Tianhe2()
+	case "local":
+		p = cluster.LocalCluster()
+	case "testbed":
+		p = cluster.Testbed()
+	default:
+		fmt.Fprintf(os.Stderr, "skthpl: unknown platform %q\n", *platform)
+		os.Exit(2)
+	}
+	ranksPerNode := *rpn
+	if ranksPerNode == 0 {
+		ranksPerNode = p.CoresPerNode
+	}
+
+	var kills []cluster.KillSpec
+	if *killSlot >= 0 {
+		k := cluster.KillSpec{Slot: *killSlot, Attempt: 0}
+		if *killFP != "" && *killTime == 0 {
+			k.Failpoint, k.Occurrence = *killFP, *killOcc
+		} else {
+			k.AtTime = *killTime
+		}
+		kills = append(kills, k)
+	}
+
+	cfg := skthpl.Config{
+		N: *n, NB: *nb, Strategy: skthpl.Strategy(*strategy),
+		GroupSize: *group, RanksPerNode: ranksPerNode,
+		CheckpointEvery: *every, Seed: *seed,
+		DualParity:      *dual,
+		ScatteredGroups: *scatter,
+		Lookahead:       *look,
+		L2Every:         *l2every,
+	}
+	m := cluster.NewMachine(p, *nodes, *spares)
+	d := &cluster.Daemon{Machine: m, MaxRestarts: *restarts}
+	spec := cluster.JobSpec{Ranks: *nodes * ranksPerNode, RanksPerNode: ranksPerNode, Kills: kills}
+
+	fmt.Printf("skthpl: %d ranks (%d nodes × %d) on %s, N=%d NB=%d, strategy=%s group=%d\n",
+		spec.Ranks, *nodes, ranksPerNode, p.Name, *n, *nb, *strategy, *group)
+
+	report, err := d.Run(spec, func(env *cluster.Env) error { return skthpl.Rank(env, cfg) })
+	if report != nil {
+		fmt.Println("\ntimeline:")
+		for _, ph := range report.Timeline {
+			fmt.Printf("  %-40s %10.4f s\n", ph.Name, ph.Seconds)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "\nskthpl: job failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	mt := report.Metrics
+	fmt.Printf("\nresult (virtual time):\n")
+	fmt.Printf("  attempts            %d\n", report.Attempts)
+	fmt.Printf("  solve time          %.4f s\n", mt[skthpl.MetricTimeSec])
+	fmt.Printf("  performance         %.2f GFLOPS (%.2f%% of peak)\n",
+		mt[skthpl.MetricGFLOPS], mt[skthpl.MetricEfficiency]*100)
+	fmt.Printf("  residual            %.3g (pass < 16)\n", mt[skthpl.MetricResid])
+	fmt.Printf("  checkpoints         %.0f (last took %.6f s)\n",
+		mt[skthpl.MetricCheckpoints], mt[skthpl.MetricCheckpointSec])
+	fmt.Printf("  available memory    %.2f%% of total\n", mt[skthpl.MetricAvailFrac]*100)
+	if mt[skthpl.MetricRestored] == 1 {
+		fmt.Printf("  recovered           YES, from in-memory checkpoint in %.6f s\n", mt[skthpl.MetricRecoverSec])
+	}
+}

@@ -1,0 +1,14 @@
+// Package selfckpt reproduces "Self-Checkpoint: An In-Memory Checkpoint
+// Method Using Less Space and Its Practice on Fault-Tolerant HPL"
+// (PPoPP 2017) as a pure-Go library: a simulated MPI runtime and cluster
+// with failure injection, the stripe-based group encoding, the single /
+// double / self checkpoint protocols, a distributed HPL, the SKT-HPL
+// fault-tolerant HPL built on the self-checkpoint, and the baselines and
+// experiment harness that regenerate every table and figure of the
+// paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// substitutions made for the paper's hardware, and EXPERIMENTS.md for
+// paper-versus-measured results. The benchmarks in bench_test.go drive
+// the same experiment runners as cmd/sktbench.
+package selfckpt

@@ -1,0 +1,52 @@
+// Memsweep: the library-level view of Fig 6 and §4 — how much memory
+// each in-memory checkpoint strategy leaves to the application at
+// different group sizes, what HPL problem size that buys on a Tianhe-2
+// node, and what the efficiency model predicts for it.
+//
+//	go run ./examples/memsweep
+package main
+
+import (
+	"fmt"
+
+	"selfckpt/internal/cluster"
+	"selfckpt/internal/hpl"
+	"selfckpt/internal/model"
+)
+
+func main() {
+	p := cluster.Tianhe2()
+	ranks := 24576 // the paper's largest run
+	memPerProc := p.MemPerProcessBytes(p.CoresPerNode)
+
+	fmt.Printf("platform: %s, %d ranks, %.1f GB per process\n\n", p.Name, ranks, memPerProc/1e9)
+	fmt.Printf("%-10s %-12s %-12s %-14s %-12s\n", "group", "strategy", "available", "HPL N", "E(N) model")
+	fmt.Println("---------- ------------ ------------ -------------- ------------")
+
+	// An efficiency model representative of a large machine (Eq 5 with
+	// a slightly above 1 and b sized so full memory gives ~85%).
+	nFull := hpl.SizeForMemory(memPerProc, ranks, 192)
+	em := model.Efficiency{A: 1.1, B: 0.07 * float64(nFull)}
+
+	for _, g := range []int{2, 4, 8, 16, 32} {
+		for _, s := range []struct {
+			name string
+			f    func(int) float64
+		}{
+			{"single", model.AvailableSingle},
+			{"self", model.AvailableSelf},
+			{"double", model.AvailableDouble},
+		} {
+			frac := s.f(g)
+			n := hpl.SizeForMemory(memPerProc*frac, ranks, 192)
+			fmt.Printf("%-10d %-12s %-12s %-14d %-12s\n",
+				g, s.name, fmt.Sprintf("%.2f%%", frac*100), n, fmt.Sprintf("%.2f%%", em.At(float64(n))*100))
+		}
+		fmt.Println()
+	}
+
+	gain := model.AvailableSelf(16)/model.AvailableDouble(16) - 1
+	fmt.Printf("headline: at group size 16, self-checkpoint offers %.0f%% more memory than\n", gain*100)
+	fmt.Println("double checkpointing with the same ability to survive a node loss at any")
+	fmt.Println("moment — which the E(N) column converts into HPL performance.")
+}

@@ -1,0 +1,3 @@
+module selfckpt
+
+go 1.22

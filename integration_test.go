@@ -1,0 +1,96 @@
+package selfckpt
+
+// End-to-end smoke tests exercising the whole stack the way a user of
+// the repository would: simulated cluster → fault-tolerant application →
+// injected node power-off → daemon restart → group rebuild → verified
+// answer. The per-package suites cover the pieces; these lock the seams.
+
+import (
+	"strings"
+	"testing"
+
+	"selfckpt/internal/checkpoint"
+	"selfckpt/internal/cluster"
+	"selfckpt/internal/hpl"
+	"selfckpt/internal/simmpi"
+	"selfckpt/internal/skthpl"
+)
+
+// TestEndToEndPowerOff is the paper's §6.3 validation in miniature: an
+// SKT-HPL run on the Tianhe-2 preset loses a node mid-checkpoint and
+// completes anyway, resuming from the in-memory checkpoint.
+func TestEndToEndPowerOff(t *testing.T) {
+	p := cluster.Tianhe2()
+	machine := cluster.NewMachine(p, 8, 1)
+	daemon := &cluster.Daemon{Machine: machine, MaxRestarts: 2}
+	rpn := 4 // under-subscribe the 24-core nodes to keep the test fast
+	cfg := skthpl.Config{
+		N: 160, NB: 8,
+		Strategy:        skthpl.StrategySelf,
+		GroupSize:       8,
+		RanksPerNode:    rpn,
+		CheckpointEvery: 4,
+		Seed:            2017,
+	}
+	spec := cluster.JobSpec{
+		Ranks:        8 * rpn,
+		RanksPerNode: rpn,
+		Kills:        []cluster.KillSpec{{Slot: 5, Attempt: 0, Failpoint: checkpoint.FPMidFlush, Occurrence: 2}},
+	}
+	report, err := daemon.Run(spec, func(env *cluster.Env) error { return skthpl.Rank(env, cfg) })
+	if err != nil {
+		t.Fatalf("end-to-end run failed: %v", err)
+	}
+	if report.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", report.Attempts)
+	}
+	if report.Metrics[skthpl.MetricRestored] != 1 {
+		t.Fatal("the restart did not restore from the in-memory checkpoint")
+	}
+	if report.Metrics[skthpl.MetricResid] >= hpl.VerifyThreshold {
+		t.Fatalf("residual %g after recovery", report.Metrics[skthpl.MetricResid])
+	}
+	// The Fig 10 cycle appears in the timeline with the paper's Tianhe-2
+	// daemon constants.
+	var detect float64
+	for _, ph := range report.Timeline {
+		if strings.Contains(ph.Name, "detect") {
+			detect = ph.Seconds
+		}
+	}
+	if detect != p.DetectSec {
+		t.Fatalf("detect phase %g s, want %g", detect, p.DetectSec)
+	}
+}
+
+// TestEndToEndSumOperator runs the full stack with the numeric-SUM
+// encoding (§2.2's alternative operator): the rebuild is approximate in
+// the last bits, which HPL's residual check absorbs.
+func TestEndToEndSumOperator(t *testing.T) {
+	machine := cluster.NewMachine(cluster.Testbed(), 4, 1)
+	daemon := &cluster.Daemon{Machine: machine, MaxRestarts: 2}
+	cfg := skthpl.Config{
+		N: 96, NB: 8,
+		Strategy:        skthpl.StrategySelf,
+		GroupSize:       2,
+		RanksPerNode:    2,
+		CheckpointEvery: 3,
+		Seed:            7,
+		Op:              simmpi.OpSum,
+	}
+	spec := cluster.JobSpec{
+		Ranks:        8,
+		RanksPerNode: 2,
+		Kills:        []cluster.KillSpec{{Slot: 2, Attempt: 0, Failpoint: checkpoint.FPMidFlush, Occurrence: 2}},
+	}
+	report, err := daemon.Run(spec, func(env *cluster.Env) error { return skthpl.Rank(env, cfg) })
+	if err != nil {
+		t.Fatalf("SUM-op run failed: %v", err)
+	}
+	if report.Metrics[skthpl.MetricRestored] != 1 {
+		t.Fatal("expected a restore")
+	}
+	if report.Metrics[skthpl.MetricResid] >= hpl.VerifyThreshold {
+		t.Fatalf("residual %g", report.Metrics[skthpl.MetricResid])
+	}
+}

@@ -1,0 +1,143 @@
+package baselines
+
+import (
+	"testing"
+
+	"selfckpt/internal/cluster"
+	"selfckpt/internal/hpl"
+	"selfckpt/internal/skthpl"
+)
+
+func TestBlcrCleanRun(t *testing.T) {
+	for _, dev := range []Device{HDD, SSD} {
+		t.Run(string(dev), func(t *testing.T) {
+			m := cluster.NewMachine(cluster.Testbed(), 4, 0)
+			cfg := BlcrConfig{N: 64, NB: 8, CheckpointEvery: 2, Seed: 5, Device: dev, RanksPerNode: 2}
+			res, err := m.Launch(cluster.JobSpec{Ranks: 8, RanksPerNode: 2}, 0, func(env *cluster.Env) error {
+				return BlcrRank(env, cfg)
+			})
+			if err != nil || res.Failed() {
+				t.Fatalf("%v %v", err, res.FirstError())
+			}
+			if res.Metrics[skthpl.MetricCheckpoints] == 0 {
+				t.Fatal("no checkpoints")
+			}
+			if res.Metrics[skthpl.MetricResid] >= hpl.VerifyThreshold {
+				t.Fatalf("residual %g", res.Metrics[skthpl.MetricResid])
+			}
+			if res.Metrics[skthpl.MetricAvailFrac] != 1.0 {
+				t.Fatal("BLCR should leave all memory to the application")
+			}
+		})
+	}
+}
+
+func TestBlcrHDDSlowerThanSSD(t *testing.T) {
+	times := map[Device]float64{}
+	for _, dev := range []Device{HDD, SSD} {
+		m := cluster.NewMachine(cluster.Testbed(), 4, 0)
+		cfg := BlcrConfig{N: 96, NB: 8, CheckpointEvery: 2, Seed: 5, Device: dev, RanksPerNode: 2}
+		res, err := m.Launch(cluster.JobSpec{Ranks: 8, RanksPerNode: 2}, 0, func(env *cluster.Env) error {
+			return BlcrRank(env, cfg)
+		})
+		if err != nil || res.Failed() {
+			t.Fatalf("%v %v", err, res.FirstError())
+		}
+		times[dev] = res.Metrics[skthpl.MetricCheckpointSec]
+	}
+	if !(times[HDD] > times[SSD]) {
+		t.Fatalf("HDD checkpoint (%g s) should be slower than SSD (%g s)", times[HDD], times[SSD])
+	}
+	// The bandwidth ratio should show up roughly linearly.
+	p := cluster.Testbed()
+	wantRatio := p.SSDGBps / p.HDDGBps
+	gotRatio := times[HDD] / times[SSD]
+	if gotRatio < wantRatio*0.7 || gotRatio > wantRatio*1.3 {
+		t.Fatalf("checkpoint time ratio %.2f, expected ≈ %.2f", gotRatio, wantRatio)
+	}
+}
+
+func TestBlcrRecoversFromNodeLoss(t *testing.T) {
+	cfg := BlcrConfig{N: 64, NB: 8, CheckpointEvery: 1, Seed: 5, Device: SSD, RanksPerNode: 2}
+	// Measure a clean run to aim the kill at its midpoint, when at least
+	// one image set is already on disk.
+	probe := cluster.NewMachine(cluster.Testbed(), 4, 0)
+	pres, err := probe.Launch(cluster.JobSpec{Ranks: 8, RanksPerNode: 2}, 0, func(env *cluster.Env) error {
+		return BlcrRank(env, cfg)
+	})
+	if err != nil || pres.Failed() {
+		t.Fatalf("probe: %v %v", err, pres.FirstError())
+	}
+
+	m := cluster.NewMachine(cluster.Testbed(), 4, 1)
+	d := &cluster.Daemon{Machine: m, MaxRestarts: 2}
+	spec := cluster.JobSpec{
+		Ranks:        8,
+		RanksPerNode: 2,
+		Kills:        []cluster.KillSpec{{Slot: 1, Attempt: 0, AtTime: pres.MaxTime * 0.6}},
+	}
+	report, err := d.Run(spec, func(env *cluster.Env) error { return BlcrRank(env, cfg) })
+	if err != nil {
+		t.Fatalf("daemon run failed: %v", err)
+	}
+	if report.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", report.Attempts)
+	}
+	if report.Metrics[skthpl.MetricRestored] != 1 {
+		t.Fatal("restart should restore from the disk image")
+	}
+	if report.Metrics[skthpl.MetricResid] >= hpl.VerifyThreshold {
+		t.Fatalf("residual %g after recovery", report.Metrics[skthpl.MetricResid])
+	}
+}
+
+func TestAbftCleanRunAndOverhead(t *testing.T) {
+	m := cluster.NewMachine(cluster.Testbed(), 4, 0)
+	cfg := AbftConfig{N: 96, NB: 8, Seed: 7}
+	res, err := m.Launch(cluster.JobSpec{Ranks: 8, RanksPerNode: 2}, 0, func(env *cluster.Env) error {
+		return AbftRank(env, cfg)
+	})
+	if err != nil || res.Failed() {
+		t.Fatalf("%v %v", err, res.FirstError())
+	}
+	if res.Metrics[skthpl.MetricResid] >= hpl.VerifyThreshold {
+		t.Fatalf("residual %g", res.Metrics[skthpl.MetricResid])
+	}
+	abftTime := res.Metrics[skthpl.MetricTimeSec]
+
+	// Same problem without the checksum sweeps must be faster.
+	m2 := cluster.NewMachine(cluster.Testbed(), 4, 0)
+	res2, err := m2.Launch(cluster.JobSpec{Ranks: 8, RanksPerNode: 2}, 0, func(env *cluster.Env) error {
+		return skthpl.Rank(env, skthpl.Config{N: 96, NB: 8, Strategy: skthpl.StrategyNone, Seed: 7})
+	})
+	if err != nil || res2.Failed() {
+		t.Fatalf("%v %v", err, res2.FirstError())
+	}
+	if abftTime <= res2.Metrics[skthpl.MetricTimeSec] {
+		t.Fatalf("ABFT (%g s) should be slower than plain HPL (%g s)", abftTime, res2.Metrics[skthpl.MetricTimeSec])
+	}
+	if res.Metrics[skthpl.MetricAvailFrac] >= 1 {
+		t.Fatal("ABFT checksum replicas must claim memory")
+	}
+}
+
+func TestAbftCannotSurviveNodeLoss(t *testing.T) {
+	m := cluster.NewMachine(cluster.Testbed(), 4, 2)
+	d := &cluster.Daemon{Machine: m, MaxRestarts: 0}
+	cfg := AbftConfig{N: 64, NB: 8, Seed: 7}
+	spec := cluster.JobSpec{
+		Ranks:        8,
+		RanksPerNode: 2,
+		Kills:        []cluster.KillSpec{{Slot: 0, Attempt: 0, AtTime: 1e-9}},
+	}
+	if _, err := d.Run(spec, func(env *cluster.Env) error { return AbftRank(env, cfg) }); err == nil {
+		t.Fatal("ABFT must not survive a node power-off")
+	}
+}
+
+func TestBlcrImageBytes(t *testing.T) {
+	b := BlcrImageBytes(64, 8, 2, 4)
+	if b <= 8*64 {
+		t.Fatalf("image size %d implausibly small", b)
+	}
+}

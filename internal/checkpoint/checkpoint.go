@@ -1,0 +1,332 @@
+// Package checkpoint implements the paper's three in-memory checkpoint
+// protocols over the simulated SHM and MPI substrates:
+//
+//   - Single (Fig 2): one checkpoint buffer B plus one group checksum C.
+//     Cheapest in memory, but a failure while B/C are being updated leaves
+//     them inconsistent and the run is unrecoverable.
+//   - Double (Fig 3): two alternating checkpoint buffers with checksums,
+//     the strategy of the state-of-the-art in-memory systems (SCR-style).
+//     Fully fault tolerant, but only ~1/3 of memory remains for the
+//     application.
+//   - Self (Fig 4/5): the paper's contribution. The application workspace
+//     A1 lives in SHM and *is* one of the two checkpoints; only one
+//     buffer B plus two small checksums C and D are kept. Fully fault
+//     tolerant with almost 50% of memory available.
+//
+// All protocols protect a workspace of `words` float64 values (A1) plus a
+// small metadata blob (A2: loop counters, pivots — anything not in the
+// big arrays). Checkpoint and Restore are collective over the encoding
+// group and, for crash consistency across groups, over the world
+// communicator: the Self protocol's two barriers (after encoding, after
+// flushing) are world-wide so that every group restores the same epoch.
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"selfckpt/internal/encoding"
+	"selfckpt/internal/shm"
+	"selfckpt/internal/simmpi"
+	"selfckpt/internal/wordpack"
+)
+
+// magic marks a header segment whose owner has completed at least part of
+// one checkpoint. A rank without it (a freshly provisioned replacement
+// node) is the "lost" member of its group.
+const magic = 0x53454c46434b5054 // "SELFCKPT"
+
+// ErrUnrecoverable is returned when the surviving state cannot be rolled
+// back to any consistent epoch: more than one rank lost in a group, or a
+// single-checkpoint run that died while updating its only checkpoint.
+var ErrUnrecoverable = errors.New("checkpoint: no consistent checkpoint to recover from")
+
+// ErrMetaTooLarge is returned when the metadata blob exceeds the capacity
+// fixed at Open time.
+var ErrMetaTooLarge = errors.New("checkpoint: metadata exceeds MetaCap")
+
+// Failpoint labels announced during a checkpoint, in protocol order. The
+// failure injector can target them to reproduce the paper's failure cases
+// (CASE 1: die while encoding; CASE 2: die while flushing).
+const (
+	FPBegin       = "ckpt-begin"
+	FPEncode      = "ckpt-encode"       // just before the checksum reduction
+	FPAfterEncode = "ckpt-after-encode" // checksum committed, before the barrier
+	FPFlush       = "ckpt-flush"        // just before overwriting B and C
+	FPMidFlush    = "ckpt-mid-flush"    // B written, C not yet
+	FPAfterFlush  = "ckpt-after-flush"  // flush committed, before the barrier
+)
+
+// Options configures a protector. Group members must sit on distinct
+// nodes (see encoding.GroupColor); Namespace must be unique per world
+// rank and stable across restarts (conventionally "ckpt/<worldRank>").
+type Options struct {
+	// Group is the redundancy coder: encoding.Group for the paper's
+	// single-parity stripes, encoding.RSGroup for RAID-6-style dual
+	// parity tolerating two losses per group.
+	Group encoding.Coder
+	// World, when non-nil, is the communicator spanning every rank of
+	// the application. Protocol barriers and the restore decision run on
+	// it so that all groups commit and roll back the same epoch. Leave
+	// nil for single-group runs.
+	World *simmpi.Comm
+	Store *shm.Store
+	// Namespace prefixes this rank's segment names.
+	Namespace string
+	// MetaCap is the maximum metadata size in bytes (default 4096).
+	MetaCap int
+}
+
+func (o *Options) validate() error {
+	if o.Group == nil {
+		return errors.New("checkpoint: Options.Group is required")
+	}
+	if o.Store == nil {
+		return errors.New("checkpoint: Options.Store is required")
+	}
+	if o.Namespace == "" {
+		return errors.New("checkpoint: Options.Namespace is required")
+	}
+	if o.MetaCap == 0 {
+		o.MetaCap = 4096
+	}
+	return nil
+}
+
+func (o *Options) metaWords() int { return wordpack.WordsNeeded(o.MetaCap) }
+
+// worldComm returns the communicator used for cross-group coordination.
+func (o *Options) worldComm() *simmpi.Comm {
+	if o.World != nil {
+		return o.World
+	}
+	return o.Group.Comm()
+}
+
+// Usage is the per-rank memory accounting in float64 words, the measured
+// counterpart of the paper's Table 1.
+type Usage struct {
+	Workspace   int // A1 (and A2's capacity)
+	Checkpoints int // B buffers
+	Checksums   int // C and D slots
+	Header      int
+}
+
+// Total returns all words the protocol touches.
+func (u Usage) Total() int { return u.Workspace + u.Checkpoints + u.Checksums + u.Header }
+
+// AvailableFraction is the share of the total left for computation.
+func (u Usage) AvailableFraction() float64 {
+	return float64(u.Workspace) / float64(u.Total())
+}
+
+// Protector is the common protocol interface. The lifecycle is:
+//
+//	data, recoverable, err := p.Open(words)
+//	if recoverable {
+//	    meta, _, err := p.Restore()   // data now holds the checkpointed state
+//	} else {
+//	    ... fill data ...
+//	}
+//	for { ... compute into data ...; p.Checkpoint(meta) }
+//
+// Open, Restore and Checkpoint are collective over the whole world. The
+// application must not mutate data between entering Checkpoint on any
+// rank and leaving it on all (the usual SPMD iteration structure gives
+// this for free).
+type Protector interface {
+	// Open allocates or re-attaches the protected workspace of the given
+	// word count and reports whether a world-consistent checkpoint is
+	// available to Restore.
+	Open(words int) (data []float64, recoverable bool, err error)
+	// Restore rolls the workspace back to the newest consistent epoch,
+	// rebuilding the lost rank's data from its group, and returns the
+	// metadata blob saved with that epoch.
+	Restore() (meta []byte, epoch uint64, err error)
+	// Checkpoint commits a new epoch protecting the current workspace
+	// contents and meta.
+	Checkpoint(meta []byte) error
+	// Usage reports the memory accounting after Open.
+	Usage() Usage
+	// Name identifies the strategy ("single", "double", "self").
+	Name() string
+}
+
+// header wraps the small SHM segment carrying commit markers.
+type header struct{ seg *shm.Segment }
+
+const (
+	hMagic = iota
+	hDEpoch
+	hCEpoch
+	hUpdating
+	hBufEpoch0
+	hBufEpoch1
+	headerWords = 8
+)
+
+func (h header) get(i int) uint64    { return wordpack.GetUint64(h.seg.Data[i]) }
+func (h header) set(i int, v uint64) { h.seg.Data[i] = wordpack.PutUint64(v) }
+func (h header) hasMagic() bool      { return h.get(hMagic) == magic }
+func (h header) commitMagic()        { h.set(hMagic, magic) }
+
+// status is one rank's view of its local markers, exchanged during Open.
+// The meaning of the two marker words is strategy-specific: Self uses
+// (dEpoch, cEpoch); Double uses (latest, latest); Single uses (epoch,
+// updating).
+type status struct {
+	hasState bool
+	x, y     uint64
+}
+
+// markers is the world-consistent digest of all survivors' status plus
+// this rank's group-local loss information.
+type markers struct {
+	minX, maxX, minY, maxY float64
+	anySurvivor            bool
+	anyGroupBad            bool  // some group lost more members than its coder tolerates
+	lost                   []int // group ranks of this group's lost members
+}
+
+// exchange runs the collective marker survey: each group locates its lost
+// member, and the world agrees on the extremes of the survivors' marker
+// words. Fresh ranks contribute identities so they do not distort the
+// extremes.
+func exchange(opts *Options, st status) (markers, error) {
+	world := opts.worldComm()
+	group := opts.Group.Comm()
+
+	has := make([]float64, group.Size())
+	flag := 0.0
+	if st.hasState {
+		flag = 1
+	}
+	if err := group.Allgather([]float64{flag}, has); err != nil {
+		return markers{}, err
+	}
+	var lost []int
+	for i, v := range has {
+		if v == 0 {
+			lost = append(lost, i)
+		}
+	}
+
+	groupBad := 0.0
+	if len(lost) > opts.Group.Tolerance() {
+		groupBad = 1
+	}
+	inMin := []float64{math.Inf(1), math.Inf(1)}
+	inMax := []float64{math.Inf(-1), math.Inf(-1), groupBad}
+	if st.hasState {
+		inMin[0], inMin[1] = float64(st.x), float64(st.y)
+		inMax[0], inMax[1] = float64(st.x), float64(st.y)
+	}
+	outMin := make([]float64, 2)
+	outMax := make([]float64, 3)
+	if err := world.Allreduce(inMin, outMin, simmpi.OpMin); err != nil {
+		return markers{}, err
+	}
+	if err := world.Allreduce(inMax, outMax, simmpi.OpMax); err != nil {
+		return markers{}, err
+	}
+	return markers{
+		minX:        outMin[0],
+		maxX:        outMax[0],
+		minY:        outMin[1],
+		maxY:        outMax[1],
+		anySurvivor: !math.IsInf(outMax[0], -1),
+		anyGroupBad: outMax[2] > 0,
+		lost:        lost,
+	}, nil
+}
+
+// surveyResult is the world-consistent restore decision.
+type surveyResult struct {
+	recoverable bool
+	target      uint64 // epoch to restore
+	fromAD      bool   // Self only: use the live workspace + new checksum
+	lost        []int  // group ranks of this group's lost members
+}
+
+// surveySelf implements the Self protocol's restore decision over
+// (dEpoch, cEpoch) markers; the three cases correspond to a quiescent
+// failure, the paper's CASE 2 (mid-flush), and CASE 1 (mid-encode).
+func surveySelf(opts *Options, st status) (surveyResult, error) {
+	m, err := exchange(opts, st)
+	if err != nil {
+		return surveyResult{}, err
+	}
+	res := surveyResult{lost: m.lost}
+	if !m.anySurvivor || m.maxX == 0 || m.anyGroupBad {
+		return res, nil
+	}
+	minD, maxD, minC, maxC := m.minX, m.maxX, m.minY, m.maxY
+	res.recoverable = true
+	switch {
+	case minD == maxD && minC == maxD:
+		// Quiescent: the last checkpoint fully committed everywhere.
+		// The workspace may have been mutated since, so restore from the
+		// checkpoint buffers.
+		res.target = uint64(maxD)
+	case minD == maxD:
+		// Every survivor committed the new checksum (epoch maxD) but the
+		// flush was still in flight somewhere: CASE 2. The workspace is
+		// untouched (nobody passed the post-flush barrier), so the live
+		// data plus the new checksum is the checkpoint.
+		res.target = uint64(maxD)
+		res.fromAD = true
+	default:
+		// Encoding was cut short: CASE 1. Nobody flushed (the pre-flush
+		// barrier was never passed), so the previous checkpoint buffers
+		// are intact everywhere.
+		if minC != minD || maxC != minD {
+			return surveyResult{}, fmt.Errorf("%w: inconsistent markers (dEpoch %g..%g, cEpoch %g..%g)",
+				ErrUnrecoverable, minD, maxD, minC, maxC)
+		}
+		res.target = uint64(minD)
+	}
+	if res.target == 0 {
+		res.recoverable = false
+	}
+	return res, nil
+}
+
+// surveyDouble decides for the double-buffer protocol: the restore target
+// is the world-minimum committed epoch, which the closing barrier
+// guarantees every survivor still holds (epoch skew at most one).
+func surveyDouble(opts *Options, st status) (surveyResult, error) {
+	m, err := exchange(opts, st)
+	if err != nil {
+		return surveyResult{}, err
+	}
+	res := surveyResult{lost: m.lost}
+	if !m.anySurvivor || m.minX == 0 || m.anyGroupBad {
+		return res, nil
+	}
+	res.recoverable = true
+	res.target = uint64(m.minX)
+	return res, nil
+}
+
+// surveySingle decides for the single-checkpoint protocol: recovery is
+// possible only when no survivor was mid-update (the paper's CASE 2 of
+// Fig 2 is fatal) and all survivors committed the same epoch.
+func surveySingle(opts *Options, st status) (surveyResult, error) {
+	m, err := exchange(opts, st)
+	if err != nil {
+		return surveyResult{}, err
+	}
+	res := surveyResult{lost: m.lost}
+	if !m.anySurvivor || m.maxX == 0 || m.anyGroupBad {
+		return res, nil
+	}
+	if m.maxY > 0 || m.minX != m.maxX {
+		// Some survivor was rewriting its only checkpoint: B and C are
+		// inconsistent and the lost rank cannot be rebuilt.
+		return res, nil
+	}
+	res.recoverable = true
+	res.target = uint64(m.maxX)
+	return res, nil
+}

@@ -1,0 +1,1192 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"selfckpt/internal/encoding"
+	"selfckpt/internal/shm"
+	"selfckpt/internal/simmpi"
+)
+
+// harness simulates the daemon's restart loop without the cluster layer:
+// one SHM store per rank (one rank per node), kills injected by failpoint
+// or virtual time, dead stores replaced with fresh ones between attempts.
+type harness struct {
+	t         *testing.T
+	ranks     int
+	groupSize int
+	stores    []*shm.Store
+
+	mu   sync.Mutex
+	dead map[int]bool
+}
+
+func newHarness(t *testing.T, ranks, groupSize int) *harness {
+	h := &harness{t: t, ranks: ranks, groupSize: groupSize, dead: map[int]bool{}}
+	for i := 0; i < ranks; i++ {
+		h.stores = append(h.stores, shm.NewStore(0))
+	}
+	return h
+}
+
+// kill describes one failure injection for an attempt.
+type kill struct {
+	rank       int
+	attempt    int
+	failpoint  string
+	occurrence int
+	atTime     float64
+}
+
+type rankCtx struct {
+	comm  *simmpi.Comm
+	store *shm.Store
+	att   int
+}
+
+// attempt launches all ranks once with the given kills armed.
+func (h *harness) attempt(att int, kills []kill, fn func(rc *rankCtx) error) *simmpi.Result {
+	h.t.Helper()
+	h.mu.Lock()
+	for r := range h.dead {
+		h.stores[r] = shm.NewStore(0) // replacement node
+		delete(h.dead, r)
+	}
+	h.mu.Unlock()
+
+	counts := make(map[[2]interface{}]int)
+	var cmu sync.Mutex
+	cfg := simmpi.Config{
+		Ranks:     h.ranks,
+		Alpha:     1e-7,
+		Bandwidth: []float64{1e10},
+		GFLOPS:    []float64{10},
+		MemBW:     []float64{1e10},
+		KillAt: func(rank int) float64 {
+			t := math.Inf(1)
+			for _, k := range kills {
+				if k.attempt == att && k.rank == rank && k.failpoint == "" && k.atTime < t {
+					t = k.atTime
+				}
+			}
+			return t
+		},
+		FailpointKill: func(rank int, label string) bool {
+			for _, k := range kills {
+				if k.attempt != att || k.rank != rank || k.failpoint != label {
+					continue
+				}
+				occ := k.occurrence
+				if occ <= 0 {
+					occ = 1
+				}
+				cmu.Lock()
+				key := [2]interface{}{rank, label}
+				counts[key]++
+				hit := counts[key] == occ
+				cmu.Unlock()
+				if hit {
+					return true
+				}
+			}
+			return false
+		},
+		OnKill: func(rank int) {
+			h.mu.Lock()
+			h.dead[rank] = true
+			h.mu.Unlock()
+			h.stores[rank].DestroyAll()
+		},
+	}
+	w, err := simmpi.NewWorld(cfg)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return w.Run(func(c *simmpi.Comm) error {
+		return fn(&rankCtx{comm: c, store: h.stores[c.Rank()], att: att})
+	})
+}
+
+// protectorFor builds the requested strategy for a rank context, forming
+// groups of consecutive ranks (the harness has one rank per node, so any
+// grouping satisfies the distinct-node rule).
+func protectorFor(strategy string, rc *rankCtx, groupSize int) (Protector, error) {
+	color := rc.comm.Rank() / groupSize
+	g, err := rc.comm.Split(color)
+	if err != nil {
+		return nil, err
+	}
+	var grp encoding.Coder
+	if strings.HasSuffix(strategy, "-rs") {
+		grp, err = encoding.NewRSGroup(g)
+	} else {
+		grp, err = encoding.NewGroup(g, simmpi.OpXor)
+	}
+	if err != nil {
+		return nil, err
+	}
+	opts := Options{
+		Group:     grp,
+		World:     rc.comm,
+		Store:     rc.store,
+		Namespace: fmt.Sprintf("ckpt/%d", rc.comm.Rank()),
+	}
+	switch strings.TrimSuffix(strategy, "-rs") {
+	case "self":
+		return NewSelf(opts)
+	case "double":
+		return NewDouble(opts)
+	case "single":
+		return NewSingle(opts)
+	}
+	return nil, fmt.Errorf("unknown strategy %q", strategy)
+}
+
+// deterministic workspace content for (rank, iteration).
+func fillWork(data []float64, rank int, iter uint64) {
+	for i := range data {
+		data[i] = float64(rank*1000+i) + 0.5*float64(iter)
+	}
+}
+
+func checkWork(data []float64, rank int, iter uint64) error {
+	for i := range data {
+		want := float64(rank*1000+i) + 0.5*float64(iter)
+		if data[i] != want {
+			return fmt.Errorf("rank %d iter %d: data[%d] = %g, want %g", rank, iter, i, data[i], want)
+		}
+	}
+	return nil
+}
+
+func metaFor(iter uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, iter)
+	return b
+}
+
+func iterFrom(meta []byte) uint64 { return binary.LittleEndian.Uint64(meta) }
+
+// iterApp is the standard test application: `iters` compute steps with a
+// checkpoint after each, restartable from any epoch.
+func iterApp(strategy string, groupSize, words int, iters uint64) func(rc *rankCtx) error {
+	return func(rc *rankCtx) error {
+		p, err := protectorFor(strategy, rc, groupSize)
+		if err != nil {
+			return err
+		}
+		data, recoverable, err := p.Open(words)
+		if err != nil {
+			return err
+		}
+		start := uint64(0)
+		if recoverable {
+			meta, _, err := p.Restore()
+			if err != nil {
+				return err
+			}
+			start = iterFrom(meta)
+			// The restored workspace must be exactly the checkpointed
+			// iteration's content.
+			if err := checkWork(data, rc.comm.Rank(), start); err != nil {
+				return fmt.Errorf("after restore: %w", err)
+			}
+		}
+		for it := start + 1; it <= iters; it++ {
+			fillWork(data, rc.comm.Rank(), it) // "compute"
+			rc.comm.World().Compute(1e6)
+			if err := p.Checkpoint(metaFor(it)); err != nil {
+				return err
+			}
+		}
+		return checkWork(data, rc.comm.Rank(), iters)
+	}
+}
+
+// runToCompletion drives attempts until the app finishes, like the daemon.
+func (h *harness) runToCompletion(kills []kill, fn func(rc *rankCtx) error, maxAttempts int) int {
+	h.t.Helper()
+	for att := 0; att < maxAttempts; att++ {
+		res := h.attempt(att, kills, fn)
+		if !res.Failed() {
+			return att + 1
+		}
+		if len(res.Killed) == 0 {
+			h.t.Fatalf("attempt %d failed without a kill: %v", att, res.FirstError())
+		}
+	}
+	h.t.Fatalf("application did not complete in %d attempts", maxAttempts)
+	return 0
+}
+
+func TestFreshOpenNotRecoverable(t *testing.T) {
+	for _, strategy := range []string{"self", "double", "single"} {
+		h := newHarness(t, 4, 4)
+		res := h.attempt(0, nil, func(rc *rankCtx) error {
+			p, err := protectorFor(strategy, rc, 4)
+			if err != nil {
+				return err
+			}
+			_, recoverable, err := p.Open(64)
+			if err != nil {
+				return err
+			}
+			if recoverable {
+				return errors.New("fresh world claims to be recoverable")
+			}
+			return nil
+		})
+		if res.Failed() {
+			t.Fatalf("%s: %v", strategy, res.FirstError())
+		}
+	}
+}
+
+func TestCheckpointRunsClean(t *testing.T) {
+	for _, strategy := range []string{"self", "double", "single"} {
+		h := newHarness(t, 8, 4)
+		if got := h.runToCompletion(nil, iterApp(strategy, 4, 100, 5), 1); got != 1 {
+			t.Fatalf("%s: attempts = %d", strategy, got)
+		}
+	}
+}
+
+// TestSelfFailpointMatrix kills one node at every protocol phase and
+// verifies the application still completes with correct data after the
+// daemon-style restart, exercising both recovery paths of Fig 4.
+func TestSelfFailpointMatrix(t *testing.T) {
+	for _, fp := range []string{FPBegin, FPEncode, FPAfterEncode, FPFlush, FPMidFlush, FPAfterFlush} {
+		for _, victim := range []int{0, 3, 5} {
+			t.Run(fmt.Sprintf("%s/rank%d", fp, victim), func(t *testing.T) {
+				h := newHarness(t, 8, 4)
+				kills := []kill{{rank: victim, attempt: 0, failpoint: fp, occurrence: 3}}
+				h.runToCompletion(kills, iterApp("self", 4, 200, 6), 3)
+			})
+		}
+	}
+}
+
+func TestDoubleFailpointMatrix(t *testing.T) {
+	for _, fp := range []string{FPBegin, FPEncode, FPAfterEncode} {
+		t.Run(fp, func(t *testing.T) {
+			h := newHarness(t, 8, 4)
+			kills := []kill{{rank: 2, attempt: 0, failpoint: fp, occurrence: 3}}
+			h.runToCompletion(kills, iterApp("double", 4, 200, 6), 3)
+		})
+	}
+}
+
+// TestSingleSurvivesComputePhaseFailure: the single checkpoint CAN recover
+// a failure that strikes between checkpoints (CASE 1 of Fig 2).
+func TestSingleSurvivesComputePhaseFailure(t *testing.T) {
+	h := newHarness(t, 8, 4)
+	// FPBegin fires before the update window opens, so state is quiescent.
+	kills := []kill{{rank: 1, attempt: 0, failpoint: FPBegin, occurrence: 4}}
+	h.runToCompletion(kills, iterApp("single", 4, 200, 6), 3)
+}
+
+// TestSingleDiesDuringUpdate: a failure inside the update window leaves B
+// and C inconsistent; Open must report unrecoverable (CASE 2 of Fig 2).
+func TestSingleDiesDuringUpdate(t *testing.T) {
+	for _, fp := range []string{FPFlush, FPEncode} {
+		t.Run(fp, func(t *testing.T) {
+			h := newHarness(t, 8, 4)
+			kills := []kill{{rank: 1, attempt: 0, failpoint: fp, occurrence: 3}}
+			res := h.attempt(0, kills, iterApp("single", 4, 100, 6))
+			if !res.Failed() {
+				t.Fatal("expected first attempt to fail")
+			}
+			// Restart: the survey must refuse.
+			res = h.attempt(1, kills, func(rc *rankCtx) error {
+				p, err := protectorFor("single", rc, 4)
+				if err != nil {
+					return err
+				}
+				_, recoverable, err := p.Open(100)
+				if err != nil {
+					return err
+				}
+				if recoverable {
+					return errors.New("single checkpoint claims recovery from a mid-update failure")
+				}
+				if _, _, err := p.Restore(); !errors.Is(err, ErrUnrecoverable) {
+					return fmt.Errorf("want ErrUnrecoverable, got %v", err)
+				}
+				return nil
+			})
+			if res.Failed() {
+				t.Fatal(res.FirstError())
+			}
+		})
+	}
+}
+
+// TestSelfKillDuringCompute covers the quiescent case: the failure strikes
+// while every rank is computing, so recovery rolls back to the last
+// flushed checkpoint (B, C).
+func TestSelfKillDuringCompute(t *testing.T) {
+	h := newHarness(t, 8, 4)
+	kills := []kill{{rank: 6, attempt: 0, atTime: 0.0015}}
+	h.runToCompletion(kills, iterApp("self", 4, 200, 8), 3)
+}
+
+// TestTwoLossesInOneGroupUnrecoverable: RAID-5-style encoding tolerates
+// a single loss per group.
+func TestTwoLossesInOneGroupUnrecoverable(t *testing.T) {
+	h := newHarness(t, 8, 4)
+	app := iterApp("self", 4, 100, 6)
+	res := h.attempt(0, []kill{
+		{rank: 1, attempt: 0, failpoint: FPFlush, occurrence: 2},
+		{rank: 2, attempt: 0, failpoint: FPFlush, occurrence: 2},
+	}, app)
+	if !res.Failed() || len(res.Killed) < 1 {
+		t.Fatalf("expected kills, got %v", res.Killed)
+	}
+	if len(res.Killed) < 2 {
+		t.Skip("only one kill landed before the abort; two-loss scenario not formed")
+	}
+	res = h.attempt(1, nil, func(rc *rankCtx) error {
+		p, err := protectorFor("self", rc, 4)
+		if err != nil {
+			return err
+		}
+		_, recoverable, err := p.Open(100)
+		if err != nil {
+			return err
+		}
+		if recoverable {
+			return errors.New("claims recovery with two losses in one group")
+		}
+		return nil
+	})
+	if res.Failed() {
+		t.Fatal(res.FirstError())
+	}
+}
+
+// TestLossesInTwoGroupsRecoverable: one loss per group is fine, and both
+// groups must agree on the restored epoch.
+func TestLossesInTwoGroupsRecoverable(t *testing.T) {
+	h := newHarness(t, 8, 4)
+	kills := []kill{
+		{rank: 1, attempt: 0, failpoint: FPFlush, occurrence: 2},
+		{rank: 6, attempt: 0, failpoint: FPFlush, occurrence: 2},
+	}
+	h.runToCompletion(kills, iterApp("self", 4, 100, 6), 3)
+}
+
+// TestWorldEpochConsistency restarts after a failure injected so that one
+// group may be a step ahead of the other, and asserts every rank restores
+// the same iteration.
+func TestWorldEpochConsistency(t *testing.T) {
+	for _, fp := range []string{FPEncode, FPAfterEncode, FPMidFlush} {
+		t.Run(fp, func(t *testing.T) {
+			h := newHarness(t, 8, 4)
+			kills := []kill{{rank: 0, attempt: 0, failpoint: fp, occurrence: 2}}
+			app := iterApp("self", 4, 150, 4)
+			res := h.attempt(0, kills, app)
+			if !res.Failed() {
+				t.Fatal("expected failure")
+			}
+			res = h.attempt(1, nil, func(rc *rankCtx) error {
+				p, err := protectorFor("self", rc, 4)
+				if err != nil {
+					return err
+				}
+				data, recoverable, err := p.Open(150)
+				if err != nil {
+					return err
+				}
+				if !recoverable {
+					return errors.New("expected recoverable state")
+				}
+				meta, epoch, err := p.Restore()
+				if err != nil {
+					return err
+				}
+				it := iterFrom(meta)
+				if err := checkWork(data, rc.comm.Rank(), it); err != nil {
+					return err
+				}
+				// All ranks must agree on both epoch and iteration.
+				in := []float64{float64(epoch), float64(it)}
+				outMin := make([]float64, 2)
+				outMax := make([]float64, 2)
+				if err := rc.comm.Allreduce(in, outMin, simmpi.OpMin); err != nil {
+					return err
+				}
+				if err := rc.comm.Allreduce(in, outMax, simmpi.OpMax); err != nil {
+					return err
+				}
+				if outMin[0] != outMax[0] || outMin[1] != outMax[1] {
+					return fmt.Errorf("restore disagreement: epochs %g..%g iters %g..%g",
+						outMin[0], outMax[0], outMin[1], outMax[1])
+				}
+				return nil
+			})
+			if res.Failed() {
+				t.Fatal(res.FirstError())
+			}
+		})
+	}
+}
+
+// TestRepeatedFailures injects a second node loss on the restarted
+// attempt (during recovery-era checkpoints) and requires eventual
+// completion with correct data.
+func TestRepeatedFailures(t *testing.T) {
+	h := newHarness(t, 8, 4)
+	kills := []kill{
+		{rank: 3, attempt: 0, failpoint: FPMidFlush, occurrence: 2},
+		{rank: 5, attempt: 1, failpoint: FPEncode, occurrence: 1},
+	}
+	attempts := h.runToCompletion(kills, iterApp("self", 4, 120, 6), 4)
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+}
+
+// TestUsageMatchesTable1 verifies the measured memory fractions approach
+// the closed forms of Eq 2–4 for a large workspace.
+func TestUsageMatchesTable1(t *testing.T) {
+	const words = 1 << 17
+	formulas := map[string]func(n float64) float64{
+		"self":   func(n float64) float64 { return (n - 1) / (2 * n) },
+		"double": func(n float64) float64 { return (n - 1) / (3*n - 1) },
+		"single": func(n float64) float64 { return (n - 1) / (2*n - 1) },
+	}
+	for _, groupSize := range []int{2, 4, 8} {
+		for strategy, want := range formulas {
+			h := newHarness(t, groupSize, groupSize)
+			res := h.attempt(0, nil, func(rc *rankCtx) error {
+				p, err := protectorFor(strategy, rc, groupSize)
+				if err != nil {
+					return err
+				}
+				if _, _, err := p.Open(words); err != nil {
+					return err
+				}
+				got := p.Usage().AvailableFraction()
+				expect := want(float64(groupSize))
+				if math.Abs(got-expect) > 0.01 {
+					return fmt.Errorf("%s N=%d: available fraction %.4f, want %.4f", strategy, groupSize, got, expect)
+				}
+				return nil
+			})
+			if res.Failed() {
+				t.Fatal(res.FirstError())
+			}
+		}
+	}
+}
+
+// TestSelfBeatsDoubleMemory is the headline claim: at group size 16 the
+// self-checkpoint leaves ~47% of memory versus ~31% for double.
+func TestSelfBeatsDoubleMemory(t *testing.T) {
+	const words, n = 1 << 16, 16
+	fractions := map[string]float64{}
+	for _, strategy := range []string{"self", "double"} {
+		h := newHarness(t, n, n)
+		var mu sync.Mutex
+		res := h.attempt(0, nil, func(rc *rankCtx) error {
+			p, err := protectorFor(strategy, rc, n)
+			if err != nil {
+				return err
+			}
+			if _, _, err := p.Open(words); err != nil {
+				return err
+			}
+			if rc.comm.Rank() == 0 {
+				mu.Lock()
+				fractions[strategy] = p.Usage().AvailableFraction()
+				mu.Unlock()
+			}
+			return nil
+		})
+		if res.Failed() {
+			t.Fatal(res.FirstError())
+		}
+	}
+	if fractions["self"] < 0.46 {
+		t.Fatalf("self available fraction %.3f, want ≥ 0.46", fractions["self"])
+	}
+	if fractions["double"] > 0.32 {
+		t.Fatalf("double available fraction %.3f, want ≤ 0.32", fractions["double"])
+	}
+	gain := fractions["self"]/fractions["double"] - 1
+	if gain < 0.4 {
+		t.Fatalf("memory improvement %.0f%%, paper reports ~47%%", gain*100)
+	}
+}
+
+func TestMetaTooLarge(t *testing.T) {
+	h := newHarness(t, 4, 4)
+	res := h.attempt(0, nil, func(rc *rankCtx) error {
+		p, err := protectorFor("self", rc, 4)
+		if err != nil {
+			return err
+		}
+		if _, _, err := p.Open(16); err != nil {
+			return err
+		}
+		err = p.Checkpoint(make([]byte, 10000))
+		if !errors.Is(err, ErrMetaTooLarge) {
+			return fmt.Errorf("want ErrMetaTooLarge, got %v", err)
+		}
+		return nil
+	})
+	if res.Failed() {
+		t.Fatal(res.FirstError())
+	}
+}
+
+func TestRestoreBeforeOpenFails(t *testing.T) {
+	h := newHarness(t, 4, 4)
+	res := h.attempt(0, nil, func(rc *rankCtx) error {
+		for _, mk := range []func(Options) (Protector, error){
+			func(o Options) (Protector, error) { return NewSelf(o) },
+			func(o Options) (Protector, error) { return NewDouble(o) },
+			func(o Options) (Protector, error) { return NewSingle(o) },
+		} {
+			g, err := rc.comm.Split(0)
+			if err != nil {
+				return err
+			}
+			grp, err := encoding.NewGroup(g, simmpi.OpXor)
+			if err != nil {
+				return err
+			}
+			p, err := mk(Options{Group: grp, World: rc.comm, Store: rc.store, Namespace: fmt.Sprintf("x%d/%d", rc.comm.Rank(), rc.att)})
+			if err != nil {
+				return err
+			}
+			if _, _, err := p.Restore(); err == nil {
+				return errors.New("Restore before Open should fail")
+			}
+		}
+		return nil
+	})
+	if res.Failed() {
+		t.Fatal(res.FirstError())
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := NewSelf(Options{}); err == nil {
+		t.Fatal("expected error for empty options")
+	}
+	if _, err := NewDouble(Options{}); err == nil {
+		t.Fatal("expected error for empty options")
+	}
+	if _, err := NewSingle(Options{}); err == nil {
+		t.Fatal("expected error for empty options")
+	}
+}
+
+func TestOpenRejectsNonPositiveWords(t *testing.T) {
+	h := newHarness(t, 4, 4)
+	res := h.attempt(0, nil, func(rc *rankCtx) error {
+		p, err := protectorFor("self", rc, 4)
+		if err != nil {
+			return err
+		}
+		if _, _, err := p.Open(0); err == nil {
+			return errors.New("expected error for zero words")
+		}
+		return nil
+	})
+	if res.Failed() {
+		t.Fatal(res.FirstError())
+	}
+}
+
+// TestDualParityCleanRun: every protocol also runs over the RAID-6-style
+// Reed-Solomon coder.
+func TestDualParityCleanRun(t *testing.T) {
+	for _, strategy := range []string{"self-rs", "double-rs", "single-rs"} {
+		h := newHarness(t, 8, 4)
+		if got := h.runToCompletion(nil, iterApp(strategy, 4, 100, 5), 1); got != 1 {
+			t.Fatalf("%s: attempts = %d", strategy, got)
+		}
+	}
+}
+
+// loseNodes powers off the given ranks' nodes between attempts: their
+// SHM stores are destroyed now and replaced with fresh ones at the next
+// attempt — a simultaneous multi-node power-off while the job is down.
+func (h *harness) loseNodes(ranks ...int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, r := range ranks {
+		h.dead[r] = true
+		h.stores[r].DestroyAll()
+	}
+}
+
+// TestDualParitySurvivesTwoLossesInOneGroup is the §2.1 extension's
+// payoff: two nodes of the same encoding group are lost and the run
+// still recovers — where single parity is provably stuck.
+func TestDualParitySurvivesTwoLossesInOneGroup(t *testing.T) {
+	// One kill lands mid-checkpoint; the second node of the same group
+	// is powered off while the job is down. Both are gone at restart.
+	for _, fp := range []string{FPEncode, FPMidFlush, FPAfterFlush} {
+		t.Run(fp, func(t *testing.T) {
+			h := newHarness(t, 8, 4)
+			kills := []kill{{rank: 1, attempt: 0, failpoint: fp, occurrence: 3}}
+			res := h.attempt(0, kills, iterApp("self-rs", 4, 120, 6))
+			if !res.Failed() {
+				t.Fatal("expected first attempt to fail")
+			}
+			h.loseNodes(2) // second loss in the same group (ranks 0-3)
+			res = h.attempt(1, nil, iterApp("self-rs", 4, 120, 6))
+			if res.Failed() {
+				t.Fatalf("dual-parity recovery failed: %v", res.FirstError())
+			}
+		})
+	}
+}
+
+// TestSingleParityDiesWithTwoLosses is the control: the same double loss
+// under the paper's single-parity self-checkpoint is unrecoverable.
+func TestSingleParityDiesWithTwoLosses(t *testing.T) {
+	h := newHarness(t, 8, 4)
+	kills := []kill{{rank: 1, attempt: 0, failpoint: FPMidFlush, occurrence: 3}}
+	res := h.attempt(0, kills, iterApp("self", 4, 120, 6))
+	if !res.Failed() {
+		t.Fatal("expected first attempt to fail")
+	}
+	h.loseNodes(2)
+	res = h.attempt(1, nil, func(rc *rankCtx) error {
+		p, err := protectorFor("self", rc, 4)
+		if err != nil {
+			return err
+		}
+		_, recoverable, err := p.Open(120)
+		if err != nil {
+			return err
+		}
+		if recoverable {
+			return errors.New("single parity must not claim recovery from two losses")
+		}
+		return nil
+	})
+	if res.Failed() {
+		t.Fatal(res.FirstError())
+	}
+}
+
+// TestDualParityThreeLossesUnrecoverable: tolerance is two.
+func TestDualParityThreeLossesUnrecoverable(t *testing.T) {
+	h := newHarness(t, 8, 4)
+	res := h.attempt(0, nil, iterApp("self-rs", 4, 100, 3))
+	if res.Failed() {
+		t.Fatal(res.FirstError())
+	}
+	h.loseNodes(0, 1, 2)
+	res = h.attempt(1, nil, func(rc *rankCtx) error {
+		p, err := protectorFor("self-rs", rc, 4)
+		if err != nil {
+			return err
+		}
+		_, recoverable, err := p.Open(100)
+		if err != nil {
+			return err
+		}
+		if recoverable {
+			return errors.New("three losses in a dual-parity group must be unrecoverable")
+		}
+		return nil
+	})
+	if res.Failed() {
+		t.Fatal(res.FirstError())
+	}
+}
+
+// TestDualParityMemoryCost: the second checksum costs memory — the
+// available fraction approaches (N-2)/(2N) instead of (N-1)/(2N), still
+// far above the double checkpoint's (N-1)/(3N-1).
+func TestDualParityMemoryCost(t *testing.T) {
+	h := newHarness(t, 8, 8)
+	res := h.attempt(0, nil, func(rc *rankCtx) error {
+		pRS, err := protectorFor("self-rs", rc, 8)
+		if err != nil {
+			return err
+		}
+		if _, _, err := pRS.Open(1 << 14); err != nil {
+			return err
+		}
+		fRS := pRS.Usage().AvailableFraction()
+		want := 6.0 / 16.0 // (N-2)/(2N) at N=8
+		if math.Abs(fRS-want) > 0.02 {
+			return fmt.Errorf("dual-parity available fraction %.3f, want ≈ %.3f", fRS, want)
+		}
+		if double := 7.0 / 23.0; fRS <= double {
+			return fmt.Errorf("dual parity (%.3f) should still beat the double checkpoint (%.3f)", fRS, double)
+		}
+		return nil
+	})
+	if res.Failed() {
+		t.Fatal(res.FirstError())
+	}
+}
+
+// TestDiscardFreesMemoryAndForgetsState: after Discard the node memory is
+// released and a restarted world sees a fresh start.
+func TestDiscardFreesMemoryAndForgetsState(t *testing.T) {
+	h := newHarness(t, 4, 4)
+	res := h.attempt(0, nil, func(rc *rankCtx) error {
+		p, err := protectorFor("self", rc, 4)
+		if err != nil {
+			return err
+		}
+		data, _, err := p.Open(64)
+		if err != nil {
+			return err
+		}
+		fillWork(data, rc.comm.Rank(), 1)
+		if err := p.Checkpoint(metaFor(1)); err != nil {
+			return err
+		}
+		if rc.store.Used() == 0 {
+			return errors.New("expected SHM in use")
+		}
+		p.(*Self).Discard()
+		if rc.store.Used() != 0 {
+			return fmt.Errorf("SHM still holds %d bytes after Discard", rc.store.Used())
+		}
+		return nil
+	})
+	if res.Failed() {
+		t.Fatal(res.FirstError())
+	}
+	// Restart: nothing to recover.
+	res = h.attempt(1, nil, func(rc *rankCtx) error {
+		p, err := protectorFor("self", rc, 4)
+		if err != nil {
+			return err
+		}
+		_, recoverable, err := p.Open(64)
+		if err != nil {
+			return err
+		}
+		if recoverable {
+			return errors.New("discarded state should not be recoverable")
+		}
+		return nil
+	})
+	if res.Failed() {
+		t.Fatal(res.FirstError())
+	}
+	// Double and Single Discard also release everything.
+	for _, strategy := range []string{"double", "single"} {
+		h2 := newHarness(t, 4, 4)
+		res := h2.attempt(0, nil, func(rc *rankCtx) error {
+			p, err := protectorFor(strategy, rc, 4)
+			if err != nil {
+				return err
+			}
+			if _, _, err := p.Open(32); err != nil {
+				return err
+			}
+			if err := p.Checkpoint(metaFor(1)); err != nil {
+				return err
+			}
+			switch v := p.(type) {
+			case *Double:
+				v.Discard()
+			case *Single:
+				v.Discard()
+			}
+			if rc.store.Used() != 0 {
+				return fmt.Errorf("%s: SHM still holds %d bytes", strategy, rc.store.Used())
+			}
+			return nil
+		})
+		if res.Failed() {
+			t.Fatal(res.FirstError())
+		}
+	}
+}
+
+// TestFreshStartResetsEpochNumbering is the regression test for a bug
+// found by the randomized soak tests: a failure during the FIRST
+// checkpoint leaves some ranks with committed markers and others with
+// none; the restart (correctly) declares the world unrecoverable and
+// regenerates — but the stale markers must be reset, or ranks number
+// subsequent epochs differently and a later failure finds markers no
+// consistent epoch can explain.
+func TestFreshStartResetsEpochNumbering(t *testing.T) {
+	h := newHarness(t, 8, 4)
+	kills := []kill{
+		// Mid-first-checkpoint: rank 2 dies right after committing its
+		// very first checksum; some survivors committed, others did not.
+		{rank: 2, attempt: 0, failpoint: FPAfterEncode, occurrence: 1},
+		// On the fresh-started attempt, another node dies mid-encode of
+		// a later checkpoint.
+		{rank: 6, attempt: 1, failpoint: FPEncode, occurrence: 3},
+	}
+	// Attempt 2 must find a world-consistent epoch and finish.
+	h.runToCompletion(kills, iterApp("self", 4, 100, 6), 4)
+}
+
+// TestScrubDetectsSilentCorruption: a clean checkpoint scrubs true; a
+// flipped bit in any rank's checkpoint buffer is caught by the group.
+func TestScrubDetectsSilentCorruption(t *testing.T) {
+	for _, strategy := range []string{"self", "double", "single", "self-rs"} {
+		t.Run(strategy, func(t *testing.T) {
+			h := newHarness(t, 4, 4)
+			res := h.attempt(0, nil, func(rc *rankCtx) error {
+				p, err := protectorFor(strategy, rc, 4)
+				if err != nil {
+					return err
+				}
+				data, _, err := p.Open(64)
+				if err != nil {
+					return err
+				}
+				fillWork(data, rc.comm.Rank(), 1)
+				if err := p.Checkpoint(metaFor(1)); err != nil {
+					return err
+				}
+				sc := p.(Scrubber)
+				ok, err := sc.Scrub()
+				if err != nil {
+					return err
+				}
+				anyBad := func(ok bool) (bool, error) {
+					v := 0.0
+					if !ok {
+						v = 1
+					}
+					out := []float64{0}
+					if err := rc.comm.Allreduce([]float64{v}, out, simmpi.OpSum); err != nil {
+						return false, err
+					}
+					return out[0] > 0, nil
+				}
+				bad, err := anyBad(ok)
+				if err != nil {
+					return err
+				}
+				if bad {
+					return errors.New("fresh checkpoint failed scrubbing")
+				}
+				// Flip a bit in rank 2's checkpoint buffer (cosmic ray).
+				if rc.comm.Rank() == 2 {
+					switch v := p.(type) {
+					case *Self:
+						v.b.Data[7] += 1
+					case *Double:
+						v.bufs[int(v.latest()%2)].Data[7] += 1
+					case *Single:
+						v.b.Data[7] += 1
+					}
+				}
+				ok, err = sc.Scrub()
+				if err != nil {
+					return err
+				}
+				bad, err = anyBad(ok)
+				if err != nil {
+					return err
+				}
+				if !bad {
+					return errors.New("scrub missed the corruption")
+				}
+				return nil
+			})
+			if res.Failed() {
+				t.Fatal(res.FirstError())
+			}
+		})
+	}
+}
+
+func TestScrubBeforeOpenFails(t *testing.T) {
+	for _, p := range []Scrubber{&Self{}, &Double{}, &Single{}} {
+		if _, err := p.Scrub(); err == nil {
+			t.Fatalf("%T: Scrub before Open should fail", p)
+		}
+	}
+}
+
+// stableMap is an in-memory StableStore for the multi-level tests.
+type stableMap struct {
+	mu sync.Mutex
+	m  map[string][]float64
+}
+
+func newStableMap() *stableMap { return &stableMap{m: map[string][]float64{}} }
+
+func (s *stableMap) Write(key string, data []float64) {
+	cp := append([]float64{}, data...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = cp
+}
+
+func (s *stableMap) Read(key string) []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.m[key]; ok {
+		return append([]float64{}, v...)
+	}
+	return nil
+}
+
+// mlApp is iterApp over a MultiLevel(Self) protector.
+func mlApp(stable *stableMap, groupSize, words int, iters uint64, l2every int) func(rc *rankCtx) error {
+	return func(rc *rankCtx) error {
+		l1, err := protectorFor("self", rc, groupSize)
+		if err != nil {
+			return err
+		}
+		p, err := NewMultiLevel(MLOptions{
+			L1:            l1,
+			Comm:          rc.comm,
+			Store:         stable,
+			Key:           fmt.Sprintf("l2/%d", rc.comm.Rank()),
+			L2Every:       l2every,
+			L2BytesPerSec: 1e9,
+		})
+		if err != nil {
+			return err
+		}
+		data, recoverable, err := p.Open(words)
+		if err != nil {
+			return err
+		}
+		start := uint64(0)
+		if recoverable {
+			meta, _, err := p.Restore()
+			if err != nil {
+				return err
+			}
+			start = iterFrom(meta)
+			if err := checkWork(data, rc.comm.Rank(), start); err != nil {
+				return fmt.Errorf("after restore: %w", err)
+			}
+		}
+		for it := start + 1; it <= iters; it++ {
+			fillWork(data, rc.comm.Rank(), it)
+			rc.comm.World().Compute(1e6)
+			if err := p.Checkpoint(metaFor(it)); err != nil {
+				return err
+			}
+		}
+		return checkWork(data, rc.comm.Rank(), iters)
+	}
+}
+
+// TestMultiLevelPrefersL1 — a single node loss restores from memory, not
+// from the stable store.
+func TestMultiLevelPrefersL1(t *testing.T) {
+	stable := newStableMap()
+	h := newHarness(t, 8, 4)
+	kills := []kill{{rank: 3, attempt: 0, failpoint: FPMidFlush, occurrence: 4}}
+	h.runToCompletion(kills, mlApp(stable, 4, 100, 8, 2), 3)
+}
+
+// TestMultiLevelSurvivesDoubleLossViaL2 — two nodes of one single-parity
+// group are lost; level 1 is unrecoverable but the run resumes from the
+// last level-2 flush.
+func TestMultiLevelSurvivesDoubleLossViaL2(t *testing.T) {
+	stable := newStableMap()
+	h := newHarness(t, 8, 4)
+	kills := []kill{{rank: 1, attempt: 0, failpoint: FPMidFlush, occurrence: 6}}
+	app := mlApp(stable, 4, 100, 8, 2) // L2 flush at iterations 2,4,6,8
+	res := h.attempt(0, kills, app)
+	if !res.Failed() {
+		t.Fatal("expected first attempt to fail")
+	}
+	h.loseNodes(2) // second loss in the same group while the job is down
+	res = h.attempt(1, nil, app)
+	if res.Failed() {
+		t.Fatalf("multi-level recovery failed: %v", res.FirstError())
+	}
+}
+
+// TestMultiLevelFreshStartWithoutAnyCheckpoint — nothing at either level.
+func TestMultiLevelFreshStartWithoutAnyCheckpoint(t *testing.T) {
+	stable := newStableMap()
+	h := newHarness(t, 4, 4)
+	res := h.attempt(0, nil, func(rc *rankCtx) error {
+		l1, err := protectorFor("self", rc, 4)
+		if err != nil {
+			return err
+		}
+		p, err := NewMultiLevel(MLOptions{L1: l1, Comm: rc.comm, Store: stable, Key: fmt.Sprintf("f/%d", rc.comm.Rank())})
+		if err != nil {
+			return err
+		}
+		_, recoverable, err := p.Open(50)
+		if err != nil {
+			return err
+		}
+		if recoverable {
+			return errors.New("fresh multi-level world claims recovery")
+		}
+		if _, _, err := p.Restore(); !errors.Is(err, ErrUnrecoverable) {
+			return fmt.Errorf("want ErrUnrecoverable, got %v", err)
+		}
+		return nil
+	})
+	if res.Failed() {
+		t.Fatal(res.FirstError())
+	}
+}
+
+func TestMultiLevelOptionsValidation(t *testing.T) {
+	if _, err := NewMultiLevel(MLOptions{}); err == nil {
+		t.Fatal("expected error for empty options")
+	}
+}
+
+// incApp runs an application whose iterations modify only a window of
+// the workspace, checkpointed with CheckpointPartial. Used for both the
+// correctness-under-failure and cost tests of the incremental variant.
+func incApp(groupSize, words int, iters uint64, window int) func(rc *rankCtx) error {
+	return func(rc *rankCtx) error {
+		p, err := protectorFor("self", rc, groupSize)
+		if err != nil {
+			return err
+		}
+		self := p.(*Self)
+		data, recoverable, err := self.Open(words)
+		if err != nil {
+			return err
+		}
+		start := uint64(0)
+		if recoverable {
+			meta, _, err := self.Restore()
+			if err != nil {
+				return err
+			}
+			start = iterFrom(meta)
+		} else {
+			fillWork(data, rc.comm.Rank(), 0)
+			if err := self.Checkpoint(metaFor(0)); err != nil {
+				return err
+			}
+		}
+		for it := start + 1; it <= iters; it++ {
+			// Only a sliding window changes each iteration.
+			lo := int(it) * window % (words - window)
+			for i := lo; i < lo+window; i++ {
+				data[i] = float64(rc.comm.Rank()*1_000_000) + float64(it)*float64(i+1)
+			}
+			rc.comm.World().Compute(1e5)
+			if err := self.CheckpointPartial(metaFor(it), []Range{{Lo: lo, Hi: lo + window}}); err != nil {
+				return err
+			}
+		}
+		// Verify against a sequentially recomputed reference.
+		ref := make([]float64, words)
+		fillWork(ref, rc.comm.Rank(), 0)
+		for it := uint64(1); it <= iters; it++ {
+			lo := int(it) * window % (words - window)
+			for i := lo; i < lo+window; i++ {
+				ref[i] = float64(rc.comm.Rank()*1_000_000) + float64(it)*float64(i+1)
+			}
+		}
+		for i := range data {
+			if data[i] != ref[i] {
+				return fmt.Errorf("rank %d: data[%d] = %g, want %g", rc.comm.Rank(), i, data[i], ref[i])
+			}
+		}
+		return nil
+	}
+}
+
+func TestIncrementalCheckpointClean(t *testing.T) {
+	h := newHarness(t, 8, 4)
+	h.runToCompletion(nil, incApp(4, 256, 10, 16), 1)
+}
+
+// TestIncrementalCheckpointRecovery injects node losses at every protocol
+// phase of the partial checkpoint and requires exactly-correct recovery —
+// including of the words that were NOT flushed this epoch (they must
+// still be valid in B from earlier epochs).
+func TestIncrementalCheckpointRecovery(t *testing.T) {
+	for _, fp := range []string{FPEncode, FPAfterEncode, FPMidFlush, FPAfterFlush} {
+		t.Run(fp, func(t *testing.T) {
+			h := newHarness(t, 8, 4)
+			kills := []kill{{rank: 2, attempt: 0, failpoint: fp, occurrence: 5}}
+			h.runToCompletion(kills, incApp(4, 256, 10, 16), 3)
+		})
+	}
+}
+
+// TestIncrementalCheaperThanFull is the §7 trade-off: with a small write
+// set the partial checkpoint costs far less virtual time; with the whole
+// workspace dirty it costs the same as a full checkpoint (HPL's case).
+// The incremental unit is one stripe — 1/(N−1) of the data — so a large
+// group (16 here) is what makes fine-grained skipping possible.
+func TestIncrementalCheaperThanFull(t *testing.T) {
+	const words = 1 << 14
+	ckptTime := func(dirtyWords int) float64 {
+		h := newHarness(t, 16, 16)
+		var cost float64
+		res := h.attempt(0, nil, func(rc *rankCtx) error {
+			p, err := protectorFor("self", rc, 16)
+			if err != nil {
+				return err
+			}
+			self := p.(*Self)
+			data, _, err := self.Open(words)
+			if err != nil {
+				return err
+			}
+			fillWork(data, rc.comm.Rank(), 1)
+			if err := self.Checkpoint(metaFor(1)); err != nil { // first is always full
+				return err
+			}
+			for i := 0; i < dirtyWords; i++ {
+				data[i] += 1
+			}
+			t0 := rc.comm.Now()
+			if err := self.CheckpointPartial(metaFor(2), []Range{{Lo: 0, Hi: dirtyWords}}); err != nil {
+				return err
+			}
+			if rc.comm.Rank() == 0 {
+				cost = rc.comm.Now() - t0
+			}
+			return nil
+		})
+		if res.Failed() {
+			t.Fatal(res.FirstError())
+		}
+		return cost
+	}
+	small := ckptTime(words / 64)
+	full := ckptTime(words)
+	if small >= full/2 {
+		t.Fatalf("small write set should be much cheaper: %g vs %g", small, full)
+	}
+}
+
+// TestRandomizedCrashRecovery is the protocol's property test: kills at
+// pseudo-random phases and occurrences across several attempts must never
+// produce inconsistent data — the run either completes with exactly the
+// expected workspace or keeps restarting.
+func TestRandomizedCrashRecovery(t *testing.T) {
+	fps := []string{FPBegin, FPEncode, FPAfterEncode, FPFlush, FPMidFlush, FPAfterFlush}
+	for seed := 0; seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rnd := func(i, n int) int { return (seed*7919 + i*104729) % n }
+			kills := []kill{
+				{rank: rnd(1, 8), attempt: 0, failpoint: fps[rnd(2, len(fps))], occurrence: 1 + rnd(3, 4)},
+				{rank: rnd(4, 8), attempt: 1, failpoint: fps[rnd(5, len(fps))], occurrence: 1 + rnd(6, 3)},
+			}
+			h := newHarness(t, 8, 4)
+			h.runToCompletion(kills, iterApp("self", 4, 100, 6), 5)
+		})
+	}
+}

@@ -1,0 +1,196 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"selfckpt/internal/shm"
+	"selfckpt/internal/wordpack"
+)
+
+// Double is the double-checkpoint protocol of Fig 3, the strategy of the
+// state-of-the-art in-memory checkpoint systems the paper compares
+// against (SCR in RAM mode, the Charm++ double in-memory scheme). Two
+// checkpoint buffers alternate: epoch e overwrites the buffer holding
+// epoch e−2, so epoch e−1 stays intact throughout and a failure at any
+// moment leaves at least one consistent (checkpoint, checksum) pair.
+//
+// The price is memory: with workspace M and group size N the protocol
+// keeps 2M of buffers plus 2M/(N−1) of checksums, leaving less than one
+// third of memory for the application (Eq 3).
+type Double struct {
+	opts  Options
+	words int
+
+	hdr  header
+	a    []float64
+	bufs [2]*shm.Segment // B buffers, each words+metaWords
+	cks  [2]*shm.Segment // C checksums
+	sr   *surveyResult
+	tgt  uint64
+}
+
+var _ Protector = (*Double)(nil)
+
+// NewDouble validates opts and returns an unopened protector.
+func NewDouble(opts Options) (*Double, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	return &Double{opts: opts}, nil
+}
+
+// Name implements Protector.
+func (d *Double) Name() string { return "double" }
+
+// latest returns the newest committed epoch in the header.
+func (d *Double) latest() uint64 {
+	e0, e1 := d.hdr.get(hBufEpoch0), d.hdr.get(hBufEpoch1)
+	if e1 > e0 {
+		return e1
+	}
+	return e0
+}
+
+func (d *Double) bufEpoch(i int) uint64 { return d.hdr.get(hBufEpoch0 + i) }
+
+// Open implements Protector. The workspace is ordinary process memory
+// (only the checkpoints need to survive a restart), so the returned slice
+// is heap-allocated.
+func (d *Double) Open(words int) ([]float64, bool, error) {
+	if words <= 0 {
+		return nil, false, fmt.Errorf("checkpoint: workspace must be positive, got %d", words)
+	}
+	d.words = words
+	mw := d.opts.metaWords()
+	sw := d.opts.Group.ChecksumWords(words + mw)
+	st := d.opts.Store
+	ns := d.opts.Namespace
+
+	attachedAll := true
+	grab := func(name string, n int) (*shm.Segment, error) {
+		seg, attached, err := st.CreateOrAttach(ns+name, n)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: allocating %s%s: %w", ns, name, err)
+		}
+		attachedAll = attachedAll && attached
+		return seg, nil
+	}
+	var err error
+	if d.hdr.seg, err = grab("/hdr", headerWords); err != nil {
+		return nil, false, err
+	}
+	for i := 0; i < 2; i++ {
+		if d.bufs[i], err = grab(fmt.Sprintf("/B%d", i), words+mw); err != nil {
+			return nil, false, err
+		}
+		if d.cks[i], err = grab(fmt.Sprintf("/C%d", i), sw); err != nil {
+			return nil, false, err
+		}
+	}
+	hasState := attachedAll && d.hdr.hasMagic()
+	if !hasState {
+		d.hdr.set(hMagic, 0)
+		d.hdr.set(hBufEpoch0, 0)
+		d.hdr.set(hBufEpoch1, 0)
+	}
+	sr, err := surveyDouble(&d.opts, status{hasState: hasState, x: d.latest()})
+	if err != nil {
+		return nil, false, err
+	}
+	if !sr.recoverable {
+		// Fresh start: reset markers so epoch numbering realigns on
+		// every rank (see the Self protocol for the rationale).
+		d.hdr.set(hMagic, 0)
+		d.hdr.set(hBufEpoch0, 0)
+		d.hdr.set(hBufEpoch1, 0)
+	}
+	d.sr = &sr
+	d.tgt = sr.target
+	d.a = make([]float64, words)
+	return d.a, sr.recoverable, nil
+}
+
+// Checkpoint implements Protector: copy the workspace and metadata into
+// the older buffer, encode its group checksum, then commit the buffer's
+// epoch marker. The other buffer remains a valid fallback throughout.
+func (d *Double) Checkpoint(meta []byte) error {
+	if len(meta) > d.opts.MetaCap {
+		return fmt.Errorf("%w: %d > %d bytes", ErrMetaTooLarge, len(meta), d.opts.MetaCap)
+	}
+	rank := d.opts.Group.Comm().World()
+	world := d.opts.worldComm()
+	e := d.latest() + 1
+	i := int(e % 2)
+
+	rank.Failpoint(FPBegin)
+	d.hdr.set(hBufEpoch0+i, 0) // the buffer is now in flux
+	copy(d.bufs[i].Data[:d.words], d.a)
+	wordpack.PackInto(d.bufs[i].Data[d.words:], meta)
+	rank.MemCopy(float64(8*d.words + len(meta)))
+
+	rank.Failpoint(FPEncode)
+	if err := d.opts.Group.Encode(d.cks[i].Data, d.bufs[i].Data); err != nil {
+		return err
+	}
+	d.hdr.commitMagic()
+	d.hdr.set(hBufEpoch0+i, e)
+	rank.Failpoint(FPAfterEncode)
+	// A closing barrier keeps the epoch skew across groups at most one,
+	// so the world-minimum committed epoch is held by every survivor.
+	return world.Barrier()
+}
+
+// Restore implements Protector: reload the workspace from the newest
+// world-consistent buffer, rebuilding the lost rank's copy from its group.
+func (d *Double) Restore() ([]byte, uint64, error) {
+	if d.sr == nil {
+		return nil, 0, fmt.Errorf("checkpoint: Restore before Open")
+	}
+	if !d.sr.recoverable {
+		return nil, 0, ErrUnrecoverable
+	}
+	rank := d.opts.Group.Comm().World()
+	world := d.opts.worldComm()
+	e := d.tgt
+	i := int(e % 2)
+	amLost := false
+	for _, l := range d.sr.lost {
+		if l == d.opts.Group.Comm().Rank() {
+			amLost = true
+		}
+	}
+	if !amLost && d.bufEpoch(i) != e {
+		// A survivor no longer holding the agreed epoch means the skew
+		// invariant was violated; refuse rather than mix epochs.
+		return nil, 0, fmt.Errorf("%w: survivor holds epochs (%d,%d), world agreed on %d",
+			ErrUnrecoverable, d.bufEpoch(0), d.bufEpoch(1), e)
+	}
+	if len(d.sr.lost) > 0 {
+		if err := d.opts.Group.Rebuild(d.sr.lost, d.cks[i].Data, d.bufs[i].Data); err != nil {
+			return nil, 0, err
+		}
+	}
+	copy(d.a, d.bufs[i].Data[:d.words])
+	rank.MemCopy(float64(8 * d.words))
+	meta, err := wordpack.Unpack(d.bufs[i].Data[d.words:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("checkpoint: corrupt metadata after restore: %w", err)
+	}
+	d.hdr.commitMagic()
+	d.hdr.set(hBufEpoch0+i, e)
+	d.hdr.set(hBufEpoch0+(1-i), 0)
+	if err := world.Barrier(); err != nil {
+		return nil, 0, err
+	}
+	return meta, e, nil
+}
+
+// Usage implements Protector.
+func (d *Double) Usage() Usage {
+	return Usage{
+		Workspace:   len(d.a),
+		Checkpoints: len(d.bufs[0].Data) + len(d.bufs[1].Data),
+		Checksums:   len(d.cks[0].Data) + len(d.cks[1].Data),
+		Header:      headerWords,
+	}
+}

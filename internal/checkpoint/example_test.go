@@ -1,0 +1,55 @@
+package checkpoint_test
+
+import (
+	"fmt"
+
+	"selfckpt/internal/checkpoint"
+	"selfckpt/internal/encoding"
+	"selfckpt/internal/shm"
+	"selfckpt/internal/simmpi"
+)
+
+// The self-checkpoint lifecycle on a two-rank group: open the
+// SHM-resident workspace, compute, checkpoint, and report the memory
+// left for the application.
+func ExampleSelf() {
+	stores := []*shm.Store{shm.NewStore(0), shm.NewStore(0)}
+	w, _ := simmpi.NewWorld(simmpi.Config{Ranks: 2, Bandwidth: []float64{1e9}, GFLOPS: []float64{1}, MemBW: []float64{1e9}})
+	res := w.Run(func(c *simmpi.Comm) error {
+		group, err := encoding.NewGroup(c, simmpi.OpXor)
+		if err != nil {
+			return err
+		}
+		prot, err := checkpoint.NewSelf(checkpoint.Options{
+			Group:     group,
+			Store:     stores[c.Rank()],
+			Namespace: fmt.Sprintf("app/%d", c.Rank()),
+			MetaCap:   64,
+		})
+		if err != nil {
+			return err
+		}
+		data, recoverable, err := prot.Open(1 << 12)
+		if err != nil {
+			return err
+		}
+		if recoverable {
+			return fmt.Errorf("fresh world should not be recoverable")
+		}
+		for i := range data {
+			data[i] = float64(i)
+		}
+		if err := prot.Checkpoint([]byte("iteration 1")); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			fmt.Printf("available for the application: %.1f%%\n", prot.Usage().AvailableFraction()*100)
+		}
+		return nil
+	})
+	if res.Failed() {
+		fmt.Println(res.FirstError())
+	}
+	// Output:
+	// available for the application: 24.9%
+}

@@ -1,0 +1,180 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"selfckpt/internal/simmpi"
+	"selfckpt/internal/wordpack"
+)
+
+// StableStore is persistent storage reachable after node losses (a
+// parallel file system or SCR's slower levels). cluster.DiskStore
+// satisfies it.
+type StableStore interface {
+	Write(key string, data []float64)
+	Read(key string) []float64
+}
+
+// MultiLevel composes an in-memory protector (level 1) with periodic
+// flushes of the protected state to stable storage (level 2) — the
+// multi-level checkpointing the paper cites (SCR, FTI) and explicitly
+// proposes combining with the self-checkpoint (§2.1, §7). Level 1
+// absorbs the common case (a single node loss per group) at memory
+// speed; level 2 survives anything — including losses beyond the group
+// coder's tolerance — at device speed, rolling back further.
+type MultiLevel struct {
+	opts MLOptions
+	data []float64
+	// l2count counts L1 checkpoints since the last L2 flush.
+	l2count int
+	l2epoch uint64
+	words   int
+}
+
+var _ Protector = (*MultiLevel)(nil)
+
+// MLOptions configures the composition.
+type MLOptions struct {
+	// L1 is the in-memory protector (typically Self).
+	L1 Protector
+	// Comm is the world communicator (consensus + time charging).
+	Comm *simmpi.Comm
+	// Store is the stable level-2 store.
+	Store StableStore
+	// Key prefixes this rank's level-2 images (unique per rank, stable
+	// across restarts).
+	Key string
+	// L2Every flushes to level 2 after every k-th level-1 checkpoint
+	// (default 10, mirroring the short-interval/long-interval split of
+	// multi-level CR systems).
+	L2Every int
+	// L2BytesPerSec is the modelled device bandwidth per rank.
+	L2BytesPerSec float64
+}
+
+// NewMultiLevel validates opts and wraps the level-1 protector.
+func NewMultiLevel(opts MLOptions) (*MultiLevel, error) {
+	if opts.L1 == nil {
+		return nil, fmt.Errorf("checkpoint: MLOptions.L1 is required")
+	}
+	if opts.Comm == nil {
+		return nil, fmt.Errorf("checkpoint: MLOptions.Comm is required")
+	}
+	if opts.Store == nil {
+		return nil, fmt.Errorf("checkpoint: MLOptions.Store is required")
+	}
+	if opts.Key == "" {
+		return nil, fmt.Errorf("checkpoint: MLOptions.Key is required")
+	}
+	if opts.L2Every <= 0 {
+		opts.L2Every = 10
+	}
+	if opts.L2BytesPerSec <= 0 {
+		opts.L2BytesPerSec = 1e8
+	}
+	return &MultiLevel{opts: opts}, nil
+}
+
+// Name implements Protector.
+func (m *MultiLevel) Name() string { return "multilevel(" + m.opts.L1.Name() + ")" }
+
+// image layout: [epoch, metaWords..., data...].
+func (m *MultiLevel) key(slot uint64) string { return fmt.Sprintf("%s/%d", m.opts.Key, slot%2) }
+
+// l2Latest returns the newest complete epoch in this rank's level-2
+// slots.
+func (m *MultiLevel) l2Latest() uint64 {
+	latest := uint64(0)
+	for slot := uint64(0); slot < 2; slot++ {
+		if img := m.opts.Store.Read(m.key(slot)); img != nil {
+			if e := wordpack.GetUint64(img[0]); e > latest && e%2 == slot {
+				latest = e
+			}
+		}
+	}
+	return latest
+}
+
+// Open implements Protector: open level 1, then decide recoverability
+// with level 2 as the fallback.
+func (m *MultiLevel) Open(words int) ([]float64, bool, error) {
+	data, l1ok, err := m.opts.L1.Open(words)
+	if err != nil {
+		return nil, false, err
+	}
+	m.data = data
+	m.words = words
+
+	// World consensus: the L2 epoch every rank can serve.
+	in := []float64{float64(m.l2Latest())}
+	out := make([]float64, 1)
+	if err := m.opts.Comm.Allreduce(in, out, simmpi.OpMin); err != nil {
+		return nil, false, err
+	}
+	m.l2epoch = uint64(out[0])
+
+	// Level-1 recoverability must itself be world-consistent (the L1
+	// survey already is), so a simple OR is safe.
+	return data, l1ok || m.l2epoch >= 1, nil
+}
+
+// Checkpoint implements Protector: always level 1, plus a level-2 flush
+// every L2Every-th call.
+func (m *MultiLevel) Checkpoint(meta []byte) error {
+	if err := m.opts.L1.Checkpoint(meta); err != nil {
+		return err
+	}
+	m.l2count++
+	if m.l2count%m.opts.L2Every != 0 {
+		return nil
+	}
+	e := m.l2epoch + 1
+	img := make([]float64, 1+wordpack.WordsNeeded(len(meta))+m.words)
+	img[0] = wordpack.PutUint64(e)
+	n := wordpack.PackInto(img[1:], meta)
+	copy(img[1+n:], m.data)
+	m.opts.Store.Write(m.key(e), img)
+	m.opts.Comm.World().Sleep(float64(8*len(img)) / m.opts.L2BytesPerSec)
+	if err := m.opts.Comm.Barrier(); err != nil {
+		return err
+	}
+	m.l2epoch = e
+	return nil
+}
+
+// Restore implements Protector: level 1 when it can, level 2 otherwise.
+func (m *MultiLevel) Restore() ([]byte, uint64, error) {
+	meta, epoch, err := m.opts.L1.Restore()
+	if err == nil {
+		return meta, epoch, nil
+	}
+	if err != ErrUnrecoverable {
+		return nil, 0, err
+	}
+	if m.l2epoch < 1 {
+		return nil, 0, ErrUnrecoverable
+	}
+	img := m.opts.Store.Read(m.key(m.l2epoch))
+	if img == nil || wordpack.GetUint64(img[0]) != m.l2epoch {
+		return nil, 0, fmt.Errorf("%w: level-2 image for epoch %d missing", ErrUnrecoverable, m.l2epoch)
+	}
+	m.opts.Comm.World().Sleep(float64(8*len(img)) / m.opts.L2BytesPerSec)
+	meta, err = wordpack.Unpack(img[1:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("checkpoint: corrupt level-2 metadata: %w", err)
+	}
+	copy(m.data, img[1+wordpack.WordsNeeded(len(meta)):])
+	if err := m.opts.Comm.Barrier(); err != nil {
+		return nil, 0, err
+	}
+	// Re-establish the level-1 invariant so the next failure can again
+	// be absorbed in memory.
+	if err := m.opts.L1.Checkpoint(meta); err != nil {
+		return nil, 0, err
+	}
+	return meta, m.l2epoch, nil
+}
+
+// Usage implements Protector: level 2 lives on disk, so the in-memory
+// accounting is level 1's.
+func (m *MultiLevel) Usage() Usage { return m.opts.L1.Usage() }

@@ -1,0 +1,86 @@
+package checkpoint
+
+import "fmt"
+
+// Scrubber is implemented by protectors that can verify the integrity of
+// their stored checkpoint against its group checksum — the periodic
+// "scrubbing" RAID systems run to catch silent corruption before it is
+// needed for a rebuild. Scrub is collective over the group; it reports
+// whether this rank's slice of the checkpoint is consistent.
+type Scrubber interface {
+	Scrub() (bool, error)
+}
+
+var (
+	_ Scrubber = (*Self)(nil)
+	_ Scrubber = (*Double)(nil)
+	_ Scrubber = (*Single)(nil)
+)
+
+// Scrub verifies the flushed checkpoint (B against C). It is only
+// meaningful between checkpoints; calling it concurrently with
+// Checkpoint on other ranks is a protocol error.
+func (s *Self) Scrub() (bool, error) {
+	if s.b == nil {
+		return false, fmt.Errorf("checkpoint: Scrub before Open")
+	}
+	return verifyCoder(s.opts.Group, s.c.Data, s.b.Data)
+}
+
+// Scrub verifies the newest committed buffer against its checksum.
+func (d *Double) Scrub() (bool, error) {
+	if d.bufs[0] == nil {
+		return false, fmt.Errorf("checkpoint: Scrub before Open")
+	}
+	i := int(d.latest() % 2)
+	return verifyCoder(d.opts.Group, d.cks[i].Data, d.bufs[i].Data)
+}
+
+// Scrub verifies the single checkpoint buffer against its checksum.
+func (s *Single) Scrub() (bool, error) {
+	if s.b == nil {
+		return false, fmt.Errorf("checkpoint: Scrub before Open")
+	}
+	return verifyCoder(s.opts.Group, s.c.Data, s.b.Data)
+}
+
+// Discard destroys every SHM segment the protector owns, releasing the
+// node memory. The application state becomes unprotected (and, for the
+// Self protocol, freed — the workspace itself lives in those segments).
+// Call it when the run has completed and the checkpoints are no longer
+// needed.
+func (s *Self) Discard() {
+	st, ns := s.opts.Store, s.opts.Namespace
+	for _, name := range []string{"/hdr", "/A1", "/B2", "/B", "/C", "/D"} {
+		st.Destroy(ns + name)
+	}
+}
+
+// Discard destroys every SHM segment the protector owns.
+func (d *Double) Discard() {
+	st, ns := d.opts.Store, d.opts.Namespace
+	for _, name := range []string{"/hdr", "/B0", "/C0", "/B1", "/C1"} {
+		st.Destroy(ns + name)
+	}
+}
+
+// Discard destroys every SHM segment the protector owns.
+func (s *Single) Discard() {
+	st, ns := s.opts.Store, s.opts.Namespace
+	for _, name := range []string{"/hdr", "/B", "/C"} {
+		st.Destroy(ns + name)
+	}
+}
+
+// verifier is satisfied by both encoding.Group and encoding.RSGroup.
+type verifier interface {
+	Verify(checksum []float64, dataParts ...[]float64) (bool, error)
+}
+
+func verifyCoder(c interface{}, checksum []float64, parts ...[]float64) (bool, error) {
+	v, ok := c.(verifier)
+	if !ok {
+		return false, fmt.Errorf("checkpoint: coder %T cannot verify", c)
+	}
+	return v.Verify(checksum, parts...)
+}

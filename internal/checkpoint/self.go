@@ -1,0 +1,329 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"selfckpt/internal/encoding"
+	"selfckpt/internal/shm"
+	"selfckpt/internal/simmpi"
+	"selfckpt/internal/wordpack"
+)
+
+// Self is the paper's self-checkpoint protocol (Fig 4/5). The application
+// workspace A1 lives in shared memory and doubles as one of the two
+// checkpoints; a single buffer B holds the previous checkpoint, and two
+// small checksum slots C (old) and D (new) provide the group redundancy.
+//
+// Checkpoint workflow (Fig 5):
+//  1. A1 is already current (the workspace is SHM-resident).
+//  2. Copy the small metadata A2 into its SHM twin B2.
+//  3. Compute D, the group checksum of (A1 ‖ B2).
+//  4. Flush: copy (A1 ‖ B2) into B and D into C.
+//
+// A failure while computing D recovers from (B, C); a failure while
+// flushing recovers from (A1, B2, D) — the workspace itself serves as the
+// checkpoint, hence the name. Two world barriers (between steps 3 and 4,
+// and after step 4) make the committed epoch globally unambiguous.
+type Self struct {
+	opts  Options
+	words int
+
+	hdr             header
+	a1, b2, b, c, d *shm.Segment
+	sr              *surveyResult
+}
+
+var _ Protector = (*Self)(nil)
+
+// NewSelf validates opts and returns an unopened protector.
+func NewSelf(opts Options) (*Self, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	return &Self{opts: opts}, nil
+}
+
+// Name implements Protector.
+func (s *Self) Name() string { return "self" }
+
+// Open implements Protector. The returned slice is the SHM-resident
+// workspace A1: the application computes directly in it.
+func (s *Self) Open(words int) ([]float64, bool, error) {
+	if words <= 0 {
+		return nil, false, fmt.Errorf("checkpoint: workspace must be positive, got %d", words)
+	}
+	s.words = words
+	mw := s.opts.metaWords()
+	sw := s.opts.Group.ChecksumWords(words + mw)
+	st := s.opts.Store
+	ns := s.opts.Namespace
+
+	attachedAll := true
+	grab := func(name string, n int) (*shm.Segment, error) {
+		seg, attached, err := st.CreateOrAttach(ns+name, n)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: allocating %s%s: %w", ns, name, err)
+		}
+		attachedAll = attachedAll && attached
+		return seg, nil
+	}
+	var err error
+	if s.hdr.seg, err = grab("/hdr", headerWords); err != nil {
+		return nil, false, err
+	}
+	if s.a1, err = grab("/A1", words); err != nil {
+		return nil, false, err
+	}
+	if s.b2, err = grab("/B2", mw); err != nil {
+		return nil, false, err
+	}
+	if s.b, err = grab("/B", words+mw); err != nil {
+		return nil, false, err
+	}
+	if s.c, err = grab("/C", sw); err != nil {
+		return nil, false, err
+	}
+	if s.d, err = grab("/D", sw); err != nil {
+		return nil, false, err
+	}
+
+	hasState := attachedAll && s.hdr.hasMagic()
+	if !hasState {
+		// Any missing or resized segment invalidates whatever survived;
+		// clear the magic so future surveys see a fresh rank.
+		s.hdr.set(hMagic, 0)
+		s.hdr.set(hDEpoch, 0)
+		s.hdr.set(hCEpoch, 0)
+	}
+	sr, err := surveySelf(&s.opts, status{
+		hasState: hasState,
+		x:        s.hdr.get(hDEpoch),
+		y:        s.hdr.get(hCEpoch),
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if !sr.recoverable {
+		// The world agreed on a fresh start: reset the commit markers so
+		// every rank numbers epochs from zero again. Stale markers on a
+		// subset of ranks would desynchronize the epoch numbering (each
+		// rank derives the next epoch from its own header).
+		s.hdr.set(hMagic, 0)
+		s.hdr.set(hDEpoch, 0)
+		s.hdr.set(hCEpoch, 0)
+	}
+	s.sr = &sr
+	return s.a1.Data, sr.recoverable, nil
+}
+
+// Checkpoint implements Protector: steps 2–4 of Fig 5 with the two world
+// barriers that make recovery unambiguous.
+func (s *Self) Checkpoint(meta []byte) error {
+	if len(meta) > s.opts.MetaCap {
+		return fmt.Errorf("%w: %d > %d bytes", ErrMetaTooLarge, len(meta), s.opts.MetaCap)
+	}
+	rank := s.opts.Group.Comm().World()
+	world := s.opts.worldComm()
+	e := s.hdr.get(hDEpoch)
+	if c := s.hdr.get(hCEpoch); c > e {
+		e = c
+	}
+	e++
+
+	rank.Failpoint(FPBegin)
+	// Step 2: A2 → B2.
+	wordpack.PackInto(s.b2.Data, meta)
+	rank.MemCopy(float64(len(meta)))
+
+	// Step 3: D = checksum(A1 ‖ B2).
+	rank.Failpoint(FPEncode)
+	if err := s.opts.Group.Encode(s.d.Data, s.a1.Data, s.b2.Data); err != nil {
+		return err
+	}
+	s.hdr.commitMagic()
+	s.hdr.set(hDEpoch, e)
+	rank.Failpoint(FPAfterEncode)
+	if err := world.Barrier(); err != nil {
+		return err
+	}
+
+	// Step 4: flush (A1 ‖ B2) → B, D → C.
+	rank.Failpoint(FPFlush)
+	copy(s.b.Data[:s.words], s.a1.Data)
+	rank.MemCopy(float64(8 * s.words))
+	rank.Failpoint(FPMidFlush)
+	copy(s.b.Data[s.words:], s.b2.Data)
+	copy(s.c.Data, s.d.Data)
+	rank.MemCopy(float64(8 * (len(s.b2.Data) + len(s.d.Data))))
+	s.hdr.set(hCEpoch, e)
+	rank.Failpoint(FPAfterFlush)
+	return world.Barrier()
+}
+
+// Range is a half-open interval [Lo, Hi) of workspace words, used to
+// declare the write set for incremental checkpoints.
+type Range struct{ Lo, Hi int }
+
+// CheckpointPartial is the incremental variant of Checkpoint (the
+// Plank-style N+1-parity incremental diskless checkpointing the paper
+// discusses in §7): only the families whose stripes intersect the
+// declared dirty ranges are re-encoded, and only dirty words are flushed
+// into B. The caller MUST declare every word modified since the previous
+// checkpoint — an under-reported write set silently corrupts recovery.
+// The metadata region is always treated as dirty; the first checkpoint
+// of a run (and any checkpoint under a dual-parity coder) falls back to
+// the full protocol. The skipping granularity is one stripe — 1/(N−1)
+// of the protected data — so larger groups make incremental checkpoints
+// proportionally finer-grained. For applications like HPL that touch
+// nearly every byte between checkpoints this degenerates to the full
+// cost, which is exactly the paper's argument for not using it there.
+func (s *Self) CheckpointPartial(meta []byte, dirty []Range) error {
+	g, ok := s.opts.Group.(*encoding.Group)
+	if !ok || s.hdr.get(hCEpoch) == 0 {
+		return s.Checkpoint(meta)
+	}
+	if len(meta) > s.opts.MetaCap {
+		return fmt.Errorf("%w: %d > %d bytes", ErrMetaTooLarge, len(meta), s.opts.MetaCap)
+	}
+	rank := s.opts.Group.Comm().World()
+	world := s.opts.worldComm()
+	e := s.hdr.get(hDEpoch)
+	if c := s.hdr.get(hCEpoch); c > e {
+		e = c
+	}
+	e++
+
+	rank.Failpoint(FPBegin)
+	wordpack.PackInto(s.b2.Data, meta)
+	rank.MemCopy(float64(len(meta)))
+
+	// Map dirty words to families and union across the group.
+	n := g.Size()
+	total := s.words + len(s.b2.Data)
+	sw := g.StripeWords(total)
+	local := make([]float64, n)
+	clamp := func(lo, hi int) (int, int) {
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > s.words {
+			hi = s.words
+		}
+		return lo, hi
+	}
+	markRange := func(lo, hi int) {
+		for st := lo / sw; st <= (hi-1)/sw; st++ {
+			local[g.FamilyOfWord(st*sw, total)] = 1
+		}
+	}
+	markRange(s.words, total) // the metadata region always changes
+	var dirtyA1 int
+	for _, r := range dirty {
+		lo, hi := clamp(r.Lo, r.Hi)
+		if hi <= lo {
+			continue
+		}
+		markRange(lo, hi)
+		dirtyA1 += hi - lo
+	}
+	union := make([]float64, n)
+	if err := g.Comm().Allreduce(local, union, simmpi.OpMax); err != nil {
+		return err
+	}
+	fams := make([]bool, n)
+	for i, v := range union {
+		fams[i] = v > 0
+	}
+
+	rank.Failpoint(FPEncode)
+	if err := g.EncodeFamilies(s.d.Data, fams, s.a1.Data, s.b2.Data); err != nil {
+		return err
+	}
+	s.hdr.commitMagic()
+	s.hdr.set(hDEpoch, e)
+	rank.Failpoint(FPAfterEncode)
+	if err := world.Barrier(); err != nil {
+		return err
+	}
+
+	rank.Failpoint(FPFlush)
+	for _, r := range dirty {
+		lo, hi := clamp(r.Lo, r.Hi)
+		if hi > lo {
+			copy(s.b.Data[lo:hi], s.a1.Data[lo:hi])
+		}
+	}
+	rank.MemCopy(float64(8 * dirtyA1))
+	rank.Failpoint(FPMidFlush)
+	copy(s.b.Data[s.words:], s.b2.Data)
+	copy(s.c.Data, s.d.Data)
+	rank.MemCopy(float64(8 * (len(s.b2.Data) + len(s.d.Data))))
+	s.hdr.set(hCEpoch, e)
+	rank.Failpoint(FPAfterFlush)
+	return world.Barrier()
+}
+
+// Restore implements Protector. It executes the plan agreed during Open:
+// either complete the interrupted flush from the live workspace (CASE 2,
+// "fromAD") or roll back to the previous checkpoint buffers (CASE 1 and
+// the quiescent case, "fromBC"), rebuilding the lost rank's share from
+// its group either way. Restore is idempotent: a second failure during
+// recovery replays the same plan.
+func (s *Self) Restore() ([]byte, uint64, error) {
+	if s.sr == nil {
+		return nil, 0, fmt.Errorf("checkpoint: Restore before Open")
+	}
+	if !s.sr.recoverable {
+		return nil, 0, ErrUnrecoverable
+	}
+	rank := s.opts.Group.Comm().World()
+	world := s.opts.worldComm()
+	e := s.sr.target
+
+	if s.sr.fromAD {
+		// The new checksum D committed everywhere; the workspace is the
+		// checkpoint. Rebuild the lost rank's (A1 ‖ B2) and finish the
+		// interrupted flush on every rank.
+		if len(s.sr.lost) > 0 {
+			if err := s.opts.Group.Rebuild(s.sr.lost, s.d.Data, s.a1.Data, s.b2.Data); err != nil {
+				return nil, 0, err
+			}
+		}
+		copy(s.b.Data[:s.words], s.a1.Data)
+		copy(s.b.Data[s.words:], s.b2.Data)
+		copy(s.c.Data, s.d.Data)
+		rank.MemCopy(float64(8 * (s.words + len(s.b2.Data) + len(s.d.Data))))
+	} else {
+		// Roll back to the previous checkpoint: rebuild the lost rank's
+		// B from the group, then everyone reloads A1 (and B2) from B.
+		if len(s.sr.lost) > 0 {
+			if err := s.opts.Group.Rebuild(s.sr.lost, s.c.Data, s.b.Data); err != nil {
+				return nil, 0, err
+			}
+		}
+		copy(s.a1.Data, s.b.Data[:s.words])
+		copy(s.b2.Data, s.b.Data[s.words:])
+		rank.MemCopy(float64(8 * (s.words + len(s.b2.Data))))
+	}
+	meta, err := wordpack.Unpack(s.b2.Data)
+	if err != nil {
+		return nil, 0, fmt.Errorf("checkpoint: corrupt metadata after restore: %w", err)
+	}
+	s.hdr.commitMagic()
+	s.hdr.set(hDEpoch, e)
+	s.hdr.set(hCEpoch, e)
+	if err := world.Barrier(); err != nil {
+		return nil, 0, err
+	}
+	return meta, e, nil
+}
+
+// Usage implements Protector (the measured side of Table 1).
+func (s *Self) Usage() Usage {
+	return Usage{
+		Workspace:   len(s.a1.Data),
+		Checkpoints: len(s.b.Data) + len(s.b2.Data),
+		Checksums:   len(s.c.Data) + len(s.d.Data),
+		Header:      headerWords,
+	}
+}

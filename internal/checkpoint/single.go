@@ -1,0 +1,163 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"selfckpt/internal/shm"
+	"selfckpt/internal/wordpack"
+)
+
+// Single is the single-checkpoint protocol of Fig 2: one buffer B and one
+// group checksum C. It has the lowest memory consumption of the three
+// strategies — almost half of memory remains for computation — but it is
+// not fully fault tolerant: a node failure while B and C are being
+// rewritten leaves them inconsistent (the paper's CASE 2) and the run
+// cannot be recovered.
+type Single struct {
+	opts  Options
+	words int
+
+	hdr  header
+	a    []float64
+	b, c *shm.Segment
+	sr   *surveyResult
+}
+
+var _ Protector = (*Single)(nil)
+
+// NewSingle validates opts and returns an unopened protector.
+func NewSingle(opts Options) (*Single, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	return &Single{opts: opts}, nil
+}
+
+// Name implements Protector.
+func (s *Single) Name() string { return "single" }
+
+// Open implements Protector.
+func (s *Single) Open(words int) ([]float64, bool, error) {
+	if words <= 0 {
+		return nil, false, fmt.Errorf("checkpoint: workspace must be positive, got %d", words)
+	}
+	s.words = words
+	mw := s.opts.metaWords()
+	sw := s.opts.Group.ChecksumWords(words + mw)
+	st := s.opts.Store
+	ns := s.opts.Namespace
+
+	attachedAll := true
+	grab := func(name string, n int) (*shm.Segment, error) {
+		seg, attached, err := st.CreateOrAttach(ns+name, n)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: allocating %s%s: %w", ns, name, err)
+		}
+		attachedAll = attachedAll && attached
+		return seg, nil
+	}
+	var err error
+	if s.hdr.seg, err = grab("/hdr", headerWords); err != nil {
+		return nil, false, err
+	}
+	if s.b, err = grab("/B", words+mw); err != nil {
+		return nil, false, err
+	}
+	if s.c, err = grab("/C", sw); err != nil {
+		return nil, false, err
+	}
+	hasState := attachedAll && s.hdr.hasMagic()
+	if !hasState {
+		s.hdr.set(hMagic, 0)
+		s.hdr.set(hCEpoch, 0)
+		s.hdr.set(hUpdating, 0)
+	}
+	sr, err := surveySingle(&s.opts, status{
+		hasState: hasState,
+		x:        s.hdr.get(hCEpoch),
+		y:        s.hdr.get(hUpdating),
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if !sr.recoverable {
+		// Fresh start: reset markers so epoch numbering realigns on
+		// every rank (see the Self protocol for the rationale).
+		s.hdr.set(hMagic, 0)
+		s.hdr.set(hCEpoch, 0)
+		s.hdr.set(hUpdating, 0)
+	}
+	s.sr = &sr
+	s.a = make([]float64, words)
+	return s.a, sr.recoverable, nil
+}
+
+// Checkpoint implements Protector: mark the update window, overwrite B,
+// re-encode C, commit. The entire window is the vulnerability the
+// self-checkpoint protocol removes.
+func (s *Single) Checkpoint(meta []byte) error {
+	if len(meta) > s.opts.MetaCap {
+		return fmt.Errorf("%w: %d > %d bytes", ErrMetaTooLarge, len(meta), s.opts.MetaCap)
+	}
+	rank := s.opts.Group.Comm().World()
+	world := s.opts.worldComm()
+	e := s.hdr.get(hCEpoch) + 1
+
+	rank.Failpoint(FPBegin)
+	s.hdr.set(hUpdating, 1)
+	rank.Failpoint(FPFlush)
+	copy(s.b.Data[:s.words], s.a)
+	wordpack.PackInto(s.b.Data[s.words:], meta)
+	rank.MemCopy(float64(8*s.words + len(meta)))
+
+	rank.Failpoint(FPEncode)
+	if err := s.opts.Group.Encode(s.c.Data, s.b.Data); err != nil {
+		return err
+	}
+	s.hdr.commitMagic()
+	s.hdr.set(hCEpoch, e)
+	s.hdr.set(hUpdating, 0)
+	rank.Failpoint(FPAfterFlush)
+	return world.Barrier()
+}
+
+// Restore implements Protector.
+func (s *Single) Restore() ([]byte, uint64, error) {
+	if s.sr == nil {
+		return nil, 0, fmt.Errorf("checkpoint: Restore before Open")
+	}
+	if !s.sr.recoverable {
+		return nil, 0, ErrUnrecoverable
+	}
+	rank := s.opts.Group.Comm().World()
+	world := s.opts.worldComm()
+	e := s.sr.target
+	if len(s.sr.lost) > 0 {
+		if err := s.opts.Group.Rebuild(s.sr.lost, s.c.Data, s.b.Data); err != nil {
+			return nil, 0, err
+		}
+	}
+	copy(s.a, s.b.Data[:s.words])
+	rank.MemCopy(float64(8 * s.words))
+	meta, err := wordpack.Unpack(s.b.Data[s.words:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("checkpoint: corrupt metadata after restore: %w", err)
+	}
+	s.hdr.commitMagic()
+	s.hdr.set(hCEpoch, e)
+	s.hdr.set(hUpdating, 0)
+	if err := world.Barrier(); err != nil {
+		return nil, 0, err
+	}
+	return meta, e, nil
+}
+
+// Usage implements Protector.
+func (s *Single) Usage() Usage {
+	return Usage{
+		Workspace:   len(s.a),
+		Checkpoints: len(s.b.Data),
+		Checksums:   len(s.c.Data),
+		Header:      headerWords,
+	}
+}

@@ -1,0 +1,313 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"selfckpt/internal/simmpi"
+)
+
+func TestPlatformDerivedValues(t *testing.T) {
+	th2 := Tianhe2()
+	if got := th2.BWPerProcessBytes(); got != 7.1*1e9/24 {
+		t.Fatalf("TH-2 per-process bandwidth = %g", got)
+	}
+	th1 := Tianhe1A()
+	// §6.6: per-process bandwidth is much higher on Tianhe-1A even though
+	// the port is slower, because only 12 processes share a port.
+	if th1.BWPerProcessBytes() <= th2.BWPerProcessBytes() {
+		t.Fatal("TH-1A per-process bandwidth should exceed TH-2's")
+	}
+	if th2.MemPerProcessBytes(24) <= 0 {
+		t.Fatal("memory per process must be positive")
+	}
+	for _, p := range []Platform{Tianhe1A(), Tianhe2(), LocalCluster(), Testbed()} {
+		if p.EffGFLOPSPerProcess() <= 0 || p.EffGFLOPSPerProcess() > p.PeakGFLOPSPerProcess() {
+			t.Fatalf("%s: effective GFLOPS %g out of range (peak %g)", p.Name, p.EffGFLOPSPerProcess(), p.PeakGFLOPSPerProcess())
+		}
+	}
+}
+
+func TestLaunchRunsAllRanks(t *testing.T) {
+	m := NewMachine(Testbed(), 2, 0)
+	res, err := m.Launch(JobSpec{Ranks: 8, RanksPerNode: 4}, 0, func(env *Env) error {
+		out := make([]float64, 1)
+		return env.Allreduce([]float64{1}, out, simmpi.OpSum)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("job failed: %v", res.FirstError())
+	}
+}
+
+func TestLaunchRejectsOversizedJob(t *testing.T) {
+	m := NewMachine(Testbed(), 1, 0)
+	if _, err := m.Launch(JobSpec{Ranks: 8, RanksPerNode: 4}, 0, func(env *Env) error { return nil }); err == nil {
+		t.Fatal("expected error for job larger than the machine")
+	}
+	if _, err := m.Launch(JobSpec{Ranks: 0}, 0, func(env *Env) error { return nil }); err == nil {
+		t.Fatal("expected error for zero ranks")
+	}
+}
+
+func TestNodeKillDestroysSHM(t *testing.T) {
+	m := NewMachine(Testbed(), 2, 0)
+	n := m.Slot(0)
+	if _, err := n.SHM.Create("ckpt", 16); err != nil {
+		t.Fatal(err)
+	}
+	m.KillSlot(0)
+	if !n.Dead() {
+		t.Fatal("node not dead after kill")
+	}
+	if n.SHM.Attach("ckpt") != nil {
+		t.Fatal("SHM survived power-off")
+	}
+	if got := m.DeadSlots(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("DeadSlots = %v", got)
+	}
+}
+
+func TestKillSpecAtTime(t *testing.T) {
+	m := NewMachine(Testbed(), 2, 0)
+	spec := JobSpec{
+		Ranks:        8,
+		RanksPerNode: 4,
+		Kills:        []KillSpec{{Slot: 1, Attempt: 0, AtTime: 0.5}},
+	}
+	res, err := m.Launch(spec, 0, func(env *Env) error {
+		for i := 0; i < 1000; i++ {
+			env.World().Compute(0.05e9 * env.Platform.EffGFLOPSPerProcess())
+			if err := env.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() {
+		t.Fatal("expected failure")
+	}
+	if len(res.LostSlots) != 1 || res.LostSlots[0] != 1 {
+		t.Fatalf("LostSlots = %v, want [1]", res.LostSlots)
+	}
+	// The kill fires on the same attempt only.
+	if m.Slot(0).Dead() {
+		t.Fatal("wrong node died")
+	}
+}
+
+func TestKillSpecFailpoint(t *testing.T) {
+	m := NewMachine(Testbed(), 2, 0)
+	spec := JobSpec{
+		Ranks:        4,
+		RanksPerNode: 2,
+		Kills:        []KillSpec{{Slot: 0, Attempt: 0, Failpoint: "flush", Occurrence: 2}},
+	}
+	res, err := m.Launch(spec, 0, func(env *Env) error {
+		for i := 0; i < 5; i++ {
+			env.World().Failpoint("flush")
+			if err := env.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() || len(res.LostSlots) != 1 || res.LostSlots[0] != 0 {
+		t.Fatalf("expected slot 0 lost at second flush, got %v", res.LostSlots)
+	}
+}
+
+func TestDaemonRestartsAfterNodeLoss(t *testing.T) {
+	m := NewMachine(Testbed(), 2, 1)
+	d := &Daemon{Machine: m, MaxRestarts: 2}
+	spec := JobSpec{
+		Ranks:        4,
+		RanksPerNode: 2,
+		Kills:        []KillSpec{{Slot: 1, Attempt: 0, AtTime: 0.1}},
+	}
+	var firstNode, secondNode *Node
+	report, err := d.Run(spec, func(env *Env) error {
+		if env.Rank() == 2 { // a rank on slot 1
+			if env.Attempt == 0 {
+				firstNode = env.Node
+			} else {
+				secondNode = env.Node
+			}
+		}
+		for i := 0; i < 50; i++ {
+			env.World().Compute(0.01e9 * env.Platform.EffGFLOPSPerProcess())
+			if err := env.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("daemon run failed: %v", err)
+	}
+	if report.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", report.Attempts)
+	}
+	if firstNode == nil || secondNode == nil || firstNode == secondNode {
+		t.Fatal("lost slot was not remapped to a spare node")
+	}
+	if m.Spares() != 0 {
+		t.Fatalf("spares = %d, want 0", m.Spares())
+	}
+	// The timeline must contain the three daemon phases of Fig 10.
+	names := make([]string, len(report.Timeline))
+	for i, ph := range report.Timeline {
+		names[i] = ph.Name
+	}
+	joined := strings.Join(names, "|")
+	for _, want := range []string{"detect", "replace", "restart", "work (attempt 0)", "work (attempt 1)"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("timeline missing %q: %v", want, names)
+		}
+	}
+	p := m.Platform
+	wantOverhead := p.DetectSec + p.ReplaceSec + p.RestartSec
+	var overhead float64
+	for _, ph := range report.Timeline {
+		if !strings.HasPrefix(ph.Name, "work") {
+			overhead += ph.Seconds
+		}
+	}
+	if overhead != wantOverhead {
+		t.Fatalf("daemon overhead = %g, want %g", overhead, wantOverhead)
+	}
+}
+
+func TestDaemonGivesUpWithoutSpares(t *testing.T) {
+	m := NewMachine(Testbed(), 1, 0)
+	d := &Daemon{Machine: m, MaxRestarts: 3}
+	spec := JobSpec{
+		Ranks:        2,
+		RanksPerNode: 2,
+		Kills:        []KillSpec{{Slot: 0, Attempt: 0, AtTime: 0.01}},
+	}
+	_, err := d.Run(spec, func(env *Env) error {
+		for {
+			env.World().Compute(0.01e9 * env.Platform.EffGFLOPSPerProcess())
+			if err := env.Barrier(); err != nil {
+				return err
+			}
+		}
+	})
+	if err == nil {
+		t.Fatal("expected spare exhaustion error")
+	}
+}
+
+func TestDaemonAppErrorIsNotRetried(t *testing.T) {
+	m := NewMachine(Testbed(), 1, 1)
+	d := &Daemon{Machine: m, MaxRestarts: 3}
+	appErr := errors.New("numerical blow-up")
+	report, err := d.Run(JobSpec{Ranks: 2, RanksPerNode: 2}, func(env *Env) error {
+		if env.Rank() == 0 {
+			return appErr
+		}
+		return env.Barrier()
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if report.Attempts != 1 {
+		t.Fatalf("app errors must not be retried, attempts = %d", report.Attempts)
+	}
+}
+
+func TestHealthyNodeKeepsSHMAcrossAttempts(t *testing.T) {
+	m := NewMachine(Testbed(), 2, 1)
+	d := &Daemon{Machine: m, MaxRestarts: 1}
+	spec := JobSpec{
+		Ranks:        4,
+		RanksPerNode: 2,
+		Kills:        []KillSpec{{Slot: 1, Attempt: 0, AtTime: 0.05}},
+	}
+	report, err := d.Run(spec, func(env *Env) error {
+		if env.Attempt == 1 {
+			switch env.Rank() {
+			case 0: // healthy node: checkpoint must still be there
+				seg := env.Node.SHM.Attach("state")
+				if seg == nil || seg.Data[0] != 42 {
+					return errors.New("healthy node lost its SHM across restart")
+				}
+			case 2: // replacement node: fresh SHM
+				if env.Node.SHM.Attach("state") != nil {
+					return errors.New("replacement node should start with empty SHM")
+				}
+			}
+			return nil
+		}
+		// Attempt 0: one writer per node creates the segment, then
+		// everyone works until the injected failure hits.
+		if env.Rank()%2 == 0 {
+			seg, _, err := env.Node.SHM.CreateOrAttach("state", 1)
+			if err != nil {
+				return err
+			}
+			seg.Data[0] = 42
+		}
+		for i := 0; i < 50; i++ {
+			env.World().Compute(0.01e9 * env.Platform.EffGFLOPSPerProcess())
+			if err := env.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("resilient run failed: %v", err)
+	}
+	if report.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", report.Attempts)
+	}
+}
+
+func TestDiskStoreSurvivesNodeLoss(t *testing.T) {
+	m := NewMachine(Testbed(), 1, 0)
+	m.Disk.Write("img", []float64{1, 2, 3})
+	m.KillSlot(0)
+	got := m.Disk.Read("img")
+	if len(got) != 3 || got[1] != 2 {
+		t.Fatalf("disk data lost: %v", got)
+	}
+	// Reads return copies: mutating the result must not affect the store.
+	got[1] = 99
+	if m.Disk.Read("img")[1] != 2 {
+		t.Fatal("DiskStore.Read returned an aliased slice")
+	}
+	m.Disk.Delete("img")
+	if m.Disk.Read("img") != nil {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	m := NewMachine(Testbed(), 1, 0)
+	res, err := m.Launch(JobSpec{Ranks: 4, RanksPerNode: 4}, 0, func(env *Env) error {
+		env.Metric("checkpoint", float64(env.Rank())) // max should win
+		env.AddMetric("encode", 1)
+		env.AddMetric("encode", 2)
+		return nil
+	})
+	if err != nil || res.Failed() {
+		t.Fatalf("launch: %v %v", err, res.FirstError())
+	}
+	if res.Metrics["checkpoint"] != 3 {
+		t.Fatalf("metric max = %g, want 3", res.Metrics["checkpoint"])
+	}
+	if res.Metrics["encode"] != 3 {
+		t.Fatalf("accumulated metric = %g, want 3", res.Metrics["encode"])
+	}
+}

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"fmt"
+)
+
+// Phase is one entry of the work-fail-detect-restart timeline (Fig 10).
+type Phase struct {
+	Name    string
+	Seconds float64
+}
+
+// RunReport aggregates a resilient run: every attempt's work time, the
+// daemon overheads between attempts, and application-reported metrics
+// (checkpoint and recovery durations).
+type RunReport struct {
+	Attempts     int
+	Timeline     []Phase
+	TotalSeconds float64
+	Metrics      map[string]float64
+	LostSlots    [][]int
+	Final        *AttemptResult
+}
+
+func (r *RunReport) push(name string, seconds float64) {
+	r.Timeline = append(r.Timeline, Phase{Name: name, Seconds: seconds})
+	r.TotalSeconds += seconds
+}
+
+// Daemon is the master-node watchdog of §5.2. It launches the job, waits
+// for it to exit, and on a node failure walks the ranklist, swaps lost
+// nodes for spares, and resubmits — the paper's work-fail-detect-restart
+// cycle. The master node itself is assumed reliable, as in the paper.
+type Daemon struct {
+	Machine     *Machine
+	MaxRestarts int // 0 means no restarts allowed
+}
+
+// Run executes the job resiliently. It returns an error when the job
+// fails for a reason the daemon cannot fix (an application error with no
+// node loss, spare exhaustion, or too many restarts).
+func (d *Daemon) Run(spec JobSpec, fn RankFn) (*RunReport, error) {
+	p := d.Machine.Platform
+	report := &RunReport{Metrics: make(map[string]float64)}
+	for attempt := 0; ; attempt++ {
+		report.Attempts = attempt + 1
+		res, err := d.Machine.Launch(spec, attempt, fn)
+		if err != nil {
+			return report, err
+		}
+		report.Final = res
+		report.push(fmt.Sprintf("work (attempt %d)", attempt), res.MaxTime)
+		for k, v := range res.Metrics {
+			if v > report.Metrics[k] {
+				report.Metrics[k] = v
+			}
+		}
+		if !res.Failed() {
+			return report, nil
+		}
+		if len(res.LostSlots) == 0 {
+			return report, fmt.Errorf("cluster: job failed without a node loss: %w", res.FirstError())
+		}
+		report.LostSlots = append(report.LostSlots, res.LostSlots)
+		if attempt >= d.MaxRestarts {
+			return report, fmt.Errorf("cluster: giving up after %d attempt(s); lost slots %v", attempt+1, res.LostSlots)
+		}
+		// The daemon notices the job died (mpirun exit / job manager
+		// output), probes the ranklist for lost nodes, swaps in spares,
+		// and resubmits with the healthy ranks pinned to their old nodes.
+		report.push("detect the failure and kill the job", p.DetectSec)
+		if _, err := d.Machine.ReplaceDead(); err != nil {
+			return report, err
+		}
+		report.push("replace lost nodes by spare nodes", p.ReplaceSec)
+		report.push("restart application", p.RestartSec)
+	}
+}

@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"selfckpt/internal/simmpi"
+)
+
+// KillSpec schedules a node power-off during a job attempt. Either AtTime
+// fires when a rank's virtual clock on the slot crosses the deadline, or
+// Failpoint fires at the Occurrence-th time a rank on the slot announces
+// the named protocol point (Occurrence counts per rank; default 1).
+type KillSpec struct {
+	Slot       int
+	Attempt    int
+	AtTime     float64
+	Failpoint  string
+	Occurrence int
+}
+
+// JobSpec describes an application launch.
+type JobSpec struct {
+	Ranks        int
+	RanksPerNode int
+	Kills        []KillSpec
+}
+
+// RankFn is the per-rank application body.
+type RankFn func(env *Env) error
+
+// Env is what a rank sees: its communicator (embedded, so collectives are
+// called directly on the Env), the node it runs on, the machine, and the
+// attempt number. Metric lets the application report named durations
+// (checkpoint time, recovery time) to the daemon's report.
+type Env struct {
+	*simmpi.Comm
+	Node     *Node
+	Machine  *Machine
+	Platform Platform
+	Attempt  int
+	sink     *metricSink
+}
+
+// Metric records a named duration in seconds; the job keeps the maximum
+// across ranks (collective operations finish when the slowest rank does).
+func (e *Env) Metric(name string, seconds float64) { e.sink.record(name, seconds) }
+
+// Add accumulates into a named metric on this rank's behalf (max across
+// ranks of the per-rank accumulated value).
+func (e *Env) AddMetric(name string, seconds float64) { e.sink.add(name, e.Rank(), seconds) }
+
+type metricSink struct {
+	mu   sync.Mutex
+	vals map[string]float64
+	accs map[string]map[int]float64
+}
+
+func newMetricSink() *metricSink {
+	return &metricSink{vals: make(map[string]float64), accs: make(map[string]map[int]float64)}
+}
+
+func (s *metricSink) record(name string, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v > s.vals[name] {
+		s.vals[name] = v
+	}
+}
+
+func (s *metricSink) add(name string, rank int, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.accs[name]
+	if m == nil {
+		m = make(map[int]float64)
+		s.accs[name] = m
+	}
+	m[rank] += v
+}
+
+func (s *metricSink) snapshot() map[string]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]float64, len(s.vals)+len(s.accs))
+	for k, v := range s.vals {
+		out[k] = v
+	}
+	for k, m := range s.accs {
+		max := 0.0
+		for _, v := range m {
+			if v > max {
+				max = v
+			}
+		}
+		out[k] = max
+	}
+	return out
+}
+
+// AttemptResult is the outcome of one launch.
+type AttemptResult struct {
+	*simmpi.Result
+	LostSlots []int
+	Metrics   map[string]float64
+}
+
+// Launch runs one attempt of the job: it maps ranks onto the current node
+// slots (RanksPerNode consecutive ranks per slot), arms the failure
+// injections for this attempt, and executes fn on every rank.
+func (m *Machine) Launch(spec JobSpec, attempt int, fn RankFn) (*AttemptResult, error) {
+	if spec.Ranks <= 0 {
+		return nil, fmt.Errorf("cluster: Ranks must be positive, got %d", spec.Ranks)
+	}
+	rpn := spec.RanksPerNode
+	if rpn <= 0 {
+		rpn = m.Platform.CoresPerNode
+	}
+	needNodes := (spec.Ranks + rpn - 1) / rpn
+	m.mu.Lock()
+	if needNodes > len(m.slots) {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("cluster: job needs %d nodes, machine has %d", needNodes, len(m.slots))
+	}
+	assign := make([]*Node, needNodes)
+	copy(assign, m.slots[:needNodes])
+	m.mu.Unlock()
+
+	slotOf := func(rank int) int { return rank / rpn }
+	nodeOf := func(rank int) *Node { return assign[slotOf(rank)] }
+
+	killTime := func(rank int) float64 {
+		t := math.Inf(1)
+		for _, k := range spec.Kills {
+			if k.Attempt == attempt && k.Failpoint == "" && k.Slot == slotOf(rank) && k.AtTime < t {
+				t = k.AtTime
+			}
+		}
+		return t
+	}
+
+	var fpMu sync.Mutex
+	fpCount := make(map[[2]interface{}]int)
+	fpKill := func(rank int, label string) bool {
+		slot := slotOf(rank)
+		for _, k := range spec.Kills {
+			if k.Attempt != attempt || k.Failpoint != label || k.Slot != slot {
+				continue
+			}
+			occ := k.Occurrence
+			if occ <= 0 {
+				occ = 1
+			}
+			fpMu.Lock()
+			key := [2]interface{}{rank, label}
+			fpCount[key]++
+			hit := fpCount[key] == occ
+			fpMu.Unlock()
+			if hit {
+				return true
+			}
+		}
+		return false
+	}
+
+	p := m.Platform
+	cfg := simmpi.Config{
+		Ranks:         spec.Ranks,
+		Alpha:         p.AlphaSec,
+		Bandwidth:     []float64{p.BWPerProcessBytes()},
+		GFLOPS:        []float64{p.EffGFLOPSPerProcess()},
+		MemBW:         []float64{p.MemBWGBps * 1e9},
+		KillAt:        killTime,
+		FailpointKill: fpKill,
+		OnKill:        func(rank int) { nodeOf(rank).kill() },
+	}
+	world, err := simmpi.NewWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	sink := newMetricSink()
+	res := world.Run(func(c *simmpi.Comm) error {
+		env := &Env{
+			Comm:     c,
+			Node:     nodeOf(c.Rank()),
+			Machine:  m,
+			Platform: p,
+			Attempt:  attempt,
+			sink:     sink,
+		}
+		if env.Node.Dead() {
+			// The node died before this rank got going (co-located rank
+			// crossed the deadline first); in a real system the process
+			// would simply vanish.
+			return simmpi.ErrAborted
+		}
+		return fn(env)
+	})
+
+	out := &AttemptResult{Result: res, Metrics: sink.snapshot()}
+	for i, n := range assign {
+		if n.Dead() {
+			out.LostSlots = append(out.LostSlots, i)
+		}
+	}
+	return out, nil
+}

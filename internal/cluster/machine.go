@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"selfckpt/internal/shm"
+)
+
+// Node is one compute node: volatile SHM that dies with the node, plus a
+// liveness flag flipped by the failure injector.
+type Node struct {
+	ID       int
+	Hostname string
+
+	mu   sync.Mutex
+	dead bool
+	SHM  *shm.Store
+}
+
+// Dead reports whether the node has been powered off.
+func (n *Node) Dead() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dead
+}
+
+// kill powers the node off: it marks it dead and destroys its volatile
+// shared memory, exactly what a power-off does to SHM segments.
+func (n *Node) kill() {
+	n.mu.Lock()
+	wasDead := n.dead
+	n.dead = true
+	n.mu.Unlock()
+	if !wasDead {
+		n.SHM.DestroyAll()
+	}
+}
+
+// DiskStore models persistent storage reachable after a node loss (the
+// recovery path traditional checkpoint-restart needs). Contents are keyed
+// by string; device transfer time is charged by the caller against the
+// platform's HDD/SSD bandwidth.
+type DiskStore struct {
+	mu   sync.Mutex
+	data map[string][]float64
+}
+
+// Write stores a copy of data under key.
+func (d *DiskStore) Write(key string, data []float64) {
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.data[key] = cp
+}
+
+// Read returns a copy of the data under key, or nil if absent.
+func (d *DiskStore) Read(key string) []float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	stored, ok := d.data[key]
+	if !ok {
+		return nil
+	}
+	cp := make([]float64, len(stored))
+	copy(cp, stored)
+	return cp
+}
+
+// Delete removes key (no-op when absent).
+func (d *DiskStore) Delete(key string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.data, key)
+}
+
+// Machine is a simulated cluster: an ordered set of active node slots, a
+// spare pool, and shared persistent disk.
+type Machine struct {
+	Platform Platform
+	Disk     *DiskStore
+
+	mu     sync.Mutex
+	slots  []*Node // logical node slots; failed nodes are swapped out
+	spares []*Node
+	nextID int
+}
+
+// NewMachine builds a machine with the given number of active node slots
+// and spare nodes. Node SHM capacity follows the platform memory size.
+func NewMachine(p Platform, nodes, spares int) *Machine {
+	m := &Machine{
+		Platform: p,
+		Disk:     &DiskStore{data: make(map[string][]float64)},
+	}
+	for i := 0; i < nodes; i++ {
+		m.slots = append(m.slots, m.newNode())
+	}
+	for i := 0; i < spares; i++ {
+		m.spares = append(m.spares, m.newNode())
+	}
+	return m
+}
+
+func (m *Machine) newNode() *Node {
+	n := &Node{
+		ID:       m.nextID,
+		Hostname: fmt.Sprintf("cn%03d", m.nextID),
+		SHM:      shm.NewStore(int64(m.Platform.MemPerNodeGB * 1e9)),
+	}
+	m.nextID++
+	return n
+}
+
+// Nodes returns the number of active node slots.
+func (m *Machine) Nodes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.slots)
+}
+
+// Spares returns the number of remaining spare nodes.
+func (m *Machine) Spares() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.spares)
+}
+
+// Slot returns the node currently occupying a logical slot.
+func (m *Machine) Slot(i int) *Node {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.slots[i]
+}
+
+// KillSlot powers off the node in the given slot immediately (used by
+// tests; job-integrated failure injection goes through JobSpec).
+func (m *Machine) KillSlot(i int) {
+	m.Slot(i).kill()
+}
+
+// KillRack powers off every node of one rack: racks are contiguous runs
+// of nodesPerRack slots (rack r covers slots [r·k, (r+1)·k)). Rack and
+// switch failures are rarer than single-node failures (the §3.3
+// discussion) but kill several nodes at once.
+func (m *Machine) KillRack(rack, nodesPerRack int) {
+	m.mu.Lock()
+	var victims []*Node
+	for i := rack * nodesPerRack; i < (rack+1)*nodesPerRack && i < len(m.slots); i++ {
+		victims = append(victims, m.slots[i])
+	}
+	m.mu.Unlock()
+	for _, n := range victims {
+		n.kill()
+	}
+}
+
+// DeadSlots lists logical slots whose node is currently dead.
+func (m *Machine) DeadSlots() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []int
+	for i, n := range m.slots {
+		if n.Dead() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ReplaceDead swaps every dead node for a spare, following §5.2: healthy
+// nodes keep their slots (and their SHM checkpoints); lost slots get fresh
+// nodes with empty SHM. It returns the replaced slots, or an error if the
+// spare pool is exhausted.
+func (m *Machine) ReplaceDead() ([]int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var replaced []int
+	for i, n := range m.slots {
+		if !n.Dead() {
+			continue
+		}
+		if len(m.spares) == 0 {
+			return replaced, fmt.Errorf("cluster: spare pool exhausted replacing slot %d", i)
+		}
+		m.slots[i] = m.spares[0]
+		m.spares = m.spares[1:]
+		replaced = append(replaced, i)
+	}
+	return replaced, nil
+}

@@ -1,0 +1,156 @@
+// Package cluster simulates the execution environment the paper runs on:
+// machines made of nodes (with memory, cores, NICs shared by co-located
+// processes, and volatile SHM), a job launcher that maps MPI ranks onto
+// nodes, a failure injector that powers nodes off, and the master-node
+// daemon of §5.2 that detects a failed job, replaces lost nodes with
+// spares, and restarts the application.
+package cluster
+
+import "fmt"
+
+// Platform bundles the node configuration (paper Table 2) with the
+// cost-model and daemon parameters used by the experiments.
+type Platform struct {
+	Name string
+
+	// Node hardware (Table 2).
+	CoresPerNode  int
+	GFLOPSPerCore float64 // theoretical peak per core
+	MemPerNodeGB  float64
+	NICGBps       float64 // point-to-point bandwidth per network port
+	ProcsPerPort  int     // processes sharing one port (§6.6: 12 on TH-1A, 24 on TH-2)
+
+	// Cost-model parameters.
+	DGEMMEff  float64 // fraction of peak the compute kernels achieve
+	AlphaSec  float64 // per-message latency
+	MemBWGBps float64 // per-process local memory-copy bandwidth
+
+	// Storage devices for disk-based checkpointing (per node). Calibrated
+	// so the BLCR rows of Table 3 land near the paper's checkpoint times.
+	HDDGBps float64
+	SSDGBps float64
+
+	// Daemon timing (Fig 10): failure detection, node replacement, and
+	// job restart, in seconds.
+	DetectSec  float64
+	ReplaceSec float64
+	RestartSec float64
+}
+
+// BWPerProcessBytes returns the effective point-to-point bandwidth one
+// process sees, in bytes/second: the port bandwidth divided by the number
+// of processes sharing the port. This is the paper's explanation for
+// Tianhe-2's slower encoding despite its faster NIC (§6.6).
+func (p Platform) BWPerProcessBytes() float64 {
+	return p.NICGBps * 1e9 / float64(p.ProcsPerPort)
+}
+
+// EffGFLOPSPerProcess returns the compute rate charged to one process
+// (one rank per core).
+func (p Platform) EffGFLOPSPerProcess() float64 {
+	return p.GFLOPSPerCore * p.DGEMMEff
+}
+
+// PeakGFLOPSPerProcess returns the theoretical peak per process, the
+// denominator of HPL efficiency.
+func (p Platform) PeakGFLOPSPerProcess() float64 { return p.GFLOPSPerCore }
+
+// MemPerProcessBytes returns each process's share of node memory when
+// ranksPerNode processes run on a node.
+func (p Platform) MemPerProcessBytes(ranksPerNode int) float64 {
+	return p.MemPerNodeGB * 1e9 / float64(ranksPerNode)
+}
+
+func (p Platform) String() string { return fmt.Sprintf("platform %s", p.Name) }
+
+// Tianhe1A returns the Tianhe-1A node configuration from Table 2: dual
+// Xeon X5670 (12 cores, 140 GFLOPS peak), 48 GB per node, 6.9 GB/s
+// point-to-point with 12 processes per port. Detection time per §6.3 is
+// about 30 s.
+func Tianhe1A() Platform {
+	return Platform{
+		Name:          "Tianhe-1A",
+		CoresPerNode:  12,
+		GFLOPSPerCore: 140.0 / 12.0,
+		MemPerNodeGB:  48,
+		NICGBps:       6.9,
+		ProcsPerPort:  12,
+		DGEMMEff:      0.92,
+		AlphaSec:      2e-6,
+		MemBWGBps:     5,
+		HDDGBps:       0.19,
+		SSDGBps:       0.49,
+		DetectSec:     30,
+		ReplaceSec:    10,
+		RestartSec:    9,
+	}
+}
+
+// Tianhe2 returns the Tianhe-2 node configuration from Table 2: dual Xeon
+// E5-2692 v2 (24 cores, 422 GFLOPS peak), 64 GB per node, 7.1 GB/s
+// point-to-point with 24 processes per port. Daemon times are the Fig 10
+// measurements: detect 63 s, replace 10 s, restart 9 s.
+func Tianhe2() Platform {
+	return Platform{
+		Name:          "Tianhe-2",
+		CoresPerNode:  24,
+		GFLOPSPerCore: 422.0 / 24.0,
+		MemPerNodeGB:  64,
+		NICGBps:       7.1,
+		ProcsPerPort:  24,
+		DGEMMEff:      0.90,
+		AlphaSec:      2e-6,
+		MemBWGBps:     5,
+		HDDGBps:       0.19,
+		SSDGBps:       0.49,
+		DetectSec:     63,
+		ReplaceSec:    10,
+		RestartSec:    9,
+	}
+}
+
+// LocalCluster returns the paper's local experiment cluster (§6.1): 2-way
+// Xeon E5-2670 v3 nodes, 64 GB, EDR InfiniBand. Table 3 runs 128 MPI
+// processes with 4 GB each, which means 16 ranks per 64 GB node; the
+// storage bandwidths are calibrated so BLCR+HDD/SSD checkpoint times land
+// near the paper's 295 s / 112 s for a ~3.4 GB per-process image.
+func LocalCluster() Platform {
+	return Platform{
+		Name:          "local-cluster",
+		CoresPerNode:  16,
+		GFLOPSPerCore: 30.6,
+		MemPerNodeGB:  64,
+		NICGBps:       12.5, // 100 Gbps EDR
+		ProcsPerPort:  16,
+		DGEMMEff:      0.95,
+		AlphaSec:      1e-6,
+		MemBWGBps:     5,
+		HDDGBps:       0.19,
+		SSDGBps:       0.49,
+		DetectSec:     5,
+		ReplaceSec:    2,
+		RestartSec:    2,
+	}
+}
+
+// Testbed returns a tiny fast platform for unit tests: generous bandwidth
+// and trivial daemon delays so failure-injection tests stay quick while
+// still exercising every code path.
+func Testbed() Platform {
+	return Platform{
+		Name:          "testbed",
+		CoresPerNode:  4,
+		GFLOPSPerCore: 10,
+		MemPerNodeGB:  1,
+		NICGBps:       10,
+		ProcsPerPort:  4,
+		DGEMMEff:      1,
+		AlphaSec:      1e-7,
+		MemBWGBps:     10,
+		HDDGBps:       0.1,
+		SSDGBps:       0.5,
+		DetectSec:     1,
+		ReplaceSec:    0.5,
+		RestartSec:    0.5,
+	}
+}

@@ -1,0 +1,33 @@
+package encoding
+
+import "selfckpt/internal/simmpi"
+
+// Coder is the group-redundancy abstraction the checkpoint protocols
+// build on: collective encoding of per-rank data into per-rank checksum
+// slots, and collective reconstruction of up to Tolerance lost ranks.
+//
+// Two implementations exist: Group (the paper's stripe-based single
+// parity, §2.1) and RSGroup (the RAID-6-style dual parity the paper
+// names as the route to tolerating more failures per group).
+type Coder interface {
+	// Comm returns the group communicator.
+	Comm() *simmpi.Comm
+	// ChecksumWords returns this rank's checksum slot size for a data
+	// region of dataWords words.
+	ChecksumWords(dataWords int) int
+	// Encode computes the group checksums for the virtual concatenation
+	// of dataParts, leaving this rank's slot in checksum (collective).
+	Encode(checksum []float64, dataParts ...[]float64) error
+	// Rebuild reconstructs the lost ranks' data and checksum slots from
+	// the survivors (collective, including the replacement ranks, which
+	// pass correctly-sized buffers whose content is ignored).
+	Rebuild(lost []int, checksum []float64, dataParts ...[]float64) error
+	// Tolerance is the maximum number of simultaneous losses Rebuild
+	// can repair.
+	Tolerance() int
+}
+
+var (
+	_ Coder = (*Group)(nil)
+	_ Coder = (*RSGroup)(nil)
+)

@@ -1,0 +1,312 @@
+// Package encoding implements the paper's stripe-based group encoding
+// (§2.1, Fig 1). Processes are partitioned into small groups of N ranks;
+// each rank's protected data is split into N−1 stripes, and each rank
+// additionally holds one checksum slot. Stripe s of rank r belongs to
+// "family" f = s when s < r, otherwise f = s+1, so rank r holds exactly
+// one stripe of every family except its own; family f's checksum — the
+// combination of one stripe from every other rank — is stored on rank f.
+// This RAID-5-like rotation spreads the reduction roots over all ranks and
+// avoids single-node network contention while encoding.
+//
+// A group tolerates the loss of any single rank: every family either keeps
+// its checksum (f ≠ lost) and can cancel the surviving stripes out of it,
+// or keeps all of its data stripes (f = lost) and can recompute the
+// checksum directly.
+package encoding
+
+import (
+	"fmt"
+	"math"
+
+	"selfckpt/internal/simmpi"
+)
+
+// Group binds a group communicator to a reduction operator. The operator
+// must treat zero words as identity (both simmpi.OpXor and simmpi.OpSum
+// do) and, for Rebuild, must have a Cancel inverse.
+type Group struct {
+	comm *simmpi.Comm
+	op   *simmpi.Op
+}
+
+// NewGroup wraps a communicator whose Size() is the group size N ≥ 2.
+func NewGroup(comm *simmpi.Comm, op *simmpi.Op) (*Group, error) {
+	if comm.Size() < 2 {
+		return nil, fmt.Errorf("encoding: group size must be at least 2, got %d", comm.Size())
+	}
+	if op.Combine == nil {
+		return nil, fmt.Errorf("encoding: op %s has no Combine", op.Name)
+	}
+	return &Group{comm: comm, op: op}, nil
+}
+
+// Comm returns the underlying group communicator.
+func (g *Group) Comm() *simmpi.Comm { return g.comm }
+
+// Size returns the group size N.
+func (g *Group) Size() int { return g.comm.Size() }
+
+// StripeWords returns the padded stripe length S for a data region of the
+// given total word count: ceil(words / (N-1)). The checksum slot has the
+// same length — 1/(N−1) of the data, the space saving at the heart of the
+// paper (§3.1).
+func (g *Group) StripeWords(dataWords int) int {
+	n1 := g.Size() - 1
+	return (dataWords + n1 - 1) / n1
+}
+
+// family returns the family id of local stripe s on rank r.
+func family(r, s int) int {
+	if s < r {
+		return s
+	}
+	return s + 1
+}
+
+// stripeOf returns the local stripe index on rank r that belongs to
+// family f, or -1 when r == f (a rank has no stripe of its own family).
+func stripeOf(r, f int) int {
+	switch {
+	case f < r:
+		return f
+	case f > r:
+		return f - 1
+	default:
+		return -1
+	}
+}
+
+// parts is a virtual concatenation of data regions (the self-checkpoint
+// protocol encodes A1 and the B2 meta copy as one domain without copying
+// them together).
+type parts [][]float64
+
+func (p parts) words() int {
+	n := 0
+	for _, s := range p {
+		n += len(s)
+	}
+	return n
+}
+
+// copyRange copies words [off, off+len(dst)) of the virtual concatenation
+// into dst, zero-filling past the end (stripes are zero padded).
+func (p parts) copyRange(dst []float64, off int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	pos := 0
+	for _, s := range p {
+		if off < pos+len(s) && off+len(dst) > pos {
+			from := 0
+			if off > pos {
+				from = off - pos
+			}
+			to := len(s)
+			if off+len(dst) < pos+len(s) {
+				to = off + len(dst) - pos
+			}
+			copy(dst[pos+from-off:], s[from:to])
+		}
+		pos += len(s)
+	}
+}
+
+// storeRange writes src into words [off, off+len(src)) of the virtual
+// concatenation, silently dropping the zero-padding tail.
+func (p parts) storeRange(src []float64, off int) {
+	pos := 0
+	for _, s := range p {
+		if off < pos+len(s) && off+len(src) > pos {
+			from := 0
+			if off > pos {
+				from = off - pos
+			}
+			to := len(s)
+			if off+len(src) < pos+len(s) {
+				to = off + len(src) - pos
+			}
+			copy(s[from:to], src[pos+from-off:])
+		}
+		pos += len(s)
+	}
+}
+
+// Encode computes the group checksums for the virtual concatenation of
+// dataParts, leaving this rank's checksum slot (its own family's) in
+// checksum, which must have StripeWords(total) words. Every rank of the
+// group must call Encode collectively with same-size data. The N stripe
+// reductions run with rotated roots, one per family.
+func (g *Group) Encode(checksum []float64, dataParts ...[]float64) error {
+	return g.EncodeFamilies(checksum, nil, dataParts...)
+}
+
+// EncodeFamilies is the incremental form of Encode: only the families
+// marked in dirty (length N; nil = all) are re-reduced, the others keep
+// their previous checksums — valid because a family's checksum depends
+// only on its own stripes. This is what makes Plank-style incremental
+// diskless checkpointing cheap for small write sets; the dirty map must
+// be group-consistent (union-reduce it first).
+func (g *Group) EncodeFamilies(checksum []float64, dirty []bool, dataParts ...[]float64) error {
+	n := g.Size()
+	me := g.comm.Rank()
+	p := parts(dataParts)
+	total := p.words()
+	s := g.StripeWords(total)
+	if len(checksum) != s {
+		return fmt.Errorf("encoding: checksum slot has %d words, want %d", len(checksum), s)
+	}
+	if dirty != nil && len(dirty) != n {
+		return fmt.Errorf("encoding: dirty map has %d entries, want %d", len(dirty), n)
+	}
+	stripe := make([]float64, s)
+	for f := 0; f < n; f++ {
+		if dirty != nil && !dirty[f] {
+			continue
+		}
+		// Rank f contributes identity (zeros) to its own family; every
+		// other rank contributes its family-f stripe.
+		if si := stripeOf(me, f); si >= 0 {
+			p.copyRange(stripe, si*s)
+		} else {
+			for i := range stripe {
+				stripe[i] = 0
+			}
+		}
+		var out []float64
+		if me == f {
+			out = checksum
+		}
+		if err := g.comm.Reduce(f, stripe, out, g.op); err != nil {
+			return fmt.Errorf("encoding: family %d reduce: %w", f, err)
+		}
+	}
+	return nil
+}
+
+// FamilyOfWord returns the family owning domain word w on this rank,
+// given the total encode-domain size (for dirty-range mapping).
+func (g *Group) FamilyOfWord(w, totalWords int) int {
+	s := g.StripeWords(totalWords)
+	return family(g.comm.Rank(), w/s)
+}
+
+// Rebuild implements Coder for the single-parity group: it tolerates at
+// most one lost rank.
+func (g *Group) Rebuild(lost []int, checksum []float64, dataParts ...[]float64) error {
+	switch len(lost) {
+	case 0:
+		return nil
+	case 1:
+		return g.rebuildOne(lost[0], checksum, dataParts...)
+	default:
+		return fmt.Errorf("encoding: single-parity group cannot rebuild %d losses", len(lost))
+	}
+}
+
+// ChecksumWords implements Coder: one stripe-sized slot per rank.
+func (g *Group) ChecksumWords(dataWords int) int { return g.StripeWords(dataWords) }
+
+// Tolerance implements Coder: one loss per group.
+func (g *Group) Tolerance() int { return 1 }
+
+// rebuildOne reconstructs the lost rank's data and checksum after a single
+// rank loss. It is collective over the whole group, including the
+// replacement rank at index lost: survivors pass their consistent data and
+// checksum; the replacement passes buffers of the right size (content
+// ignored) and returns with both reconstructed.
+//
+// For every family f ≠ lost, the survivors reduce their family-f stripes
+// to rank f, which cancels them out of its stored checksum and sends the
+// recovered stripe to the replacement; family lost is recomputed directly.
+func (g *Group) rebuildOne(lost int, checksum []float64, dataParts ...[]float64) error {
+	n := g.Size()
+	me := g.comm.Rank()
+	if lost < 0 || lost >= n {
+		return fmt.Errorf("encoding: lost rank %d out of range [0,%d)", lost, n)
+	}
+	if g.op.Cancel == nil {
+		return fmt.Errorf("encoding: op %s has no Cancel inverse; cannot rebuild", g.op.Name)
+	}
+	p := parts(dataParts)
+	total := p.words()
+	s := g.StripeWords(total)
+	if len(checksum) != s {
+		return fmt.Errorf("encoding: checksum slot has %d words, want %d", len(checksum), s)
+	}
+	stripe := make([]float64, s)
+	partial := make([]float64, s)
+	for f := 0; f < n; f++ {
+		if f == lost {
+			// The lost rank's checksum slot: recompute from the
+			// surviving stripes of family lost, reduced straight to the
+			// replacement.
+			if si := stripeOf(me, f); si >= 0 && me != lost {
+				p.copyRange(stripe, si*s)
+			} else {
+				for i := range stripe {
+					stripe[i] = 0
+				}
+			}
+			var out []float64
+			if me == lost {
+				out = checksum
+			}
+			if err := g.comm.Reduce(lost, stripe, out, g.op); err != nil {
+				return fmt.Errorf("encoding: family %d (lost) reduce: %w", f, err)
+			}
+			continue
+		}
+		// Survivors other than f and lost contribute their family-f
+		// stripe; f and lost contribute identity.
+		if si := stripeOf(me, f); si >= 0 && me != lost && me != f {
+			p.copyRange(stripe, si*s)
+		} else {
+			for i := range stripe {
+				stripe[i] = 0
+			}
+		}
+		var out []float64
+		if me == f {
+			out = partial
+		}
+		if err := g.comm.Reduce(f, stripe, out, g.op); err != nil {
+			return fmt.Errorf("encoding: family %d reduce: %w", f, err)
+		}
+		switch me {
+		case f:
+			// recovered = checksum_f ⊖ partial
+			rec := make([]float64, s)
+			copy(rec, checksum)
+			g.op.Cancel(rec, partial)
+			g.comm.World().Compute(float64(s) * g.op.CostPerWord)
+			if err := g.comm.Send(lost, rec); err != nil {
+				return fmt.Errorf("encoding: sending recovered stripe of family %d: %w", f, err)
+			}
+		case lost:
+			if err := g.comm.Recv(f, stripe); err != nil {
+				return fmt.Errorf("encoding: receiving recovered stripe of family %d: %w", f, err)
+			}
+			p.storeRange(stripe, stripeOf(lost, f)*s)
+		}
+	}
+	return nil
+}
+
+// Verify recomputes the group checksums and reports whether this rank's
+// stored checksum matches (collective). It is used by tests and by the
+// integrity-check tooling.
+func (g *Group) Verify(checksum []float64, dataParts ...[]float64) (bool, error) {
+	fresh := make([]float64, len(checksum))
+	if err := g.Encode(fresh, dataParts...); err != nil {
+		return false, err
+	}
+	for i := range fresh {
+		// Compare bit patterns: XOR checksums routinely carry NaN bit
+		// patterns, which would compare unequal to themselves as floats.
+		if math.Float64bits(fresh[i]) != math.Float64bits(checksum[i]) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

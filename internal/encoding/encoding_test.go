@@ -1,0 +1,531 @@
+package encoding
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"selfckpt/internal/simmpi"
+)
+
+func run(t *testing.T, ranks int, fn func(c *simmpi.Comm) error) *simmpi.Result {
+	t.Helper()
+	w, err := simmpi.NewWorld(simmpi.Config{Ranks: ranks, Alpha: 1e-7, Bandwidth: []float64{1e10}, GFLOPS: []float64{10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run(fn)
+	if res.Failed() {
+		t.Fatalf("job failed: %v", res.FirstError())
+	}
+	return res
+}
+
+func fillData(rank, words int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed + int64(rank)*7919))
+	d := make([]float64, words)
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	return d
+}
+
+func TestStripeFamilyMapping(t *testing.T) {
+	for n := 2; n <= 9; n++ {
+		for r := 0; r < n; r++ {
+			seen := map[int]bool{}
+			for s := 0; s < n-1; s++ {
+				f := family(r, s)
+				if f == r {
+					t.Fatalf("n=%d r=%d s=%d: stripe maps to own family", n, r, s)
+				}
+				if seen[f] {
+					t.Fatalf("n=%d r=%d: family %d repeated", n, r, f)
+				}
+				seen[f] = true
+				if got := stripeOf(r, f); got != s {
+					t.Fatalf("stripeOf(%d,%d)=%d, want %d", r, f, got, s)
+				}
+			}
+			if stripeOf(r, r) != -1 {
+				t.Fatalf("rank %d should have no stripe of its own family", r)
+			}
+		}
+	}
+}
+
+func TestStripeWords(t *testing.T) {
+	g := &Group{}
+	_ = g
+	cases := []struct{ n, words, want int }{
+		{4, 9, 3}, {4, 10, 4}, {4, 12, 4}, {2, 7, 7}, {16, 15, 1}, {16, 16, 2},
+	}
+	for _, c := range cases {
+		res := run(t, c.n, func(comm *simmpi.Comm) error {
+			grp, err := NewGroup(comm, simmpi.OpXor)
+			if err != nil {
+				return err
+			}
+			if got := grp.StripeWords(c.words); got != c.want {
+				return fmt.Errorf("StripeWords(n=%d, %d) = %d, want %d", c.n, c.words, got, c.want)
+			}
+			return nil
+		})
+		_ = res
+	}
+}
+
+func TestNewGroupValidation(t *testing.T) {
+	run(t, 1, func(comm *simmpi.Comm) error {
+		if _, err := NewGroup(comm, simmpi.OpXor); err == nil {
+			return errors.New("expected error for group of 1")
+		}
+		return nil
+	})
+}
+
+// same compares exactly for bit-preserving codes (XOR) and with a
+// relative tolerance for numeric SUM, whose cancellation is subject to
+// floating-point rounding.
+func same(a, b float64, exact bool) bool {
+	if exact {
+		return math.Float64bits(a) == math.Float64bits(b)
+	}
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(b))
+}
+
+func testEncodeRebuild(t *testing.T, n, words int, op *simmpi.Op, exact bool) {
+	t.Helper()
+	// Every rank encodes; then we simulate the loss of each rank in turn
+	// by handing the "replacement" zeroed buffers and verifying Rebuild
+	// reconstructs both data and checksum.
+	for lost := 0; lost < n; lost++ {
+		run(t, n, func(comm *simmpi.Comm) error {
+			grp, err := NewGroup(comm, op)
+			if err != nil {
+				return err
+			}
+			data := fillData(comm.Rank(), words, 42)
+			orig := make([]float64, words)
+			copy(orig, data)
+			ck := make([]float64, grp.StripeWords(words))
+			if err := grp.Encode(ck, data); err != nil {
+				return err
+			}
+			origCk := make([]float64, len(ck))
+			copy(origCk, ck)
+
+			if comm.Rank() == lost {
+				for i := range data {
+					data[i] = 0
+				}
+				for i := range ck {
+					ck[i] = 0
+				}
+			}
+			if err := grp.Rebuild([]int{lost}, ck, data); err != nil {
+				return err
+			}
+			for i := range data {
+				if !same(data[i], orig[i], exact) {
+					return fmt.Errorf("n=%d lost=%d rank=%d: data[%d] = %g, want %g", n, lost, comm.Rank(), i, data[i], orig[i])
+				}
+			}
+			for i := range ck {
+				if !same(ck[i], origCk[i], exact) {
+					return fmt.Errorf("n=%d lost=%d rank=%d: checksum[%d] mismatch", n, lost, comm.Rank(), i)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestEncodeRebuildXOR(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		for _, words := range []int{1, 5, 16, 33} {
+			testEncodeRebuild(t, n, words, simmpi.OpXor, true)
+		}
+	}
+}
+
+func TestEncodeRebuildSUM(t *testing.T) {
+	// SUM rebuild recovers values up to floating-point rounding: the
+	// checksum is built in one association order and cancelled in
+	// another (the paper's numeric-addition variant, §2.2).
+	testEncodeRebuild(t, 4, 16, simmpi.OpSum, false)
+}
+
+func TestEncodeMultiPartDomain(t *testing.T) {
+	// The self-checkpoint protocol encodes A1 and B2 as one domain; the
+	// virtual concatenation must behave exactly like a physical one.
+	const n, w1, w2 = 4, 10, 3
+	run(t, n, func(comm *simmpi.Comm) error {
+		grp, err := NewGroup(comm, simmpi.OpXor)
+		if err != nil {
+			return err
+		}
+		a := fillData(comm.Rank(), w1, 1)
+		b := fillData(comm.Rank(), w2, 2)
+		joined := append(append([]float64{}, a...), b...)
+
+		ck1 := make([]float64, grp.StripeWords(w1+w2))
+		if err := grp.Encode(ck1, a, b); err != nil {
+			return err
+		}
+		ck2 := make([]float64, grp.StripeWords(w1+w2))
+		if err := grp.Encode(ck2, joined); err != nil {
+			return err
+		}
+		for i := range ck1 {
+			if math.Float64bits(ck1[i]) != math.Float64bits(ck2[i]) {
+				return fmt.Errorf("multi-part checksum differs at %d", i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestRebuildMultiPart(t *testing.T) {
+	const n, w1, w2 = 5, 13, 4
+	const lost = 2
+	run(t, n, func(comm *simmpi.Comm) error {
+		grp, err := NewGroup(comm, simmpi.OpXor)
+		if err != nil {
+			return err
+		}
+		a := fillData(comm.Rank(), w1, 3)
+		b := fillData(comm.Rank(), w2, 4)
+		origA := append([]float64{}, a...)
+		origB := append([]float64{}, b...)
+		ck := make([]float64, grp.StripeWords(w1+w2))
+		if err := grp.Encode(ck, a, b); err != nil {
+			return err
+		}
+		if comm.Rank() == lost {
+			for i := range a {
+				a[i] = math.NaN()
+			}
+			for i := range b {
+				b[i] = math.NaN()
+			}
+			for i := range ck {
+				ck[i] = 0
+			}
+		}
+		if err := grp.Rebuild([]int{lost}, ck, a, b); err != nil {
+			return err
+		}
+		for i := range a {
+			if a[i] != origA[i] {
+				return fmt.Errorf("rank %d: part A mismatch at %d", comm.Rank(), i)
+			}
+		}
+		for i := range b {
+			if b[i] != origB[i] {
+				return fmt.Errorf("rank %d: part B mismatch at %d", comm.Rank(), i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestVerify(t *testing.T) {
+	run(t, 4, func(comm *simmpi.Comm) error {
+		grp, err := NewGroup(comm, simmpi.OpXor)
+		if err != nil {
+			return err
+		}
+		data := fillData(comm.Rank(), 20, 9)
+		ck := make([]float64, grp.StripeWords(20))
+		if err := grp.Encode(ck, data); err != nil {
+			return err
+		}
+		ok, err := grp.Verify(ck, data)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return errors.New("fresh encoding failed verification")
+		}
+		// Corrupt one word on rank 1 and verify the mismatch is caught
+		// (on the rank holding the affected family's checksum).
+		data[0] += 1
+		ok, err = grp.Verify(ck, data)
+		if err != nil {
+			return err
+		}
+		anyBad := []float64{0}
+		bad := 0.0
+		if !ok {
+			bad = 1
+		}
+		if err := comm.Allreduce([]float64{bad}, anyBad, simmpi.OpSum); err != nil {
+			return err
+		}
+		if anyBad[0] == 0 {
+			return errors.New("corruption not detected by any rank")
+		}
+		return nil
+	})
+}
+
+func TestRebuildRequiresCancel(t *testing.T) {
+	run(t, 3, func(comm *simmpi.Comm) error {
+		grp, err := NewGroup(comm, simmpi.OpMaxloc)
+		if err != nil {
+			return err
+		}
+		data := make([]float64, 4)
+		ck := make([]float64, grp.StripeWords(4))
+		if err := grp.Rebuild([]int{0}, ck, data); err == nil {
+			return errors.New("expected error for op without Cancel")
+		}
+		return nil
+	})
+}
+
+func TestRebuildRejectsBadLostRank(t *testing.T) {
+	run(t, 3, func(comm *simmpi.Comm) error {
+		grp, _ := NewGroup(comm, simmpi.OpXor)
+		data := make([]float64, 4)
+		ck := make([]float64, grp.StripeWords(4))
+		if err := grp.Rebuild([]int{7}, ck, data); err == nil {
+			return errors.New("expected range error")
+		}
+		return nil
+	})
+}
+
+func TestGroupColor(t *testing.T) {
+	// 8 nodes × 2 ranks/node, group size 4: slot-aligned groups across
+	// consecutive nodes.
+	const rpn, total, gs = 2, 16, 4
+	groups := map[int][]int{}
+	for r := 0; r < total; r++ {
+		c, err := GroupColor(r, rpn, total, gs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups[c] = append(groups[c], r)
+	}
+	if len(groups) != GroupCount(rpn, total, gs) {
+		t.Fatalf("group count = %d, want %d", len(groups), GroupCount(rpn, total, gs))
+	}
+	for c, members := range groups {
+		if len(members) != gs {
+			t.Fatalf("group %d has %d members, want %d", c, len(members), gs)
+		}
+		nodes := map[int]bool{}
+		for _, r := range members {
+			node := r / rpn
+			if nodes[node] {
+				t.Fatalf("group %d has two ranks on node %d — a node loss would kill both", c, node)
+			}
+			nodes[node] = true
+		}
+	}
+}
+
+func TestGroupColorErrors(t *testing.T) {
+	if _, err := GroupColor(0, 2, 16, 3); err == nil {
+		t.Fatal("expected error for indivisible node count")
+	}
+	if _, err := GroupColor(0, 0, 16, 4); err == nil {
+		t.Fatal("expected error for zero ranks per node")
+	}
+	if _, err := GroupColorScattered(0, 2, 16, 3); err == nil {
+		t.Fatal("expected error for indivisible node count (scattered)")
+	}
+	if _, err := GroupColorScattered(0, 0, 16, 4); err == nil {
+		t.Fatal("expected error for zero ranks per node (scattered)")
+	}
+}
+
+func TestGroupColorScatteredRackDisjoint(t *testing.T) {
+	// 16 nodes × 2 ranks, groups of 4 → stride 4. With racks of 4
+	// (= stride), every group must have exactly one node per rack,
+	// while the neighbouring mapping puts whole groups inside one rack.
+	const rpn, total, gs, rackSize = 2, 32, 4, 4
+	scattered := map[int][]int{}
+	neighbour := map[int][]int{}
+	for r := 0; r < total; r++ {
+		cs, err := GroupColorScattered(r, rpn, total, gs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cn, err := GroupColor(r, rpn, total, gs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scattered[cs] = append(scattered[cs], r)
+		neighbour[cn] = append(neighbour[cn], r)
+	}
+	if len(scattered) != len(neighbour) {
+		t.Fatalf("group counts differ: %d vs %d", len(scattered), len(neighbour))
+	}
+	for c, members := range scattered {
+		if len(members) != gs {
+			t.Fatalf("scattered group %d has %d members", c, len(members))
+		}
+		nodes := map[int]bool{}
+		racks := map[int]bool{}
+		for _, r := range members {
+			node := r / rpn
+			if nodes[node] {
+				t.Fatalf("scattered group %d reuses node %d", c, node)
+			}
+			nodes[node] = true
+			racks[node/rackSize] = true
+		}
+		if len(racks) != gs {
+			t.Fatalf("scattered group %d spans %d racks, want %d", c, len(racks), gs)
+		}
+	}
+	// The neighbouring mapping concentrates: at least one group sits
+	// entirely inside one rack (and so dies with it).
+	concentrated := false
+	for _, members := range neighbour {
+		racks := map[int]bool{}
+		for _, r := range members {
+			racks[(r/rpn)/rackSize] = true
+		}
+		if len(racks) == 1 {
+			concentrated = true
+		}
+	}
+	if !concentrated {
+		t.Fatal("expected the neighbouring mapping to concentrate groups within racks")
+	}
+}
+
+// TestEncodeRebuildRandomized is the property test over the encode/
+// rebuild pair: pseudo-random group sizes, word counts, part splits and
+// loss choices must always reconstruct exactly.
+func TestEncodeRebuildRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(7)
+		words := 1 + rng.Intn(100)
+		split := rng.Intn(words + 1)
+		lost := rng.Intn(n)
+		seed := rng.Int63()
+		run(t, n, func(comm *simmpi.Comm) error {
+			grp, err := NewGroup(comm, simmpi.OpXor)
+			if err != nil {
+				return err
+			}
+			all := fillData(comm.Rank(), words, seed)
+			a, b := all[:split], all[split:]
+			orig := append([]float64{}, all...)
+			ck := make([]float64, grp.ChecksumWords(words))
+			if err := grp.Encode(ck, a, b); err != nil {
+				return err
+			}
+			origCk := append([]float64{}, ck...)
+			if comm.Rank() == lost {
+				for i := range all {
+					all[i] = math.NaN()
+				}
+				for i := range ck {
+					ck[i] = 0
+				}
+			}
+			if err := grp.Rebuild([]int{lost}, ck, a, b); err != nil {
+				return err
+			}
+			for i := range all {
+				if math.Float64bits(all[i]) != math.Float64bits(orig[i]) {
+					return fmt.Errorf("trial %d (n=%d w=%d split=%d lost=%d): data[%d] mismatch", trial, n, words, split, lost, i)
+				}
+			}
+			for i := range ck {
+				if math.Float64bits(ck[i]) != math.Float64bits(origCk[i]) {
+					return fmt.Errorf("trial %d: checksum[%d] mismatch", trial, i)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// TestRSRandomized is the dual-parity analogue with random loss pairs.
+func TestRSRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 12; trial++ {
+		n := 3 + rng.Intn(6)
+		words := 1 + rng.Intn(80)
+		x := rng.Intn(n)
+		y := rng.Intn(n)
+		lost := []int{x}
+		if y != x {
+			lost = append(lost, y)
+		}
+		testRSRebuild(t, n, words, lost)
+	}
+}
+
+// TestEncodingTrafficBalanced is the quantitative form of §2.1's
+// contention argument: with rotated checksum roots, no rank receives
+// disproportionately more encode traffic than the others.
+func TestEncodingTrafficBalanced(t *testing.T) {
+	const n, words = 8, 1 << 12
+	w, err := simmpi.NewWorld(simmpi.Config{Ranks: n, Alpha: 1e-7, Bandwidth: []float64{1e10}, GFLOPS: []float64{10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run(func(comm *simmpi.Comm) error {
+		grp, err := NewGroup(comm, simmpi.OpXor)
+		if err != nil {
+			return err
+		}
+		data := fillData(comm.Rank(), words, 5)
+		ck := make([]float64, grp.StripeWords(words))
+		return grp.Encode(ck, data)
+	})
+	if res.Failed() {
+		t.Fatal(res.FirstError())
+	}
+	min, max := int64(1<<62), int64(0)
+	for _, s := range res.Stats {
+		if s.BytesRecv < min {
+			min = s.BytesRecv
+		}
+		if s.BytesRecv > max {
+			max = s.BytesRecv
+		}
+	}
+	if max > 2*min {
+		t.Fatalf("encode receive traffic imbalanced: min %d, max %d bytes", min, max)
+	}
+	// A dedicated checksum node would receive all (N-1) contributions:
+	// far above the per-rank traffic of the rotated layout.
+	dedicated := int64(8 * words * (n - 1))
+	if max >= dedicated {
+		t.Fatalf("rotated layout (max %d bytes) should beat a dedicated node (%d bytes)", max, dedicated)
+	}
+}
+
+func TestEncodingTimeGrowsWithGroupSize(t *testing.T) {
+	// §3.3: the communication time of encoding is positively correlated
+	// with group size. Checksum gets smaller but rounds grow.
+	times := map[int]float64{}
+	const words = 1 << 12
+	for _, n := range []int{2, 4, 8} {
+		res := run(t, n, func(comm *simmpi.Comm) error {
+			grp, err := NewGroup(comm, simmpi.OpXor)
+			if err != nil {
+				return err
+			}
+			data := fillData(comm.Rank(), words, 5)
+			ck := make([]float64, grp.StripeWords(words))
+			return grp.Encode(ck, data)
+		})
+		times[n] = res.MaxTime
+	}
+	if !(times[2] < times[8]) {
+		t.Fatalf("encoding time should grow with group size: %v", times)
+	}
+}

@@ -1,0 +1,56 @@
+package encoding
+
+import "fmt"
+
+// GroupColor implements the paper's grouping strategy (§3.3): ranks within
+// one encoding group must sit on distinct physical nodes (so a node loss
+// kills at most one member per group), and groups prefer neighbouring
+// nodes for communication performance. With ranksPerNode consecutive
+// ranks per node, the rank at slot s of node d joins the group formed by
+// slot-s ranks of the groupSize consecutive nodes containing d.
+//
+// The returned value is the Split color for the rank; calling
+// comm.Split(GroupColor(...)) on every rank yields the group
+// communicators. It returns an error when the node count is not a
+// multiple of groupSize.
+func GroupColor(rank, ranksPerNode, totalRanks, groupSize int) (int, error) {
+	if ranksPerNode <= 0 || groupSize < 2 {
+		return 0, fmt.Errorf("encoding: invalid partition parameters: ranksPerNode=%d groupSize=%d", ranksPerNode, groupSize)
+	}
+	nodes := (totalRanks + ranksPerNode - 1) / ranksPerNode
+	if nodes%groupSize != 0 {
+		return 0, fmt.Errorf("encoding: %d nodes not divisible into groups of %d", nodes, groupSize)
+	}
+	node := rank / ranksPerNode
+	slot := rank % ranksPerNode
+	return (node/groupSize)*ranksPerNode + slot, nil
+}
+
+// GroupCount returns how many groups GroupColor produces for the given
+// configuration.
+func GroupCount(ranksPerNode, totalRanks, groupSize int) int {
+	nodes := (totalRanks + ranksPerNode - 1) / ranksPerNode
+	return (nodes / groupSize) * ranksPerNode
+}
+
+// GroupColorScattered is the reliability-first mapping the paper leaves
+// as future work (§3.3): instead of grouping neighbouring nodes, group
+// members are spread with stride nodes/groupSize, so that when whole
+// racks or switches fail together, each group loses at most
+// ceil(rackSize/stride) members. With rackSize ≤ nodes/groupSize, a full
+// rack failure costs every group at most one member — recoverable even
+// with single parity. The price is longer-distance communication during
+// encoding, the trade-off §3.3 discusses.
+func GroupColorScattered(rank, ranksPerNode, totalRanks, groupSize int) (int, error) {
+	if ranksPerNode <= 0 || groupSize < 2 {
+		return 0, fmt.Errorf("encoding: invalid partition parameters: ranksPerNode=%d groupSize=%d", ranksPerNode, groupSize)
+	}
+	nodes := (totalRanks + ranksPerNode - 1) / ranksPerNode
+	if nodes%groupSize != 0 {
+		return 0, fmt.Errorf("encoding: %d nodes not divisible into groups of %d", nodes, groupSize)
+	}
+	stride := nodes / groupSize
+	node := rank / ranksPerNode
+	slot := rank % ranksPerNode
+	return (node%stride)*ranksPerNode + slot, nil
+}

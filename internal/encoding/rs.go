@@ -1,0 +1,408 @@
+package encoding
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"selfckpt/internal/gf256"
+	"selfckpt/internal/simmpi"
+)
+
+// RSGroup is the RAID-6-style dual-parity coder the paper points to for
+// tolerating more than one node failure per group (§2.1, citing P-code
+// and Reed-Solomon). Each rank's data is split into N−2 stripes; family
+// f keeps two parities — P_f = ⊕ D_i (on rank f) and Q_f = ⊕ g^i·D_i
+// over GF(2⁸) (on rank (f+1) mod N) — rotated across the group like the
+// single-parity layout, so encoding load stays balanced. Any two lost
+// ranks per group are reconstructable.
+//
+// The Q reduction reuses the XOR reduce: every contributor pre-multiplies
+// its stripe by its coefficient in GF(2⁸), and XOR is GF addition.
+type RSGroup struct {
+	comm *simmpi.Comm
+}
+
+// NewRSGroup wraps a communicator of N ≥ 3 ranks.
+func NewRSGroup(comm *simmpi.Comm) (*RSGroup, error) {
+	if comm.Size() < 3 {
+		return nil, fmt.Errorf("encoding: dual-parity group needs at least 3 ranks, got %d", comm.Size())
+	}
+	return &RSGroup{comm: comm}, nil
+}
+
+// Comm implements Coder.
+func (g *RSGroup) Comm() *simmpi.Comm { return g.comm }
+
+// Size returns the group size N.
+func (g *RSGroup) Size() int { return g.comm.Size() }
+
+// Tolerance implements Coder: two losses per group.
+func (g *RSGroup) Tolerance() int { return 2 }
+
+// StripeWords returns the padded stripe length: ceil(words / (N-2)).
+func (g *RSGroup) StripeWords(dataWords int) int {
+	n2 := g.Size() - 2
+	return (dataWords + n2 - 1) / n2
+}
+
+// ChecksumWords implements Coder: a P slot plus a Q slot per rank.
+func (g *RSGroup) ChecksumWords(dataWords int) int { return 2 * g.StripeWords(dataWords) }
+
+// pHolder and qHolder return the parity holders of family f.
+func (g *RSGroup) pHolder(f int) int { return f }
+func (g *RSGroup) qHolder(f int) int { return (f + 1) % g.Size() }
+
+// rsStripeOf returns the local stripe index on rank r that belongs to
+// family f, or -1 when r holds one of f's parities instead.
+func (g *RSGroup) rsStripeOf(r, f int) int {
+	n := g.Size()
+	if r == g.pHolder(f) || r == g.qHolder(f) {
+		return -1
+	}
+	// Rank r is data for every family except r (its P) and (r-1+n)%n
+	// (its Q); stripe index = rank of f among those, ascending.
+	s := f
+	if r < f {
+		s--
+	}
+	if (r-1+n)%n < f {
+		s--
+	}
+	return s
+}
+
+// dataIndex returns rank r's coefficient index within family f (its
+// position among the family's data ranks in ascending order).
+func (g *RSGroup) dataIndex(f, r int) int {
+	idx := r
+	if g.pHolder(f) < r {
+		idx--
+	}
+	if g.qHolder(f) < r {
+		idx--
+	}
+	return idx
+}
+
+// wordsToBytes and bytesToWords reinterpret float64 stripes as byte
+// strings for the GF(2⁸) arithmetic (bit-exact, little-endian).
+func wordsToBytes(dst []byte, src []float64) {
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(v))
+	}
+}
+
+func bytesToWords(dst []float64, src []byte) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+}
+
+// rsScratch carries the per-family working buffers.
+type rsScratch struct {
+	s     int // stripe words
+	strip []float64
+	aux   []float64
+	b1    []byte
+	b2    []byte
+}
+
+func newRSScratch(s int) *rsScratch {
+	return &rsScratch{
+		s:     s,
+		strip: make([]float64, s),
+		aux:   make([]float64, s),
+		b1:    make([]byte, 8*s),
+		b2:    make([]byte, 8*s),
+	}
+}
+
+// loadStripe fills sc.strip with this rank's family-f stripe (zeros when
+// the rank holds a parity of f or is excluded).
+func (g *RSGroup) loadStripe(sc *rsScratch, p parts, f int, excluded map[int]bool) bool {
+	me := g.comm.Rank()
+	si := g.rsStripeOf(me, f)
+	if si < 0 || excluded[me] {
+		for i := range sc.strip {
+			sc.strip[i] = 0
+		}
+		return false
+	}
+	p.copyRange(sc.strip, si*sc.s)
+	return true
+}
+
+// premultiply applies this rank's Q coefficient to sc.strip in place.
+func (g *RSGroup) premultiply(sc *rsScratch, f int) {
+	me := g.comm.Rank()
+	coeff := gf256.Exp(g.dataIndex(f, me))
+	wordsToBytes(sc.b1, sc.strip)
+	gf256.MulSlice(coeff, sc.b1, sc.b1)
+	bytesToWords(sc.strip, sc.b1)
+	g.comm.World().Compute(float64(sc.s) * 2)
+}
+
+// Encode implements Coder: for every family, an XOR reduce to the P
+// holder and an XOR reduce of pre-multiplied stripes to the Q holder.
+// This rank's checksum slot is [P_me ‖ Q_{me-1}].
+func (g *RSGroup) Encode(checksum []float64, dataParts ...[]float64) error {
+	n := g.Size()
+	me := g.comm.Rank()
+	p := parts(dataParts)
+	s := g.StripeWords(p.words())
+	if len(checksum) != 2*s {
+		return fmt.Errorf("encoding: rs checksum slot has %d words, want %d", len(checksum), 2*s)
+	}
+	sc := newRSScratch(s)
+	for f := 0; f < n; f++ {
+		g.loadStripe(sc, p, f, nil)
+		var out []float64
+		if me == g.pHolder(f) {
+			out = checksum[:s]
+		}
+		if err := g.comm.Reduce(g.pHolder(f), sc.strip, out, simmpi.OpXor); err != nil {
+			return fmt.Errorf("encoding: family %d P reduce: %w", f, err)
+		}
+		if g.loadStripe(sc, p, f, nil) {
+			g.premultiply(sc, f)
+		}
+		out = nil
+		if me == g.qHolder(f) {
+			out = checksum[s:]
+		}
+		if err := g.comm.Reduce(g.qHolder(f), sc.strip, out, simmpi.OpXor); err != nil {
+			return fmt.Errorf("encoding: family %d Q reduce: %w", f, err)
+		}
+	}
+	return nil
+}
+
+// Rebuild implements Coder for up to two simultaneous losses. Per family
+// it distinguishes which of {data stripes, P, Q} sit on lost ranks and
+// repairs them: single data losses cancel out of whichever parity
+// survives; double data losses solve the standard RAID-6 2×2 system at
+// the Q holder; lost parities are recomputed from the (recovered) data.
+func (g *RSGroup) Rebuild(lost []int, checksum []float64, dataParts ...[]float64) error {
+	n := g.Size()
+	me := g.comm.Rank()
+	if len(lost) == 0 {
+		return nil
+	}
+	if len(lost) > 2 {
+		return fmt.Errorf("encoding: dual-parity group cannot rebuild %d losses", len(lost))
+	}
+	isLost := map[int]bool{}
+	for _, l := range lost {
+		if l < 0 || l >= n {
+			return fmt.Errorf("encoding: lost rank %d out of range [0,%d)", l, n)
+		}
+		if isLost[l] {
+			return fmt.Errorf("encoding: duplicate lost rank %d", l)
+		}
+		isLost[l] = true
+	}
+
+	p := parts(dataParts)
+	s := g.StripeWords(p.words())
+	if len(checksum) != 2*s {
+		return fmt.Errorf("encoding: rs checksum slot has %d words, want %d", len(checksum), 2*s)
+	}
+	sc := newRSScratch(s)
+
+	// reduceP performs the family-f P-style reduce excluding `excl` and
+	// returns the result at root (nil elsewhere).
+	reduceP := func(f, root int, excl map[int]bool, premult bool) ([]float64, error) {
+		if g.loadStripe(sc, p, f, excl) && premult {
+			g.premultiply(sc, f)
+		}
+		var out []float64
+		if me == root {
+			out = make([]float64, s)
+		}
+		if err := g.comm.Reduce(root, sc.strip, out, simmpi.OpXor); err != nil {
+			return nil, fmt.Errorf("encoding: family %d rebuild reduce: %w", f, err)
+		}
+		return out, nil
+	}
+	// storeMyStripe writes a recovered stripe into this rank's data.
+	storeMyStripe := func(f int, stripe []float64) {
+		p.storeRange(stripe, g.rsStripeOf(me, f)*s)
+	}
+
+	for f := 0; f < n; f++ {
+		ph, qh := g.pHolder(f), g.qHolder(f)
+		var dataLost []int
+		for _, l := range lost {
+			if l != ph && l != qh {
+				dataLost = append(dataLost, l)
+			}
+		}
+		sort.Ints(dataLost)
+		pLost, qLost := isLost[ph], isLost[qh]
+
+		switch len(dataLost) {
+		case 0:
+			// Parities only: recompute from intact data.
+			if pLost {
+				out, err := reduceP(f, ph, nil, false)
+				if err != nil {
+					return err
+				}
+				if me == ph {
+					copy(checksum[:s], out)
+				}
+			}
+			if qLost {
+				out, err := reduceP(f, qh, nil, true)
+				if err != nil {
+					return err
+				}
+				if me == qh {
+					copy(checksum[s:], out)
+				}
+			}
+
+		case 1:
+			x := dataLost[0]
+			excl := map[int]bool{x: true}
+			if !pLost {
+				// Cancel survivors out of P.
+				out, err := reduceP(f, ph, excl, false)
+				if err != nil {
+					return err
+				}
+				if me == ph {
+					simmpi.OpXor.Combine(out, checksum[:s])
+					if err := g.comm.Send(x, out); err != nil {
+						return err
+					}
+				}
+				if me == x {
+					if err := g.comm.Recv(ph, sc.aux); err != nil {
+						return err
+					}
+					storeMyStripe(f, sc.aux)
+				}
+				if qLost {
+					// Q holder was the second loss: recompute Q with
+					// the just-recovered stripe included.
+					out, err := reduceP(f, qh, nil, true)
+					if err != nil {
+						return err
+					}
+					if me == qh {
+						copy(checksum[s:], out)
+					}
+				}
+			} else {
+				// P is gone; recover the stripe from Q, then rebuild P.
+				out, err := reduceP(f, qh, excl, true)
+				if err != nil {
+					return err
+				}
+				if me == qh {
+					simmpi.OpXor.Combine(out, checksum[s:]) // = g^ix · D_x
+					wordsToBytes(sc.b1, out)
+					inv := gf256.Inv(gf256.Exp(g.dataIndex(f, x)))
+					gf256.MulSlice(inv, sc.b1, sc.b1)
+					bytesToWords(out, sc.b1)
+					g.comm.World().Compute(float64(s) * 2)
+					if err := g.comm.Send(x, out); err != nil {
+						return err
+					}
+				}
+				if me == x {
+					if err := g.comm.Recv(qh, sc.aux); err != nil {
+						return err
+					}
+					storeMyStripe(f, sc.aux)
+				}
+				out, err = reduceP(f, ph, nil, false)
+				if err != nil {
+					return err
+				}
+				if me == ph {
+					copy(checksum[:s], out)
+				}
+			}
+
+		case 2:
+			// Both parities survive (≤ 2 losses total). Standard RAID-6
+			// double reconstruction at the Q holder.
+			x, y := dataLost[0], dataLost[1]
+			excl := map[int]bool{x: true, y: true}
+			outP, err := reduceP(f, ph, excl, false)
+			if err != nil {
+				return err
+			}
+			outQ, err := reduceP(f, qh, excl, true)
+			if err != nil {
+				return err
+			}
+			// Both collective reductions are done; now the P holder can
+			// hand its syndrome to the Q holder without blocking anyone
+			// (a send before the second reduce would deadlock the pair).
+			if me == ph {
+				simmpi.OpXor.Combine(outP, checksum[:s]) // A = D_x ⊕ D_y
+				if err := g.comm.Send(qh, outP); err != nil {
+					return err
+				}
+			}
+			switch me {
+			case qh:
+				a := make([]float64, s)
+				if err := g.comm.Recv(ph, a); err != nil {
+					return err
+				}
+				simmpi.OpXor.Combine(outQ, checksum[s:]) // B = g^ix·D_x ⊕ g^iy·D_y
+				ix, iy := g.dataIndex(f, x), g.dataIndex(f, y)
+				den := gf256.Add(gf256.Exp(ix), gf256.Exp(iy))
+				// D_x = (g^iy·A ⊕ B) / den; D_y = A ⊕ D_x.
+				wordsToBytes(sc.b1, a)
+				wordsToBytes(sc.b2, outQ)
+				gf256.MulAddSlice(gf256.Exp(iy), sc.b2, sc.b1)
+				gf256.MulSlice(gf256.Inv(den), sc.b2, sc.b2)
+				dx := make([]float64, s)
+				bytesToWords(dx, sc.b2)
+				dy := make([]float64, s)
+				copy(dy, a)
+				simmpi.OpXor.Combine(dy, dx)
+				g.comm.World().Compute(float64(s) * 6)
+				if err := g.comm.Send(x, dx); err != nil {
+					return err
+				}
+				if err := g.comm.Send(y, dy); err != nil {
+					return err
+				}
+			case x:
+				if err := g.comm.Recv(qh, sc.aux); err != nil {
+					return err
+				}
+				storeMyStripe(f, sc.aux)
+			case y:
+				if err := g.comm.Recv(qh, sc.aux); err != nil {
+					return err
+				}
+				storeMyStripe(f, sc.aux)
+			}
+		}
+	}
+	return nil
+}
+
+// Verify recomputes both parities and reports whether this rank's stored
+// checksum matches bit-for-bit (collective).
+func (g *RSGroup) Verify(checksum []float64, dataParts ...[]float64) (bool, error) {
+	fresh := make([]float64, len(checksum))
+	if err := g.Encode(fresh, dataParts...); err != nil {
+		return false, err
+	}
+	for i := range fresh {
+		if math.Float64bits(fresh[i]) != math.Float64bits(checksum[i]) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,237 @@
+package encoding
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"selfckpt/internal/simmpi"
+)
+
+func TestRSStripeMapping(t *testing.T) {
+	for n := 3; n <= 8; n++ {
+		run(t, n, func(comm *simmpi.Comm) error {
+			g, err := NewRSGroup(comm)
+			if err != nil {
+				return err
+			}
+			r := comm.Rank()
+			seen := map[int]bool{}
+			count := 0
+			for f := 0; f < n; f++ {
+				si := g.rsStripeOf(r, f)
+				if r == g.pHolder(f) || r == g.qHolder(f) {
+					if si != -1 {
+						return fmt.Errorf("n=%d r=%d f=%d: parity holder has stripe %d", n, r, f, si)
+					}
+					continue
+				}
+				if si < 0 || si >= n-2 {
+					return fmt.Errorf("n=%d r=%d f=%d: stripe %d out of range", n, r, f, si)
+				}
+				if seen[si] {
+					return fmt.Errorf("n=%d r=%d: stripe %d reused", n, r, si)
+				}
+				seen[si] = true
+				count++
+			}
+			if count != n-2 {
+				return fmt.Errorf("n=%d r=%d: %d data stripes, want %d", n, r, count, n-2)
+			}
+			// Data indices within each family must be distinct and dense.
+			for f := 0; f < n; f++ {
+				idx := map[int]bool{}
+				for rr := 0; rr < n; rr++ {
+					if rr == g.pHolder(f) || rr == g.qHolder(f) {
+						continue
+					}
+					i := g.dataIndex(f, rr)
+					if i < 0 || i >= n-2 || idx[i] {
+						return fmt.Errorf("n=%d f=%d: bad data index %d for rank %d", n, f, i, rr)
+					}
+					idx[i] = true
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestRSGroupValidation(t *testing.T) {
+	run(t, 2, func(comm *simmpi.Comm) error {
+		if _, err := NewRSGroup(comm); err == nil {
+			return errors.New("expected error for group of 2")
+		}
+		return nil
+	})
+}
+
+// testRSRebuild erases the given set of ranks and checks exact recovery
+// of both data and checksum slots.
+func testRSRebuild(t *testing.T, n, words int, lost []int) {
+	t.Helper()
+	run(t, n, func(comm *simmpi.Comm) error {
+		g, err := NewRSGroup(comm)
+		if err != nil {
+			return err
+		}
+		data := fillData(comm.Rank(), words, 77)
+		orig := append([]float64{}, data...)
+		ck := make([]float64, g.ChecksumWords(words))
+		if err := g.Encode(ck, data); err != nil {
+			return err
+		}
+		origCk := append([]float64{}, ck...)
+
+		for _, l := range lost {
+			if comm.Rank() == l {
+				for i := range data {
+					data[i] = math.NaN()
+				}
+				for i := range ck {
+					ck[i] = 0
+				}
+			}
+		}
+		if err := g.Rebuild(lost, ck, data); err != nil {
+			return err
+		}
+		for i := range data {
+			if math.Float64bits(data[i]) != math.Float64bits(orig[i]) {
+				return fmt.Errorf("n=%d lost=%v rank=%d: data[%d] = %g, want %g", n, lost, comm.Rank(), i, data[i], orig[i])
+			}
+		}
+		for i := range ck {
+			if math.Float64bits(ck[i]) != math.Float64bits(origCk[i]) {
+				return fmt.Errorf("n=%d lost=%v rank=%d: checksum[%d] mismatch", n, lost, comm.Rank(), i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestRSRebuildSingleLoss(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 8} {
+		for lost := 0; lost < n; lost++ {
+			testRSRebuild(t, n, 17, []int{lost})
+		}
+	}
+}
+
+func TestRSRebuildDoubleLossExhaustive(t *testing.T) {
+	// Every pair of losses for several group sizes: this covers all the
+	// per-family case analysis (two data lost, data+P, data+Q, P+Q).
+	for _, n := range []int{3, 4, 5, 6} {
+		for x := 0; x < n; x++ {
+			for y := x + 1; y < n; y++ {
+				testRSRebuild(t, n, 13, []int{x, y})
+			}
+		}
+	}
+}
+
+func TestRSRebuildLargerGroup(t *testing.T) {
+	testRSRebuild(t, 10, 64, []int{2, 7})
+	testRSRebuild(t, 10, 64, []int{0, 9}) // wrap-around parity neighbours
+}
+
+func TestRSRebuildUnorderedAndEmptyLost(t *testing.T) {
+	testRSRebuild(t, 5, 9, []int{4, 1}) // unsorted input
+	run(t, 4, func(comm *simmpi.Comm) error {
+		g, err := NewRSGroup(comm)
+		if err != nil {
+			return err
+		}
+		data := fillData(comm.Rank(), 8, 3)
+		ck := make([]float64, g.ChecksumWords(8))
+		if err := g.Encode(ck, data); err != nil {
+			return err
+		}
+		return g.Rebuild(nil, ck, data) // no losses: no-op
+	})
+}
+
+func TestRSRebuildRejectsBadInput(t *testing.T) {
+	run(t, 4, func(comm *simmpi.Comm) error {
+		g, err := NewRSGroup(comm)
+		if err != nil {
+			return err
+		}
+		data := make([]float64, 8)
+		ck := make([]float64, g.ChecksumWords(8))
+		if err := g.Rebuild([]int{0, 1, 2}, ck, data); err == nil {
+			return errors.New("three losses should be rejected")
+		}
+		if err := g.Rebuild([]int{9}, ck, data); err == nil {
+			return errors.New("out-of-range loss should be rejected")
+		}
+		if err := g.Rebuild([]int{1, 1}, ck, data); err == nil {
+			return errors.New("duplicate loss should be rejected")
+		}
+		return nil
+	})
+}
+
+func TestRSVerifyDetectsCorruption(t *testing.T) {
+	run(t, 5, func(comm *simmpi.Comm) error {
+		g, err := NewRSGroup(comm)
+		if err != nil {
+			return err
+		}
+		data := fillData(comm.Rank(), 20, 5)
+		ck := make([]float64, g.ChecksumWords(20))
+		if err := g.Encode(ck, data); err != nil {
+			return err
+		}
+		ok, err := g.Verify(ck, data)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return errors.New("fresh RS encoding failed verification")
+		}
+		if comm.Rank() == 2 {
+			data[3] += 1
+		}
+		ok, err = g.Verify(ck, data)
+		if err != nil {
+			return err
+		}
+		bad := 0.0
+		if !ok {
+			bad = 1
+		}
+		out := []float64{0}
+		if err := comm.Allreduce([]float64{bad}, out, simmpi.OpSum); err != nil {
+			return err
+		}
+		if out[0] == 0 {
+			return errors.New("corruption not detected")
+		}
+		return nil
+	})
+}
+
+func TestRSChecksumOverheadVsSingleParity(t *testing.T) {
+	// Dual parity costs two slots of ceil(L/(N-2)) words instead of one
+	// of ceil(L/(N-1)): slightly more than double — the price of
+	// tolerating a second loss.
+	run(t, 8, func(comm *simmpi.Comm) error {
+		single, err := NewGroup(comm, simmpi.OpXor)
+		if err != nil {
+			return err
+		}
+		dual, err := NewRSGroup(comm)
+		if err != nil {
+			return err
+		}
+		const words = 1 << 12
+		s1 := single.ChecksumWords(words)
+		s2 := dual.ChecksumWords(words)
+		if s2 <= s1 || s2 > 3*s1 {
+			return fmt.Errorf("dual-parity checksum %d vs single %d out of the expected band", s2, s1)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,334 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("cannot parse percentage %q: %v", s, err)
+	}
+	return v
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{ID: "x", Title: "demo", Header: []string{"a", "bb"}}
+	r.AddRow("1", "2")
+	r.AddNote("n=%d", 3)
+	s := r.String()
+	for _, want := range []string{"== x: demo ==", "a", "bb", "note: n=3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := All()
+	for _, id := range Order() {
+		if _, ok := reg[id]; !ok {
+			t.Fatalf("Order lists %q but All does not provide it", id)
+		}
+	}
+	if len(reg) != len(Order()) {
+		t.Fatalf("registry has %d entries, order %d", len(reg), len(Order()))
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// At group size 16 (last row): self model ≈ 46.88%, measured close.
+	last := r.Rows[len(r.Rows)-1]
+	if m := parsePct(t, last[1]); m < 46.8 || m > 46.9 {
+		t.Fatalf("self model at 16 = %v", m)
+	}
+	if meas := parsePct(t, last[2]); meas < 45.5 || meas > 47.0 {
+		t.Fatalf("self measured at 16 = %v", meas)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	r, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if !strings.Contains(r.Rows[0][0], "Tianhe-1A") {
+		t.Fatalf("first row %v", r.Rows[0])
+	}
+}
+
+func TestFig6(t *testing.T) {
+	r, err := Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Ordering single > self > double in every row.
+	for _, row := range r.Rows {
+		single, self, double := parsePct(t, row[1]), parsePct(t, row[2]), parsePct(t, row[3])
+		if !(single > self && self > double) {
+			t.Fatalf("ordering violated in row %v", row)
+		}
+	}
+}
+
+func TestFig7ShapeAndFit(t *testing.T) {
+	r, err := Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Efficiency must be monotone non-decreasing with memory.
+	prev := -1.0
+	for _, row := range r.Rows {
+		e := parsePct(t, row[2])
+		if e < prev-0.5 { // allow tiny rounding wiggle
+			t.Fatalf("efficiency decreased with memory: %v", r.Rows)
+		}
+		prev = e
+		// Fit should be within a few points of the measurement.
+		fit := parsePct(t, row[3])
+		if d := e - fit; d > 6 || d < -6 {
+			t.Fatalf("fit off by %v points in row %v", d, row)
+		}
+	}
+}
+
+func TestFig8(t *testing.T) {
+	r, err := Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 10 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		official, half, third := parsePct(t, row[1]), parsePct(t, row[2]), parsePct(t, row[3])
+		if !(official > half && half > third) {
+			t.Fatalf("memory scaling order violated: %v", row)
+		}
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	r, err := Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byPlatform := map[string][]float64{}
+	size := map[string][]float64{}
+	for _, row := range r.Rows {
+		tm, _ := strconv.ParseFloat(row[3], 64)
+		sz, _ := strconv.ParseFloat(row[2], 64)
+		byPlatform[row[0]] = append(byPlatform[row[0]], tm)
+		size[row[0]] = append(size[row[0]], sz)
+	}
+	for plat, times := range byPlatform {
+		// Encoding time grows with group size...
+		if !(times[0] < times[2]) {
+			t.Fatalf("%s: encoding time should grow with group size: %v", plat, times)
+		}
+		// ...but slowly (well under linear in N).
+		if times[2] > times[0]*3 {
+			t.Fatalf("%s: encoding time grew too fast: %v", plat, times)
+		}
+		// Checkpoint size is not very sensitive to group size.
+		if size[plat][2] < size[plat][0] {
+			t.Fatalf("%s: checkpoint size should not shrink with group size: %v", plat, size[plat])
+		}
+	}
+	// §6.6: Tianhe-2 encodes slower than Tianhe-1A despite the faster
+	// NIC (24 vs 12 processes per port).
+	if !(byPlatform["Tianhe-2"][1] > byPlatform["Tianhe-1A"][1]) {
+		t.Fatalf("Tianhe-2 should encode slower: %v vs %v", byPlatform["Tianhe-2"], byPlatform["Tianhe-1A"])
+	}
+}
+
+func TestExt1Shape(t *testing.T) {
+	r, err := Ext1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	prev := -1.0
+	for _, row := range r.Rows {
+		p1, _ := strconv.ParseFloat(row[2], 64)
+		p2, _ := strconv.ParseFloat(row[3], 64)
+		if p1 <= prev {
+			t.Fatalf("single-parity risk should grow with group size: %v", r.Rows)
+		}
+		if p2 >= p1 {
+			t.Fatalf("dual parity must reduce the risk: %v", row)
+		}
+		prev = p1
+	}
+}
+
+func TestExt2Matrix(t *testing.T) {
+	r, err := Ext2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	single, dual := r.Rows[0], r.Rows[1]
+	if single[3] != "YES" || single[4] != "NO" {
+		t.Fatalf("single parity outcomes: %v", single)
+	}
+	if dual[3] != "YES" || dual[4] != "YES" {
+		t.Fatalf("dual parity outcomes: %v", dual)
+	}
+	if parsePct(t, dual[1]) >= parsePct(t, single[1]) {
+		t.Fatal("dual parity must cost memory")
+	}
+}
+
+func TestExt3RecoveryRatio(t *testing.T) {
+	r, err := Ext3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		ratio, _ := strconv.ParseFloat(row[3], 64)
+		// The paper's fig10 ratio is 20/16 = 1.25; ours must land in the
+		// same recovery-costs-more band.
+		if ratio <= 1.0 || ratio > 2.0 {
+			t.Fatalf("recovery/checkpoint ratio %v out of band: %v", ratio, row)
+		}
+	}
+}
+
+// The HPL-driving experiments are heavier; run them once each to check
+// structure and headline invariants.
+
+func TestFig11HeadlineClaim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation")
+	}
+	r, err := Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		ratio := parsePct(t, row[5])
+		if ratio < 85 || ratio > 101 {
+			t.Fatalf("SKT/original ratio %v%% outside plausible band (paper ≥95%%): %v", ratio, row)
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation")
+	}
+	r, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	rec := map[string]string{}
+	norm := map[string]float64{}
+	for _, row := range r.Rows {
+		rec[row[0]] = row[7]
+		norm[row[0]] = parsePct(t, row[6])
+	}
+	for name, want := range map[string]string{
+		"Original HPL": "NO", "ABFT": "NO",
+		"BLCR+HDD": "YES", "BLCR+SSD": "YES", "SCR+Memory": "YES", "SKT-HPL": "YES",
+	} {
+		if rec[name] != want {
+			t.Fatalf("%s recovery = %s, want %s\n%s", name, rec[name], want, r.String())
+		}
+	}
+	// The paper's full performance ordering must be reproduced:
+	// BLCR+HDD < ABFT < BLCR+SSD < SCR < SKT-HPL < Original.
+	order := []string{"BLCR+HDD", "ABFT", "BLCR+SSD", "SCR+Memory", "SKT-HPL", "Original HPL"}
+	for i := 1; i < len(order); i++ {
+		if !(norm[order[i]] > norm[order[i-1]]) {
+			t.Fatalf("ordering violated: %s (%v) should beat %s (%v)\n%s",
+				order[i], norm[order[i]], order[i-1], norm[order[i-1]], r.String())
+		}
+	}
+	if gap := norm["SKT-HPL"] - norm["SCR+Memory"]; gap < 1 || gap > 10 {
+		t.Fatalf("SKT-vs-SCR gap %.1f points, paper reports ~2.4", gap)
+	}
+	if norm["Original HPL"] < 99.9 {
+		t.Fatalf("original HPL should normalize to 100%%: %v", norm["Original HPL"])
+	}
+}
+
+func TestFig10Timeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation")
+	}
+	r, err := Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := ""
+	for _, row := range r.Rows {
+		joined += row[0] + "|"
+	}
+	for _, phase := range []string{"work (attempt 0)", "detect", "replace", "restart", "work (attempt 1)", "recover data", "checkpoint"} {
+		if !strings.Contains(joined, phase) {
+			t.Fatalf("timeline missing %q: %s", phase, joined)
+		}
+	}
+	// Daemon constants match the paper.
+	for _, row := range r.Rows {
+		if strings.Contains(row[0], "detect") && row[1] != "63.00" {
+			t.Fatalf("detect phase %v, want 63.00", row[1])
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation")
+	}
+	r, err := Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 10 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Normalized efficiency increases with memory on each platform.
+	var prev float64
+	var prevPlat string
+	for _, row := range r.Rows {
+		e := parsePct(t, row[3])
+		if row[0] == prevPlat && e < prev-0.5 {
+			t.Fatalf("normalized efficiency decreased with memory: %v", r.Rows)
+		}
+		prev, prevPlat = e, row[0]
+	}
+}

@@ -1,0 +1,29 @@
+package gf256
+
+import "testing"
+
+// FuzzFieldLaws checks the field axioms and erasure algebra on arbitrary
+// byte triples.
+func FuzzFieldLaws(f *testing.F) {
+	f.Add(byte(0), byte(1), byte(255))
+	f.Add(byte(17), byte(34), byte(51))
+	f.Fuzz(func(t *testing.T, a, b, c byte) {
+		if Mul(a, Add(b, c)) != Add(Mul(a, b), Mul(a, c)) {
+			t.Fatalf("distributivity failed at %d,%d,%d", a, b, c)
+		}
+		if Mul(Mul(a, b), c) != Mul(a, Mul(b, c)) {
+			t.Fatalf("associativity failed at %d,%d,%d", a, b, c)
+		}
+		if b != 0 {
+			if Mul(Div(a, b), b) != a {
+				t.Fatalf("a/b*b != a at %d,%d", a, b)
+			}
+		}
+		// RAID-6 single-unknown solve: q = g^i·d ⇒ d = q/g^i.
+		i := int(c) % 255
+		q := Mul(Exp(i), a)
+		if Div(q, Exp(i)) != a {
+			t.Fatalf("erasure solve failed at %d, i=%d", a, i)
+		}
+	})
+}

@@ -1,0 +1,114 @@
+// Package gf256 implements arithmetic over the Galois field GF(2⁸) with
+// the AES-standard primitive polynomial x⁸+x⁴+x³+x²+1 (0x11d), the
+// substrate for the Reed-Solomon / RAID-6 dual-parity encoding the paper
+// names as the path to tolerating more than one node failure per group
+// (§2.1). Field elements are bytes; addition is XOR; multiplication uses
+// log/exp tables built at package init.
+package gf256
+
+// Generator is the primitive element used for the Q-parity coefficients
+// (g = 2, a generator of the multiplicative group under poly 0x11d).
+const Generator = 2
+
+const poly = 0x11d
+
+var (
+	expTable [512]byte // doubled to skip the mod-255 on lookups
+	logTable [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= poly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		expTable[i] = expTable[i-255]
+	}
+}
+
+// Add returns a+b in GF(2⁸) (XOR).
+func Add(a, b byte) byte { return a ^ b }
+
+// Mul returns a·b in GF(2⁸).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Exp returns g^n for the field generator.
+func Exp(n int) byte {
+	n %= 255
+	if n < 0 {
+		n += 255
+	}
+	return expTable[n]
+}
+
+// Inv returns the multiplicative inverse of a; it panics on 0, which has
+// no inverse (callers guarantee nonzero denominators by construction).
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return expTable[255-int(logTable[a])]
+}
+
+// Div returns a/b; it panics when b is 0.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+255-int(logTable[b])]
+}
+
+// MulSlice sets dst[i] = c·src[i] for all i (dst and src may alias).
+func MulSlice(c byte, dst, src []byte) {
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	lc := int(logTable[c])
+	for i, v := range src {
+		if v == 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = expTable[lc+int(logTable[v])]
+		}
+	}
+}
+
+// MulAddSlice sets dst[i] ^= c·src[i] for all i.
+func MulAddSlice(c byte, dst, src []byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, v := range src {
+			dst[i] ^= v
+		}
+		return
+	}
+	lc := int(logTable[c])
+	for i, v := range src {
+		if v != 0 {
+			dst[i] ^= expTable[lc+int(logTable[v])]
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldAxioms(t *testing.T) {
+	// Multiplicative identity and zero.
+	for a := 0; a < 256; a++ {
+		if Mul(byte(a), 1) != byte(a) {
+			t.Fatalf("a·1 != a for %d", a)
+		}
+		if Mul(byte(a), 0) != 0 {
+			t.Fatalf("a·0 != 0 for %d", a)
+		}
+	}
+	// Commutativity and associativity (sampled exhaustively for pairs,
+	// randomly for triples).
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if Mul(byte(a), byte(b)) != Mul(byte(b), byte(a)) {
+				t.Fatalf("commutativity failed at %d,%d", a, b)
+			}
+		}
+	}
+	assoc := func(a, b, c byte) bool {
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Fatal(err)
+	}
+	distr := func(a, b, c byte) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(distr, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if Mul(byte(a), Inv(byte(a))) != 1 {
+			t.Fatalf("a·a⁻¹ != 1 for %d", a)
+		}
+		if Div(byte(a), byte(a)) != 1 {
+			t.Fatalf("a/a != 1 for %d", a)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) should panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero should panic")
+		}
+	}()
+	Div(3, 0)
+}
+
+func TestGeneratorOrder(t *testing.T) {
+	// g must generate the full multiplicative group: g^i distinct for
+	// i in [0,255), and g^255 = 1.
+	seen := map[byte]bool{}
+	for i := 0; i < 255; i++ {
+		v := Exp(i)
+		if seen[v] {
+			t.Fatalf("g^%d repeats value %d", i, v)
+		}
+		seen[v] = true
+	}
+	if Exp(255) != 1 || Exp(0) != 1 {
+		t.Fatal("generator order is not 255")
+	}
+	if Exp(-1) != Exp(254) {
+		t.Fatal("negative exponents should wrap")
+	}
+}
+
+func TestSliceOps(t *testing.T) {
+	src := []byte{0, 1, 2, 3, 255, 17}
+	dst := make([]byte, len(src))
+	MulSlice(7, dst, src)
+	for i := range src {
+		if dst[i] != Mul(7, src[i]) {
+			t.Fatalf("MulSlice mismatch at %d", i)
+		}
+	}
+	acc := []byte{9, 9, 9, 9, 9, 9}
+	want := make([]byte, len(acc))
+	for i := range acc {
+		want[i] = acc[i] ^ Mul(5, src[i])
+	}
+	MulAddSlice(5, acc, src)
+	for i := range acc {
+		if acc[i] != want[i] {
+			t.Fatalf("MulAddSlice mismatch at %d", i)
+		}
+	}
+	// c = 0 and c = 1 fast paths.
+	MulAddSlice(0, acc, src)
+	for i := range acc {
+		if acc[i] != want[i] {
+			t.Fatal("MulAddSlice with c=0 must be a no-op")
+		}
+	}
+	MulSlice(1, dst, src)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatal("MulSlice with c=1 must copy")
+		}
+	}
+	MulSlice(0, dst, src)
+	for i := range dst {
+		if dst[i] != 0 {
+			t.Fatal("MulSlice with c=0 must zero")
+		}
+	}
+}
+
+// TestRaid6Reconstruction is the end-use property: for shards D_i with
+// P = ⊕D_i and Q = ⊕ g^i·D_i, any two erased data shards are exactly
+// recoverable — the algebra the rs encoding layer builds on.
+func TestRaid6Reconstruction(t *testing.T) {
+	f := func(d0, d1, d2, d3 byte) bool {
+		d := []byte{d0, d1, d2, d3}
+		var p, q byte
+		for i, v := range d {
+			p ^= v
+			q ^= Mul(Exp(i), v)
+		}
+		for x := 0; x < 4; x++ {
+			for y := x + 1; y < 4; y++ {
+				// Erase x and y; recover from P and Q.
+				var pp, qq byte
+				for i, v := range d {
+					if i == x || i == y {
+						continue
+					}
+					pp ^= v
+					qq ^= Mul(Exp(i), v)
+				}
+				a := p ^ pp            // D_x ⊕ D_y
+				b := q ^ qq            // g^x·D_x ⊕ g^y·D_y
+				den := Exp(x) ^ Exp(y) // nonzero since x ≠ y (mod 255)
+				dx := Div(Mul(Exp(y), a)^b, den)
+				dy := a ^ dx
+				if dx != d[x] || dy != d[y] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package hpl
+
+// Dense kernels on column-major storage with leading dimension ld. These
+// are the pure-Go stand-ins for the vendor BLAS under real HPL; their
+// modelled cost is charged separately against the platform's effective
+// GFLOPS, so their wall-clock speed only bounds experiment sizes, not the
+// reported numbers.
+
+// dgemmSub computes C ← C − A·B for column-major A (m×k, lda), B (k×n,
+// ldb), C (m×n, ldc). The loop order is j-l-i so the inner loop streams a
+// column of C against a column of A (unit stride for column-major data).
+func dgemmSub(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	for j := 0; j < n; j++ {
+		cj := c[j*ldc : j*ldc+m]
+		bj := b[j*ldb : j*ldb+k]
+		for l := 0; l < k; l++ {
+			blj := bj[l]
+			if blj == 0 {
+				continue
+			}
+			al := a[l*lda : l*lda+m]
+			for i := range cj {
+				cj[i] -= blj * al[i]
+			}
+		}
+	}
+}
+
+// dgemmFlops is the flop count charged for dgemmSub.
+func dgemmFlops(m, n, k int) float64 { return 2 * float64(m) * float64(n) * float64(k) }
+
+// dtrsmLLNU solves L·X = B in place, where L (w×w, ldl) is unit lower
+// triangular and B (w×n, ldb) is overwritten with X. This is the U12
+// update of the factorization: U12 = L11⁻¹·A12.
+func dtrsmLLNU(w, n int, l []float64, ldl int, b []float64, ldb int) {
+	for j := 0; j < n; j++ {
+		bj := b[j*ldb : j*ldb+w]
+		for i := 0; i < w; i++ {
+			x := bj[i]
+			if x == 0 {
+				continue
+			}
+			li := l[i*ldl : i*ldl+w] // column i of L
+			for r := i + 1; r < w; r++ {
+				bj[r] -= x * li[r]
+			}
+		}
+	}
+}
+
+// dtrsmFlops is the flop count charged for dtrsmLLNU.
+func dtrsmFlops(w, n int) float64 { return float64(n) * float64(w) * float64(w) }
+
+// dtrsvUpper solves U·x = y in place for a w×w upper-triangular
+// (non-unit) U stored column-major with leading dimension ldu. Used for
+// the diagonal solves of back substitution.
+func dtrsvUpper(w int, u []float64, ldu int, x []float64) {
+	for i := w - 1; i >= 0; i-- {
+		x[i] /= u[i*ldu+i]
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		ui := u[i*ldu : i*ldu+i]
+		for r := 0; r < i; r++ {
+			x[r] -= xi * ui[r]
+		}
+	}
+}
+
+// idamaxAbs returns the index of the element with the largest magnitude
+// in x, or -1 for an empty slice.
+func idamaxAbs(x []float64) int {
+	best, bi := -1.0, -1
+	for i, v := range x {
+		if v < 0 {
+			v = -v
+		}
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}

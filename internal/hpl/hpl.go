@@ -1,0 +1,97 @@
+package hpl
+
+import (
+	"fmt"
+	"math"
+
+	"selfckpt/internal/simmpi"
+)
+
+// FlopCount is the operation count HPL credits a solved system of order n:
+// (2/3)n³ + (3/2)n².
+func FlopCount(n int) float64 {
+	fn := float64(n)
+	return 2.0/3.0*fn*fn*fn + 1.5*fn*fn
+}
+
+// SizeForMemory returns the largest problem size N (rounded down to a
+// multiple of nb) whose N×(N+1) system fits when each of ranks processes
+// can devote availBytesPerRank to the matrix.
+func SizeForMemory(availBytesPerRank float64, ranks, nb int) int {
+	if availBytesPerRank <= 0 {
+		return 0
+	}
+	totalWords := availBytesPerRank / 8 * float64(ranks)
+	n := int(math.Sqrt(totalWords)) // N² + N ≤ totalWords, N ≈ √totalWords
+	for n > 0 && float64(n)*float64(n+1) > totalWords {
+		n--
+	}
+	return n / nb * nb
+}
+
+// RunResult reports one complete HPL test.
+type RunResult struct {
+	N, NB, P, Q int
+	TimeSec     float64 // modelled wall time of factorization + solve
+	GFLOPS      float64
+	Efficiency  float64 // GFLOPS / (ranks × peak per rank)
+	Verify      VerifyResult
+}
+
+// RunOptions tunes a Run.
+type RunOptions struct {
+	// Lookahead enables depth-1 panel lookahead.
+	Lookahead bool
+	// PanelBcast overrides the panel broadcast algorithm (nil = binomial).
+	PanelBcast BcastFunc
+}
+
+// Run executes a full HPL test on an existing grid: generate, factor,
+// solve, verify, report. backing, when non-nil, is the protected
+// workspace the local matrix lives in. peakGFLOPSPerRank scales the
+// efficiency figure (pass the platform's theoretical peak per process).
+func Run(g *Grid, n, nb int, seed uint64, peakGFLOPSPerRank float64, backing []float64) (*RunResult, error) {
+	return RunWithOptions(g, n, nb, seed, peakGFLOPSPerRank, backing, RunOptions{})
+}
+
+// RunWithOptions is Run with explicit tuning options.
+func RunWithOptions(g *Grid, n, nb int, seed uint64, peakGFLOPSPerRank float64, backing []float64, opts RunOptions) (*RunResult, error) {
+	m, err := NewMatrix(g, n, nb, backing)
+	if err != nil {
+		return nil, err
+	}
+	m.Generate(seed)
+
+	t0 := g.World.Now()
+	s := NewSolver(m)
+	s.Lookahead = opts.Lookahead
+	if opts.PanelBcast != nil {
+		s.PanelBcast = opts.PanelBcast
+	}
+	if err := s.Factorize(nil); err != nil {
+		return nil, err
+	}
+	x, err := s.Solve()
+	if err != nil {
+		return nil, err
+	}
+	elapsed := []float64{g.World.Now() - t0}
+	out := make([]float64, 1)
+	if err := g.World.Allreduce(elapsed, out, simmpi.OpMax); err != nil {
+		return nil, err
+	}
+
+	vr, err := Verify(g, n, nb, seed, x)
+	if err != nil {
+		return nil, err
+	}
+	if !vr.Passed {
+		return nil, fmt.Errorf("hpl: verification failed: scaled residual %.3g ≥ %g", vr.Resid, VerifyThreshold)
+	}
+	res := &RunResult{N: n, NB: nb, P: g.P, Q: g.Q, TimeSec: out[0], Verify: vr}
+	res.GFLOPS = FlopCount(n) / out[0] / 1e9
+	if peakGFLOPSPerRank > 0 {
+		res.Efficiency = res.GFLOPS / (float64(g.P*g.Q) * peakGFLOPSPerRank)
+	}
+	return res, nil
+}

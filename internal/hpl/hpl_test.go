@@ -1,0 +1,818 @@
+package hpl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"selfckpt/internal/simmpi"
+)
+
+func run(t *testing.T, ranks int, fn func(c *simmpi.Comm) error) *simmpi.Result {
+	t.Helper()
+	w, err := simmpi.NewWorld(simmpi.Config{Ranks: ranks, Alpha: 1e-7, Bandwidth: []float64{5e9}, GFLOPS: []float64{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run(fn)
+	if res.Failed() {
+		t.Fatalf("job failed: %v", res.FirstError())
+	}
+	return res
+}
+
+// serialSolve solves [A|b] with plain Gaussian elimination with partial
+// pivoting as the reference implementation.
+func serialSolve(n int, seed uint64) []float64 {
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n+1)
+		for j := 0; j <= n; j++ {
+			a[i][j] = Element(seed, i, j)
+		}
+	}
+	for j := 0; j < n; j++ {
+		p := j
+		for i := j + 1; i < n; i++ {
+			if math.Abs(a[i][j]) > math.Abs(a[p][j]) {
+				p = i
+			}
+		}
+		a[j], a[p] = a[p], a[j]
+		for i := j + 1; i < n; i++ {
+			f := a[i][j] / a[j][j]
+			for c := j; c <= n; c++ {
+				a[i][c] -= f * a[j][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := a[i][n]
+		for c := i + 1; c < n; c++ {
+			s -= a[i][c] * x[c]
+		}
+		x[i] = s / a[i][i]
+	}
+	return x
+}
+
+func TestNumroc(t *testing.T) {
+	cases := []struct{ n, nb, p, want0, want1 int }{
+		{10, 2, 2, 6, 4},
+		{10, 3, 2, 6, 4},
+		{9, 3, 3, 3, 3},
+		{7, 3, 2, 4, 3},
+		{1, 4, 4, 1, 0},
+	}
+	for _, c := range cases {
+		if got := numroc(c.n, c.nb, 0, c.p); got != c.want0 {
+			t.Errorf("numroc(%d,%d,0,%d) = %d, want %d", c.n, c.nb, c.p, got, c.want0)
+		}
+		if got := numroc(c.n, c.nb, 1, c.p); got != c.want1 {
+			t.Errorf("numroc(%d,%d,1,%d) = %d, want %d", c.n, c.nb, c.p, got, c.want1)
+		}
+	}
+	// Conservation: shares sum to n.
+	for n := 0; n < 40; n++ {
+		for _, nb := range []int{1, 2, 3, 5} {
+			for _, p := range []int{1, 2, 3, 4} {
+				sum := 0
+				for ip := 0; ip < p; ip++ {
+					sum += numroc(n, nb, ip, p)
+				}
+				if sum != n {
+					t.Fatalf("numroc conservation: n=%d nb=%d p=%d sum=%d", n, nb, p, sum)
+				}
+			}
+		}
+	}
+}
+
+func TestGlobalLocalRoundTrip(t *testing.T) {
+	for _, nprocs := range []int{1, 2, 3} {
+		for _, nb := range []int{1, 2, 4} {
+			for g := 0; g < 50; g++ {
+				proc := (g / nb) % nprocs
+				// local index for owner, then back
+				l := (g/nb/nprocs)*nb + g%nb
+				if got := globalIndex(l, nb, proc, nprocs); got != g {
+					t.Fatalf("roundtrip: g=%d nb=%d p=%d -> l=%d -> %d", g, nb, nprocs, l, got)
+				}
+			}
+		}
+	}
+}
+
+func TestFitGrid(t *testing.T) {
+	cases := map[int][2]int{1: {1, 1}, 4: {2, 2}, 6: {2, 3}, 8: {2, 4}, 12: {3, 4}, 7: {1, 7}, 24: {4, 6}}
+	for ranks, want := range cases {
+		p, q := FitGrid(ranks)
+		if p != want[0] || q != want[1] {
+			t.Errorf("FitGrid(%d) = %dx%d, want %dx%d", ranks, p, q, want[0], want[1])
+		}
+		if p*q != ranks {
+			t.Errorf("FitGrid(%d) does not cover all ranks", ranks)
+		}
+	}
+}
+
+func TestFirstLocalAtLeast(t *testing.T) {
+	// Check against a brute-force scan for a 3-row grid with nb=2.
+	run(t, 3, func(c *simmpi.Comm) error {
+		g, err := NewGrid(c, 3, 1)
+		if err != nil {
+			return err
+		}
+		const nb, n = 2, 25
+		ml := numroc(n, nb, g.MyRow, g.P)
+		for i := 0; i <= n; i++ {
+			want := ml
+			for l := 0; l < ml; l++ {
+				if globalIndex(l, nb, g.MyRow, g.P) >= i {
+					want = l
+					break
+				}
+			}
+			if got := g.firstLocalRowAtLeast(i, nb); got != want {
+				return fmt.Errorf("row %d: firstLocalRowAtLeast = %d, want %d (myrow %d)", i, got, want, g.MyRow)
+			}
+		}
+		return nil
+	})
+}
+
+func TestMatrixGenerateDeterministic(t *testing.T) {
+	run(t, 4, func(c *simmpi.Comm) error {
+		g, err := NewGrid(c, 2, 2)
+		if err != nil {
+			return err
+		}
+		m, err := NewMatrix(g, 10, 3, nil)
+		if err != nil {
+			return err
+		}
+		m.Generate(7)
+		for lj := 0; lj < m.NL; lj++ {
+			j := globalIndex(lj, m.NB, g.MyCol, g.Q)
+			for li := 0; li < m.ML; li++ {
+				i := globalIndex(li, m.NB, g.MyRow, g.P)
+				if m.A[lj*m.ML+li] != Element(7, i, j) {
+					return fmt.Errorf("generate mismatch at global (%d,%d)", i, j)
+				}
+				if v := m.At(i, j); v != Element(7, i, j) {
+					return fmt.Errorf("At mismatch at (%d,%d): %g", i, j, v)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestElementRange(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 50; j++ {
+			v := Element(3, i, j)
+			if v < -0.5 || v >= 0.5 {
+				t.Fatalf("Element(3,%d,%d) = %g out of [-0.5, 0.5)", i, j, v)
+			}
+		}
+	}
+	if Element(1, 2, 3) == Element(2, 2, 3) {
+		t.Fatal("different seeds should give different matrices")
+	}
+}
+
+func TestDgemmSubAgainstNaive(t *testing.T) {
+	const m, n, k, lda, ldb, ldc = 5, 4, 3, 7, 5, 6
+	a := make([]float64, lda*k)
+	b := make([]float64, ldb*n)
+	c := make([]float64, ldc*n)
+	want := make([]float64, ldc*n)
+	for i := range a {
+		a[i] = Element(1, i, 0)
+	}
+	for i := range b {
+		b[i] = Element(2, i, 0)
+	}
+	for i := range c {
+		c[i] = Element(3, i, 0)
+		want[i] = c[i]
+	}
+	for j := 0; j < n; j++ {
+		for l := 0; l < k; l++ {
+			for i := 0; i < m; i++ {
+				want[j*ldc+i] -= a[l*lda+i] * b[j*ldb+l]
+			}
+		}
+	}
+	dgemmSub(m, n, k, a, lda, b, ldb, c, ldc)
+	for i := range c {
+		if math.Abs(c[i]-want[i]) > 1e-14 {
+			t.Fatalf("dgemmSub mismatch at %d: %g vs %g", i, c[i], want[i])
+		}
+	}
+}
+
+func TestDtrsmAndDtrsv(t *testing.T) {
+	const w, n, ld = 4, 3, 5
+	// Unit lower triangular L, random B; check L·X = B.
+	l := make([]float64, ld*w)
+	for j := 0; j < w; j++ {
+		l[j*ld+j] = 1
+		for i := j + 1; i < w; i++ {
+			l[j*ld+i] = Element(4, i, j)
+		}
+	}
+	b := make([]float64, ld*n)
+	orig := make([]float64, ld*n)
+	for i := range b {
+		b[i] = Element(5, i, 0)
+		orig[i] = b[i]
+	}
+	dtrsmLLNU(w, n, l, ld, b, ld)
+	for j := 0; j < n; j++ {
+		for i := 0; i < w; i++ {
+			s := 0.0
+			for c := 0; c <= i; c++ {
+				lv := 1.0
+				if c != i {
+					lv = l[c*ld+i]
+				}
+				s += lv * b[j*ld+c]
+			}
+			if math.Abs(s-orig[j*ld+i]) > 1e-12 {
+				t.Fatalf("dtrsm residual at (%d,%d): %g", i, j, s-orig[j*ld+i])
+			}
+		}
+	}
+	// Upper triangular solve.
+	u := make([]float64, ld*w)
+	for j := 0; j < w; j++ {
+		u[j*ld+j] = 2 + Element(6, j, j)
+		for i := 0; i < j; i++ {
+			u[j*ld+i] = Element(6, i, j)
+		}
+	}
+	y := make([]float64, w)
+	for i := range y {
+		y[i] = Element(7, i, 0)
+	}
+	x := append([]float64{}, y...)
+	dtrsvUpper(w, u, ld, x)
+	for i := 0; i < w; i++ {
+		s := 0.0
+		for j := i; j < w; j++ {
+			s += u[j*ld+i] * x[j]
+		}
+		if math.Abs(s-y[i]) > 1e-12 {
+			t.Fatalf("dtrsv residual at %d: %g", i, s-y[i])
+		}
+	}
+}
+
+func TestIdamaxAbs(t *testing.T) {
+	if idamaxAbs(nil) != -1 {
+		t.Fatal("empty slice should return -1")
+	}
+	if got := idamaxAbs([]float64{1, -5, 3}); got != 1 {
+		t.Fatalf("idamaxAbs = %d, want 1", got)
+	}
+}
+
+func TestSolveMatchesSerialReference(t *testing.T) {
+	const n, seed = 48, 11
+	want := serialSolve(n, seed)
+	for _, cfg := range []struct{ ranks, p, q, nb int }{
+		{1, 1, 1, 8},
+		{2, 1, 2, 8},
+		{2, 2, 1, 4},
+		{4, 2, 2, 4},
+		{4, 2, 2, 5}, // NB not dividing N
+		{6, 2, 3, 8},
+		{9, 3, 3, 4},
+	} {
+		cfg := cfg
+		t.Run(fmt.Sprintf("%dx%d_nb%d", cfg.p, cfg.q, cfg.nb), func(t *testing.T) {
+			run(t, cfg.ranks, func(c *simmpi.Comm) error {
+				g, err := NewGrid(c, cfg.p, cfg.q)
+				if err != nil {
+					return err
+				}
+				m, err := NewMatrix(g, n, cfg.nb, nil)
+				if err != nil {
+					return err
+				}
+				m.Generate(seed)
+				s := NewSolver(m)
+				if err := s.Factorize(nil); err != nil {
+					return err
+				}
+				x, err := s.Solve()
+				if err != nil {
+					return err
+				}
+				for i := range x {
+					if math.Abs(x[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+						return fmt.Errorf("x[%d] = %.12g, want %.12g", i, x[i], want[i])
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestRunVerifies(t *testing.T) {
+	for _, cfg := range []struct{ ranks, p, q, n, nb int }{
+		{4, 2, 2, 64, 8},
+		{6, 2, 3, 96, 16},
+		{8, 2, 4, 100, 12},
+	} {
+		cfg := cfg
+		t.Run(fmt.Sprintf("%dx%d_n%d", cfg.p, cfg.q, cfg.n), func(t *testing.T) {
+			run(t, cfg.ranks, func(c *simmpi.Comm) error {
+				g, err := NewGrid(c, cfg.p, cfg.q)
+				if err != nil {
+					return err
+				}
+				res, err := Run(g, cfg.n, cfg.nb, 42, 10, nil)
+				if err != nil {
+					return err
+				}
+				if !res.Verify.Passed {
+					return fmt.Errorf("residual %g", res.Verify.Resid)
+				}
+				if res.GFLOPS <= 0 || res.TimeSec <= 0 {
+					return errors.New("non-positive performance report")
+				}
+				if res.Efficiency <= 0 || res.Efficiency > 1 {
+					return fmt.Errorf("efficiency %g out of (0,1]", res.Efficiency)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// TestFactorizeResumable factors half the panels, clones the state (as a
+// checkpoint restore would), and completes both copies: identical answers.
+func TestFactorizeResumable(t *testing.T) {
+	const n, nb, seed = 40, 4, 13
+	want := serialSolve(n, seed)
+	run(t, 4, func(c *simmpi.Comm) error {
+		g, err := NewGrid(c, 2, 2)
+		if err != nil {
+			return err
+		}
+		m, err := NewMatrix(g, n, nb, nil)
+		if err != nil {
+			return err
+		}
+		m.Generate(seed)
+		s := NewSolver(m)
+		half := s.Panels() / 2
+		for s.K < half {
+			if err := s.Step(); err != nil {
+				return err
+			}
+		}
+		// Snapshot (what a checkpoint captures: A, Piv, K).
+		aCopy := append([]float64{}, m.A...)
+		pivCopy := append([]int{}, s.Piv...)
+		kCopy := s.K
+
+		if err := s.Factorize(nil); err != nil {
+			return err
+		}
+		x1, err := s.Solve()
+		if err != nil {
+			return err
+		}
+
+		// Restore the snapshot into a fresh solver and finish again.
+		m2, err := NewMatrix(g, n, nb, nil)
+		if err != nil {
+			return err
+		}
+		copy(m2.A, aCopy)
+		s2 := NewSolver(m2)
+		copy(s2.Piv, pivCopy)
+		s2.K = kCopy
+		if err := s2.Factorize(nil); err != nil {
+			return err
+		}
+		x2, err := s2.Solve()
+		if err != nil {
+			return err
+		}
+		for i := range x1 {
+			if x1[i] != x2[i] {
+				return fmt.Errorf("resumed solve diverged at %d: %g vs %g", i, x1[i], x2[i])
+			}
+			if math.Abs(x1[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+				return fmt.Errorf("x[%d] = %g, want %g", i, x1[i], want[i])
+			}
+		}
+		return nil
+	})
+}
+
+// TestPanelBcastVariantsAgree: every panel-broadcast algorithm yields
+// the identical factorization.
+func TestPanelBcastVariantsAgree(t *testing.T) {
+	const n, nb, seed = 48, 8, 21
+	want := serialSolve(n, seed)
+	for _, bc := range []struct {
+		name string
+		fn   BcastFunc
+	}{{"binomial", BcastBinomial}, {"ring", BcastRing}, {"2ring", Bcast2Ring}} {
+		bc := bc
+		t.Run(bc.name, func(t *testing.T) {
+			run(t, 6, func(c *simmpi.Comm) error {
+				g, err := NewGrid(c, 2, 3)
+				if err != nil {
+					return err
+				}
+				m, err := NewMatrix(g, n, nb, nil)
+				if err != nil {
+					return err
+				}
+				m.Generate(seed)
+				s := NewSolver(m)
+				s.PanelBcast = bc.fn
+				if err := s.Factorize(nil); err != nil {
+					return err
+				}
+				x, err := s.Solve()
+				if err != nil {
+					return err
+				}
+				for i := range x {
+					if math.Abs(x[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+						return fmt.Errorf("x[%d] = %g, want %g", i, x[i], want[i])
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// TestLookaheadMatchesSerialReference: the lookahead pipeline computes
+// exactly the same factorization.
+func TestLookaheadMatchesSerialReference(t *testing.T) {
+	const n, seed = 48, 11
+	want := serialSolve(n, seed)
+	for _, cfg := range []struct{ ranks, p, q, nb int }{
+		{1, 1, 1, 8},
+		{4, 2, 2, 4},
+		{4, 2, 2, 5},
+		{6, 2, 3, 8},
+		{9, 3, 3, 4},
+	} {
+		cfg := cfg
+		t.Run(fmt.Sprintf("%dx%d_nb%d", cfg.p, cfg.q, cfg.nb), func(t *testing.T) {
+			run(t, cfg.ranks, func(c *simmpi.Comm) error {
+				g, err := NewGrid(c, cfg.p, cfg.q)
+				if err != nil {
+					return err
+				}
+				m, err := NewMatrix(g, n, cfg.nb, nil)
+				if err != nil {
+					return err
+				}
+				m.Generate(seed)
+				s := NewSolver(m)
+				s.Lookahead = true
+				if err := s.Factorize(nil); err != nil {
+					return err
+				}
+				x, err := s.Solve()
+				if err != nil {
+					return err
+				}
+				for i := range x {
+					if math.Abs(x[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+						return fmt.Errorf("x[%d] = %.12g, want %.12g", i, x[i], want[i])
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// TestLookaheadHidesPanelLatency: with lookahead the modelled solve time
+// drops — the panel factorizations overlap with the trailing updates.
+func TestLookaheadHidesPanelLatency(t *testing.T) {
+	const n, nb, ranks = 192, 8, 8
+	timeOf := func(la bool) float64 {
+		w, err := simmpi.NewWorld(simmpi.Config{Ranks: ranks, Alpha: 1e-6, Bandwidth: []float64{1e9}, GFLOPS: []float64{20}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := w.Run(func(c *simmpi.Comm) error {
+			g, err := NewGrid(c, 2, 4)
+			if err != nil {
+				return err
+			}
+			m, err := NewMatrix(g, n, nb, nil)
+			if err != nil {
+				return err
+			}
+			m.Generate(5)
+			s := NewSolver(m)
+			s.Lookahead = la
+			if err := s.Factorize(nil); err != nil {
+				return err
+			}
+			_, err = s.Solve()
+			return err
+		})
+		if res.Failed() {
+			t.Fatal(res.FirstError())
+		}
+		return res.MaxTime
+	}
+	plain := timeOf(false)
+	la := timeOf(true)
+	if !(la < plain) {
+		t.Fatalf("lookahead (%.4g s) should beat the plain pipeline (%.4g s)", la, plain)
+	}
+}
+
+// TestLookaheadSnapshotResume captures the mid-pipeline state a
+// checkpoint would record — (A, Piv, K, NextPanelFactored) — while the
+// lookahead pipeline is live, restores it into a fresh solver with
+// PanelReady set, and finishes both copies to the same answer.
+func TestLookaheadSnapshotResume(t *testing.T) {
+	const n, nb, seed = 40, 4, 13
+	want := serialSolve(n, seed)
+	run(t, 4, func(c *simmpi.Comm) error {
+		g, err := NewGrid(c, 2, 2)
+		if err != nil {
+			return err
+		}
+		m, err := NewMatrix(g, n, nb, nil)
+		if err != nil {
+			return err
+		}
+		m.Generate(seed)
+		s := NewSolver(m)
+		s.Lookahead = true
+		half := s.Panels() / 2
+		for s.K < half {
+			if err := s.Step(); err != nil {
+				return err
+			}
+		}
+		// Snapshot mid-pipeline: panel K is factored, broadcast pending.
+		if !s.NextPanelFactored() {
+			return errors.New("expected a factored panel in flight")
+		}
+		aCopy := append([]float64{}, m.A...)
+		pivCopy := append([]int{}, s.Piv...)
+		kCopy := s.K
+
+		if err := s.Factorize(nil); err != nil {
+			return err
+		}
+		x1, err := s.Solve()
+		if err != nil {
+			return err
+		}
+
+		// "Restart": fresh solver from the snapshot; the in-flight eager
+		// messages are gone, so PanelReady triggers the re-broadcast.
+		m2, err := NewMatrix(g, n, nb, nil)
+		if err != nil {
+			return err
+		}
+		copy(m2.A, aCopy)
+		s2 := NewSolver(m2)
+		s2.Lookahead = true
+		copy(s2.Piv, pivCopy)
+		s2.K = kCopy
+		s2.PanelReady = true
+		if err := s2.Factorize(nil); err != nil {
+			return err
+		}
+		x2, err := s2.Solve()
+		if err != nil {
+			return err
+		}
+		for i := range x1 {
+			if x1[i] != x2[i] {
+				return fmt.Errorf("resumed pipeline diverged at %d: %g vs %g", i, x1[i], x2[i])
+			}
+			if math.Abs(x1[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+				return fmt.Errorf("x[%d] = %g, want %g", i, x1[i], want[i])
+			}
+		}
+		return nil
+	})
+}
+
+// TestLookaheadWithHooks: per-panel hooks now compose with the pipeline.
+func TestLookaheadWithHooks(t *testing.T) {
+	const n, nb, seed = 40, 4, 9
+	want := serialSolve(n, seed)
+	run(t, 4, func(c *simmpi.Comm) error {
+		g, err := NewGrid(c, 2, 2)
+		if err != nil {
+			return err
+		}
+		m, err := NewMatrix(g, n, nb, nil)
+		if err != nil {
+			return err
+		}
+		m.Generate(seed)
+		s := NewSolver(m)
+		s.Lookahead = true
+		hooks := 0
+		if err := s.Factorize(func(k int) error { hooks++; return nil }); err != nil {
+			return err
+		}
+		if hooks != s.Panels() {
+			return fmt.Errorf("hook ran %d times, want %d", hooks, s.Panels())
+		}
+		x, err := s.Solve()
+		if err != nil {
+			return err
+		}
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+				return fmt.Errorf("x[%d] = %g, want %g", i, x[i], want[i])
+			}
+		}
+		return nil
+	})
+}
+
+// TestSolveRandomConfigs is the property test: random (N, NB, grid,
+// seed) combinations all match the serial reference.
+func TestSolveRandomConfigs(t *testing.T) {
+	grids := [][2]int{{1, 2}, {2, 2}, {2, 3}, {3, 2}, {1, 4}, {4, 1}}
+	rnd := uint64(12345)
+	next := func(n uint64) uint64 { rnd = splitmix64(rnd); return rnd % n }
+	for trial := 0; trial < 8; trial++ {
+		g := grids[next(uint64(len(grids)))]
+		n := 20 + int(next(40))
+		nb := 2 + int(next(9))
+		seed := 1 + next(1000)
+		t.Run(fmt.Sprintf("N%d_nb%d_%dx%d_s%d", n, nb, g[0], g[1], seed), func(t *testing.T) {
+			want := serialSolve(n, seed)
+			run(t, g[0]*g[1], func(c *simmpi.Comm) error {
+				grid, err := NewGrid(c, g[0], g[1])
+				if err != nil {
+					return err
+				}
+				m, err := NewMatrix(grid, n, nb, nil)
+				if err != nil {
+					return err
+				}
+				m.Generate(seed)
+				s := NewSolver(m)
+				if err := s.Factorize(nil); err != nil {
+					return err
+				}
+				x, err := s.Solve()
+				if err != nil {
+					return err
+				}
+				for i := range x {
+					if math.Abs(x[i]-want[i]) > 1e-7*(1+math.Abs(want[i])) {
+						return fmt.Errorf("x[%d] = %.12g, want %.12g", i, x[i], want[i])
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestSolveBeforeFactorizeFails(t *testing.T) {
+	run(t, 1, func(c *simmpi.Comm) error {
+		g, err := NewGrid(c, 1, 1)
+		if err != nil {
+			return err
+		}
+		m, err := NewMatrix(g, 8, 2, nil)
+		if err != nil {
+			return err
+		}
+		m.Generate(1)
+		s := NewSolver(m)
+		if _, err := s.Solve(); err == nil {
+			return errors.New("Solve before Factorize should fail")
+		}
+		return nil
+	})
+}
+
+func TestSingularMatrixDetected(t *testing.T) {
+	w, err := simmpi.NewWorld(simmpi.Config{Ranks: 1, GFLOPS: []float64{1}, Bandwidth: []float64{1e9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run(func(c *simmpi.Comm) error {
+		g, err := NewGrid(c, 1, 1)
+		if err != nil {
+			return err
+		}
+		m, err := NewMatrix(g, 4, 2, nil)
+		if err != nil {
+			return err
+		}
+		// All-zero matrix: the first pivot search must fail.
+		s := NewSolver(m)
+		if err := s.Factorize(nil); !errors.Is(err, ErrSingular) {
+			return fmt.Errorf("want ErrSingular, got %v", err)
+		}
+		return nil
+	})
+	if res.Failed() {
+		t.Fatal(res.FirstError())
+	}
+}
+
+func TestNewMatrixValidation(t *testing.T) {
+	run(t, 1, func(c *simmpi.Comm) error {
+		g, err := NewGrid(c, 1, 1)
+		if err != nil {
+			return err
+		}
+		if _, err := NewMatrix(g, 0, 2, nil); err == nil {
+			return errors.New("expected error for N=0")
+		}
+		if _, err := NewMatrix(g, 8, 2, make([]float64, 3)); err == nil {
+			return errors.New("expected error for undersized backing")
+		}
+		return nil
+	})
+}
+
+func TestNewGridValidation(t *testing.T) {
+	run(t, 4, func(c *simmpi.Comm) error {
+		if _, err := NewGrid(c, 3, 2); err == nil {
+			return errors.New("expected error for mismatched grid")
+		}
+		g, err := NewGrid(c, 2, 2)
+		if err != nil {
+			return err
+		}
+		wantRow, wantCol := c.Rank()%2, c.Rank()/2
+		if g.MyRow != wantRow || g.MyCol != wantCol {
+			return fmt.Errorf("grid position (%d,%d), want (%d,%d)", g.MyRow, g.MyCol, wantRow, wantCol)
+		}
+		return nil
+	})
+}
+
+func TestSizeForMemory(t *testing.T) {
+	n := SizeForMemory(8e6, 4, 16) // 1M words per rank, 4M total → N ≈ 2000
+	if n%16 != 0 {
+		t.Fatalf("N=%d not a multiple of NB", n)
+	}
+	if float64(n)*float64(n+1) > 4e6 {
+		t.Fatalf("N=%d does not fit", n)
+	}
+	if n < 1500 {
+		t.Fatalf("N=%d too conservative", n)
+	}
+	if SizeForMemory(-1, 4, 16) != 0 {
+		t.Fatal("negative memory should give N=0")
+	}
+	// More memory must never shrink the problem.
+	prev := 0
+	for _, mb := range []float64{1e6, 2e6, 4e6, 8e6} {
+		n := SizeForMemory(mb, 8, 8)
+		if n < prev {
+			t.Fatalf("SizeForMemory not monotonic: %d after %d", n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestFlopCount(t *testing.T) {
+	if FlopCount(3000) <= 2.0/3.0*27e9 {
+		t.Fatal("flop count must exceed the cubic term")
+	}
+}
+
+// TestMaxLocalWordsCoversEveryRank ensures the uniform allocation is
+// sufficient at every grid position, including ragged edges.
+func TestMaxLocalWordsCoversEveryRank(t *testing.T) {
+	for _, c := range []struct{ n, nb, p, q int }{{100, 12, 2, 4}, {37, 5, 3, 2}, {64, 8, 2, 2}} {
+		max := MaxLocalWords(c.n, c.nb, c.p, c.q)
+		for r := 0; r < c.p; r++ {
+			for cc := 0; cc < c.q; cc++ {
+				if w := LocalWords(c.n, c.nb, c.p, c.q, r, cc); w > max {
+					t.Fatalf("rank (%d,%d) needs %d > max %d", r, cc, w, max)
+				}
+			}
+		}
+	}
+}

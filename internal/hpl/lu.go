@@ -1,0 +1,408 @@
+package hpl
+
+import (
+	"errors"
+	"fmt"
+
+	"selfckpt/internal/simmpi"
+)
+
+// ErrSingular is returned when partial pivoting finds no nonzero pivot.
+var ErrSingular = errors.New("hpl: matrix is numerically singular")
+
+// BcastFunc broadcasts buf from root over comm — the pluggable panel
+// broadcast. HPL ships several algorithms (binomial, increasing-ring,
+// 2-ring, ...) selected by its BCAST parameter; the equivalents here are
+// BcastBinomial, BcastRing and Bcast2Ring.
+type BcastFunc func(c *simmpi.Comm, root int, buf []float64) error
+
+// The selectable panel-broadcast algorithms.
+var (
+	BcastBinomial BcastFunc = func(c *simmpi.Comm, root int, buf []float64) error {
+		return c.Bcast(root, buf)
+	}
+	BcastRing BcastFunc = func(c *simmpi.Comm, root int, buf []float64) error {
+		return c.BcastRing(root, buf, ringSegment)
+	}
+	Bcast2Ring BcastFunc = func(c *simmpi.Comm, root int, buf []float64) error {
+		return c.Bcast2Ring(root, buf, ringSegment)
+	}
+)
+
+// ringSegment is the pipelining granularity of the ring broadcasts.
+const ringSegment = 512
+
+// Solver carries the factorization state: the distributed matrix, the
+// global pivot history, and the next panel index. (A, Piv, K) is exactly
+// the state SKT-HPL checkpoints — the loop is restartable from any panel
+// boundary.
+type Solver struct {
+	M   *Matrix
+	Piv []int // Piv[j] = global row swapped into row j, valid for factored columns
+	K   int   // next panel to factor
+	// PanelBcast broadcasts the factored panel along grid rows
+	// (default: binomial tree).
+	PanelBcast BcastFunc
+	// Lookahead enables depth-1 panel lookahead, HPL's core latency-
+	// hiding technique: while panel k's big trailing update runs, panel
+	// k+1 is already factored and eagerly broadcast, so no process
+	// column ever waits for a panel factorization.
+	Lookahead bool
+	// PanelReady declares that panel K was already factored in place by
+	// a previous run's lookahead, but its broadcast never happened (the
+	// eager messages died with the job). Restore paths set it from the
+	// checkpointed NextPanelFactored flag; takeSlab then re-broadcasts
+	// from the owners instead of re-factoring.
+	PanelReady bool
+
+	pendingK    int       // panel whose factored slab is in flight (-1 = none)
+	pendingSlab []float64 // that slab, on its owning process column
+}
+
+// NextPanelFactored reports whether the upcoming panel (index K) is
+// already factored in the matrix with its broadcast still pending — the
+// piece of pipeline state a checkpoint between steps must record.
+func (s *Solver) NextPanelFactored() bool { return s.pendingK == s.K || s.PanelReady }
+
+// NewSolver prepares a solver for a (generated) matrix.
+func NewSolver(m *Matrix) *Solver {
+	return &Solver{M: m, Piv: make([]int, m.N), PanelBcast: BcastBinomial, pendingK: -1}
+}
+
+// Panels returns the total number of panel iterations.
+func (s *Solver) Panels() int { return (s.M.N + s.M.NB - 1) / s.M.NB }
+
+// Done reports whether elimination has completed.
+func (s *Solver) Done() bool { return s.K >= s.Panels() }
+
+// Factorize runs the elimination loop from the current panel to the end,
+// invoking hook (when non-nil) after each completed panel — the seam
+// where SKT-HPL takes its checkpoints (Fig 9).
+func (s *Solver) Factorize(hook func(k int) error) error {
+	for !s.Done() {
+		if err := s.Step(); err != nil {
+			return err
+		}
+		if hook != nil {
+			if err := hook(s.K); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// panelDims returns panel k's geometry.
+func (s *Solver) panelDims(k int) (j0, w, pcol, prow int) {
+	nb := s.M.NB
+	j0 = k * nb
+	w = nb
+	if j0+w > s.M.N {
+		w = s.M.N - j0
+	}
+	return j0, w, s.M.G.ownerCol(j0, nb), s.M.G.ownerRow(j0, nb)
+}
+
+// packSlab copies this rank's share of factored panel k (plus the pivot
+// block) into a fresh slab.
+func (s *Solver) packSlab(k int) []float64 {
+	m, g := s.M, s.M.G
+	j0, w, _, _ := s.panelDims(k)
+	prstart := g.firstLocalRowAtLeast(j0, m.NB)
+	mlk := m.ML - prstart
+	slab := make([]float64, mlk*w+w)
+	lj := g.localCol(j0, m.NB)
+	for c := 0; c < w; c++ {
+		copy(slab[c*mlk:(c+1)*mlk], m.A[(lj+c)*m.ML+prstart:(lj+c)*m.ML+m.ML])
+	}
+	for c := 0; c < w; c++ {
+		slab[mlk*w+c] = float64(s.Piv[j0+c])
+	}
+	return slab
+}
+
+// takeSlab obtains panel k's factored slab on every rank: from the
+// lookahead pipeline when it is in flight (owners kept it; others
+// receive the eager broadcast), otherwise by factoring and broadcasting
+// now. mlk and prstart describe the slab's row geometry.
+func (s *Solver) takeSlab(k int) (slab []float64, mlk, prstart int, err error) {
+	m, g := s.M, s.M.G
+	j0, w, pcol, _ := s.panelDims(k)
+	prstart = g.firstLocalRowAtLeast(j0, m.NB)
+	mlk = m.ML - prstart
+
+	if s.pendingK == k {
+		s.pendingK = -1
+		if g.MyCol == pcol {
+			slab = s.pendingSlab
+			s.pendingSlab = nil
+			return slab, mlk, prstart, nil
+		}
+		slab = make([]float64, mlk*w+w)
+		if err := g.Row.Recv(pcol, slab); err != nil {
+			return nil, 0, 0, fmt.Errorf("hpl: eager panel recv (k=%d): %w", k, err)
+		}
+		for c := 0; c < w; c++ {
+			s.Piv[j0+c] = int(slab[mlk*w+c])
+		}
+		return slab, mlk, prstart, nil
+	}
+
+	if s.PanelReady {
+		// The panel was factored before a restart; re-broadcast it from
+		// the owners' matrix columns instead of factoring again.
+		s.PanelReady = false
+		if g.MyCol == pcol {
+			slab = s.packSlab(k)
+		} else {
+			slab = make([]float64, mlk*w+w)
+		}
+		if err := s.PanelBcast(g.Row, pcol, slab); err != nil {
+			return nil, 0, 0, fmt.Errorf("hpl: restored panel bcast (k=%d): %w", k, err)
+		}
+		if g.MyCol != pcol {
+			for c := 0; c < w; c++ {
+				s.Piv[j0+c] = int(slab[mlk*w+c])
+			}
+		}
+		return slab, mlk, prstart, nil
+	}
+
+	if g.MyCol == pcol {
+		if err := s.factorPanel(j0, w); err != nil {
+			return nil, 0, 0, err
+		}
+		slab = s.packSlab(k)
+	} else {
+		slab = make([]float64, mlk*w+w)
+	}
+	if err := s.PanelBcast(g.Row, pcol, slab); err != nil {
+		return nil, 0, 0, fmt.Errorf("hpl: panel bcast (k=%d): %w", k, err)
+	}
+	if g.MyCol != pcol {
+		for c := 0; c < w; c++ {
+			s.Piv[j0+c] = int(slab[mlk*w+c])
+		}
+	}
+	return slab, mlk, prstart, nil
+}
+
+// updateColumns applies panel k's triangular solve and GEMM update to
+// this rank's local columns [ljFrom, ljTo). The column range is uniform
+// within a process column, so the U12 broadcast down the column
+// communicator stays collective.
+func (s *Solver) updateColumns(k int, slab []float64, mlk, prstart, ljFrom, ljTo int) error {
+	m, g := s.M, s.M.G
+	nb := m.NB
+	j0, w, _, prow := s.panelDims(k)
+	ncols := ljTo - ljFrom
+	if ncols <= 0 {
+		return nil
+	}
+	// U12 = L11⁻¹ A12 on grid row prow.
+	if g.MyRow == prow {
+		lr0 := g.localRow(j0, nb)
+		dtrsmLLNU(w, ncols, slab[lr0-prstart:], mlk, m.A[ljFrom*m.ML+lr0:], m.ML)
+		g.World.World().Compute(dtrsmFlops(w, ncols))
+	}
+	// Broadcast U12 down grid columns.
+	u12 := make([]float64, w*ncols)
+	if g.MyRow == prow {
+		lr0 := g.localRow(j0, nb)
+		for c := 0; c < ncols; c++ {
+			copy(u12[c*w:(c+1)*w], m.A[(ljFrom+c)*m.ML+lr0:(ljFrom+c)*m.ML+lr0+w])
+		}
+	}
+	if err := g.Col.Bcast(prow, u12); err != nil {
+		return fmt.Errorf("hpl: U12 bcast (k=%d): %w", k, err)
+	}
+	// Trailing update A22 -= L21 · U12.
+	lr2 := g.firstLocalRowAtLeast(j0+w, nb)
+	m2 := m.ML - lr2
+	if m2 > 0 {
+		dgemmSub(m2, ncols, w, slab[lr2-prstart:], mlk, u12, w, m.A[ljFrom*m.ML+lr2:], m.ML)
+		g.World.World().Compute(dgemmFlops(m2, ncols, w))
+	}
+	return nil
+}
+
+// Step factors one panel and updates the trailing submatrix: panel
+// factorization with partial pivoting on the owning process column, panel
+// broadcast along grid rows, pivot application to the trailing columns,
+// triangular solve for the U block row, and the rank-NB GEMM update.
+// With Lookahead, the next panel's block column is updated first, the
+// next panel factored and eagerly broadcast, and only then is the bulk
+// of the trailing matrix updated.
+func (s *Solver) Step() error {
+	m, g := s.M, s.M.G
+	nb := m.NB
+	k := s.K
+	j0, w, _, _ := s.panelDims(k)
+
+	slab, mlk, prstart, err := s.takeSlab(k)
+	if err != nil {
+		return err
+	}
+
+	// Apply the panel's row swaps to the trailing columns.
+	ljTrail := g.firstLocalColAtLeast(j0+w, nb)
+	ntrail := m.NL - ljTrail
+	for jj := 0; jj < w; jj++ {
+		if err := s.swapRows(j0+jj, s.Piv[j0+jj], ljTrail, ntrail); err != nil {
+			return fmt.Errorf("hpl: trailing swap (k=%d): %w", k, err)
+		}
+	}
+
+	la := s.Lookahead && k+1 < s.Panels()
+	if !la {
+		if err := s.updateColumns(k, slab, mlk, prstart, ljTrail, m.NL); err != nil {
+			return err
+		}
+		s.K++
+		return nil
+	}
+
+	// Lookahead: bring panel k+1's block column up to date, factor it,
+	// ship it eagerly, then do the bulk update.
+	j1, w1, pcol1, _ := s.panelDims(k + 1)
+	restFrom := g.firstLocalColAtLeast(j1+w1, nb)
+	if g.MyCol == pcol1 {
+		lj1 := g.localCol(j1, nb)
+		if err := s.updateColumns(k, slab, mlk, prstart, lj1, lj1+w1); err != nil {
+			return err
+		}
+		if err := s.factorPanel(j1, w1); err != nil {
+			return err
+		}
+		slab1 := s.packSlab(k + 1)
+		for q := 0; q < g.Q; q++ {
+			if q == pcol1 {
+				continue
+			}
+			if err := g.Row.ISend(q, slab1); err != nil {
+				return fmt.Errorf("hpl: eager panel send (k=%d): %w", k+1, err)
+			}
+		}
+		s.pendingSlab = slab1
+	}
+	s.pendingK = k + 1
+
+	if err := s.updateColumns(k, slab, mlk, prstart, restFrom, m.NL); err != nil {
+		return err
+	}
+	s.K++
+	return nil
+}
+
+// factorPanel runs unblocked partial-pivoting elimination on panel
+// columns [j0, j0+w), cooperating over the column communicator.
+func (s *Solver) factorPanel(j0, w int) error {
+	m, g := s.M, s.M.G
+	nb := m.NB
+	ljp := g.localCol(j0, nb)
+	rowseg := make([]float64, w)
+	for jj := 0; jj < w; jj++ {
+		j := j0 + jj
+		col := m.A[(ljp+jj)*m.ML : (ljp+jj)*m.ML+m.ML]
+
+		// Distributed pivot search over rows ≥ j.
+		rstart := g.firstLocalRowAtLeast(j, nb)
+		cand, gr := 0.0, float64(m.N) // harmless sentinel for empty share
+		if li := idamaxAbs(col[rstart:]); li >= 0 {
+			lr := rstart + li
+			v := col[lr]
+			if v < 0 {
+				v = -v
+			}
+			cand, gr = v, float64(globalIndex(lr, nb, g.MyRow, g.P))
+		}
+		out := []float64{0, 0}
+		if err := g.Col.Allreduce([]float64{cand, gr}, out, simmpi.OpMaxloc); err != nil {
+			return err
+		}
+		if out[0] == 0 {
+			return fmt.Errorf("%w: column %d", ErrSingular, j)
+		}
+		piv := int(out[1])
+		s.Piv[j] = piv
+
+		// Swap rows j ↔ piv across the full panel width.
+		if err := s.swapRows(j, piv, ljp, w); err != nil {
+			return err
+		}
+
+		// Broadcast the pivot row's panel segment [jj..w) from its owner.
+		powner := g.ownerRow(j, nb)
+		if g.MyRow == powner {
+			lr := g.localRow(j, nb)
+			for c := jj; c < w; c++ {
+				rowseg[c-jj] = m.A[(ljp+c)*m.ML+lr]
+			}
+		}
+		if err := g.Col.Bcast(powner, rowseg[:w-jj]); err != nil {
+			return err
+		}
+
+		// Scale the multipliers and apply the rank-1 update.
+		r2 := g.firstLocalRowAtLeast(j+1, nb)
+		below := m.ML - r2
+		if below > 0 {
+			pivval := rowseg[0]
+			for li := r2; li < m.ML; li++ {
+				col[li] /= pivval
+			}
+			for c := jj + 1; c < w; c++ {
+				mul := rowseg[c-jj]
+				if mul == 0 {
+					continue
+				}
+				dst := m.A[(ljp+c)*m.ML : (ljp+c)*m.ML+m.ML]
+				for li := r2; li < m.ML; li++ {
+					dst[li] -= col[li] * mul
+				}
+			}
+			g.World.World().Compute(float64(below) * (1 + 2*float64(w-jj-1)))
+		}
+	}
+	return nil
+}
+
+// swapRows exchanges global rows r1 and r2 across this rank's local
+// columns [ljStart, ljStart+width), cooperating pairwise over the column
+// communicator when the rows live on different grid rows.
+func (s *Solver) swapRows(r1, r2, ljStart, width int) error {
+	if r1 == r2 || width <= 0 {
+		return nil
+	}
+	m, g := s.M, s.M.G
+	nb := m.NB
+	o1, o2 := g.ownerRow(r1, nb), g.ownerRow(r2, nb)
+	switch {
+	case o1 == o2:
+		if g.MyRow == o1 {
+			l1, l2 := g.localRow(r1, nb), g.localRow(r2, nb)
+			for c := 0; c < width; c++ {
+				base := (ljStart + c) * m.ML
+				m.A[base+l1], m.A[base+l2] = m.A[base+l2], m.A[base+l1]
+			}
+		}
+	case g.MyRow == o1 || g.MyRow == o2:
+		mine, peer := r1, o2
+		if g.MyRow == o2 {
+			mine, peer = r2, o1
+		}
+		lr := g.localRow(mine, nb)
+		sbuf := make([]float64, width)
+		rbuf := make([]float64, width)
+		for c := 0; c < width; c++ {
+			sbuf[c] = m.A[(ljStart+c)*m.ML+lr]
+		}
+		if err := g.Col.SendRecv(peer, sbuf, peer, rbuf); err != nil {
+			return err
+		}
+		for c := 0; c < width; c++ {
+			m.A[(ljStart+c)*m.ML+lr] = rbuf[c]
+		}
+	}
+	return nil
+}

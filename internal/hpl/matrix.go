@@ -1,0 +1,123 @@
+package hpl
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is this rank's block-cyclic share of the global N×(N+1) system
+// [A | b], stored column-major with leading dimension ml.
+type Matrix struct {
+	G      *Grid
+	N, NB  int
+	ML, NL int       // local rows and columns
+	A      []float64 // ml × nl, column-major
+}
+
+// LocalWords returns the workspace size (in float64 words) a rank at grid
+// position (myrow, mycol) needs for an N×(N+1) system with block size nb.
+// Use it to size the protected buffer before calling NewMatrix.
+func LocalWords(n, nb, p, q, myrow, mycol int) int {
+	return numroc(n, nb, myrow, p) * numroc(n+1, nb, mycol, q)
+}
+
+// MaxLocalWords returns the largest LocalWords over the whole grid (all
+// ranks allocate this much so the protected buffers are uniform).
+func MaxLocalWords(n, nb, p, q int) int {
+	max := 0
+	for r := 0; r < p; r++ {
+		for c := 0; c < q; c++ {
+			if w := LocalWords(n, nb, p, q, r, c); w > max {
+				max = w
+			}
+		}
+	}
+	return max
+}
+
+// NewMatrix wraps backing as this rank's local share of the N×(N+1)
+// system. backing may be longer than needed (a uniform allocation); nil
+// allocates fresh heap memory.
+func NewMatrix(g *Grid, n, nb int, backing []float64) (*Matrix, error) {
+	if n <= 0 || nb <= 0 {
+		return nil, fmt.Errorf("hpl: invalid dimensions N=%d NB=%d", n, nb)
+	}
+	ml := numroc(n, nb, g.MyRow, g.P)
+	nl := numroc(n+1, nb, g.MyCol, g.Q)
+	need := ml * nl
+	if backing == nil {
+		backing = make([]float64, need)
+	}
+	if len(backing) < need {
+		return nil, fmt.Errorf("hpl: backing has %d words, need %d", len(backing), need)
+	}
+	return &Matrix{G: g, N: n, NB: nb, ML: ml, NL: nl, A: backing[:need]}, nil
+}
+
+// LocalWords reports this rank's actual storage need in words.
+func (m *Matrix) LocalWords() int { return m.ML * m.NL }
+
+// splitmix64 is the deterministic per-element generator behind Generate:
+// HPL regenerates its matrix from a fixed seed (the paper relies on this
+// in §5.2 to skip regeneration after restart), and a counter-based
+// generator lets every rank fill its local blocks independently.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Element returns the deterministic value of global entry (i, j) for the
+// given seed, uniform in [-0.5, 0.5) — the same distribution HPL's
+// pdmatgen uses. Column N is the right-hand side b.
+func Element(seed uint64, i, j int) float64 {
+	h := splitmix64(seed ^ splitmix64(uint64(i)*0x100000001b3+uint64(j)))
+	return float64(h>>11)/float64(1<<53) - 0.5
+}
+
+// Generate fills this rank's local share from the seed.
+func (m *Matrix) Generate(seed uint64) {
+	g := m.G
+	for lj := 0; lj < m.NL; lj++ {
+		j := globalIndex(lj, m.NB, g.MyCol, g.Q)
+		col := m.A[lj*m.ML : lj*m.ML+m.ML]
+		for li := range col {
+			col[li] = Element(seed, globalIndex(li, m.NB, g.MyRow, g.P), j)
+		}
+	}
+}
+
+// globalIndex maps a local index back to its global counterpart.
+func globalIndex(l, nb, proc, nprocs int) int {
+	blk := l / nb
+	return (blk*nprocs+proc)*nb + l%nb
+}
+
+// At returns the local element for global (i, j); it panics if this rank
+// does not own it (test helper).
+func (m *Matrix) At(i, j int) float64 {
+	g := m.G
+	if g.ownerRow(i, m.NB) != g.MyRow || g.ownerCol(j, m.NB) != g.MyCol {
+		panic(fmt.Sprintf("hpl: rank (%d,%d) does not own element (%d,%d)", g.MyRow, g.MyCol, i, j))
+	}
+	return m.A[g.localCol(j, m.NB)*m.ML+g.localRow(i, m.NB)]
+}
+
+// LocalInfNorm returns the contribution of this rank's share of A (the
+// first N columns) to ‖A‖∞: partial row sums of absolute values, indexed
+// by local row. Summed across a grid row and maxed globally it yields the
+// norm used in verification.
+func (m *Matrix) LocalInfNorm() []float64 {
+	sums := make([]float64, m.ML)
+	for lj := 0; lj < m.NL; lj++ {
+		if globalIndex(lj, m.NB, m.G.MyCol, m.G.Q) >= m.N {
+			continue // the b column is not part of A
+		}
+		col := m.A[lj*m.ML : lj*m.ML+m.ML]
+		for li, v := range col {
+			sums[li] += math.Abs(v)
+		}
+	}
+	return sums
+}

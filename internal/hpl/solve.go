@@ -1,0 +1,96 @@
+package hpl
+
+import (
+	"fmt"
+
+	"selfckpt/internal/simmpi"
+)
+
+// Solve runs the distributed back substitution after Factorize: the
+// elimination has transformed [A | b] into [U | y], and Ux = y is solved
+// block row by block row from the bottom. Each block step reduces the
+// pending corrections across the grid row, solves the diagonal block, and
+// broadcasts the solution block to everyone. The replicated solution
+// vector (length N) is returned on every rank.
+func (s *Solver) Solve() ([]float64, error) {
+	if !s.Done() {
+		return nil, fmt.Errorf("hpl: Solve called before factorization finished (panel %d of %d)", s.K, s.Panels())
+	}
+	m, g := s.M, s.M.G
+	nb := m.NB
+	n := m.N
+
+	x := make([]float64, n)
+	t := make([]float64, m.ML) // running corrections Σ U[:,J]·x_J over my columns
+	bOwner := g.ownerCol(n, nb)
+	var ljb int
+	if g.MyCol == bOwner {
+		ljb = g.localCol(n, nb)
+	}
+
+	nblocks := (n + nb - 1) / nb
+	for blk := nblocks - 1; blk >= 0; blk-- {
+		r0 := blk * nb
+		w := nb
+		if r0+w > n {
+			w = n - r0
+		}
+		prow := g.ownerRow(r0, nb)
+		pcol := g.ownerCol(r0, nb)
+
+		// Assemble the right-hand side for this block on (prow, pcol):
+		// y_I minus the corrections accumulated across the grid row.
+		rhs := make([]float64, w)
+		if g.MyRow == prow {
+			lr0 := g.localRow(r0, nb)
+			contrib := make([]float64, w)
+			for i := 0; i < w; i++ {
+				contrib[i] = -t[lr0+i]
+			}
+			if g.MyCol == bOwner {
+				for i := 0; i < w; i++ {
+					contrib[i] += m.A[ljb*m.ML+lr0+i]
+				}
+			}
+			if err := g.Row.Reduce(pcol, contrib, rhs, simmpi.OpSum); err != nil {
+				return nil, err
+			}
+			// Diagonal solve on the owner of block (blk, blk).
+			if g.MyCol == pcol {
+				ljd := g.localCol(r0, nb)
+				dtrsvUpper(w, m.A[ljd*m.ML+lr0:], m.ML, rhs)
+				g.World.World().Compute(float64(w) * float64(w))
+			}
+			// Share x_I across the grid row first...
+			if err := g.Row.Bcast(pcol, rhs); err != nil {
+				return nil, err
+			}
+		}
+		// ...then down every grid column.
+		if err := g.Col.Bcast(prow, rhs); err != nil {
+			return nil, err
+		}
+		copy(x[r0:r0+w], rhs)
+
+		// Accumulate corrections for the rows above, on the ranks owning
+		// this column block.
+		if g.MyCol == pcol && r0 > 0 {
+			ljd := g.localCol(r0, nb)
+			top := g.firstLocalRowAtLeast(r0, nb) // rows strictly above r0
+			if top > 0 {
+				for c := 0; c < w; c++ {
+					xc := rhs[c]
+					if xc == 0 {
+						continue
+					}
+					col := m.A[(ljd+c)*m.ML : (ljd+c)*m.ML+top]
+					for li := range col {
+						t[li] += col[li] * xc
+					}
+				}
+				g.World.World().Compute(2 * float64(top) * float64(w))
+			}
+		}
+	}
+	return x, nil
+}

@@ -1,0 +1,41 @@
+package model_test
+
+import (
+	"fmt"
+
+	"selfckpt/internal/model"
+)
+
+// The memory fractions of Eq 2–4 at the paper's group size of 16.
+func ExampleAvailableSelf() {
+	fmt.Printf("single: %.2f%%\n", model.AvailableSingle(16)*100)
+	fmt.Printf("self:   %.2f%%\n", model.AvailableSelf(16)*100)
+	fmt.Printf("double: %.2f%%\n", model.AvailableDouble(16)*100)
+	// Output:
+	// single: 48.39%
+	// self:   46.88%
+	// double: 31.91%
+}
+
+// Fitting the HPL efficiency model E(N) = N/(aN+b) to measurements.
+func ExampleFit() {
+	truth := model.Efficiency{A: 1.15, B: 20000}
+	sizes := []float64{1e4, 3e4, 1e5, 3e5}
+	var effs []float64
+	for _, n := range sizes {
+		effs = append(effs, truth.At(n))
+	}
+	fit, _ := model.Fit(sizes, effs)
+	fmt.Printf("a=%.2f b=%.0f E(1e6)=%.1f%%\n", fit.A, fit.B, fit.At(1e6)*100)
+	// Output:
+	// a=1.15 b=20000 E(1e6)=85.5%
+}
+
+// The Young/Daly optimal checkpoint interval for the paper's measured
+// 16-second checkpoint under a 4-hour system MTBF.
+func ExampleOptimalInterval() {
+	tau := model.OptimalInterval(16, 4*3600)
+	fmt.Printf("optimal interval: %.0f s (the paper checkpoints every 600 s)\n", tau)
+	// Output:
+	// optimal interval: 679 s (the paper checkpoints every 600 s)
+}

@@ -1,0 +1,117 @@
+// Package model holds the paper's closed-form analyses: the available-
+// memory fractions of the three in-memory checkpoint strategies (Table 1,
+// Eq 2–4), the HPL efficiency model E(N) = N/(aN+b) with its least-
+// squares fit (Eq 5–7), the reduced-memory efficiency bound (Eq 8), and
+// the TOP500 top-10 dataset behind Fig 8.
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// AvailableSelf is Eq 2: the memory fraction left for the application
+// under the self-checkpoint with group size n — (n−1)/(2n), approaching
+// 1/2 for large groups.
+func AvailableSelf(n int) float64 {
+	v := float64(n)
+	return (v - 1) / (2 * v)
+}
+
+// AvailableDouble is Eq 3: the double-checkpoint fraction (n−1)/(3n−1),
+// approaching 1/3.
+func AvailableDouble(n int) float64 {
+	v := float64(n)
+	return (v - 1) / (3*v - 1)
+}
+
+// AvailableSingle is Eq 4: the single-checkpoint fraction (n−1)/(2n−1),
+// approaching 1/2 but without full fault tolerance.
+func AvailableSingle(n int) float64 {
+	v := float64(n)
+	return (v - 1) / (2*v - 1)
+}
+
+// Efficiency is the HPL efficiency model of Eq 5: E(N) = N/(aN+b), the
+// ratio of useful O(N³) work to total modelled time αN³+βN², with
+// a = α/γ > 1 and b = β/γ.
+type Efficiency struct {
+	A, B float64
+}
+
+// At evaluates the model at problem size n.
+func (e Efficiency) At(n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return n / (e.A*n + e.B)
+}
+
+// Fit performs the least-squares fit of the model to (N, efficiency)
+// measurements. Rewriting E = N/(aN+b) as N/E = aN + b makes it linear in
+// (a, b), so ordinary least squares on y = N/E against x = N applies.
+func Fit(sizes, effs []float64) (Efficiency, error) {
+	if len(sizes) != len(effs) || len(sizes) < 2 {
+		return Efficiency{}, fmt.Errorf("model: need ≥2 paired samples, got %d/%d", len(sizes), len(effs))
+	}
+	var sx, sy, sxx, sxy float64
+	for i, n := range sizes {
+		if effs[i] <= 0 || n <= 0 {
+			return Efficiency{}, fmt.Errorf("model: sample %d not positive (N=%g, E=%g)", i, n, effs[i])
+		}
+		y := n / effs[i]
+		sx += n
+		sy += y
+		sxx += n * n
+		sxy += n * y
+	}
+	m := float64(len(sizes))
+	den := m*sxx - sx*sx
+	if den == 0 {
+		return Efficiency{}, fmt.Errorf("model: degenerate fit (all sizes equal)")
+	}
+	a := (m*sxy - sx*sy) / den
+	b := (sy - a*sx) / m
+	return Efficiency{A: a, B: b}, nil
+}
+
+// ScaledEfficiencyLowerBound is Eq 8: given efficiency e1 at full memory,
+// the efficiency with only a fraction k of memory (problem size √k·N) is
+// at least √k·e1 / (1 − (1−√k)·e1), using a → 1 for the bound.
+func ScaledEfficiencyLowerBound(e1, k float64) float64 {
+	sk := math.Sqrt(k)
+	return sk * e1 / (1 - (1-sk)*e1)
+}
+
+// ScaledEfficiency evaluates Eq 8 with an explicit model parameter a.
+func ScaledEfficiency(e1, k, a float64) float64 {
+	sk := math.Sqrt(k)
+	return sk * e1 / (1 - (1-sk)*a*e1)
+}
+
+// Super is one TOP500 entry for Fig 8.
+type Super struct {
+	Name        string
+	RmaxTFLOPS  float64
+	RpeakTFLOPS float64
+}
+
+// Efficiency returns the officially reported HPL efficiency Rmax/Rpeak.
+func (s Super) Efficiency() float64 { return s.RmaxTFLOPS / s.RpeakTFLOPS }
+
+// Top10Nov2016 is the top of the November 2016 TOP500 list — the "latest
+// list" at the paper's writing — with Rmax/Rpeak in TFLOPS.
+func Top10Nov2016() []Super {
+	return []Super{
+		{"TaihuLight", 93014.6, 125435.9},
+		{"Tianhe-2", 33862.7, 54902.4},
+		{"Titan", 17590.0, 27112.5},
+		{"Sequoia", 17173.2, 20132.7},
+		{"Cori", 14014.7, 27880.7},
+		{"Oakforest-PACS", 13554.6, 24913.5},
+		{"K", 10510.0, 11280.4},
+		{"Piz Daint", 9779.0, 15988.0},
+		{"Mira", 8586.6, 10066.3},
+		{"Trinity", 8100.9, 11078.9},
+	}
+}

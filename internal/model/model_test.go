@@ -1,0 +1,158 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAvailableFractionsMatchPaperFigures(t *testing.T) {
+	// Fig 6 anchor points and §3.3: group size 16 gives ~47% for self.
+	if got := AvailableSelf(16); math.Abs(got-0.46875) > 1e-12 {
+		t.Fatalf("AvailableSelf(16) = %v", got)
+	}
+	if got := AvailableDouble(2); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("AvailableDouble(2) = %v", got)
+	}
+	if got := AvailableSingle(2); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("AvailableSingle(2) = %v", got)
+	}
+	// SCR's reported ~30.5% available memory corresponds to double
+	// checkpointing at moderate group sizes.
+	if got := AvailableDouble(8); got < 0.29 || got > 0.32 {
+		t.Fatalf("AvailableDouble(8) = %v, want ≈ 0.30", got)
+	}
+}
+
+func TestAvailableOrderingAndLimits(t *testing.T) {
+	for n := 2; n <= 64; n++ {
+		s, d, g := AvailableSelf(n), AvailableDouble(n), AvailableSingle(n)
+		// single > self > double for every group size (Fig 6).
+		if !(g > s && s > d) {
+			t.Fatalf("ordering violated at n=%d: single=%v self=%v double=%v", n, g, s, d)
+		}
+		// All below their asymptotes.
+		if s >= 0.5 || d >= 1.0/3 || g >= 0.5 {
+			t.Fatalf("asymptote violated at n=%d", n)
+		}
+	}
+	// Monotone increasing in group size.
+	for n := 2; n < 64; n++ {
+		if AvailableSelf(n+1) <= AvailableSelf(n) {
+			t.Fatalf("AvailableSelf not increasing at n=%d", n)
+		}
+	}
+	if math.Abs(AvailableSelf(1000)-0.5) > 1e-3 {
+		t.Fatal("AvailableSelf should approach 1/2")
+	}
+}
+
+func TestEfficiencyModelShape(t *testing.T) {
+	e := Efficiency{A: 1.1, B: 5000}
+	if e.At(0) != 0 || e.At(-5) != 0 {
+		t.Fatal("non-positive sizes must give zero efficiency")
+	}
+	// Monotone increasing, bounded by 1/a.
+	prev := 0.0
+	for _, n := range []float64{1e3, 1e4, 1e5, 1e6, 1e9} {
+		v := e.At(n)
+		if v <= prev {
+			t.Fatalf("E not increasing at N=%g", n)
+		}
+		if v >= 1/e.A {
+			t.Fatalf("E exceeded asymptote at N=%g", n)
+		}
+		prev = v
+	}
+}
+
+func TestFitRecoversExactModel(t *testing.T) {
+	truth := Efficiency{A: 1.18, B: 42000}
+	var sizes, effs []float64
+	for _, n := range []float64{5e3, 1e4, 3e4, 8e4, 2e5} {
+		sizes = append(sizes, n)
+		effs = append(effs, truth.At(n))
+	}
+	got, err := Fit(sizes, effs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.A-truth.A) > 1e-9 || math.Abs(got.B-truth.B)/truth.B > 1e-9 {
+		t.Fatalf("fit = %+v, want %+v", got, truth)
+	}
+}
+
+func TestFitRecoversNoisyModel(t *testing.T) {
+	truth := Efficiency{A: 1.25, B: 30000}
+	var sizes, effs []float64
+	for i, n := range []float64{4e3, 9e3, 2e4, 5e4, 1e5, 2e5} {
+		noise := 1 + 0.002*float64(i%3-1)
+		sizes = append(sizes, n)
+		effs = append(effs, truth.At(n)*noise)
+	}
+	got, err := Fit(sizes, effs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.A-truth.A) > 0.05 || math.Abs(got.B-truth.B)/truth.B > 0.2 {
+		t.Fatalf("noisy fit too far off: %+v vs %+v", got, truth)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit([]float64{1}, []float64{0.5}); err == nil {
+		t.Fatal("expected error for one sample")
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{0.5}); err == nil {
+		t.Fatal("expected error for length mismatch")
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{0.5, 0}); err == nil {
+		t.Fatal("expected error for zero efficiency")
+	}
+	if _, err := Fit([]float64{5, 5}, []float64{0.5, 0.5}); err == nil {
+		t.Fatal("expected error for degenerate sizes")
+	}
+}
+
+func TestScaledEfficiencyProperties(t *testing.T) {
+	// Eq 8: k=1 is identity; smaller k gives lower efficiency; the
+	// explicit-a version with a>1 exceeds the lower bound.
+	f := func(e1f, kf float64) bool {
+		e1 := 0.3 + math.Mod(math.Abs(e1f), 0.65)
+		k := 0.1 + math.Mod(math.Abs(kf), 0.85)
+		lb := ScaledEfficiencyLowerBound(e1, k)
+		full := ScaledEfficiencyLowerBound(e1, 1)
+		withA := ScaledEfficiency(e1, k, 1.05)
+		return math.Abs(full-e1) < 1e-12 && lb < e1 && withA >= lb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig8Average(t *testing.T) {
+	// The paper: top-10 systems improve ~11.96% on average from one
+	// third to half of the memory. Check the bound reproduces a gain in
+	// that region.
+	var sum float64
+	top := Top10Nov2016()
+	if len(top) != 10 {
+		t.Fatalf("expected 10 systems, got %d", len(top))
+	}
+	for _, s := range top {
+		e := s.Efficiency()
+		if e <= 0 || e >= 1 {
+			t.Fatalf("%s: efficiency %v out of range", s.Name, e)
+		}
+		half := ScaledEfficiencyLowerBound(e, 0.5)
+		third := ScaledEfficiencyLowerBound(e, 1.0/3)
+		if half <= third {
+			t.Fatalf("%s: half-memory efficiency should beat third-memory", s.Name)
+		}
+		sum += (half - third) / third
+	}
+	avg := sum / 10
+	if avg < 0.08 || avg > 0.16 {
+		t.Fatalf("average half-vs-third improvement %.1f%%, paper reports ≈ 12%%", avg*100)
+	}
+}

@@ -1,0 +1,109 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file quantifies the reliability side of the grouping trade-off
+// (§3.3): a larger group leaves more memory (Eq 2) but is more likely to
+// suffer more simultaneous failures than its encoding tolerates — "if a
+// group includes the whole system, only a single failure can be
+// tolerated; if each group has only two processes, the system can
+// tolerate failures for half of the processes at the same time."
+
+// NodeFailureProb converts a mean time between failures into the
+// probability that one node fails within a window (exponential model).
+func NodeFailureProb(windowSec, mtbfSec float64) float64 {
+	if mtbfSec <= 0 {
+		return 1
+	}
+	return 1 - math.Exp(-windowSec/mtbfSec)
+}
+
+// GroupFailureProb returns the probability that a group of n nodes, each
+// failing independently with probability p in the window, suffers MORE
+// than tol failures — i.e. becomes unrecoverable for a coder tolerating
+// tol losses.
+func GroupFailureProb(n, tol int, p float64) (float64, error) {
+	if n <= 0 || tol < 0 {
+		return 0, fmt.Errorf("model: invalid group %d / tolerance %d", n, tol)
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("model: probability %g out of [0,1]", p)
+	}
+	// P(X > tol) = 1 - Σ_{k=0..tol} C(n,k) p^k (1-p)^(n-k), computed
+	// with incremental binomial terms for stability.
+	if p == 0 {
+		return 0, nil
+	}
+	if p == 1 {
+		if tol >= n {
+			return 0, nil
+		}
+		return 1, nil
+	}
+	term := math.Pow(1-p, float64(n)) // k = 0
+	cum := term
+	for k := 1; k <= tol && k <= n; k++ {
+		term *= float64(n-k+1) / float64(k) * p / (1 - p)
+		cum += term
+	}
+	if cum > 1 {
+		cum = 1
+	}
+	return 1 - cum, nil
+}
+
+// SystemUnrecoverableProb returns the probability that at least one of
+// the groups covering totalNodes (groups of groupSize, tolerance tol)
+// becomes unrecoverable within the window.
+func SystemUnrecoverableProb(totalNodes, groupSize, tol int, p float64) (float64, error) {
+	if groupSize <= 0 || totalNodes%groupSize != 0 {
+		return 0, fmt.Errorf("model: %d nodes not divisible into groups of %d", totalNodes, groupSize)
+	}
+	pg, err := GroupFailureProb(groupSize, tol, p)
+	if err != nil {
+		return 0, err
+	}
+	groups := totalNodes / groupSize
+	return 1 - math.Pow(1-pg, float64(groups)), nil
+}
+
+// OptimalInterval returns the Young/Daly first-order optimum for the
+// checkpoint interval: τ* ≈ √(2·δ·MTBF) for checkpoint cost δ. The paper
+// checkpoints every ten minutes; with the measured 16-second checkpoint
+// and a system MTBF of a few hours that is close to this optimum.
+func OptimalInterval(ckptCostSec, systemMTBFSec float64) float64 {
+	if ckptCostSec <= 0 || systemMTBFSec <= 0 {
+		return 0
+	}
+	return math.Sqrt(2 * ckptCostSec * systemMTBFSec)
+}
+
+// ExpectedRuntime estimates the completion time of a job with work W
+// under periodic checkpointing at interval τ (cost δ per checkpoint,
+// restart cost R, exponential failures with the given system MTBF),
+// using the standard first-order model: each interval of useful work
+// costs (τ+δ), failures arrive at rate 1/MTBF and each costs a restart
+// plus on average half a re-executed interval.
+func ExpectedRuntime(workSec, tau, ckptCostSec, restartSec, mtbfSec float64) float64 {
+	if tau <= 0 || workSec <= 0 {
+		return math.Inf(1)
+	}
+	base := workSec * (tau + ckptCostSec) / tau
+	failures := base / mtbfSec
+	return base + failures*(restartSec+tau/2+ckptCostSec)
+}
+
+// MaxSimultaneousLosses returns the worst-case number of simultaneous
+// node losses the grouping can always survive: tol per group, so
+// tol × (totalNodes/groupSize) when adversarially spread, but only tol
+// if they may land in one group — the §3.3 observation that two-node
+// groups tolerate half the system failing.
+func MaxSimultaneousLosses(totalNodes, groupSize, tol int, adversarial bool) int {
+	if adversarial {
+		return tol
+	}
+	return tol * (totalNodes / groupSize)
+}

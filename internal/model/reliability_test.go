@@ -1,0 +1,158 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeFailureProb(t *testing.T) {
+	if got := NodeFailureProb(0, 3600); got != 0 {
+		t.Fatalf("zero window: %g", got)
+	}
+	if got := NodeFailureProb(3600, 0); got != 1 {
+		t.Fatalf("zero MTBF: %g", got)
+	}
+	p := NodeFailureProb(3600, 86400)
+	if p <= 0 || p >= 1 {
+		t.Fatalf("p = %g", p)
+	}
+	// Small-window approximation p ≈ window/MTBF.
+	if math.Abs(p-3600.0/86400) > 1e-3 {
+		t.Fatalf("p = %g, want ≈ %g", p, 3600.0/86400)
+	}
+	if NodeFailureProb(7200, 86400) <= p {
+		t.Fatal("longer windows must be riskier")
+	}
+}
+
+func TestGroupFailureProbBasics(t *testing.T) {
+	if _, err := GroupFailureProb(0, 1, 0.1); err == nil {
+		t.Fatal("expected error for empty group")
+	}
+	if _, err := GroupFailureProb(4, 1, 1.5); err == nil {
+		t.Fatal("expected error for p > 1")
+	}
+	if got, _ := GroupFailureProb(8, 1, 0); got != 0 {
+		t.Fatalf("p=0: %g", got)
+	}
+	if got, _ := GroupFailureProb(8, 1, 1); got != 1 {
+		t.Fatalf("p=1: %g", got)
+	}
+	if got, _ := GroupFailureProb(8, 8, 1); got != 0 {
+		t.Fatal("tolerance ≥ n can always recover")
+	}
+	// n=2, tol=1: unrecoverable only when both fail: p².
+	got, _ := GroupFailureProb(2, 1, 0.1)
+	if math.Abs(got-0.01) > 1e-12 {
+		t.Fatalf("pair failure = %g, want 0.01", got)
+	}
+}
+
+func TestGroupFailureGrowsWithGroupSize(t *testing.T) {
+	// §3.3: the more processes a group has, the more likely more than
+	// one will fail.
+	prev := -1.0
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		pg, err := GroupFailureProb(n, 1, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pg <= prev {
+			t.Fatalf("group failure probability should grow with size: n=%d pg=%g prev=%g", n, pg, prev)
+		}
+		prev = pg
+	}
+}
+
+func TestToleranceHelps(t *testing.T) {
+	// Dual parity (tol 2) strictly beats single parity (tol 1) for any
+	// meaningful p and n ≥ 3.
+	f := func(pf float64) bool {
+		p := 0.001 + math.Mod(math.Abs(pf), 0.3)
+		one, err1 := GroupFailureProb(8, 1, p)
+		two, err2 := GroupFailureProb(8, 2, p)
+		return err1 == nil && err2 == nil && two < one
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemUnrecoverableProb(t *testing.T) {
+	if _, err := SystemUnrecoverableProb(10, 3, 1, 0.1); err == nil {
+		t.Fatal("expected error for indivisible grouping")
+	}
+	// The §3.3 trade-off at the system level: with per-node failure
+	// probability p, smaller groups give a more reliable system.
+	p := 0.02
+	small, _ := SystemUnrecoverableProb(128, 2, 1, p)
+	large, _ := SystemUnrecoverableProb(128, 32, 1, p)
+	if !(small < large) {
+		t.Fatalf("smaller groups should be more reliable: %g vs %g", small, large)
+	}
+	// And consistency: more nodes, same grouping → riskier.
+	more, _ := SystemUnrecoverableProb(256, 2, 1, p)
+	if !(more > small) {
+		t.Fatal("larger systems must be riskier")
+	}
+}
+
+func TestOptimalInterval(t *testing.T) {
+	if OptimalInterval(0, 3600) != 0 || OptimalInterval(16, 0) != 0 {
+		t.Fatal("degenerate inputs must give 0")
+	}
+	// Young/Daly: τ* = √(2·16·14400) ≈ 679 s for the paper's 16 s
+	// checkpoint and a 4-hour system MTBF — close to the paper's
+	// 10-minute interval.
+	tau := OptimalInterval(16, 4*3600)
+	if math.Abs(tau-math.Sqrt(2*16*4*3600)) > 1e-9 {
+		t.Fatalf("tau = %g", tau)
+	}
+	if tau < 500 || tau > 800 {
+		t.Fatalf("tau = %g s, expected near the paper's 600 s interval", tau)
+	}
+	// The optimum minimizes the expected-runtime model (sampled scan).
+	const work, ckpt, restart, mtbf = 8 * 3600, 16, 100, 4 * 3600
+	best := ExpectedRuntime(work, tau, ckpt, restart, mtbf)
+	for _, factor := range []float64{0.25, 0.5, 2, 4} {
+		if ExpectedRuntime(work, tau*factor, ckpt, restart, mtbf) < best {
+			t.Fatalf("interval %g beats the Young/Daly optimum %g", tau*factor, tau)
+		}
+	}
+}
+
+func TestExpectedRuntime(t *testing.T) {
+	if !math.IsInf(ExpectedRuntime(0, 100, 1, 1, 1000), 1) {
+		t.Fatal("zero work should be rejected")
+	}
+	if !math.IsInf(ExpectedRuntime(100, 0, 1, 1, 1000), 1) {
+		t.Fatal("zero interval should be rejected")
+	}
+	// No failures (huge MTBF): runtime = work × (1 + δ/τ).
+	got := ExpectedRuntime(3600, 600, 16, 10, 1e18)
+	want := 3600 * (600.0 + 16) / 600
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("failure-free runtime %g, want %g", got, want)
+	}
+	// Shorter MTBF must cost more.
+	if ExpectedRuntime(3600, 600, 16, 10, 3600) <= got {
+		t.Fatal("failures must add runtime")
+	}
+}
+
+func TestMaxSimultaneousLosses(t *testing.T) {
+	// "If each group has only two processes, the system can tolerate
+	// failures for half of the processes at the same time."
+	if got := MaxSimultaneousLosses(128, 2, 1, false); got != 64 {
+		t.Fatalf("spread losses = %d, want 64", got)
+	}
+	// "If a group includes the whole system, only a single failure can
+	// be tolerated."
+	if got := MaxSimultaneousLosses(128, 128, 1, false); got != 1 {
+		t.Fatalf("whole-system group = %d, want 1", got)
+	}
+	if got := MaxSimultaneousLosses(128, 8, 2, true); got != 2 {
+		t.Fatalf("adversarial = %d, want 2", got)
+	}
+}

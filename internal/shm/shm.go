@@ -1,0 +1,139 @@
+// Package shm simulates the Linux System-V shared-memory mechanism the
+// paper relies on (§2.3): a memory segment is owned by the *node*, not by
+// the process that created it, so it survives process exit and job restart,
+// but it is volatile — it disappears when the node itself is lost (powered
+// off). Each simulated node carries one Store; checkpoint protocols create
+// named segments in it and re-attach to them after a restart.
+package shm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Segment is a named shared-memory region holding protected state as
+// float64 words (see package wordpack for byte payloads).
+type Segment struct {
+	Name  string
+	Data  []float64
+	store *Store
+}
+
+// Words reports the segment size in float64 words.
+func (s *Segment) Words() int { return len(s.Data) }
+
+// Bytes reports the segment size in bytes.
+func (s *Segment) Bytes() int64 { return int64(len(s.Data)) * 8 }
+
+// Store is the per-node segment table. It is safe for concurrent use by
+// the ranks co-located on the node.
+type Store struct {
+	mu       sync.Mutex
+	segments map[string]*Segment
+	capacity int64 // bytes; 0 means unlimited
+	used     int64
+}
+
+// NewStore creates an empty store with the given capacity in bytes.
+// capacityBytes <= 0 means unlimited.
+func NewStore(capacityBytes int64) *Store {
+	return &Store{segments: make(map[string]*Segment), capacity: capacityBytes}
+}
+
+// ErrExists is returned by Create when the name is already taken.
+type ErrExists struct{ Name string }
+
+func (e *ErrExists) Error() string { return fmt.Sprintf("shm: segment %q already exists", e.Name) }
+
+// ErrNoSpace is returned when an allocation would exceed the node capacity.
+type ErrNoSpace struct {
+	Name            string
+	Want, Used, Cap int64
+}
+
+func (e *ErrNoSpace) Error() string {
+	return fmt.Sprintf("shm: cannot allocate %q: want %d bytes, used %d of %d", e.Name, e.Want, e.Used, e.Cap)
+}
+
+// Create allocates a new zeroed segment of the given word count. It fails
+// if the name exists or the node capacity would be exceeded.
+func (st *Store) Create(name string, words int) (*Segment, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.segments[name]; ok {
+		return nil, &ErrExists{Name: name}
+	}
+	bytes := int64(words) * 8
+	if st.capacity > 0 && st.used+bytes > st.capacity {
+		return nil, &ErrNoSpace{Name: name, Want: bytes, Used: st.used, Cap: st.capacity}
+	}
+	seg := &Segment{Name: name, Data: make([]float64, words), store: st}
+	st.segments[name] = seg
+	st.used += bytes
+	return seg, nil
+}
+
+// Attach returns the existing segment with the given name, or nil if no
+// such segment exists (for example on a freshly provisioned spare node).
+func (st *Store) Attach(name string) *Segment {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.segments[name]
+}
+
+// CreateOrAttach attaches to an existing segment of the right size, or
+// creates it. If a segment exists under the name with a different size it
+// is destroyed and recreated (the previous run used a different layout).
+func (st *Store) CreateOrAttach(name string, words int) (*Segment, bool, error) {
+	if seg := st.Attach(name); seg != nil {
+		if len(seg.Data) == words {
+			return seg, true, nil
+		}
+		st.Destroy(name)
+	}
+	seg, err := st.Create(name, words)
+	return seg, false, err
+}
+
+// Destroy removes a segment and releases its space. Destroying a missing
+// name is a no-op, mirroring shmctl(IPC_RMID) on a stale id.
+func (st *Store) Destroy(name string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if seg, ok := st.segments[name]; ok {
+		st.used -= seg.Bytes()
+		delete(st.segments, name)
+	}
+}
+
+// DestroyAll wipes every segment. The cluster simulator calls this when a
+// node is powered off: SHM is volatile memory.
+func (st *Store) DestroyAll() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.segments = make(map[string]*Segment)
+	st.used = 0
+}
+
+// Used reports the bytes currently allocated.
+func (st *Store) Used() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.used
+}
+
+// Capacity reports the store capacity in bytes (0 = unlimited).
+func (st *Store) Capacity() int64 { return st.capacity }
+
+// Names returns the segment names in sorted order (for tests and tooling).
+func (st *Store) Names() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]string, 0, len(st.segments))
+	for n := range st.segments {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

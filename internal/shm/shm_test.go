@@ -1,0 +1,137 @@
+package shm
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateAttachDestroy(t *testing.T) {
+	st := NewStore(0)
+	seg, err := st.Create("a", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Words() != 10 || seg.Bytes() != 80 {
+		t.Fatalf("unexpected size: %d words, %d bytes", seg.Words(), seg.Bytes())
+	}
+	seg.Data[3] = 42
+
+	got := st.Attach("a")
+	if got == nil || got.Data[3] != 42 {
+		t.Fatal("attach did not return the live segment")
+	}
+	if st.Attach("missing") != nil {
+		t.Fatal("attach to missing segment should return nil")
+	}
+
+	st.Destroy("a")
+	if st.Attach("a") != nil {
+		t.Fatal("segment survived Destroy")
+	}
+	st.Destroy("a") // destroying twice is a no-op
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	st := NewStore(0)
+	if _, err := st.Create("x", 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := st.Create("x", 1)
+	var ee *ErrExists
+	if !errors.As(err, &ee) || ee.Name != "x" {
+		t.Fatalf("want ErrExists for %q, got %v", "x", err)
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	st := NewStore(100) // 12 words max
+	if _, err := st.Create("a", 10); err != nil {
+		t.Fatal(err)
+	}
+	_, err := st.Create("b", 10)
+	var ns *ErrNoSpace
+	if !errors.As(err, &ns) {
+		t.Fatalf("want ErrNoSpace, got %v", err)
+	}
+	if st.Used() != 80 {
+		t.Fatalf("used = %d, want 80", st.Used())
+	}
+	st.Destroy("a")
+	if st.Used() != 0 {
+		t.Fatalf("used after destroy = %d, want 0", st.Used())
+	}
+	if _, err := st.Create("b", 12); err != nil {
+		t.Fatalf("allocation after free failed: %v", err)
+	}
+}
+
+func TestCreateOrAttach(t *testing.T) {
+	st := NewStore(0)
+	seg1, attached, err := st.CreateOrAttach("s", 5)
+	if err != nil || attached {
+		t.Fatalf("first CreateOrAttach: attached=%v err=%v", attached, err)
+	}
+	seg1.Data[0] = 7
+
+	seg2, attached, err := st.CreateOrAttach("s", 5)
+	if err != nil || !attached {
+		t.Fatalf("second CreateOrAttach: attached=%v err=%v", attached, err)
+	}
+	if seg2.Data[0] != 7 {
+		t.Fatal("re-attach lost data")
+	}
+
+	// Size change forces recreation (layout changed between runs).
+	seg3, attached, err := st.CreateOrAttach("s", 8)
+	if err != nil || attached {
+		t.Fatalf("resize CreateOrAttach: attached=%v err=%v", attached, err)
+	}
+	if seg3.Data[0] != 0 {
+		t.Fatal("recreated segment not zeroed")
+	}
+}
+
+func TestDestroyAllModelsPowerOff(t *testing.T) {
+	st := NewStore(0)
+	for _, n := range []string{"a", "b", "c"} {
+		if _, err := st.Create(n, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(st.Names()); got != 3 {
+		t.Fatalf("names = %d, want 3", got)
+	}
+	st.DestroyAll()
+	if got := len(st.Names()); got != 0 {
+		t.Fatalf("segments survived power-off: %v", st.Names())
+	}
+	if st.Used() != 0 {
+		t.Fatalf("used after power-off = %d", st.Used())
+	}
+}
+
+func TestAccountingInvariant(t *testing.T) {
+	// Property: used always equals the sum of live segment sizes.
+	st := NewStore(0)
+	live := map[string]int64{}
+	check := func(create bool, name byte, words uint8) bool {
+		n := string('a' + name%8)
+		if create {
+			if _, err := st.Create(n, int(words)); err == nil {
+				live[n] = int64(words) * 8
+			}
+		} else {
+			st.Destroy(n)
+			delete(live, n)
+		}
+		var want int64
+		for _, b := range live {
+			want += b
+		}
+		return st.Used() == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

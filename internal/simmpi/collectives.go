@@ -1,0 +1,318 @@
+package simmpi
+
+import "fmt"
+
+// Collectives are built on the point-to-point layer with the standard
+// algorithms (binomial trees, dissemination, ring), so their virtual-clock
+// cost emerges from the same α-β model as everything else. All members of
+// the communicator must call each collective in the same order.
+
+// Barrier synchronizes the communicator with the dissemination algorithm:
+// ceil(log2(P)) rounds of pairwise exchanges.
+func (c *Comm) Barrier() error {
+	size := c.Size()
+	if size == 1 {
+		return nil
+	}
+	token := []float64{0}
+	recv := []float64{0}
+	for k := 1; k < size; k <<= 1 {
+		dst := (c.myIdx + k) % size
+		src := (c.myIdx - k + size) % size
+		if err := c.SendRecv(dst, token, src, recv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast broadcasts buf from root to every rank with a binomial tree.
+func (c *Comm) Bcast(root int, buf []float64) error {
+	if err := c.checkPeer("Bcast", root); err != nil {
+		return err
+	}
+	size := c.Size()
+	if size == 1 {
+		return nil
+	}
+	rel := (c.myIdx - root + size) % size
+	mask := 1
+	for mask < size {
+		if rel&mask != 0 {
+			src := (rel - mask + root) % size
+			if err := c.Recv(src, buf); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < size {
+			dst := (rel + mask + root) % size
+			if err := c.Send(dst, buf); err != nil {
+				return err
+			}
+		}
+		mask >>= 1
+	}
+	return nil
+}
+
+// BcastRing broadcasts buf from root around a ring, pipelined in
+// segments of seg words: while rank k forwards segment i, rank k−1 can
+// already be sending it segment i+1. For large messages this approaches
+// one full transfer time instead of the binomial tree's log₂(P)
+// transfers — HPL's "increasing-ring" panel broadcast.
+func (c *Comm) BcastRing(root int, buf []float64, seg int) error {
+	if err := c.checkPeer("BcastRing", root); err != nil {
+		return err
+	}
+	size := c.Size()
+	if size == 1 || len(buf) == 0 {
+		return nil
+	}
+	if seg <= 0 {
+		seg = len(buf)
+	}
+	rel := (c.myIdx - root + size) % size
+	next := (c.myIdx + 1) % size
+	prev := (c.myIdx - 1 + size) % size
+	for off := 0; off < len(buf); off += seg {
+		end := off + seg
+		if end > len(buf) {
+			end = len(buf)
+		}
+		sl := buf[off:end]
+		if rel != 0 {
+			if err := c.Recv(prev, sl); err != nil {
+				return err
+			}
+		}
+		if rel != size-1 {
+			if err := c.Send(next, sl); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Bcast2Ring broadcasts buf from root along two opposite-direction
+// pipelined chains (HPL's "2-ring"): the root feeds both halves, halving
+// the chain depth of BcastRing.
+func (c *Comm) Bcast2Ring(root int, buf []float64, seg int) error {
+	if err := c.checkPeer("Bcast2Ring", root); err != nil {
+		return err
+	}
+	size := c.Size()
+	if size == 1 || len(buf) == 0 {
+		return nil
+	}
+	if size == 2 {
+		return c.BcastRing(root, buf, seg)
+	}
+	if seg <= 0 {
+		seg = len(buf)
+	}
+	rel := (c.myIdx - root + size) % size
+	next := (c.myIdx + 1) % size
+	prev := (c.myIdx - 1 + size) % size
+	h := (size - 1 + 1) / 2 // forward chain covers rel 1..h, reverse covers h+1..size-1
+	for off := 0; off < len(buf); off += seg {
+		end := off + seg
+		if end > len(buf) {
+			end = len(buf)
+		}
+		sl := buf[off:end]
+		switch {
+		case rel == 0:
+			if err := c.Send(next, sl); err != nil {
+				return err
+			}
+			if err := c.Send(prev, sl); err != nil {
+				return err
+			}
+		case rel <= h:
+			if err := c.Recv(prev, sl); err != nil {
+				return err
+			}
+			if rel < h {
+				if err := c.Send(next, sl); err != nil {
+					return err
+				}
+			}
+		default:
+			if err := c.Recv(next, sl); err != nil {
+				return err
+			}
+			if rel > h+1 {
+				if err := c.Send(prev, sl); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Reduce combines in across all ranks with op, leaving the result in out
+// at root (out is ignored elsewhere and may be nil). in is not modified.
+func (c *Comm) Reduce(root int, in, out []float64, op *Op) error {
+	if err := c.checkPeer("Reduce", root); err != nil {
+		return err
+	}
+	if c.myIdx == root {
+		if len(out) != len(in) {
+			return &SizeError{Op: "Reduce(out)", Want: len(in), Have: len(out)}
+		}
+	}
+	size := c.Size()
+	acc := make([]float64, len(in))
+	copy(acc, in)
+	if size > 1 {
+		rel := (c.myIdx - root + size) % size
+		scratch := make([]float64, len(in))
+		mask := 1
+		for mask < size {
+			if rel&mask != 0 {
+				dst := (rel&^mask + root) % size
+				if err := c.Send(dst, acc); err != nil {
+					return err
+				}
+				break
+			}
+			if src := rel | mask; src < size {
+				abs := (src + root) % size
+				if err := c.Recv(abs, scratch); err != nil {
+					return err
+				}
+				op.Combine(acc, scratch)
+				c.rank.Compute(float64(len(in)) * op.CostPerWord)
+			}
+			mask <<= 1
+		}
+	}
+	if c.myIdx == root {
+		copy(out, acc)
+	}
+	return nil
+}
+
+// Allreduce combines in across all ranks with op and leaves the result in
+// out on every rank (Reduce to rank 0 followed by Bcast).
+func (c *Comm) Allreduce(in, out []float64, op *Op) error {
+	if len(out) != len(in) {
+		return &SizeError{Op: "Allreduce(out)", Want: len(in), Have: len(out)}
+	}
+	tmp := out
+	if c.myIdx != 0 {
+		tmp = make([]float64, len(in))
+	}
+	if err := c.Reduce(0, in, tmp, op); err != nil {
+		return err
+	}
+	if c.myIdx == 0 {
+		copy(out, tmp)
+	}
+	return c.Bcast(0, out)
+}
+
+// Allgather gathers equal-size blocks from every rank into out, which must
+// have len(in)*Size() words, with the ring algorithm.
+func (c *Comm) Allgather(in, out []float64) error {
+	size := c.Size()
+	n := len(in)
+	if len(out) != n*size {
+		return &SizeError{Op: "Allgather(out)", Want: n * size, Have: len(out)}
+	}
+	copy(out[c.myIdx*n:], in)
+	if size == 1 {
+		return nil
+	}
+	right := (c.myIdx + 1) % size
+	left := (c.myIdx - 1 + size) % size
+	for step := 0; step < size-1; step++ {
+		sendBlock := (c.myIdx - step + size) % size
+		recvBlock := (c.myIdx - step - 1 + size) % size
+		if err := c.SendRecv(right, out[sendBlock*n:(sendBlock+1)*n], left, out[recvBlock*n:(recvBlock+1)*n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AllgatherSingle gathers one word per rank (out must have Size() words).
+func (c *Comm) AllgatherSingle(v float64, out []float64) error {
+	return c.Allgather([]float64{v}, out)
+}
+
+// Gather collects equal-size blocks at root: out must have len(in)*Size()
+// words at root and is ignored elsewhere.
+func (c *Comm) Gather(root int, in, out []float64) error {
+	if err := c.checkPeer("Gather", root); err != nil {
+		return err
+	}
+	size := c.Size()
+	n := len(in)
+	if c.myIdx != root {
+		return c.Send(root, in)
+	}
+	if len(out) != n*size {
+		return &SizeError{Op: "Gather(out)", Want: n * size, Have: len(out)}
+	}
+	copy(out[root*n:], in)
+	for src := 0; src < size; src++ {
+		if src == root {
+			continue
+		}
+		if err := c.Recv(src, out[src*n:(src+1)*n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scatter distributes equal-size blocks from root: in must have
+// len(out)*Size() words at root and is ignored elsewhere.
+func (c *Comm) Scatter(root int, in, out []float64) error {
+	if err := c.checkPeer("Scatter", root); err != nil {
+		return err
+	}
+	size := c.Size()
+	n := len(out)
+	if c.myIdx != root {
+		return c.Recv(root, out)
+	}
+	if len(in) != n*size {
+		return &SizeError{Op: "Scatter(in)", Want: n * size, Have: len(in)}
+	}
+	copy(out, in[root*n:(root+1)*n])
+	for dst := 0; dst < size; dst++ {
+		if dst == root {
+			continue
+		}
+		if err := c.Send(dst, in[dst*n:(dst+1)*n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaxlocAll returns the maximum value and the communicator rank owning it
+// across all ranks (ties go to the lowest index), via Allreduce with
+// OpMaxloc on a (value, index) pair.
+func (c *Comm) MaxlocAll(v float64) (float64, int, error) {
+	in := []float64{v, float64(c.myIdx)}
+	out := []float64{0, 0}
+	if err := c.Allreduce(in, out, OpMaxloc); err != nil {
+		return 0, 0, err
+	}
+	return out[0], int(out[1]), nil
+}
+
+// String identifies the communicator for diagnostics.
+func (c *Comm) String() string {
+	return fmt.Sprintf("comm(%s, rank %d/%d)", c.core.key, c.myIdx, c.Size())
+}

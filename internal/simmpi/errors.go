@@ -1,0 +1,49 @@
+package simmpi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrAborted is returned from any communication call after the job has
+// aborted (a rank died or returned an error). This mirrors the paper's
+// central observation about stock MPI: after a node failure the whole
+// program aborts — no rank keeps running.
+var ErrAborted = errors.New("simmpi: job aborted")
+
+// ErrSelfSend is returned when a rank attempts a rendezvous send to itself,
+// which would deadlock.
+var ErrSelfSend = errors.New("simmpi: send to self")
+
+// SizeError reports a mismatched message length.
+type SizeError struct {
+	Op         string
+	Want, Have int
+}
+
+func (e *SizeError) Error() string {
+	return fmt.Sprintf("simmpi: %s: message size mismatch: want %d words, have %d", e.Op, e.Want, e.Have)
+}
+
+// RankError reports an out-of-range peer rank.
+type RankError struct {
+	Op   string
+	Rank int
+	Size int
+}
+
+func (e *RankError) Error() string {
+	return fmt.Sprintf("simmpi: %s: rank %d out of range [0,%d)", e.Op, e.Rank, e.Size)
+}
+
+// killed is the panic payload used to terminate a rank that was destroyed
+// by a failure injection. It never escapes the package: the runner in
+// World.Run recovers it and records the rank as lost.
+type killed struct {
+	rank  int
+	cause string
+}
+
+func (k killed) String() string {
+	return fmt.Sprintf("rank %d killed (%s)", k.rank, k.cause)
+}

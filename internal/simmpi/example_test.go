@@ -1,0 +1,34 @@
+package simmpi_test
+
+import (
+	"fmt"
+
+	"selfckpt/internal/simmpi"
+)
+
+// A four-rank world computes a global sum and reports the modelled wall
+// time. Ranks are goroutines; the data really moves, and the virtual
+// clock accounts for latency, bandwidth, and compute.
+func ExampleWorld_Run() {
+	w, _ := simmpi.NewWorld(simmpi.Config{
+		Ranks:     4,
+		Alpha:     1e-6,
+		Bandwidth: []float64{1e9}, // 1 GB/s per rank
+		GFLOPS:    []float64{10},
+	})
+	res := w.Run(func(c *simmpi.Comm) error {
+		c.World().Compute(1e7) // 10 MFLOP of local work
+		out := make([]float64, 1)
+		if err := c.Allreduce([]float64{float64(c.Rank() + 1)}, out, simmpi.OpSum); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			fmt.Printf("sum = %v\n", out[0])
+		}
+		return nil
+	})
+	fmt.Printf("aborted = %v, wall time > 1 ms: %v\n", res.Aborted, res.MaxTime > 1e-3)
+	// Output:
+	// sum = 10
+	// aborted = false, wall time > 1 ms: true
+}

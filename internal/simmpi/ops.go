@@ -1,0 +1,89 @@
+package simmpi
+
+import "math"
+
+// Op is a reduction operator over float64 word vectors. Combine folds in
+// into acc element-wise; Cancel (when non-nil) is the inverse, used by the
+// encoding layer to back out a known contribution when rebuilding lost
+// data. CostPerWord is the virtual-clock compute charge, in flops per
+// word, applied at each combining rank; the paper notes that bitwise XOR
+// is much faster than numeric SUM on some platforms (§2.2), which this
+// captures.
+type Op struct {
+	Name        string
+	CostPerWord float64
+	Combine     func(acc, in []float64)
+	Cancel      func(acc, in []float64)
+}
+
+// OpSum is numeric addition (MPI_SUM over MPI_DOUBLE).
+var OpSum = &Op{
+	Name:        "SUM",
+	CostPerWord: 1.0,
+	Combine: func(acc, in []float64) {
+		for i := range acc {
+			acc[i] += in[i]
+		}
+	},
+	Cancel: func(acc, in []float64) {
+		for i := range acc {
+			acc[i] -= in[i]
+		}
+	},
+}
+
+// OpXor is bitwise exclusive-or over the float64 bit patterns
+// (MPI_BXOR over MPI_LONG_LONG). XOR is its own inverse.
+var OpXor = &Op{
+	Name:        "XOR",
+	CostPerWord: 0.25,
+	Combine:     xorWords,
+	Cancel:      xorWords,
+}
+
+func xorWords(acc, in []float64) {
+	for i := range acc {
+		acc[i] = math.Float64frombits(math.Float64bits(acc[i]) ^ math.Float64bits(in[i]))
+	}
+}
+
+// OpMin keeps the element-wise minimum (MPI_MIN).
+var OpMin = &Op{
+	Name:        "MIN",
+	CostPerWord: 1.0,
+	Combine: func(acc, in []float64) {
+		for i := range acc {
+			if in[i] < acc[i] {
+				acc[i] = in[i]
+			}
+		}
+	},
+}
+
+// OpMax keeps the element-wise maximum (MPI_MAX).
+var OpMax = &Op{
+	Name:        "MAX",
+	CostPerWord: 1.0,
+	Combine: func(acc, in []float64) {
+		for i := range acc {
+			if in[i] > acc[i] {
+				acc[i] = in[i]
+			}
+		}
+	},
+}
+
+// OpMaxloc operates on (value, index) pairs laid out as consecutive words
+// [v0, i0, v1, i1, ...] and keeps the pair with the larger value,
+// breaking ties toward the smaller index (MPI_MAXLOC).
+var OpMaxloc = &Op{
+	Name:        "MAXLOC",
+	CostPerWord: 1.0,
+	Combine: func(acc, in []float64) {
+		for i := 0; i+1 < len(acc); i += 2 {
+			if in[i] > acc[i] || (in[i] == acc[i] && in[i+1] < acc[i+1]) {
+				acc[i], acc[i+1] = in[i], in[i+1]
+			}
+		}
+	},
+}

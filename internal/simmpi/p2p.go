@@ -1,0 +1,287 @@
+package simmpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// message is one transfer. Rendezvous messages carry an ack channel: the
+// receiver copies the payload and acknowledges with the arrival time,
+// which becomes both endpoints' clocks (synchronous-send semantics, like
+// MPI_Ssend). Eager messages (ISend) have no ack: the sender charged the
+// transfer to its own clock and moved on, and sendReady already includes
+// the wire time.
+type message struct {
+	src       int // index within the communicator
+	data      []float64
+	sendReady float64 // sender's clock when the send was posted
+	senderBW  float64
+	eager     bool
+	ack       chan float64
+}
+
+// commCore is the shared half of a communicator: the member list and one
+// inbox channel per member. Rank-local state (the pending queue) lives in
+// Comm.
+type commCore struct {
+	key     string
+	members []int // global rank ids, position = communicator rank
+	inbox   []chan *message
+}
+
+func newCommCore(key string, members []int) *commCore {
+	c := &commCore{key: key, members: members, inbox: make([]chan *message, len(members))}
+	for i := range c.inbox {
+		c.inbox[i] = make(chan *message, 4)
+	}
+	return c
+}
+
+// Comm is one rank's view of a communicator. Rank and Size use
+// communicator-local numbering, like MPI_Comm_rank/size.
+type Comm struct {
+	core     *commCore
+	rank     *Rank
+	myIdx    int
+	pending  []*message
+	splitSeq int
+}
+
+// Rank returns this process's rank within the communicator.
+func (c *Comm) Rank() int { return c.myIdx }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.core.members) }
+
+// World returns the rank handle (clock, compute charging, failpoints).
+func (c *Comm) World() *Rank { return c.rank }
+
+// Compute charges flops to the virtual clock (convenience forwarder).
+func (c *Comm) Compute(flops float64) { c.rank.Compute(flops) }
+
+// Now returns the virtual clock (convenience forwarder).
+func (c *Comm) Now() float64 { return c.rank.Now() }
+
+func (c *Comm) checkPeer(op string, peer int) error {
+	if peer < 0 || peer >= c.Size() {
+		return &RankError{Op: op, Rank: peer, Size: c.Size()}
+	}
+	return nil
+}
+
+// Send transfers buf to dst (communicator rank) with rendezvous semantics:
+// it returns once dst has received the data, with both clocks advanced to
+// the modelled arrival time.
+func (c *Comm) Send(dst int, buf []float64) error {
+	if err := c.checkPeer("Send", dst); err != nil {
+		return err
+	}
+	if dst == c.myIdx {
+		return ErrSelfSend
+	}
+	m := &message{
+		src:       c.myIdx,
+		data:      buf,
+		sendReady: c.rank.now,
+		senderBW:  c.rank.bw,
+		ack:       make(chan float64, 1),
+	}
+	select {
+	case c.core.inbox[dst] <- m:
+	case <-c.rank.world.abort:
+		return ErrAborted
+	}
+	select {
+	case arrival := <-m.ack:
+		c.rank.stats.MsgsSent++
+		c.rank.stats.BytesSent += int64(8 * len(buf))
+		c.rank.setClock(arrival)
+		return nil
+	case <-c.rank.world.abort:
+		return ErrAborted
+	}
+}
+
+// Recv receives exactly len(buf) words from src into buf. Messages from
+// other sources arriving first are queued and matched by later Recv calls,
+// preserving per-source FIFO order.
+func (c *Comm) Recv(src int, buf []float64) error {
+	if err := c.checkPeer("Recv", src); err != nil {
+		return err
+	}
+	if src == c.myIdx {
+		return ErrSelfSend
+	}
+	m, err := c.match(src)
+	if err != nil {
+		return err
+	}
+	if len(m.data) != len(buf) {
+		return &SizeError{Op: fmt.Sprintf("Recv(src=%d)", src), Want: len(buf), Have: len(m.data)}
+	}
+	copy(buf, m.data)
+	var arrival float64
+	if m.eager {
+		// The sender already paid the wire time; the message is simply
+		// available from sendReady onwards.
+		arrival = m.sendReady
+		if c.rank.now > arrival {
+			arrival = c.rank.now
+		}
+	} else {
+		bw := m.senderBW
+		if c.rank.bw < bw {
+			bw = c.rank.bw
+		}
+		start := m.sendReady
+		if c.rank.now > start {
+			start = c.rank.now
+		}
+		arrival = start + c.rank.world.cfg.Alpha + float64(len(buf)*8)/bw
+		m.ack <- arrival
+	}
+	c.rank.stats.MsgsRecv++
+	c.rank.stats.BytesRecv += int64(8 * len(buf))
+	c.rank.setClock(arrival)
+	return nil
+}
+
+// ISend posts buf to dst eagerly: the wire time is charged to this
+// rank's clock and the call returns without waiting for the receiver
+// (MPI_Isend with a buffered copy — the caller may reuse buf
+// immediately). Per-destination FIFO order is preserved relative to
+// other sends on this communicator; if the destination's inbox is full
+// the call blocks until there is room (bounded buffering), which costs
+// real time but no virtual time.
+func (c *Comm) ISend(dst int, buf []float64) error {
+	if err := c.checkPeer("ISend", dst); err != nil {
+		return err
+	}
+	if dst == c.myIdx {
+		return ErrSelfSend
+	}
+	c.rank.advance(c.rank.world.cfg.Alpha + float64(len(buf)*8)/c.rank.bw)
+	data := make([]float64, len(buf))
+	copy(data, buf)
+	m := &message{
+		src:       c.myIdx,
+		data:      data,
+		sendReady: c.rank.now,
+		senderBW:  c.rank.bw,
+		eager:     true,
+	}
+	select {
+	case c.core.inbox[dst] <- m:
+	case <-c.rank.world.abort:
+		return ErrAborted
+	}
+	c.rank.stats.MsgsSent++
+	c.rank.stats.BytesSent += int64(8 * len(buf))
+	return nil
+}
+
+// match returns the next message from src, consuming queued messages first.
+func (c *Comm) match(src int) (*message, error) {
+	for i, m := range c.pending {
+		if m.src == src {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return m, nil
+		}
+	}
+	for {
+		select {
+		case m := <-c.core.inbox[c.myIdx]:
+			if m.src == src {
+				return m, nil
+			}
+			c.pending = append(c.pending, m)
+		case <-c.rank.world.abort:
+			return nil, ErrAborted
+		}
+	}
+}
+
+// SendRecv performs a simultaneous exchange: send sbuf to dst while
+// receiving len(rbuf) words from src. It is safe for matched pairwise
+// exchanges that would deadlock with two blocking Sends. The message is
+// stamped with the pre-exchange clock in this goroutine; the helper only
+// touches channels, so the rank clock stays single-owner. sbuf and rbuf
+// must not alias (as in MPI_Sendrecv): the peer reads sbuf concurrently
+// with the local write into rbuf.
+func (c *Comm) SendRecv(dst int, sbuf []float64, src int, rbuf []float64) error {
+	if err := c.checkPeer("SendRecv", dst); err != nil {
+		return err
+	}
+	if dst == c.myIdx || src == c.myIdx {
+		return ErrSelfSend
+	}
+	m := &message{
+		src:       c.myIdx,
+		data:      sbuf,
+		sendReady: c.rank.now,
+		senderBW:  c.rank.bw,
+		ack:       make(chan float64, 1),
+	}
+	type sendDone struct {
+		arrival float64
+		err     error
+	}
+	done := make(chan sendDone, 1)
+	go func() {
+		select {
+		case c.core.inbox[dst] <- m:
+		case <-c.rank.world.abort:
+			done <- sendDone{err: ErrAborted}
+			return
+		}
+		select {
+		case arr := <-m.ack:
+			done <- sendDone{arrival: arr}
+		case <-c.rank.world.abort:
+			done <- sendDone{err: ErrAborted}
+		}
+	}()
+	rerr := c.Recv(src, rbuf)
+	s := <-done
+	if rerr != nil {
+		return rerr
+	}
+	if s.err != nil {
+		return s.err
+	}
+	c.rank.stats.MsgsSent++
+	c.rank.stats.BytesSent += int64(8 * len(sbuf))
+	c.rank.setClock(s.arrival)
+	return nil
+}
+
+// Split partitions the communicator by color, like MPI_Comm_split with
+// key = current rank (rank order is preserved within each color). Every
+// member must call Split collectively with the same call sequence. A
+// negative color returns nil (the rank opts out), but the call still
+// participates in the collective exchange.
+func (c *Comm) Split(color int) (*Comm, error) {
+	colors := make([]float64, c.Size())
+	mine := []float64{float64(color)}
+	if err := c.AllgatherSingle(mine[0], colors); err != nil {
+		return nil, err
+	}
+	c.splitSeq++
+	if color < 0 {
+		return nil, nil
+	}
+	var members []int
+	myIdx := -1
+	for i, col := range colors {
+		if int(col) == color {
+			if i == c.myIdx {
+				myIdx = len(members)
+			}
+			members = append(members, c.core.members[i])
+		}
+	}
+	sort.Ints(members) // members are already rank-ordered; sort for determinism
+	key := fmt.Sprintf("%s/s%d/c%d", c.core.key, c.splitSeq, color)
+	core := c.rank.world.core(key, members)
+	return &Comm{core: core, rank: c.rank, myIdx: myIdx}, nil
+}

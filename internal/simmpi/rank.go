@@ -1,0 +1,99 @@
+package simmpi
+
+// Rank is the per-process handle: identity, virtual clock, and cost-model
+// parameters. It is owned by exactly one goroutine and is not safe for
+// concurrent use.
+type Rank struct {
+	world  *World
+	id     int
+	now    float64 // virtual clock, seconds
+	bw     float64 // bytes/second point-to-point
+	gflops float64 // effective GFLOP/s
+	membw  float64 // bytes/second local copy
+	killT  float64 // virtual time of scheduled death (+Inf = never)
+	stats  RankStats
+}
+
+// Stats returns a snapshot of this rank's communication counters.
+func (r *Rank) Stats() RankStats { return r.stats }
+
+// Global returns the world rank id.
+func (r *Rank) Global() int { return r.id }
+
+// Now returns the rank's virtual clock in seconds.
+func (r *Rank) Now() float64 { return r.now }
+
+// Bandwidth returns the rank's effective point-to-point bandwidth in
+// bytes/second.
+func (r *Rank) Bandwidth() float64 { return r.bw }
+
+// advance moves the virtual clock forward and enforces any scheduled
+// time-based kill: the rank dies the moment its own clock crosses the
+// deadline.
+func (r *Rank) advance(dt float64) {
+	if dt < 0 {
+		dt = 0
+	}
+	r.now += dt
+	if r.now >= r.killT {
+		r.die("virtual-time deadline")
+	}
+}
+
+// setClock moves the clock to an absolute time (used when a rendezvous
+// completes), never backwards.
+func (r *Rank) setClock(t float64) {
+	if t > r.now {
+		r.now = t
+	}
+	if r.now >= r.killT {
+		r.die("virtual-time deadline")
+	}
+}
+
+func (r *Rank) die(cause string) {
+	if r.world.cfg.OnKill != nil {
+		r.world.cfg.OnKill(r.id)
+	}
+	panic(killed{rank: r.id, cause: cause})
+}
+
+// Compute charges flops of work to the virtual clock.
+func (r *Rank) Compute(flops float64) {
+	if flops <= 0 {
+		return
+	}
+	r.advance(flops / (r.gflops * 1e9))
+}
+
+// MemCopy charges a local memory copy of the given byte count to the
+// virtual clock (the checkpoint "flush" step is a local overwrite).
+func (r *Rank) MemCopy(bytes float64) {
+	if bytes <= 0 {
+		return
+	}
+	r.advance(bytes / r.membw)
+}
+
+// Sleep advances the virtual clock by the given number of seconds without
+// doing work (used to model fixed protocol delays such as failure
+// detection).
+func (r *Rank) Sleep(seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	r.advance(seconds)
+}
+
+// Failpoint announces that the rank reached a named protocol point. The
+// failure injector may kill the rank here; this is how tests reproduce the
+// paper's CASE 1 (die while encoding) and CASE 2 (die while flushing)
+// scenarios deterministically.
+func (r *Rank) Failpoint(label string) {
+	if f := r.world.cfg.FailpointKill; f != nil && f(r.id, label) {
+		r.die("failpoint " + label)
+	}
+}
+
+// Aborted reports whether the job has aborted.
+func (r *Rank) Aborted() bool { return r.world.Aborted() }

@@ -1,0 +1,751 @@
+package simmpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func run(t *testing.T, ranks int, fn func(c *Comm) error) *Result {
+	t.Helper()
+	w, err := NewWorld(Config{Ranks: ranks, Alpha: 1e-6, Bandwidth: []float64{1e9}, GFLOPS: []float64{1}, MemBW: []float64{8e9}})
+	if err != nil {
+		t.Fatalf("NewWorld: %v", err)
+	}
+	return w.Run(fn)
+}
+
+func mustOK(t *testing.T, res *Result) {
+	t.Helper()
+	if res.Failed() {
+		t.Fatalf("job failed: %v (killed=%v)", res.FirstError(), res.Killed)
+	}
+}
+
+func TestNewWorldValidation(t *testing.T) {
+	if _, err := NewWorld(Config{Ranks: 0}); err == nil {
+		t.Fatal("expected error for zero ranks")
+	}
+	if _, err := NewWorld(Config{Ranks: 4, Bandwidth: []float64{1, 2}}); err == nil {
+		t.Fatal("expected error for bad Bandwidth length")
+	}
+}
+
+func TestSendRecvMovesData(t *testing.T) {
+	res := run(t, 2, func(c *Comm) error {
+		buf := []float64{1, 2, 3, 4}
+		if c.Rank() == 0 {
+			return c.Send(1, buf)
+		}
+		got := make([]float64, 4)
+		if err := c.Recv(0, got); err != nil {
+			return err
+		}
+		for i, v := range got {
+			if v != buf[i] {
+				return errors.New("payload mismatch")
+			}
+		}
+		return nil
+	})
+	mustOK(t, res)
+	if res.MaxTime <= 0 {
+		t.Fatal("virtual clock did not advance")
+	}
+}
+
+func TestSendToSelfFails(t *testing.T) {
+	res := run(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(0, []float64{1}); !errors.Is(err, ErrSelfSend) {
+				return errors.New("expected ErrSelfSend")
+			}
+		}
+		return nil
+	})
+	mustOK(t, res)
+}
+
+func TestRecvSizeMismatch(t *testing.T) {
+	res := run(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			// The receiver errors out and the job aborts; the send may
+			// observe the abort rather than completing.
+			err := c.Send(1, []float64{1, 2})
+			if err != nil && !errors.Is(err, ErrAborted) {
+				return err
+			}
+			return nil
+		}
+		got := make([]float64, 3)
+		err := c.Recv(0, got)
+		var se *SizeError
+		if !errors.As(err, &se) {
+			return errors.New("expected SizeError")
+		}
+		return err // aborts the job, which the test expects
+	})
+	if !res.Failed() {
+		t.Fatal("expected job to fail")
+	}
+}
+
+func TestOutOfRangePeer(t *testing.T) {
+	res := run(t, 2, func(c *Comm) error {
+		err := c.Send(5, []float64{1})
+		var re *RankError
+		if !errors.As(err, &re) {
+			return errors.New("expected RankError")
+		}
+		return nil
+	})
+	mustOK(t, res)
+}
+
+func TestBcast(t *testing.T) {
+	for _, ranks := range []int{1, 2, 3, 4, 7, 8, 16} {
+		for root := 0; root < ranks; root += ranks/2 + 1 {
+			res := run(t, ranks, func(c *Comm) error {
+				buf := make([]float64, 5)
+				if c.Rank() == root {
+					for i := range buf {
+						buf[i] = float64(10*root + i)
+					}
+				}
+				if err := c.Bcast(root, buf); err != nil {
+					return err
+				}
+				for i := range buf {
+					if buf[i] != float64(10*root+i) {
+						return errors.New("bcast payload mismatch")
+					}
+				}
+				return nil
+			})
+			mustOK(t, res)
+		}
+	}
+}
+
+func TestRingBroadcasts(t *testing.T) {
+	for _, ranks := range []int{1, 2, 3, 4, 5, 8, 9} {
+		for root := 0; root < ranks; root += ranks/3 + 1 {
+			for _, seg := range []int{0, 3, 7, 100} {
+				for _, variant := range []string{"ring", "2ring"} {
+					res := run(t, ranks, func(c *Comm) error {
+						buf := make([]float64, 10)
+						if c.Rank() == root {
+							for i := range buf {
+								buf[i] = float64(100*root + i)
+							}
+						}
+						var err error
+						if variant == "ring" {
+							err = c.BcastRing(root, buf, seg)
+						} else {
+							err = c.Bcast2Ring(root, buf, seg)
+						}
+						if err != nil {
+							return err
+						}
+						for i := range buf {
+							if buf[i] != float64(100*root+i) {
+								return fmt.Errorf("%s(root=%d,seg=%d,ranks=%d): payload mismatch at %d", variant, root, seg, ranks, i)
+							}
+						}
+						return nil
+					})
+					mustOK(t, res)
+				}
+			}
+		}
+	}
+}
+
+// TestRingBcastPipelinesLargeMessages: for a long message over many
+// ranks, the segmented ring beats the binomial tree in modelled time —
+// HPL's reason for its ring panel broadcasts.
+func TestRingBcastPipelinesLargeMessages(t *testing.T) {
+	const ranks, words = 16, 1 << 16
+	timeOf := func(fn func(c *Comm, buf []float64) error) float64 {
+		w, err := NewWorld(Config{Ranks: ranks, Alpha: 1e-7, Bandwidth: []float64{1e9}, GFLOPS: []float64{10}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := w.Run(func(c *Comm) error {
+			buf := make([]float64, words)
+			return fn(c, buf)
+		})
+		mustOK(t, res)
+		return res.MaxTime
+	}
+	binomial := timeOf(func(c *Comm, buf []float64) error { return c.Bcast(0, buf) })
+	ring := timeOf(func(c *Comm, buf []float64) error { return c.BcastRing(0, buf, 1024) })
+	twoRing := timeOf(func(c *Comm, buf []float64) error { return c.Bcast2Ring(0, buf, 1024) })
+	if !(ring < binomial) {
+		t.Fatalf("pipelined ring (%.4g s) should beat binomial (%.4g s) for large messages", ring, binomial)
+	}
+	if !(twoRing < binomial) {
+		t.Fatalf("2-ring (%.4g s) should beat binomial (%.4g s)", twoRing, binomial)
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, ranks := range []int{1, 2, 3, 5, 8} {
+		for root := 0; root < ranks; root += 2 {
+			res := run(t, ranks, func(c *Comm) error {
+				in := []float64{float64(c.Rank()), 1}
+				out := make([]float64, 2)
+				if err := c.Reduce(root, in, out, OpSum); err != nil {
+					return err
+				}
+				if c.Rank() == root {
+					wantSum := float64(ranks*(ranks-1)) / 2
+					if out[0] != wantSum || out[1] != float64(ranks) {
+						return errors.New("reduce sum mismatch")
+					}
+				}
+				return nil
+			})
+			mustOK(t, res)
+		}
+	}
+}
+
+func TestReduceXorIsInvolution(t *testing.T) {
+	res := run(t, 4, func(c *Comm) error {
+		in := []float64{math.Pi * float64(c.Rank()+1), -1.5}
+		out := make([]float64, 2)
+		if err := c.Reduce(0, in, out, OpXor); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			// XOR-ing the result with ranks 1..3's contributions must
+			// recover rank 0's data.
+			acc := out
+			for r := 1; r < 4; r++ {
+				OpXor.Cancel(acc, []float64{math.Pi * float64(r+1), -1.5})
+			}
+			if acc[0] != math.Pi || acc[1] != -1.5 {
+				return errors.New("xor cancel did not recover original data")
+			}
+		}
+		return nil
+	})
+	mustOK(t, res)
+}
+
+func TestAllreduce(t *testing.T) {
+	res := run(t, 6, func(c *Comm) error {
+		in := []float64{1}
+		out := make([]float64, 1)
+		if err := c.Allreduce(in, out, OpSum); err != nil {
+			return err
+		}
+		if out[0] != 6 {
+			return errors.New("allreduce mismatch")
+		}
+		return nil
+	})
+	mustOK(t, res)
+}
+
+func TestAllgatherRing(t *testing.T) {
+	for _, ranks := range []int{1, 2, 3, 4, 5, 8} {
+		res := run(t, ranks, func(c *Comm) error {
+			in := []float64{float64(c.Rank()), float64(c.Rank() * 100)}
+			out := make([]float64, 2*ranks)
+			if err := c.Allgather(in, out); err != nil {
+				return err
+			}
+			for r := 0; r < ranks; r++ {
+				if out[2*r] != float64(r) || out[2*r+1] != float64(r*100) {
+					return errors.New("allgather mismatch")
+				}
+			}
+			return nil
+		})
+		mustOK(t, res)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	res := run(t, 5, func(c *Comm) error {
+		in := []float64{float64(c.Rank()), float64(-c.Rank())}
+		all := make([]float64, 10)
+		if err := c.Gather(2, in, all); err != nil {
+			return err
+		}
+		if c.Rank() == 2 {
+			for r := 0; r < 5; r++ {
+				if all[2*r] != float64(r) {
+					return errors.New("gather mismatch")
+				}
+			}
+		}
+		out := make([]float64, 2)
+		if err := c.Scatter(2, all, out); err != nil {
+			return err
+		}
+		if out[0] != float64(c.Rank()) || out[1] != float64(-c.Rank()) {
+			return errors.New("scatter mismatch")
+		}
+		return nil
+	})
+	mustOK(t, res)
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	res := run(t, 4, func(c *Comm) error {
+		// One rank does much more work; the barrier must drag every
+		// clock past it.
+		if c.Rank() == 3 {
+			c.World().Compute(5e9) // 5 seconds at 1 GFLOPS
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Now() < 5.0 {
+			return errors.New("barrier did not synchronize virtual clocks")
+		}
+		return nil
+	})
+	mustOK(t, res)
+}
+
+func TestMaxlocAll(t *testing.T) {
+	res := run(t, 7, func(c *Comm) error {
+		v := float64(c.Rank())
+		if c.Rank() == 4 {
+			v = 100
+		}
+		max, who, err := c.MaxlocAll(v)
+		if err != nil {
+			return err
+		}
+		if max != 100 || who != 4 {
+			return errors.New("maxloc mismatch")
+		}
+		return nil
+	})
+	mustOK(t, res)
+}
+
+func TestSplit(t *testing.T) {
+	res := run(t, 8, func(c *Comm) error {
+		sub, err := c.Split(c.Rank() % 2)
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 4 {
+			return errors.New("split size mismatch")
+		}
+		if sub.Rank() != c.Rank()/2 {
+			return errors.New("split rank order not preserved")
+		}
+		// The sub-communicator must be fully functional.
+		out := make([]float64, 1)
+		if err := sub.Allreduce([]float64{float64(c.Rank())}, out, OpSum); err != nil {
+			return err
+		}
+		want := float64(0 + 2 + 4 + 6)
+		if c.Rank()%2 == 1 {
+			want = 1 + 3 + 5 + 7
+		}
+		if out[0] != want {
+			return errors.New("sub-communicator allreduce mismatch")
+		}
+		return nil
+	})
+	mustOK(t, res)
+}
+
+func TestSplitOptOut(t *testing.T) {
+	res := run(t, 4, func(c *Comm) error {
+		color := 0
+		if c.Rank() == 3 {
+			color = -1
+		}
+		sub, err := c.Split(color)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 3 {
+			if sub != nil {
+				return errors.New("opt-out rank got a communicator")
+			}
+			return nil
+		}
+		if sub.Size() != 3 {
+			return errors.New("split size mismatch")
+		}
+		return sub.Barrier()
+	})
+	mustOK(t, res)
+}
+
+func TestKillAtTimeAbortsJob(t *testing.T) {
+	w, err := NewWorld(Config{
+		Ranks:     4,
+		Alpha:     1e-6,
+		Bandwidth: []float64{1e9},
+		GFLOPS:    []float64{1},
+		KillAt: func(rank int) float64 {
+			if rank == 2 {
+				return 0.5
+			}
+			return math.Inf(1)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run(func(c *Comm) error {
+		for i := 0; i < 100; i++ {
+			c.World().Compute(0.1e9) // 0.1 s per step
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if !res.Failed() {
+		t.Fatal("expected job to abort after kill")
+	}
+	if len(res.Killed) != 1 || res.Killed[0] != 2 {
+		t.Fatalf("expected rank 2 killed, got %v", res.Killed)
+	}
+}
+
+func TestFailpointKill(t *testing.T) {
+	hits := 0
+	w, err := NewWorld(Config{
+		Ranks:     2,
+		Bandwidth: []float64{1e9},
+		GFLOPS:    []float64{1},
+		FailpointKill: func(rank int, label string) bool {
+			if rank == 1 && label == "flush" {
+				hits++
+				return true
+			}
+			return false
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run(func(c *Comm) error {
+		c.World().Failpoint("encode")
+		c.World().Failpoint("flush")
+		return c.Barrier()
+	})
+	if !res.Failed() || len(res.Killed) != 1 || res.Killed[0] != 1 {
+		t.Fatalf("expected rank 1 killed at failpoint, got killed=%v", res.Killed)
+	}
+	if hits != 1 {
+		t.Fatalf("failpoint hook hit %d times, want 1", hits)
+	}
+}
+
+func TestOnKillRunsBeforeDeath(t *testing.T) {
+	ran := false
+	w, err := NewWorld(Config{
+		Ranks:     2,
+		Bandwidth: []float64{1e9},
+		GFLOPS:    []float64{1},
+		FailpointKill: func(rank int, label string) bool {
+			return rank == 0 && label == "x"
+		},
+		OnKill: func(rank int) { ran = rank == 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run(func(c *Comm) error {
+		c.World().Failpoint("x")
+		return c.Barrier()
+	})
+	if !res.Failed() {
+		t.Fatal("expected failure")
+	}
+	if !ran {
+		t.Fatal("OnKill did not run")
+	}
+}
+
+func TestUserErrorAbortsPeers(t *testing.T) {
+	res := run(t, 3, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return errors.New("application failure")
+		}
+		// Peers block in a collective; the abort must release them.
+		return c.Barrier()
+	})
+	if !res.Failed() {
+		t.Fatal("expected failure")
+	}
+	if res.FirstError() == nil {
+		t.Fatal("expected a first error")
+	}
+}
+
+func TestVirtualTimeBandwidthModel(t *testing.T) {
+	// 8 MB at 1e9 B/s should take ~8 ms plus latency.
+	w, err := NewWorld(Config{Ranks: 2, Alpha: 1e-6, Bandwidth: []float64{1e9}, GFLOPS: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run(func(c *Comm) error {
+		buf := make([]float64, 1<<20) // 8 MB
+		if c.Rank() == 0 {
+			return c.Send(1, buf)
+		}
+		return c.Recv(0, buf)
+	})
+	mustOK(t, res)
+	want := float64(8<<20)/1e9 + 1e-6
+	if math.Abs(res.MaxTime-want) > 1e-9 {
+		t.Fatalf("modelled time %.9f, want %.9f", res.MaxTime, want)
+	}
+}
+
+func TestComputeChargesClock(t *testing.T) {
+	w, _ := NewWorld(Config{Ranks: 1, GFLOPS: []float64{2}})
+	res := w.Run(func(c *Comm) error {
+		c.World().Compute(4e9) // 4 GFLOP at 2 GFLOPS = 2 s
+		if math.Abs(c.Now()-2.0) > 1e-12 {
+			return errors.New("compute charge mismatch")
+		}
+		c.World().MemCopy(8e9) // at default 8e9 B/s = 1 s
+		if math.Abs(c.Now()-3.0) > 1e-12 {
+			return errors.New("memcopy charge mismatch")
+		}
+		c.World().Sleep(0.5)
+		if math.Abs(c.Now()-3.5) > 1e-12 {
+			return errors.New("sleep charge mismatch")
+		}
+		return nil
+	})
+	mustOK(t, res)
+}
+
+// TestCollectivesRandomized checks Reduce/Allreduce/Bcast/Allgather
+// against sequential references over pseudo-random sizes and roots.
+func TestCollectivesRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 12; trial++ {
+		ranks := 1 + rng.Intn(10)
+		words := 1 + rng.Intn(40)
+		root := rng.Intn(ranks)
+		seed := rng.Int63()
+		res := run(t, ranks, func(c *Comm) error {
+			local := rand.New(rand.NewSource(seed + int64(c.Rank())))
+			in := make([]float64, words)
+			for i := range in {
+				in[i] = local.NormFloat64()
+			}
+			// Sequential reference: every rank can recompute all inputs.
+			want := make([]float64, words)
+			for r := 0; r < ranks; r++ {
+				ref := rand.New(rand.NewSource(seed + int64(r)))
+				for i := 0; i < words; i++ {
+					want[i] += ref.NormFloat64()
+				}
+			}
+			out := make([]float64, words)
+			if err := c.Reduce(root, in, out, OpSum); err != nil {
+				return err
+			}
+			if c.Rank() == root {
+				for i := range out {
+					if math.Abs(out[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+						return fmt.Errorf("trial %d: reduce[%d] = %g, want %g", trial, i, out[i], want[i])
+					}
+				}
+			}
+			all := make([]float64, words)
+			if err := c.Allreduce(in, all, OpSum); err != nil {
+				return err
+			}
+			for i := range all {
+				if math.Abs(all[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+					return fmt.Errorf("trial %d: allreduce[%d] mismatch", trial, i)
+				}
+			}
+			gathered := make([]float64, words*ranks)
+			if err := c.Allgather(in, gathered); err != nil {
+				return err
+			}
+			for r := 0; r < ranks; r++ {
+				ref := rand.New(rand.NewSource(seed + int64(r)))
+				for i := 0; i < words; i++ {
+					if gathered[r*words+i] != ref.NormFloat64() {
+						return fmt.Errorf("trial %d: allgather block %d mismatch", trial, r)
+					}
+				}
+			}
+			return nil
+		})
+		mustOK(t, res)
+	}
+}
+
+func TestStatsCountTraffic(t *testing.T) {
+	res := run(t, 2, func(c *Comm) error {
+		buf := make([]float64, 100)
+		if c.Rank() == 0 {
+			if err := c.Send(1, buf); err != nil {
+				return err
+			}
+			return c.Recv(1, buf[:10])
+		}
+		if err := c.Recv(0, buf); err != nil {
+			return err
+		}
+		return c.Send(0, buf[:10])
+	})
+	mustOK(t, res)
+	s0, s1 := res.Stats[0], res.Stats[1]
+	if s0.MsgsSent != 1 || s0.BytesSent != 800 || s0.MsgsRecv != 1 || s0.BytesRecv != 80 {
+		t.Fatalf("rank 0 stats: %+v", s0)
+	}
+	if s1.MsgsSent != 1 || s1.BytesSent != 80 || s1.MsgsRecv != 1 || s1.BytesRecv != 800 {
+		t.Fatalf("rank 1 stats: %+v", s1)
+	}
+}
+
+func TestStatsCountSendRecv(t *testing.T) {
+	res := run(t, 2, func(c *Comm) error {
+		sbuf := make([]float64, 5)
+		rbuf := make([]float64, 5)
+		peer := 1 - c.Rank()
+		return c.SendRecv(peer, sbuf, peer, rbuf)
+	})
+	mustOK(t, res)
+	for r, s := range res.Stats {
+		if s.MsgsSent != 1 || s.MsgsRecv != 1 || s.BytesSent != 40 || s.BytesRecv != 40 {
+			t.Fatalf("rank %d stats: %+v", r, s)
+		}
+	}
+}
+
+func TestISendEagerSemantics(t *testing.T) {
+	w, err := NewWorld(Config{Ranks: 2, Alpha: 1e-6, Bandwidth: []float64{1e9}, GFLOPS: []float64{10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := make([]float64, 1<<10)
+			for i := range buf {
+				buf[i] = float64(i)
+			}
+			before := c.Now()
+			if err := c.ISend(1, buf); err != nil {
+				return err
+			}
+			// The sender pays the wire time but does NOT wait for the
+			// receiver (who is busy computing for ~10 ms).
+			cost := c.Now() - before
+			want := 1e-6 + float64(8*len(buf))/1e9
+			if math.Abs(cost-want) > 1e-12 {
+				return fmt.Errorf("eager send cost %g, want %g", cost, want)
+			}
+			// The buffer can be reused immediately: the receiver must
+			// still see the original payload.
+			for i := range buf {
+				buf[i] = -1
+			}
+			return nil
+		}
+		c.World().Compute(1e8) // 10 ms of work before receiving
+		got := make([]float64, 1<<10)
+		if err := c.Recv(0, got); err != nil {
+			return err
+		}
+		for i, v := range got {
+			if v != float64(i) {
+				return fmt.Errorf("eager payload clobbered at %d: %g", i, v)
+			}
+		}
+		// The message was waiting: arrival is the receiver's own clock,
+		// not sender time plus a second transfer.
+		if c.Now() < 1e-2 || c.Now() > 1.1e-2 {
+			return fmt.Errorf("receiver clock %g, want ≈ 10 ms", c.Now())
+		}
+		return nil
+	})
+	mustOK(t, res)
+}
+
+func TestISendOrderingWithSend(t *testing.T) {
+	// Two eager sends then a rendezvous send from the same source must
+	// arrive in order.
+	res := run(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.ISend(1, []float64{1}); err != nil {
+				return err
+			}
+			if err := c.ISend(1, []float64{2}); err != nil {
+				return err
+			}
+			return c.Send(1, []float64{3})
+		}
+		got := make([]float64, 1)
+		for want := 1.0; want <= 3; want++ {
+			if err := c.Recv(0, got); err != nil {
+				return err
+			}
+			if got[0] != want {
+				return fmt.Errorf("out of order: got %g want %g", got[0], want)
+			}
+		}
+		return nil
+	})
+	mustOK(t, res)
+}
+
+func TestISendToSelfFails(t *testing.T) {
+	res := run(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.ISend(0, []float64{1}); !errors.Is(err, ErrSelfSend) {
+				return errors.New("expected ErrSelfSend")
+			}
+			if err := c.ISend(5, []float64{1}); err == nil {
+				return errors.New("expected range error")
+			}
+		}
+		return nil
+	})
+	mustOK(t, res)
+}
+
+func TestPendingQueueOrdering(t *testing.T) {
+	// Rank 2 receives from 1 first even though 0's message may arrive
+	// first, exercising the pending queue.
+	res := run(t, 3, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			return c.Send(2, []float64{100})
+		case 1:
+			c.World().Compute(1e9) // delay rank 1's send
+			return c.Send(2, []float64{200})
+		default:
+			a := make([]float64, 1)
+			b := make([]float64, 1)
+			if err := c.Recv(1, a); err != nil {
+				return err
+			}
+			if err := c.Recv(0, b); err != nil {
+				return err
+			}
+			if a[0] != 200 || b[0] != 100 {
+				return errors.New("out-of-order matching failed")
+			}
+			return nil
+		}
+	})
+	mustOK(t, res)
+}

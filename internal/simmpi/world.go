@@ -1,0 +1,238 @@
+// Package simmpi is a simulated MPI runtime: each rank is a goroutine,
+// point-to-point messages really move data between ranks over channels,
+// and a per-rank virtual clock models time with an α-β communication model
+// plus a flops/GFLOPS compute model. Collectives are built on the
+// point-to-point layer with the usual binomial-tree and ring algorithms,
+// so their modelled cost emerges from the same primitives.
+//
+// Failure semantics follow the stock MPI behaviour the paper depends on:
+// when any rank dies or errors, the whole job aborts — every blocked call
+// returns ErrAborted and the job must be restarted from outside. Failure
+// injection is driven either by a virtual-time deadline per rank or by
+// named failpoints that protocol code announces with Rank.Failpoint.
+package simmpi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Config describes a world of ranks and their cost-model parameters.
+// Per-rank slices may have length 1 (broadcast to all ranks) or Ranks.
+type Config struct {
+	Ranks int
+
+	// Alpha is the per-message latency in seconds.
+	Alpha float64
+	// Bandwidth is the effective point-to-point bandwidth per rank in
+	// bytes/second (a node NIC shared by k processes gives NIC/k here).
+	Bandwidth []float64
+	// GFLOPS is the effective compute rate per rank in GFLOP/s.
+	GFLOPS []float64
+	// MemBW is the local memory-copy bandwidth per rank in bytes/second,
+	// used for checkpoint flushes (local overwriting in §6.6).
+	MemBW []float64
+
+	// KillAt, when non-nil, returns the virtual time at which a rank is
+	// destroyed (+Inf or NaN for never). The rank dies as soon as its own
+	// clock crosses the deadline.
+	KillAt func(rank int) float64
+	// FailpointKill, when non-nil, is consulted at every Failpoint call
+	// and kills the rank when it returns true. It gives tests and the
+	// failure injector phase-precise control (e.g. "die during the
+	// checksum flush", the paper's CASE 2).
+	FailpointKill func(rank int, label string) bool
+	// OnKill, when non-nil, runs once in the dying rank's goroutine just
+	// before it disappears. The cluster layer uses it to power off the
+	// node (destroying its volatile SHM).
+	OnKill func(rank int)
+}
+
+func pick(s []float64, i int, def float64) float64 {
+	switch len(s) {
+	case 0:
+		return def
+	case 1:
+		return s[0]
+	default:
+		return s[i]
+	}
+}
+
+// RankStats counts one rank's communication activity, used by tests and
+// benchmarks to check load balance (e.g. the §2.1 argument that rotated
+// checksum roots avoid concentrating traffic on one node).
+type RankStats struct {
+	MsgsSent, MsgsRecv   int64
+	BytesSent, BytesRecv int64
+}
+
+// Result reports the outcome of a job run.
+type Result struct {
+	// Errors holds the per-rank return values (nil entries for clean exits).
+	Errors []error
+	// Killed lists ranks destroyed by failure injection.
+	Killed []int
+	// Aborted reports whether the job died (any kill or error).
+	Aborted bool
+	// MaxTime is the largest virtual clock reached by any rank, i.e. the
+	// modelled wall time of the run.
+	MaxTime float64
+	// Stats holds the per-rank communication counters.
+	Stats []RankStats
+}
+
+// Failed reports whether the run should count as an MPI job failure.
+func (r *Result) Failed() bool { return r.Aborted }
+
+// FirstError returns the first non-nil rank error, or an aggregate kill
+// error, or nil.
+func (r *Result) FirstError() error {
+	for rank, err := range r.Errors {
+		if err != nil && err != ErrAborted {
+			return fmt.Errorf("rank %d: %w", rank, err)
+		}
+	}
+	if len(r.Killed) > 0 {
+		return fmt.Errorf("simmpi: %d rank(s) killed by failure injection", len(r.Killed))
+	}
+	for rank, err := range r.Errors {
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", rank, err)
+		}
+	}
+	return nil
+}
+
+// World owns the shared state of one job: the abort latch and the registry
+// of communicator cores (so that collective Split calls on different ranks
+// attach to the same shared structure).
+type World struct {
+	cfg   Config
+	abort chan struct{}
+	once  sync.Once
+
+	mu    sync.Mutex
+	cores map[string]*commCore
+
+	killMu sync.Mutex
+	killed []int
+}
+
+// NewWorld validates cfg and creates a world. Run may be called once.
+func NewWorld(cfg Config) (*World, error) {
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("simmpi: Ranks must be positive, got %d", cfg.Ranks)
+	}
+	for name, s := range map[string][]float64{"Bandwidth": cfg.Bandwidth, "GFLOPS": cfg.GFLOPS, "MemBW": cfg.MemBW} {
+		if len(s) > 1 && len(s) != cfg.Ranks {
+			return nil, fmt.Errorf("simmpi: %s must have length 1 or %d, got %d", name, cfg.Ranks, len(s))
+		}
+	}
+	return &World{
+		cfg:   cfg,
+		abort: make(chan struct{}),
+		cores: make(map[string]*commCore),
+	}, nil
+}
+
+// Abort latches the job into the aborted state, releasing every blocked
+// communication call with ErrAborted.
+func (w *World) Abort() {
+	w.once.Do(func() { close(w.abort) })
+}
+
+// Aborted reports whether the job has aborted.
+func (w *World) Aborted() bool {
+	select {
+	case <-w.abort:
+		return true
+	default:
+		return false
+	}
+}
+
+func (w *World) recordKill(rank int) {
+	w.killMu.Lock()
+	w.killed = append(w.killed, rank)
+	w.killMu.Unlock()
+}
+
+// core returns (creating on first use) the shared structure for a
+// communicator identified by key. All members compute the same key and the
+// same member list, so whichever rank arrives first materializes it.
+func (w *World) core(key string, members []int) *commCore {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if c, ok := w.cores[key]; ok {
+		return c
+	}
+	c := newCommCore(key, members)
+	w.cores[key] = c
+	return c
+}
+
+// Run spawns one goroutine per rank executing fn and waits for all of them.
+// A rank that returns a non-nil error aborts the job, as does a rank
+// destroyed by failure injection.
+func (w *World) Run(fn func(c *Comm) error) *Result {
+	n := w.cfg.Ranks
+	res := &Result{Errors: make([]error, n), Stats: make([]RankStats, n)}
+	worldMembers := make([]int, n)
+	for i := range worldMembers {
+		worldMembers[i] = i
+	}
+	core := w.core("world", worldMembers)
+
+	times := make([]float64, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(rank int) {
+			defer wg.Done()
+			r := &Rank{
+				world:  w,
+				id:     rank,
+				bw:     pick(w.cfg.Bandwidth, rank, 1e9),
+				gflops: pick(w.cfg.GFLOPS, rank, 1.0),
+				membw:  pick(w.cfg.MemBW, rank, 8e9),
+				killT:  math.Inf(1),
+			}
+			if w.cfg.KillAt != nil {
+				if t := w.cfg.KillAt(rank); !math.IsNaN(t) {
+					r.killT = t
+				}
+			}
+			defer func() {
+				times[rank] = r.now
+				res.Stats[rank] = r.stats
+				if p := recover(); p != nil {
+					if k, ok := p.(killed); ok {
+						w.recordKill(k.rank)
+						w.Abort()
+						return
+					}
+					panic(p) // real bug: re-raise
+				}
+			}()
+			c := &Comm{core: core, rank: r, myIdx: rank}
+			if err := fn(c); err != nil {
+				res.Errors[rank] = err
+				if err != ErrAborted {
+					w.Abort()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	res.Killed = append(res.Killed, w.killed...)
+	res.Aborted = w.Aborted()
+	for _, t := range times {
+		if t > res.MaxTime {
+			res.MaxTime = t
+		}
+	}
+	return res
+}

@@ -1,0 +1,300 @@
+// Package skthpl is SKT-HPL (§5): High-Performance Linpack made tolerant
+// to permanent node loss with the self-checkpoint mechanism. Following
+// Fig 9, checkpoints are taken at panel-iteration boundaries of the
+// elimination loop; after a node failure the cluster daemon restarts the
+// job, healthy ranks re-attach to their SHM-resident state, the
+// replacement rank's share is rebuilt by its encoding group, and the
+// elimination resumes from the checkpointed panel — skipping matrix
+// generation, exactly as the paper describes (the matrix comes from a
+// fixed seed, but the restored factorization state supersedes it).
+package skthpl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"selfckpt/internal/checkpoint"
+	"selfckpt/internal/cluster"
+	"selfckpt/internal/encoding"
+	"selfckpt/internal/hpl"
+	"selfckpt/internal/simmpi"
+)
+
+// Strategy selects the protection protocol for a run.
+type Strategy string
+
+// The supported protection strategies. StrategyNone runs the original
+// HPL with no checkpointing (and no way to survive a node loss).
+const (
+	StrategyNone   Strategy = "none"
+	StrategySingle Strategy = "single"
+	StrategyDouble Strategy = "double"
+	StrategySelf   Strategy = "self"
+)
+
+// Config describes one SKT-HPL run.
+type Config struct {
+	N, NB        int
+	Strategy     Strategy
+	GroupSize    int // encoding group size (§3.3; the paper uses 8–16)
+	RanksPerNode int // must match the job's placement for distinct-node groups
+	// CheckpointEvery takes a checkpoint after every k-th panel; 0
+	// disables periodic checkpoints (a strategy may still restore).
+	CheckpointEvery int
+	Seed            uint64
+	// Op is the encoding operator (default XOR, §2.2).
+	Op *simmpi.Op
+	// DualParity switches the group encoding to the RAID-6-style
+	// Reed-Solomon coder, tolerating two node losses per group at the
+	// cost of a second checksum slot (the §2.1 extension).
+	DualParity bool
+	// ScatteredGroups uses the rack-tolerant group mapping (stride
+	// nodes/groupSize apart) instead of neighbouring nodes — the §3.3
+	// reliability-vs-performance trade-off.
+	ScatteredGroups bool
+	// Lookahead enables HPL's depth-1 panel lookahead. It composes with
+	// periodic checkpoints: the one piece of pipeline state alive at a
+	// panel boundary — the next panel factored but not yet broadcast —
+	// is recorded in the checkpoint metadata and re-broadcast on restore.
+	Lookahead bool
+	// L2Every, when positive, wraps the protector in a multi-level
+	// composition: every L2Every-th in-memory checkpoint is also flushed
+	// to the machine's persistent store, so even losses beyond the group
+	// coder's tolerance roll back to the last level-2 flush instead of
+	// restarting from scratch (the paper's §2.1/§7 multi-level
+	// integration).
+	L2Every int
+}
+
+// Metric names reported through cluster.Env.
+const (
+	MetricGFLOPS        = "gflops"
+	MetricTimeSec       = "time_sec"
+	MetricEfficiency    = "efficiency"
+	MetricResid         = "resid"
+	MetricCheckpoints   = "checkpoints"
+	MetricCheckpointSec = "checkpoint_sec"   // time of the last checkpoint
+	MetricCkptTotalSec  = "checkpoint_total" // accumulated checkpoint time
+	MetricRecoverSec    = "recover_sec"
+	MetricRestored      = "restored"
+	MetricAvailFrac     = "available_frac"
+	MetricCkptBytes     = "checkpoint_bytes" // per-process checkpoint size
+)
+
+// Rank is the per-rank body of an SKT-HPL job; run it under
+// cluster.Machine.Launch or cluster.Daemon.Run.
+func Rank(env *cluster.Env, cfg Config) error {
+	if cfg.Op == nil {
+		cfg.Op = simmpi.OpXor
+	}
+	p, q := hpl.FitGrid(env.Size())
+	grid, err := hpl.NewGrid(env.Comm, p, q)
+	if err != nil {
+		return err
+	}
+	words := hpl.MaxLocalWords(cfg.N, cfg.NB, p, q)
+
+	if cfg.Strategy == StrategyNone {
+		res, err := hpl.RunWithOptions(grid, cfg.N, cfg.NB, cfg.Seed, env.Platform.PeakGFLOPSPerProcess(), nil,
+			hpl.RunOptions{Lookahead: cfg.Lookahead})
+		if err != nil {
+			return err
+		}
+		report(env, res, 0, 0, 0, false, 1.0, 0)
+		return nil
+	}
+
+	// Build the encoding group (members on distinct nodes, §3.3) and the
+	// protector.
+	var color int
+	if cfg.ScatteredGroups {
+		color, err = encoding.GroupColorScattered(env.Rank(), cfg.RanksPerNode, env.Size(), cfg.GroupSize)
+	} else {
+		color, err = encoding.GroupColor(env.Rank(), cfg.RanksPerNode, env.Size(), cfg.GroupSize)
+	}
+	if err != nil {
+		return err
+	}
+	gcomm, err := env.Split(color)
+	if err != nil {
+		return err
+	}
+	var grp encoding.Coder
+	if cfg.DualParity {
+		grp, err = encoding.NewRSGroup(gcomm)
+	} else {
+		grp, err = encoding.NewGroup(gcomm, cfg.Op)
+	}
+	if err != nil {
+		return err
+	}
+	opts := checkpoint.Options{
+		Group:     grp,
+		World:     env.Comm,
+		Store:     env.Node.SHM,
+		Namespace: fmt.Sprintf("skthpl/%d", env.Rank()),
+		MetaCap:   8 * (cfg.N + 3),
+	}
+	var prot checkpoint.Protector
+	switch cfg.Strategy {
+	case StrategySelf:
+		prot, err = checkpoint.NewSelf(opts)
+	case StrategyDouble:
+		prot, err = checkpoint.NewDouble(opts)
+	case StrategySingle:
+		prot, err = checkpoint.NewSingle(opts)
+	default:
+		err = fmt.Errorf("skthpl: unknown strategy %q", cfg.Strategy)
+	}
+	if err != nil {
+		return err
+	}
+	if cfg.L2Every > 0 {
+		prot, err = checkpoint.NewMultiLevel(checkpoint.MLOptions{
+			L1:            prot,
+			Comm:          env.Comm,
+			Store:         env.Machine.Disk,
+			Key:           fmt.Sprintf("skthpl-l2/%d", env.Rank()),
+			L2Every:       cfg.L2Every,
+			L2BytesPerSec: env.Platform.SSDGBps * 1e9 / float64(cfg.RanksPerNode),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	data, recoverable, err := prot.Open(words)
+	if err != nil {
+		return err
+	}
+	env.Metric(MetricAvailFrac, prot.Usage().AvailableFraction())
+
+	m, err := hpl.NewMatrix(grid, cfg.N, cfg.NB, data)
+	if err != nil {
+		return err
+	}
+	solver := hpl.NewSolver(m)
+	solver.Lookahead = cfg.Lookahead
+
+	restored := false
+	var recoverSec float64
+	if recoverable {
+		// Initialization with restore (Fig 9's left path): the data and
+		// the (k, piv) metadata come from the checkpoint.
+		t0 := env.Now()
+		meta, _, err := prot.Restore()
+		if err != nil {
+			return err
+		}
+		if err := decodeMeta(meta, solver); err != nil {
+			return err
+		}
+		recoverSec = env.Now() - t0
+		env.Metric(MetricRecoverSec, recoverSec)
+		restored = true
+	} else {
+		m.Generate(cfg.Seed)
+	}
+
+	// Elimination with checkpoints at iteration boundaries (Fig 9).
+	checkpoints := 0
+	var lastCkpt, totalCkpt float64
+	t0 := env.Now()
+	hook := func(k int) error {
+		if cfg.CheckpointEvery <= 0 || k%cfg.CheckpointEvery != 0 || solver.Done() {
+			return nil
+		}
+		c0 := env.Now()
+		if err := prot.Checkpoint(encodeMeta(solver)); err != nil {
+			return err
+		}
+		lastCkpt = env.Now() - c0
+		totalCkpt += lastCkpt
+		checkpoints++
+		env.Metric(MetricCheckpointSec, lastCkpt)
+		env.Metric(MetricCkptTotalSec, totalCkpt)
+		return nil
+	}
+	activeHook := hook
+	if cfg.CheckpointEvery <= 0 {
+		activeHook = nil
+	}
+	if err := solver.Factorize(activeHook); err != nil {
+		return err
+	}
+	x, err := solver.Solve()
+	if err != nil {
+		return err
+	}
+	elapsed := []float64{env.Now() - t0}
+	out := make([]float64, 1)
+	if err := env.Allreduce(elapsed, out, simmpi.OpMax); err != nil {
+		return err
+	}
+
+	vr, err := hpl.Verify(grid, cfg.N, cfg.NB, cfg.Seed, x)
+	if err != nil {
+		return err
+	}
+	if !vr.Passed {
+		return fmt.Errorf("skthpl: verification failed: scaled residual %.3g", vr.Resid)
+	}
+	res := &hpl.RunResult{N: cfg.N, NB: cfg.NB, P: p, Q: q, TimeSec: out[0], Verify: vr}
+	res.GFLOPS = hpl.FlopCount(cfg.N) / out[0] / 1e9
+	res.Efficiency = res.GFLOPS / (float64(env.Size()) * env.Platform.PeakGFLOPSPerProcess())
+	usage := prot.Usage()
+	ckptBytes := 8 * (usage.Checkpoints + usage.Checksums)
+	report(env, res, checkpoints, lastCkpt, recoverSec, restored, usage.AvailableFraction(), ckptBytes)
+	return nil
+}
+
+func report(env *cluster.Env, res *hpl.RunResult, ckpts int, ckptSec, recoverSec float64, restored bool, avail float64, ckptBytes int) {
+	env.Metric(MetricGFLOPS, res.GFLOPS)
+	env.Metric(MetricTimeSec, res.TimeSec)
+	env.Metric(MetricEfficiency, res.Efficiency)
+	env.Metric(MetricResid, res.Verify.Resid)
+	env.Metric(MetricCheckpoints, float64(ckpts))
+	env.Metric(MetricAvailFrac, avail)
+	env.Metric(MetricCkptBytes, float64(ckptBytes))
+	if ckptSec > 0 {
+		env.Metric(MetricCheckpointSec, ckptSec)
+	}
+	if restored {
+		env.Metric(MetricRestored, 1)
+		env.Metric(MetricRecoverSec, recoverSec)
+	}
+}
+
+// encodeMeta packs the solver's restart state — next panel, pivot
+// history, and whether the next panel is already factored with its
+// broadcast pending (the lookahead pipeline state) — into the checkpoint
+// metadata blob.
+func encodeMeta(s *hpl.Solver) []byte {
+	b := make([]byte, 8*(3+len(s.Piv)))
+	binary.LittleEndian.PutUint64(b, uint64(s.K))
+	binary.LittleEndian.PutUint64(b[8:], uint64(len(s.Piv)))
+	if s.NextPanelFactored() {
+		binary.LittleEndian.PutUint64(b[16:], 1)
+	}
+	for i, p := range s.Piv {
+		binary.LittleEndian.PutUint64(b[24+8*i:], uint64(p))
+	}
+	return b
+}
+
+// decodeMeta restores the solver's restart state from the blob.
+func decodeMeta(b []byte, s *hpl.Solver) error {
+	if len(b) < 24 {
+		return fmt.Errorf("skthpl: metadata too short (%d bytes)", len(b))
+	}
+	k := int(binary.LittleEndian.Uint64(b))
+	n := int(binary.LittleEndian.Uint64(b[8:]))
+	if n != len(s.Piv) || len(b) < 24+8*n {
+		return fmt.Errorf("skthpl: metadata pivot count %d does not match N=%d", n, len(s.Piv))
+	}
+	s.K = k
+	s.PanelReady = binary.LittleEndian.Uint64(b[16:]) == 1
+	for i := 0; i < n; i++ {
+		s.Piv[i] = int(binary.LittleEndian.Uint64(b[24+8*i:]))
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package wordpack
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip drives Pack/Unpack with arbitrary byte strings; any input
+// must round-trip exactly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		out, err := Unpack(Pack(in))
+		if err != nil {
+			t.Fatalf("unpack: %v", err)
+		}
+		if !bytes.Equal(out, in) {
+			t.Fatalf("round trip mismatch for %d bytes", len(in))
+		}
+	})
+}
+
+// FuzzUnpackNeverPanics feeds arbitrary word streams to Unpack: corrupt
+// headers must yield errors, not panics or out-of-range reads.
+func FuzzUnpackNeverPanics(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		words := make([]float64, len(raw)/8)
+		for i := range words {
+			words[i] = PutUint64(uint64(raw[i*8]) | uint64(raw[i*8+1])<<8 |
+				uint64(raw[i*8+2])<<16 | uint64(raw[i*8+3])<<24 |
+				uint64(raw[i*8+4])<<32 | uint64(raw[i*8+5])<<40 |
+				uint64(raw[i*8+6])<<48 | uint64(raw[i*8+7])<<56)
+		}
+		out, err := Unpack(words)
+		if err == nil && len(words) > 0 && len(out) > 8*(len(words)-1) {
+			t.Fatalf("unpacked %d bytes from %d payload words", len(out), len(words)-1)
+		}
+	})
+}

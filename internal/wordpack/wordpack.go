@@ -1,0 +1,74 @@
+// Package wordpack converts between byte slices and float64 "word" slices.
+//
+// Every piece of protected application state in this repository is carried
+// as a []float64 so that a single encoding path (XOR on the bit patterns,
+// or numeric SUM) covers both matrix data and small metadata blobs. Small
+// scalar state (loop counters, pivot arrays — the paper's A2 region) is
+// marshalled to bytes and then packed into float64 words with these
+// helpers. Packing is bit-exact: a word holds 8 raw bytes reinterpreted via
+// math.Float64bits, plus a leading length word so the original byte length
+// survives the round trip.
+package wordpack
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// WordsNeeded reports how many float64 words Pack will produce for n bytes:
+// one length word plus ceil(n/8) payload words.
+func WordsNeeded(n int) int {
+	return 1 + (n+7)/8
+}
+
+// Pack encodes b into float64 words. The first word carries len(b); the
+// payload follows 8 bytes per word, zero padded.
+func Pack(b []byte) []float64 {
+	out := make([]float64, WordsNeeded(len(b)))
+	PackInto(out, b)
+	return out
+}
+
+// PackInto encodes b into dst, which must have at least WordsNeeded(len(b))
+// words. It returns the number of words written.
+func PackInto(dst []float64, b []byte) int {
+	need := WordsNeeded(len(b))
+	if len(dst) < need {
+		panic(fmt.Sprintf("wordpack: PackInto dst too small: %d < %d", len(dst), need))
+	}
+	dst[0] = math.Float64frombits(uint64(len(b)))
+	var chunk [8]byte
+	for i := 0; i < len(b); i += 8 {
+		n := copy(chunk[:], b[i:])
+		for j := n; j < 8; j++ {
+			chunk[j] = 0
+		}
+		dst[1+i/8] = math.Float64frombits(binary.LittleEndian.Uint64(chunk[:]))
+	}
+	return need
+}
+
+// Unpack decodes words produced by Pack back into the original byte slice.
+func Unpack(w []float64) ([]byte, error) {
+	if len(w) == 0 {
+		return nil, fmt.Errorf("wordpack: empty input")
+	}
+	n := math.Float64bits(w[0])
+	if n > uint64(8*(len(w)-1)) {
+		return nil, fmt.Errorf("wordpack: corrupt header: length %d exceeds payload %d", n, 8*(len(w)-1))
+	}
+	out := make([]byte, n)
+	var chunk [8]byte
+	for i := 0; i < int(n); i += 8 {
+		binary.LittleEndian.PutUint64(chunk[:], math.Float64bits(w[1+i/8]))
+		copy(out[i:], chunk[:])
+	}
+	return out, nil
+}
+
+// PutUint64 stores v bit-exactly in a single float64 word.
+func PutUint64(v uint64) float64 { return math.Float64frombits(v) }
+
+// GetUint64 recovers a value stored with PutUint64.
+func GetUint64(w float64) uint64 { return math.Float64bits(w) }

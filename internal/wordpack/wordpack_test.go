@@ -1,0 +1,69 @@
+package wordpack
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{1},
+		{1, 2, 3, 4, 5, 6, 7},
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		{1, 2, 3, 4, 5, 6, 7, 8, 9},
+		bytes.Repeat([]byte{0xff}, 1000),
+	}
+	for _, in := range cases {
+		w := Pack(in)
+		if len(w) != WordsNeeded(len(in)) {
+			t.Fatalf("len=%d: words %d, want %d", len(in), len(w), WordsNeeded(len(in)))
+		}
+		out, err := Unpack(w)
+		if err != nil {
+			t.Fatalf("len=%d: %v", len(in), err)
+		}
+		if !bytes.Equal(out, in) {
+			t.Fatalf("round trip mismatch for len=%d", len(in))
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(in []byte) bool {
+		out, err := Unpack(Pack(in))
+		return err == nil && bytes.Equal(out, in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnpackRejectsCorruptHeader(t *testing.T) {
+	w := Pack([]byte{1, 2, 3})
+	w[0] = PutUint64(1 << 40) // claims a huge length
+	if _, err := Unpack(w); err == nil {
+		t.Fatal("expected error for corrupt header")
+	}
+	if _, err := Unpack(nil); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestPackIntoPanicsWhenTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PackInto(make([]float64, 1), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	f := func(v uint64) bool { return GetUint64(PutUint64(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
