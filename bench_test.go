@@ -52,6 +52,9 @@ func BenchmarkTable1MemoryAccounting(b *testing.B) {
 }
 
 func BenchmarkTable3FaultTolerantHPL(b *testing.B) {
+	if testing.Short() {
+		b.Skip("short mode: table3 sweep is the slowest experiment")
+	}
 	rep := runExperiment(b, "table3")
 	b.ReportMetric(cell(b, rep, 5, 6), "skt_norm_eff_%")
 	b.ReportMetric(cell(b, rep, 4, 6), "scr_norm_eff_%")
@@ -76,6 +79,9 @@ func BenchmarkFig8Top10Model(b *testing.B) {
 }
 
 func BenchmarkFig10FailRestartCycle(b *testing.B) {
+	if testing.Short() {
+		b.Skip("short mode: fail/restart cycle experiment is slow")
+	}
 	rep := runExperiment(b, "fig10")
 	for _, row := range rep.Rows {
 		if strings.Contains(row[0], "detect") {
@@ -86,12 +92,18 @@ func BenchmarkFig10FailRestartCycle(b *testing.B) {
 }
 
 func BenchmarkFig11SKTvsOriginal(b *testing.B) {
+	if testing.Short() {
+		b.Skip("short mode: fig11 platform sweep is slow")
+	}
 	rep := runExperiment(b, "fig11")
 	b.ReportMetric(cell(b, rep, 0, 5), "tianhe1a_skt_vs_orig_%")
 	b.ReportMetric(cell(b, rep, 1, 5), "tianhe2_skt_vs_orig_%")
 }
 
 func BenchmarkFig12MemorySweep(b *testing.B) {
+	if testing.Short() {
+		b.Skip("short mode: fig12 memory sweep is slow")
+	}
 	rep := runExperiment(b, "fig12")
 	b.ReportMetric(cell(b, rep, 4, 3), "tianhe1a_norm_eff_%_at_half")
 }
@@ -269,6 +281,9 @@ func BenchmarkCheckpointStrategies(b *testing.B) {
 // BenchmarkCheckpointInterval is the Table 3 sensitivity: SKT-HPL GFLOPS
 // as the checkpoint interval varies.
 func BenchmarkCheckpointInterval(b *testing.B) {
+	if testing.Short() {
+		b.Skip("short mode: interval sweep runs SKT-HPL repeatedly")
+	}
 	for _, every := range []int{1, 2, 4, 8} {
 		every := every
 		b.Run(fmt.Sprintf("every%d", every), func(b *testing.B) {
@@ -438,6 +453,9 @@ func BenchmarkIncrementalDirtyFraction(b *testing.B) {
 // (binomial tree vs pipelined rings) by modelled solve time on a wide
 // grid, where the row broadcast matters most.
 func BenchmarkPanelBcastAlgorithms(b *testing.B) {
+	if testing.Short() {
+		b.Skip("short mode: bcast sweep factorizes repeatedly")
+	}
 	algos := []struct {
 		name string
 		fn   hpl.BcastFunc
@@ -482,6 +500,9 @@ func BenchmarkPanelBcastAlgorithms(b *testing.B) {
 // BenchmarkHPLSolve measures the real (wall-clock) cost of the distributed
 // factorization + solve, the compute-bound core every experiment drives.
 func BenchmarkHPLSolve(b *testing.B) {
+	if testing.Short() {
+		b.Skip("short mode: real-time HPL solve is slow")
+	}
 	for _, n := range []int{128, 256} {
 		n := n
 		b.Run(fmt.Sprintf("N%d", n), func(b *testing.B) {

@@ -1,0 +1,197 @@
+// Command sktchaos explores the crash-schedule matrix and prints a
+// per-protocol survival table: which failpoint × victim-role cells
+// recover, which legally start fresh, and which violate their protocol's
+// paper-stated guarantee.
+//
+// Usage:
+//
+//	sktchaos                 # sampled sweep (default 24 cells)
+//	sktchaos -full           # every cell, plus second-failure and HPL cells
+//	sktchaos -sample 40      # sample size
+//	sktchaos -seed 7         # reproduce a logged sample
+//	sktchaos -protocol self  # restrict to one protocol
+//	sktchaos -run <id>       # replay one schedule by its logged ID
+//
+// Exit status is 1 when any cell violates its guarantee.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"selfckpt/internal/checkpoint"
+	"selfckpt/internal/crashmat"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run every cell of the matrix (plus second-failure and HPL cells)")
+	sample := flag.Int("sample", 24, "number of sampled cells when not running -full")
+	seed := flag.Int64("seed", 0, "sampling seed (0 = derive from time; always printed)")
+	protocol := flag.String("protocol", "", "restrict to one protocol (single, double, self, multilevel)")
+	runID := flag.String("run", "", "replay a single schedule by ID and report its verdict")
+	flag.Parse()
+
+	if *runID != "" {
+		os.Exit(replay(*runID))
+	}
+
+	schedules := crashmat.FullMatrix()
+	if *full {
+		schedules = append(schedules, crashmat.SecondFailureMatrix()...)
+		schedules = append(schedules, crashmat.HPLMatrix()...)
+	} else {
+		if *seed == 0 {
+			*seed = time.Now().UnixNano()
+		}
+		fmt.Printf("sampling %d cells with seed %d (replay with -seed %d)\n", *sample, *seed, *seed)
+		schedules = crashmat.Sample(schedules, *sample, *seed)
+	}
+	if *protocol != "" {
+		if _, ok := checkpoint.ProtocolByName(*protocol); !ok {
+			fmt.Fprintf(os.Stderr, "sktchaos: unknown protocol %q\n", *protocol)
+			os.Exit(2)
+		}
+		var kept []crashmat.Schedule
+		for _, s := range schedules {
+			if s.Protocol == *protocol {
+				kept = append(kept, s)
+			}
+		}
+		schedules = kept
+	}
+
+	violations := sweep(schedules)
+	if violations > 0 {
+		fmt.Printf("\n%d guarantee violation(s)\n", violations)
+		os.Exit(1)
+	}
+	fmt.Println("\nall cells satisfy their protocol guarantees")
+}
+
+// cell is one survival-matrix entry, aggregated over every schedule that
+// landed in it (occurrences, group sizes).
+type cell struct {
+	ran, violated int
+	verdict       string // worst/last outcome rendered for the table
+}
+
+func sweep(schedules []crashmat.Schedule) int {
+	// tables[protocol][failpoint][role]
+	tables := map[string]map[string]map[crashmat.Role]*cell{}
+	violations := 0
+	for _, s := range schedules {
+		o, err := crashmat.Run(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sktchaos: %s: %v\n", s.ID(), err)
+			violations++
+			continue
+		}
+		bad := crashmat.Check(s, o)
+		fpt := tables[s.Protocol]
+		if fpt == nil {
+			fpt = map[string]map[crashmat.Role]*cell{}
+			tables[s.Protocol] = fpt
+		}
+		rt := fpt[s.Failpoint]
+		if rt == nil {
+			rt = map[crashmat.Role]*cell{}
+			fpt[s.Failpoint] = rt
+		}
+		c := rt[s.Role]
+		if c == nil {
+			c = &cell{}
+			rt[s.Role] = c
+		}
+		c.ran++
+		if len(bad) > 0 {
+			c.violated++
+			c.verdict = "FAIL"
+			violations += len(bad)
+			fmt.Printf("FAIL %s\n", s.ID())
+			for _, v := range bad {
+				fmt.Printf("     %s\n", v)
+			}
+			continue
+		}
+		if c.verdict != "FAIL" {
+			c.verdict = outcome(s, o)
+		}
+	}
+	printTables(tables)
+	return violations
+}
+
+// outcome renders a passing cell: the epoch recovery landed on, "fresh"
+// for a legal fresh start, or "-" when the failpoint never fired.
+func outcome(s crashmat.Schedule, o *crashmat.Observation) string {
+	exp, _ := crashmat.Predict(s)
+	switch {
+	case !exp.Fires:
+		return "-"
+	case o.Restored:
+		return fmt.Sprintf("e%d", o.RestoreIter)
+	default:
+		return "fresh"
+	}
+}
+
+func printTables(tables map[string]map[string]map[crashmat.Role]*cell) {
+	roles := crashmat.Roles()
+	var protocols []string
+	for p := range tables {
+		protocols = append(protocols, p)
+	}
+	sort.Strings(protocols)
+	for _, p := range protocols {
+		fmt.Printf("\n%s  (rows: failpoint, cols: victim role; eN = recovered epoch N)\n", p)
+		fmt.Printf("  %-18s", "")
+		for _, r := range roles {
+			fmt.Printf("%10s", r)
+		}
+		fmt.Println()
+		for _, fp := range checkpoint.Failpoints() {
+			rt := tables[p][fp]
+			if rt == nil {
+				continue
+			}
+			fmt.Printf("  %-18s", fp)
+			for _, r := range roles {
+				v := "·"
+				if c := rt[r]; c != nil {
+					v = c.verdict
+				}
+				fmt.Printf("%10s", v)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func replay(id string) int {
+	s, err := crashmat.ParseID(id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sktchaos:", err)
+		return 2
+	}
+	o, err := crashmat.Run(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sktchaos:", err)
+		return 2
+	}
+	exp, _ := crashmat.Predict(s)
+	fmt.Printf("schedule   %s\n", s.ID())
+	fmt.Printf("predicted  fires=%v attempts=%d epoch=%d\n", exp.Fires, exp.Attempts, exp.Epoch)
+	fmt.Printf("observed   attempts=%d restored=%v epoch=%d bit-exact=%v\n",
+		o.Attempts, o.Restored, o.RestoreIter, o.BitExact)
+	if bad := crashmat.Check(s, o); len(bad) > 0 {
+		for _, v := range bad {
+			fmt.Println("VIOLATION:", v)
+		}
+		return 1
+	}
+	fmt.Println("cell passes")
+	return 0
+}

@@ -273,7 +273,7 @@ func TestSelfFailpointMatrix(t *testing.T) {
 }
 
 func TestDoubleFailpointMatrix(t *testing.T) {
-	for _, fp := range []string{FPBegin, FPEncode, FPAfterEncode} {
+	for _, fp := range []string{FPBegin, FPFlush, FPMidFlush, FPEncode, FPAfterEncode, FPAfterFlush} {
 		t.Run(fp, func(t *testing.T) {
 			h := newHarness(t, 8, 4)
 			kills := []kill{{rank: 2, attempt: 0, failpoint: fp, occurrence: 3}}
@@ -291,10 +291,69 @@ func TestSingleSurvivesComputePhaseFailure(t *testing.T) {
 	h.runToCompletion(kills, iterApp("single", 4, 200, 6), 3)
 }
 
+// TestSingleComputePhaseFailureRestores is the regression test for a bug
+// the crash matrix flushed out: without an entry barrier in
+// Single.Checkpoint, a kill at FPBegin (occurrence o) let survivors open
+// their update window (hUpdating=1) before stalling in the group encode,
+// so the restart survey declared the run unrecoverable and it silently
+// started fresh — completing with correct data but losing o−1 epochs of
+// work and violating the protocol's own CASE 1 guarantee. The schedule
+// that exposed it: single/ckpt-begin/occ 4/any victim.
+func TestSingleComputePhaseFailureRestores(t *testing.T) {
+	h := newHarness(t, 8, 4)
+	kills := []kill{{rank: 1, attempt: 0, failpoint: FPBegin, occurrence: 4}}
+	res := h.attempt(0, kills, iterApp("single", 4, 100, 6))
+	if !res.Failed() {
+		t.Fatal("expected first attempt to fail")
+	}
+	res = h.attempt(1, nil, func(rc *rankCtx) error {
+		p, err := protectorFor("single", rc, 4)
+		if err != nil {
+			return err
+		}
+		data, recoverable, err := p.Open(100)
+		if err != nil {
+			return err
+		}
+		if !recoverable {
+			return errors.New("compute-phase failure must restore, not fresh-start")
+		}
+		meta, _, err := p.Restore()
+		if err != nil {
+			return err
+		}
+		// The kill fired at the 4th FPBegin, i.e. while epoch 3 was the
+		// last committed checkpoint: restore must land exactly there.
+		if it := iterFrom(meta); it != 3 {
+			return fmt.Errorf("restored iteration %d, want 3", it)
+		}
+		return checkWork(data, rc.comm.Rank(), 3)
+	})
+	if res.Failed() {
+		t.Fatal(res.FirstError())
+	}
+}
+
+// TestMidFlushKillOnChecksumRoot kills the group's rank 0 — the checksum
+// root of stripe family 0, the §2.1 rotated-root case — at FPMidFlush and
+// requires full recovery under both crash-safe protocols. A data-node
+// victim exercises rebuild-from-checksum; the root victim additionally
+// forces the group to reconstruct the checksum holder's own stripe.
+func TestMidFlushKillOnChecksumRoot(t *testing.T) {
+	for _, strategy := range []string{"self", "double"} {
+		t.Run(strategy, func(t *testing.T) {
+			h := newHarness(t, 8, 4)
+			// Rank 0 is group 0's communicator rank 0: the root of family 0.
+			kills := []kill{{rank: 0, attempt: 0, failpoint: FPMidFlush, occurrence: 2}}
+			h.runToCompletion(kills, iterApp(strategy, 4, 200, 6), 3)
+		})
+	}
+}
+
 // TestSingleDiesDuringUpdate: a failure inside the update window leaves B
 // and C inconsistent; Open must report unrecoverable (CASE 2 of Fig 2).
 func TestSingleDiesDuringUpdate(t *testing.T) {
-	for _, fp := range []string{FPFlush, FPEncode} {
+	for _, fp := range []string{FPFlush, FPMidFlush} {
 		t.Run(fp, func(t *testing.T) {
 			h := newHarness(t, 8, 4)
 			kills := []kill{{rank: 1, attempt: 0, failpoint: fp, occurrence: 3}}
@@ -345,11 +404,11 @@ func TestTwoLossesInOneGroupUnrecoverable(t *testing.T) {
 		{rank: 1, attempt: 0, failpoint: FPFlush, occurrence: 2},
 		{rank: 2, attempt: 0, failpoint: FPFlush, occurrence: 2},
 	}, app)
-	if !res.Failed() || len(res.Killed) < 1 {
-		t.Fatalf("expected kills, got %v", res.Killed)
-	}
-	if len(res.Killed) < 2 {
-		t.Skip("only one kill landed before the abort; two-loss scenario not formed")
+	// Both victims announce FPFlush after the mid-checkpoint barrier with
+	// no communication in between, so with deterministic peer-exit abort
+	// semantics both kills must land, every time.
+	if !res.Failed() || len(res.Killed) != 2 || res.Killed[0] != 1 || res.Killed[1] != 2 {
+		t.Fatalf("expected kills [1 2], got %v", res.Killed)
 	}
 	res = h.attempt(1, nil, func(rc *rankCtx) error {
 		p, err := protectorFor("self", rc, 4)

@@ -123,10 +123,12 @@ func (d *Double) Checkpoint(meta []byte) error {
 	i := int(e % 2)
 
 	rank.Failpoint(FPBegin)
+	rank.Failpoint(FPFlush) // about to overwrite the older (B, C) pair
 	d.hdr.set(hBufEpoch0+i, 0) // the buffer is now in flux
 	copy(d.bufs[i].Data[:d.words], d.a)
 	wordpack.PackInto(d.bufs[i].Data[d.words:], meta)
 	rank.MemCopy(float64(8*d.words + len(meta)))
+	rank.Failpoint(FPMidFlush) // buffer written, checksum not yet
 
 	rank.Failpoint(FPEncode)
 	if err := d.opts.Group.Encode(d.cks[i].Data, d.bufs[i].Data); err != nil {
@@ -135,6 +137,7 @@ func (d *Double) Checkpoint(meta []byte) error {
 	d.hdr.commitMagic()
 	d.hdr.set(hBufEpoch0+i, e)
 	rank.Failpoint(FPAfterEncode)
+	rank.Failpoint(FPAfterFlush) // epoch e committed; the window is closed
 	// A closing barrier keeps the epoch skew across groups at most one,
 	// so the world-minimum committed epoch is held by every survivor.
 	return world.Barrier()

@@ -1,0 +1,134 @@
+package checkpoint
+
+// This file is the protocol registry: one descriptor per protection
+// protocol, carrying the machine-checkable form of the paper's
+// survivability claims. The crash-matrix explorer (internal/crashmat)
+// enumerates failure schedules against exactly these descriptors, so a
+// protocol change that silently weakens a guarantee fails the matrix
+// instead of going unnoticed.
+
+// Aux carries the extra wiring a composed protocol needs beyond Options.
+// Plain protocols ignore it.
+type Aux struct {
+	// Stable is the persistent store for the multi-level composition's L2
+	// images (required by the "multilevel" protocol).
+	Stable StableStore
+	// Key prefixes the L2 image keys in Stable.
+	Key string
+	// L2Every flushes every k-th L1 checkpoint to Stable (default 2).
+	L2Every int
+	// L2BytesPerSec models the stable-store device bandwidth.
+	L2BytesPerSec float64
+}
+
+// Protocol describes one checkpoint protocol to the failure explorer.
+type Protocol struct {
+	Name string
+
+	// Announces lists the failpoints the protocol's Checkpoint announces,
+	// in protocol order. A kill scheduled at any other label never fires.
+	Announces []string
+
+	// Segments lists the SHM segment name suffixes (appended to
+	// Options.Namespace) the protocol allocates on each rank — the
+	// ground truth for segment-leak accounting.
+	Segments []string
+
+	// SurvivesKillAt is the paper's guarantee predicate: whether losing
+	// one node while some rank is at the given failpoint must still be
+	// recoverable. (Self and double survive everywhere; single dies
+	// exactly inside its B/C update window, Fig 2's CASE 2.)
+	SurvivesKillAt func(failpoint string) bool
+
+	// New builds an unopened protector.
+	New func(opts Options, aux Aux) (Protector, error)
+}
+
+var allFailpoints = []string{FPBegin, FPFlush, FPMidFlush, FPEncode, FPAfterEncode, FPAfterFlush}
+
+// Failpoints returns every failpoint label a protocol may announce.
+func Failpoints() []string {
+	out := make([]string, len(allFailpoints))
+	copy(out, allFailpoints)
+	return out
+}
+
+func survivesAlways(string) bool { return true }
+
+var (
+	selfSegments   = []string{"/hdr", "/A1", "/B2", "/B", "/C", "/D"}
+	doubleSegments = []string{"/hdr", "/B0", "/C0", "/B1", "/C1"}
+	singleSegments = []string{"/hdr", "/B", "/C"}
+)
+
+var registry = []Protocol{
+	{
+		Name:           "single",
+		Announces:      []string{FPBegin, FPFlush, FPMidFlush, FPAfterFlush},
+		Segments:       singleSegments,
+		SurvivesKillAt: func(fp string) bool { return fp != FPFlush && fp != FPMidFlush },
+		New: func(opts Options, _ Aux) (Protector, error) {
+			return NewSingle(opts)
+		},
+	},
+	{
+		Name:           "double",
+		Announces:      []string{FPBegin, FPFlush, FPMidFlush, FPEncode, FPAfterEncode, FPAfterFlush},
+		Segments:       doubleSegments,
+		SurvivesKillAt: survivesAlways,
+		New: func(opts Options, _ Aux) (Protector, error) {
+			return NewDouble(opts)
+		},
+	},
+	{
+		Name:           "self",
+		Announces:      []string{FPBegin, FPEncode, FPAfterEncode, FPFlush, FPMidFlush, FPAfterFlush},
+		Segments:       selfSegments,
+		SurvivesKillAt: survivesAlways,
+		New: func(opts Options, _ Aux) (Protector, error) {
+			return NewSelf(opts)
+		},
+	},
+	{
+		Name:           "multilevel",
+		Announces:      []string{FPBegin, FPEncode, FPAfterEncode, FPFlush, FPMidFlush, FPAfterFlush},
+		Segments:       selfSegments, // L1 is the self protocol; L2 lives off-node
+		SurvivesKillAt: survivesAlways,
+		New: func(opts Options, aux Aux) (Protector, error) {
+			l1, err := NewSelf(opts)
+			if err != nil {
+				return nil, err
+			}
+			every := aux.L2Every
+			if every <= 0 {
+				every = 2
+			}
+			return NewMultiLevel(MLOptions{
+				L1:            l1,
+				Comm:          opts.worldComm(),
+				Store:         aux.Stable,
+				Key:           aux.Key,
+				L2Every:       every,
+				L2BytesPerSec: aux.L2BytesPerSec,
+			})
+		},
+	},
+}
+
+// Protocols returns descriptors for every registered protocol, in
+// presentation order (single, double, self, multilevel).
+func Protocols() []Protocol {
+	out := make([]Protocol, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ProtocolByName looks a protocol up by its registry name.
+func ProtocolByName(name string) (Protocol, bool) {
+	for _, p := range registry {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Protocol{}, false
+}

@@ -104,13 +104,23 @@ func (s *Single) Checkpoint(meta []byte) error {
 	e := s.hdr.get(hCEpoch) + 1
 
 	rank.Failpoint(FPBegin)
+	// Entry barrier: no rank opens its update window until every rank has
+	// entered the checkpoint. Without it, a failure during the compute
+	// phase (or at FPBegin) strands the ranks already inside the window
+	// with hUpdating=1 and the survey refuses a run that lost nothing but
+	// uncommitted work. With it, the vulnerable window is exactly
+	// FPFlush..FPMidFlush — the inconsistency the paper's CASE 2 describes
+	// and the one this protocol genuinely cannot survive.
+	if err := world.Barrier(); err != nil {
+		return err
+	}
 	s.hdr.set(hUpdating, 1)
 	rank.Failpoint(FPFlush)
 	copy(s.b.Data[:s.words], s.a)
 	wordpack.PackInto(s.b.Data[s.words:], meta)
 	rank.MemCopy(float64(8*s.words + len(meta)))
 
-	rank.Failpoint(FPEncode)
+	rank.Failpoint(FPMidFlush)
 	if err := s.opts.Group.Encode(s.c.Data, s.b.Data); err != nil {
 		return err
 	}

@@ -126,6 +126,108 @@ func TestKillSpecFailpoint(t *testing.T) {
 	}
 }
 
+// TestKillSpecSameFailpointBothLand: two kills armed at the same
+// failpoint occurrence on different slots must both fire — the
+// deterministic peer-exit abort semantics guarantee the second victim is
+// not unwound early by the first death.
+func TestKillSpecSameFailpointBothLand(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		m := NewMachine(Testbed(), 4, 0)
+		spec := JobSpec{
+			Ranks:        4,
+			RanksPerNode: 1,
+			Kills: []KillSpec{
+				KillAtFailpoint(1, "flush", 2),
+				KillAtFailpoint(2, "flush", 2),
+			},
+		}
+		res, err := m.Launch(spec, 0, func(env *Env) error {
+			for i := 0; i < 5; i++ {
+				if err := env.Barrier(); err != nil {
+					return err
+				}
+				env.World().Failpoint("flush")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Killed) != 2 || res.Killed[0] != 1 || res.Killed[1] != 2 {
+			t.Fatalf("trial %d: Killed = %v, want [1 2]", trial, res.Killed)
+		}
+		if len(res.LostSlots) != 2 {
+			t.Fatalf("trial %d: LostSlots = %v, want two", trial, res.LostSlots)
+		}
+	}
+}
+
+// TestKillWhileDown: a node scheduled to die between attempts is dead by
+// the time the job restarts, and the daemon replaces it like any other
+// loss.
+func TestKillWhileDown(t *testing.T) {
+	m := NewMachine(Testbed(), 3, 2)
+	d := &Daemon{Machine: m, MaxRestarts: 2}
+	spec := JobSpec{
+		Ranks:        3,
+		RanksPerNode: 1,
+		Kills: []KillSpec{
+			KillAtFailpoint(0, "step", 2),
+			KillWhileDown(2, 0),
+		},
+	}
+	sawFresh := false
+	report, err := d.Run(spec, func(env *Env) error {
+		if env.Attempt == 1 && env.Rank() == 2 {
+			// Slot 2 died while the job was down: its replacement starts
+			// with empty SHM even though no rank on it was ever killed.
+			sawFresh = env.Node.SHM.Attach("state") == nil
+		}
+		if env.Attempt == 0 && env.Rank() == 2 {
+			seg, _, err := env.Node.SHM.CreateOrAttach("state", 1)
+			if err != nil {
+				return err
+			}
+			seg.Data[0] = 7
+		}
+		for i := 0; i < 4; i++ {
+			if err := env.Barrier(); err != nil {
+				return err
+			}
+			env.World().Failpoint("step")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("daemon run failed: %v", err)
+	}
+	if report.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", report.Attempts)
+	}
+	if !sawFresh {
+		t.Fatal("slot killed while down kept its SHM")
+	}
+	if len(report.LostSlots) != 1 || len(report.LostSlots[0]) != 2 {
+		t.Fatalf("LostSlots = %v, want one attempt losing slots 0 and 2", report.LostSlots)
+	}
+}
+
+func TestLeakedSegments(t *testing.T) {
+	m := NewMachine(Testbed(), 2, 0)
+	if _, err := m.Slot(0).SHM.Create("app/0/hdr", 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Slot(0).SHM.Create("stray", 8); err != nil {
+		t.Fatal(err)
+	}
+	leaks := m.LeakedSegments(func(slot int, name string) bool {
+		return name == "app/0/hdr"
+	})
+	if len(leaks) != 1 || len(leaks[0]) != 1 || leaks[0][0] != "stray" {
+		t.Fatalf("leaks = %v, want map[0:[stray]]", leaks)
+	}
+}
+
 func TestDaemonRestartsAfterNodeLoss(t *testing.T) {
 	m := NewMachine(Testbed(), 2, 1)
 	d := &Daemon{Machine: m, MaxRestarts: 2}

@@ -61,10 +61,18 @@ func (d *Daemon) Run(spec JobSpec, fn RankFn) (*RunReport, error) {
 		if len(res.LostSlots) == 0 {
 			return report, fmt.Errorf("cluster: job failed without a node loss: %w", res.FirstError())
 		}
-		report.LostSlots = append(report.LostSlots, res.LostSlots)
 		if attempt >= d.MaxRestarts {
+			report.LostSlots = append(report.LostSlots, res.LostSlots)
 			return report, fmt.Errorf("cluster: giving up after %d attempt(s); lost slots %v", attempt+1, res.LostSlots)
 		}
+		// Overlapping second failures: nodes scheduled to die while the
+		// job is down go now, before the daemon probes the ranklist.
+		for _, k := range spec.Kills {
+			if k.WhileDown && k.Attempt == attempt {
+				d.Machine.KillSlot(k.Slot)
+			}
+		}
+		report.LostSlots = append(report.LostSlots, d.Machine.DeadSlots())
 		// The daemon notices the job died (mpirun exit / job manager
 		// output), probes the ranklist for lost nodes, swaps in spares,
 		// and resubmits with the healthy ranks pinned to their old nodes.

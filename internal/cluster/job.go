@@ -12,12 +12,19 @@ import (
 // fires when a rank's virtual clock on the slot crosses the deadline, or
 // Failpoint fires at the Occurrence-th time a rank on the slot announces
 // the named protocol point (Occurrence counts per rank; default 1).
+//
+// WhileDown instead powers the slot off between attempts: after attempt
+// Attempt has failed, before the daemon swaps in spares. It models an
+// overlapping second failure — a node dying while the job is already
+// down — with a deterministic outcome, which the crash-matrix explorer
+// needs to probe losses beyond a group's coder tolerance.
 type KillSpec struct {
 	Slot       int
 	Attempt    int
 	AtTime     float64
 	Failpoint  string
 	Occurrence int
+	WhileDown  bool
 }
 
 // JobSpec describes an application launch.
@@ -133,7 +140,7 @@ func (m *Machine) Launch(spec JobSpec, attempt int, fn RankFn) (*AttemptResult, 
 	killTime := func(rank int) float64 {
 		t := math.Inf(1)
 		for _, k := range spec.Kills {
-			if k.Attempt == attempt && k.Failpoint == "" && k.Slot == slotOf(rank) && k.AtTime < t {
+			if k.Attempt == attempt && !k.WhileDown && k.Failpoint == "" && k.Slot == slotOf(rank) && k.AtTime < t {
 				t = k.AtTime
 			}
 		}
@@ -145,7 +152,7 @@ func (m *Machine) Launch(spec JobSpec, attempt int, fn RankFn) (*AttemptResult, 
 	fpKill := func(rank int, label string) bool {
 		slot := slotOf(rank)
 		for _, k := range spec.Kills {
-			if k.Attempt != attempt || k.Failpoint != label || k.Slot != slot {
+			if k.Attempt != attempt || k.WhileDown || k.Failpoint != label || k.Slot != slot {
 				continue
 			}
 			occ := k.Occurrence

@@ -1,0 +1,45 @@
+package cluster
+
+// Schedule-builder helpers: the crash-matrix explorer (internal/crashmat)
+// and failure-injection tests compose kill schedules from these instead
+// of hand-writing KillSpec literals.
+
+// KillAtFailpoint schedules slot's node to die the occurrence-th time one
+// of its ranks announces the named failpoint, on attempt 0.
+func KillAtFailpoint(slot int, failpoint string, occurrence int) KillSpec {
+	return KillSpec{Slot: slot, Failpoint: failpoint, Occurrence: occurrence}
+}
+
+// KillWhileDown schedules slot's node to die between attempts, after the
+// given attempt has failed — an overlapping second failure.
+func KillWhileDown(slot, afterAttempt int) KillSpec {
+	return KillSpec{Slot: slot, Attempt: afterAttempt, WhileDown: true}
+}
+
+// OnAttempt returns a copy of k retargeted at the given attempt.
+func (k KillSpec) OnAttempt(attempt int) KillSpec {
+	k.Attempt = attempt
+	return k
+}
+
+// LeakedSegments audits every active node's SHM against an expectation:
+// keep(slot, name) reports whether the named segment may legitimately
+// live on that slot. It returns the unexpected segment names per slot
+// (empty map = no leaks). The crash matrix runs it after every resilient
+// job to catch protocols that strand segments across restarts.
+func (m *Machine) LeakedSegments(keep func(slot int, name string) bool) map[int][]string {
+	m.mu.Lock()
+	nodes := make([]*Node, len(m.slots))
+	copy(nodes, m.slots)
+	m.mu.Unlock()
+
+	leaks := make(map[int][]string)
+	for slot, n := range nodes {
+		for _, name := range n.SHM.Names() {
+			if !keep(slot, name) {
+				leaks[slot] = append(leaks[slot], name)
+			}
+		}
+	}
+	return leaks
+}

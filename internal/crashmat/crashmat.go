@@ -1,0 +1,245 @@
+// Package crashmat is a crash-schedule exploration engine: it enumerates
+// the cross product of {protocol} × {failpoint × occurrence} × {victim
+// role} × {group size, overlapping second failure}, runs every schedule
+// through the cluster daemon with the ordinary KillSpec machinery, and
+// checks each outcome against the protocol registry's paper-stated
+// guarantee. Three properties are verified per schedule:
+//
+//  (a) the job completes with bit-exact data versus an unfailed golden
+//      run, or reports unrecoverable exactly when the guarantee says it
+//      must (single dies mid-flush; double and self never do);
+//  (b) recovery restores the last *committed* epoch — never a torn one
+//      (the restore's header epoch is cross-checked against the restored
+//      metadata);
+//  (c) no SHM segment leaks across restart attempts.
+//
+// Schedules have stable string IDs (Schedule.ID / ParseID), so a failing
+// cell from a sampled run or the sktchaos CLI can be replayed exactly.
+package crashmat
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"selfckpt/internal/checkpoint"
+)
+
+// Role picks the victim's relation to the reference encoding group
+// (group 0). The checksum root matters because of the §2.1 rotated-root
+// layout: group rank 0 holds stripe family 0's checksum, so killing it
+// forces the group to rebuild the checksum holder itself.
+type Role string
+
+// The victim roles.
+const (
+	RoleChecksumRoot Role = "root"    // group 0's rank 0
+	RoleGroupPeer    Role = "peer"    // group 0's last member
+	RoleNonGroup     Role = "outside" // first member of group 1
+)
+
+// Roles returns every victim role, in matrix order.
+func Roles() []Role { return []Role{RoleChecksumRoot, RoleGroupPeer, RoleNonGroup} }
+
+// Second schedules an overlapping second failure: a further node dies
+// while the job is down, before the daemon replaces the first loss.
+type Second string
+
+// The second-failure modes.
+const (
+	SecondNone       Second = "none"
+	SecondSameGroup  Second = "same-group"  // exceeds a 1-tolerant coder
+	SecondOtherGroup Second = "other-group" // one loss per group: still fine
+)
+
+// Schedule is one point of the failure space.
+type Schedule struct {
+	Workload   string // "iter" (synthetic iterative app) or "hpl" (SKT-HPL)
+	Protocol   string // a checkpoint registry name
+	Failpoint  string
+	Occurrence int
+	Role       Role
+	GroupSize  int
+	Groups     int
+	Iters      int // checkpointed iterations (iter) / panels between checkpoints context (hpl)
+	Second     Second
+	L2Every    int // multilevel only: L2 flush cadence
+}
+
+// Ranks returns the world size (one rank per node slot).
+func (s Schedule) Ranks() int { return s.Groups * s.GroupSize }
+
+// Victim returns the primary victim's slot.
+func (s Schedule) Victim() int {
+	switch s.Role {
+	case RoleGroupPeer:
+		return s.GroupSize - 1
+	case RoleNonGroup:
+		return s.GroupSize // first member of group 1
+	default:
+		return 0
+	}
+}
+
+// SecondVictim returns the slot of the overlapping second failure, or -1.
+func (s Schedule) SecondVictim() int {
+	v := s.Victim()
+	switch s.Second {
+	case SecondSameGroup:
+		if v%s.GroupSize == 0 {
+			return v + 1
+		}
+		return v - v%s.GroupSize
+	case SecondOtherGroup:
+		if v >= s.GroupSize {
+			return 0
+		}
+		return s.GroupSize
+	default:
+		return -1
+	}
+}
+
+// ID renders the schedule as a stable, replayable identifier.
+func (s Schedule) ID() string {
+	return fmt.Sprintf("%s/%s/%s/o%d/%s/g%dx%d/i%d/second:%s/l2:%d",
+		s.Workload, s.Protocol, s.Failpoint, s.Occurrence, s.Role,
+		s.GroupSize, s.Groups, s.Iters, s.Second, s.L2Every)
+}
+
+// ParseID inverts Schedule.ID.
+func ParseID(id string) (Schedule, error) {
+	parts := strings.Split(id, "/")
+	if len(parts) != 9 {
+		return Schedule{}, fmt.Errorf("crashmat: malformed schedule id %q (want 9 parts, got %d)", id, len(parts))
+	}
+	s := Schedule{Workload: parts[0], Protocol: parts[1], Failpoint: parts[2], Role: Role(parts[4])}
+	read := func(part, prefix string) (int, error) {
+		if !strings.HasPrefix(part, prefix) {
+			return 0, fmt.Errorf("crashmat: bad id segment %q (want %s...)", part, prefix)
+		}
+		return strconv.Atoi(strings.TrimPrefix(part, prefix))
+	}
+	var err error
+	if s.Occurrence, err = read(parts[3], "o"); err != nil {
+		return Schedule{}, err
+	}
+	gs := strings.SplitN(strings.TrimPrefix(parts[5], "g"), "x", 2)
+	if len(gs) != 2 || !strings.HasPrefix(parts[5], "g") {
+		return Schedule{}, fmt.Errorf("crashmat: bad group segment %q", parts[5])
+	}
+	if s.GroupSize, err = strconv.Atoi(gs[0]); err != nil {
+		return Schedule{}, err
+	}
+	if s.Groups, err = strconv.Atoi(gs[1]); err != nil {
+		return Schedule{}, err
+	}
+	if s.Iters, err = read(parts[6], "i"); err != nil {
+		return Schedule{}, err
+	}
+	if !strings.HasPrefix(parts[7], "second:") {
+		return Schedule{}, fmt.Errorf("crashmat: bad second segment %q", parts[7])
+	}
+	s.Second = Second(strings.TrimPrefix(parts[7], "second:"))
+	if s.L2Every, err = read(parts[8], "l2:"); err != nil {
+		return Schedule{}, err
+	}
+	return s, nil
+}
+
+// Expectation is what the protocol's paper-stated guarantee predicts for
+// a schedule.
+type Expectation struct {
+	// Fires reports whether the scheduled failpoint is one the protocol
+	// announces at all; when false the run must complete in one attempt.
+	Fires bool
+	// Attempts the daemon needs (1 without a kill, 2 with one).
+	Attempts int
+	// Epoch is the committed epoch the restart must restore; 0 means the
+	// guarantee requires (or permits only) a fresh start.
+	Epoch int
+}
+
+// Restores reports whether the restart must restore checkpointed state.
+func (e Expectation) Restores() bool { return e.Epoch > 0 }
+
+func announces(p checkpoint.Protocol, fp string) bool {
+	for _, a := range p.Announces {
+		if a == fp {
+			return true
+		}
+	}
+	return false
+}
+
+// baseEpoch is the committed epoch surviving a single loss at the given
+// failpoint during checkpoint number occ — the heart of the torn-epoch
+// check. A failpoint before the protocol's commit point leaves occ−1 as
+// the last committed epoch; one after it leaves occ.
+func baseEpoch(protocol, fp string, occ int) int {
+	switch protocol {
+	case "single":
+		// Commit happens between FPMidFlush and FPAfterFlush; the window
+		// FPFlush..FPMidFlush is unrecoverable (CASE 2 of Fig 2).
+		switch fp {
+		case checkpoint.FPBegin:
+			return occ - 1
+		case checkpoint.FPAfterFlush:
+			return occ
+		default: // FPFlush, FPMidFlush: fresh start
+			return 0
+		}
+	case "double":
+		// The epoch marker commits after the encode.
+		switch fp {
+		case checkpoint.FPAfterEncode, checkpoint.FPAfterFlush:
+			return occ
+		default:
+			return occ - 1
+		}
+	default: // self, multilevel (L1 = self)
+		// The D checksum commits before FPAfterEncode; from there on the
+		// new epoch is recoverable via CASE 2 (A+D) or, after the flush,
+		// via the quiescent (B+C) path.
+		switch fp {
+		case checkpoint.FPBegin, checkpoint.FPEncode:
+			return occ - 1
+		default:
+			return occ
+		}
+	}
+}
+
+// Predict evaluates the registry's guarantee predicate for a schedule.
+func Predict(s Schedule) (Expectation, error) {
+	reg, ok := checkpoint.ProtocolByName(s.Protocol)
+	if !ok {
+		return Expectation{}, fmt.Errorf("crashmat: unknown protocol %q", s.Protocol)
+	}
+	if s.Role == RoleNonGroup && s.Groups < 2 {
+		return Expectation{}, fmt.Errorf("crashmat: role %q needs at least two groups", s.Role)
+	}
+	if !announces(reg, s.Failpoint) {
+		return Expectation{Fires: false, Attempts: 1}, nil
+	}
+	if s.Occurrence > s.Iters {
+		return Expectation{Fires: false, Attempts: 1}, nil
+	}
+	e := Expectation{Fires: true, Attempts: 2}
+	switch s.Second {
+	case SecondSameGroup:
+		// Two losses in one group exceed the single-parity tolerance:
+		// only a multi-level L2 image can roll the run back. The kill
+		// strikes during checkpoint Occurrence, so exactly Occurrence−1
+		// level-1 checkpoints completed, i.e. ⌊(occ−1)/L2Every⌋ flushes.
+		if s.Protocol == "multilevel" && s.L2Every > 0 {
+			e.Epoch = s.L2Every * ((s.Occurrence - 1) / s.L2Every)
+		} else {
+			e.Epoch = 0
+		}
+	default:
+		// No second failure, or one loss per group: every group rebuilds.
+		e.Epoch = baseEpoch(s.Protocol, s.Failpoint, s.Occurrence)
+	}
+	return e, nil
+}

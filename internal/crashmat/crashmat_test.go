@@ -1,0 +1,163 @@
+package crashmat
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"selfckpt/internal/checkpoint"
+)
+
+// TestPredictTable pins the guarantee predicate to the paper's stated
+// behaviour: single is unrecoverable exactly in its flush window, double
+// and self commit at their respective encode/flush points.
+func TestPredictTable(t *testing.T) {
+	cases := []struct {
+		protocol, fp string
+		occ          int
+		fires        bool
+		epoch        int
+	}{
+		{"single", checkpoint.FPBegin, 3, true, 2},
+		{"single", checkpoint.FPFlush, 3, true, 0},
+		{"single", checkpoint.FPMidFlush, 3, true, 0},
+		{"single", checkpoint.FPAfterFlush, 3, true, 3},
+		{"single", checkpoint.FPEncode, 3, false, 0}, // single never announces it
+		{"double", checkpoint.FPBegin, 3, true, 2},
+		{"double", checkpoint.FPFlush, 3, true, 2},
+		{"double", checkpoint.FPMidFlush, 3, true, 2},
+		{"double", checkpoint.FPAfterEncode, 3, true, 3},
+		{"double", checkpoint.FPAfterFlush, 3, true, 3},
+		{"self", checkpoint.FPBegin, 3, true, 2},
+		{"self", checkpoint.FPEncode, 3, true, 2},
+		{"self", checkpoint.FPAfterEncode, 3, true, 3},
+		{"self", checkpoint.FPMidFlush, 3, true, 3},
+		{"self", checkpoint.FPAfterFlush, 3, true, 3},
+		{"multilevel", checkpoint.FPAfterEncode, 3, true, 3},
+		{"self", checkpoint.FPBegin, 9, false, 0}, // occurrence beyond the run
+	}
+	for _, c := range cases {
+		s := Schedule{Protocol: c.protocol, Failpoint: c.fp, Occurrence: c.occ,
+			Role: RoleChecksumRoot, GroupSize: 4, Groups: 2, Iters: 6, Second: SecondNone}
+		exp, err := Predict(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID(), err)
+		}
+		if exp.Fires != c.fires || (c.fires && exp.Epoch != c.epoch) {
+			t.Errorf("%s: predicted fires=%v epoch=%d, want fires=%v epoch=%d",
+				s.ID(), exp.Fires, exp.Epoch, c.fires, c.epoch)
+		}
+	}
+}
+
+func TestPredictSecondFailure(t *testing.T) {
+	base := Schedule{Failpoint: checkpoint.FPAfterEncode, Occurrence: 3,
+		Role: RoleChecksumRoot, GroupSize: 4, Groups: 2, Iters: 6}
+	for _, c := range []struct {
+		protocol string
+		second   Second
+		l2       int
+		epoch    int
+	}{
+		{"self", SecondSameGroup, 0, 0},        // two losses in one group: fresh start
+		{"self", SecondOtherGroup, 0, 3},       // one loss per group: full recovery
+		{"multilevel", SecondSameGroup, 2, 2},  // rolls back to the last L2 flush
+		{"multilevel", SecondOtherGroup, 2, 3}, // L1 alone suffices
+	} {
+		s := base
+		s.Protocol, s.Second, s.L2Every = c.protocol, c.second, c.l2
+		exp, err := Predict(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID(), err)
+		}
+		if exp.Epoch != c.epoch {
+			t.Errorf("%s: predicted epoch %d, want %d", s.ID(), exp.Epoch, c.epoch)
+		}
+	}
+}
+
+func TestScheduleIDRoundTrip(t *testing.T) {
+	for _, s := range append(append(FullMatrix(), SecondFailureMatrix()...), HPLMatrix()...) {
+		back, err := ParseID(s.ID())
+		if err != nil {
+			t.Fatalf("ParseID(%q): %v", s.ID(), err)
+		}
+		if back != s {
+			t.Fatalf("round trip changed schedule: %q -> %+v", s.ID(), back)
+		}
+	}
+	if _, err := ParseID("not/a/schedule"); err == nil {
+		t.Fatal("ParseID accepted a malformed id")
+	}
+}
+
+// verifyAll runs each schedule and reports every property violation with
+// the schedule's replayable ID.
+func verifyAll(t *testing.T, schedules []Schedule) {
+	t.Helper()
+	for _, s := range schedules {
+		s := s
+		t.Run(s.ID(), func(t *testing.T) {
+			t.Parallel()
+			bad, err := Verify(s)
+			if err != nil {
+				t.Fatalf("engine error: %v", err)
+			}
+			for _, v := range bad {
+				t.Errorf("%s", v)
+			}
+		})
+	}
+}
+
+// matrixSeed returns the sampling seed: CRASHMAT_SEED if set, otherwise a
+// seed derived from the (varying) test process pid so successive runs
+// sample different corners. The seed is logged for replay either way.
+func matrixSeed(t *testing.T) int64 {
+	if env := os.Getenv("CRASHMAT_SEED"); env != "" {
+		seed, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CRASHMAT_SEED %q: %v", env, err)
+		}
+		return seed
+	}
+	return int64(os.Getpid())
+}
+
+// TestCrashMatrixSampled always runs: a seeded pseudo-random sample of the
+// full matrix plus one second-failure cell. Reproduce a failing cell with
+// CRASHMAT_SEED=<logged seed>, or replay its logged schedule ID via
+// `go run ./cmd/sktchaos -run <id>`.
+func TestCrashMatrixSampled(t *testing.T) {
+	seed := matrixSeed(t)
+	t.Logf("crash-matrix sample seed %d (set CRASHMAT_SEED to replay)", seed)
+	sample := Sample(FullMatrix(), 20, seed)
+	sample = append(sample, Sample(SecondFailureMatrix(), 2, seed)...)
+	sample = append(sample, Sample(HPLMatrix(), 2, seed)...)
+	verifyAll(t, sample)
+}
+
+// TestCrashMatrixFull explores every cell of the acceptance matrix. Run
+// it nightly or on demand: go test -run TestCrashMatrixFull ./internal/crashmat
+func TestCrashMatrixFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full crash matrix: long; run without -short")
+	}
+	verifyAll(t, FullMatrix())
+}
+
+// TestCrashMatrixSecondFailures explores overlapping second failures.
+func TestCrashMatrixSecondFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second-failure matrix: long; run without -short")
+	}
+	verifyAll(t, SecondFailureMatrix())
+}
+
+// TestCrashMatrixHPL runs the matrix's SKT-HPL workload cells.
+func TestCrashMatrixHPL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("HPL crash matrix: long; run without -short")
+	}
+	verifyAll(t, HPLMatrix())
+}

@@ -1,0 +1,114 @@
+package crashmat
+
+import (
+	"math/rand"
+
+	"selfckpt/internal/checkpoint"
+)
+
+// FullMatrix enumerates the acceptance matrix: every protocol × failpoint
+// × occurrence × victim role at group sizes 4 and 16, no second failure.
+// Occurrences 2 and 4 keep the predicted restore epoch ≥ 1, so a fresh
+// start in any cell is a genuine guarantee violation — except single's
+// mid-flush window, where the guarantee itself demands the fresh start.
+func FullMatrix() []Schedule {
+	var out []Schedule
+	for _, p := range checkpoint.Protocols() {
+		for _, fp := range checkpoint.Failpoints() {
+			for _, occ := range []int{2, 4} {
+				for _, role := range Roles() {
+					for _, gs := range []int{4, 16} {
+						out = append(out, Schedule{
+							Workload:   "iter",
+							Protocol:   p.Name,
+							Failpoint:  fp,
+							Occurrence: occ,
+							Role:       role,
+							GroupSize:  gs,
+							Groups:     2,
+							Iters:      6,
+							Second:     SecondNone,
+							L2Every:    l2For(p.Name),
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SecondFailureMatrix probes overlapping second failures: a further node
+// dies while the job is down. Same-group pairs exceed the single-parity
+// tolerance (fresh start, or an L2 rollback under multilevel);
+// other-group pairs stay within it.
+func SecondFailureMatrix() []Schedule {
+	var out []Schedule
+	for _, p := range checkpoint.Protocols() {
+		for _, fp := range []string{checkpoint.FPMidFlush, checkpoint.FPAfterEncode} {
+			for _, second := range []Second{SecondSameGroup, SecondOtherGroup} {
+				out = append(out, Schedule{
+					Workload:   "iter",
+					Protocol:   p.Name,
+					Failpoint:  fp,
+					Occurrence: 3,
+					Role:       RoleChecksumRoot,
+					GroupSize:  4,
+					Groups:     2,
+					Iters:      6,
+					Second:     second,
+					L2Every:    l2For(p.Name),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// HPLMatrix wires SKT-HPL in as an explored workload: one cell per
+// protocol at the paper's two recovery paths (mid-flush and
+// post-encode), victim on the checksum root.
+func HPLMatrix() []Schedule {
+	var out []Schedule
+	for _, p := range checkpoint.Protocols() {
+		for _, fp := range []string{checkpoint.FPMidFlush, checkpoint.FPAfterEncode} {
+			out = append(out, Schedule{
+				Workload:   "hpl",
+				Protocol:   p.Name,
+				Failpoint:  fp,
+				Occurrence: 3,
+				Role:       RoleChecksumRoot,
+				GroupSize:  4,
+				Groups:     2,
+				Iters:      12, // panels at N=96, NB=8
+				Second:     SecondNone,
+				L2Every:    l2For(p.Name),
+			})
+		}
+	}
+	return out
+}
+
+func l2For(protocol string) int {
+	if protocol == "multilevel" {
+		return 2
+	}
+	return 0
+}
+
+// Sample draws n distinct schedules from matrix using the given seed, so
+// a sampled run is reproducible from its logged seed.
+func Sample(matrix []Schedule, n int, seed int64) []Schedule {
+	if n >= len(matrix) {
+		out := make([]Schedule, len(matrix))
+		copy(out, matrix)
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(matrix))[:n]
+	out := make([]Schedule, n)
+	for i, j := range idx {
+		out[i] = matrix[j]
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package crashmat
+
+import (
+	"errors"
+	"fmt"
+
+	"selfckpt/internal/cluster"
+)
+
+// Observation is what actually happened when a schedule ran.
+type Observation struct {
+	Attempts    int
+	Restored    bool
+	RestoreIter int // iteration the restore landed on (== epoch for iter workload)
+	HeaderEpoch int // epoch the protocol's Restore reported
+	// BitExact reports the golden-run comparison: for the iter workload
+	// every rank checked its workspace word-for-word against the analytic
+	// reference; for HPL the solution hash matched an unfailed run's.
+	BitExact bool
+	// Leaks maps slot → unexpected SHM segment names after completion.
+	Leaks map[int][]string
+	// Err is the daemon's terminal error, nil when the job completed.
+	Err error
+}
+
+// metric names the workloads report through cluster.Env.
+const (
+	mRestored    = "cm_restored"
+	mRestoreIter = "cm_restore_iter"
+	mHeaderEpoch = "cm_header_epoch"
+)
+
+// Run executes one schedule on a fresh simulated machine and reports the
+// outcome. The returned error covers engine misuse (bad schedule); run
+// failures land in Observation.Err.
+func Run(s Schedule) (*Observation, error) {
+	if _, err := Predict(s); err != nil {
+		return nil, err
+	}
+	switch s.Workload {
+	case "", "iter":
+		return runIter(s)
+	case "hpl":
+		return runHPL(s)
+	default:
+		return nil, fmt.Errorf("crashmat: unknown workload %q", s.Workload)
+	}
+}
+
+func kills(s Schedule) []cluster.KillSpec {
+	ks := []cluster.KillSpec{cluster.KillAtFailpoint(s.Victim(), s.Failpoint, s.Occurrence)}
+	if sv := s.SecondVictim(); sv >= 0 {
+		ks = append(ks, cluster.KillWhileDown(sv, 0))
+	}
+	return ks
+}
+
+// Check verifies the three crash-matrix properties of one observation
+// against the schedule's prediction, returning human-readable violations
+// (empty = the cell passes).
+func Check(s Schedule, o *Observation) []string {
+	exp, err := Predict(s)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var bad []string
+	fail := func(format string, args ...interface{}) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+	if o.Err != nil {
+		fail("job did not complete: %v", o.Err)
+		return bad
+	}
+	if !o.BitExact {
+		fail("completed with data differing from the golden run")
+	}
+	if o.Attempts != exp.Attempts {
+		fail("attempts = %d, want %d", o.Attempts, exp.Attempts)
+	}
+	if exp.Restores() {
+		if !o.Restored {
+			fail("guarantee promises recovery of epoch %d but the run started fresh", exp.Epoch)
+		} else if o.RestoreIter != exp.Epoch {
+			fail("restored epoch %d, want committed epoch %d (torn or stale)", o.RestoreIter, exp.Epoch)
+		}
+		// Torn-epoch header cross-check: the epoch the protocol reported
+		// must match the epoch recorded in the restored metadata. The
+		// multilevel L2 path numbers epochs in flush units, so the check
+		// applies to the in-memory protocols.
+		if o.Restored && s.Protocol != "multilevel" && o.HeaderEpoch != o.RestoreIter {
+			fail("header epoch %d disagrees with restored metadata epoch %d", o.HeaderEpoch, o.RestoreIter)
+		}
+	} else if o.Restored {
+		fail("restored epoch %d where the guarantee requires a fresh start", o.RestoreIter)
+	}
+	for slot, names := range o.Leaks {
+		fail("slot %d leaks SHM segments %v", slot, names)
+	}
+	return bad
+}
+
+// Verify runs a schedule and checks it in one step.
+func Verify(s Schedule) ([]string, error) {
+	o, err := Run(s)
+	if err != nil {
+		return nil, err
+	}
+	return Check(s, o), nil
+}
+
+// errFreshStart distinguishes an engine bug (restore claimed with epoch
+// 0) from ordinary run failures.
+var errFreshStart = errors.New("crashmat: protocol reported a recoverable epoch-0 state")

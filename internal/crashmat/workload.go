@@ -1,0 +1,241 @@
+package crashmat
+
+import (
+	"fmt"
+
+	"selfckpt/internal/checkpoint"
+	"selfckpt/internal/cluster"
+	"selfckpt/internal/encoding"
+	"selfckpt/internal/simmpi"
+	"selfckpt/internal/skthpl"
+)
+
+// iterWords is the per-rank workspace of the synthetic workload. Small on
+// purpose: the matrix runs hundreds of schedules and the properties are
+// about protocol state machines, not data volume.
+const iterWords = 96
+
+// fill writes the analytically-known workspace contents for (rank, iter):
+// the golden run needs no execution, every word is a closed form.
+func fill(data []float64, rank, iter int) {
+	for i := range data {
+		data[i] = float64(rank*10000+i) + float64(iter)/1024
+	}
+}
+
+func checkFill(data []float64, rank, iter int) error {
+	for i := range data {
+		want := float64(rank*10000+i) + float64(iter)/1024
+		if data[i] != want {
+			return fmt.Errorf("crashmat: word %d = %v, want %v (rank %d iter %d): not bit-exact",
+				i, data[i], want, rank, iter)
+		}
+	}
+	return nil
+}
+
+func iterMeta(iter int) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(iter >> (8 * i))
+	}
+	return b
+}
+
+func iterFromMeta(b []byte) int {
+	if len(b) < 8 {
+		return -1
+	}
+	v := 0
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | int(b[i])
+	}
+	return v
+}
+
+// machineFor builds a fresh simulated cluster sized for the schedule: one
+// rank per node slot, enough spares to absorb both scheduled losses.
+func machineFor(s Schedule) *cluster.Machine {
+	return cluster.NewMachine(cluster.Testbed(), s.Ranks(), 4)
+}
+
+func protectorFor(s Schedule, env *cluster.Env) (checkpoint.Protector, error) {
+	reg, ok := checkpoint.ProtocolByName(s.Protocol)
+	if !ok {
+		return nil, fmt.Errorf("crashmat: unknown protocol %q", s.Protocol)
+	}
+	color, err := encoding.GroupColor(env.Rank(), 1, env.Size(), s.GroupSize)
+	if err != nil {
+		return nil, err
+	}
+	gcomm, err := env.Split(color)
+	if err != nil {
+		return nil, err
+	}
+	grp, err := encoding.NewGroup(gcomm, simmpi.OpXor)
+	if err != nil {
+		return nil, err
+	}
+	return reg.New(checkpoint.Options{
+		Group:     grp,
+		World:     env.Comm,
+		Store:     env.Node.SHM,
+		Namespace: fmt.Sprintf("cm/%d", env.Rank()),
+		MetaCap:   64,
+	}, checkpoint.Aux{
+		Stable:        env.Machine.Disk,
+		Key:           fmt.Sprintf("cm-l2/%d", env.Rank()),
+		L2Every:       s.L2Every,
+		L2BytesPerSec: env.Platform.SSDGBps * 1e9,
+	})
+}
+
+// iterBody is the synthetic workload: Iters compute steps, one checkpoint
+// per step, final workspace verified word-for-word against the closed
+// form — the bit-exact golden comparison needs no second run.
+func iterBody(s Schedule) cluster.RankFn {
+	return func(env *cluster.Env) error {
+		p, err := protectorFor(s, env)
+		if err != nil {
+			return err
+		}
+		data, recoverable, err := p.Open(iterWords)
+		if err != nil {
+			return err
+		}
+		start := 0
+		if recoverable {
+			meta, epoch, err := p.Restore()
+			if err != nil {
+				return err
+			}
+			start = iterFromMeta(meta)
+			if start <= 0 {
+				return errFreshStart
+			}
+			env.Metric(mRestored, 1)
+			env.Metric(mRestoreIter, float64(start))
+			env.Metric(mHeaderEpoch, float64(epoch))
+			// The restored workspace must already be bit-exact.
+			if err := checkFill(data, env.Rank(), start); err != nil {
+				return err
+			}
+		}
+		for it := start + 1; it <= s.Iters; it++ {
+			fill(data, env.Rank(), it)
+			env.World().Compute(1e6)
+			if err := p.Checkpoint(iterMeta(it)); err != nil {
+				return err
+			}
+		}
+		return checkFill(data, env.Rank(), s.Iters)
+	}
+}
+
+func runIter(s Schedule) (*Observation, error) {
+	m := machineFor(s)
+	d := &cluster.Daemon{Machine: m, MaxRestarts: 2}
+	spec := cluster.JobSpec{Ranks: s.Ranks(), RanksPerNode: 1, Kills: kills(s)}
+	report, err := d.Run(spec, iterBody(s))
+	o := &Observation{Err: err}
+	if report != nil {
+		o.Attempts = report.Attempts
+		o.Restored = report.Metrics[mRestored] == 1
+		o.RestoreIter = int(report.Metrics[mRestoreIter])
+		o.HeaderEpoch = int(report.Metrics[mHeaderEpoch])
+	}
+	if err == nil {
+		// Completion implies every rank's final checkFill passed.
+		o.BitExact = true
+		o.Leaks = auditSHM(s, m)
+	}
+	return o, nil
+}
+
+// auditSHM compares every slot's surviving segments against the
+// protocol's registered segment list under the workload's namespace.
+func auditSHM(s Schedule, m *cluster.Machine) map[int][]string {
+	reg, _ := checkpoint.ProtocolByName(s.Protocol)
+	expected := make(map[int]map[string]bool, s.Ranks())
+	ns := func(rank int) string {
+		if s.Workload == "hpl" {
+			return fmt.Sprintf("skthpl/%d", rank)
+		}
+		return fmt.Sprintf("cm/%d", rank)
+	}
+	for rank := 0; rank < s.Ranks(); rank++ {
+		set := make(map[string]bool, len(reg.Segments))
+		for _, suf := range reg.Segments {
+			set[ns(rank)+suf] = true
+		}
+		expected[rank] = set // one rank per slot
+	}
+	leaks := m.LeakedSegments(func(slot int, name string) bool {
+		return expected[slot][name]
+	})
+	if len(leaks) == 0 {
+		return nil
+	}
+	return leaks
+}
+
+// hplConfig shapes the SKT-HPL workload runs: a small but genuinely
+// distributed solve, checkpointing every panel so the failpoint
+// occurrences line up with panel iterations.
+func hplConfig(s Schedule) skthpl.Config {
+	strategy := skthpl.Strategy(s.Protocol)
+	l2 := 0
+	if s.Protocol == "multilevel" {
+		strategy = skthpl.StrategySelf
+		l2 = s.L2Every
+	}
+	return skthpl.Config{
+		N:               96,
+		NB:              8,
+		Strategy:        strategy,
+		GroupSize:       s.GroupSize,
+		RanksPerNode:    1,
+		CheckpointEvery: 1,
+		Seed:            42,
+		L2Every:         l2,
+	}
+}
+
+// runHPL explores a schedule with SKT-HPL as the workload: the failed run
+// must converge to the same solution bits as an unfailed golden run.
+func runHPL(s Schedule) (*Observation, error) {
+	cfg := hplConfig(s)
+
+	// Golden run: same machine shape, no kills.
+	gm := machineFor(s)
+	gd := &cluster.Daemon{Machine: gm, MaxRestarts: 0}
+	golden, err := gd.Run(cluster.JobSpec{Ranks: s.Ranks(), RanksPerNode: 1}, func(env *cluster.Env) error {
+		return skthpl.Rank(env, cfg)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("crashmat: golden HPL run failed: %w", err)
+	}
+	goldenHash, ok := golden.Metrics[skthpl.MetricSolutionHash]
+	if !ok {
+		return nil, fmt.Errorf("crashmat: golden HPL run reported no solution hash")
+	}
+
+	m := machineFor(s)
+	d := &cluster.Daemon{Machine: m, MaxRestarts: 2}
+	spec := cluster.JobSpec{Ranks: s.Ranks(), RanksPerNode: 1, Kills: kills(s)}
+	report, err := d.Run(spec, func(env *cluster.Env) error {
+		return skthpl.Rank(env, cfg)
+	})
+	o := &Observation{Err: err}
+	if report != nil {
+		o.Attempts = report.Attempts
+		o.Restored = report.Metrics[skthpl.MetricRestored] == 1
+		o.RestoreIter = int(report.Metrics[skthpl.MetricRestoredEpoch])
+		o.HeaderEpoch = o.RestoreIter
+	}
+	if err == nil {
+		o.BitExact = report.Metrics[skthpl.MetricSolutionHash] == goldenHash
+		o.Leaks = auditSHM(s, m)
+	}
+	return o, nil
+}

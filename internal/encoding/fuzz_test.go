@@ -1,0 +1,70 @@
+package encoding
+
+import (
+	"math"
+	"testing"
+
+	"selfckpt/internal/simmpi"
+)
+
+// FuzzRebuild drives the dual-parity coder through randomized
+// encode → erase → rebuild round trips: arbitrary group sizes, workspace
+// lengths (including the stripe-padding edge cases), loss sets of one or
+// two ranks, and data seeds. Recovery must be bit-exact for both the
+// workspace and the checksum slots.
+func FuzzRebuild(f *testing.F) {
+	f.Add(uint8(4), uint16(17), uint8(0), uint8(0), int64(1))  // single loss
+	f.Add(uint8(3), uint16(1), uint8(0), uint8(1), int64(2))   // minimum group, double loss
+	f.Add(uint8(8), uint16(64), uint8(0), uint8(7), int64(3))  // wrap-around parity pair
+	f.Add(uint8(5), uint16(13), uint8(2), uint8(3), int64(4))  // data + parity mix
+	f.Add(uint8(6), uint16(31), uint8(5), uint8(5), int64(5))  // same pick → single loss
+	f.Fuzz(func(t *testing.T, nRaw uint8, wordsRaw uint16, lostARaw, lostBRaw uint8, seed int64) {
+		n := 3 + int(nRaw)%6      // group size 3..8
+		words := 1 + int(wordsRaw)%96
+		lost := []int{int(lostARaw) % n}
+		if b := int(lostBRaw) % n; b != lost[0] {
+			lost = append(lost, b)
+		}
+		run(t, n, func(comm *simmpi.Comm) error {
+			g, err := NewRSGroup(comm)
+			if err != nil {
+				return err
+			}
+			data := fillData(comm.Rank(), words, seed)
+			orig := append([]float64{}, data...)
+			ck := make([]float64, g.ChecksumWords(words))
+			if err := g.Encode(ck, data); err != nil {
+				return err
+			}
+			origCk := append([]float64{}, ck...)
+			for _, l := range lost {
+				if comm.Rank() == l {
+					for i := range data {
+						data[i] = math.NaN()
+					}
+					for i := range ck {
+						ck[i] = math.Inf(1)
+					}
+				}
+			}
+			if err := g.Rebuild(lost, ck, data); err != nil {
+				return err
+			}
+			for i := range data {
+				if math.Float64bits(data[i]) != math.Float64bits(orig[i]) {
+					t.Errorf("n=%d words=%d lost=%v rank=%d: data[%d] = %g, want %g",
+						n, words, lost, comm.Rank(), i, data[i], orig[i])
+					break
+				}
+			}
+			for i := range ck {
+				if math.Float64bits(ck[i]) != math.Float64bits(origCk[i]) {
+					t.Errorf("n=%d words=%d lost=%v rank=%d: checksum[%d] not restored",
+						n, words, lost, comm.Rank(), i)
+					break
+				}
+			}
+			return nil
+		})
+	})
+}

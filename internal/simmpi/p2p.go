@@ -86,18 +86,40 @@ func (c *Comm) Send(dst int, buf []float64) error {
 		senderBW:  c.rank.bw,
 		ack:       make(chan float64, 1),
 	}
+	gone := c.rank.world.gone(c.core.members[dst])
+	if err := post(c.core.inbox[dst], m, gone); err != nil {
+		return err
+	}
+	var arrival float64
 	select {
-	case c.core.inbox[dst] <- m:
-	case <-c.rank.world.abort:
-		return ErrAborted
+	case arrival = <-m.ack:
+	case <-gone:
+		// dst may have copied the data and acknowledged just before it
+		// exited; a completed transfer must not be reported as aborted.
+		select {
+		case arrival = <-m.ack:
+		default:
+			return ErrAborted
+		}
+	}
+	c.rank.stats.MsgsSent++
+	c.rank.stats.BytesSent += int64(8 * len(buf))
+	c.rank.setClock(arrival)
+	return nil
+}
+
+// post delivers m to inbox, preferring delivery over the peer-gone signal
+// so the outcome never depends on select tie-breaking.
+func post(inbox chan<- *message, m *message, gone <-chan struct{}) error {
+	select {
+	case inbox <- m:
+		return nil
+	default:
 	}
 	select {
-	case arrival := <-m.ack:
-		c.rank.stats.MsgsSent++
-		c.rank.stats.BytesSent += int64(8 * len(buf))
-		c.rank.setClock(arrival)
+	case inbox <- m:
 		return nil
-	case <-c.rank.world.abort:
+	case <-gone:
 		return ErrAborted
 	}
 }
@@ -170,10 +192,8 @@ func (c *Comm) ISend(dst int, buf []float64) error {
 		senderBW:  c.rank.bw,
 		eager:     true,
 	}
-	select {
-	case c.core.inbox[dst] <- m:
-	case <-c.rank.world.abort:
-		return ErrAborted
+	if err := post(c.core.inbox[dst], m, c.rank.world.gone(c.core.members[dst])); err != nil {
+		return err
 	}
 	c.rank.stats.MsgsSent++
 	c.rank.stats.BytesSent += int64(8 * len(buf))
@@ -188,6 +208,7 @@ func (c *Comm) match(src int) (*message, error) {
 			return m, nil
 		}
 	}
+	gone := c.rank.world.gone(c.core.members[src])
 	for {
 		select {
 		case m := <-c.core.inbox[c.myIdx]:
@@ -195,8 +216,21 @@ func (c *Comm) match(src int) (*message, error) {
 				return m, nil
 			}
 			c.pending = append(c.pending, m)
-		case <-c.rank.world.abort:
-			return nil, ErrAborted
+		case <-gone:
+			// src has exited, but it may have delivered the message first
+			// (an inbox send happens-before the exit): drain what is
+			// already there before giving up.
+			for {
+				select {
+				case m := <-c.core.inbox[c.myIdx]:
+					if m.src == src {
+						return m, nil
+					}
+					c.pending = append(c.pending, m)
+				default:
+					return nil, ErrAborted
+				}
+			}
 		}
 	}
 }
@@ -227,18 +261,22 @@ func (c *Comm) SendRecv(dst int, sbuf []float64, src int, rbuf []float64) error 
 		err     error
 	}
 	done := make(chan sendDone, 1)
+	gone := c.rank.world.gone(c.core.members[dst])
 	go func() {
-		select {
-		case c.core.inbox[dst] <- m:
-		case <-c.rank.world.abort:
-			done <- sendDone{err: ErrAborted}
+		if err := post(c.core.inbox[dst], m, gone); err != nil {
+			done <- sendDone{err: err}
 			return
 		}
 		select {
 		case arr := <-m.ack:
 			done <- sendDone{arrival: arr}
-		case <-c.rank.world.abort:
-			done <- sendDone{err: ErrAborted}
+		case <-gone:
+			select {
+			case arr := <-m.ack:
+				done <- sendDone{arrival: arr}
+			default:
+				done <- sendDone{err: ErrAborted}
+			}
 		}
 	}()
 	rerr := c.Recv(src, rbuf)

@@ -6,15 +6,21 @@
 // so their modelled cost emerges from the same primitives.
 //
 // Failure semantics follow the stock MPI behaviour the paper depends on:
-// when any rank dies or errors, the whole job aborts — every blocked call
-// returns ErrAborted and the job must be restarted from outside. Failure
-// injection is driven either by a virtual-time deadline per rank or by
-// named failpoints that protocol code announces with Rank.Failpoint.
+// when any rank dies or errors, the whole job aborts and must be
+// restarted from outside. The unwind is deterministic: a blocked call
+// returns ErrAborted exactly when the specific peer it is waiting on has
+// exited (died, errored, or finished), so failures propagate along the
+// communication dependency graph rather than racing a global latch. Two
+// identical runs with the same failure schedule therefore abort with every
+// rank stopped at the same point. Failure injection is driven either by a
+// virtual-time deadline per rank or by named failpoints that protocol code
+// announces with Rank.Failpoint.
 package simmpi
 
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 )
 
@@ -113,6 +119,13 @@ type World struct {
 	abort chan struct{}
 	once  sync.Once
 
+	// gones[r] is closed when global rank r's goroutine has exited —
+	// cleanly, with an error, or killed. Blocked point-to-point calls
+	// watch the channel of the one peer they depend on, which makes the
+	// abort cascade follow the communication dependency graph
+	// deterministically.
+	gones []chan struct{}
+
 	mu    sync.Mutex
 	cores map[string]*commCore
 
@@ -130,12 +143,20 @@ func NewWorld(cfg Config) (*World, error) {
 			return nil, fmt.Errorf("simmpi: %s must have length 1 or %d, got %d", name, cfg.Ranks, len(s))
 		}
 	}
+	gones := make([]chan struct{}, cfg.Ranks)
+	for i := range gones {
+		gones[i] = make(chan struct{})
+	}
 	return &World{
 		cfg:   cfg,
 		abort: make(chan struct{}),
+		gones: gones,
 		cores: make(map[string]*commCore),
 	}, nil
 }
+
+// gone returns the channel closed once the given global rank has exited.
+func (w *World) gone(rank int) <-chan struct{} { return w.gones[rank] }
 
 // Abort latches the job into the aborted state, releasing every blocked
 // communication call with ErrAborted.
@@ -191,6 +212,9 @@ func (w *World) Run(fn func(c *Comm) error) *Result {
 	for i := 0; i < n; i++ {
 		go func(rank int) {
 			defer wg.Done()
+			// Runs after the stats/recover defer below (LIFO), so peers
+			// observe the exit only once the kill has been recorded.
+			defer close(w.gones[rank])
 			r := &Rank{
 				world:  w,
 				id:     rank,
@@ -228,6 +252,7 @@ func (w *World) Run(fn func(c *Comm) error) *Result {
 	wg.Wait()
 
 	res.Killed = append(res.Killed, w.killed...)
+	sort.Ints(res.Killed) // goroutine scheduling must not leak into results
 	res.Aborted = w.Aborted()
 	for _, t := range times {
 		if t > res.MaxTime {

@@ -12,6 +12,7 @@ package skthpl
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"selfckpt/internal/checkpoint"
 	"selfckpt/internal/cluster"
@@ -77,9 +78,35 @@ const (
 	MetricCkptTotalSec  = "checkpoint_total" // accumulated checkpoint time
 	MetricRecoverSec    = "recover_sec"
 	MetricRestored      = "restored"
+	MetricRestoredEpoch = "restored_epoch" // committed epoch the restore landed on
 	MetricAvailFrac     = "available_frac"
 	MetricCkptBytes     = "checkpoint_bytes" // per-process checkpoint size
+	// MetricSolutionHash is an FNV-1a hash of the solution vector, masked
+	// to 52 bits so the value is float64-exact through the metric sink.
+	// Two runs solving the same system report equal hashes iff their
+	// solutions are bit-identical — the crash matrix compares a failed
+	// run's hash against an unfailed golden run's.
+	MetricSolutionHash = "solution_hash"
 )
+
+// SolutionHash is the FNV-1a hash of a float64 vector's bit patterns,
+// masked to 52 bits (exactly representable as a float64 metric).
+func SolutionHash(x []float64) float64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range x {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			h ^= bits & 0xff
+			h *= prime64
+			bits >>= 8
+		}
+	}
+	return float64(h & ((1 << 52) - 1))
+}
 
 // Rank is the per-rank body of an SKT-HPL job; run it under
 // cluster.Machine.Launch or cluster.Daemon.Run.
@@ -181,7 +208,7 @@ func Rank(env *cluster.Env, cfg Config) error {
 		// Initialization with restore (Fig 9's left path): the data and
 		// the (k, piv) metadata come from the checkpoint.
 		t0 := env.Now()
-		meta, _, err := prot.Restore()
+		meta, epoch, err := prot.Restore()
 		if err != nil {
 			return err
 		}
@@ -190,6 +217,7 @@ func Rank(env *cluster.Env, cfg Config) error {
 		}
 		recoverSec = env.Now() - t0
 		env.Metric(MetricRecoverSec, recoverSec)
+		env.Metric(MetricRestoredEpoch, float64(epoch))
 		restored = true
 	} else {
 		m.Generate(cfg.Seed)
@@ -230,6 +258,10 @@ func Rank(env *cluster.Env, cfg Config) error {
 	if err := env.Allreduce(elapsed, out, simmpi.OpMax); err != nil {
 		return err
 	}
+
+	// x is replicated on every rank, so all ranks report the same hash
+	// and the metric sink's max-across-ranks keeps exactly that value.
+	env.Metric(MetricSolutionHash, SolutionHash(x))
 
 	vr, err := hpl.Verify(grid, cfg.N, cfg.NB, cfg.Seed, x)
 	if err != nil {
