@@ -1,16 +1,19 @@
-// Command sktchaos explores the crash-schedule matrix and prints a
-// per-protocol survival table: which failpoint × victim-role cells
-// recover, which legally start fresh, and which violate their protocol's
+// Command sktchaos explores the crash-schedule and silent-data-corruption
+// matrices and prints per-protocol survival tables: which failpoint ×
+// victim-role cells recover, which corruption cells are scrubbed or
+// survived, which legally start fresh, and which violate their protocol's
 // paper-stated guarantee.
 //
 // Usage:
 //
-//	sktchaos                 # sampled sweep (default 24 cells)
+//	sktchaos                 # sampled sweep (crash + SDC cells)
 //	sktchaos -full           # every cell, plus second-failure and HPL cells
+//	sktchaos -sdc            # SDC cells only
 //	sktchaos -sample 40      # sample size
 //	sktchaos -seed 7         # reproduce a logged sample
 //	sktchaos -protocol self  # restrict to one protocol
-//	sktchaos -run <id>       # replay one schedule by its logged ID
+//	sktchaos -run <id>       # replay one cell by its logged ID
+//	sktchaos -list           # print every cell ID without running any
 //
 // Exit status is 1 when any cell violates its guarantee.
 package main
@@ -28,26 +31,46 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "run every cell of the matrix (plus second-failure and HPL cells)")
+	sdcOnly := flag.Bool("sdc", false, "run only silent-data-corruption cells")
 	sample := flag.Int("sample", 24, "number of sampled cells when not running -full")
 	seed := flag.Int64("seed", 0, "sampling seed (0 = derive from time; always printed)")
 	protocol := flag.String("protocol", "", "restrict to one protocol (single, double, self, multilevel)")
-	runID := flag.String("run", "", "replay a single schedule by ID and report its verdict")
+	runID := flag.String("run", "", "replay a single cell by ID and report its verdict")
+	list := flag.Bool("list", false, "print every cell ID in the matrices and exit")
 	flag.Parse()
 
+	if *list {
+		listIDs(*protocol)
+		return
+	}
 	if *runID != "" {
 		os.Exit(replay(*runID))
 	}
 
-	schedules := crashmat.FullMatrix()
-	if *full {
-		schedules = append(schedules, crashmat.SecondFailureMatrix()...)
-		schedules = append(schedules, crashmat.HPLMatrix()...)
-	} else {
+	var schedules []crashmat.Schedule
+	sdc := crashmat.SDCMatrix()
+	if !*sdcOnly {
+		schedules = crashmat.FullMatrix()
+	}
+	switch {
+	case *full:
+		if !*sdcOnly {
+			schedules = append(schedules, crashmat.SecondFailureMatrix()...)
+			schedules = append(schedules, crashmat.HPLMatrix()...)
+		}
+	default:
 		if *seed == 0 {
 			*seed = time.Now().UnixNano()
 		}
 		fmt.Printf("sampling %d cells with seed %d (replay with -seed %d)\n", *sample, *seed, *seed)
-		schedules = crashmat.Sample(schedules, *sample, *seed)
+		if *sdcOnly {
+			sdc = crashmat.SampleSDC(sdc, *sample, *seed)
+		} else {
+			schedules = crashmat.Sample(schedules, *sample, *seed)
+			// Ride a proportional slice of SDC cells along with the
+			// default crash sweep.
+			sdc = crashmat.SampleSDC(sdc, (*sample+2)/3, *seed)
+		}
 	}
 	if *protocol != "" {
 		if _, ok := checkpoint.ProtocolByName(*protocol); !ok {
@@ -61,14 +84,37 @@ func main() {
 			}
 		}
 		schedules = kept
+		var keptSDC []crashmat.SDCSchedule
+		for _, s := range sdc {
+			if s.Protocol == *protocol {
+				keptSDC = append(keptSDC, s)
+			}
+		}
+		sdc = keptSDC
 	}
 
 	violations := sweep(schedules)
+	violations += sweepSDC(sdc)
 	if violations > 0 {
 		fmt.Printf("\n%d guarantee violation(s)\n", violations)
 		os.Exit(1)
 	}
 	fmt.Println("\nall cells satisfy their protocol guarantees")
+}
+
+// listIDs enumerates every cell of every matrix without running any, so a
+// CI job or a human can pick a cell to replay with -run.
+func listIDs(protocol string) {
+	for _, s := range append(append(crashmat.FullMatrix(), crashmat.SecondFailureMatrix()...), crashmat.HPLMatrix()...) {
+		if protocol == "" || s.Protocol == protocol {
+			fmt.Println(s.ID())
+		}
+	}
+	for _, s := range crashmat.SDCMatrix() {
+		if protocol == "" || s.Protocol == protocol {
+			fmt.Println(s.ID())
+		}
+	}
 }
 
 // cell is one survival-matrix entry, aggregated over every schedule that
@@ -124,6 +170,58 @@ func sweep(schedules []crashmat.Schedule) int {
 	return violations
 }
 
+// sweepSDC runs the silent-corruption cells and prints a per-protocol
+// table: rows are corruption targets, columns the two probe modes
+// (scheduled scrub vs corruption followed by a node kill).
+func sweepSDC(schedules []crashmat.SDCSchedule) int {
+	if len(schedules) == 0 {
+		return 0
+	}
+	// tables[protocol][target][kill]
+	tables := map[string]map[string]map[bool]*cell{}
+	violations := 0
+	for _, s := range schedules {
+		o, err := crashmat.RunSDC(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sktchaos: %s: %v\n", s.ID(), err)
+			violations++
+			continue
+		}
+		bad := crashmat.CheckSDC(s, o)
+		tt := tables[s.Protocol]
+		if tt == nil {
+			tt = map[string]map[bool]*cell{}
+			tables[s.Protocol] = tt
+		}
+		kt := tt[s.Target]
+		if kt == nil {
+			kt = map[bool]*cell{}
+			tt[s.Target] = kt
+		}
+		c := kt[s.Kill]
+		if c == nil {
+			c = &cell{}
+			kt[s.Kill] = c
+		}
+		c.ran++
+		if len(bad) > 0 {
+			c.violated++
+			c.verdict = "FAIL"
+			violations += len(bad)
+			fmt.Printf("FAIL %s\n", s.ID())
+			for _, v := range bad {
+				fmt.Printf("     %s\n", v)
+			}
+			continue
+		}
+		if c.verdict != "FAIL" {
+			c.verdict = outcomeSDC(o)
+		}
+	}
+	printSDCTables(tables)
+	return violations
+}
+
 // outcome renders a passing cell: the epoch recovery landed on, "fresh"
 // for a legal fresh start, or "-" when the failpoint never fired.
 func outcome(s crashmat.Schedule, o *crashmat.Observation) string {
@@ -135,6 +233,23 @@ func outcome(s crashmat.Schedule, o *crashmat.Observation) string {
 		return fmt.Sprintf("e%d", o.RestoreIter)
 	default:
 		return "fresh"
+	}
+}
+
+// outcomeSDC renders a passing SDC cell: "repaired" when the scrub fixed
+// the corruption in place, "clean" when the corruption was benign (a
+// workspace overwritten by the next iteration), the epoch a kill cell
+// recovered to, or "fresh" for a legal refusal of the poisoned state.
+func outcomeSDC(o *crashmat.SDCObservation) string {
+	switch {
+	case o.Repaired > 0:
+		return "repaired"
+	case o.Restored:
+		return fmt.Sprintf("e%d", o.RestoreIter)
+	case o.Attempts > 1:
+		return "fresh"
+	default:
+		return "clean"
 	}
 }
 
@@ -170,7 +285,38 @@ func printTables(tables map[string]map[string]map[crashmat.Role]*cell) {
 	}
 }
 
+func printSDCTables(tables map[string]map[string]map[bool]*cell) {
+	var protocols []string
+	for p := range tables {
+		protocols = append(protocols, p)
+	}
+	sort.Strings(protocols)
+	for _, p := range protocols {
+		fmt.Printf("\n%s SDC  (rows: corruption target; eN = recovered epoch N)\n", p)
+		fmt.Printf("  %-12s%12s%12s\n", "", "scrub", "after-kill")
+		var targets []string
+		for t := range tables[p] {
+			targets = append(targets, t)
+		}
+		sort.Strings(targets)
+		for _, t := range targets {
+			fmt.Printf("  %-12s", t)
+			for _, kill := range []bool{false, true} {
+				v := "·"
+				if c := tables[p][t][kill]; c != nil {
+					v = c.verdict
+				}
+				fmt.Printf("%12s", v)
+			}
+			fmt.Println()
+		}
+	}
+}
+
 func replay(id string) int {
+	if crashmat.IsSDCID(id) {
+		return replaySDC(id)
+	}
 	s, err := crashmat.ParseID(id)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sktchaos:", err)
@@ -187,6 +333,36 @@ func replay(id string) int {
 	fmt.Printf("observed   attempts=%d restored=%v epoch=%d bit-exact=%v\n",
 		o.Attempts, o.Restored, o.RestoreIter, o.BitExact)
 	if bad := crashmat.Check(s, o); len(bad) > 0 {
+		for _, v := range bad {
+			fmt.Println("VIOLATION:", v)
+		}
+		return 1
+	}
+	fmt.Println("cell passes")
+	return 0
+}
+
+func replaySDC(id string) int {
+	s, err := crashmat.ParseSDCID(id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sktchaos:", err)
+		return 2
+	}
+	o, err := crashmat.RunSDC(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sktchaos:", err)
+		return 2
+	}
+	exp, _ := crashmat.PredictSDC(s)
+	fmt.Printf("schedule   %s\n", s.ID())
+	fmt.Printf("predicted  attempts=%d detected=%d repaired=%d restored=%v epoch=%d\n",
+		exp.Attempts, exp.Detected, exp.Repaired, exp.Restored, exp.RestoreIter)
+	fmt.Printf("observed   attempts=%d detected=%d repaired=%d unrepairable=%d restored=%v epoch=%d bit-exact=%v\n",
+		o.Attempts, o.Detected, o.Repaired, o.Unrepairable, o.Restored, o.RestoreIter, o.BitExact)
+	for _, f := range o.Flips {
+		fmt.Printf("flip       %s\n", f.String())
+	}
+	if bad := crashmat.CheckSDC(s, o); len(bad) > 0 {
 		for _, v := range bad {
 			fmt.Println("VIOLATION:", v)
 		}

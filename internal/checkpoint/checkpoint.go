@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"selfckpt/internal/encoding"
 	"selfckpt/internal/shm"
@@ -163,7 +164,15 @@ const (
 	hUpdating
 	hBufEpoch0
 	hBufEpoch1
-	headerWords = 8
+	// hFpr0..hFpr3 hold per-segment integrity fingerprints, written in
+	// the same commit step as the segment they cover. The mapping is
+	// protocol-specific: Self uses (B, C, D, B2); Double uses
+	// (B0, C0, B1, C1); Single uses (B, C).
+	hFpr0
+	hFpr1
+	hFpr2
+	hFpr3
+	headerWords = 12
 )
 
 func (h header) get(i int) uint64    { return wordpack.GetUint64(h.seg.Data[i]) }
@@ -307,6 +316,101 @@ func surveyDouble(opts *Options, st status) (surveyResult, error) {
 	res.recoverable = true
 	res.target = uint64(m.minX)
 	return res, nil
+}
+
+// fpr computes a 52-bit FNV-1a fingerprint over the bit patterns of a
+// word slice. 52 bits so the value round-trips exactly through a header
+// word (float64 mantissa, like the metric sink); FNV because corruption
+// detection needs sensitivity to every bit, not cryptographic strength.
+// Localization is the fingerprint's whole job: a single-parity checksum
+// can detect a mismatch but the mismatch surfaces on the checksum-holder
+// rank, not the corrupted one — per-rank fingerprints pin the blame so
+// the coder's Rebuild can treat the corrupted rank as an erasure.
+func fpr(words []float64) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, v := range words {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			h ^= bits & 0xff
+			h *= prime64
+			bits >>= 8
+		}
+	}
+	return h & (1<<52 - 1)
+}
+
+// integritySurvey allgathers per-rank integrity verdicts over the group:
+// each rank reports whether its checkpoint data slice and its checksum
+// slot match their recorded fingerprints. Ranks already known to be lost
+// report clean — they are erasures either way and must not double-count.
+// Returns the group ranks whose data (badData) or checksum (badCks)
+// failed the check. Collective over the group.
+func integritySurvey(g encoding.Coder, amKnownLost, dataOK, cksOK bool) (badData, badCks []int, err error) {
+	comm := g.Comm()
+	flags := []float64{1, 1}
+	if !amKnownLost {
+		if !dataOK {
+			flags[0] = 0
+		}
+		if !cksOK {
+			flags[1] = 0
+		}
+	}
+	all := make([]float64, 2*comm.Size())
+	if err := comm.Allgather(flags, all); err != nil {
+		return nil, nil, err
+	}
+	for r := 0; r < comm.Size(); r++ {
+		if all[2*r] == 0 {
+			badData = append(badData, r)
+		}
+		if all[2*r+1] == 0 {
+			badCks = append(badCks, r)
+		}
+	}
+	return badData, badCks, nil
+}
+
+// worldAny reduces a per-rank flag across the world communicator: true on
+// every rank iff true on any. Restore verdicts must be world-consistent —
+// if one group refuses an epoch, every group must refuse it, otherwise
+// half the job restores while the other half starts fresh.
+func worldAny(o *Options, v bool) (bool, error) {
+	in := []float64{0}
+	if v {
+		in[0] = 1
+	}
+	out := make([]float64, 1)
+	if err := o.worldComm().Allreduce(in, out, simmpi.OpMax); err != nil {
+		return false, err
+	}
+	return out[0] > 0, nil
+}
+
+// unionRanks merges rank sets into a sorted duplicate-free slice.
+func unionRanks(sets ...[]int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, s := range sets {
+		for _, r := range s {
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func containsRank(set []int, r int) bool {
+	for _, v := range set {
+		if v == r {
+			return true
+		}
+	}
+	return false
 }
 
 // surveySingle decides for the single-checkpoint protocol: recovery is

@@ -894,9 +894,11 @@ func TestFreshStartResetsEpochNumbering(t *testing.T) {
 	h.runToCompletion(kills, iterApp("self", 4, 100, 6), 4)
 }
 
-// TestScrubDetectsSilentCorruption: a clean checkpoint scrubs true; a
-// flipped bit in any rank's checkpoint buffer is caught by the group.
-func TestScrubDetectsSilentCorruption(t *testing.T) {
+// TestScrubDetectsAndRepairsSilentCorruption: a clean checkpoint scrubs
+// clean; a flipped bit in any rank's checkpoint buffer is caught by the
+// group, localized to the corrupted rank, and rebuilt bit-exactly from
+// the checksum; a follow-up scrub finds nothing.
+func TestScrubDetectsAndRepairsSilentCorruption(t *testing.T) {
 	for _, strategy := range []string{"self", "double", "single", "self-rs"} {
 		t.Run(strategy, func(t *testing.T) {
 			h := newHarness(t, 4, 4)
@@ -914,49 +916,51 @@ func TestScrubDetectsSilentCorruption(t *testing.T) {
 					return err
 				}
 				sc := p.(Scrubber)
-				ok, err := sc.Scrub()
+				res, err := sc.Scrub()
 				if err != nil {
 					return err
 				}
-				anyBad := func(ok bool) (bool, error) {
-					v := 0.0
-					if !ok {
-						v = 1
-					}
-					out := []float64{0}
-					if err := rc.comm.Allreduce([]float64{v}, out, simmpi.OpSum); err != nil {
-						return false, err
-					}
-					return out[0] > 0, nil
+				if !res.Clean() {
+					return fmt.Errorf("fresh checkpoint failed scrubbing: %+v", res)
 				}
-				bad, err := anyBad(ok)
-				if err != nil {
-					return err
-				}
-				if bad {
-					return errors.New("fresh checkpoint failed scrubbing")
-				}
-				// Flip a bit in rank 2's checkpoint buffer (cosmic ray).
-				if rc.comm.Rank() == 2 {
+				// Flip a bit in rank 2's checkpoint buffer (cosmic ray)
+				// and keep the original for the bit-exactness check.
+				buf := func() *shm.Segment {
 					switch v := p.(type) {
 					case *Self:
-						v.b.Data[7] += 1
+						return v.b
 					case *Double:
-						v.bufs[int(v.latest()%2)].Data[7] += 1
+						return v.bufs[int(v.latest()%2)]
 					case *Single:
-						v.b.Data[7] += 1
+						return v.b
+					}
+					return nil
+				}()
+				golden := append([]float64{}, buf.Data...)
+				if rc.comm.Rank() == 2 {
+					buf.Data[7] += 1
+				}
+				res, err = sc.Scrub()
+				if err != nil {
+					return err
+				}
+				if res.Detected != 1 {
+					return fmt.Errorf("scrub detected %d corrupted ranks, want 1", res.Detected)
+				}
+				if res.Repaired != 1 {
+					return fmt.Errorf("scrub repaired %d of %d corrupted ranks", res.Repaired, res.Detected)
+				}
+				for i := range buf.Data {
+					if math.Float64bits(buf.Data[i]) != math.Float64bits(golden[i]) {
+						return fmt.Errorf("repair not bit-exact: buffer word %d", i)
 					}
 				}
-				ok, err = sc.Scrub()
+				res, err = sc.Scrub()
 				if err != nil {
 					return err
 				}
-				bad, err = anyBad(ok)
-				if err != nil {
-					return err
-				}
-				if !bad {
-					return errors.New("scrub missed the corruption")
+				if !res.Clean() {
+					return fmt.Errorf("post-repair scrub still dirty: %+v", res)
 				}
 				return nil
 			})
@@ -968,7 +972,7 @@ func TestScrubDetectsSilentCorruption(t *testing.T) {
 }
 
 func TestScrubBeforeOpenFails(t *testing.T) {
-	for _, p := range []Scrubber{&Self{}, &Double{}, &Single{}} {
+	for _, p := range []Scrubber{&Self{}, &Double{}, &Single{}, &MultiLevel{}} {
 		if _, err := p.Scrub(); err == nil {
 			t.Fatalf("%T: Scrub before Open should fail", p)
 		}

@@ -127,6 +127,7 @@ func (d *Double) Checkpoint(meta []byte) error {
 	d.hdr.set(hBufEpoch0+i, 0) // the buffer is now in flux
 	copy(d.bufs[i].Data[:d.words], d.a)
 	wordpack.PackInto(d.bufs[i].Data[d.words:], meta)
+	d.hdr.set(hFpr0+2*i, fpr(d.bufs[i].Data))
 	rank.MemCopy(float64(8*d.words + len(meta)))
 	rank.Failpoint(FPMidFlush) // buffer written, checksum not yet
 
@@ -135,6 +136,7 @@ func (d *Double) Checkpoint(meta []byte) error {
 		return err
 	}
 	d.hdr.commitMagic()
+	d.hdr.set(hFpr0+2*i+1, fpr(d.cks[i].Data))
 	d.hdr.set(hBufEpoch0+i, e)
 	rank.Failpoint(FPAfterEncode)
 	rank.Failpoint(FPAfterFlush) // epoch e committed; the window is closed
@@ -143,8 +145,20 @@ func (d *Double) Checkpoint(meta []byte) error {
 	return world.Barrier()
 }
 
+// abandon records a world-consistent unrecoverable verdict (see
+// Self.abandon).
+func (d *Double) abandon() {
+	d.hdr.set(hMagic, 0)
+	d.hdr.set(hBufEpoch0, 0)
+	d.hdr.set(hBufEpoch1, 0)
+	d.sr.recoverable = false
+}
+
 // Restore implements Protector: reload the workspace from the newest
-// world-consistent buffer, rebuilding the lost rank's copy from its group.
+// buffer pair that passes integrity verification, rebuilding lost and
+// corrupted ranks' copies from the group. The double protocol's whole
+// selling point is that the previous pair stays intact throughout, so a
+// corrupted newest epoch falls back one epoch instead of dying.
 func (d *Double) Restore() ([]byte, uint64, error) {
 	if d.sr == nil {
 		return nil, 0, fmt.Errorf("checkpoint: Restore before Open")
@@ -154,38 +168,57 @@ func (d *Double) Restore() ([]byte, uint64, error) {
 	}
 	rank := d.opts.Group.Comm().World()
 	world := d.opts.worldComm()
-	e := d.tgt
-	i := int(e % 2)
-	amLost := false
-	for _, l := range d.sr.lost {
-		if l == d.opts.Group.Comm().Rank() {
-			amLost = true
+	amLost := containsRank(d.sr.lost, d.opts.Group.Comm().Rank())
+
+	for _, e := range []uint64{d.tgt, d.tgt - 1} {
+		if e < 1 {
+			continue
 		}
-	}
-	if !amLost && d.bufEpoch(i) != e {
-		// A survivor no longer holding the agreed epoch means the skew
-		// invariant was violated; refuse rather than mix epochs.
-		return nil, 0, fmt.Errorf("%w: survivor holds epochs (%d,%d), world agreed on %d",
-			ErrUnrecoverable, d.bufEpoch(0), d.bufEpoch(1), e)
-	}
-	if len(d.sr.lost) > 0 {
-		if err := d.opts.Group.Rebuild(d.sr.lost, d.cks[i].Data, d.bufs[i].Data); err != nil {
+		i := int(e % 2)
+		// A survivor that no longer holds epoch e in the expected buffer
+		// (epoch skew, or a flush left it in flux) counts as an erasure
+		// for this candidate, exactly like a corrupted one.
+		holds := amLost || d.bufEpoch(i) == e
+		bOK := holds && fpr(d.bufs[i].Data) == d.hdr.get(hFpr0+2*i)
+		cOK := holds && fpr(d.cks[i].Data) == d.hdr.get(hFpr0+2*i+1)
+		badB, badC, err := integritySurvey(d.opts.Group, amLost, bOK, cOK)
+		if err != nil {
 			return nil, 0, err
 		}
+		lost := unionRanks(d.sr.lost, badB, badC)
+		// The world restores one epoch or none: a group that cannot
+		// serve this candidate vetoes it for everyone.
+		if veto, err := worldAny(&d.opts, len(lost) > d.opts.Group.Tolerance()); err != nil {
+			return nil, 0, err
+		} else if veto {
+			continue
+		}
+		// Both segments of the pair are covered by the fingerprint
+		// survey, so rebuilding the erasure set is sufficient — no full
+		// re-encode.
+		if len(lost) > 0 {
+			if err := d.opts.Group.Rebuild(lost, d.cks[i].Data, d.bufs[i].Data); err != nil {
+				return nil, 0, err
+			}
+		}
+		copy(d.a, d.bufs[i].Data[:d.words])
+		rank.MemCopy(float64(8 * d.words))
+		meta, err := wordpack.Unpack(d.bufs[i].Data[d.words:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("checkpoint: corrupt metadata after restore: %w", err)
+		}
+		d.hdr.commitMagic()
+		d.hdr.set(hBufEpoch0+i, e)
+		d.hdr.set(hBufEpoch0+(1-i), 0)
+		d.hdr.set(hFpr0+2*i, fpr(d.bufs[i].Data))
+		d.hdr.set(hFpr0+2*i+1, fpr(d.cks[i].Data))
+		if err := world.Barrier(); err != nil {
+			return nil, 0, err
+		}
+		return meta, e, nil
 	}
-	copy(d.a, d.bufs[i].Data[:d.words])
-	rank.MemCopy(float64(8 * d.words))
-	meta, err := wordpack.Unpack(d.bufs[i].Data[d.words:])
-	if err != nil {
-		return nil, 0, fmt.Errorf("checkpoint: corrupt metadata after restore: %w", err)
-	}
-	d.hdr.commitMagic()
-	d.hdr.set(hBufEpoch0+i, e)
-	d.hdr.set(hBufEpoch0+(1-i), 0)
-	if err := world.Barrier(); err != nil {
-		return nil, 0, err
-	}
-	return meta, e, nil
+	d.abandon()
+	return nil, 0, fmt.Errorf("%w: no buffered epoch passed integrity verification", ErrUnrecoverable)
 }
 
 // Usage implements Protector.

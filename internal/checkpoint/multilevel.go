@@ -1,6 +1,7 @@
 package checkpoint
 
 import (
+	"errors"
 	"fmt"
 
 	"selfckpt/internal/simmpi"
@@ -78,15 +79,22 @@ func NewMultiLevel(opts MLOptions) (*MultiLevel, error) {
 // Name implements Protector.
 func (m *MultiLevel) Name() string { return "multilevel(" + m.opts.L1.Name() + ")" }
 
-// image layout: [epoch, metaWords..., data...].
+// image layout: [epoch, fingerprint, metaWords..., data...]. The
+// fingerprint covers everything after it, so a corrupted or torn level-2
+// image is recognized on read instead of being restored.
 func (m *MultiLevel) key(slot uint64) string { return fmt.Sprintf("%s/%d", m.opts.Key, slot%2) }
 
-// l2Latest returns the newest complete epoch in this rank's level-2
-// slots.
+// imgValid reports whether a level-2 image is complete and uncorrupted.
+func imgValid(img []float64) bool {
+	return len(img) >= 2 && wordpack.GetUint64(img[1]) == fpr(img[2:])
+}
+
+// l2Latest returns the newest complete, fingerprint-valid epoch in this
+// rank's level-2 slots.
 func (m *MultiLevel) l2Latest() uint64 {
 	latest := uint64(0)
 	for slot := uint64(0); slot < 2; slot++ {
-		if img := m.opts.Store.Read(m.key(slot)); img != nil {
+		if img := m.opts.Store.Read(m.key(slot)); img != nil && imgValid(img) {
 			if e := wordpack.GetUint64(img[0]); e > latest && e%2 == slot {
 				latest = e
 			}
@@ -129,10 +137,11 @@ func (m *MultiLevel) Checkpoint(meta []byte) error {
 		return nil
 	}
 	e := m.l2epoch + 1
-	img := make([]float64, 1+wordpack.WordsNeeded(len(meta))+m.words)
+	img := make([]float64, 2+wordpack.WordsNeeded(len(meta))+m.words)
 	img[0] = wordpack.PutUint64(e)
-	n := wordpack.PackInto(img[1:], meta)
-	copy(img[1+n:], m.data)
+	n := wordpack.PackInto(img[2:], meta)
+	copy(img[2+n:], m.data)
+	img[1] = wordpack.PutUint64(fpr(img[2:]))
 	m.opts.Store.Write(m.key(e), img)
 	m.opts.Comm.World().Sleep(float64(8*len(img)) / m.opts.L2BytesPerSec)
 	if err := m.opts.Comm.Barrier(); err != nil {
@@ -148,7 +157,11 @@ func (m *MultiLevel) Restore() ([]byte, uint64, error) {
 	if err == nil {
 		return meta, epoch, nil
 	}
-	if err != ErrUnrecoverable {
+	// A wrapped unrecoverable verdict (for example level 1 refusing a
+	// corrupted epoch during verify-before-restore) must also fall
+	// through to level 2 — that fallback is the slower level the
+	// corruption defense promises.
+	if !errors.Is(err, ErrUnrecoverable) {
 		return nil, 0, err
 	}
 	if m.l2epoch < 1 {
@@ -158,12 +171,15 @@ func (m *MultiLevel) Restore() ([]byte, uint64, error) {
 	if img == nil || wordpack.GetUint64(img[0]) != m.l2epoch {
 		return nil, 0, fmt.Errorf("%w: level-2 image for epoch %d missing", ErrUnrecoverable, m.l2epoch)
 	}
+	if !imgValid(img) {
+		return nil, 0, fmt.Errorf("%w: level-2 image for epoch %d failed integrity verification", ErrUnrecoverable, m.l2epoch)
+	}
 	m.opts.Comm.World().Sleep(float64(8*len(img)) / m.opts.L2BytesPerSec)
-	meta, err = wordpack.Unpack(img[1:])
+	meta, err = wordpack.Unpack(img[2:])
 	if err != nil {
 		return nil, 0, fmt.Errorf("checkpoint: corrupt level-2 metadata: %w", err)
 	}
-	copy(m.data, img[1+wordpack.WordsNeeded(len(meta)):])
+	copy(m.data, img[2+wordpack.WordsNeeded(len(meta)):])
 	if err := m.opts.Comm.Barrier(); err != nil {
 		return nil, 0, err
 	}

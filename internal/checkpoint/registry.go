@@ -7,6 +7,8 @@ package checkpoint
 // protocol change that silently weakens a guarantee fails the matrix
 // instead of going unnoticed.
 
+import "fmt"
+
 // Aux carries the extra wiring a composed protocol needs beyond Options.
 // Plain protocols ignore it.
 type Aux struct {
@@ -40,6 +42,17 @@ type Protocol struct {
 	// exactly inside its B/C update window, Fig 2's CASE 2.)
 	SurvivesKillAt func(failpoint string) bool
 
+	// ScrubTargets lists the silent-corruption injection targets the SDC
+	// matrix can aim at: "buffer" (a checkpoint buffer), "checksum" (a
+	// group checksum slot), and — for protocols whose application
+	// workspace is SHM-resident — "workspace".
+	ScrubTargets []string
+
+	// TargetSegment resolves an injection target to the SHM segment
+	// suffix holding it once epoch e has committed (the double protocol's
+	// buffers alternate with the epoch parity).
+	TargetSegment func(target string, epoch uint64) (string, bool)
+
 	// New builds an unopened protector.
 	New func(opts Options, aux Aux) (Protector, error)
 }
@@ -61,12 +74,48 @@ var (
 	singleSegments = []string{"/hdr", "/B", "/C"}
 )
 
+// selfTargets covers the protocols whose flushed pair is (B, C) and whose
+// workspace A1 itself lives in SHM.
+func selfTargets(target string, _ uint64) (string, bool) {
+	switch target {
+	case "buffer":
+		return "/B", true
+	case "checksum":
+		return "/C", true
+	case "workspace":
+		return "/A1", true
+	}
+	return "", false
+}
+
+func singleTargets(target string, _ uint64) (string, bool) {
+	switch target {
+	case "buffer":
+		return "/B", true
+	case "checksum":
+		return "/C", true
+	}
+	return "", false
+}
+
+func doubleTargets(target string, epoch uint64) (string, bool) {
+	switch target {
+	case "buffer":
+		return fmt.Sprintf("/B%d", epoch%2), true
+	case "checksum":
+		return fmt.Sprintf("/C%d", epoch%2), true
+	}
+	return "", false
+}
+
 var registry = []Protocol{
 	{
 		Name:           "single",
 		Announces:      []string{FPBegin, FPFlush, FPMidFlush, FPAfterFlush},
 		Segments:       singleSegments,
 		SurvivesKillAt: func(fp string) bool { return fp != FPFlush && fp != FPMidFlush },
+		ScrubTargets:   []string{"buffer", "checksum"},
+		TargetSegment:  singleTargets,
 		New: func(opts Options, _ Aux) (Protector, error) {
 			return NewSingle(opts)
 		},
@@ -76,6 +125,8 @@ var registry = []Protocol{
 		Announces:      []string{FPBegin, FPFlush, FPMidFlush, FPEncode, FPAfterEncode, FPAfterFlush},
 		Segments:       doubleSegments,
 		SurvivesKillAt: survivesAlways,
+		ScrubTargets:   []string{"buffer", "checksum"},
+		TargetSegment:  doubleTargets,
 		New: func(opts Options, _ Aux) (Protector, error) {
 			return NewDouble(opts)
 		},
@@ -85,6 +136,8 @@ var registry = []Protocol{
 		Announces:      []string{FPBegin, FPEncode, FPAfterEncode, FPFlush, FPMidFlush, FPAfterFlush},
 		Segments:       selfSegments,
 		SurvivesKillAt: survivesAlways,
+		ScrubTargets:   []string{"buffer", "checksum", "workspace"},
+		TargetSegment:  selfTargets,
 		New: func(opts Options, _ Aux) (Protector, error) {
 			return NewSelf(opts)
 		},
@@ -94,6 +147,8 @@ var registry = []Protocol{
 		Announces:      []string{FPBegin, FPEncode, FPAfterEncode, FPFlush, FPMidFlush, FPAfterFlush},
 		Segments:       selfSegments, // L1 is the self protocol; L2 lives off-node
 		SurvivesKillAt: survivesAlways,
+		ScrubTargets:   []string{"buffer", "checksum", "workspace"},
+		TargetSegment:  selfTargets, // L1 is the self protocol
 		New: func(opts Options, aux Aux) (Protector, error) {
 			l1, err := NewSelf(opts)
 			if err != nil {

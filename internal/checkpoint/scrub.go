@@ -1,47 +1,185 @@
 package checkpoint
 
-import "fmt"
+import (
+	"fmt"
 
-// Scrubber is implemented by protectors that can verify the integrity of
-// their stored checkpoint against its group checksum — the periodic
+	"selfckpt/internal/shm"
+	"selfckpt/internal/simmpi"
+)
+
+// ScrubResult reports one collective scrub pass over a group, in ranks:
+// how many group members' checkpoint state failed its fingerprint, how
+// many of those were rebuilt bit-exactly, and how many were beyond the
+// coder's tolerance and left as-is.
+type ScrubResult struct {
+	Detected     int // ranks whose checkpoint data or checksum failed verification
+	Repaired     int // of those, ranks rebuilt or re-encoded bit-exactly
+	Unrepairable int // of those, ranks the coder could not reconstruct
+}
+
+// Clean reports whether the pass found nothing wrong.
+func (r ScrubResult) Clean() bool { return r.Detected == 0 }
+
+func (r *ScrubResult) merge(o ScrubResult) {
+	r.Detected += o.Detected
+	r.Repaired += o.Repaired
+	r.Unrepairable += o.Unrepairable
+}
+
+// Scrubber is implemented by protectors that can verify — and repair —
+// their stored checkpoint against its group checksum: the periodic
 // "scrubbing" RAID systems run to catch silent corruption before it is
-// needed for a rebuild. Scrub is collective over the group; it reports
-// whether this rank's slice of the checkpoint is consistent.
+// needed for a rebuild. Scrub is collective over the group and must not
+// run concurrently with Checkpoint or Restore on any rank.
 type Scrubber interface {
-	Scrub() (bool, error)
+	Scrub() (ScrubResult, error)
 }
 
 var (
 	_ Scrubber = (*Self)(nil)
 	_ Scrubber = (*Double)(nil)
 	_ Scrubber = (*Single)(nil)
+	_ Scrubber = (*MultiLevel)(nil)
 )
 
-// Scrub verifies the flushed checkpoint (B against C). It is only
-// meaningful between checkpoints; calling it concurrently with
+// scrubPair is the shared detect-localize-repair pass over one
+// (checksum, buffer) pair whose fingerprints live in header words fb and
+// fc. Localization comes from the fingerprints (a parity mismatch alone
+// surfaces on the checksum holder, not the corrupted rank); repair is the
+// coder's Rebuild with the corrupted ranks treated as erasures. When only
+// checksum slots are bad the data is authoritative and the checksums are
+// re-encoded from it — never the reverse: data is not "repaired" to match
+// a corrupted checksum.
+func (o *Options) scrubPair(hdr header, fb, fc int, cks, buf *shm.Segment) (ScrubResult, error) {
+	var res ScrubResult
+	dataOK := fpr(buf.Data) == hdr.get(fb)
+	cksOK := fpr(cks.Data) == hdr.get(fc)
+	badData, badCks, err := integritySurvey(o.Group, false, dataOK, cksOK)
+	if err != nil {
+		return res, err
+	}
+	corrupted := unionRanks(badData, badCks)
+	res.Detected = len(corrupted)
+	if res.Detected == 0 {
+		return res, nil
+	}
+	if len(badData) == 0 {
+		// Only checksum slots were hit: recompute them from the intact
+		// data (collective, so every rank participates even when its own
+		// slot was fine).
+		if err := o.Group.Encode(cks.Data, buf.Data); err != nil {
+			return res, err
+		}
+		hdr.set(fc, fpr(cks.Data))
+		res.Repaired = len(badCks)
+		return res, nil
+	}
+	if len(corrupted) > o.Group.Tolerance() {
+		res.Unrepairable = len(corrupted)
+		return res, nil
+	}
+	// Rebuild reconstructs both the data and the checksum slot of every
+	// rank in the erasure set, so a rank with a bad checksum but good data
+	// simply gets both rewritten to the same values.
+	if err := o.Group.Rebuild(corrupted, cks.Data, buf.Data); err != nil {
+		return res, err
+	}
+	ok, err := verifyCoder(o.Group, cks.Data, buf.Data)
+	if err != nil {
+		return res, err
+	}
+	bad, err := groupAny(o, !ok)
+	if err != nil {
+		return res, err
+	}
+	if bad {
+		// The rebuilt state still fails verification: a survivor outside
+		// the erasure set must also be corrupt. Report rather than loop.
+		res.Unrepairable = len(corrupted)
+		return res, nil
+	}
+	hdr.set(fb, fpr(buf.Data))
+	hdr.set(fc, fpr(cks.Data))
+	res.Repaired = len(corrupted)
+	return res, nil
+}
+
+// groupAny ORs a flag across the group only — scrubbing is a group-local
+// pass (unlike restore verdicts, which are world-wide).
+func groupAny(o *Options, v bool) (bool, error) {
+	in := []float64{0}
+	if v {
+		in[0] = 1
+	}
+	out := make([]float64, 1)
+	if err := o.Group.Comm().Allreduce(in, out, simmpi.OpMax); err != nil {
+		return false, err
+	}
+	return out[0] > 0, nil
+}
+
+// Scrub verifies and repairs the flushed checkpoint (B against C). It is
+// only meaningful between checkpoints; calling it concurrently with
 // Checkpoint on other ranks is a protocol error.
-func (s *Self) Scrub() (bool, error) {
+func (s *Self) Scrub() (ScrubResult, error) {
 	if s.b == nil {
-		return false, fmt.Errorf("checkpoint: Scrub before Open")
+		return ScrubResult{}, fmt.Errorf("checkpoint: Scrub before Open")
 	}
-	return verifyCoder(s.opts.Group, s.c.Data, s.b.Data)
+	if s.hdr.get(hCEpoch) == 0 {
+		// Nothing flushed yet: the pair carries no fingerprints to check.
+		return ScrubResult{}, nil
+	}
+	return s.opts.scrubPair(s.hdr, hFpr0, hFpr1, s.c, s.b)
 }
 
-// Scrub verifies the newest committed buffer against its checksum.
-func (d *Double) Scrub() (bool, error) {
+// Scrub verifies and repairs every committed buffer pair: the newest, and
+// the older fallback if one has committed — the fallback is exactly what
+// a post-corruption restore will lean on, so it is scrubbed too.
+func (d *Double) Scrub() (ScrubResult, error) {
 	if d.bufs[0] == nil {
-		return false, fmt.Errorf("checkpoint: Scrub before Open")
+		return ScrubResult{}, fmt.Errorf("checkpoint: Scrub before Open")
 	}
-	i := int(d.latest() % 2)
-	return verifyCoder(d.opts.Group, d.cks[i].Data, d.bufs[i].Data)
+	var res ScrubResult
+	e := d.latest()
+	if e == 0 {
+		return res, nil
+	}
+	i := int(e % 2)
+	r, err := d.opts.scrubPair(d.hdr, hFpr0+2*i, hFpr0+2*i+1, d.cks[i], d.bufs[i])
+	if err != nil {
+		return res, err
+	}
+	res.merge(r)
+	if d.bufEpoch(1-i) > 0 {
+		r, err := d.opts.scrubPair(d.hdr, hFpr0+2*(1-i), hFpr0+2*(1-i)+1, d.cks[1-i], d.bufs[1-i])
+		if err != nil {
+			return res, err
+		}
+		res.merge(r)
+	}
+	return res, nil
 }
 
-// Scrub verifies the single checkpoint buffer against its checksum.
-func (s *Single) Scrub() (bool, error) {
+// Scrub verifies and repairs the single checkpoint buffer against its
+// checksum.
+func (s *Single) Scrub() (ScrubResult, error) {
 	if s.b == nil {
-		return false, fmt.Errorf("checkpoint: Scrub before Open")
+		return ScrubResult{}, fmt.Errorf("checkpoint: Scrub before Open")
 	}
-	return verifyCoder(s.opts.Group, s.c.Data, s.b.Data)
+	if s.hdr.get(hCEpoch) == 0 {
+		return ScrubResult{}, nil
+	}
+	return s.opts.scrubPair(s.hdr, hFpr0, hFpr1, s.c, s.b)
+}
+
+// Scrub delegates to the in-memory level: level 2 is off-node stable
+// storage with its own image fingerprints, checked on every read.
+func (m *MultiLevel) Scrub() (ScrubResult, error) {
+	sc, ok := m.opts.L1.(Scrubber)
+	if !ok {
+		return ScrubResult{}, fmt.Errorf("checkpoint: level-1 protector cannot scrub")
+	}
+	return sc.Scrub()
 }
 
 // Discard destroys every SHM segment the protector owns, releasing the

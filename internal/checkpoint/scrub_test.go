@@ -1,0 +1,257 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"selfckpt/internal/encoding"
+	"selfckpt/internal/shm"
+	"selfckpt/internal/simmpi"
+)
+
+// registryApp is iterApp built through the protocol registry (so it
+// covers multilevel too): `iters` compute steps, a checkpoint after each,
+// and — the property under test — a scrub immediately after any restore
+// must come back clean.
+func registryApp(name string, stable *stableMap, groupSize, words int, iters uint64) func(rc *rankCtx) error {
+	return func(rc *rankCtx) error {
+		reg, ok := ProtocolByName(name)
+		if !ok {
+			return fmt.Errorf("unknown protocol %q", name)
+		}
+		color := rc.comm.Rank() / groupSize
+		g, err := rc.comm.Split(color)
+		if err != nil {
+			return err
+		}
+		grp, err := encoding.NewGroup(g, simmpi.OpXor)
+		if err != nil {
+			return err
+		}
+		p, err := reg.New(Options{
+			Group:     grp,
+			World:     rc.comm,
+			Store:     rc.store,
+			Namespace: fmt.Sprintf("ckpt/%d", rc.comm.Rank()),
+		}, Aux{
+			Stable:        stable,
+			Key:           fmt.Sprintf("l2/%d", rc.comm.Rank()),
+			L2Every:       2,
+			L2BytesPerSec: 1e9,
+		})
+		if err != nil {
+			return err
+		}
+		data, recoverable, err := p.Open(words)
+		if err != nil {
+			return err
+		}
+		start := uint64(0)
+		if recoverable {
+			meta, _, err := p.Restore()
+			if err != nil {
+				return err
+			}
+			start = iterFrom(meta)
+			if err := checkWork(data, rc.comm.Rank(), start); err != nil {
+				return fmt.Errorf("after restore: %w", err)
+			}
+			// A freshly restored world must scrub clean: the restore
+			// refreshed every fingerprint it rewrote.
+			res, err := p.(Scrubber).Scrub()
+			if err != nil {
+				return err
+			}
+			if !res.Clean() {
+				return fmt.Errorf("post-restore scrub dirty: %+v", res)
+			}
+		}
+		for it := start + 1; it <= iters; it++ {
+			fillWork(data, rc.comm.Rank(), it)
+			rc.comm.World().Compute(1e6)
+			if err := p.Checkpoint(metaFor(it)); err != nil {
+				return err
+			}
+		}
+		return checkWork(data, rc.comm.Rank(), iters)
+	}
+}
+
+// TestPostRestoreScrubClean: for every registered protocol, a node loss,
+// a restore, and then a scrub — the scrub must find nothing, proving the
+// restore left fingerprints consistent with the rebuilt state.
+func TestPostRestoreScrubClean(t *testing.T) {
+	for _, reg := range Protocols() {
+		t.Run(reg.Name, func(t *testing.T) {
+			h := newHarness(t, 8, 4)
+			stable := newStableMap()
+			kills := []kill{{rank: 1, attempt: 0, failpoint: FPAfterFlush, occurrence: 3}}
+			h.runToCompletion(kills, registryApp(reg.Name, stable, 4, 64, 5), 3)
+		})
+	}
+}
+
+// TestScrubChecksumCorruptionRegression: corrupting a CHECKSUM slot must
+// be answered by re-encoding the checksum from the (good) data — never by
+// "repairing" good data to match a bad checksum. The buffer must come out
+// of the scrub bit-identical on every rank.
+func TestScrubChecksumCorruptionRegression(t *testing.T) {
+	for _, strategy := range []string{"self", "double", "single"} {
+		t.Run(strategy, func(t *testing.T) {
+			h := newHarness(t, 4, 4)
+			res := h.attempt(0, nil, func(rc *rankCtx) error {
+				p, err := protectorFor(strategy, rc, 4)
+				if err != nil {
+					return err
+				}
+				data, _, err := p.Open(64)
+				if err != nil {
+					return err
+				}
+				fillWork(data, rc.comm.Rank(), 1)
+				if err := p.Checkpoint(metaFor(1)); err != nil {
+					return err
+				}
+				buf, cks := func() (*shm.Segment, *shm.Segment) {
+					switch v := p.(type) {
+					case *Self:
+						return v.b, v.c
+					case *Double:
+						i := int(v.latest() % 2)
+						return v.bufs[i], v.cks[i]
+					case *Single:
+						return v.b, v.c
+					}
+					return nil, nil
+				}()
+				goldenBuf := append([]float64{}, buf.Data...)
+				goldenCks := append([]float64{}, cks.Data...)
+				if rc.comm.Rank() == 1 {
+					cks.Data[3] = math.Float64frombits(math.Float64bits(cks.Data[3]) ^ (1 << 13))
+				}
+				sres, err := p.(Scrubber).Scrub()
+				if err != nil {
+					return err
+				}
+				if sres.Detected != 1 || sres.Repaired != 1 {
+					return fmt.Errorf("scrub result %+v, want exactly one detected and repaired", sres)
+				}
+				for i := range buf.Data {
+					if math.Float64bits(buf.Data[i]) != math.Float64bits(goldenBuf[i]) {
+						return fmt.Errorf("scrub modified buffer word %d to match a corrupted checksum", i)
+					}
+				}
+				for i := range cks.Data {
+					if math.Float64bits(cks.Data[i]) != math.Float64bits(goldenCks[i]) {
+						return fmt.Errorf("checksum repair not bit-exact at word %d", i)
+					}
+				}
+				return nil
+			})
+			if res.Failed() {
+				t.Fatal(res.FirstError())
+			}
+		})
+	}
+}
+
+// corruptStores flips one bit in the named segment of each given rank's
+// store between attempts — silent corruption landing while the job is
+// not running, so the next attempt's restore faces it.
+func (h *harness) corruptStores(segment string, ranks ...int) {
+	h.t.Helper()
+	for _, r := range ranks {
+		if _, err := h.stores[r].Corrupt(int64(100+r), shm.CorruptSpec{
+			Segment: fmt.Sprintf("ckpt/%d%s", r, segment),
+		}); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+}
+
+// TestRestoreRefusesCorruptedEpoch drives the verify-before-restore
+// guarantee end to end: two corrupted ranks in one group exceed
+// single-parity tolerance, so no protocol may load the poisoned epoch.
+// Single and self have nothing older and must return ErrUnrecoverable on
+// every rank; double must fall back to the previous epoch's pair;
+// multilevel must fall back to its last level-2 flush.
+func TestRestoreRefusesCorruptedEpoch(t *testing.T) {
+	const groupSize, words = 4, 64
+
+	run := func(t *testing.T, name string, wantFresh bool, wantIter uint64) {
+		h := newHarness(t, 8, groupSize)
+		stable := newStableMap()
+		app := registryApp(name, stable, groupSize, words, 3)
+		if res := h.attempt(0, nil, app); res.Failed() {
+			t.Fatal(res.FirstError())
+		}
+		// Corrupt the committed buffer B of two ranks in group 0. For
+		// double the newest pair after epoch 3 is (B1, C1).
+		seg := "/B"
+		if name == "double" {
+			seg = "/B1"
+		}
+		h.corruptStores(seg, 1, 2)
+
+		res := h.attempt(1, nil, func(rc *rankCtx) error {
+			reg, _ := ProtocolByName(name)
+			color := rc.comm.Rank() / groupSize
+			g, err := rc.comm.Split(color)
+			if err != nil {
+				return err
+			}
+			grp, err := encoding.NewGroup(g, simmpi.OpXor)
+			if err != nil {
+				return err
+			}
+			p, err := reg.New(Options{
+				Group:     grp,
+				World:     rc.comm,
+				Store:     rc.store,
+				Namespace: fmt.Sprintf("ckpt/%d", rc.comm.Rank()),
+			}, Aux{Stable: stable, Key: fmt.Sprintf("l2/%d", rc.comm.Rank()), L2Every: 2, L2BytesPerSec: 1e9})
+			if err != nil {
+				return err
+			}
+			data, recoverable, err := p.Open(words)
+			if err != nil {
+				return err
+			}
+			if !recoverable {
+				return errors.New("surviving world claims no recoverable state")
+			}
+			meta, _, err := p.Restore()
+			if wantFresh {
+				if !errors.Is(err, ErrUnrecoverable) {
+					return fmt.Errorf("restore of a poisoned sole epoch: got %v, want ErrUnrecoverable", err)
+				}
+				// The refusal is a legal fresh start: the run must be able
+				// to checkpoint and finish from iteration zero.
+				for it := uint64(1); it <= 2; it++ {
+					fillWork(data, rc.comm.Rank(), it)
+					if err := p.Checkpoint(metaFor(it)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if err != nil {
+				return fmt.Errorf("restore should have fallen back, got %v", err)
+			}
+			if got := iterFrom(meta); got != wantIter {
+				return fmt.Errorf("restored iteration %d, want fallback to %d", got, wantIter)
+			}
+			return checkWork(data, rc.comm.Rank(), wantIter)
+		})
+		if res.Failed() {
+			t.Fatal(res.FirstError())
+		}
+	}
+
+	t.Run("single", func(t *testing.T) { run(t, "single", true, 0) })
+	t.Run("self", func(t *testing.T) { run(t, "self", true, 0) })
+	t.Run("double", func(t *testing.T) { run(t, "double", false, 2) })
+	t.Run("multilevel", func(t *testing.T) { run(t, "multilevel", false, 2) })
+}

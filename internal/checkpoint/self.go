@@ -133,6 +133,7 @@ func (s *Self) Checkpoint(meta []byte) error {
 	rank.Failpoint(FPBegin)
 	// Step 2: A2 → B2.
 	wordpack.PackInto(s.b2.Data, meta)
+	s.hdr.set(hFpr3, fpr(s.b2.Data))
 	rank.MemCopy(float64(len(meta)))
 
 	// Step 3: D = checksum(A1 ‖ B2).
@@ -142,6 +143,7 @@ func (s *Self) Checkpoint(meta []byte) error {
 	}
 	s.hdr.commitMagic()
 	s.hdr.set(hDEpoch, e)
+	s.hdr.set(hFpr2, fpr(s.d.Data))
 	rank.Failpoint(FPAfterEncode)
 	if err := world.Barrier(); err != nil {
 		return err
@@ -155,6 +157,8 @@ func (s *Self) Checkpoint(meta []byte) error {
 	copy(s.b.Data[s.words:], s.b2.Data)
 	copy(s.c.Data, s.d.Data)
 	rank.MemCopy(float64(8 * (len(s.b2.Data) + len(s.d.Data))))
+	s.hdr.set(hFpr0, fpr(s.b.Data))
+	s.hdr.set(hFpr1, fpr(s.c.Data))
 	s.hdr.set(hCEpoch, e)
 	rank.Failpoint(FPAfterFlush)
 	return world.Barrier()
@@ -195,6 +199,7 @@ func (s *Self) CheckpointPartial(meta []byte, dirty []Range) error {
 
 	rank.Failpoint(FPBegin)
 	wordpack.PackInto(s.b2.Data, meta)
+	s.hdr.set(hFpr3, fpr(s.b2.Data))
 	rank.MemCopy(float64(len(meta)))
 
 	// Map dirty words to families and union across the group.
@@ -241,6 +246,7 @@ func (s *Self) CheckpointPartial(meta []byte, dirty []Range) error {
 	}
 	s.hdr.commitMagic()
 	s.hdr.set(hDEpoch, e)
+	s.hdr.set(hFpr2, fpr(s.d.Data))
 	rank.Failpoint(FPAfterEncode)
 	if err := world.Barrier(); err != nil {
 		return err
@@ -258,9 +264,22 @@ func (s *Self) CheckpointPartial(meta []byte, dirty []Range) error {
 	copy(s.b.Data[s.words:], s.b2.Data)
 	copy(s.c.Data, s.d.Data)
 	rank.MemCopy(float64(8 * (len(s.b2.Data) + len(s.d.Data))))
+	s.hdr.set(hFpr0, fpr(s.b.Data))
+	s.hdr.set(hFpr1, fpr(s.c.Data))
 	s.hdr.set(hCEpoch, e)
 	rank.Failpoint(FPAfterFlush)
 	return world.Barrier()
+}
+
+// abandon records a world-consistent unrecoverable verdict: the commit
+// markers are cleared so every rank numbers epochs from zero again, and
+// further Restore calls fail fast. The caller returns ErrUnrecoverable,
+// which the application treats as a legal fresh start.
+func (s *Self) abandon() {
+	s.hdr.set(hMagic, 0)
+	s.hdr.set(hDEpoch, 0)
+	s.hdr.set(hCEpoch, 0)
+	s.sr.recoverable = false
 }
 
 // Restore implements Protector. It executes the plan agreed during Open:
@@ -279,25 +298,65 @@ func (s *Self) Restore() ([]byte, uint64, error) {
 	rank := s.opts.Group.Comm().World()
 	world := s.opts.worldComm()
 	e := s.sr.target
+	amLost := containsRank(s.sr.lost, s.opts.Group.Comm().Rank())
+
+	// Verify before restore: fingerprint the surviving copies of the
+	// epoch about to be loaded and fold any corrupted rank into the
+	// erasure set. Within the coder's tolerance the restore doubles as a
+	// repair; beyond it every rank (world-wide, so no group restores what
+	// another refused) gets a legal unrecoverable verdict instead of a
+	// silently poisoned epoch.
+	var lost []int
+	if s.sr.fromAD {
+		b2OK := fpr(s.b2.Data) == s.hdr.get(hFpr3)
+		dOK := fpr(s.d.Data) == s.hdr.get(hFpr2)
+		badB2, badD, err := integritySurvey(s.opts.Group, amLost, b2OK, dOK)
+		if err != nil {
+			return nil, 0, err
+		}
+		lost = unionRanks(s.sr.lost, badB2, badD)
+	} else {
+		bOK := fpr(s.b.Data) == s.hdr.get(hFpr0)
+		cOK := fpr(s.c.Data) == s.hdr.get(hFpr1)
+		badB, badC, err := integritySurvey(s.opts.Group, amLost, bOK, cOK)
+		if err != nil {
+			return nil, 0, err
+		}
+		lost = unionRanks(s.sr.lost, badB, badC)
+	}
+	if bad, err := worldAny(&s.opts, len(lost) > s.opts.Group.Tolerance()); err != nil {
+		return nil, 0, err
+	} else if bad {
+		s.abandon()
+		return nil, 0, fmt.Errorf("%w: checkpoint failed integrity verification beyond the coder's tolerance", ErrUnrecoverable)
+	}
 
 	if s.sr.fromAD {
 		// The new checksum D committed everywhere; the workspace is the
-		// checkpoint. Rebuild the lost rank's (A1 ‖ B2) and finish the
+		// checkpoint. Rebuild the lost ranks' (A1 ‖ B2) and finish the
 		// interrupted flush on every rank.
-		if len(s.sr.lost) > 0 {
-			if err := s.opts.Group.Rebuild(s.sr.lost, s.d.Data, s.a1.Data, s.b2.Data); err != nil {
+		if len(lost) > 0 {
+			if err := s.opts.Group.Rebuild(lost, s.d.Data, s.a1.Data, s.b2.Data); err != nil {
 				return nil, 0, err
 			}
+		}
+		// The live workspace A1 carries no fingerprint, so corruption
+		// there is only visible to a full re-encode against D.
+		if err := s.verifyOrAbandon(s.d.Data, s.a1.Data, s.b2.Data); err != nil {
+			return nil, 0, err
 		}
 		copy(s.b.Data[:s.words], s.a1.Data)
 		copy(s.b.Data[s.words:], s.b2.Data)
 		copy(s.c.Data, s.d.Data)
 		rank.MemCopy(float64(8 * (s.words + len(s.b2.Data) + len(s.d.Data))))
 	} else {
-		// Roll back to the previous checkpoint: rebuild the lost rank's
+		// Roll back to the previous checkpoint: rebuild the lost ranks'
 		// B from the group, then everyone reloads A1 (and B2) from B.
-		if len(s.sr.lost) > 0 {
-			if err := s.opts.Group.Rebuild(s.sr.lost, s.c.Data, s.b.Data); err != nil {
+		// No full re-encode here: B and C of every survivor are covered
+		// by the fingerprint survey above, so rebuilding the erasure set
+		// is sufficient.
+		if len(lost) > 0 {
+			if err := s.opts.Group.Rebuild(lost, s.c.Data, s.b.Data); err != nil {
 				return nil, 0, err
 			}
 		}
@@ -312,10 +371,34 @@ func (s *Self) Restore() ([]byte, uint64, error) {
 	s.hdr.commitMagic()
 	s.hdr.set(hDEpoch, e)
 	s.hdr.set(hCEpoch, e)
+	s.hdr.set(hFpr0, fpr(s.b.Data))
+	s.hdr.set(hFpr1, fpr(s.c.Data))
+	s.hdr.set(hFpr2, fpr(s.d.Data))
+	s.hdr.set(hFpr3, fpr(s.b2.Data))
 	if err := world.Barrier(); err != nil {
 		return nil, 0, err
 	}
 	return meta, e, nil
+}
+
+// verifyOrAbandon re-encodes the restored pair against its checksum and
+// abandons the epoch (world-wide) when any group still disagrees — the
+// last line of defense against corruption the fingerprints cannot see,
+// such as a flipped word in the Self protocol's live workspace.
+func (s *Self) verifyOrAbandon(checksum []float64, parts ...[]float64) error {
+	ok, err := verifyCoder(s.opts.Group, checksum, parts...)
+	if err != nil {
+		return err
+	}
+	bad, err := worldAny(&s.opts, !ok)
+	if err != nil {
+		return err
+	}
+	if bad {
+		s.abandon()
+		return fmt.Errorf("%w: restored checkpoint failed checksum verification", ErrUnrecoverable)
+	}
+	return nil
 }
 
 // Usage implements Protector (the measured side of Table 1).

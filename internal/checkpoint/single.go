@@ -118,6 +118,7 @@ func (s *Single) Checkpoint(meta []byte) error {
 	rank.Failpoint(FPFlush)
 	copy(s.b.Data[:s.words], s.a)
 	wordpack.PackInto(s.b.Data[s.words:], meta)
+	s.hdr.set(hFpr0, fpr(s.b.Data))
 	rank.MemCopy(float64(8*s.words + len(meta)))
 
 	rank.Failpoint(FPMidFlush)
@@ -125,6 +126,7 @@ func (s *Single) Checkpoint(meta []byte) error {
 		return err
 	}
 	s.hdr.commitMagic()
+	s.hdr.set(hFpr1, fpr(s.c.Data))
 	s.hdr.set(hCEpoch, e)
 	s.hdr.set(hUpdating, 0)
 	rank.Failpoint(FPAfterFlush)
@@ -142,8 +144,29 @@ func (s *Single) Restore() ([]byte, uint64, error) {
 	rank := s.opts.Group.Comm().World()
 	world := s.opts.worldComm()
 	e := s.sr.target
-	if len(s.sr.lost) > 0 {
-		if err := s.opts.Group.Rebuild(s.sr.lost, s.c.Data, s.b.Data); err != nil {
+	amLost := containsRank(s.sr.lost, s.opts.Group.Comm().Rank())
+
+	// Verify before restore: the sole (B, C) pair either passes its
+	// fingerprints (with corrupted ranks folded into the erasure set and
+	// rebuilt), or the run legally starts fresh — there is no older
+	// epoch to fall back to.
+	bOK := fpr(s.b.Data) == s.hdr.get(hFpr0)
+	cOK := fpr(s.c.Data) == s.hdr.get(hFpr1)
+	badB, badC, err := integritySurvey(s.opts.Group, amLost, bOK, cOK)
+	if err != nil {
+		return nil, 0, err
+	}
+	lost := unionRanks(s.sr.lost, badB, badC)
+	if bad, err := worldAny(&s.opts, len(lost) > s.opts.Group.Tolerance()); err != nil {
+		return nil, 0, err
+	} else if bad {
+		s.abandon()
+		return nil, 0, fmt.Errorf("%w: checkpoint failed integrity verification beyond the coder's tolerance", ErrUnrecoverable)
+	}
+	// B and C of every survivor are covered by the fingerprint survey,
+	// so rebuilding the erasure set is sufficient — no full re-encode.
+	if len(lost) > 0 {
+		if err := s.opts.Group.Rebuild(lost, s.c.Data, s.b.Data); err != nil {
 			return nil, 0, err
 		}
 	}
@@ -156,10 +179,21 @@ func (s *Single) Restore() ([]byte, uint64, error) {
 	s.hdr.commitMagic()
 	s.hdr.set(hCEpoch, e)
 	s.hdr.set(hUpdating, 0)
+	s.hdr.set(hFpr0, fpr(s.b.Data))
+	s.hdr.set(hFpr1, fpr(s.c.Data))
 	if err := world.Barrier(); err != nil {
 		return nil, 0, err
 	}
 	return meta, e, nil
+}
+
+// abandon records a world-consistent unrecoverable verdict (see
+// Self.abandon).
+func (s *Single) abandon() {
+	s.hdr.set(hMagic, 0)
+	s.hdr.set(hCEpoch, 0)
+	s.hdr.set(hUpdating, 0)
+	s.sr.recoverable = false
 }
 
 // Usage implements Protector.

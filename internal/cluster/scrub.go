@@ -1,0 +1,62 @@
+package cluster
+
+// This file is the scrub scheduler: a periodic integrity pass over the
+// in-memory checkpoints, run from the application's compute loop. The
+// cluster layer knows nothing about checkpoint protocols — the
+// application hands the scheduler a closure — but it owns the cadence
+// and the job metrics, so the daemon's reports carry
+// detected/repaired/unrepairable counters next to the timing metrics.
+
+// Metric names the scrub scheduler accumulates into the job report. The
+// values count ranks (per scrubbing rank, merged by max across the job,
+// so each group's counters survive into the report).
+const (
+	MetricScrubPasses       = "scrub_passes"
+	MetricScrubDetected     = "scrub_detected"
+	MetricScrubRepaired     = "scrub_repaired"
+	MetricScrubUnrepairable = "scrub_unrepairable"
+)
+
+// ScrubFn runs one collective scrub pass and reports how many group
+// members' checkpoint state was detected corrupt, repaired, and left
+// unrepairable (checkpoint.Scrubber adapts directly).
+type ScrubFn func() (detected, repaired, unrepairable int, err error)
+
+// ScrubScheduler triggers a scrub every Every-th Tick. The application
+// calls Tick once per iteration from a quiescent point (no Checkpoint or
+// Restore in flight on any rank — scrubbing is collective). A nil
+// scheduler or a non-positive Every disables scrubbing, so callers can
+// Tick unconditionally.
+type ScrubScheduler struct {
+	Env   *Env
+	Every int
+	Fn    ScrubFn
+
+	ticks int
+}
+
+// Tick counts one iteration and runs the scrub when it is due.
+func (s *ScrubScheduler) Tick() error {
+	if s == nil || s.Every <= 0 || s.Fn == nil {
+		return nil
+	}
+	s.ticks++
+	if s.ticks%s.Every != 0 {
+		return nil
+	}
+	detected, repaired, unrepairable, err := s.Fn()
+	if err != nil {
+		return err
+	}
+	s.Env.AddMetric(MetricScrubPasses, 1)
+	if detected > 0 {
+		s.Env.AddMetric(MetricScrubDetected, float64(detected))
+	}
+	if repaired > 0 {
+		s.Env.AddMetric(MetricScrubRepaired, float64(repaired))
+	}
+	if unrepairable > 0 {
+		s.Env.AddMetric(MetricScrubUnrepairable, float64(unrepairable))
+	}
+	return nil
+}

@@ -1,0 +1,432 @@
+package crashmat
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+
+	"selfckpt/internal/checkpoint"
+	"selfckpt/internal/cluster"
+	"selfckpt/internal/shm"
+)
+
+// This file is the silent-data-corruption dimension of the matrix:
+// protocol × corruption target × injection epoch, each cell optionally
+// followed by a node kill. Where the crash matrix proves the fail-stop
+// guarantees (a lost node is rebuilt), the SDC matrix proves the
+// fail-silent ones: a scheduled scrub detects and repairs a flipped
+// word, and verify-before-restore refuses to rebuild from a poisoned
+// checkpoint instead of emitting it.
+
+// SDCSchedule is one silent-corruption cell. The victim rank corrupts
+// its own slice of the named target right after checkpoint Epoch commits
+// on the first attempt; without Kill a scheduled scrub must catch and
+// repair it, with Kill the restore path must either survive it (double's
+// older pair, multilevel's level 2) or legally refuse it (single, self).
+type SDCSchedule struct {
+	Protocol string
+	// Target is a registry ScrubTarget: "buffer", "checksum", or
+	// "workspace" (protocols whose workspace is SHM-resident).
+	Target string
+	// Epoch is the committed checkpoint whose state gets corrupted.
+	Epoch int
+	// Kill additionally powers off the group-0 root's node at the start
+	// of checkpoint Epoch+1, forcing a restore that must cope with the
+	// corruption (the scrub is disabled in kill cells so the restore
+	// path, not the scrubber, is what is probed).
+	Kill bool
+
+	GroupSize int
+	Groups    int
+	Iters     int
+	Seed      int64
+}
+
+// Ranks returns the world size of the cell.
+func (s SDCSchedule) Ranks() int { return s.Groups * s.GroupSize }
+
+// VictimSlot is the node slot whose rank corrupts its own state: a
+// non-root member of group 0, so kill cells lose a different node of the
+// same group.
+func (s SDCSchedule) VictimSlot() int { return 1 }
+
+// KillSlot is the node slot powered off in kill cells.
+func (s SDCSchedule) KillSlot() int { return 0 }
+
+// ID renders the replayable cell identifier.
+func (s SDCSchedule) ID() string {
+	kill := "no"
+	if s.Kill {
+		kill = "yes"
+	}
+	return fmt.Sprintf("sdc/%s/%s/e%d/kill:%s/g%dx%d/i%d/seed:%d",
+		s.Protocol, s.Target, s.Epoch, kill, s.GroupSize, s.Groups, s.Iters, s.Seed)
+}
+
+// IsSDCID reports whether a cell ID names an SDC schedule (as opposed to
+// a crash schedule).
+func IsSDCID(id string) bool { return strings.HasPrefix(id, "sdc/") }
+
+// ParseSDCID inverts ID.
+func ParseSDCID(id string) (SDCSchedule, error) {
+	var s SDCSchedule
+	parts := strings.Split(id, "/")
+	if len(parts) != 8 || parts[0] != "sdc" {
+		return s, fmt.Errorf("crashmat: malformed SDC id %q (want sdc/<protocol>/<target>/eN/kill:<yes|no>/gAxB/iN/seed:N)", id)
+	}
+	s.Protocol = parts[1]
+	s.Target = parts[2]
+	if _, err := fmt.Sscanf(parts[3], "e%d", &s.Epoch); err != nil {
+		return s, fmt.Errorf("crashmat: bad epoch in %q: %w", id, err)
+	}
+	switch strings.TrimPrefix(parts[4], "kill:") {
+	case "yes":
+		s.Kill = true
+	case "no":
+		s.Kill = false
+	default:
+		return s, fmt.Errorf("crashmat: bad kill flag in %q", id)
+	}
+	if _, err := fmt.Sscanf(parts[5], "g%dx%d", &s.GroupSize, &s.Groups); err != nil {
+		return s, fmt.Errorf("crashmat: bad group shape in %q: %w", id, err)
+	}
+	if _, err := fmt.Sscanf(parts[6], "i%d", &s.Iters); err != nil {
+		return s, fmt.Errorf("crashmat: bad iteration count in %q: %w", id, err)
+	}
+	seed, err := strconv.ParseInt(strings.TrimPrefix(parts[7], "seed:"), 10, 64)
+	if err != nil {
+		return s, fmt.Errorf("crashmat: bad seed in %q: %w", id, err)
+	}
+	s.Seed = seed
+	return s, nil
+}
+
+// SDCMatrix enumerates every SDC cell: protocol × registered corruption
+// target × injection epochs 2 and 4 × {scrub-only, corruption followed
+// by a kill}.
+func SDCMatrix() []SDCSchedule {
+	var out []SDCSchedule
+	for _, p := range checkpoint.Protocols() {
+		for _, target := range p.ScrubTargets {
+			for _, epoch := range []int{2, 4} {
+				for _, kill := range []bool{false, true} {
+					out = append(out, SDCSchedule{
+						Protocol:  p.Name,
+						Target:    target,
+						Epoch:     epoch,
+						Kill:      kill,
+						GroupSize: 4,
+						Groups:    2,
+						Iters:     6,
+						Seed:      1,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SampleSDC draws n distinct SDC cells reproducibly (see Sample).
+func SampleSDC(matrix []SDCSchedule, n int, seed int64) []SDCSchedule {
+	if n >= len(matrix) {
+		out := make([]SDCSchedule, len(matrix))
+		copy(out, matrix)
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(matrix))[:n]
+	out := make([]SDCSchedule, n)
+	for i, j := range idx {
+		out[i] = matrix[j]
+	}
+	return out
+}
+
+// SDCExpectation is the predicted verdict of one SDC cell.
+type SDCExpectation struct {
+	Attempts int
+	// Scrub counters (zero in kill cells, where the scrub is disabled,
+	// and in workspace cells, where the next iteration overwrites the
+	// corruption before a scrub could see it).
+	Detected, Repaired int
+	// Restored/RestoreIter describe the kill cells' recovery: double
+	// falls back one epoch, multilevel to its last level-2 flush, the
+	// workspace cells recover normally, and single/self legally start
+	// fresh (their sole copy and its checksum disagree beyond tolerance).
+	Restored    bool
+	RestoreIter int
+}
+
+// PredictSDC derives a cell's expected verdict from the protocol's
+// structure.
+func PredictSDC(s SDCSchedule) (SDCExpectation, error) {
+	reg, ok := checkpoint.ProtocolByName(s.Protocol)
+	if !ok {
+		return SDCExpectation{}, fmt.Errorf("crashmat: unknown protocol %q", s.Protocol)
+	}
+	if reg.TargetSegment == nil {
+		return SDCExpectation{}, fmt.Errorf("crashmat: protocol %q registers no corruption targets", s.Protocol)
+	}
+	if _, ok := reg.TargetSegment(s.Target, uint64(s.Epoch)); !ok {
+		return SDCExpectation{}, fmt.Errorf("crashmat: protocol %q has no target %q", s.Protocol, s.Target)
+	}
+	if s.Epoch < 1 || s.Epoch >= s.Iters {
+		return SDCExpectation{}, fmt.Errorf("crashmat: injection epoch %d outside 1..%d", s.Epoch, s.Iters-1)
+	}
+	if !s.Kill {
+		e := SDCExpectation{Attempts: 1}
+		if s.Target != "workspace" {
+			// One corrupted rank, within every coder's tolerance: the
+			// scheduled scrub at the next iteration detects and repairs
+			// it. A corrupted workspace is simply overwritten by the next
+			// iteration's compute phase — scrubs check checkpoints, not
+			// live data.
+			e.Detected, e.Repaired = 1, 1
+		}
+		return e, nil
+	}
+	e := SDCExpectation{Attempts: 2}
+	switch {
+	case s.Target == "workspace":
+		// The workspace corruption is gone before the restore looks: the
+		// victim overwrites it in the next compute phase, and the restore
+		// reloads the workspace from the (clean) checkpoint buffers.
+		e.Restored, e.RestoreIter = true, s.Epoch
+	case s.Protocol == "double":
+		// The newest pair fails verification with both a lost and a
+		// corrupted rank in one group; the older pair is intact.
+		e.Restored, e.RestoreIter = true, s.Epoch-1
+	case s.Protocol == "multilevel":
+		// Level 1 refuses (same arithmetic as self); level 2 holds the
+		// flush taken inside checkpoint Epoch (L2Every=2 divides the even
+		// injection epochs).
+		e.Restored, e.RestoreIter = true, 2*(s.Epoch/2)
+	default:
+		// single, self: the sole surviving copy has a lost rank AND a
+		// corrupted rank — beyond single-parity tolerance. The run must
+		// refuse the poisoned epoch and legally start fresh.
+	}
+	return e, nil
+}
+
+// SDCObservation is what actually happened when an SDC cell ran.
+type SDCObservation struct {
+	Attempts                         int
+	Restored                         bool
+	RestoreIter                      int
+	Detected, Repaired, Unrepairable int
+	ScrubPasses                      int
+	// Flips is the injector's audit log: what was actually corrupted.
+	Flips []shm.Flip
+	// BitExact reports the final analytic workspace check passed on every
+	// rank (the golden run is closed-form, as in the crash matrix).
+	BitExact bool
+	Leaks    map[int][]string
+	Err      error
+}
+
+// sdcFPIter is the failpoint every rank of the SDC workload announces at
+// the top of each iteration; kill cells schedule the node loss here.
+const sdcFPIter = "sdc/iter"
+
+// shimSchedule adapts an SDC cell to the crash-schedule helpers
+// (protectorFor, auditSHM, machineFor).
+func shimSchedule(s SDCSchedule) Schedule {
+	return Schedule{
+		Workload:  "iter",
+		Protocol:  s.Protocol,
+		GroupSize: s.GroupSize,
+		Groups:    s.Groups,
+		Iters:     s.Iters,
+		L2Every:   l2For(s.Protocol),
+	}
+}
+
+// RunSDC executes one SDC cell on a fresh simulated machine.
+func RunSDC(s SDCSchedule) (*SDCObservation, error) {
+	if _, err := PredictSDC(s); err != nil {
+		return nil, err
+	}
+	reg, _ := checkpoint.ProtocolByName(s.Protocol)
+	shim := shimSchedule(s)
+	m := machineFor(shim)
+	d := &cluster.Daemon{Machine: m, MaxRestarts: 2}
+	spec := cluster.JobSpec{Ranks: s.Ranks(), RanksPerNode: 1}
+	if s.Kill {
+		// The kill fires at the top of iteration Epoch+1 — after the
+		// corruption, before any rank opens checkpoint Epoch+1's update
+		// window. The body's iteration barrier (below) stops the
+		// survivors right there, so the restore faces the corruption with
+		// every committed pair otherwise intact: killing at a checkpoint
+		// failpoint instead would let survivors put the older buffer in
+		// flux before the abort reaches them, collapsing every protocol
+		// to a fresh start and probing nothing.
+		spec.Kills = []cluster.KillSpec{
+			cluster.KillAtFailpoint(s.KillSlot(), sdcFPIter, s.Epoch+1),
+		}
+	}
+
+	var mu sync.Mutex
+	var flips []shm.Flip
+	body := func(env *cluster.Env) error {
+		p, err := protectorFor(shim, env)
+		if err != nil {
+			return err
+		}
+		// The scrub runs in detection cells only: kill cells probe the
+		// restore path, and a pre-kill scrub would repair the corruption
+		// before the restore ever faced it.
+		var scrub *cluster.ScrubScheduler
+		if !s.Kill {
+			sc, ok := p.(checkpoint.Scrubber)
+			if !ok {
+				return fmt.Errorf("crashmat: protocol %q cannot scrub", s.Protocol)
+			}
+			scrub = &cluster.ScrubScheduler{Env: env, Every: 1, Fn: func() (int, int, int, error) {
+				r, err := sc.Scrub()
+				return r.Detected, r.Repaired, r.Unrepairable, err
+			}}
+		}
+		data, recoverable, err := p.Open(iterWords)
+		if err != nil {
+			return err
+		}
+		start := 0
+		if recoverable {
+			meta, epoch, err := p.Restore()
+			switch {
+			case errors.Is(err, checkpoint.ErrUnrecoverable):
+				// Verify-before-restore refused the poisoned epoch on
+				// every rank: a legal fresh start.
+			case err != nil:
+				return err
+			default:
+				start = iterFromMeta(meta)
+				if start <= 0 {
+					return errFreshStart
+				}
+				env.Metric(mRestored, 1)
+				env.Metric(mRestoreIter, float64(start))
+				env.Metric(mHeaderEpoch, float64(epoch))
+				if err := checkFill(data, env.Rank(), start); err != nil {
+					return err
+				}
+			}
+		}
+		for it := start + 1; it <= s.Iters; it++ {
+			// Announce the iteration boundary and synchronize on it: a
+			// kill scheduled here takes down the whole attempt while all
+			// checkpoint state is quiescent.
+			env.World().Failpoint(sdcFPIter)
+			if err := env.Barrier(); err != nil {
+				return err
+			}
+			// Scrub at the top of the iteration: the corruption injected
+			// after checkpoint e must be seen before checkpoint e+1
+			// rotates or overwrites the buffers.
+			if err := scrub.Tick(); err != nil {
+				return err
+			}
+			fill(data, env.Rank(), it)
+			env.World().Compute(1e6)
+			if err := p.Checkpoint(iterMeta(it)); err != nil {
+				return err
+			}
+			if it == s.Epoch && env.Attempt == 0 && env.Rank() == s.VictimSlot() {
+				suffix, ok := reg.TargetSegment(s.Target, uint64(it))
+				if !ok {
+					return fmt.Errorf("crashmat: protocol %q has no target %q", s.Protocol, s.Target)
+				}
+				fl, err := env.Node.SHM.Corrupt(s.Seed, shm.CorruptSpec{
+					Segment: fmt.Sprintf("cm/%d%s", env.Rank(), suffix),
+				})
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				flips = append(flips, fl...)
+				mu.Unlock()
+			}
+		}
+		return checkFill(data, env.Rank(), s.Iters)
+	}
+
+	report, err := d.Run(spec, body)
+	o := &SDCObservation{Err: err, Flips: flips}
+	if report != nil {
+		o.Attempts = report.Attempts
+		o.Restored = report.Metrics[mRestored] == 1
+		o.RestoreIter = int(report.Metrics[mRestoreIter])
+		o.Detected = int(report.Metrics[cluster.MetricScrubDetected])
+		o.Repaired = int(report.Metrics[cluster.MetricScrubRepaired])
+		o.Unrepairable = int(report.Metrics[cluster.MetricScrubUnrepairable])
+		o.ScrubPasses = int(report.Metrics[cluster.MetricScrubPasses])
+	}
+	if err == nil {
+		// Completion implies every rank's final checkFill passed.
+		o.BitExact = true
+		o.Leaks = auditSHM(shimSchedule(s), m)
+	}
+	return o, nil
+}
+
+// CheckSDC verifies an SDC observation against its prediction, returning
+// human-readable violations (empty = the cell passes).
+func CheckSDC(s SDCSchedule, o *SDCObservation) []string {
+	exp, err := PredictSDC(s)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var bad []string
+	fail := func(format string, args ...interface{}) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+	if o.Err != nil {
+		fail("job did not complete: %v", o.Err)
+		return bad
+	}
+	if len(o.Flips) == 0 {
+		fail("the corruption injector never fired")
+	}
+	if !o.BitExact {
+		fail("completed with data differing from the golden run")
+	}
+	if o.Attempts != exp.Attempts {
+		fail("attempts = %d, want %d", o.Attempts, exp.Attempts)
+	}
+	if o.Detected != exp.Detected {
+		fail("scrub detected %d corrupted ranks, want %d", o.Detected, exp.Detected)
+	}
+	if o.Repaired != exp.Repaired {
+		fail("scrub repaired %d corrupted ranks, want %d", o.Repaired, exp.Repaired)
+	}
+	if o.Unrepairable != 0 {
+		fail("scrub declared %d ranks unrepairable", o.Unrepairable)
+	}
+	if exp.Restored {
+		if !o.Restored {
+			fail("expected recovery of epoch %d but the run started fresh", exp.RestoreIter)
+		} else if o.RestoreIter != exp.RestoreIter {
+			fail("restored epoch %d, want %d", o.RestoreIter, exp.RestoreIter)
+		}
+	} else if o.Restored {
+		fail("restored epoch %d where a fresh start (or no failure) was expected", o.RestoreIter)
+	}
+	for slot, names := range o.Leaks {
+		fail("slot %d leaks SHM segments %v", slot, names)
+	}
+	return bad
+}
+
+// VerifySDC runs an SDC cell and checks it in one step.
+func VerifySDC(s SDCSchedule) ([]string, error) {
+	o, err := RunSDC(s)
+	if err != nil {
+		return nil, err
+	}
+	return CheckSDC(s, o), nil
+}

@@ -1,0 +1,117 @@
+package crashmat
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSDCPredictTable pins the expected verdict of representative SDC
+// cells: scrub-only cells repair in place, kill cells exercise each
+// protocol's distinct restore answer to a poisoned checkpoint.
+func TestSDCPredictTable(t *testing.T) {
+	base := SDCSchedule{Epoch: 4, GroupSize: 4, Groups: 2, Iters: 6, Seed: 1}
+	cases := []struct {
+		protocol, target string
+		kill             bool
+		exp              SDCExpectation
+	}{
+		{"single", "buffer", false, SDCExpectation{Attempts: 1, Detected: 1, Repaired: 1}},
+		{"single", "checksum", false, SDCExpectation{Attempts: 1, Detected: 1, Repaired: 1}},
+		{"self", "buffer", false, SDCExpectation{Attempts: 1, Detected: 1, Repaired: 1}},
+		{"self", "workspace", false, SDCExpectation{Attempts: 1}},
+		{"double", "checksum", false, SDCExpectation{Attempts: 1, Detected: 1, Repaired: 1}},
+		{"multilevel", "buffer", false, SDCExpectation{Attempts: 1, Detected: 1, Repaired: 1}},
+
+		// Kill cells: the restore faces the corruption.
+		{"single", "buffer", true, SDCExpectation{Attempts: 2}}, // legal fresh start
+		{"self", "checksum", true, SDCExpectation{Attempts: 2}}, // legal fresh start
+		{"self", "workspace", true, SDCExpectation{Attempts: 2, Restored: true, RestoreIter: 4}},
+		{"double", "buffer", true, SDCExpectation{Attempts: 2, Restored: true, RestoreIter: 3}},
+		{"multilevel", "buffer", true, SDCExpectation{Attempts: 2, Restored: true, RestoreIter: 4}},
+		{"multilevel", "workspace", true, SDCExpectation{Attempts: 2, Restored: true, RestoreIter: 4}},
+	}
+	for _, c := range cases {
+		s := base
+		s.Protocol, s.Target, s.Kill = c.protocol, c.target, c.kill
+		exp, err := PredictSDC(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID(), err)
+		}
+		if exp != c.exp {
+			t.Errorf("%s: predicted %+v, want %+v", s.ID(), exp, c.exp)
+		}
+	}
+}
+
+func TestSDCIDRoundTrip(t *testing.T) {
+	for _, s := range SDCMatrix() {
+		if !IsSDCID(s.ID()) {
+			t.Fatalf("IsSDCID(%q) = false", s.ID())
+		}
+		back, err := ParseSDCID(s.ID())
+		if err != nil {
+			t.Fatalf("ParseSDCID(%q): %v", s.ID(), err)
+		}
+		if back != s {
+			t.Fatalf("round trip changed schedule: %q -> %+v", s.ID(), back)
+		}
+	}
+	if _, err := ParseSDCID("sdc/self/buffer/oops"); err == nil {
+		t.Fatal("ParseSDCID accepted a malformed id")
+	}
+	if IsSDCID("iter/self/...") {
+		t.Fatal("IsSDCID claimed a crash-schedule id")
+	}
+}
+
+func verifySDCAll(t *testing.T, schedules []SDCSchedule) {
+	t.Helper()
+	for _, s := range schedules {
+		s := s
+		t.Run(s.ID(), func(t *testing.T) {
+			t.Parallel()
+			bad, err := VerifySDC(s)
+			if err != nil {
+				t.Fatalf("engine error: %v", err)
+			}
+			for _, v := range bad {
+				t.Errorf("%s", v)
+			}
+		})
+	}
+}
+
+// TestSDCMatrixSampled always runs: a seeded sample of the SDC matrix.
+// Replay a failing cell via `go run ./cmd/sktchaos -run <id>`.
+func TestSDCMatrixSampled(t *testing.T) {
+	seed := matrixSeed(t)
+	t.Logf("SDC-matrix sample seed %d (set CRASHMAT_SEED to replay)", seed)
+	verifySDCAll(t, SampleSDC(SDCMatrix(), 8, seed))
+}
+
+// TestSDCMatrixFull explores every SDC cell; long, nightly.
+func TestSDCMatrixFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full SDC matrix: long; run without -short")
+	}
+	verifySDCAll(t, SDCMatrix())
+}
+
+// TestSDCDeterministic runs the same cell twice and demands identical
+// observations — flips, counters, and verdicts — so any logged cell ID
+// is replayable bit-for-bit.
+func TestSDCDeterministic(t *testing.T) {
+	s := SDCSchedule{Protocol: "double", Target: "buffer", Epoch: 2, Kill: true,
+		GroupSize: 4, Groups: 2, Iters: 6, Seed: 7}
+	a, err := RunSDC(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSDC(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same cell, different observations:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,6 +1,7 @@
 package crashmat
 
 import (
+	"errors"
 	"fmt"
 
 	"selfckpt/internal/checkpoint"
@@ -106,19 +107,24 @@ func iterBody(s Schedule) cluster.RankFn {
 		start := 0
 		if recoverable {
 			meta, epoch, err := p.Restore()
-			if err != nil {
+			switch {
+			case errors.Is(err, checkpoint.ErrUnrecoverable):
+				// Verify-before-restore refused the surviving state on
+				// every rank: a legal fresh start, not a failure.
+			case err != nil:
 				return err
-			}
-			start = iterFromMeta(meta)
-			if start <= 0 {
-				return errFreshStart
-			}
-			env.Metric(mRestored, 1)
-			env.Metric(mRestoreIter, float64(start))
-			env.Metric(mHeaderEpoch, float64(epoch))
-			// The restored workspace must already be bit-exact.
-			if err := checkFill(data, env.Rank(), start); err != nil {
-				return err
+			default:
+				start = iterFromMeta(meta)
+				if start <= 0 {
+					return errFreshStart
+				}
+				env.Metric(mRestored, 1)
+				env.Metric(mRestoreIter, float64(start))
+				env.Metric(mHeaderEpoch, float64(epoch))
+				// The restored workspace must already be bit-exact.
+				if err := checkFill(data, env.Rank(), start); err != nil {
+					return err
+				}
 			}
 		}
 		for it := start + 1; it <= s.Iters; it++ {

@@ -1,0 +1,88 @@
+package shm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file is the silent-data-corruption injector: a deterministic,
+// seeded way to flip bits in a named segment — the fail-silent
+// counterpart of the cluster simulator's node kills. The injector lives
+// in the SHM layer because that is where real SDC strikes: the DRAM
+// holding the checkpoint buffers, checksums and (for the self protocol)
+// the application workspace itself.
+
+// CorruptSpec names what to corrupt. Zero values pick the defaults: one
+// word, a random single-bit flip.
+type CorruptSpec struct {
+	// Segment is the full segment name (namespace included).
+	Segment string
+	// Words is how many distinct words to corrupt (default 1).
+	Words int
+	// Mask, when non-zero, is XORed into each victim word's bit pattern.
+	// When zero, an independent random single-bit mask is drawn per word.
+	Mask uint64
+}
+
+// Flip records one injected word flip for the audit log.
+type Flip struct {
+	Segment string
+	Index   int
+	// OldBits and NewBits are the word's float64 bit patterns before and
+	// after the flip.
+	OldBits, NewBits uint64
+}
+
+func (f Flip) String() string {
+	return fmt.Sprintf("%s[%d]: %016x -> %016x", f.Segment, f.Index, f.OldBits, f.NewBits)
+}
+
+// Corrupt flips bits in the named segment, deterministically for a given
+// (seed, spec, segment length): the same call against the same store
+// layout always picks the same words and masks. It returns the flips it
+// performed and appends them to the store's audit log. Corrupting a
+// missing segment is an error — injection targets must exist, otherwise
+// a typo would silently test nothing.
+func (st *Store) Corrupt(seed int64, spec CorruptSpec) ([]Flip, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	seg, ok := st.segments[spec.Segment]
+	if !ok {
+		return nil, fmt.Errorf("shm: cannot corrupt %q: no such segment", spec.Segment)
+	}
+	if len(seg.Data) == 0 {
+		return nil, fmt.Errorf("shm: cannot corrupt %q: segment is empty", spec.Segment)
+	}
+	words := spec.Words
+	if words <= 0 {
+		words = 1
+	}
+	if words > len(seg.Data) {
+		words = len(seg.Data)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	flips := make([]Flip, 0, words)
+	for _, idx := range rng.Perm(len(seg.Data))[:words] {
+		mask := spec.Mask
+		if mask == 0 {
+			mask = 1 << uint(rng.Intn(64))
+		}
+		old := math.Float64bits(seg.Data[idx])
+		seg.Data[idx] = math.Float64frombits(old ^ mask)
+		flips = append(flips, Flip{Segment: spec.Segment, Index: idx, OldBits: old, NewBits: old ^ mask})
+	}
+	st.corrupted = append(st.corrupted, flips...)
+	return flips, nil
+}
+
+// CorruptionLog returns every flip ever injected into this store, in
+// injection order. The log intentionally survives DestroyAll — it is an
+// experiment audit trail, not node memory.
+func (st *Store) CorruptionLog() []Flip {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]Flip, len(st.corrupted))
+	copy(out, st.corrupted)
+	return out
+}

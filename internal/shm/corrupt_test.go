@@ -1,0 +1,99 @@
+package shm
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestCorruptDeterministic(t *testing.T) {
+	mk := func() *Store {
+		st := NewStore(0)
+		seg, err := st.Create("ns/B", 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seg.Data {
+			seg.Data[i] = float64(i) + 0.25
+		}
+		return st
+	}
+	a, b := mk(), mk()
+	fa, err := a.Corrupt(7, CorruptSpec{Segment: "ns/B", Words: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.Corrupt(7, CorruptSpec{Segment: "ns/B", Words: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fa, fb) {
+		t.Fatalf("same seed produced different flips:\n%v\n%v", fa, fb)
+	}
+	if len(fa) != 3 {
+		t.Fatalf("wanted 3 flips, got %d", len(fa))
+	}
+	// A different seed must pick a different flip set.
+	fc, err := mk().Corrupt(8, CorruptSpec{Segment: "ns/B", Words: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(fa, fc) {
+		t.Fatalf("seeds 7 and 8 produced identical flips: %v", fa)
+	}
+}
+
+func TestCorruptFlipsExactlyTheLoggedBits(t *testing.T) {
+	st := NewStore(0)
+	seg, err := st.Create("ns/C", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seg.Data {
+		seg.Data[i] = 1.5 * float64(i+1)
+	}
+	orig := append([]float64{}, seg.Data...)
+	flips, err := st.Corrupt(42, CorruptSpec{Segment: "ns/C", Words: 2, Mask: 1 << 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	touched := map[int]bool{}
+	for _, f := range flips {
+		touched[f.Index] = true
+		if f.OldBits != math.Float64bits(orig[f.Index]) {
+			t.Errorf("flip %v: OldBits does not match pre-corruption word", f)
+		}
+		if got := math.Float64bits(seg.Data[f.Index]); got != f.NewBits {
+			t.Errorf("flip %v: segment holds %016x", f, got)
+		}
+		if f.OldBits^f.NewBits != 1<<17 {
+			t.Errorf("flip %v: wrong mask applied", f)
+		}
+	}
+	for i, v := range seg.Data {
+		if !touched[i] && math.Float64bits(v) != math.Float64bits(orig[i]) {
+			t.Errorf("word %d changed without being logged", i)
+		}
+	}
+}
+
+func TestCorruptAuditLogSurvivesDestroyAll(t *testing.T) {
+	st := NewStore(0)
+	if _, err := st.Create("ns/B", 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Corrupt(1, CorruptSpec{Segment: "ns/B"}); err != nil {
+		t.Fatal(err)
+	}
+	st.DestroyAll()
+	if got := len(st.CorruptionLog()); got != 1 {
+		t.Fatalf("audit log lost across DestroyAll: %d entries", got)
+	}
+}
+
+func TestCorruptMissingSegment(t *testing.T) {
+	st := NewStore(0)
+	if _, err := st.Corrupt(1, CorruptSpec{Segment: "nope"}); err == nil {
+		t.Fatal("corrupting a missing segment must fail")
+	}
+}

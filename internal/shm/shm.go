@@ -33,6 +33,10 @@ type Store struct {
 	segments map[string]*Segment
 	capacity int64 // bytes; 0 means unlimited
 	used     int64
+	// corrupted is the SDC injector's audit log (see corrupt.go). It is
+	// deliberately not cleared by DestroyAll: the log records what the
+	// experiment did to the node, not what the node remembers.
+	corrupted []Flip
 }
 
 // NewStore creates an empty store with the given capacity in bytes.

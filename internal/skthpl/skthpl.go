@@ -11,6 +11,7 @@ package skthpl
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 
@@ -65,6 +66,11 @@ type Config struct {
 	// restarting from scratch (the paper's §2.1/§7 multi-level
 	// integration).
 	L2Every int
+	// ScrubEvery, when positive, runs a collective integrity scrub of
+	// the in-memory checkpoints at every ScrubEvery-th panel boundary,
+	// catching and repairing silent corruption before a restore would
+	// need the damaged state. Counters land in the scrub_* job metrics.
+	ScrubEvery int
 }
 
 // Metric names reported through cluster.Env.
@@ -209,18 +215,40 @@ func Rank(env *cluster.Env, cfg Config) error {
 		// the (k, piv) metadata come from the checkpoint.
 		t0 := env.Now()
 		meta, epoch, err := prot.Restore()
-		if err != nil {
+		switch {
+		case errors.Is(err, checkpoint.ErrUnrecoverable):
+			// Verify-before-restore refused the surviving state (for
+			// example a corrupted sole copy): a legal fresh start, not a
+			// failure — regenerate instead of factorizing poisoned data.
+			m.Generate(cfg.Seed)
+		case err != nil:
 			return err
+		default:
+			if err := decodeMeta(meta, solver); err != nil {
+				return err
+			}
+			recoverSec = env.Now() - t0
+			env.Metric(MetricRecoverSec, recoverSec)
+			env.Metric(MetricRestoredEpoch, float64(epoch))
+			restored = true
 		}
-		if err := decodeMeta(meta, solver); err != nil {
-			return err
-		}
-		recoverSec = env.Now() - t0
-		env.Metric(MetricRecoverSec, recoverSec)
-		env.Metric(MetricRestoredEpoch, float64(epoch))
-		restored = true
 	} else {
 		m.Generate(cfg.Seed)
+	}
+
+	// Periodic scrubbing during the compute phase: verify (and repair)
+	// the in-memory checkpoints at panel boundaries, before the next
+	// checkpoint rotates the buffers.
+	var scrub *cluster.ScrubScheduler
+	if cfg.ScrubEvery > 0 {
+		sc, ok := prot.(checkpoint.Scrubber)
+		if !ok {
+			return fmt.Errorf("skthpl: strategy %q cannot scrub", cfg.Strategy)
+		}
+		scrub = &cluster.ScrubScheduler{Env: env, Every: cfg.ScrubEvery, Fn: func() (int, int, int, error) {
+			r, err := sc.Scrub()
+			return r.Detected, r.Repaired, r.Unrepairable, err
+		}}
 	}
 
 	// Elimination with checkpoints at iteration boundaries (Fig 9).
@@ -228,6 +256,9 @@ func Rank(env *cluster.Env, cfg Config) error {
 	var lastCkpt, totalCkpt float64
 	t0 := env.Now()
 	hook := func(k int) error {
+		if err := scrub.Tick(); err != nil {
+			return err
+		}
 		if cfg.CheckpointEvery <= 0 || k%cfg.CheckpointEvery != 0 || solver.Done() {
 			return nil
 		}
@@ -243,7 +274,7 @@ func Rank(env *cluster.Env, cfg Config) error {
 		return nil
 	}
 	activeHook := hook
-	if cfg.CheckpointEvery <= 0 {
+	if cfg.CheckpointEvery <= 0 && scrub == nil {
 		activeHook = nil
 	}
 	if err := solver.Factorize(activeHook); err != nil {
