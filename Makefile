@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test lint vet sktlint staticcheck matrix
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# lint is the one-shot static gate CI runs on every push: go vet, the
+# repo's own sktlint analyzers, and staticcheck when the binary is on
+# PATH (it needs a network install, so local runs degrade gracefully).
+lint: vet sktlint staticcheck
+
+vet:
+	$(GO) vet ./...
+
+sktlint:
+	$(GO) run ./cmd/sktlint ./...
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; \
+	fi
+
+# The full crash + SDC survival matrices (the nightly CI job).
+matrix:
+	$(GO) run ./cmd/sktchaos -full
+	$(GO) run ./cmd/sktchaos -sdc -full

@@ -12,18 +12,24 @@
 //	sktchaos -sample 40      # sample size
 //	sktchaos -seed 7         # reproduce a logged sample
 //	sktchaos -protocol self  # restrict to one protocol
-//	sktchaos -run <id>       # replay one cell by its logged ID
+//	sktchaos -run <id>       # replay a cell — or a whole sweep — by its ID
 //	sktchaos -list           # print every cell ID without running any
+//
+// A sampled run without -seed draws its seed from the OS entropy source
+// (never the wall clock — replay IDs must not depend on when a run
+// happened) and prints a sweep ID such as sweep/mix/all/n24/s12345 that
+// replays the identical survival table via -run.
 //
 // Exit status is 1 when any cell violates its guarantee.
 package main
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
-	"time"
 
 	"selfckpt/internal/checkpoint"
 	"selfckpt/internal/crashmat"
@@ -33,12 +39,18 @@ func main() {
 	full := flag.Bool("full", false, "run every cell of the matrix (plus second-failure and HPL cells)")
 	sdcOnly := flag.Bool("sdc", false, "run only silent-data-corruption cells")
 	sample := flag.Int("sample", 24, "number of sampled cells when not running -full")
-	seed := flag.Int64("seed", 0, "sampling seed (0 = derive from time; always printed)")
+	seed := flag.Int64("seed", 0, "sampling seed (0 = draw from OS entropy; always printed in the sweep ID)")
 	protocol := flag.String("protocol", "", "restrict to one protocol (single, double, self, multilevel)")
-	runID := flag.String("run", "", "replay a single cell by ID and report its verdict")
+	runID := flag.String("run", "", "replay a cell or sweep by ID and report its verdict")
 	list := flag.Bool("list", false, "print every cell ID in the matrices and exit")
 	flag.Parse()
 
+	if *protocol != "" {
+		if _, ok := checkpoint.ProtocolByName(*protocol); !ok {
+			fmt.Fprintf(os.Stderr, "sktchaos: unknown protocol %q\n", *protocol)
+			os.Exit(2)
+		}
+	}
 	if *list {
 		listIDs(*protocol)
 		return
@@ -47,59 +59,78 @@ func main() {
 		os.Exit(replay(*runID))
 	}
 
-	var schedules []crashmat.Schedule
-	sdc := crashmat.SDCMatrix()
-	if !*sdcOnly {
-		schedules = crashmat.FullMatrix()
-	}
-	switch {
-	case *full:
+	if *full {
+		var schedules []crashmat.Schedule
+		sdc := crashmat.SDCMatrix()
 		if !*sdcOnly {
+			schedules = crashmat.FullMatrix()
 			schedules = append(schedules, crashmat.SecondFailureMatrix()...)
 			schedules = append(schedules, crashmat.HPLMatrix()...)
 		}
-	default:
-		if *seed == 0 {
-			*seed = time.Now().UnixNano()
-		}
-		fmt.Printf("sampling %d cells with seed %d (replay with -seed %d)\n", *sample, *seed, *seed)
-		if *sdcOnly {
-			sdc = crashmat.SampleSDC(sdc, *sample, *seed)
-		} else {
-			schedules = crashmat.Sample(schedules, *sample, *seed)
-			// Ride a proportional slice of SDC cells along with the
-			// default crash sweep.
-			sdc = crashmat.SampleSDC(sdc, (*sample+2)/3, *seed)
-		}
-	}
-	if *protocol != "" {
-		if _, ok := checkpoint.ProtocolByName(*protocol); !ok {
-			fmt.Fprintf(os.Stderr, "sktchaos: unknown protocol %q\n", *protocol)
-			os.Exit(2)
-		}
-		var kept []crashmat.Schedule
-		for _, s := range schedules {
-			if s.Protocol == *protocol {
-				kept = append(kept, s)
-			}
-		}
-		schedules = kept
-		var keptSDC []crashmat.SDCSchedule
-		for _, s := range sdc {
-			if s.Protocol == *protocol {
-				keptSDC = append(keptSDC, s)
-			}
-		}
-		sdc = keptSDC
+		schedules, sdc = filterProtocol(schedules, sdc, *protocol)
+		os.Exit(runAll(schedules, sdc))
 	}
 
+	if *seed == 0 {
+		*seed = entropySeed()
+	}
+	sw := crashmat.Sweep{Mode: "mix", Protocol: *protocol, Sample: *sample, Seed: *seed}
+	if *sdcOnly {
+		sw.Mode = "sdc"
+	}
+	fmt.Printf("sweep %s: sampling %d cells with seed %d (replay with -run %s)\n",
+		sw.ID(), *sample, *seed, sw.ID())
+	schedules, sdc := sw.Expand()
+	os.Exit(runAll(schedules, sdc))
+}
+
+// entropySeed draws a replay seed from the OS entropy source. The wall
+// clock is deliberately not consulted (sktlint:detrand enforces this):
+// the seed's only job is to vary between runs, and once printed inside
+// the sweep ID the run is exactly reproducible.
+func entropySeed() int64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		fmt.Fprintf(os.Stderr, "sktchaos: reading entropy for seed: %v (pass -seed explicitly)\n", err)
+		os.Exit(2)
+	}
+	seed := int64(binary.LittleEndian.Uint64(b[:]) &^ (1 << 63))
+	if seed == 0 {
+		seed = 1 // 0 means "pick for me" on the flag; never emit it
+	}
+	return seed
+}
+
+func filterProtocol(schedules []crashmat.Schedule, sdc []crashmat.SDCSchedule, protocol string) ([]crashmat.Schedule, []crashmat.SDCSchedule) {
+	if protocol == "" {
+		return schedules, sdc
+	}
+	var kept []crashmat.Schedule
+	for _, s := range schedules {
+		if s.Protocol == protocol {
+			kept = append(kept, s)
+		}
+	}
+	var keptSDC []crashmat.SDCSchedule
+	for _, s := range sdc {
+		if s.Protocol == protocol {
+			keptSDC = append(keptSDC, s)
+		}
+	}
+	return kept, keptSDC
+}
+
+// runAll sweeps the crash and SDC schedules, prints the survival tables,
+// and returns the process exit code.
+func runAll(schedules []crashmat.Schedule, sdc []crashmat.SDCSchedule) int {
 	violations := sweep(schedules)
 	violations += sweepSDC(sdc)
 	if violations > 0 {
 		fmt.Printf("\n%d guarantee violation(s)\n", violations)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Println("\nall cells satisfy their protocol guarantees")
+	return 0
 }
 
 // listIDs enumerates every cell of every matrix without running any, so a
@@ -314,6 +345,9 @@ func printSDCTables(tables map[string]map[string]map[bool]*cell) {
 }
 
 func replay(id string) int {
+	if crashmat.IsSweepID(id) {
+		return replaySweep(id)
+	}
 	if crashmat.IsSDCID(id) {
 		return replaySDC(id)
 	}
@@ -340,6 +374,19 @@ func replay(id string) int {
 	}
 	fmt.Println("cell passes")
 	return 0
+}
+
+// replaySweep re-executes a whole sampled sweep from its logged ID,
+// reproducing the original run's survival tables exactly.
+func replaySweep(id string) int {
+	sw, err := crashmat.ParseSweepID(id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sktchaos:", err)
+		return 2
+	}
+	fmt.Printf("sweep %s: replaying %d sampled cells with seed %d\n", sw.ID(), sw.Sample, sw.Seed)
+	schedules, sdc := sw.Expand()
+	return runAll(schedules, sdc)
 }
 
 func replaySDC(id string) int {

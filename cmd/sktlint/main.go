@@ -1,0 +1,72 @@
+// Command sktlint statically enforces the simulator's invariants over the
+// module: determinism of replay-by-ID code (detrand), SHM segment
+// lifecycle (shmlifecycle), collective-call symmetry (collsym), and
+// checked checkpoint errors (ckpterr). It is the compile-time counterpart
+// of the crash-matrix and SDC runtime checks: the invariants those sweeps
+// probe after the fact are rejected here before the code merges.
+//
+// Usage:
+//
+//	sktlint ./...            # lint the whole module
+//	sktlint ./internal/shm   # lint one package
+//	sktlint -list            # describe the analyzers and exit
+//
+// Exit status is 1 when any diagnostic is reported, 2 on usage or load
+// errors. False positives are suppressed only with the documented
+// annotations (//sktlint:rank-divergent, //sktlint:persistent-segment) so
+// every waiver is visible in review and grep-able later.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"selfckpt/internal/analysis"
+	"selfckpt/internal/analysis/suite"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range suite.Analyzers() {
+			fmt.Printf("%-14s %s\n", e.Analyzer.Name, e.Analyzer.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.Load(cwd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := suite.Run(pkgs)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sktlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sktlint:", err)
+	os.Exit(2)
+}

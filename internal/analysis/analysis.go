@@ -1,0 +1,209 @@
+// Package analysis is a self-contained static-analysis framework for the
+// sktlint suite. It mirrors the shape of golang.org/x/tools/go/analysis —
+// an Analyzer runs over one type-checked package at a time and reports
+// position-anchored diagnostics — but is built entirely on the standard
+// library (go/ast, go/parser, go/types and the source importer), because
+// this module deliberately carries no external dependencies.
+//
+// The analyzers in the subpackages enforce the simulator's three load-
+// bearing invariant families at compile time instead of at runtime:
+//
+//   - determinism (detrand): crash/SDC schedules are replayable by ID, so
+//     wall-clock reads, unseeded global randomness, and map-iteration
+//     order must not reach results in determinism-critical packages.
+//   - SHM lifecycle (shmlifecycle): temporary segments must be destroyed
+//     on every control-flow path, or the LeakedSegments audit fires long
+//     after the leak was written.
+//   - collective symmetry (collsym): a simmpi collective issued inside a
+//     rank-dependent branch deadlocks the job unless every rank takes the
+//     same path; asymmetry must be annotated to be allowed.
+//   - checkpoint errors (ckpterr): Restore/Verify/Scrub/Commit results
+//     carry protocol guarantees and must not be dropped.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check. Run is invoked once per loaded
+// package with a fully type-checked Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and annotations. It must
+	// be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description printed by `sktlint -help`.
+	Doc string
+	// Run executes the check, reporting findings through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's syntax and type information to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report receives every diagnostic. The driver installs it.
+	Report func(Diagnostic)
+
+	// lineComments caches filename → line → comment texts for the
+	// annotation helpers.
+	lineComments map[string]map[int][]string
+}
+
+// Diagnostic is one finding, positioned for file:line:col rendering.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Annotated reports whether the line holding pos, or the line directly
+// above it, carries the given //sktlint:... annotation comment. This is
+// the only sanctioned suppression mechanism: the annotation is grep-able
+// and names the invariant being waived.
+func (p *Pass) Annotated(pos token.Pos, annotation string) bool {
+	if p.lineComments == nil {
+		p.buildLineComments()
+	}
+	position := p.Fset.Position(pos)
+	lines := p.lineComments[position.Filename]
+	for _, line := range []int{position.Line, position.Line - 1} {
+		for _, text := range lines[line] {
+			if strings.Contains(text, annotation) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (p *Pass) buildLineComments() {
+	p.lineComments = make(map[string]map[int][]string)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				position := p.Fset.Position(c.Pos())
+				m := p.lineComments[position.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					p.lineComments[position.Filename] = m
+				}
+				m[position.Line] = append(m[position.Line], c.Text)
+			}
+		}
+	}
+}
+
+// --- shared type-resolution helpers used by the analyzer subpackages ---
+
+// CalleeFunc resolves a call expression to the function or method object
+// it invokes, or nil for indirect calls through function values and for
+// type conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether call invokes the named package-level function
+// (not a method) of the package with the given import path.
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// MethodOn reports the method name when call invokes a method whose
+// receiver's named type is typeName declared in a package whose import
+// path ends in pkgSuffix (suffix matching keeps the analyzers independent
+// of the module path, so they work on both the repo and test fixtures).
+func MethodOn(info *types.Info, call *ast.CallExpr, pkgSuffix, typeName string) (string, bool) {
+	fn := CalleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Name() != typeName || obj.Pkg() == nil || !PathHasSuffix(obj.Pkg().Path(), pkgSuffix) {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// PathHasSuffix reports whether an import path equals suffix or ends in
+// "/"+suffix, so "internal/shm" matches both "selfckpt/internal/shm" and
+// a bare "internal/shm".
+func PathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// ObjectOf resolves an identifier to its object via Uses then Defs.
+func ObjectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,60 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"selfckpt/internal/analysis"
+)
+
+// TestLoaderResolvesModuleAndStdlib exercises the package loader on a
+// real package with both stdlib and module-internal imports.
+func TestLoaderResolvesModuleAndStdlib(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if loader.ModPath != "selfckpt" {
+		t.Fatalf("module path = %q, want selfckpt", loader.ModPath)
+	}
+	pkg, err := loader.LoadDir(filepath.Join(loader.ModRoot, "internal", "checkpoint"))
+	if err != nil {
+		t.Fatalf("LoadDir(internal/checkpoint): %v", err)
+	}
+	if pkg.Path != "selfckpt/internal/checkpoint" {
+		t.Errorf("import path = %q", pkg.Path)
+	}
+	if pkg.Types == nil || pkg.Types.Scope().Lookup("Protector") == nil {
+		t.Error("type information missing: Protector not found in package scope")
+	}
+	// The loader memoizes: a second load returns the same package.
+	again, err := loader.LoadDir(filepath.Join(loader.ModRoot, "internal", "checkpoint"))
+	if err != nil {
+		t.Fatalf("second LoadDir: %v", err)
+	}
+	if again != pkg {
+		t.Error("LoadDir is not memoized")
+	}
+}
+
+// TestLoadPatternSkipsTestdata verifies the "..." walk never descends
+// into testdata fixtures (which deliberately contain invariant
+// violations).
+func TestLoadPatternSkipsTestdata(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load(loader.ModRoot, "./internal/analysis/...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, p := range pkgs {
+		if filepath.Base(filepath.Dir(p.Dir)) == "src" {
+			t.Errorf("fixture package %s leaked into a pattern walk", p.Path)
+		}
+	}
+	if len(pkgs) < 5 {
+		t.Errorf("expected the analysis tree (framework + analyzers), got %d packages", len(pkgs))
+	}
+}

@@ -1,0 +1,112 @@
+// Package analysistest runs a sktlint analyzer over fixture packages and
+// checks its diagnostics against // want annotations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// only. A fixture line expecting a diagnostic carries a trailing comment:
+//
+//	time.Now() // want `wall-clock`
+//
+// where the backquoted text is a regular expression that must match a
+// diagnostic reported on that line. Every diagnostic must be wanted and
+// every want must be matched.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"selfckpt/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	p, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatalf("testdata: %v", err)
+	}
+	return p
+}
+
+// Run loads testdata/src/<pkg> for each named fixture package, applies
+// the analyzer, and reports mismatches through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader, err := analysis.NewLoader(testdata)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		loaded, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkg, err)
+		}
+		var diags []analysis.Diagnostic
+		pass := loaded.NewPass(a, func(d analysis.Diagnostic) { diags = append(diags, d) })
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, pkg, err)
+		}
+		checkWants(t, loaded, diags)
+	}
+}
+
+type key struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func checkWants(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[key][]*want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), m[1], err)
+				}
+				k := posKey(pkg.Fset.Position(c.Pos()))
+				wants[k] = append(wants[k], &want{re: re})
+			}
+		}
+	}
+	for _, d := range diags {
+		k := key{file: filepath.Base(d.Pos.Filename), line: d.Pos.Line}
+		found := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching `%s`", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+func posKey(p token.Position) key {
+	return key{file: filepath.Base(p.Filename), line: p.Line}
+}

@@ -1,0 +1,122 @@
+// Package ckpterr implements the checkpoint-error analyzer of the sktlint
+// suite. The results of Restore, Verify, Scrub, and Commit carry the
+// protocols' paper-stated guarantees; dropping one silently converts a
+// detected fault into an undetected one. The analyzer flags calls to
+// those functions — when they are declared in the checkpoint, cluster,
+// skthpl, or crashmat packages — whose error result is discarded, either
+// by using the call as a bare statement (or go/defer) or by assigning the
+// error position to the blank identifier.
+package ckpterr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"selfckpt/internal/analysis"
+)
+
+// Analyzer is the ckpterr instance registered with the sktlint suite.
+var Analyzer = &analysis.Analyzer{
+	Name: "ckpterr",
+	Doc: "flag ignored error results from Restore/Verify/Scrub/Commit in the " +
+		"checkpoint, cluster, skthpl, and crashmat packages",
+	Run: run,
+}
+
+// guarded names the checked functions and the guarantee an ignored error
+// drops, so the diagnostic explains the stake rather than just the rule.
+var guarded = map[string]string{
+	"Restore":    "a failed restore leaves the workspace at an inconsistent epoch",
+	"Verify":     "corrupted state would be accepted as a valid checkpoint",
+	"Scrub":      "silent data corruption would go undetected and unrepaired",
+	"Commit":     "the checkpoint epoch may not be durable",
+	"Checkpoint": "a silently failed checkpoint leaves no epoch to restore",
+}
+
+// guardedPkgs are the package-path suffixes whose declarations are
+// protected. Same-named functions elsewhere are none of our business.
+var guardedPkgs = []string{
+	"internal/checkpoint", "internal/cluster", "internal/skthpl", "internal/crashmat",
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					checkDiscarded(pass, call)
+				}
+			case *ast.GoStmt:
+				checkDiscarded(pass, n.Call)
+			case *ast.DeferStmt:
+				checkDiscarded(pass, n.Call)
+			case *ast.AssignStmt:
+				checkBlankError(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// guardedCall resolves call to a protected function, returning its name
+// and the index of the error result, or ok=false.
+func guardedCall(pass *analysis.Pass, call *ast.CallExpr) (name string, errIdx int, ok bool) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", 0, false
+	}
+	if _, watched := guarded[fn.Name()]; !watched {
+		return "", 0, false
+	}
+	inScope := false
+	for _, suffix := range guardedPkgs {
+		if analysis.PathHasSuffix(fn.Pkg().Path(), suffix) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return "", 0, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", 0, false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			return fn.Name(), i, true
+		}
+	}
+	return "", 0, false
+}
+
+// checkDiscarded flags a guarded call whose entire result is dropped.
+func checkDiscarded(pass *analysis.Pass, call *ast.CallExpr) {
+	if name, _, ok := guardedCall(pass, call); ok {
+		pass.Reportf(call.Pos(),
+			"error result of %s is discarded: %s", name, guarded[name])
+	}
+}
+
+// checkBlankError flags `x, _ := p.Restore()`-style assignments where the
+// blank identifier lands on the error position of a guarded call.
+func checkBlankError(pass *analysis.Pass, asg *ast.AssignStmt) {
+	if len(asg.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, errIdx, ok := guardedCall(pass, call)
+	if !ok || errIdx >= len(asg.Lhs) {
+		return
+	}
+	if id, ok := ast.Unparen(asg.Lhs[errIdx]).(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(asg.Pos(),
+			"error result of %s is assigned to _: %s", name, guarded[name])
+	}
+}

@@ -1,0 +1,12 @@
+package ckpterr_test
+
+import (
+	"testing"
+
+	"selfckpt/internal/analysis/analysistest"
+	"selfckpt/internal/analysis/ckpterr"
+)
+
+func TestCkpterr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ckpterr.Analyzer, "a")
+}

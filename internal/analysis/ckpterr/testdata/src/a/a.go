@@ -1,0 +1,52 @@
+// Fixture for the ckpterr analyzer: dropped errors from the guarded
+// checkpoint entry points are flagged; checked and propagated errors are
+// clean, as are same-named functions from unguarded packages.
+package a
+
+import "selfckpt/internal/checkpoint"
+
+func dropRestore(p checkpoint.Protector) {
+	p.Restore() // want `error result of Restore is discarded`
+}
+
+func blankRestore(p checkpoint.Protector) []byte {
+	meta, _, _ := p.Restore() // want `error result of Restore is assigned to _`
+	return meta
+}
+
+func dropCheckpoint(p checkpoint.Protector, meta []byte) {
+	p.Checkpoint(meta) // want `error result of Checkpoint is discarded`
+}
+
+func deferCheckpoint(p checkpoint.Protector, meta []byte) {
+	defer p.Checkpoint(meta) // want `error result of Checkpoint is discarded`
+}
+
+func dropScrub(s *checkpoint.Self) {
+	s.Scrub() // want `error result of Scrub is discarded`
+}
+
+func blankScrub(s *checkpoint.Self) checkpoint.ScrubResult {
+	res, _ := s.Scrub() // want `error result of Scrub is assigned to _`
+	return res
+}
+
+// checkedRestore is clean: the error is propagated.
+func checkedRestore(p checkpoint.Protector) error {
+	_, _, err := p.Restore()
+	return err
+}
+
+// checkedScrub is clean even though the result payload is dropped.
+func checkedScrub(s *checkpoint.Self) error {
+	_, err := s.Scrub()
+	return err
+}
+
+// Verify here shadows the guarded name but lives in this package, so
+// dropping its error is out of scope for ckpterr.
+func Verify() error { return nil }
+
+func dropLocalVerify() {
+	Verify()
+}

@@ -1,0 +1,215 @@
+// Package collsym implements the collective-symmetry analyzer of the
+// sktlint suite. Every simmpi collective (Barrier, Bcast, Reduce,
+// Allreduce, ...) must be entered by all members of the communicator in
+// the same order; a collective issued inside a branch whose condition
+// depends on the rank id is entered by some ranks and not others, and the
+// job deadlocks at the next rendezvous — the classic MPI asymmetry bug
+// that fault-tolerance frameworks must design around.
+//
+// The analyzer taints values derived from Comm.Rank() and Rank.Global()
+// (including variables assigned from them, transitively) and flags any
+// collective call lexically inside an if/switch/for whose condition or
+// tag involves a tainted value. Intentional divergence — for example a
+// recovery path where a replacement rank joins late by construction —
+// must be annotated with //sktlint:rank-divergent on or directly above
+// the call.
+package collsym
+
+import (
+	"go/ast"
+	"go/types"
+
+	"selfckpt/internal/analysis"
+)
+
+// Annotation marks a reviewed, deliberately rank-divergent collective.
+const Annotation = "//sktlint:rank-divergent"
+
+// Analyzer is the collsym instance registered with the sktlint suite.
+var Analyzer = &analysis.Analyzer{
+	Name: "collsym",
+	Doc: "flag simmpi collectives called inside rank-dependent branches " +
+		"(deadlock hazard) unless annotated " + Annotation,
+	Run: run,
+}
+
+// collectives are the Comm methods that rendezvous with every member of
+// the communicator.
+var collectives = map[string]bool{
+	"Barrier": true, "Bcast": true, "BcastRing": true, "Bcast2Ring": true,
+	"Reduce": true, "Allreduce": true, "Allgather": true,
+	"AllgatherSingle": true, "Gather": true, "Scatter": true,
+	"MaxlocAll": true,
+}
+
+func run(pass *analysis.Pass) error {
+	// The simmpi package itself implements the collectives out of
+	// point-to-point sends whose topology is necessarily rank-dependent.
+	if analysis.PathHasSuffix(pass.Pkg.Path(), "internal/simmpi") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFunc(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	tainted := rankTaintedObjects(pass, body)
+	isTainted := func(e ast.Expr) bool {
+		if e == nil {
+			return false
+		}
+		return exprRankTainted(pass, e, tainted)
+	}
+
+	// Walk with an explicit ancestor stack so each collective call can be
+	// tested against every enclosing branch condition.
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			// Nested closures are checked as their own scope. Inspect does
+			// not deliver the balancing nil when we prune, so pop here.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		method, ok := analysis.MethodOn(pass.TypesInfo, call, "internal/simmpi", "Comm")
+		if !ok || !collectives[method] {
+			return true
+		}
+		if cond := enclosingRankBranch(stack[:len(stack)-1], call, isTainted); cond != nil {
+			if !pass.Annotated(call.Pos(), Annotation) {
+				pass.Reportf(call.Pos(),
+					"collective %s inside a branch conditioned on the rank id (line %d): ranks diverge and the job deadlocks at the rendezvous; hoist the call or annotate %s",
+					method, pass.Fset.Position(cond.Pos()).Line, Annotation)
+			}
+		}
+		return true
+	})
+}
+
+// enclosingRankBranch returns the first rank-tainted controlling
+// expression among the ancestors of call, considering only ancestors that
+// actually guard the call (the call must sit in the statement's body, not
+// in its init or condition).
+func enclosingRankBranch(ancestors []ast.Node, call *ast.CallExpr, isTainted func(ast.Expr) bool) ast.Expr {
+	within := func(n ast.Node) bool {
+		return n != nil && n.Pos() <= call.Pos() && call.End() <= n.End()
+	}
+	for i := len(ancestors) - 1; i >= 0; i-- {
+		switch n := ancestors[i].(type) {
+		case *ast.IfStmt:
+			guarded := within(n.Body) || within(n.Else)
+			if guarded && isTainted(n.Cond) {
+				return n.Cond
+			}
+		case *ast.ForStmt:
+			if within(n.Body) && isTainted(n.Cond) {
+				return n.Cond
+			}
+		case *ast.SwitchStmt:
+			if within(n.Body) && isTainted(n.Tag) {
+				return n.Tag
+			}
+			// An expressionless switch guards via its case clauses.
+			if n.Tag == nil && within(n.Body) {
+				for _, c := range n.Body.List {
+					cc, ok := c.(*ast.CaseClause)
+					if !ok || !within(cc) {
+						continue
+					}
+					for _, e := range cc.List {
+						if isTainted(e) {
+							return e
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// rankTaintedObjects computes the set of variables carrying rank-derived
+// values: assigned (transitively) from Comm.Rank() or Rank.Global().
+func rankTaintedObjects(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	tainted := map[types.Object]bool{}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range asg.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				var rhs ast.Expr
+				if len(asg.Rhs) == len(asg.Lhs) {
+					rhs = asg.Rhs[i]
+				} else if len(asg.Rhs) == 1 {
+					rhs = asg.Rhs[0]
+				}
+				if rhs == nil || !exprRankTainted(pass, rhs, tainted) {
+					continue
+				}
+				if obj := analysis.ObjectOf(pass.TypesInfo, id); obj != nil && !tainted[obj] {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+// exprRankTainted reports whether e mentions a rank-id source: a call to
+// Comm.Rank() / Rank.Global(), or a variable already known to be tainted.
+func exprRankTainted(pass *analysis.Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if method, ok := analysis.MethodOn(pass.TypesInfo, n, "internal/simmpi", "Comm"); ok && method == "Rank" {
+				found = true
+				return false
+			}
+			if method, ok := analysis.MethodOn(pass.TypesInfo, n, "internal/simmpi", "Rank"); ok && method == "Global" {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if obj := analysis.ObjectOf(pass.TypesInfo, n); obj != nil && tainted[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

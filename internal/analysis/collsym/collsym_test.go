@@ -1,0 +1,12 @@
+package collsym_test
+
+import (
+	"testing"
+
+	"selfckpt/internal/analysis/analysistest"
+	"selfckpt/internal/analysis/collsym"
+)
+
+func TestCollsym(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), collsym.Analyzer, "a")
+}

@@ -1,0 +1,91 @@
+// Fixture for the collsym analyzer: collectives inside rank-conditioned
+// branches are deadlock hazards; symmetric calls and annotated divergence
+// are clean.
+package a
+
+import "selfckpt/internal/simmpi"
+
+// asymDirect deadlocks: only rank 0 enters the broadcast.
+func asymDirect(c *simmpi.Comm, buf []float64) error {
+	if c.Rank() == 0 {
+		return c.Bcast(0, buf) // want `collective Bcast inside a branch conditioned on the rank id`
+	}
+	return nil
+}
+
+// asymViaVars deadlocks through two levels of rank-derived locals.
+func asymViaVars(c *simmpi.Comm) error {
+	rank := c.Rank()
+	isRoot := rank == 0
+	if isRoot {
+		return c.Barrier() // want `collective Barrier inside a branch`
+	}
+	return nil
+}
+
+// asymSwitch deadlocks via a rank-tagged switch.
+func asymSwitch(c *simmpi.Comm, buf []float64) error {
+	switch c.Rank() {
+	case 0:
+		return c.Allreduce(buf, buf, simmpi.OpSum) // want `collective Allreduce inside a branch`
+	default:
+		return nil
+	}
+}
+
+// asymLoop deadlocks: ranks run different trip counts.
+func asymLoop(c *simmpi.Comm) error {
+	for i := 0; i < c.Rank(); i++ {
+		if err := c.Barrier(); err != nil { // want `collective Barrier inside a branch`
+			return err
+		}
+	}
+	return nil
+}
+
+// asymWorldRank deadlocks via the world-rank accessor.
+func asymWorldRank(c *simmpi.Comm, buf []float64) error {
+	if c.World().Global() == 0 {
+		return c.Bcast(0, buf) // want `collective Bcast inside a branch`
+	}
+	return c.Bcast(0, buf)
+}
+
+// symRootWork is the correct pattern: only the root prepares the buffer,
+// but every rank enters the collective.
+func symRootWork(c *simmpi.Comm, buf []float64) error {
+	if c.Rank() == 0 {
+		buf[0] = 42
+	}
+	return c.Bcast(0, buf)
+}
+
+// symSizeBranch is clean: the communicator size is the same on all ranks.
+func symSizeBranch(c *simmpi.Comm, buf []float64) error {
+	if c.Size() > 1 {
+		return c.Bcast(0, buf)
+	}
+	return nil
+}
+
+// symErrBranch is clean: the collective sits in the if's init, not its
+// guarded body.
+func symErrBranch(c *simmpi.Comm, buf []float64) error {
+	if err := c.Bcast(0, buf); err != nil {
+		return err
+	}
+	return nil
+}
+
+// annotated documents reviewed, deliberate divergence.
+func annotated(c *simmpi.Comm, buf []float64) error {
+	if c.Rank() == 0 {
+		//sktlint:rank-divergent — survivors rendezvous via the recovery path
+		return c.Bcast(0, buf)
+	}
+	return recoverPath(c, buf)
+}
+
+func recoverPath(c *simmpi.Comm, buf []float64) error {
+	return c.Bcast(0, buf) //sktlint:rank-divergent
+}

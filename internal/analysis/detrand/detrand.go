@@ -1,0 +1,241 @@
+// Package detrand implements the determinism analyzer of the sktlint
+// suite. Crash-matrix and SDC schedules are replayable by ID: given the
+// same cell ID (or sweep seed) the simulator must reproduce the identical
+// survival table bit for bit. Three sources of hidden nondeterminism can
+// silently break that contract and are flagged in determinism-critical
+// packages:
+//
+//   - wall-clock reads (time.Now, time.Since): real time must never feed
+//     a result; the simulator runs on virtual clocks.
+//   - unseeded global randomness (math/rand top-level functions): only
+//     explicitly seeded rand.New(rand.NewSource(seed)) generators are
+//     replayable from a logged seed.
+//   - map-iteration order reaching a returned slice or string without an
+//     intervening sort: Go randomizes map range order per run.
+package detrand
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"selfckpt/internal/analysis"
+)
+
+// Analyzer is the detrand instance registered with the sktlint suite.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "flag wall-clock reads, unseeded math/rand use, and map-range order " +
+		"escaping into returned values in determinism-critical packages",
+	Run: run,
+}
+
+// seededConstructors are the math/rand top-level functions that are fine
+// to call: they are how a replayable, explicitly seeded generator is
+// built in the first place.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapOrder(pass, n.Type, n.Body)
+				}
+			case *ast.FuncLit:
+				checkMapOrder(pass, n.Type, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			pass.Reportf(call.Pos(),
+				"time.%s in a determinism-critical package: wall-clock values break replay-by-ID; use the virtual clock or thread an explicit seed",
+				fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"unseeded %s.%s: global randomness is not replayable from a logged seed; use rand.New(rand.NewSource(seed))",
+				fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// checkMapOrder flags `for ... range m` over a map when a slice appended
+// to (or a string concatenated) inside the loop body can reach a return
+// statement of the enclosing function with no sort call ever applied to
+// it: the returned value then depends on Go's randomized map order.
+func checkMapOrder(pass *analysis.Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	var ranges []*ast.RangeStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return n.Body == body // don't descend into nested closures
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					ranges = append(ranges, n)
+				}
+			}
+		}
+		return true
+	})
+	if len(ranges) == 0 {
+		return
+	}
+
+	returned := returnedObjects(pass, ftype, body)
+	sorted := sortedObjects(pass, body)
+
+	for _, rng := range ranges {
+		for _, obj := range orderTaintedObjects(pass, rng) {
+			if returned[obj] && !sorted[obj] {
+				pass.Reportf(rng.Pos(),
+					"map iteration order reaches returned value %q without a sort: results become nondeterministic across runs",
+					obj.Name())
+				break
+			}
+		}
+	}
+}
+
+// orderTaintedObjects collects variables whose element order is decided
+// by the map range: slices appended to and strings concatenated inside
+// the loop body.
+func orderTaintedObjects(pass *analysis.Pass, rng *ast.RangeStmt) []types.Object {
+	var out []types.Object
+	seen := map[types.Object]bool{}
+	add := func(e ast.Expr) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := analysis.ObjectOf(pass.TypesInfo, id)
+		if obj == nil || seen[obj] {
+			return
+		}
+		switch obj.Type().Underlying().(type) {
+		case *types.Slice, *types.Basic:
+			seen[obj] = true
+			out = append(out, obj)
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range asg.Lhs {
+			switch {
+			case asg.Tok == token.ADD_ASSIGN:
+				add(lhs) // s += k inside a map range
+			case i < len(asg.Rhs):
+				// v = append(v, ...) inside a map range
+				if call, ok := ast.Unparen(asg.Rhs[i]).(*ast.CallExpr); ok {
+					if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+						add(lhs)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// returnedObjects collects identifiers referenced in return statements,
+// plus named results (reachable by a bare return).
+func returnedObjects(pass *analysis.Pass, ftype *ast.FuncType, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if ftype.Results != nil {
+		for _, field := range ftype.Results.List {
+			for _, name := range field.Names {
+				if obj := analysis.ObjectOf(pass.TypesInfo, name); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			ast.Inspect(res, func(m ast.Node) bool {
+				// len(v) and cap(v) do not expose element order.
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+						if _, isFunc := analysis.ObjectOf(pass.TypesInfo, id).(*types.Func); !isFunc {
+							return false
+						}
+					}
+				}
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := analysis.ObjectOf(pass.TypesInfo, id); obj != nil {
+						out[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// sortedObjects collects identifiers passed to any function of the sort
+// or slices packages anywhere in the function: once sorted, map-range
+// order no longer shows.
+func sortedObjects(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := analysis.ObjectOf(pass.TypesInfo, id); obj != nil {
+						out[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}

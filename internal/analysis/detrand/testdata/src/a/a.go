@@ -1,0 +1,77 @@
+// Fixture for the detrand analyzer: wall-clock reads, unseeded global
+// randomness, and map-order leaks are flagged; their seeded and sorted
+// counterparts are clean.
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now() // want `wall-clock`
+	return t.Unix()
+}
+
+func elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want `wall-clock`
+}
+
+func unseeded() int {
+	return rand.Intn(10) // want `unseeded`
+}
+
+func unseededShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `unseeded`
+}
+
+// seeded is clean: an explicitly seeded generator replays from its seed.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func mapOrderLeak(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order`
+		out = append(out, k)
+	}
+	return out
+}
+
+func mapOrderLeakString(m map[string]int) string {
+	s := ""
+	for k := range m { // want `map iteration order`
+		s += k
+	}
+	return s
+}
+
+// mapOrderSorted is clean: the sort erases the iteration order.
+func mapOrderSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mapOrderLocal is clean: the accumulated slice never leaves.
+func mapOrderLocal(m map[string]int) int {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return len(keys)
+}
+
+// sliceOrder is clean: ranging over a slice is deterministic.
+func sliceOrder(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

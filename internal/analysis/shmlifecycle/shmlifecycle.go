@@ -1,0 +1,347 @@
+// Package shmlifecycle implements the SHM-lifecycle analyzer of the
+// sktlint suite. Simulated System-V segments are owned by the node, not
+// the process: anything created and not destroyed stays allocated until
+// the node powers off, and only surfaces later in the LeakedSegments
+// audit — after the leak has already distorted capacity accounting.
+//
+// The checkable invariant: a segment obtained from Store.Create or
+// Store.CreateOrAttach whose handle stays local to the function (it is
+// not returned, stored into a struct, or passed on — the checkpoint
+// protocols deliberately persist their namespaced segments by keeping
+// the handle) is a *temporary* segment, and a temporary segment
+// must be destroyed on every control-flow path, including early error
+// returns. The reliable idiom is `defer st.Destroy(name)` right after a
+// successful create; a plain Destroy before the final return leaks on
+// every error path above it.
+//
+// A deliberately node-persistent segment whose handle is dropped can be
+// annotated with //sktlint:persistent-segment on the create line.
+package shmlifecycle
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"selfckpt/internal/analysis"
+)
+
+// Annotation marks a handle-dropping create as deliberately persistent.
+const Annotation = "//sktlint:persistent-segment"
+
+// Analyzer is the shmlifecycle instance registered with the sktlint suite.
+var Analyzer = &analysis.Analyzer{
+	Name: "shmlifecycle",
+	Doc: "require temporary SHM segments (handles that do not escape) to be " +
+		"destroyed on all control-flow paths, including early error returns",
+	Run: run,
+}
+
+// acquireMethods are the allocating calls. Attach is deliberately absent:
+// it is a read-only lookup of a segment someone else owns, and forcing a
+// Destroy after it would tear down shared state.
+var acquireMethods = map[string]bool{"Create": true, "CreateOrAttach": true}
+var releaseMethods = map[string]bool{"Destroy": true, "DestroyAll": true}
+
+func run(pass *analysis.Pass) error {
+	// The shm package itself implements the store and may manage segment
+	// tables directly.
+	if analysis.PathHasSuffix(pass.Pkg.Path(), "internal/shm") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFunc(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// inspectShallow visits n but does not descend into nested function
+// literals, which are analyzed as their own scopes.
+func inspectShallow(root ast.Node, body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// acquisition is one segment-returning store call found in a function.
+type acquisition struct {
+	call   *ast.CallExpr
+	method string
+	seg    types.Object // the *shm.Segment variable, nil when discarded
+	errObj types.Object // the error variable, nil when discarded
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	acqs := findAcquisitions(pass, body)
+	if len(acqs) == 0 {
+		return
+	}
+	escaped := escapedObjects(pass, body, acqs)
+	for _, a := range acqs {
+		if a.seg != nil && escaped[a.seg] {
+			continue // ownership left the function; not a temporary
+		}
+		if pass.Annotated(a.call.Pos(), Annotation) {
+			continue
+		}
+		if leak := firstLeakyPath(pass, body, a); leak.IsValid() {
+			pass.Reportf(a.call.Pos(),
+				"temporary SHM segment from %s is not destroyed on the path leaving the function at line %d; release it with `defer store.Destroy(name)` or annotate %s",
+				a.method, pass.Fset.Position(leak).Line, Annotation)
+		}
+	}
+}
+
+// findAcquisitions locates calls to the acquire methods on *shm.Store and
+// the local variables their segment results land in.
+func findAcquisitions(pass *analysis.Pass, body *ast.BlockStmt) []acquisition {
+	var out []acquisition
+	inspectShallow(body, body, func(n ast.Node) bool {
+		asg, isAssign := n.(*ast.AssignStmt)
+		var call *ast.CallExpr
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				call, _ = ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			}
+		case *ast.ExprStmt:
+			call, _ = ast.Unparen(n.X).(*ast.CallExpr)
+		}
+		if call == nil {
+			return true
+		}
+		method, ok := analysis.MethodOn(pass.TypesInfo, call, "internal/shm", "Store")
+		if !ok || !acquireMethods[method] {
+			return true
+		}
+		a := acquisition{call: call, method: method}
+		if isAssign && len(asg.Lhs) > 0 {
+			// The segment is always the first result, the error the last.
+			if id, ok := ast.Unparen(asg.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+				a.seg = analysis.ObjectOf(pass.TypesInfo, id)
+			}
+			if id, ok := ast.Unparen(asg.Lhs[len(asg.Lhs)-1]).(*ast.Ident); ok && id.Name != "_" && len(asg.Lhs) > 1 {
+				a.errObj = analysis.ObjectOf(pass.TypesInfo, id)
+			}
+		}
+		out = append(out, a)
+		return true
+	})
+	return out
+}
+
+// escapedObjects reports segment variables whose value leaves the
+// function: returned, assigned to anything but a plain local identifier,
+// placed in a composite literal, or passed as a call argument (other than
+// to the store's own release methods).
+func escapedObjects(pass *analysis.Pass, body *ast.BlockStmt, acqs []acquisition) map[types.Object]bool {
+	segs := map[types.Object]bool{}
+	for _, a := range acqs {
+		if a.seg != nil {
+			segs[a.seg] = true
+		}
+	}
+	uses := func(e ast.Expr, out map[types.Object]bool) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := analysis.ObjectOf(pass.TypesInfo, id); obj != nil && segs[obj] {
+					out[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	escaped := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				uses(res, escaped)
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				uses(elt, escaped)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				// Writing the handle anywhere but a fresh local (struct
+				// field, map slot, slice element, outer variable
+				// reassignment) transfers ownership.
+				if _, isIdent := ast.Unparen(lhs).(*ast.Ident); !isIdent {
+					if i < len(n.Rhs) {
+						uses(n.Rhs[i], escaped)
+					} else if len(n.Rhs) == 1 {
+						uses(n.Rhs[0], escaped)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if method, ok := analysis.MethodOn(pass.TypesInfo, n, "internal/shm", "Store"); ok && releaseMethods[method] {
+				return true
+			}
+			for _, arg := range n.Args {
+				uses(arg, escaped)
+			}
+		}
+		return true
+	})
+	return escaped
+}
+
+// firstLeakyPath walks the function body as a sequence of statements and
+// returns the first return statement reachable after the acquisition with
+// no release in force, or a non-nil marker when the function can fall off
+// its end unreleased. The walk is a linear approximation of the CFG:
+// a defer of Destroy/DestroyAll covers everything after it, a plain
+// release covers statements that follow it in source order, and branches
+// (if/else, switch, loops) are each walked with the state at entry.
+func firstLeakyPath(pass *analysis.Pass, body *ast.BlockStmt, a acquisition) token.Pos {
+	w := &walker{pass: pass, acq: a}
+	released := w.walkStmts(body.List, false, false)
+	if w.leak.IsValid() {
+		return w.leak
+	}
+	if w.active && !released && !w.terminated {
+		return body.Rbrace // fell off the end of the function unreleased
+	}
+	return token.NoPos
+}
+
+type walker struct {
+	pass       *analysis.Pass
+	acq        acquisition
+	active     bool      // acquisition statement has been passed
+	leak       token.Pos // first unreleased exit
+	terminated bool      // the top-level walk ended in a return
+}
+
+// walkStmts processes a statement list with the given entry state and
+// reports whether a release is in force at its end. deferred releases
+// stay in force for the whole remainder of the function.
+func (w *walker) walkStmts(stmts []ast.Stmt, released, inBranch bool) bool {
+	for _, s := range stmts {
+		released = w.walkStmt(s, released, inBranch)
+		if w.leak.IsValid() {
+			return released
+		}
+	}
+	return released
+}
+
+func (w *walker) walkStmt(s ast.Stmt, released, inBranch bool) bool {
+	switch s := s.(type) {
+	case *ast.DeferStmt:
+		if w.isRelease(s.Call) {
+			return true
+		}
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if w.containsAcq(s) {
+				w.active = true
+			} else if w.active && w.isRelease(call) {
+				return true
+			}
+		}
+	case *ast.AssignStmt:
+		if w.containsAcq(s) {
+			w.active = true
+		}
+	case *ast.ReturnStmt:
+		if w.active && !released {
+			w.leak = s.Pos()
+			return released
+		}
+		if !inBranch {
+			w.terminated = true
+		}
+	case *ast.IfStmt:
+		if w.containsAcq(s.Init) {
+			w.active = true
+		}
+		// `if err != nil { return err }` after the acquisition is the
+		// failure path: no segment was created there, so it cannot leak.
+		if !w.isAcqFailureCond(s.Cond) {
+			w.walkStmts(s.Body.List, released, true)
+		}
+		if !w.leak.IsValid() && s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				w.walkStmts(e.List, released, true)
+			case *ast.IfStmt:
+				w.walkStmt(e, released, true)
+			}
+		}
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, released, inBranch)
+	case *ast.ForStmt:
+		w.walkStmts(s.Body.List, released, true)
+	case *ast.RangeStmt:
+		w.walkStmts(s.Body.List, released, true)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, released, true)
+				if w.leak.IsValid() {
+					break
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, released, true)
+				if w.leak.IsValid() {
+					break
+				}
+			}
+		}
+	}
+	return released
+}
+
+// containsAcq reports whether the acquisition call site lies inside n.
+func (w *walker) containsAcq(n ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	return n.Pos() <= w.acq.call.Pos() && w.acq.call.End() <= n.End()
+}
+
+// isRelease recognizes Destroy/DestroyAll calls on a *shm.Store.
+func (w *walker) isRelease(call *ast.CallExpr) bool {
+	method, ok := analysis.MethodOn(w.pass.TypesInfo, call, "internal/shm", "Store")
+	return ok && releaseMethods[method]
+}
+
+// isAcqFailureCond recognizes `err != nil` over the acquisition's error
+// variable: the branch it guards is the path where no segment exists.
+func (w *walker) isAcqFailureCond(cond ast.Expr) bool {
+	if w.acq.errObj == nil {
+		return false
+	}
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.NEQ {
+		return false
+	}
+	for _, side := range []ast.Expr{bin.X, bin.Y} {
+		if id, ok := ast.Unparen(side).(*ast.Ident); ok {
+			if analysis.ObjectOf(w.pass.TypesInfo, id) == w.acq.errObj {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package shmlifecycle_test
+
+import (
+	"testing"
+
+	"selfckpt/internal/analysis/analysistest"
+	"selfckpt/internal/analysis/shmlifecycle"
+)
+
+func TestShmLifecycle(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), shmlifecycle.Analyzer, "a")
+}

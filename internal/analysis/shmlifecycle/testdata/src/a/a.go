@@ -1,0 +1,101 @@
+// Fixture for the shmlifecycle analyzer: temporary segments must be
+// destroyed on every path; escaping handles, deferred destroys, and
+// annotated persistence are clean.
+package a
+
+import (
+	"errors"
+
+	"selfckpt/internal/shm"
+)
+
+// leakOnEarlyReturn leaks "tmp" when the early return fires.
+func leakOnEarlyReturn(st *shm.Store) error {
+	seg, err := st.Create("tmp", 8) // want `not destroyed`
+	if err != nil {
+		return err
+	}
+	seg.Data[0] = 1
+	if seg.Data[0] > 0 {
+		return errors.New("early exit leaks tmp")
+	}
+	st.Destroy("tmp")
+	return nil
+}
+
+// leakAtEnd drops the handle and never destroys the segment.
+func leakAtEnd(st *shm.Store) {
+	_, _ = st.Create("scratch", 4) // want `not destroyed`
+}
+
+// deferredOK is the idiom: a deferred destroy covers every path.
+func deferredOK(st *shm.Store) error {
+	seg, err := st.Create("tmp2", 8)
+	if err != nil {
+		return err
+	}
+	defer st.Destroy("tmp2")
+	seg.Data[0] = 1
+	if seg.Data[0] > 0 {
+		return errors.New("early exit is fine: destroy is deferred")
+	}
+	return nil
+}
+
+// linearOK destroys before the only return.
+func linearOK(st *shm.Store) error {
+	seg, err := st.Create("tmp3", 8)
+	if err != nil {
+		return err
+	}
+	seg.Data[0] = 1
+	st.Destroy("tmp3")
+	return nil
+}
+
+type holder struct{ seg *shm.Segment }
+
+// escapes transfers ownership of the handle; persistence is deliberate.
+func escapes(st *shm.Store, h *holder) error {
+	seg, err := st.Create("persist", 8)
+	if err != nil {
+		return err
+	}
+	h.seg = seg
+	return nil
+}
+
+// returned transfers ownership to the caller.
+func returned(st *shm.Store) (*shm.Segment, error) {
+	return st.Create("handed-off", 8)
+}
+
+// annotated drops the handle but documents the node-persistent intent.
+func annotated(st *shm.Store) {
+	_, _ = st.Create("node-persistent", 8) //sktlint:persistent-segment
+}
+
+// attachOnly is clean: Attach is a read-only lookup of a segment someone
+// else owns, and carries no destroy obligation.
+func attachOnly(st *shm.Store) int {
+	seg := st.Attach("existing")
+	if seg == nil {
+		return 0
+	}
+	return len(seg.Data)
+}
+
+// branchLeak destroys on one arm of a switch but not the other.
+func branchLeak(st *shm.Store, mode int) error {
+	_, err := st.Create("probe", 2) // want `not destroyed`
+	if err != nil {
+		return err
+	}
+	switch mode {
+	case 0:
+		st.Destroy("probe")
+		return nil
+	default:
+		return errors.New("this arm leaks probe")
+	}
+}

@@ -1,0 +1,72 @@
+// Package suite assembles the sktlint analyzers and the policy of where
+// each applies, so the CLI, CI, and tests all run the identical
+// configuration.
+package suite
+
+import (
+	"selfckpt/internal/analysis"
+	"selfckpt/internal/analysis/ckpterr"
+	"selfckpt/internal/analysis/collsym"
+	"selfckpt/internal/analysis/detrand"
+	"selfckpt/internal/analysis/shmlifecycle"
+)
+
+// DeterminismCritical lists the package-path suffixes where replay-by-ID
+// must hold: the schedule engines, the protocols, the simulated MPI and
+// SHM substrates, the cluster simulator, and the sktchaos CLI that emits
+// replay IDs. detrand applies only here — wall-clock reads are legitimate
+// in, say, the wall-time progress banner of sktbench.
+var DeterminismCritical = []string{
+	"internal/crashmat",
+	"internal/checkpoint",
+	"internal/simmpi",
+	"internal/shm",
+	"internal/cluster",
+	"cmd/sktchaos",
+}
+
+// Entry pairs an analyzer with its applicability predicate.
+type Entry struct {
+	Analyzer *analysis.Analyzer
+	// AppliesTo reports whether the analyzer runs on the package with the
+	// given import path. Nil means everywhere.
+	AppliesTo func(pkgPath string) bool
+}
+
+// Analyzers returns the full sktlint suite in presentation order.
+func Analyzers() []Entry {
+	return []Entry{
+		{Analyzer: detrand.Analyzer, AppliesTo: isDeterminismCritical},
+		{Analyzer: shmlifecycle.Analyzer},
+		{Analyzer: collsym.Analyzer},
+		{Analyzer: ckpterr.Analyzer},
+	}
+}
+
+func isDeterminismCritical(pkgPath string) bool {
+	for _, suffix := range DeterminismCritical {
+		if analysis.PathHasSuffix(pkgPath, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes every applicable analyzer over every package and returns
+// the findings sorted by position.
+func Run(pkgs []*analysis.Package) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	report := func(d analysis.Diagnostic) { diags = append(diags, d) }
+	for _, pkg := range pkgs {
+		for _, e := range Analyzers() {
+			if e.AppliesTo != nil && !e.AppliesTo(pkg.Path) {
+				continue
+			}
+			if err := e.Analyzer.Run(pkg.NewPass(e.Analyzer, report)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	analysis.SortDiagnostics(diags)
+	return diags, nil
+}

@@ -1,0 +1,65 @@
+package suite_test
+
+import (
+	"testing"
+
+	"selfckpt/internal/analysis"
+	"selfckpt/internal/analysis/suite"
+)
+
+// TestRepoIsLintClean runs the full sktlint suite over the module — the
+// same configuration as `go run ./cmd/sktlint ./...` in CI — and fails on
+// any finding, so a determinism, SHM-lifecycle, symmetry, or dropped-
+// error regression is caught by `go test ./...` even before CI.
+func TestRepoIsLintClean(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := loader.Load(loader.ModRoot, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the module walk looks broken", len(pkgs))
+	}
+	diags, err := suite.Run(pkgs)
+	if err != nil {
+		t.Fatalf("suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestScoping pins the policy: detrand is restricted to the determinism-
+// critical packages, the other analyzers run everywhere.
+func TestScoping(t *testing.T) {
+	entries := suite.Analyzers()
+	if len(entries) != 4 {
+		t.Fatalf("expected 4 analyzers, got %d", len(entries))
+	}
+	byName := map[string]suite.Entry{}
+	for _, e := range entries {
+		byName[e.Analyzer.Name] = e
+	}
+	det, ok := byName["detrand"]
+	if !ok || det.AppliesTo == nil {
+		t.Fatal("detrand must be present and scoped")
+	}
+	if !det.AppliesTo("selfckpt/internal/crashmat") || !det.AppliesTo("selfckpt/cmd/sktchaos") {
+		t.Error("detrand must cover the schedule engine and the sktchaos CLI")
+	}
+	if det.AppliesTo("selfckpt/cmd/sktbench") {
+		t.Error("detrand must not cover sktbench (wall-time banners are legitimate there)")
+	}
+	for _, name := range []string{"shmlifecycle", "collsym", "ckpterr"} {
+		e, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing analyzer %s", name)
+		}
+		if e.AppliesTo != nil {
+			t.Errorf("%s should apply everywhere", name)
+		}
+	}
+}

@@ -108,7 +108,33 @@ func doubleTargets(target string, epoch uint64) (string, bool) {
 	return "", false
 }
 
-var registry = []Protocol{
+// registry holds every registered protocol in registration order. The
+// built-ins register themselves below; extensions add theirs through
+// Register.
+var registry []Protocol
+
+// Register adds a protocol descriptor to the registry. It panics on an
+// empty or duplicate name: the crash matrix keys cells by protocol name,
+// and two descriptors under one name would make replay IDs ambiguous.
+func Register(p Protocol) {
+	if p.Name == "" {
+		panic("checkpoint: Register called with empty protocol name")
+	}
+	for _, q := range registry {
+		if q.Name == p.Name {
+			panic(fmt.Sprintf("checkpoint: duplicate protocol registration %q", p.Name))
+		}
+	}
+	registry = append(registry, p)
+}
+
+func init() {
+	for _, p := range builtins {
+		Register(p)
+	}
+}
+
+var builtins = []Protocol{
 	{
 		Name:           "single",
 		Announces:      []string{FPBegin, FPFlush, FPMidFlush, FPAfterFlush},

@@ -1,0 +1,111 @@
+package checkpoint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryGuaranteePredicates pins the paper's survivability claims
+// as encoded by each protocol descriptor: single dies exactly inside its
+// B/C update window (Fig 2, CASE 2), everything else survives a one-node
+// loss at every failpoint.
+func TestRegistryGuaranteePredicates(t *testing.T) {
+	protos := Protocols()
+	if len(protos) != 4 {
+		t.Fatalf("expected 4 registered protocols, got %d", len(protos))
+	}
+	wantOrder := []string{"single", "double", "self", "multilevel"}
+	for i, p := range protos {
+		if p.Name != wantOrder[i] {
+			t.Fatalf("presentation order broken: got %q at %d, want %q", p.Name, i, wantOrder[i])
+		}
+	}
+	for _, p := range protos {
+		for _, fp := range Failpoints() {
+			got := p.SurvivesKillAt(fp)
+			want := true
+			if p.Name == "single" && (fp == FPFlush || fp == FPMidFlush) {
+				want = false
+			}
+			if got != want {
+				t.Errorf("%s.SurvivesKillAt(%s) = %v, want %v", p.Name, fp, got, want)
+			}
+		}
+	}
+}
+
+// TestRegistryDescriptorsAreComplete checks every descriptor carries the
+// pieces the crash and SDC matrices rely on.
+func TestRegistryDescriptorsAreComplete(t *testing.T) {
+	for _, p := range Protocols() {
+		if len(p.Announces) == 0 {
+			t.Errorf("%s: no announced failpoints", p.Name)
+		}
+		if len(p.Segments) == 0 {
+			t.Errorf("%s: no segment suffixes", p.Name)
+		}
+		if p.New == nil {
+			t.Errorf("%s: no constructor", p.Name)
+		}
+		for _, target := range p.ScrubTargets {
+			epoch := uint64(3)
+			seg, ok := p.TargetSegment(target, epoch)
+			if !ok || seg == "" {
+				t.Errorf("%s: scrub target %q does not resolve to a segment", p.Name, target)
+				continue
+			}
+			found := false
+			for _, s := range p.Segments {
+				if s == seg {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: target %q resolves to %q, which is not in Segments %v", p.Name, target, seg, p.Segments)
+			}
+		}
+		if _, ok := p.TargetSegment("no-such-target", 0); ok {
+			t.Errorf("%s: unknown scrub target resolved", p.Name)
+		}
+	}
+}
+
+// TestRegisterDuplicatePanics locks in the double-registration guard.
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("registering a duplicate protocol did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "duplicate protocol") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+		// The panic fires before the append, so the registry must be
+		// unchanged.
+		if len(Protocols()) != 4 {
+			t.Fatalf("registry mutated by failed registration: %d entries", len(Protocols()))
+		}
+	}()
+	Register(Protocol{Name: "single"})
+}
+
+// TestRegisterEmptyNamePanics rejects anonymous descriptors.
+func TestRegisterEmptyNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering an empty-name protocol did not panic")
+		}
+	}()
+	Register(Protocol{})
+}
+
+// TestProtocolByNameUnknown covers the miss path.
+func TestProtocolByNameUnknown(t *testing.T) {
+	if _, ok := ProtocolByName("blcr"); ok {
+		t.Error("unknown protocol lookup reported ok")
+	}
+	p, ok := ProtocolByName("self")
+	if !ok || p.Name != "self" {
+		t.Errorf("ProtocolByName(self) = %+v, %v", p, ok)
+	}
+}

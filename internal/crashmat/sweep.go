@@ -1,0 +1,102 @@
+package crashmat
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"selfckpt/internal/checkpoint"
+)
+
+// Sweep identifies one sampled survival sweep — the mode, protocol
+// restriction, sample size, and sampling seed — so an entire sampled run
+// is replayable from a single logged ID, not just its individual cells.
+// The expansion is fully deterministic: the same Sweep always yields the
+// same schedules in the same order, hence the identical survival table.
+type Sweep struct {
+	// Mode is "mix" (sampled crash cells plus a proportional slice of SDC
+	// cells, the sktchaos default) or "sdc" (SDC cells only).
+	Mode string
+	// Protocol restricts the sweep to one protocol; empty means all.
+	Protocol string
+	// Sample is the requested cell count.
+	Sample int
+	// Seed drives the deterministic sampling.
+	Seed int64
+}
+
+// ID renders the sweep's replay ID, e.g. "sweep/mix/all/n24/s12345".
+func (s Sweep) ID() string {
+	proto := s.Protocol
+	if proto == "" {
+		proto = "all"
+	}
+	return fmt.Sprintf("sweep/%s/%s/n%d/s%d", s.Mode, proto, s.Sample, s.Seed)
+}
+
+// IsSweepID reports whether id names a sampled sweep rather than a cell.
+func IsSweepID(id string) bool { return strings.HasPrefix(id, "sweep/") }
+
+// ParseSweepID inverts Sweep.ID.
+func ParseSweepID(id string) (Sweep, error) {
+	parts := strings.Split(id, "/")
+	if len(parts) != 5 || parts[0] != "sweep" {
+		return Sweep{}, fmt.Errorf("crashmat: malformed sweep ID %q (want sweep/<mode>/<protocol>/n<sample>/s<seed>)", id)
+	}
+	s := Sweep{Mode: parts[1], Protocol: parts[2]}
+	if s.Mode != "mix" && s.Mode != "sdc" {
+		return Sweep{}, fmt.Errorf("crashmat: sweep ID %q: unknown mode %q", id, s.Mode)
+	}
+	if s.Protocol == "all" {
+		s.Protocol = ""
+	} else if _, ok := checkpoint.ProtocolByName(s.Protocol); !ok {
+		return Sweep{}, fmt.Errorf("crashmat: sweep ID %q: unknown protocol %q", id, s.Protocol)
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(parts[3], "n"))
+	if err != nil || !strings.HasPrefix(parts[3], "n") || n <= 0 {
+		return Sweep{}, fmt.Errorf("crashmat: sweep ID %q: bad sample count %q", id, parts[3])
+	}
+	s.Sample = n
+	seed, err := strconv.ParseInt(strings.TrimPrefix(parts[4], "s"), 10, 64)
+	if err != nil || !strings.HasPrefix(parts[4], "s") {
+		return Sweep{}, fmt.Errorf("crashmat: sweep ID %q: bad seed %q", id, parts[4])
+	}
+	s.Seed = seed
+	return s, nil
+}
+
+// Expand materializes the sweep into its crash and SDC schedules, in the
+// exact order the original run executed them. Sampling happens before the
+// protocol restriction, matching the sktchaos CLI, so a restricted replay
+// of an unrestricted sweep ID would see different cells — which is why
+// the restriction is part of the ID.
+func (s Sweep) Expand() ([]Schedule, []SDCSchedule) {
+	var schedules []Schedule
+	var sdc []SDCSchedule
+	switch s.Mode {
+	case "sdc":
+		sdc = SampleSDC(SDCMatrix(), s.Sample, s.Seed)
+	default:
+		schedules = Sample(FullMatrix(), s.Sample, s.Seed)
+		// Ride a proportional slice of SDC cells along with the crash
+		// sweep.
+		sdc = SampleSDC(SDCMatrix(), (s.Sample+2)/3, s.Seed)
+	}
+	if s.Protocol != "" {
+		var keptCrash []Schedule
+		for _, c := range schedules {
+			if c.Protocol == s.Protocol {
+				keptCrash = append(keptCrash, c)
+			}
+		}
+		schedules = keptCrash
+		var keptSDC []SDCSchedule
+		for _, c := range sdc {
+			if c.Protocol == s.Protocol {
+				keptSDC = append(keptSDC, c)
+			}
+		}
+		sdc = keptSDC
+	}
+	return schedules, sdc
+}

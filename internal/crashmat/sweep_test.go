@@ -1,0 +1,83 @@
+package crashmat
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSweepIDRoundTrip(t *testing.T) {
+	for _, sw := range []Sweep{
+		{Mode: "mix", Sample: 24, Seed: 12345},
+		{Mode: "sdc", Sample: 10, Seed: -7},
+		{Mode: "mix", Protocol: "self", Sample: 40, Seed: 1 << 60},
+	} {
+		got, err := ParseSweepID(sw.ID())
+		if err != nil {
+			t.Fatalf("ParseSweepID(%s): %v", sw.ID(), err)
+		}
+		if got != sw {
+			t.Errorf("round trip %s: got %+v, want %+v", sw.ID(), got, sw)
+		}
+		if !IsSweepID(sw.ID()) {
+			t.Errorf("IsSweepID(%s) = false", sw.ID())
+		}
+	}
+}
+
+func TestParseSweepIDRejectsMalformed(t *testing.T) {
+	for _, id := range []string{
+		"sweep/mix/all",                 // too few parts
+		"sweep/warp/all/n24/s1",         // unknown mode
+		"sweep/mix/blcr/n24/s1",         // unknown protocol
+		"sweep/mix/all/x24/s1",          // bad sample prefix
+		"sweep/mix/all/n0/s1",           // non-positive sample
+		"sweep/mix/all/n24/1",           // bad seed prefix
+		"sweep/mix/all/n24/sfoo",        // non-numeric seed
+		"crash/self/ckpt-flush/o2/root", // a cell ID, not a sweep ID
+	} {
+		if _, err := ParseSweepID(id); err == nil {
+			t.Errorf("ParseSweepID(%q) accepted a malformed ID", id)
+		}
+	}
+}
+
+// TestSweepExpandDeterministic pins the replay contract: the same sweep
+// ID always expands to the identical schedule sequence.
+func TestSweepExpandDeterministic(t *testing.T) {
+	sw := Sweep{Mode: "mix", Sample: 12, Seed: 99}
+	c1, s1 := sw.Expand()
+	c2, s2 := sw.Expand()
+	if !reflect.DeepEqual(c1, c2) || !reflect.DeepEqual(s1, s2) {
+		t.Fatal("Expand is not deterministic for a fixed sweep")
+	}
+	if len(c1) != 12 {
+		t.Errorf("expected 12 crash cells, got %d", len(c1))
+	}
+	if len(s1) == 0 {
+		t.Error("mix sweep carried no SDC cells")
+	}
+	// A different seed must select a different sample (overwhelmingly).
+	c3, _ := Sweep{Mode: "mix", Sample: 12, Seed: 100}.Expand()
+	if reflect.DeepEqual(c1, c3) {
+		t.Error("different seeds produced identical samples")
+	}
+}
+
+// TestSweepExpandProtocolFilter verifies the restriction is applied after
+// sampling, matching the CLI semantics encoded in the ID.
+func TestSweepExpandProtocolFilter(t *testing.T) {
+	sw := Sweep{Mode: "sdc", Protocol: "self", Sample: 10, Seed: 7}
+	crash, sdc := sw.Expand()
+	if len(crash) != 0 {
+		t.Errorf("sdc sweep expanded %d crash cells", len(crash))
+	}
+	for _, s := range sdc {
+		if s.Protocol != "self" {
+			t.Errorf("protocol filter leaked %s cell %s", s.Protocol, s.ID())
+		}
+	}
+	unfiltered, _ := Sweep{Mode: "sdc", Sample: 10, Seed: 7}.Expand()
+	if len(unfiltered) != 0 {
+		t.Error("sdc sweep must not expand crash cells")
+	}
+}
