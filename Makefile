@@ -11,8 +11,10 @@ test:
 	$(GO) test ./...
 
 # lint is the one-shot static gate CI runs on every push: go vet, the
-# repo's own sktlint analyzers, and staticcheck when the binary is on
-# PATH (it needs a network install, so local runs degrade gracefully).
+# repo's own sktlint suite (detrand, shmlifecycle, collsym, ckpterr,
+# ckptcover — see `go run ./cmd/sktlint -list`), and staticcheck when the
+# binary is on PATH (it needs a network install, so local runs degrade
+# gracefully).
 lint: vet sktlint staticcheck
 
 vet:

@@ -1,26 +1,36 @@
 // Command sktlint statically enforces the simulator's invariants over the
 // module: determinism of replay-by-ID code (detrand), SHM segment
-// lifecycle (shmlifecycle), collective-call symmetry (collsym), and
-// checked checkpoint errors (ckpterr). It is the compile-time counterpart
-// of the crash-matrix and SDC runtime checks: the invariants those sweeps
-// probe after the fact are rejected here before the code merges.
+// lifecycle (shmlifecycle), collective-call symmetry (collsym), checked
+// checkpoint errors (ckpterr), and checkpoint coverage of loop-carried
+// state (ckptcover). It is the compile-time counterpart of the
+// crash-matrix and SDC runtime checks: the invariants those sweeps probe
+// after the fact are rejected here before the code merges.
 //
 // Usage:
 //
 //	sktlint ./...            # lint the whole module
 //	sktlint ./internal/shm   # lint one package
+//	sktlint -json ./...      # machine-readable findings (file/line/col/
+//	                         # analyzer/message/suppression)
+//	sktlint -gha ./...       # GitHub Actions ::error annotations
 //	sktlint -list            # describe the analyzers and exit
 //
 // Exit status is 1 when any diagnostic is reported, 2 on usage or load
 // errors. False positives are suppressed only with the documented
-// annotations (//sktlint:rank-divergent, //sktlint:persistent-segment) so
-// every waiver is visible in review and grep-able later.
+// annotations (//sktlint:nondeterministic, //sktlint:persistent-segment,
+// //sktlint:rank-divergent, //sktlint:unchecked-error,
+// //sktlint:ephemeral) so every waiver is visible in review and grep-able
+// later; the JSON output names the applicable annotation next to each
+// finding.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"selfckpt/internal/analysis"
 	"selfckpt/internal/analysis/suite"
@@ -28,6 +38,8 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of plain lines")
+	ghaOut := flag.Bool("gha", false, "emit findings as GitHub Actions ::error annotations")
 	flag.Parse()
 
 	if *list {
@@ -57,13 +69,88 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	switch {
+	case *jsonOut:
+		if err := emitJSON(os.Stdout, cwd, diags); err != nil {
+			fatal(err)
+		}
+	case *ghaOut:
+		emitGHA(cwd, diags)
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "sktlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 		os.Exit(1)
 	}
+}
+
+// jsonDiag is the machine-readable form of one finding. Suppression is
+// the //sktlint:... annotation that would waive it, so tooling can
+// suggest the correct, grep-able escape hatch in place.
+type jsonDiag struct {
+	File        string `json:"file"`
+	Line        int    `json:"line"`
+	Col         int    `json:"col"`
+	Analyzer    string `json:"analyzer"`
+	Message     string `json:"message"`
+	Suppression string `json:"suppression,omitempty"`
+}
+
+func emitJSON(w *os.File, cwd string, diags []analysis.Diagnostic) error {
+	suppressions := suppressionByAnalyzer()
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:        relPath(cwd, d.Pos.Filename),
+			Line:        d.Pos.Line,
+			Col:         d.Pos.Column,
+			Analyzer:    d.Analyzer,
+			Message:     d.Message,
+			Suppression: suppressions[d.Analyzer],
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// emitGHA prints one workflow command per finding; GitHub converts them
+// into error annotations anchored to the file and line in the diff view.
+func emitGHA(cwd string, diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		fmt.Printf("::error file=%s,line=%d,col=%d,title=sktlint/%s::%s\n",
+			ghaEscape(relPath(cwd, d.Pos.Filename)), d.Pos.Line, d.Pos.Column,
+			d.Analyzer, ghaEscape(d.Message))
+	}
+}
+
+// ghaEscape applies the workflow-command escaping rules for data fields.
+func ghaEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+func suppressionByAnalyzer() map[string]string {
+	out := map[string]string{}
+	for _, e := range suite.Analyzers() {
+		out[e.Analyzer.Name] = e.Analyzer.Suppression
+	}
+	return out
+}
+
+// relPath shortens absolute positions to repo-relative ones, which both
+// CI annotations and humans want.
+func relPath(cwd, file string) string {
+	if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return file
 }
 
 func fatal(err error) {

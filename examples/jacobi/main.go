@@ -136,6 +136,7 @@ func jacobiRank(env *cluster.Env, final []float64) error {
 			if i < cells-1 {
 				r = u[i+1]
 			}
+			//sktlint:ephemeral — every cell is rewritten by this full sweep before the copy back to u reads it
 			scratch[i] = 0.5*u[i] + 0.25*(l+r)
 		}
 		copy(u, scratch)

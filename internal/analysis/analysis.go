@@ -5,8 +5,12 @@
 // library (go/ast, go/parser, go/types and the source importer), because
 // this module deliberately carries no external dependencies.
 //
-// The analyzers in the subpackages enforce the simulator's three load-
-// bearing invariant families at compile time instead of at runtime:
+// The cfg and dataflow subpackages add per-function control-flow graphs
+// and worklist dataflow (liveness, reaching definitions, a call graph)
+// on top, so analyzers can reason about paths rather than syntax.
+//
+// The analyzers in the subpackages enforce the simulator's load-bearing
+// invariant families at compile time instead of at runtime:
 //
 //   - determinism (detrand): crash/SDC schedules are replayable by ID, so
 //     wall-clock reads, unseeded global randomness, and map-iteration
@@ -19,6 +23,9 @@
 //     same path; asymmetry must be annotated to be allowed.
 //   - checkpoint errors (ckpterr): Restore/Verify/Scrub/Commit results
 //     carry protocol guarantees and must not be dropped.
+//   - checkpoint coverage (ckptcover): state carried across a
+//     Checkpoint/Commit epoch boundary must reach the protected
+//     workspace or the meta blob, or a restore silently loses it.
 package analysis
 
 import (
@@ -38,6 +45,11 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description printed by `sktlint -help`.
 	Doc string
+	// Suppression is the //sktlint:... annotation that waives this
+	// analyzer's findings (empty when the analyzer has none). The JSON
+	// output of cmd/sktlint carries it with every diagnostic so tooling
+	// can suggest the correct waiver next to the finding.
+	Suppression string
 	// Run executes the check, reporting findings through pass.Reportf.
 	Run func(pass *Pass) error
 }
@@ -96,6 +108,29 @@ func (p *Pass) Annotated(pos token.Pos, annotation string) bool {
 		}
 	}
 	return false
+}
+
+// AnnotationReason looks for the annotation on the line holding pos or
+// the line directly above it, and returns the free text that follows the
+// marker (leading dashes/colons trimmed). Analyzers that demand a
+// written justification — ckptcover's //sktlint:ephemeral — use it to
+// reject bare markers. found reports whether the marker is present at
+// all.
+func (p *Pass) AnnotationReason(pos token.Pos, annotation string) (reason string, found bool) {
+	if p.lineComments == nil {
+		p.buildLineComments()
+	}
+	position := p.Fset.Position(pos)
+	lines := p.lineComments[position.Filename]
+	for _, line := range []int{position.Line, position.Line - 1} {
+		for _, text := range lines[line] {
+			if i := strings.Index(text, annotation); i >= 0 {
+				rest := text[i+len(annotation):]
+				return strings.TrimSpace(strings.TrimLeft(rest, " \t:-—–")), true
+			}
+		}
+	}
+	return "", false
 }
 
 func (p *Pass) buildLineComments() {

@@ -7,13 +7,19 @@
 //
 // where the backquoted text is a regular expression that must match a
 // diagnostic reported on that line. Every diagnostic must be wanted and
-// every want must be matched.
+// every want must be matched. On a mismatch the failure message includes
+// the fixture source around the line — and, for an unexpected
+// diagnostic, any unmatched want patterns on the same line — so the
+// expected-vs-actual divergence reads directly off the test log.
 package analysistest
 
 import (
+	"fmt"
 	"go/token"
+	"os"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"testing"
 
 	"selfckpt/internal/analysis"
@@ -51,7 +57,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 		if err := a.Run(pass); err != nil {
 			t.Fatalf("%s on %s: %v", a.Name, pkg, err)
 		}
-		checkWants(t, loaded, diags)
+		Check(t, loaded, diags)
 	}
 }
 
@@ -62,10 +68,15 @@ type key struct {
 
 type want struct {
 	re      *regexp.Regexp
+	file    string // absolute path, for source context
+	line    int
 	matched bool
 }
 
-func checkWants(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+// Check compares diags against the // want comments of pkg. It is
+// exported so suite-level tests can run several analyzers over one
+// shared fixture and validate the combined findings.
+func Check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
 	t.Helper()
 	wants := map[key][]*want{}
 	for _, f := range pkg.Files {
@@ -79,8 +90,9 @@ func checkWants(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic
 				if err != nil {
 					t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), m[1], err)
 				}
-				k := posKey(pkg.Fset.Position(c.Pos()))
-				wants[k] = append(wants[k], &want{re: re})
+				pos := pkg.Fset.Position(c.Pos())
+				k := posKey(pos)
+				wants[k] = append(wants[k], &want{re: re, file: pos.Filename, line: pos.Line})
 			}
 		}
 	}
@@ -95,16 +107,59 @@ func checkWants(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic
 			}
 		}
 		if !found {
-			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, d.Message)
+			msg := fmt.Sprintf("%s:%d: unexpected diagnostic: %s", k.file, k.line, d.Message)
+			if patterns := unmatchedPatterns(wants[k]); len(patterns) > 0 {
+				msg += fmt.Sprintf("\n\tline wants (unmatched): `%s`", strings.Join(patterns, "`, `"))
+			}
+			t.Errorf("%s%s", msg, sourceContext(d.Pos.Filename, d.Pos.Line))
 		}
 	}
-	for k, ws := range wants {
+	for _, ws := range wants {
 		for _, w := range ws {
 			if !w.matched {
-				t.Errorf("%s:%d: no diagnostic matching `%s`", k.file, k.line, w.re)
+				t.Errorf("%s:%d: no diagnostic matching `%s`%s",
+					filepath.Base(w.file), w.line, w.re, sourceContext(w.file, w.line))
 			}
 		}
 	}
+}
+
+// unmatchedPatterns lists the still-unmatched want regexes of one line,
+// so an unexpected diagnostic shows what the fixture expected instead.
+func unmatchedPatterns(ws []*want) []string {
+	var out []string
+	for _, w := range ws {
+		if !w.matched {
+			out = append(out, w.re.String())
+		}
+	}
+	return out
+}
+
+// sourceContext renders the fixture source around line with a marker on
+// the offending line, so a failure reads without opening the file.
+func sourceContext(file string, line int) string {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return ""
+	}
+	lines := strings.Split(string(data), "\n")
+	lo, hi := line-2, line+1
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > len(lines) {
+		hi = len(lines)
+	}
+	var sb strings.Builder
+	for i := lo; i <= hi; i++ {
+		marker := "  "
+		if i == line {
+			marker = "> "
+		}
+		fmt.Fprintf(&sb, "\n\t%s%4d | %s", marker, i, lines[i-1])
+	}
+	return sb.String()
 }
 
 func posKey(p token.Position) key {

@@ -1,0 +1,472 @@
+// Package cfg builds intra-procedural control-flow graphs from go/ast
+// function bodies, on the standard library only. It is the foundation of
+// the sktlint dataflow analyses: the shmlifecycle analyzer walks it to
+// prove release-on-all-paths, and the dataflow package runs worklist
+// fixed points (liveness, reaching definitions) over it.
+//
+// The graph is statement-level: every Block holds a sequence of ast.Node
+// entries (statements, plus the controlling expression of an if/for/
+// switch as its last entry) that execute without internal branching, and
+// edges record every possible successor. The builder handles the full
+// statement grammar that matters for path reasoning:
+//
+//   - if/else chains and the empty else,
+//   - for (all three clauses), range, and their break/continue,
+//   - labeled statements with labeled break/continue and goto (including
+//     goto into and out of loops),
+//   - switch/type switch with fallthrough and a missing default,
+//   - select with and without a default clause,
+//   - return, and panic-like calls that never return (panic itself plus
+//     anything the NoReturn option recognizes, e.g. os.Exit, log.Fatalf),
+//   - defer and go statements (kept in the block as ordinary entries;
+//     defer *semantics* — running at every exit — are the client's
+//     business, since different analyses want different models).
+//
+// Unreachable code after a return/goto still lands in a (predecessor-
+// less) block, so positions inside it remain addressable.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one straight-line run of statements.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (stable, used by the
+	// renderer and as a map key by the dataflow solver).
+	Index int
+	// Kind is a human-readable tag ("entry", "if.then", "for.head", ...)
+	// for rendering and debugging; clients must not branch on it.
+	Kind string
+	// Stmts are the node entries in execution order. A block ending in a
+	// conditional branch has the controlling ast.Expr as its last entry.
+	Stmts []ast.Node
+	// Succs are the possible successors in a fixed order: for a block
+	// ending in an if/for condition, Succs[0] is the true branch and
+	// Succs[1] the false branch.
+	Succs []*Block
+}
+
+// Graph is the CFG of one function body.
+type Graph struct {
+	Entry *Block
+	// Exit is the single synthetic exit block: returns, panics, and the
+	// fall-off-the-end path all lead here.
+	Exit   *Block
+	Blocks []*Block
+}
+
+// Options tunes construction.
+type Options struct {
+	// NoReturn reports whether a call expression never returns control
+	// (os.Exit, log.Fatal, runtime.Goexit, testing's t.Fatal...). The
+	// builtin panic is always recognized. Nil means only panic.
+	NoReturn func(*ast.CallExpr) bool
+}
+
+// New builds the CFG of body with default options.
+func New(body *ast.BlockStmt) *Graph { return Build(body, Options{}) }
+
+// Build builds the CFG of body.
+func Build(body *ast.BlockStmt, opts Options) *Graph {
+	b := &builder{opts: opts, labels: map[string]*labelInfo{}}
+	b.graph = &Graph{}
+	entry := b.newBlock("entry")
+	b.graph.Entry = entry
+	b.graph.Exit = b.newBlock("exit")
+	b.cur = entry
+	b.stmtList(body.List)
+	// Falling off the end of the function is a normal exit. The marker
+	// distinguishes it from return edges for clients that care (the
+	// shmlifecycle analyzer reports the closing brace).
+	if b.cur != nil {
+		b.edge(b.cur, b.graph.Exit)
+	}
+	return b.graph
+}
+
+// Containing locates the block and in-block index of the entry whose
+// source range covers pos, or (nil, -1). When entries nest — a range
+// head holds the whole RangeStmt, whose span covers the loop body's
+// statements — the narrowest covering entry wins.
+func (g *Graph) Containing(pos token.Pos) (*Block, int) {
+	var (
+		bestBlk  *Block
+		bestIdx  = -1
+		bestSpan token.Pos
+	)
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Stmts {
+			if n.Pos() <= pos && pos < n.End() {
+				span := n.End() - n.Pos()
+				if bestIdx == -1 || span < bestSpan {
+					bestBlk, bestIdx, bestSpan = blk, i, span
+				}
+			}
+		}
+	}
+	return bestBlk, bestIdx
+}
+
+type labelInfo struct {
+	// target is the block a goto to this label jumps to.
+	target *Block
+	// breakTo / continueTo are set while the labeled loop/switch/select
+	// is being built.
+	breakTo    *Block
+	continueTo *Block
+}
+
+// loopFrame tracks the innermost break/continue targets.
+type loopFrame struct {
+	breakTo    *Block
+	continueTo *Block // nil inside switch/select (continue passes through)
+	label      string
+}
+
+type builder struct {
+	graph  *Graph
+	opts   Options
+	cur    *Block // nil while the current position is unreachable
+	frames []loopFrame
+	labels map[string]*labelInfo
+	// pendingLabel is the label naming the next loop/switch/select, so
+	// `L: for ...` wires labeled break/continue.
+	pendingLabel string
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.graph.Blocks), Kind: kind}
+	b.graph.Blocks = append(b.graph.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) { from.Succs = append(from.Succs, to) }
+
+// current returns the block to append to, materializing an unreachable
+// block after a return/goto so later statements still have a home.
+func (b *builder) current() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	return b.cur
+}
+
+func (b *builder) add(n ast.Node) { blk := b.current(); blk.Stmts = append(blk.Stmts, n) }
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// A label gets its own block so goto lands on a clean boundary.
+		lbl := b.labelFor(s.Label.Name)
+		if lbl.target == nil {
+			lbl.target = b.newBlock("label." + s.Label.Name)
+		}
+		if b.cur != nil {
+			b.edge(b.cur, lbl.target)
+		}
+		b.cur = lbl.target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.current()
+		after := b.newBlock("if.after")
+		then := b.newBlock("if.then")
+		b.edge(condBlk, then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			b.edge(condBlk, els)
+			b.cur = els
+			b.stmt(s.Else)
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		} else {
+			b.edge(condBlk, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock("for.head")
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		after := b.newBlock("for.after")
+		body := b.newBlock("for.body")
+		if s.Cond != nil {
+			head.Stmts = append(head.Stmts, s.Cond)
+			b.edge(head, body)
+			b.edge(head, after)
+		} else {
+			b.edge(head, body)
+		}
+		// continue runs the post statement (its own block when present).
+		contTo := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			post.Stmts = append(post.Stmts, s.Post)
+			b.edge(post, head)
+			contTo = post
+		}
+		b.pushFrame(loopFrame{breakTo: after, continueTo: contTo, label: label})
+		b.setLabelTargets(label, after, contTo)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, contTo)
+		}
+		b.popFrame()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock("range.head")
+		// The head holds the whole RangeStmt node: it evaluates X and
+		// assigns Key/Value each iteration.
+		head.Stmts = append(head.Stmts, s)
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		after := b.newBlock("range.after")
+		body := b.newBlock("range.body")
+		b.edge(head, body)
+		b.edge(head, after)
+		b.pushFrame(loopFrame{breakTo: after, continueTo: head, label: label})
+		b.setLabelTargets(label, after, head)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.popFrame()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		b.buildSwitch(s.Init, s.Tag, nil, s.Body, true)
+
+	case *ast.TypeSwitchStmt:
+		b.buildSwitch(s.Init, nil, s.Assign, s.Body, false)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.current()
+		after := b.newBlock("select.after")
+		b.pushFrame(loopFrame{breakTo: after, label: label})
+		b.setLabelTargets(label, after, nil)
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			kind := "select.case"
+			if cc.Comm == nil {
+				kind = "select.default"
+			}
+			blk := b.newBlock(kind)
+			b.edge(head, blk)
+			if cc.Comm != nil {
+				blk.Stmts = append(blk.Stmts, cc.Comm)
+			}
+			b.cur = blk
+			b.stmtList(cc.Body)
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		}
+		b.popFrame()
+		// A select with no ready case blocks forever rather than falling
+		// through, so there is deliberately no head->after edge.
+		b.cur = after
+
+	case *ast.BranchStmt:
+		b.add(s)
+		from := b.current()
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.branchTarget(s, false); t != nil {
+				b.edge(from, t)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if t := b.branchTarget(s, true); t != nil {
+				b.edge(from, t)
+			}
+			b.cur = nil
+		case token.GOTO:
+			lbl := b.labelFor(s.Label.Name)
+			if lbl.target == nil {
+				lbl.target = b.newBlock("label." + s.Label.Name)
+			}
+			b.edge(from, lbl.target)
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Wired by buildSwitch via fallthroughTo; nothing here.
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.current(), b.graph.Exit)
+		b.cur = nil
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && b.noReturn(call) {
+			b.edge(b.current(), b.graph.Exit)
+			b.cur = nil
+		}
+
+	default:
+		// Assignments, declarations, send, inc/dec, defer, go, empty:
+		// straight-line entries.
+		b.add(s)
+	}
+}
+
+// buildSwitch constructs expression and type switches. An expression
+// switch may fall through; a type switch may not.
+func (b *builder) buildSwitch(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, canFallthrough bool) {
+	label := b.takeLabel()
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.current()
+	after := b.newBlock("switch.after")
+	b.pushFrame(loopFrame{breakTo: after, label: label})
+	b.setLabelTargets(label, after, nil)
+
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		kind := "case"
+		if cc.List == nil {
+			kind = "default"
+			hasDefault = true
+		}
+		blocks[i] = b.newBlock(kind)
+		b.edge(head, blocks[i])
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			blocks[i].Stmts = append(blocks[i].Stmts, e)
+		}
+		fellThrough := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && canFallthrough {
+				b.add(br)
+				if i+1 < len(blocks) {
+					b.edge(b.current(), blocks[i+1])
+				}
+				b.cur = nil
+				fellThrough = true
+				break
+			}
+			b.stmt(st)
+		}
+		if !fellThrough && b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	}
+	b.popFrame()
+	b.cur = after
+}
+
+func (b *builder) labelFor(name string) *labelInfo {
+	if li, ok := b.labels[name]; ok {
+		return li
+	}
+	li := &labelInfo{}
+	b.labels[name] = li
+	return li
+}
+
+// takeLabel consumes the pending label attached to the statement being
+// built (set by the enclosing LabeledStmt).
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) setLabelTargets(label string, breakTo, continueTo *Block) {
+	if label == "" {
+		return
+	}
+	li := b.labelFor(label)
+	li.breakTo = breakTo
+	li.continueTo = continueTo
+}
+
+func (b *builder) pushFrame(f loopFrame) { b.frames = append(b.frames, f) }
+func (b *builder) popFrame()             { b.frames = b.frames[:len(b.frames)-1] }
+
+// branchTarget resolves break/continue, labeled or not. continue skips
+// switch/select frames (whose continueTo is nil).
+func (b *builder) branchTarget(s *ast.BranchStmt, isContinue bool) *Block {
+	if s.Label != nil {
+		li := b.labelFor(s.Label.Name)
+		if isContinue {
+			return li.continueTo
+		}
+		return li.breakTo
+	}
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if isContinue {
+			if f.continueTo != nil {
+				return f.continueTo
+			}
+			continue
+		}
+		return f.breakTo
+	}
+	return nil
+}
+
+func (b *builder) noReturn(call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		return true
+	}
+	return b.opts.NoReturn != nil && b.opts.NoReturn(call)
+}

@@ -1,0 +1,192 @@
+package cfg
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden CFG fixtures")
+
+// TestGolden builds the CFG of every function in testdata/funcs.go and
+// compares the rendered edge lists against testdata/cfg.golden. Run with
+// -update after a deliberate builder change.
+func TestGolden(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, filepath.Join("testdata", "funcs.go"), nil, 0)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	var sb strings.Builder
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		g := New(fd.Body)
+		fmt.Fprintf(&sb, "=== %s\n%s", fd.Name.Name, Render(g, fset))
+	}
+	got := sb.String()
+
+	goldenPath := filepath.Join("testdata", "cfg.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatalf("writing golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run `go test -run TestGolden -update ./internal/analysis/cfg` to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("CFG rendering diverged from golden.\n%s", lineDiff(string(want), got))
+	}
+}
+
+// lineDiff renders a compact first-divergence diff for golden mismatches.
+func lineDiff(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(w) || i < len(g); i++ {
+		wl, gl := "", ""
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if wl != gl {
+			return fmt.Sprintf("first divergence at line %d:\n  want: %s\n  got:  %s", i+1, wl, gl)
+		}
+	}
+	return "outputs equal (length mismatch only)"
+}
+
+// build parses a single function body from source and returns its graph.
+func build(t *testing.T, src string) (*Graph, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return New(fd.Body), fset
+}
+
+// TestEveryReturnReachesExit checks the structural invariant the path
+// analyses depend on: every block either has a successor or is the exit.
+func TestEveryReturnReachesExit(t *testing.T) {
+	g, _ := build(t, `func f(n int) int {
+		for i := 0; i < n; i++ {
+			switch {
+			case i%2 == 0:
+				continue
+			case i > 10:
+				return i
+			}
+		}
+		return -1
+	}`)
+	for _, blk := range g.Reachable() {
+		if blk == g.Exit {
+			continue
+		}
+		if len(blk.Succs) == 0 {
+			t.Errorf("reachable block b%d (%s) has no successors", blk.Index, blk.Kind)
+		}
+	}
+}
+
+// TestSelectNoDefaultHasNoFallthroughEdge pins select semantics: without
+// a default clause control cannot skip past the select.
+func TestSelectNoDefaultHasNoFallthroughEdge(t *testing.T) {
+	g, _ := build(t, `func f(a chan int) int {
+		x := 0
+		select {
+		case v := <-a:
+			x = v
+		}
+		return x
+	}`)
+	// The entry block (holding `x := 0`) must have exactly one successor
+	// per comm clause and none to the after-block.
+	entrySuccs := g.Entry.Succs
+	if len(entrySuccs) != 1 || entrySuccs[0].Kind != "select.case" {
+		t.Fatalf("entry succs = %v, want the single select.case", kinds(entrySuccs))
+	}
+}
+
+// TestGotoForwardAndBack pins that forward gotos resolve to the same
+// block a later label definition lands on.
+func TestGotoForwardAndBack(t *testing.T) {
+	g, _ := build(t, `func f(n int) int {
+		i := 0
+	loop:
+		if i < n {
+			i++
+			goto loop
+		}
+		return i
+	}`)
+	var labelBlock *Block
+	for _, blk := range g.Blocks {
+		if blk.Kind == "label.loop" {
+			labelBlock = blk
+		}
+	}
+	if labelBlock == nil {
+		t.Fatal("no block for label loop")
+	}
+	backEdges := 0
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			if s == labelBlock && blk != g.Entry {
+				backEdges++
+			}
+		}
+	}
+	if backEdges == 0 {
+		t.Error("goto loop produced no edge back to the label block")
+	}
+}
+
+// TestContaining pins the position lookup used by the dataflow queries.
+func TestContaining(t *testing.T) {
+	g, fset := build(t, `func f(n int) int {
+		s := 0
+		for i := 0; i < n; i++ {
+			s += i
+		}
+		return s
+	}`)
+	found := false
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Stmts {
+			if fset.Position(n.Pos()).Line == 4 { // s += i
+				got, idx := g.Containing(n.Pos())
+				if got != blk || idx < 0 {
+					t.Errorf("Containing misplaced the loop-body statement")
+				}
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("fixture statement not found in any block")
+	}
+}
+
+func kinds(bs []*Block) []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.Kind
+	}
+	return out
+}

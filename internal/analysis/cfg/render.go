@@ -1,0 +1,104 @@
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Render formats the graph as a deterministic edge-list text, one block
+// per line group, for golden tests and debugging:
+//
+//	b0 entry -> b2
+//	b2 for.head -> b3 b4
+//	    L5: i < n
+//
+// Statement entries are printed one per indented line as `L<line>: <src>`
+// with the source trimmed to one line. Blocks appear in index order;
+// empty unreachable blocks with no predecessors and no statements are
+// still listed so indices stay dense.
+func Render(g *Graph, fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		succs := make([]int, len(blk.Succs))
+		for i, s := range blk.Succs {
+			succs[i] = s.Index
+		}
+		fmt.Fprintf(&sb, "b%d %s", blk.Index, blk.Kind)
+		if len(succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range succs {
+				fmt.Fprintf(&sb, " b%d", s)
+			}
+		}
+		sb.WriteString("\n")
+		for _, n := range blk.Stmts {
+			fmt.Fprintf(&sb, "    L%d: %s\n", fset.Position(n.Pos()).Line, summarize(n, fset))
+		}
+	}
+	return sb.String()
+}
+
+// summarize prints a node as a single trimmed line of source.
+func summarize(n ast.Node, fset *token.FileSet) string {
+	// RangeStmt heads carry the whole statement; print just the clause.
+	if rng, ok := n.(*ast.RangeStmt); ok {
+		head := "range " + exprString(rng.X, fset)
+		var lhs []string
+		if rng.Key != nil {
+			lhs = append(lhs, exprString(rng.Key, fset))
+		}
+		if rng.Value != nil {
+			lhs = append(lhs, exprString(rng.Value, fset))
+		}
+		if len(lhs) > 0 {
+			head = strings.Join(lhs, ", ") + " " + rng.Tok.String() + " " + head
+		}
+		return "for " + head
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	line := strings.Join(strings.Fields(buf.String()), " ")
+	if len(line) > 60 {
+		line = line[:57] + "..."
+	}
+	return line
+}
+
+func exprString(e ast.Expr, fset *token.FileSet) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return fmt.Sprintf("<%T>", e)
+	}
+	return buf.String()
+}
+
+// Reachable returns the blocks reachable from entry, in index order.
+func (g *Graph) Reachable() []*Block {
+	seen := map[int]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	var out []*Block
+	for _, b := range g.Blocks {
+		if seen[b.Index] {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}

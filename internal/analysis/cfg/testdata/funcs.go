@@ -1,0 +1,131 @@
+// Fixture functions for the CFG golden tests. Each top-level function is
+// built into a CFG and rendered against testdata/cfg.golden; the file is
+// parsed, never compiled, so the bodies only need to be syntactically
+// valid Go.
+package fixture
+
+func ifElseChain(a, b int) int {
+	if a > b {
+		return a
+	} else if a < b {
+		return b
+	}
+	return 0
+}
+
+func forThreeClause(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+func gotoOutOfLoop(xs []int) int {
+	s := 0
+	for i := 0; i < len(xs); i++ {
+		if xs[i] < 0 {
+			goto bad
+		}
+		s += xs[i]
+	}
+	return s
+bad:
+	return -1
+}
+
+func gotoIntoLoop(n int) int {
+	i := 0
+	goto inside
+	for i < n {
+	inside:
+		i++
+	}
+	return i
+}
+
+func labeledBreakContinue(grid [][]int) int {
+	found := -1
+outer:
+	for r := range grid {
+		for c := range grid[r] {
+			if grid[r][c] == 0 {
+				continue outer
+			}
+			if grid[r][c] < 0 {
+				found = r
+				break outer
+			}
+		}
+	}
+	return found
+}
+
+func selectWithDefault(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+func selectNoDefault(a, b chan int) int {
+	for {
+		select {
+		case v := <-a:
+			return v
+		case <-b:
+			continue
+		}
+	}
+}
+
+func deferInLoop(names []string, open func(string) func()) {
+	for _, n := range names {
+		closer := open(n)
+		defer closer()
+		if n == "" {
+			break
+		}
+	}
+}
+
+func switchFallthrough(k int) string {
+	out := ""
+	switch k {
+	case 0:
+		out = "zero"
+		fallthrough
+	case 1:
+		out += "ish"
+	default:
+		out = "many"
+	}
+	return out
+}
+
+func typeSwitchNoDefault(v interface{}) int {
+	switch v.(type) {
+	case int:
+		return 1
+	case string:
+		return 2
+	}
+	return 0
+}
+
+func panicPath(ok bool) int {
+	if !ok {
+		panic("bad")
+	}
+	return 1
+}
+
+func foreverWithBreak(step func() bool) {
+	for {
+		if step() {
+			break
+		}
+	}
+}

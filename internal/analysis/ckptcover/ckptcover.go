@@ -1,0 +1,646 @@
+// Package ckptcover implements the checkpoint-coverage analyzer of the
+// sktlint suite, after AutoCheck (arXiv:2408.06082): in a program whose
+// compute loop checkpoints through a checkpoint.Protector, every piece
+// of state that (a) is updated as the loop runs and (b) is still needed
+// after the checkpoint — on the next iteration or on the restore path —
+// must be *covered* by the checkpoint, or a restore silently resumes
+// with a stale value. The paper's fault-tolerant HPL keeps the factored
+// panels in the protected words and the (k, pivots) pair in the meta
+// blob for exactly this reason; forgetting one loop-carried scalar is
+// the classic way to turn "any-point survival" into a wrong answer that
+// still verifies as a crash-free run.
+//
+// Covered means reachable from one of the two things a Protector saves:
+//
+//   - the protected workspace: the []float64 returned by Open, anything
+//     aliasing it (subslices, structures built over it), and anything
+//     written through those aliases;
+//   - the meta blob: the []byte passed to Checkpoint, any value stored
+//     into it (directly, or sideways through a call that takes the blob
+//     and the value together, e.g. binary.LittleEndian.PutUint64(meta,
+//     uint64(it))), and any value decoded from the blob Restore returns.
+//
+// Two loop shapes are analyzed. Case A — the Checkpoint call sits
+// lexically inside a for/range loop: the analyzer runs liveness and
+// reaching definitions over the function's CFG and flags loop-carried
+// variables (declared outside the loop body, written inside the loop,
+// live across the epoch boundary) that are not covered. Case B — the
+// Checkpoint call sits in a function literal with no enclosing loop (the
+// hook the SKT-HPL driver hands to the solver, called back every panel
+// iteration): the analyzer flags captured variables the hook both reads
+// and updates, since those accumulate across epochs; variables the hook
+// only writes into (metric sinks) carry no cross-epoch state and are
+// exempt.
+//
+// Deliberately unprotected state — scratch buffers fully rewritten
+// before any read, host-side measurement accumulators — is suppressed
+// with //sktlint:ephemeral followed by a reason; a bare marker without
+// the reason is itself reported.
+package ckptcover
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"selfckpt/internal/analysis"
+	"selfckpt/internal/analysis/cfg"
+	"selfckpt/internal/analysis/dataflow"
+)
+
+// Annotation marks reviewed, deliberately checkpoint-exempt state. A
+// reason must follow the marker.
+const Annotation = "//sktlint:ephemeral"
+
+// Analyzer is the ckptcover instance registered with the sktlint suite.
+var Analyzer = &analysis.Analyzer{
+	Name: "ckptcover",
+	Doc: "flag state carried across checkpoint epochs that reaches neither the " +
+		"protected workspace nor the meta blob (a restore silently loses it); " +
+		"suppress with " + Annotation + " <reason>",
+	Suppression: Annotation,
+	Run:         run,
+}
+
+func run(pass *analysis.Pass) error {
+	// The protocols themselves manage epochs below this abstraction.
+	if analysis.PathHasSuffix(pass.Pkg.Path(), "internal/checkpoint") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDecl(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkDecl(pass *analysis.Pass, body *ast.BlockStmt) {
+	ckpts := checkpointCalls(pass, body)
+	if len(ckpts) == 0 {
+		return
+	}
+	cov := computeCoverage(pass, body, ckpts)
+	seen := map[types.Object]bool{}
+	for _, call := range ckpts {
+		owner, lit := ownerBody(body, call)
+		if loop := enclosingLoop(owner, call); loop != nil {
+			checkLoop(pass, owner, loop, call, cov, seen)
+		} else if lit != nil {
+			checkHook(pass, lit, cov, seen)
+		}
+	}
+}
+
+// checkpointCalls finds every Protector.Checkpoint call site in body,
+// including inside nested function literals.
+func checkpointCalls(pass *analysis.Pass, body *ast.BlockStmt) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if m, ok := protMethod(pass.TypesInfo, call); ok && m == "Checkpoint" {
+				out = append(out, call)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ownerBody returns the innermost function body holding call: the body
+// of the deepest FuncLit whose range covers it, or the declaration body.
+func ownerBody(body *ast.BlockStmt, call *ast.CallExpr) (*ast.BlockStmt, *ast.FuncLit) {
+	var lit *ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && within(fl, call.Pos()) {
+			lit = fl // Inspect descends outside-in, so the last hit is innermost
+		}
+		return true
+	})
+	if lit != nil {
+		return lit.Body, lit
+	}
+	return body, nil
+}
+
+// enclosingLoop returns the innermost for/range statement inside owner
+// whose body contains call, or nil.
+func enclosingLoop(owner *ast.BlockStmt, call *ast.CallExpr) ast.Stmt {
+	var best ast.Stmt
+	ast.Inspect(owner, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// The call's own literal is the owner; deeper literals are
+			// other scopes.
+			if !within(n, call.Pos()) {
+				return false
+			}
+		case *ast.ForStmt:
+			if within(n.Body, call.Pos()) {
+				best = n
+			}
+		case *ast.RangeStmt:
+			if within(n.Body, call.Pos()) {
+				best = n
+			}
+		}
+		return true
+	})
+	return best
+}
+
+func within(n ast.Node, pos token.Pos) bool {
+	return n != nil && n.Pos() <= pos && pos < n.End()
+}
+
+// --- coverage ---
+
+// coverage is the set of variables a restore can reconstruct.
+type coverage struct {
+	workspace dataflow.ObjSet // aliases of Open's protected words
+	meta      dataflow.ObjSet // values flowing into (or out of) the blob
+	blob      dataflow.ObjSet // the blob buffers themselves
+}
+
+func (c *coverage) covers(obj types.Object) bool {
+	return c.workspace[obj] || c.meta[obj] || c.blob[obj]
+}
+
+// computeCoverage seeds the workspace from Open results and the blob
+// from Checkpoint arguments and Restore results, then propagates to a
+// fixed point across the whole declaration body (closures included):
+// reference-typed assignments extend the workspace and blob alias sets,
+// and any value meeting a blob in an assignment or a call argument list
+// becomes meta-covered — that is how PutUint64(meta, uint64(it)) covers
+// it, and how `start = iterFromMeta(meta)` covers start on the restore
+// path.
+func computeCoverage(pass *analysis.Pass, body *ast.BlockStmt, ckpts []*ast.CallExpr) *coverage {
+	info := pass.TypesInfo
+	cov := &coverage{workspace: dataflow.ObjSet{}, meta: dataflow.ObjSet{}, blob: dataflow.ObjSet{}}
+
+	for _, call := range ckpts {
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if obj := analysis.ObjectOf(info, id); obj != nil {
+					cov.blob[obj] = true
+				}
+			}
+			addVars(info, arg, cov.meta)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		m, ok := protMethod(info, call)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(asg.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+			if obj := analysis.ObjectOf(info, id); obj != nil {
+				switch m {
+				case "Open":
+					cov.workspace[obj] = true
+				case "Restore":
+					cov.blob[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	for changed := true; changed; {
+		changed = false
+		grow := func(s dataflow.ObjSet, obj types.Object) {
+			if obj != nil && !s[obj] {
+				s[obj] = true
+				changed = true
+			}
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					lhsObj := analysis.ObjectOf(info, id)
+					if lhsObj == nil {
+						continue
+					}
+					var rhs ast.Expr
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					} else if len(n.Rhs) == 1 {
+						rhs = n.Rhs[0]
+					}
+					if rhs == nil {
+						continue
+					}
+					if isRefType(lhsObj.Type()) {
+						if mentionsAny(info, rhs, cov.workspace) {
+							grow(cov.workspace, lhsObj)
+						}
+						if mentionsAny(info, rhs, cov.blob) {
+							grow(cov.blob, lhsObj)
+						}
+					}
+					// A value computed from the blob is restorable state.
+					if mentionsAny(info, rhs, cov.blob) {
+						grow(cov.meta, lhsObj)
+					}
+				}
+			case *ast.CallExpr:
+				// Sideways flow: a call that takes the blob alongside other
+				// values stores (or loads) those values — PutUint64(meta,
+				// uint64(it)), copy(meta[8:], buf), decodeMeta(meta, solver).
+				touchesBlob := false
+				for _, arg := range n.Args {
+					if mentionsAny(info, arg, cov.blob) {
+						touchesBlob = true
+						break
+					}
+				}
+				if touchesBlob {
+					before := len(cov.meta)
+					for _, arg := range n.Args {
+						addVars(info, arg, cov.meta)
+					}
+					if len(cov.meta) != before {
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return cov
+}
+
+// --- Case A: Checkpoint lexically inside a loop ---
+
+type writeInfo struct {
+	first   token.Pos // earliest write site (report anchor)
+	hasFull bool      // at least one whole-value assignment
+}
+
+func checkLoop(pass *analysis.Pass, owner *ast.BlockStmt, loop ast.Stmt, call *ast.CallExpr, cov *coverage, seen map[types.Object]bool) {
+	g := cfg.New(owner)
+	liveAt := dataflow.Live(g, pass.TypesInfo).LiveAfter(call.Pos())
+	reaching := dataflow.Reaching(g, pass.TypesInfo).ReachingAt(call.Pos())
+	writes := loopWrites(pass, loop)
+	loopBody := loopBodyOf(loop)
+	excluded := rangeVars(pass, loop)
+
+	for _, obj := range sortedObjs(writes) {
+		w := writes[obj]
+		if seen[obj] || excluded[obj] {
+			continue
+		}
+		if within(loopBody, obj.Pos()) {
+			continue // declared fresh each iteration
+		}
+		if isErrorType(obj.Type()) || isProtectorType(obj.Type()) || cov.covers(obj) {
+			continue
+		}
+		if !liveAt[obj] {
+			continue // nothing reads it after the boundary
+		}
+		if w.hasFull {
+			// Tie the write to the boundary: some in-loop definition must
+			// reach the Checkpoint. (Partial writes mutate in place and
+			// are not tracked by reaching defs; liveness alone decides.)
+			found := false
+			for d := range reaching {
+				if d.Obj == obj && d.Node != nil && within(loop, d.Node.Pos()) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				continue
+			}
+		}
+		seen[obj] = true
+		report(pass, w.first, obj,
+			"loop-carried state %s is written inside the checkpointed loop and live across the epoch boundary at line %d, but reaches neither the protected workspace nor the checkpoint meta blob — a restore silently loses it; save it in the meta blob, keep it in the protected words, or annotate %s <reason>",
+			obj.Name(), pass.Fset.Position(call.Pos()).Line, Annotation)
+	}
+}
+
+// loopWrites collects the variables the loop updates per iteration: its
+// body and post statement, not its init (which runs once). Writes inside
+// nested function literals belong to other scopes.
+func loopWrites(pass *analysis.Pass, loop ast.Stmt) map[types.Object]*writeInfo {
+	out := map[types.Object]*writeInfo{}
+	note := func(id *ast.Ident, full bool) {
+		obj := analysis.ObjectOf(pass.TypesInfo, id)
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return
+		}
+		w := out[obj]
+		if w == nil {
+			w = &writeInfo{first: id.Pos()}
+			out[obj] = w
+		}
+		if id.Pos() < w.first {
+			w.first = id.Pos()
+		}
+		w.hasFull = w.hasFull || full
+	}
+	var roots []ast.Node
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		roots = append(roots, l.Body)
+		if l.Post != nil {
+			roots = append(roots, l.Post)
+		}
+	case *ast.RangeStmt:
+		roots = append(roots, l.Body)
+	}
+	for _, root := range roots {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if id, base, full := writeTarget(lhs); id != nil {
+						_ = base
+						note(id, full)
+					}
+				}
+			case *ast.IncDecStmt:
+				if id, _, full := writeTarget(n.X); id != nil {
+					note(id, full)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// writeTarget resolves an assignment target to the identifier being
+// written: (ident, false-base, true) for a whole-value write, or the
+// base identifier of an index/field/pointer store with full=false.
+func writeTarget(lhs ast.Expr) (id *ast.Ident, isBase bool, full bool) {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return nil, false, false
+		}
+		return e, false, true
+	case *ast.IndexExpr:
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			return id, true, false
+		}
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			return id, true, false
+		}
+	case *ast.StarExpr:
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			return id, true, false
+		}
+	}
+	return nil, false, false
+}
+
+func loopBodyOf(loop ast.Stmt) *ast.BlockStmt {
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		return l.Body
+	case *ast.RangeStmt:
+		return l.Body
+	}
+	return nil
+}
+
+// rangeVars returns the loop's own key/value variables: reassigned by
+// the range head every iteration, so never loop-carried state.
+func rangeVars(pass *analysis.Pass, loop ast.Stmt) dataflow.ObjSet {
+	out := dataflow.ObjSet{}
+	r, ok := loop.(*ast.RangeStmt)
+	if !ok {
+		return out
+	}
+	for _, e := range []ast.Expr{r.Key, r.Value} {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name != "_" {
+			if obj := analysis.ObjectOf(pass.TypesInfo, id); obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// --- Case B: Checkpoint inside a loopless hook closure ---
+
+// checkHook analyzes the SKT-HPL shape: the epoch loop lives in the
+// solver, which calls this literal back each iteration, so liveness
+// inside the literal cannot see the back edge. Captured variables the
+// hook both reads and updates accumulate across epochs; write-only
+// captures are measurement sinks with no carried state.
+func checkHook(pass *analysis.Pass, lit *ast.FuncLit, cov *coverage, seen map[types.Object]bool) {
+	info := pass.TypesInfo
+	writeTargets := map[*ast.Ident]bool{}
+	writes := map[types.Object]*writeInfo{}
+	reads := dataflow.ObjSet{}
+
+	noteWrite := func(id *ast.Ident, full bool) {
+		obj := analysis.ObjectOf(info, id)
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return
+		}
+		writeTargets[id] = true
+		w := writes[obj]
+		if w == nil {
+			w = &writeInfo{first: id.Pos()}
+			writes[obj] = w
+		}
+		if id.Pos() < w.first {
+			w.first = id.Pos()
+		}
+		w.hasFull = w.hasFull || full
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, _, full := writeTarget(lhs); id != nil {
+					noteWrite(id, full)
+					if full && n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+						// Compound assignment reads the old value.
+						if obj := analysis.ObjectOf(info, id); obj != nil {
+							reads[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, _, _ := writeTarget(n.X); id != nil {
+				noteWrite(id, true)
+				if obj := analysis.ObjectOf(info, id); obj != nil {
+					reads[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || writeTargets[id] {
+			return true
+		}
+		if obj := analysis.ObjectOf(info, id); obj != nil {
+			if v, ok := obj.(*types.Var); ok && !v.IsField() {
+				reads[obj] = true
+			}
+		}
+		return true
+	})
+
+	for _, obj := range sortedObjs(writes) {
+		w := writes[obj]
+		if seen[obj] {
+			continue
+		}
+		if within(lit, obj.Pos()) {
+			continue // not captured: local to the hook invocation
+		}
+		if !reads[obj] {
+			continue // write-only sink
+		}
+		if isErrorType(obj.Type()) || isProtectorType(obj.Type()) || cov.covers(obj) {
+			continue
+		}
+		seen[obj] = true
+		report(pass, w.first, obj,
+			"state %s captured by the checkpoint hook accumulates across epochs, but reaches neither the protected workspace nor the checkpoint meta blob — a restore silently loses it; save it in the meta blob or annotate %s <reason>",
+			obj.Name(), Annotation)
+	}
+}
+
+// report emits the diagnostic unless a reasoned //sktlint:ephemeral
+// suppresses it; a bare marker is reported as its own defect.
+func report(pass *analysis.Pass, pos token.Pos, obj types.Object, format string, args ...interface{}) {
+	if reason, found := pass.AnnotationReason(pos, Annotation); found {
+		if reason != "" {
+			return
+		}
+		pass.Reportf(pos, "%s is annotated %s but gives no reason; state why losing it on restore is safe",
+			obj.Name(), Annotation)
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+// --- shared helpers ---
+
+// protMethod resolves call to a method of a type (or interface) declared
+// in internal/checkpoint — the Protector implementations and the
+// Protector interface itself.
+func protMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !analysis.PathHasSuffix(obj.Pkg().Path(), "internal/checkpoint") {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// addVars collects every variable mentioned in e into set.
+func addVars(info *types.Info, e ast.Expr, set dataflow.ObjSet) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := analysis.ObjectOf(info, id).(*types.Var); ok && !v.IsField() {
+				set[v] = true
+			}
+		}
+		return true
+	})
+}
+
+// mentionsAny reports whether e references any variable in set.
+func mentionsAny(info *types.Info, e ast.Expr, set dataflow.ObjSet) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := analysis.ObjectOf(info, id); obj != nil && set[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isRefType reports whether writes through a value of type t are visible
+// to other holders of the same value (slices, pointers, maps, chans) —
+// the types through which workspace and blob aliasing propagates.
+func isRefType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isProtectorType recognizes values whose type is declared in
+// internal/checkpoint (the protector handle itself, its Usage, ...).
+func isProtectorType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && analysis.PathHasSuffix(obj.Pkg().Path(), "internal/checkpoint")
+}
+
+func sortedObjs(m map[types.Object]*writeInfo) []types.Object {
+	objs := make([]types.Object, 0, len(m))
+	for o := range m {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return m[objs[i]].first < m[objs[j]].first })
+	return objs
+}

@@ -1,0 +1,12 @@
+package ckptcover_test
+
+import (
+	"testing"
+
+	"selfckpt/internal/analysis/analysistest"
+	"selfckpt/internal/analysis/ckptcover"
+)
+
+func TestCkptCover(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ckptcover.Analyzer, "a")
+}

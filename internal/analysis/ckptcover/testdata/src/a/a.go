@@ -1,0 +1,126 @@
+// Fixture for the ckptcover analyzer, Case A (Checkpoint inside a
+// loop): loop-carried state must reach the protected workspace or the
+// checkpoint meta blob, or be annotated ephemeral with a reason.
+package a
+
+import (
+	"encoding/binary"
+	"math"
+
+	"selfckpt/internal/checkpoint"
+)
+
+// missedVariable is the AutoCheck motif: best tracks the running
+// maximum across iterations, but only the iteration counter makes it
+// into the meta blob — a restore resumes with best = 0 and the final
+// answer is silently wrong.
+func missedVariable(prot checkpoint.Protector, n int) (float64, error) {
+	data, _, err := prot.Open(64)
+	if err != nil {
+		return 0, err
+	}
+	best := 0.0
+	for it := 0; it < n; it++ {
+		data[it%64] = float64(it)
+		if data[it%64] > best {
+			best = data[it%64] // want `loop-carried state best`
+		}
+		meta := make([]byte, 8)
+		binary.LittleEndian.PutUint64(meta, uint64(it))
+		if err := prot.Checkpoint(meta); err != nil {
+			return 0, err
+		}
+	}
+	return best, nil
+}
+
+// fullyCovered is the fix: best rides in the meta blob next to the
+// counter, so the restore path reconstructs both.
+func fullyCovered(prot checkpoint.Protector, n int) (float64, error) {
+	data, recoverable, err := prot.Open(64)
+	if err != nil {
+		return 0, err
+	}
+	best := 0.0
+	it := 0
+	if recoverable {
+		meta, _, err := prot.Restore()
+		if err != nil {
+			return 0, err
+		}
+		it = int(binary.LittleEndian.Uint64(meta))
+		best = math.Float64frombits(binary.LittleEndian.Uint64(meta[8:]))
+	}
+	for ; it < n; it++ {
+		data[it%64] = float64(it)
+		if data[it%64] > best {
+			best = data[it%64]
+		}
+		meta := make([]byte, 16)
+		binary.LittleEndian.PutUint64(meta, uint64(it))
+		binary.LittleEndian.PutUint64(meta[8:], math.Float64bits(best))
+		if err := prot.Checkpoint(meta); err != nil {
+			return 0, err
+		}
+	}
+	return best, nil
+}
+
+// workspaceCovered keeps the accumulator inside the protected words: a
+// subslice of Open's result is checkpointed with everything else.
+func workspaceCovered(prot checkpoint.Protector, n int) (float64, error) {
+	data, _, err := prot.Open(64)
+	if err != nil {
+		return 0, err
+	}
+	acc := data[:1]
+	meta := make([]byte, 8)
+	for it := 0; it < n; it++ {
+		acc[0] += float64(it)
+		binary.LittleEndian.PutUint64(meta, uint64(it))
+		if err := prot.Checkpoint(meta); err != nil {
+			return 0, err
+		}
+	}
+	return acc[0], nil
+}
+
+// annotatedScratch documents a buffer that is rewritten from scratch at
+// the top of every iteration, so losing it on restore is harmless.
+func annotatedScratch(prot checkpoint.Protector, n int) error {
+	data, _, err := prot.Open(64)
+	if err != nil {
+		return err
+	}
+	scratch := make([]float64, 64)
+	meta := make([]byte, 8)
+	for it := 0; it < n; it++ {
+		//sktlint:ephemeral — fully rewritten each iteration before any read
+		scratch[0] = float64(it)
+		data[0] = scratch[0]
+		binary.LittleEndian.PutUint64(meta, uint64(it))
+		if err := prot.Checkpoint(meta); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bareMarker pins that an annotation without a reason is itself a
+// finding: the waiver must say why the loss is safe.
+func bareMarker(prot checkpoint.Protector, n int) (int, error) {
+	if _, _, err := prot.Open(64); err != nil {
+		return 0, err
+	}
+	count := 0
+	meta := make([]byte, 8)
+	for it := 0; it < n; it++ {
+		//sktlint:ephemeral
+		count++ // want `gives no reason`
+		binary.LittleEndian.PutUint64(meta, uint64(it))
+		if err := prot.Checkpoint(meta); err != nil {
+			return 0, err
+		}
+	}
+	return count, nil
+}

@@ -1,0 +1,76 @@
+// Case B fixtures: the Checkpoint call sits in a loopless hook closure
+// (the SKT-HPL driver shape — the epoch loop lives in the solver, which
+// calls the hook back every panel iteration).
+package a
+
+import (
+	"encoding/binary"
+
+	"selfckpt/internal/checkpoint"
+)
+
+// hookCounter captures an accumulator the hook both reads and updates:
+// it carries state across epochs that no checkpoint saves.
+func hookCounter(prot checkpoint.Protector) (func(int) error, error) {
+	if _, _, err := prot.Open(64); err != nil {
+		return nil, err
+	}
+	count := 0
+	hook := func(k int) error {
+		if err := prot.Checkpoint(nil); err != nil {
+			return err
+		}
+		count++ // want `state count captured by the checkpoint hook`
+		return nil
+	}
+	return hook, nil
+}
+
+// hookSink only writes into the captured slice — a measurement sink with
+// no carried state, so it is clean.
+func hookSink(prot checkpoint.Protector, times []float64) (func(int) error, error) {
+	if _, _, err := prot.Open(64); err != nil {
+		return nil, err
+	}
+	hook := func(k int) error {
+		if err := prot.Checkpoint(nil); err != nil {
+			return err
+		}
+		times[k%4] = float64(k)
+		return nil
+	}
+	return hook, nil
+}
+
+// hookMeta is the fix for a carried value: the hook saves it in the meta
+// blob it checkpoints.
+func hookMeta(prot checkpoint.Protector) (func(int) error, error) {
+	if _, _, err := prot.Open(64); err != nil {
+		return nil, err
+	}
+	last := 0
+	hook := func(k int) error {
+		last = k
+		meta := make([]byte, 8)
+		binary.LittleEndian.PutUint64(meta, uint64(last))
+		return prot.Checkpoint(meta)
+	}
+	return hook, nil
+}
+
+// hookAnnotated documents a deliberately unprotected accumulator.
+func hookAnnotated(prot checkpoint.Protector) (func(int) error, error) {
+	if _, _, err := prot.Open(64); err != nil {
+		return nil, err
+	}
+	total := 0.0
+	hook := func(k int) error {
+		if err := prot.Checkpoint(nil); err != nil {
+			return err
+		}
+		//sktlint:ephemeral — wall-clock metric, remeasured after a restart
+		total += float64(k)
+		return nil
+	}
+	return hook, nil
+}

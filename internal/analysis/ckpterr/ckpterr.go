@@ -5,7 +5,9 @@
 // those functions — when they are declared in the checkpoint, cluster,
 // skthpl, or crashmat packages — whose error result is discarded, either
 // by using the call as a bare statement (or go/defer) or by assigning the
-// error position to the blank identifier.
+// error position to the blank identifier. A deliberate drop — e.g. a
+// best-effort cleanup on an already-failing path — is waived with the
+// //sktlint:unchecked-error annotation on the line or the line above.
 package ckpterr
 
 import (
@@ -15,12 +17,17 @@ import (
 	"selfckpt/internal/analysis"
 )
 
+// Annotation waives a ckpterr finding; the comment should say why the
+// dropped error cannot convert a detected fault into an undetected one.
+const Annotation = "//sktlint:unchecked-error"
+
 // Analyzer is the ckpterr instance registered with the sktlint suite.
 var Analyzer = &analysis.Analyzer{
 	Name: "ckpterr",
 	Doc: "flag ignored error results from Restore/Verify/Scrub/Commit in the " +
 		"checkpoint, cluster, skthpl, and crashmat packages",
-	Run: run,
+	Suppression: Annotation,
+	Run:         run,
 }
 
 // guarded names the checked functions and the guarantee an ignored error
@@ -95,7 +102,7 @@ func guardedCall(pass *analysis.Pass, call *ast.CallExpr) (name string, errIdx i
 
 // checkDiscarded flags a guarded call whose entire result is dropped.
 func checkDiscarded(pass *analysis.Pass, call *ast.CallExpr) {
-	if name, _, ok := guardedCall(pass, call); ok {
+	if name, _, ok := guardedCall(pass, call); ok && !pass.Annotated(call.Pos(), Annotation) {
 		pass.Reportf(call.Pos(),
 			"error result of %s is discarded: %s", name, guarded[name])
 	}
@@ -116,7 +123,9 @@ func checkBlankError(pass *analysis.Pass, asg *ast.AssignStmt) {
 		return
 	}
 	if id, ok := ast.Unparen(asg.Lhs[errIdx]).(*ast.Ident); ok && id.Name == "_" {
-		pass.Reportf(asg.Pos(),
-			"error result of %s is assigned to _: %s", name, guarded[name])
+		if !pass.Annotated(asg.Pos(), Annotation) {
+			pass.Reportf(asg.Pos(),
+				"error result of %s is assigned to _: %s", name, guarded[name])
+		}
 	}
 }

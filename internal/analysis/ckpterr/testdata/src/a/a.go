@@ -43,6 +43,19 @@ func checkedScrub(s *checkpoint.Self) error {
 	return err
 }
 
+// annotatedDrop documents a deliberate best-effort call: the waiver
+// annotation suppresses the finding and is grep-able in review.
+func annotatedDrop(p checkpoint.Protector, meta []byte) {
+	//sktlint:unchecked-error — best-effort final snapshot on the shutdown path; the job result is already durable
+	p.Checkpoint(meta)
+}
+
+// annotatedBlank waives the blank-assigned error the same way.
+func annotatedBlank(s *checkpoint.Self) checkpoint.ScrubResult {
+	res, _ := s.Scrub() //sktlint:unchecked-error — probe-only scrub in a diagnostic dump, repair runs right after
+	return res
+}
+
 // Verify here shadows the guarded name but lives in this package, so
 // dropping its error is out of scope for ckpterr.
 func Verify() error { return nil }

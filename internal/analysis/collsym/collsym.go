@@ -9,10 +9,14 @@
 // The analyzer taints values derived from Comm.Rank() and Rank.Global()
 // (including variables assigned from them, transitively) and flags any
 // collective call lexically inside an if/switch/for whose condition or
-// tag involves a tainted value. Intentional divergence — for example a
-// recovery path where a replacement rank joins late by construction —
-// must be annotated with //sktlint:rank-divergent on or directly above
-// the call.
+// tag involves a tainted value. It is also call-graph-aware one level
+// deep: calling a package helper whose body directly performs a
+// collective from a rank-conditioned branch is the same deadlock with
+// the rendezvous hidden behind the call. Intentional divergence — for
+// example a recovery path where a replacement rank joins late by
+// construction — must be annotated with //sktlint:rank-divergent on or
+// directly above the call (for a hidden collective, on the helper call
+// site, or on the helper's own collective to mark the helper reviewed).
 package collsym
 
 import (
@@ -20,6 +24,7 @@ import (
 	"go/types"
 
 	"selfckpt/internal/analysis"
+	"selfckpt/internal/analysis/dataflow"
 )
 
 // Annotation marks a reviewed, deliberately rank-divergent collective.
@@ -30,7 +35,8 @@ var Analyzer = &analysis.Analyzer{
 	Name: "collsym",
 	Doc: "flag simmpi collectives called inside rank-dependent branches " +
 		"(deadlock hazard) unless annotated " + Annotation,
-	Run: run,
+	Suppression: Annotation,
+	Run:         run,
 }
 
 // collectives are the Comm methods that rendezvous with every member of
@@ -48,15 +54,16 @@ func run(pass *analysis.Pass) error {
 	if analysis.PathHasSuffix(pass.Pkg.Path(), "internal/simmpi") {
 		return nil
 	}
+	helpers := collectiveHelpers(pass)
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.FuncDecl:
 				if n.Body != nil {
-					checkFunc(pass, n.Body)
+					checkFunc(pass, n.Body, helpers)
 				}
 			case *ast.FuncLit:
-				checkFunc(pass, n.Body)
+				checkFunc(pass, n.Body, helpers)
 			}
 			return true
 		})
@@ -64,7 +71,48 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+// isCollectiveFunc recognizes the *types.Func of a simmpi Comm collective.
+func isCollectiveFunc(fn *types.Func) bool {
+	if fn == nil || !collectives[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Comm" && obj.Pkg() != nil &&
+		analysis.PathHasSuffix(obj.Pkg().Path(), "internal/simmpi")
+}
+
+// collectiveHelpers finds the package's functions whose body directly
+// performs a collective — calling such a helper from a rank-conditioned
+// branch is the same deadlock one call level removed. Helpers whose
+// collective site carries the rank-divergent annotation are considered
+// reviewed and excluded.
+func collectiveHelpers(pass *analysis.Pass) map[*types.Func]dataflow.CallSite {
+	g := dataflow.NewCallGraph(pass.Files,
+		func(call *ast.CallExpr) *types.Func { return analysis.CalleeFunc(pass.TypesInfo, call) },
+		func(id *ast.Ident) types.Object { return analysis.ObjectOf(pass.TypesInfo, id) },
+	)
+	helpers := g.CalleesMatching(isCollectiveFunc)
+	for fn, cs := range helpers {
+		if pass.Annotated(cs.Site.Pos(), Annotation) {
+			delete(helpers, fn)
+		}
+	}
+	return helpers
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, helpers map[*types.Func]dataflow.CallSite) {
 	tainted := rankTaintedObjects(pass, body)
 	isTainted := func(e ast.Expr) bool {
 		if e == nil {
@@ -94,6 +142,25 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 		}
 		method, ok := analysis.MethodOn(pass.TypesInfo, call, "internal/simmpi", "Comm")
 		if !ok || !collectives[method] {
+			// Not a collective itself — but a call to a package helper
+			// that directly performs one is the same hazard one level
+			// deep in the call graph.
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			cs, isHelper := helpers[fn]
+			if !isHelper {
+				return true
+			}
+			if cond := enclosingRankBranch(stack[:len(stack)-1], call, isTainted); cond != nil {
+				if !pass.Annotated(call.Pos(), Annotation) {
+					pass.Reportf(call.Pos(),
+						"call to %s enters collective %s (line %d) inside a branch conditioned on the rank id (line %d): ranks diverge and the job deadlocks at the rendezvous; hoist the call or annotate %s",
+						fn.Name(), cs.Callee.Name(), pass.Fset.Position(cs.Site.Pos()).Line,
+						pass.Fset.Position(cond.Pos()).Line, Annotation)
+				}
+			}
 			return true
 		}
 		if cond := enclosingRankBranch(stack[:len(stack)-1], call, isTainted); cond != nil {

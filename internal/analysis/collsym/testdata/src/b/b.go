@@ -1,0 +1,55 @@
+// Fixture for the call-graph-aware collsym rule: a collective buried in
+// a package helper and invoked from a rank-conditioned branch deadlocks
+// exactly like the direct call — the analyzer catches it one call level
+// deep.
+package b
+
+import "selfckpt/internal/simmpi"
+
+// syncAll is a plain wrapper whose body enters a collective directly.
+func syncAll(c *simmpi.Comm) error {
+	return c.Barrier()
+}
+
+// asymHelperCall hides the rank-divergent rendezvous behind the helper.
+func asymHelperCall(c *simmpi.Comm) error {
+	if c.Rank() == 0 {
+		return syncAll(c) // want `enters collective Barrier`
+	}
+	return nil
+}
+
+// symHelperCall is clean: every rank calls the helper.
+func symHelperCall(c *simmpi.Comm) error {
+	return syncAll(c)
+}
+
+// annotatedHelperCall documents reviewed divergence at the call site.
+func annotatedHelperCall(c *simmpi.Comm) error {
+	if c.Rank() == 0 {
+		return syncAll(c) //sktlint:rank-divergent
+	}
+	return nil
+}
+
+// reviewedHelper's collective site itself carries the annotation, so the
+// helper is considered reviewed and calls to it are not hidden
+// collectives.
+func reviewedHelper(c *simmpi.Comm) error {
+	return c.Barrier() //sktlint:rank-divergent
+}
+
+func callsReviewedHelper(c *simmpi.Comm) error {
+	if c.Rank() == 0 {
+		return reviewedHelper(c)
+	}
+	return nil
+}
+
+// directStillFlagged pins that the original direct rule is unchanged.
+func directStillFlagged(c *simmpi.Comm) error {
+	if c.Rank() == 0 {
+		return c.Barrier() // want `collective Barrier inside a branch`
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallGraph is a lightweight static call graph over one package's
+// syntax: an edge per resolvable call site (direct function and method
+// calls; calls through function values are invisible, which is fine for
+// the analyzers — they only widen checks, never suppress them).
+type CallGraph struct {
+	// Nodes maps every function and method declared in the analyzed
+	// files to its graph node.
+	Nodes map[*types.Func]*CallNode
+}
+
+// CallNode is one declared function with its outgoing call sites.
+type CallNode struct {
+	Fn    *types.Func
+	Decl  *ast.FuncDecl
+	Calls []CallSite
+}
+
+// CallSite is one static call from a node's body.
+type CallSite struct {
+	Callee *types.Func
+	Site   *ast.CallExpr
+}
+
+// NewCallGraph builds the call graph of the given files. resolve maps a
+// call expression to its callee (typically analysis.CalleeFunc bound to
+// the package's types.Info).
+func NewCallGraph(files []*ast.File, resolve func(*ast.CallExpr) *types.Func, funcObj func(*ast.Ident) types.Object) *CallGraph {
+	g := &CallGraph{Nodes: map[*types.Func]*CallNode{}}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := funcObj(fd.Name).(*types.Func)
+			if fn == nil {
+				continue
+			}
+			node := &CallNode{Fn: fn, Decl: fd}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := resolve(call); callee != nil {
+					node.Calls = append(node.Calls, CallSite{Callee: callee, Site: call})
+				}
+				return true
+			})
+			g.Nodes[fn] = node
+		}
+	}
+	return g
+}
+
+// CalleesMatching returns, for every node, the first call site whose
+// callee satisfies pred — the "does this helper (directly) do X" query
+// collsym asks one level deep.
+func (g *CallGraph) CalleesMatching(pred func(*types.Func) bool) map[*types.Func]CallSite {
+	out := map[*types.Func]CallSite{}
+	for fn, node := range g.Nodes {
+		for _, cs := range node.Calls {
+			if pred(cs.Callee) {
+				out[fn] = cs
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Reaches reports whether from can reach a function satisfying pred
+// within maxDepth call edges (maxDepth 1 = from's direct callees), and
+// returns the witnessing callee. Unresolvable bodies end the search.
+func (g *CallGraph) Reaches(from *types.Func, pred func(*types.Func) bool, maxDepth int) (*types.Func, bool) {
+	type item struct {
+		fn    *types.Func
+		depth int
+	}
+	seen := map[*types.Func]bool{from: true}
+	work := []item{{from, 0}}
+	for len(work) > 0 {
+		it := work[0]
+		work = work[1:]
+		node, ok := g.Nodes[it.fn]
+		if !ok || it.depth >= maxDepth {
+			continue
+		}
+		for _, cs := range node.Calls {
+			if pred(cs.Callee) {
+				return cs.Callee, true
+			}
+			if !seen[cs.Callee] {
+				seen[cs.Callee] = true
+				work = append(work, item{cs.Callee, it.depth + 1})
+			}
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,261 @@
+// Package dataflow runs iterative dataflow analyses over the cfg
+// package's control-flow graphs, on the standard library only. It
+// provides the generic worklist solver plus the three instances the
+// sktlint analyzers consume:
+//
+//   - liveness (backward): which variables may still be read after a
+//     program point — the ckptcover analyzer's notion of "state that
+//     survives across a checkpoint epoch boundary";
+//   - reaching definitions (forward): which writes can reach a program
+//     point — ckptcover uses it to tie loop-body writes to the
+//     Checkpoint call they cross;
+//   - an intra-module call graph — collsym uses it to see collectives
+//     one call level deep.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"selfckpt/internal/analysis/cfg"
+)
+
+// ObjSet is a set of variables.
+type ObjSet map[types.Object]bool
+
+func (s ObjSet) clone() ObjSet {
+	out := make(ObjSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func (s ObjSet) equal(t ObjSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for k := range s {
+		if !t[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve runs a worklist fixed point over g. For a forward analysis the
+// returned in[b] merges out[p] of b's predecessors and out[b] =
+// transfer(b, in[b]); for a backward analysis the roles of Succs and
+// predecessors swap (in[b] is the fact at block *exit*, out[b] at block
+// entry). merge must be monotone and transfer distributive-ish in the
+// usual lattice sense; termination comes from the facts growing
+// monotonically under merge.
+func Solve[F any](
+	g *cfg.Graph,
+	backward bool,
+	init func(b *cfg.Block) F,
+	merge func(dst, src F) F,
+	transfer func(b *cfg.Block, in F) F,
+	equal func(a, b F) bool,
+) (in, out map[*cfg.Block]F) {
+	in = make(map[*cfg.Block]F, len(g.Blocks))
+	out = make(map[*cfg.Block]F, len(g.Blocks))
+	preds := make(map[*cfg.Block][]*cfg.Block, len(g.Blocks))
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	feeders := func(b *cfg.Block) []*cfg.Block {
+		if backward {
+			return b.Succs
+		}
+		return preds[b]
+	}
+	dependents := func(b *cfg.Block) []*cfg.Block {
+		if backward {
+			return preds[b]
+		}
+		return b.Succs
+	}
+	for _, b := range g.Blocks {
+		in[b] = init(b)
+		out[b] = transfer(b, in[b])
+	}
+	work := make([]*cfg.Block, len(g.Blocks))
+	copy(work, g.Blocks)
+	queued := make(map[*cfg.Block]bool, len(g.Blocks))
+	for _, b := range work {
+		queued[b] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		acc := init(b)
+		for _, f := range feeders(b) {
+			acc = merge(acc, out[f])
+		}
+		in[b] = acc
+		newOut := transfer(b, acc)
+		if equal(newOut, out[b]) {
+			continue
+		}
+		out[b] = newOut
+		for _, d := range dependents(b) {
+			if !queued[d] {
+				queued[d] = true
+				work = append(work, d)
+			}
+		}
+	}
+	return in, out
+}
+
+// --- use/def extraction shared by the instances ---
+
+// UseDef reports the variables a single CFG entry reads (uses) and the
+// variables it fully overwrites (defs). The split follows the usual
+// may/must convention for scalar liveness over an AST:
+//
+//   - `x = e` and `x := e` are defs of x; `x += e` and `x++` are both.
+//   - writes through an index, field, or dereference (`x[i] = e`,
+//     `x.f = e`, `*x = e`) count as *uses* of x — they update part of the
+//     storage x refers to, so x's prior value still matters.
+//   - a FuncLit mentions its free variables: every outer-scope object
+//     referenced inside is a use (a closure may read it whenever it
+//     runs), and nothing inside is a def of the outer scope.
+func UseDef(n ast.Node, info *types.Info) (uses, defs ObjSet) {
+	uses, defs = ObjSet{}, ObjSet{}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			addUses(rhs, info, uses)
+		}
+		for _, lhs := range n.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if id.Name == "_" {
+					continue
+				}
+				if obj := objectOf(info, id); obj != nil {
+					if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+						defs[obj] = true
+					} else { // compound: read-modify-write
+						uses[obj] = true
+						defs[obj] = true
+					}
+				}
+				continue
+			}
+			// Partial write: the target expression is evaluated (reads).
+			addUses(lhs, info, uses)
+		}
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+			if obj := objectOf(info, id); obj != nil {
+				uses[obj] = true
+				defs[obj] = true
+			}
+		} else {
+			addUses(n.X, info, uses)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					addUses(v, info, uses)
+				}
+				for _, name := range vs.Names {
+					if obj := objectOf(info, name); obj != nil {
+						defs[obj] = true
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		// The head entry: evaluates X, assigns Key/Value each iteration.
+		addUses(n.X, info, uses)
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if e == nil {
+				continue
+			}
+			if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name != "_" {
+				if obj := objectOf(info, id); obj != nil {
+					defs[obj] = true
+				}
+			} else {
+				addUses(e, info, uses)
+			}
+		}
+	default:
+		if e, ok := n.(ast.Expr); ok {
+			addUses(e, info, uses)
+		} else {
+			addUses(n, info, uses)
+		}
+	}
+	return uses, defs
+}
+
+// addUses collects every referenced variable inside n, treating nested
+// function literals as uses of their free variables.
+func addUses(n ast.Node, info *types.Info, out ObjSet) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			freeVars(m, info, out)
+			return false
+		case *ast.Ident:
+			if obj := objectOf(info, m); isVar(obj) {
+				out[obj] = true
+			}
+		case *ast.KeyValueExpr:
+			// Struct-literal field names are not variable reads.
+			addUses(m.Value, info, out)
+			if _, isIdent := m.Key.(*ast.Ident); !isIdent {
+				addUses(m.Key, info, out)
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// freeVars collects outer-scope variables referenced inside lit.
+func freeVars(lit *ast.FuncLit, info *types.Info, out ObjSet) {
+	ast.Inspect(lit.Body, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := objectOf(info, id)
+		if !isVar(obj) {
+			return true
+		}
+		// Declared outside the literal -> free.
+		if obj.Pos() < lit.Pos() || obj.Pos() >= lit.End() {
+			out[obj] = true
+		}
+		return true
+	})
+}
+
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+func isVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && !v.IsField()
+}

@@ -1,0 +1,252 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"selfckpt/internal/analysis/cfg"
+)
+
+// check parses and type-checks one source file and returns the syntax of
+// the named function with everything the analyses need.
+func check(t *testing.T, src, fn string) (*ast.FuncDecl, *types.Info, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return fd, info, fset
+		}
+	}
+	t.Fatalf("no function %s", fn)
+	return nil, nil, nil
+}
+
+// lookupVar finds the named local variable object inside fn.
+func lookupVar(t *testing.T, fd *ast.FuncDecl, info *types.Info, name string) types.Object {
+	t.Helper()
+	var obj types.Object
+	ast.Inspect(fd, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name != name {
+			return true
+		}
+		if o := info.Defs[id]; o != nil {
+			obj = o
+			return false
+		}
+		return true
+	})
+	if obj == nil {
+		t.Fatalf("no variable %s in %s", name, fd.Name.Name)
+	}
+	return obj
+}
+
+// posOfCall returns the position of the first call to the named function.
+func posOfCall(t *testing.T, fd *ast.FuncDecl, name string) token.Pos {
+	t.Helper()
+	var pos token.Pos
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || pos.IsValid() {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+			pos = call.Pos()
+		}
+		return true
+	})
+	if !pos.IsValid() {
+		t.Fatalf("no call to %s", name)
+	}
+	return pos
+}
+
+const liveSrc = `package p
+
+func sink(...interface{}) {}
+
+func f(n int) int {
+	acc := 0
+	tmp := 0
+	for i := 0; i < n; i++ {
+		tmp = i * 2    // dead after the overwrite below on the loop path
+		sink(acc)      // boundary: acc is live here (read next iteration)
+		acc += tmp
+		tmp = 0
+	}
+	return acc
+}
+`
+
+func TestLivenessAcrossBackEdge(t *testing.T) {
+	fd, info, _ := check(t, liveSrc, "f")
+	g := cfg.New(fd.Body)
+	l := Live(g, info)
+	at := posOfCall(t, fd, "sink")
+	live := l.LiveAfter(at)
+
+	acc := lookupVar(t, fd, info, "acc")
+	tmp := lookupVar(t, fd, info, "tmp")
+	if !live[acc] {
+		t.Errorf("acc must be live after the sink call (read on the back edge and returned)")
+	}
+	if !live[tmp] {
+		t.Errorf("tmp must be live after sink (read by acc += tmp before its overwrite)")
+	}
+
+	// After the function's return, nothing is live.
+	if n := len(l.LiveOut[g.Exit]); n != 0 {
+		t.Errorf("exit block has %d live vars, want 0", n)
+	}
+}
+
+const deadAfterOverwriteSrc = `package p
+
+func sink(...interface{}) {}
+
+func g(n int) int {
+	x := 1
+	sink(0)
+	x = 2 // full overwrite: the first def of x is dead at sink
+	return x
+}
+`
+
+func TestLivenessKilledByOverwrite(t *testing.T) {
+	fd, info, _ := check(t, deadAfterOverwriteSrc, "g")
+	gr := cfg.New(fd.Body)
+	l := Live(gr, info)
+	x := lookupVar(t, fd, info, "x")
+	if l.LiveAfter(posOfCall(t, fd, "sink"))[x] {
+		t.Error("x is fully overwritten after sink; it must not be live there")
+	}
+}
+
+const reachSrc = `package p
+
+func sink(...interface{}) {}
+
+func h(cond bool) int {
+	v := 1
+	if cond {
+		v = 2
+	}
+	sink(v)
+	v = 3
+	sink2(v)
+	return v
+}
+
+func sink2(...interface{}) {}
+`
+
+func TestReachingDefinitions(t *testing.T) {
+	fd, info, _ := check(t, reachSrc, "h")
+	g := cfg.New(fd.Body)
+	r := Reaching(g, info)
+	v := lookupVar(t, fd, info, "v")
+
+	count := func(at token.Pos) int {
+		n := 0
+		for d := range r.ReachingAt(at) {
+			if d.Obj == v {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count(posOfCall(t, fd, "sink")); got != 2 {
+		t.Errorf("defs of v reaching first sink = %d, want 2 (v := 1 and v = 2)", got)
+	}
+	if got := count(posOfCall(t, fd, "sink2")); got != 1 {
+		t.Errorf("defs of v reaching sink2 = %d, want 1 (v = 3 kills both)", got)
+	}
+}
+
+const cgSrc = `package p
+
+func collective() {}
+func helper()     { collective() }
+func wrapper()    { helper() }
+func unrelated()  {}
+
+func top() {
+	wrapper()
+	unrelated()
+}
+`
+
+func TestCallGraphReaches(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", cgSrc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info2 := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info2); err != nil {
+		t.Fatal(err)
+	}
+	resolve := func(call *ast.CallExpr) *types.Func {
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		fn, _ := info2.Uses[id].(*types.Func)
+		return fn
+	}
+	g := NewCallGraph([]*ast.File{file}, resolve, func(id *ast.Ident) types.Object { return info2.Defs[id] })
+
+	var topFn, helperFn, collFn *types.Func
+	for fn := range g.Nodes {
+		switch fn.Name() {
+		case "top":
+			topFn = fn
+		case "helper":
+			helperFn = fn
+		case "collective":
+			collFn = fn
+		}
+	}
+	isColl := func(fn *types.Func) bool { return fn == collFn }
+
+	if _, ok := g.Reaches(helperFn, isColl, 1); !ok {
+		t.Error("helper calls collective directly; depth 1 must find it")
+	}
+	if _, ok := g.Reaches(topFn, isColl, 1); ok {
+		t.Error("top reaches collective only at depth 3; depth 1 must not find it")
+	}
+	if _, ok := g.Reaches(topFn, isColl, 3); !ok {
+		t.Error("top -> wrapper -> helper -> collective; depth 3 must find it")
+	}
+
+	direct := g.CalleesMatching(isColl)
+	if _, ok := direct[helperFn]; !ok {
+		t.Error("CalleesMatching must report helper as directly calling collective")
+	}
+	if _, ok := direct[topFn]; ok {
+		t.Error("CalleesMatching must not report top (indirect only)")
+	}
+}

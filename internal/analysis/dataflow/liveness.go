@@ -1,0 +1,190 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"selfckpt/internal/analysis/cfg"
+)
+
+// Liveness holds the per-block live-variable solution for one function.
+// LiveIn[b] is the set live on entry to b, LiveOut[b] on exit.
+type Liveness struct {
+	Graph   *cfg.Graph
+	LiveIn  map[*cfg.Block]ObjSet
+	LiveOut map[*cfg.Block]ObjSet
+
+	info    *types.Info
+	useDefs map[*cfg.Block][]useDef
+}
+
+type useDef struct {
+	uses, defs ObjSet
+}
+
+// Live computes liveness over g.
+func Live(g *cfg.Graph, info *types.Info) *Liveness {
+	l := &Liveness{Graph: g, info: info, useDefs: make(map[*cfg.Block][]useDef, len(g.Blocks))}
+	for _, b := range g.Blocks {
+		uds := make([]useDef, len(b.Stmts))
+		for i, n := range b.Stmts {
+			u, d := UseDef(n, info)
+			uds[i] = useDef{uses: u, defs: d}
+		}
+		l.useDefs[b] = uds
+	}
+	transfer := func(b *cfg.Block, liveOut ObjSet) ObjSet {
+		live := liveOut.clone()
+		uds := l.useDefs[b]
+		for i := len(uds) - 1; i >= 0; i-- {
+			for o := range uds[i].defs {
+				delete(live, o)
+			}
+			for o := range uds[i].uses {
+				live[o] = true
+			}
+		}
+		return live
+	}
+	in, out := Solve(g, true,
+		func(*cfg.Block) ObjSet { return ObjSet{} },
+		func(dst, src ObjSet) ObjSet {
+			for o := range src {
+				dst[o] = true
+			}
+			return dst
+		},
+		transfer,
+		func(a, b ObjSet) bool { return a.equal(b) },
+	)
+	// Backward solve: in[b] holds the merge over successors (= live-out),
+	// out[b] the transferred fact (= live-in).
+	l.LiveOut, l.LiveIn = in, out
+	return l
+}
+
+// LiveAfter returns the variables live immediately after the CFG entry
+// containing pos: the state that some path may still read once that
+// statement has executed. Returns nil when pos is not in the graph.
+func (l *Liveness) LiveAfter(pos token.Pos) ObjSet {
+	b, idx := l.Graph.Containing(pos)
+	if b == nil {
+		return nil
+	}
+	live := l.LiveOut[b].clone()
+	uds := l.useDefs[b]
+	for i := len(uds) - 1; i > idx; i-- {
+		for o := range uds[i].defs {
+			delete(live, o)
+		}
+		for o := range uds[i].uses {
+			live[o] = true
+		}
+	}
+	return live
+}
+
+// Def is one definition site: a full overwrite of Obj by the entry Node.
+type Def struct {
+	Obj  types.Object
+	Node ast.Node
+}
+
+// ReachingDefs holds the reaching-definitions solution: In[b] is the set
+// of definitions that may reach the entry of b.
+type ReachingDefs struct {
+	Graph *cfg.Graph
+	In    map[*cfg.Block]map[Def]bool
+
+	defsOf map[*cfg.Block][]stmtDefs
+}
+
+type stmtDefs struct {
+	node ast.Node
+	defs ObjSet
+}
+
+// Reaching computes reaching definitions over g. Partial writes
+// (x[i] = v) do not generate definitions — they neither kill nor create
+// a full value — matching UseDef's must-def convention.
+func Reaching(g *cfg.Graph, info *types.Info) *ReachingDefs {
+	r := &ReachingDefs{Graph: g, defsOf: make(map[*cfg.Block][]stmtDefs, len(g.Blocks))}
+	for _, b := range g.Blocks {
+		sd := make([]stmtDefs, len(b.Stmts))
+		for i, n := range b.Stmts {
+			_, d := UseDef(n, info)
+			sd[i] = stmtDefs{node: n, defs: d}
+		}
+		r.defsOf[b] = sd
+	}
+	clone := func(s map[Def]bool) map[Def]bool {
+		out := make(map[Def]bool, len(s))
+		for k := range s {
+			out[k] = true
+		}
+		return out
+	}
+	transfer := func(b *cfg.Block, in map[Def]bool) map[Def]bool {
+		cur := clone(in)
+		for _, sd := range r.defsOf[b] {
+			for obj := range sd.defs {
+				for d := range cur {
+					if d.Obj == obj {
+						delete(cur, d)
+					}
+				}
+				cur[Def{Obj: obj, Node: sd.node}] = true
+			}
+		}
+		return cur
+	}
+	in, _ := Solve(g, false,
+		func(*cfg.Block) map[Def]bool { return map[Def]bool{} },
+		func(dst, src map[Def]bool) map[Def]bool {
+			for d := range src {
+				dst[d] = true
+			}
+			return dst
+		},
+		transfer,
+		func(a, b map[Def]bool) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+	)
+	r.In = in
+	return r
+}
+
+// ReachingAt returns the definitions reaching the program point just
+// before the entry containing pos.
+func (r *ReachingDefs) ReachingAt(pos token.Pos) map[Def]bool {
+	b, idx := r.Graph.Containing(pos)
+	if b == nil {
+		return nil
+	}
+	cur := make(map[Def]bool, len(r.In[b]))
+	for d := range r.In[b] {
+		cur[d] = true
+	}
+	for i := 0; i < idx; i++ {
+		sd := r.defsOf[b][i]
+		for obj := range sd.defs {
+			for d := range cur {
+				if d.Obj == obj {
+					delete(cur, d)
+				}
+			}
+			cur[Def{Obj: obj, Node: sd.node}] = true
+		}
+	}
+	return cur
+}

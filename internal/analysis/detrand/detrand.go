@@ -12,6 +12,17 @@
 //     replayable from a logged seed.
 //   - map-iteration order reaching a returned slice or string without an
 //     intervening sort: Go randomizes map range order per run.
+//
+// The map-order check is flow-sensitive over the function's control-flow
+// graph: a sort launders the accumulated value only on the paths that
+// actually execute it, a full redefinition from clean data kills the
+// taint, and a later map range re-taints a slice that was already sorted.
+// The canonical clean idiom — collect the keys, sort them, then range
+// over the sorted slice — therefore stays clean, while sort-in-one-branch
+// and extend-after-sort are flagged.
+//
+// Deliberate nondeterminism is waived with the //sktlint:nondeterministic
+// annotation on the flagged line or the line above it.
 package detrand
 
 import (
@@ -20,14 +31,21 @@ import (
 	"go/types"
 
 	"selfckpt/internal/analysis"
+	"selfckpt/internal/analysis/cfg"
+	"selfckpt/internal/analysis/dataflow"
 )
+
+// Annotation waives a detrand finding; the comment should say why the
+// nondeterminism cannot reach a replayed result.
+const Annotation = "//sktlint:nondeterministic"
 
 // Analyzer is the detrand instance registered with the sktlint suite.
 var Analyzer = &analysis.Analyzer{
 	Name: "detrand",
 	Doc: "flag wall-clock reads, unseeded math/rand use, and map-range order " +
 		"escaping into returned values in determinism-critical packages",
-	Run: run,
+	Suppression: Annotation,
+	Run:         run,
 }
 
 // seededConstructors are the math/rand top-level functions that are fine
@@ -71,13 +89,13 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 	}
 	switch fn.Pkg().Path() {
 	case "time":
-		if fn.Name() == "Now" || fn.Name() == "Since" {
+		if (fn.Name() == "Now" || fn.Name() == "Since") && !pass.Annotated(call.Pos(), Annotation) {
 			pass.Reportf(call.Pos(),
 				"time.%s in a determinism-critical package: wall-clock values break replay-by-ID; use the virtual clock or thread an explicit seed",
 				fn.Name())
 		}
 	case "math/rand", "math/rand/v2":
-		if !seededConstructors[fn.Name()] {
+		if !seededConstructors[fn.Name()] && !pass.Annotated(call.Pos(), Annotation) {
 			pass.Reportf(call.Pos(),
 				"unseeded %s.%s: global randomness is not replayable from a logged seed; use rand.New(rand.NewSource(seed))",
 				fn.Pkg().Name(), fn.Name())
@@ -85,136 +103,203 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 	}
 }
 
+// orderTaint maps a variable whose element order was decided by a map
+// range to the position of the range that tainted it.
+type orderTaint map[types.Object]token.Pos
+
+func cloneTaint(t orderTaint) orderTaint {
+	out := make(orderTaint, len(t))
+	for k, v := range t {
+		out[k] = v
+	}
+	return out
+}
+
+func taintEqual(a, b orderTaint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// taintGen records that executing one assignment taints obj with the
+// iteration order of the map range at pos.
+type taintGen struct {
+	obj types.Object
+	pos token.Pos
+}
+
 // checkMapOrder flags `for ... range m` over a map when a slice appended
-// to (or a string concatenated) inside the loop body can reach a return
-// statement of the enclosing function with no sort call ever applied to
-// it: the returned value then depends on Go's randomized map order.
+// to (or a string concatenated) inside the loop body can carry the map's
+// randomized iteration order into a return statement with no sort on
+// that path. The dirty set flows forward over the CFG: appends inside a
+// map range generate taint, sort/slices calls kill it for their
+// arguments, a plain assignment from clean data kills it for the target,
+// and an assignment from a dirty value propagates it.
 func checkMapOrder(pass *analysis.Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
-	var ranges []*ast.RangeStmt
+	gens := mapRangeGens(pass, body)
+	if len(gens) == 0 {
+		return
+	}
+	g := cfg.New(body)
+	inState, _ := dataflow.Solve(g, false,
+		func(*cfg.Block) orderTaint { return orderTaint{} },
+		func(dst, src orderTaint) orderTaint {
+			for obj, pos := range src {
+				if cur, ok := dst[obj]; !ok || pos < cur {
+					dst[obj] = pos
+				}
+			}
+			return dst
+		},
+		func(b *cfg.Block, in orderTaint) orderTaint {
+			out := cloneTaint(in)
+			for _, n := range b.Stmts {
+				applyEntry(pass, gens, n, out)
+			}
+			return out
+		},
+		taintEqual,
+	)
+
+	named := namedResults(pass, ftype)
+	reported := map[token.Pos]bool{}
+	for _, blk := range g.Blocks {
+		state := cloneTaint(inState[blk])
+		for _, n := range blk.Stmts {
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				checkReturn(pass, ret, named, state, reported)
+			}
+			applyEntry(pass, gens, n, state)
+		}
+	}
+}
+
+// mapRangeGens finds, for every `for ... range <map>` in the function
+// (not descending into nested closures, which get their own CFG), the
+// assignments inside its body that accumulate in iteration order: slice
+// appends and string concatenations.
+func mapRangeGens(pass *analysis.Pass, body *ast.BlockStmt) map[*ast.AssignStmt][]taintGen {
+	gens := map[*ast.AssignStmt][]taintGen{}
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			return n.Body == body // don't descend into nested closures
+			return n.Body == body
 		case *ast.RangeStmt:
 			if t := pass.TypesInfo.Types[n.X].Type; t != nil {
 				if _, ok := t.Underlying().(*types.Map); ok {
-					ranges = append(ranges, n)
+					collectGens(pass, n, gens)
 				}
 			}
 		}
 		return true
 	})
-	if len(ranges) == 0 {
-		return
-	}
-
-	returned := returnedObjects(pass, ftype, body)
-	sorted := sortedObjects(pass, body)
-
-	for _, rng := range ranges {
-		for _, obj := range orderTaintedObjects(pass, rng) {
-			if returned[obj] && !sorted[obj] {
-				pass.Reportf(rng.Pos(),
-					"map iteration order reaches returned value %q without a sort: results become nondeterministic across runs",
-					obj.Name())
-				break
-			}
-		}
-	}
+	return gens
 }
 
-// orderTaintedObjects collects variables whose element order is decided
-// by the map range: slices appended to and strings concatenated inside
-// the loop body.
-func orderTaintedObjects(pass *analysis.Pass, rng *ast.RangeStmt) []types.Object {
-	var out []types.Object
-	seen := map[types.Object]bool{}
-	add := func(e ast.Expr) {
-		id, ok := ast.Unparen(e).(*ast.Ident)
-		if !ok {
-			return
-		}
-		obj := analysis.ObjectOf(pass.TypesInfo, id)
-		if obj == nil || seen[obj] {
-			return
-		}
-		switch obj.Type().Underlying().(type) {
-		case *types.Slice, *types.Basic:
-			seen[obj] = true
-			out = append(out, obj)
-		}
-	}
+func collectGens(pass *analysis.Pass, rng *ast.RangeStmt, gens map[*ast.AssignStmt][]taintGen) {
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
 		asg, ok := n.(*ast.AssignStmt)
 		if !ok {
 			return true
 		}
 		for i, lhs := range asg.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := analysis.ObjectOf(pass.TypesInfo, id)
+			if obj == nil {
+				continue
+			}
+			switch obj.Type().Underlying().(type) {
+			case *types.Slice, *types.Basic:
+			default:
+				continue
+			}
 			switch {
 			case asg.Tok == token.ADD_ASSIGN:
-				add(lhs) // s += k inside a map range
+				// s += k inside a map range.
+				gens[asg] = append(gens[asg], taintGen{obj, rng.Pos()})
 			case i < len(asg.Rhs):
-				// v = append(v, ...) inside a map range
+				// v = append(v, ...) inside a map range.
 				if call, ok := ast.Unparen(asg.Rhs[i]).(*ast.CallExpr); ok {
-					if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
-						add(lhs)
+					if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && fid.Name == "append" {
+						gens[asg] = append(gens[asg], taintGen{obj, rng.Pos()})
 					}
 				}
 			}
 		}
 		return true
 	})
-	return out
 }
 
-// returnedObjects collects identifiers referenced in return statements,
-// plus named results (reachable by a bare return).
-func returnedObjects(pass *analysis.Pass, ftype *ast.FuncType, body *ast.BlockStmt) map[types.Object]bool {
-	out := map[types.Object]bool{}
-	if ftype.Results != nil {
-		for _, field := range ftype.Results.List {
-			for _, name := range field.Names {
-				if obj := analysis.ObjectOf(pass.TypesInfo, name); obj != nil {
-					out[obj] = true
-				}
+// applyEntry advances the dirty set across one CFG entry.
+func applyEntry(pass *analysis.Pass, gens map[*ast.AssignStmt][]taintGen, n ast.Node, dirty orderTaint) {
+	killSorted(pass, n, dirty)
+	asg, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return
+	}
+	for i, lhs := range asg.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := analysis.ObjectOf(pass.TypesInfo, id)
+		if obj == nil {
+			continue
+		}
+		var rhs ast.Expr
+		switch {
+		case len(asg.Rhs) == len(asg.Lhs):
+			rhs = asg.Rhs[i]
+		case len(asg.Rhs) == 1:
+			rhs = asg.Rhs[0]
+		}
+		pos, carried := exprTaint(pass, rhs, dirty)
+		switch {
+		case carried:
+			if cur, ok := dirty[obj]; !ok || pos < cur {
+				dirty[obj] = pos
 			}
+		case asg.Tok == token.ASSIGN || asg.Tok == token.DEFINE:
+			// Full redefinition from clean data. Compound assignments
+			// (+= and friends) keep the prior value and its taint.
+			delete(dirty, obj)
 		}
 	}
-	ast.Inspect(body, func(n ast.Node) bool {
-		ret, ok := n.(*ast.ReturnStmt)
-		if !ok {
-			return true
+	for _, gen := range gens[asg] {
+		if cur, ok := dirty[gen.obj]; !ok || gen.pos < cur {
+			dirty[gen.obj] = gen.pos
 		}
-		for _, res := range ret.Results {
-			ast.Inspect(res, func(m ast.Node) bool {
-				// len(v) and cap(v) do not expose element order.
-				if call, ok := m.(*ast.CallExpr); ok {
-					if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
-						if _, isFunc := analysis.ObjectOf(pass.TypesInfo, id).(*types.Func); !isFunc {
-							return false
-						}
-					}
-				}
-				if id, ok := m.(*ast.Ident); ok {
-					if obj := analysis.ObjectOf(pass.TypesInfo, id); obj != nil {
-						out[obj] = true
-					}
-				}
-				return true
-			})
-		}
-		return true
-	})
-	return out
+	}
 }
 
-// sortedObjects collects identifiers passed to any function of the sort
-// or slices packages anywhere in the function: once sorted, map-range
-// order no longer shows.
-func sortedObjects(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
-	out := map[types.Object]bool{}
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
+// killSorted launders every variable passed to a sort or slices function
+// inside the entry: once sorted, map-range order no longer shows. A range
+// head entry holds the whole RangeStmt, but only its X expression is
+// evaluated there, so the loop body is not scanned.
+func killSorted(pass *analysis.Pass, n ast.Node, dirty orderTaint) {
+	if rng, ok := n.(*ast.RangeStmt); ok {
+		n = rng.X
+	}
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false // a sort inside a closure runs elsewhere
+		}
+		call, ok := m.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
@@ -226,10 +311,10 @@ func sortedObjects(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bo
 			return true
 		}
 		for _, arg := range call.Args {
-			ast.Inspect(arg, func(m ast.Node) bool {
-				if id, ok := m.(*ast.Ident); ok {
+			ast.Inspect(arg, func(k ast.Node) bool {
+				if id, ok := k.(*ast.Ident); ok {
 					if obj := analysis.ObjectOf(pass.TypesInfo, id); obj != nil {
-						out[obj] = true
+						delete(dirty, obj)
 					}
 				}
 				return true
@@ -237,5 +322,97 @@ func sortedObjects(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bo
 		}
 		return true
 	})
+}
+
+// exprTaint reports whether evaluating e exposes the order of a dirty
+// variable, returning the position of the tainting range. len(v) and
+// cap(v) do not expose element order and are skipped.
+func exprTaint(pass *analysis.Pass, e ast.Expr, dirty orderTaint) (token.Pos, bool) {
+	if e == nil {
+		return token.NoPos, false
+	}
+	var (
+		pos   token.Pos
+		found bool
+	)
+	ast.Inspect(e, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+				if _, isFunc := analysis.ObjectOf(pass.TypesInfo, id).(*types.Func); !isFunc {
+					return false
+				}
+			}
+		}
+		if id, ok := m.(*ast.Ident); ok {
+			if obj := analysis.ObjectOf(pass.TypesInfo, id); obj != nil {
+				if p, ok := dirty[obj]; ok {
+					pos, found = p, true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return pos, found
+}
+
+// checkReturn flags dirty values escaping through a return statement. A
+// bare return exposes any dirty named result.
+func checkReturn(pass *analysis.Pass, ret *ast.ReturnStmt, named []types.Object, dirty orderTaint, reported map[token.Pos]bool) {
+	flag := func(obj types.Object, pos token.Pos) {
+		if obj == nil || reported[pos] || pass.Annotated(pos, Annotation) {
+			return
+		}
+		reported[pos] = true
+		pass.Reportf(pos,
+			"map iteration order reaches returned value %q without a sort: results become nondeterministic across runs",
+			obj.Name())
+	}
+	if len(ret.Results) == 0 {
+		for _, obj := range named {
+			if pos, ok := dirty[obj]; ok {
+				flag(obj, pos)
+			}
+		}
+		return
+	}
+	for _, res := range ret.Results {
+		if pos, ok := exprTaint(pass, res, dirty); ok {
+			flag(dirtyAt(dirty, pos), pos)
+		}
+	}
+}
+
+// dirtyAt picks a variable tainted by the range at pos, for the message.
+func dirtyAt(dirty orderTaint, pos token.Pos) types.Object {
+	var best types.Object
+	for obj, p := range dirty {
+		if p != pos {
+			continue
+		}
+		if best == nil || obj.Name() < best.Name() {
+			best = obj
+		}
+	}
+	return best
+}
+
+// namedResults collects the function's named result variables, reachable
+// by a bare return.
+func namedResults(pass *analysis.Pass, ftype *ast.FuncType) []types.Object {
+	if ftype.Results == nil {
+		return nil
+	}
+	var out []types.Object
+	for _, field := range ftype.Results.List {
+		for _, name := range field.Names {
+			if obj := analysis.ObjectOf(pass.TypesInfo, name); obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
 	return out
 }

@@ -1,0 +1,126 @@
+// Fixture pinning the boundary of detrand's flow-sensitive map-order
+// check around the sorted-before-iteration pattern: a sort launders only
+// the paths that execute it, a full redefinition kills the taint, and
+// order re-enters when a later map range extends an already-sorted slice.
+package b
+
+import (
+	"sort"
+	"time"
+)
+
+// sortThenRange is the canonical clean idiom: keys are collected,
+// sorted, then ranged — the returned values follow the sorted order, not
+// the map's.
+func sortThenRange(m map[string]int) []int {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []int
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// sortedThenExtended re-taints after the sort: the second map range
+// appends in randomized order and no later sort runs.
+func sortedThenExtended(m1, m2 map[string]int) []string {
+	var keys []string
+	for k := range m1 {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for k := range m2 { // want `map iteration order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortedInBranch leaves the no-sort path dirty: when cond is false the
+// map order reaches the return untouched.
+func sortedInBranch(m map[string]int, cond bool) []string {
+	var keys []string
+	for k := range m { // want `map iteration order`
+		keys = append(keys, k)
+	}
+	if cond {
+		sort.Strings(keys)
+	}
+	return keys
+}
+
+// sortedOnEveryPath is clean: both arms launder before the return.
+func sortedOnEveryPath(m map[string]int, desc bool) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	if desc {
+		sort.Sort(sort.Reverse(sort.StringSlice(keys)))
+	} else {
+		sort.Strings(keys)
+	}
+	return keys
+}
+
+// redefined is clean: the dirty slice is fully overwritten from clean
+// data before it can escape.
+func redefined(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	keys = []string{"fixed"}
+	return keys
+}
+
+// earlyReturnDirty flags the early return that fires before the sort.
+func earlyReturnDirty(m map[string]int, limit int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order`
+		keys = append(keys, k)
+	}
+	if len(keys) > limit {
+		return keys // the sort below never ran on this path
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// aliasCarriesOrder propagates the taint through a plain assignment: the
+// alias holds the same randomly-ordered backing array.
+func aliasCarriesOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order`
+		keys = append(keys, k)
+	}
+	out := keys
+	return out
+}
+
+// bareReturnDirty exposes a dirty named result through a bare return.
+func bareReturnDirty(m map[string]int) (keys []string) {
+	for k := range m { // want `map iteration order`
+		keys = append(keys, k)
+	}
+	return
+}
+
+// suppressedOrder documents deliberate nondeterminism with the
+// annotation; the comment carries the justification.
+func suppressedOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { //sktlint:nondeterministic — order is irrelevant: the caller treats the result as a set
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// suppressedClock documents a deliberate wall-clock read.
+func suppressedClock() int64 {
+	//sktlint:nondeterministic — boot banner timestamp, never feeds a replayed result
+	return time.Now().Unix()
+}

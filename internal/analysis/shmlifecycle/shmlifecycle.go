@@ -24,6 +24,7 @@ import (
 	"go/types"
 
 	"selfckpt/internal/analysis"
+	"selfckpt/internal/analysis/cfg"
 )
 
 // Annotation marks a handle-dropping create as deliberately persistent.
@@ -34,7 +35,8 @@ var Analyzer = &analysis.Analyzer{
 	Name: "shmlifecycle",
 	Doc: "require temporary SHM segments (handles that do not escape) to be " +
 		"destroyed on all control-flow paths, including early error returns",
-	Run: run,
+	Suppression: Annotation,
+	Run:         run,
 }
 
 // acquireMethods are the allocating calls. Attach is deliberately absent:
@@ -90,6 +92,7 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 		return
 	}
 	escaped := escapedObjects(pass, body, acqs)
+	g := cfg.New(body)
 	for _, a := range acqs {
 		if a.seg != nil && escaped[a.seg] {
 			continue // ownership left the function; not a temporary
@@ -97,7 +100,7 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 		if pass.Annotated(a.call.Pos(), Annotation) {
 			continue
 		}
-		if leak := firstLeakyPath(pass, body, a); leak.IsValid() {
+		if leak := firstLeakyPath(pass, g, body, a); leak.IsValid() {
 			pass.Reportf(a.call.Pos(),
 				"temporary SHM segment from %s is not destroyed on the path leaving the function at line %d; release it with `defer store.Destroy(name)` or annotate %s",
 				a.method, pass.Fset.Position(leak).Line, Annotation)
@@ -201,147 +204,156 @@ func escapedObjects(pass *analysis.Pass, body *ast.BlockStmt, acqs []acquisition
 	return escaped
 }
 
-// firstLeakyPath walks the function body as a sequence of statements and
-// returns the first return statement reachable after the acquisition with
-// no release in force, or a non-nil marker when the function can fall off
-// its end unreleased. The walk is a linear approximation of the CFG:
-// a defer of Destroy/DestroyAll covers everything after it, a plain
-// release covers statements that follow it in source order, and branches
-// (if/else, switch, loops) are each walked with the state at entry.
-func firstLeakyPath(pass *analysis.Pass, body *ast.BlockStmt, a acquisition) token.Pos {
-	w := &walker{pass: pass, acq: a}
-	released := w.walkStmts(body.List, false, false)
-	if w.leak.IsValid() {
-		return w.leak
+// firstLeakyPath traverses the function's CFG from the program point
+// just after the acquisition and returns the position of the earliest
+// orderly exit (a return statement, or the closing brace for the
+// fall-off-the-end path) some path can reach with no release in force,
+// or NoPos when every path releases.
+//
+// Path rules:
+//
+//   - `st.Destroy(...)` / `st.DestroyAll()` — as a plain statement, a
+//     `defer`, or inside a deferred closure — marks the current path
+//     released from that point on;
+//   - the branch guarded by the acquisition's own failure check
+//     (`err != nil`, or the false arm of `err == nil`) is pruned: no
+//     segment exists on it;
+//   - a panic ends the path without a report — it unwinds the process,
+//     which is the node audit's business, not this analyzer's.
+//
+// States are (block, released) pairs, so loops terminate and a release
+// inside a conditional arm covers exactly the paths through that arm.
+func firstLeakyPath(pass *analysis.Pass, g *cfg.Graph, body *ast.BlockStmt, a acquisition) token.Pos {
+	blk, idx := g.Containing(a.call.Pos())
+	if blk == nil {
+		return token.NoPos
 	}
-	if w.active && !released && !w.terminated {
-		return body.Rbrace // fell off the end of the function unreleased
-	}
-	return token.NoPos
+	c := &pathChecker{pass: pass, acq: a, graph: g, body: body, visited: map[*cfg.Block]int{}}
+	c.walk(blk, idx+1, false)
+	return c.leak
 }
 
-type walker struct {
-	pass       *analysis.Pass
-	acq        acquisition
-	active     bool      // acquisition statement has been passed
-	leak       token.Pos // first unreleased exit
-	terminated bool      // the top-level walk ended in a return
+type pathChecker struct {
+	pass    *analysis.Pass
+	acq     acquisition
+	graph   *cfg.Graph
+	body    *ast.BlockStmt
+	leak    token.Pos
+	visited map[*cfg.Block]int // bit 1: seen unreleased, bit 2: seen released
 }
 
-// walkStmts processes a statement list with the given entry state and
-// reports whether a release is in force at its end. deferred releases
-// stay in force for the whole remainder of the function.
-func (w *walker) walkStmts(stmts []ast.Stmt, released, inBranch bool) bool {
-	for _, s := range stmts {
-		released = w.walkStmt(s, released, inBranch)
-		if w.leak.IsValid() {
-			return released
+func (c *pathChecker) note(pos token.Pos) {
+	if !c.leak.IsValid() || pos < c.leak {
+		c.leak = pos
+	}
+}
+
+func (c *pathChecker) walk(blk *cfg.Block, start int, released bool) {
+	if start == 0 {
+		bit := 1
+		if released {
+			bit = 2
 		}
-	}
-	return released
-}
-
-func (w *walker) walkStmt(s ast.Stmt, released, inBranch bool) bool {
-	switch s := s.(type) {
-	case *ast.DeferStmt:
-		if w.isRelease(s.Call) {
-			return true
+		if c.visited[blk]&bit != 0 {
+			return
 		}
-	case *ast.ExprStmt:
-		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
-			if w.containsAcq(s) {
-				w.active = true
-			} else if w.active && w.isRelease(call) {
-				return true
+		c.visited[blk] |= bit
+	}
+	for i := start; i < len(blk.Stmts); i++ {
+		switch s := blk.Stmts[i].(type) {
+		case *ast.DeferStmt:
+			if c.deferReleases(s.Call) {
+				released = true
 			}
-		}
-	case *ast.AssignStmt:
-		if w.containsAcq(s) {
-			w.active = true
-		}
-	case *ast.ReturnStmt:
-		if w.active && !released {
-			w.leak = s.Pos()
-			return released
-		}
-		if !inBranch {
-			w.terminated = true
-		}
-	case *ast.IfStmt:
-		if w.containsAcq(s.Init) {
-			w.active = true
-		}
-		// `if err != nil { return err }` after the acquisition is the
-		// failure path: no segment was created there, so it cannot leak.
-		if !w.isAcqFailureCond(s.Cond) {
-			w.walkStmts(s.Body.List, released, true)
-		}
-		if !w.leak.IsValid() && s.Else != nil {
-			switch e := s.Else.(type) {
-			case *ast.BlockStmt:
-				w.walkStmts(e.List, released, true)
-			case *ast.IfStmt:
-				w.walkStmt(e, released, true)
-			}
-		}
-	case *ast.BlockStmt:
-		return w.walkStmts(s.List, released, inBranch)
-	case *ast.ForStmt:
-		w.walkStmts(s.Body.List, released, true)
-	case *ast.RangeStmt:
-		w.walkStmts(s.Body.List, released, true)
-	case *ast.SwitchStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				w.walkStmts(cc.Body, released, true)
-				if w.leak.IsValid() {
-					break
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+				if isPanic(call) {
+					return
+				}
+				if c.isRelease(call) {
+					released = true
 				}
 			}
+		case *ast.ReturnStmt:
+			if !released {
+				c.note(s.Pos())
+			}
+			return
 		}
-	case *ast.TypeSwitchStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				w.walkStmts(cc.Body, released, true)
-				if w.leak.IsValid() {
-					break
-				}
+	}
+	succs := blk.Succs
+	// Prune the acquisition-failure branch: a block ending in the `err`
+	// check has the true branch first (cfg convention).
+	if len(succs) == 2 && len(blk.Stmts) > 0 {
+		if e, ok := blk.Stmts[len(blk.Stmts)-1].(ast.Expr); ok {
+			switch c.failureCondOp(e) {
+			case token.NEQ: // err != nil: the then-arm has no segment
+				succs = succs[1:2]
+			case token.EQL: // err == nil: the else-arm has no segment
+				succs = succs[0:1]
 			}
 		}
 	}
-	return released
-}
-
-// containsAcq reports whether the acquisition call site lies inside n.
-func (w *walker) containsAcq(n ast.Node) bool {
-	if n == nil {
-		return false
+	for _, s := range succs {
+		if s == c.graph.Exit {
+			// The only Exit edges not cut off above (return, panic) come
+			// from falling off the end of the function.
+			if !released {
+				c.note(c.body.Rbrace)
+			}
+			continue
+		}
+		c.walk(s, 0, released)
 	}
-	return n.Pos() <= w.acq.call.Pos() && w.acq.call.End() <= n.End()
 }
 
 // isRelease recognizes Destroy/DestroyAll calls on a *shm.Store.
-func (w *walker) isRelease(call *ast.CallExpr) bool {
-	method, ok := analysis.MethodOn(w.pass.TypesInfo, call, "internal/shm", "Store")
+func (c *pathChecker) isRelease(call *ast.CallExpr) bool {
+	method, ok := analysis.MethodOn(c.pass.TypesInfo, call, "internal/shm", "Store")
 	return ok && releaseMethods[method]
 }
 
-// isAcqFailureCond recognizes `err != nil` over the acquisition's error
-// variable: the branch it guards is the path where no segment exists.
-func (w *walker) isAcqFailureCond(cond ast.Expr) bool {
-	if w.acq.errObj == nil {
+// deferReleases recognizes both `defer st.Destroy(n)` and the closure
+// form `defer func() { ...; st.Destroy(n); ... }()`.
+func (c *pathChecker) deferReleases(call *ast.CallExpr) bool {
+	if c.isRelease(call) {
+		return true
+	}
+	lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
 		return false
 	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.CallExpr); ok && c.isRelease(inner) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// failureCondOp matches a comparison of the acquisition's error variable
+// against nil and returns its operator (NEQ or EQL), or ILLEGAL.
+func (c *pathChecker) failureCondOp(cond ast.Expr) token.Token {
+	if c.acq.errObj == nil {
+		return token.ILLEGAL
+	}
 	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
-	if !ok || bin.Op != token.NEQ {
-		return false
+	if !ok || (bin.Op != token.NEQ && bin.Op != token.EQL) {
+		return token.ILLEGAL
 	}
 	for _, side := range []ast.Expr{bin.X, bin.Y} {
 		if id, ok := ast.Unparen(side).(*ast.Ident); ok {
-			if analysis.ObjectOf(w.pass.TypesInfo, id) == w.acq.errObj {
-				return true
+			if analysis.ObjectOf(c.pass.TypesInfo, id) == c.acq.errObj {
+				return bin.Op
 			}
 		}
 	}
-	return false
+	return token.ILLEGAL
+}
+
+func isPanic(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
 }

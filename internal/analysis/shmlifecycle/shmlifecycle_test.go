@@ -8,5 +8,5 @@ import (
 )
 
 func TestShmLifecycle(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(t), shmlifecycle.Analyzer, "a")
+	analysistest.Run(t, analysistest.TestData(t), shmlifecycle.Analyzer, "a", "b")
 }

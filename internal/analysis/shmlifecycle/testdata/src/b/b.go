@@ -1,0 +1,102 @@
+// Fixture for the CFG-based shmlifecycle analyzer: leak shapes the old
+// linear statement walk could not see (returns under labels, select
+// cases, goto over the destroy) and a both-arms-release function the old
+// walk falsely flagged.
+package b
+
+import (
+	"errors"
+
+	"selfckpt/internal/shm"
+)
+
+// labeledLoopReturn bails out of a labeled loop nest before the destroy.
+// The return hides under the LabeledStmt, invisible to a linear walk.
+func labeledLoopReturn(st *shm.Store, n int) error {
+	_, err := st.Create("lbl", 8) // want `not destroyed`
+	if err != nil {
+		return err
+	}
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i*j > 16 {
+				return errors.New("bails out without destroying lbl")
+			}
+			if j > i {
+				continue outer
+			}
+		}
+	}
+	st.Destroy("lbl")
+	return nil
+}
+
+// gotoSkipsDestroy jumps over the only destroy.
+func gotoSkipsDestroy(st *shm.Store, skip bool) error {
+	_, err := st.Create("jump", 8) // want `not destroyed`
+	if err != nil {
+		return err
+	}
+	if skip {
+		goto out
+	}
+	st.Destroy("jump")
+out:
+	return nil
+}
+
+// selectCaseReturn returns out of a select case before the destroy.
+func selectCaseReturn(st *shm.Store, done chan struct{}, tick chan int) error {
+	_, err := st.Create("sel", 8) // want `not destroyed`
+	if err != nil {
+		return err
+	}
+	select {
+	case <-done:
+		return errors.New("shutdown leaves sel allocated")
+	case <-tick:
+	}
+	st.Destroy("sel")
+	return nil
+}
+
+// destroyInBothArms is clean: every path releases before returning.
+// Without a CFG the analyzer could not see that no fall-through path
+// exists and flagged the close of the function.
+func destroyInBothArms(st *shm.Store, fast bool) error {
+	_, err := st.Create("both", 8)
+	if err != nil {
+		return err
+	}
+	if fast {
+		st.Destroy("both")
+		return nil
+	}
+	st.Destroy("both")
+	return errors.New("slow path, but released")
+}
+
+// deferredClosure is clean: the deferred closure performs the destroy.
+func deferredClosure(st *shm.Store) error {
+	_, err := st.Create("clo", 8)
+	if err != nil {
+		return err
+	}
+	defer func() { st.Destroy("clo") }()
+	return nil
+}
+
+// panicIsNotALeak is clean: a panic unwinds the node process itself; the
+// analyzer only tracks orderly exits.
+func panicIsNotALeak(st *shm.Store, bad bool) error {
+	_, err := st.Create("pnc", 8)
+	if err != nil {
+		return err
+	}
+	if bad {
+		panic("corrupted segment table")
+	}
+	st.Destroy("pnc")
+	return nil
+}

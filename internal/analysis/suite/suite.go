@@ -5,6 +5,7 @@ package suite
 
 import (
 	"selfckpt/internal/analysis"
+	"selfckpt/internal/analysis/ckptcover"
 	"selfckpt/internal/analysis/ckpterr"
 	"selfckpt/internal/analysis/collsym"
 	"selfckpt/internal/analysis/detrand"
@@ -40,6 +41,7 @@ func Analyzers() []Entry {
 		{Analyzer: shmlifecycle.Analyzer},
 		{Analyzer: collsym.Analyzer},
 		{Analyzer: ckpterr.Analyzer},
+		{Analyzer: ckptcover.Analyzer},
 	}
 }
 

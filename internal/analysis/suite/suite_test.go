@@ -1,9 +1,11 @@
 package suite_test
 
 import (
+	"path/filepath"
 	"testing"
 
 	"selfckpt/internal/analysis"
+	"selfckpt/internal/analysis/analysistest"
 	"selfckpt/internal/analysis/suite"
 )
 
@@ -36,8 +38,8 @@ func TestRepoIsLintClean(t *testing.T) {
 // critical packages, the other analyzers run everywhere.
 func TestScoping(t *testing.T) {
 	entries := suite.Analyzers()
-	if len(entries) != 4 {
-		t.Fatalf("expected 4 analyzers, got %d", len(entries))
+	if len(entries) != 5 {
+		t.Fatalf("expected 5 analyzers, got %d", len(entries))
 	}
 	byName := map[string]suite.Entry{}
 	for _, e := range entries {
@@ -53,7 +55,7 @@ func TestScoping(t *testing.T) {
 	if det.AppliesTo("selfckpt/cmd/sktbench") {
 		t.Error("detrand must not cover sktbench (wall-time banners are legitimate there)")
 	}
-	for _, name := range []string{"shmlifecycle", "collsym", "ckpterr"} {
+	for _, name := range []string{"shmlifecycle", "collsym", "ckpterr", "ckptcover"} {
 		e, ok := byName[name]
 		if !ok {
 			t.Fatalf("missing analyzer %s", name)
@@ -62,4 +64,34 @@ func TestScoping(t *testing.T) {
 			t.Errorf("%s should apply everywhere", name)
 		}
 	}
+}
+
+// TestSuppressionVocabulary runs every analyzer over one shared fixture
+// in which each invariant is violated twice: once bare (the // want
+// line) and once under the analyzer's documented suppression annotation.
+// That pins both directions at once — every annotation actually silences
+// its analyzer, and suppressing one analyzer does not swallow another's
+// finding in the same package.
+func TestSuppressionVocabulary(t *testing.T) {
+	testdata := analysistest.TestData(t)
+	loader, err := analysis.NewLoader(testdata)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join(testdata, "src", "suppressed"))
+	if err != nil {
+		t.Fatalf("loading shared fixture: %v", err)
+	}
+	var diags []analysis.Diagnostic
+	for _, e := range suite.Analyzers() {
+		if e.Analyzer.Suppression == "" {
+			t.Errorf("%s documents no suppression annotation", e.Analyzer.Name)
+			continue
+		}
+		pass := pkg.NewPass(e.Analyzer, func(d analysis.Diagnostic) { diags = append(diags, d) })
+		if err := e.Analyzer.Run(pass); err != nil {
+			t.Fatalf("%s: %v", e.Analyzer.Name, err)
+		}
+	}
+	analysistest.Check(t, pkg, diags)
 }

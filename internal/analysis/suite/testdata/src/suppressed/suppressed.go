@@ -1,0 +1,107 @@
+// Shared fixture exercising every sktlint analyzer's suppression
+// annotation in one package. Each analyzer contributes a flagged case
+// (the // want line) and an annotated twin that the waiver must silence.
+// The suite test runs all five analyzers over this file together, so it
+// pins both directions at once: every documented annotation actually
+// suppresses its analyzer, and suppressing one analyzer does not swallow
+// another's finding in the same package.
+package suppressed
+
+import (
+	"encoding/binary"
+	"time"
+
+	"selfckpt/internal/checkpoint"
+	"selfckpt/internal/shm"
+	"selfckpt/internal/simmpi"
+)
+
+// --- detrand — //sktlint:nondeterministic ---
+
+func wallClockFlagged() int64 {
+	return time.Now().Unix() // want `wall-clock`
+}
+
+func wallClockWaived() int64 {
+	//sktlint:nondeterministic — progress banner only; never feeds a replayed result
+	return time.Now().Unix()
+}
+
+// --- shmlifecycle — //sktlint:persistent-segment ---
+
+func segmentFlagged(st *shm.Store) {
+	_, _ = st.Create("leak", 8) // want `not destroyed`
+}
+
+func segmentWaived(st *shm.Store) {
+	_, _ = st.Create("node-cache", 8) //sktlint:persistent-segment — owned by the node daemon for its lifetime
+}
+
+// --- collsym — //sktlint:rank-divergent ---
+
+func collectiveFlagged(c *simmpi.Comm, buf []float64) error {
+	if c.Rank() == 0 {
+		return c.Bcast(0, buf) // want `collective Bcast inside a branch`
+	}
+	return nil
+}
+
+func collectiveWaived(c *simmpi.Comm, buf []float64) error {
+	if c.Rank() == 0 {
+		//sktlint:rank-divergent — the non-root ranks enter the identical Bcast below
+		return c.Bcast(0, buf)
+	}
+	return c.Bcast(0, buf)
+}
+
+// --- ckpterr — //sktlint:unchecked-error ---
+
+func droppedErrFlagged(p checkpoint.Protector, meta []byte) {
+	p.Checkpoint(meta) // want `error result of Checkpoint is discarded`
+}
+
+func droppedErrWaived(p checkpoint.Protector, meta []byte) {
+	//sktlint:unchecked-error — best-effort final snapshot on the shutdown path; the job result is already durable
+	p.Checkpoint(meta)
+}
+
+// --- ckptcover — //sktlint:ephemeral <reason> ---
+
+func coverageFlagged(prot checkpoint.Protector, n int) (float64, error) {
+	data, _, err := prot.Open(64)
+	if err != nil {
+		return 0, err
+	}
+	best := 0.0
+	meta := make([]byte, 8)
+	for it := 0; it < n; it++ {
+		data[it%64] = float64(it)
+		if data[it%64] > best {
+			best = data[it%64] // want `loop-carried state best`
+		}
+		binary.LittleEndian.PutUint64(meta, uint64(it))
+		if err := prot.Checkpoint(meta); err != nil {
+			return 0, err
+		}
+	}
+	return best, nil
+}
+
+func coverageWaived(prot checkpoint.Protector, n int) (float64, error) {
+	data, _, err := prot.Open(64)
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	meta := make([]byte, 8)
+	for it := 0; it < n; it++ {
+		data[it%64] = float64(it)
+		//sktlint:ephemeral — diagnostic running total printed at the end; a restart recomputes it from the protected field
+		sum += data[it%64]
+		binary.LittleEndian.PutUint64(meta, uint64(it))
+		if err := prot.Checkpoint(meta); err != nil {
+			return 0, err
+		}
+	}
+	return sum, nil
+}

@@ -348,6 +348,7 @@ func RunSDC(s SDCSchedule) (*SDCObservation, error) {
 					return err
 				}
 				mu.Lock()
+				//sktlint:ephemeral — harness-side audit log of injected flips, aggregated across attempts outside the checkpointed state
 				flips = append(flips, fl...)
 				mu.Unlock()
 			}
