@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test lint vet sktlint staticcheck matrix
+.PHONY: all build test lint vet sktlint staticcheck matrix bench bench-smoke
 
 all: build lint test
 
@@ -29,6 +29,18 @@ staticcheck:
 	else \
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; \
 	fi
+
+# Full kernel-layer perf run: micro-benchmarks plus the seed-vs-kernel
+# comparison written to BENCH_kernels.json (the nightly CI job).
+bench:
+	$(GO) test -run TestKernelsBenchReport -v .
+	$(GO) test -bench '^BenchmarkKernels' -benchmem ./internal/kernels/ .
+
+# One-iteration smoke of the same harness (the push-time CI job): checks
+# the benchmarks still run and produces a rough BENCH_kernels.json.
+bench-smoke:
+	$(GO) test -run TestKernelsBenchReport -short .
+	$(GO) test -run xxx -bench '^BenchmarkKernels' -benchtime 1x -short ./internal/kernels/ .
 
 # The full crash + SDC survival matrices (the nightly CI job).
 matrix:

@@ -1,0 +1,462 @@
+package selfckpt
+
+// Kernel-layer perf-regression harness. The "before" measurements run
+// live replicas of the seed code paths — serial Float64bits combines,
+// zero+copy stripe staging, per-call reduction buffers, and the
+// GF(2⁸) byte-string round trip — against the current kernel-backed
+// paths, so every run produces a fresh before/after comparison on the
+// machine at hand instead of trusting stale numbers.
+// TestKernelsBenchReport writes the comparison to BENCH_kernels.json
+// (ns/word, GB/s, allocs/op, speedups); CI uploads it as an artifact.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"selfckpt/internal/encoding"
+	"selfckpt/internal/gf256"
+	"selfckpt/internal/kernels"
+	"selfckpt/internal/simmpi"
+)
+
+// --- Seed-path replicas (the "before" baselines) ---
+
+// seedStripeOf replicates the single-parity family mapping.
+func seedStripeOf(r, f int) int {
+	switch {
+	case f < r:
+		return f
+	case f > r:
+		return f - 1
+	default:
+		return -1
+	}
+}
+
+// seedCopyStripe replicates the zero+copy staging of stripe si.
+func seedCopyStripe(stripe, data []float64, si, s int) {
+	for i := range stripe {
+		stripe[i] = 0
+	}
+	lo := si * s
+	if lo < len(data) {
+		copy(stripe, data[lo:])
+	}
+}
+
+// seedReduce replicates the seed binomial Reduce: per-call acc and
+// scratch allocations and a caller-supplied serial combine.
+func seedReduce(c *simmpi.Comm, root int, in, out []float64, combine func(acc, in []float64), costPerWord float64) error {
+	size := c.Size()
+	acc := make([]float64, len(in))
+	copy(acc, in)
+	if size > 1 {
+		rel := (c.Rank() - root + size) % size
+		scratch := make([]float64, len(in))
+		mask := 1
+		for mask < size {
+			if rel&mask != 0 {
+				dst := (rel&^mask + root) % size
+				if err := c.Send(dst, acc); err != nil {
+					return err
+				}
+				break
+			}
+			if src := rel | mask; src < size {
+				abs := (src + root) % size
+				if err := c.Recv(abs, scratch); err != nil {
+					return err
+				}
+				combine(acc, scratch)
+				c.World().Compute(float64(len(in)) * costPerWord)
+			}
+			mask <<= 1
+		}
+	}
+	if c.Rank() == root {
+		copy(out, acc)
+	}
+	return nil
+}
+
+// seedGroupEncodeXor replicates the seed single-parity XOR encode:
+// per-family zero+copy staging and serial word-at-a-time XOR.
+func seedGroupEncodeXor(c *simmpi.Comm, ck, data []float64, s int) error {
+	n := c.Size()
+	me := c.Rank()
+	stripe := make([]float64, s)
+	for f := 0; f < n; f++ {
+		if si := seedStripeOf(me, f); si >= 0 {
+			seedCopyStripe(stripe, data, si, s)
+		} else {
+			for i := range stripe {
+				stripe[i] = 0
+			}
+		}
+		var out []float64
+		if me == f {
+			out = ck
+		}
+		if err := seedReduce(c, f, stripe, out, kernels.XorSerial, 0.25); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// seedRSEncode replicates the seed dual-parity encode: the P pass like
+// seedGroupEncodeXor and a Q pass whose premultiply stages the stripe
+// through byte strings with the log/exp-table multiply.
+func seedRSEncode(c *simmpi.Comm, ck, data []float64, s int) error {
+	n := c.Size()
+	me := c.Rank()
+	stripeOf := func(r, f int) int {
+		if r == f || r == (f+1)%n {
+			return -1
+		}
+		si := f
+		if r < f {
+			si--
+		}
+		if (r-1+n)%n < f {
+			si--
+		}
+		return si
+	}
+	dataIndex := func(f, r int) int {
+		idx := r
+		if f < r {
+			idx--
+		}
+		if (f+1)%n < r {
+			idx--
+		}
+		return idx
+	}
+	stripe := make([]float64, s)
+	b1 := make([]byte, 8*s)
+	load := func(f int) bool {
+		if si := stripeOf(me, f); si >= 0 {
+			seedCopyStripe(stripe, data, si, s)
+			return true
+		}
+		for i := range stripe {
+			stripe[i] = 0
+		}
+		return false
+	}
+	for f := 0; f < n; f++ {
+		load(f)
+		var out []float64
+		if me == f {
+			out = ck[:s]
+		}
+		if err := seedReduce(c, f, stripe, out, kernels.XorSerial, 0.25); err != nil {
+			return err
+		}
+		if load(f) {
+			kernels.WordsToBytes(b1, stripe)
+			gf256.MulSliceRef(gf256.Exp(dataIndex(f, me)), b1, b1)
+			kernels.BytesToWords(stripe, b1)
+			c.World().Compute(float64(s) * 2)
+		}
+		qh := (f + 1) % n
+		out = nil
+		if me == qh {
+			out = ck[s:]
+		}
+		if err := seedReduce(c, qh, stripe, out, kernels.XorSerial, 0.25); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- End-to-end drivers ---
+
+const (
+	benchGroup = 4
+	benchWords = 3 * (1 << 16) // per-rank data; 64Ki-word stripes
+)
+
+func benchWorld(groupSize int) (*simmpi.World, error) {
+	return simmpi.NewWorld(simmpi.Config{Ranks: groupSize, Alpha: 1e-7, Bandwidth: []float64{1e10}, GFLOPS: []float64{10}})
+}
+
+// encodeLoop spawns one world, sets up data once per rank, then times
+// iters repeated encodes between barriers, so the measurement covers
+// only the encode hot path — not world spawn or data initialization,
+// which are identical in both paths and would dilute the comparison.
+func encodeLoop(groupSize, words, iters int, rs bool, body func(c *simmpi.Comm, data, ck []float64, s int) error) (nsPerOp float64, err error) {
+	w, err := benchWorld(groupSize)
+	if err != nil {
+		return 0, err
+	}
+	var dur time.Duration
+	res := w.Run(func(c *simmpi.Comm) error {
+		data := make([]float64, words)
+		for i := range data {
+			data[i] = float64(i+c.Rank()) * 1.25
+		}
+		div := groupSize - 1
+		if rs {
+			div = groupSize - 2
+		}
+		s := (words + div - 1) / div
+		slots := s
+		if rs {
+			slots = 2 * s
+		}
+		ck := make([]float64, slots)
+		if err := body(c, data, ck, s); err != nil { // warm-up round
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := body(c, data, ck, s); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			dur = time.Since(t0)
+		}
+		return nil
+	})
+	if res.Failed() {
+		return 0, res.FirstError()
+	}
+	return float64(dur.Nanoseconds()) / float64(iters), nil
+}
+
+func xorEncodeSeed(iters int) (float64, error) {
+	return encodeLoop(benchGroup, benchWords, iters, false, func(c *simmpi.Comm, data, ck []float64, s int) error {
+		return seedGroupEncodeXor(c, ck, data, s)
+	})
+}
+
+func xorEncodeKernel(iters int) (float64, error) {
+	return encodeLoop(benchGroup, benchWords, iters, false, func(c *simmpi.Comm, data, ck []float64, s int) error {
+		g, err := encoding.NewGroup(c, simmpi.OpXor)
+		if err != nil {
+			return err
+		}
+		return g.Encode(ck, data)
+	})
+}
+
+func rsEncodeSeed(iters int) (float64, error) {
+	return encodeLoop(benchGroup, benchWords, iters, true, func(c *simmpi.Comm, data, ck []float64, s int) error {
+		return seedRSEncode(c, ck, data, s)
+	})
+}
+
+func rsEncodeKernel(iters int) (float64, error) {
+	return encodeLoop(benchGroup, benchWords, iters, true, func(c *simmpi.Comm, data, ck []float64, s int) error {
+		g, err := encoding.NewRSGroup(c)
+		if err != nil {
+			return err
+		}
+		return g.Encode(ck, data)
+	})
+}
+
+// --- Benchmarks (CI smoke runs these with -benchtime=1x -short) ---
+
+func benchEncodePair(b *testing.B, seed, kernel func(iters int) (float64, error)) {
+	for name, fn := range map[string]func(int) (float64, error){"seed-path": seed, "kernel": kernel} {
+		fn := fn
+		b.Run(name, func(b *testing.B) {
+			nsPerOp, err := fn(b.N)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(nsPerOp, "ns/encode")
+			b.ReportMetric(float64(8*benchWords*benchGroup)/nsPerOp, "GB/s")
+		})
+	}
+}
+
+func BenchmarkKernelsGroupEncodeXor(b *testing.B) {
+	benchEncodePair(b, xorEncodeSeed, xorEncodeKernel)
+}
+
+func BenchmarkKernelsRSEncode(b *testing.B) {
+	benchEncodePair(b, rsEncodeSeed, rsEncodeKernel)
+}
+
+// --- The JSON report ---
+
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Group       int     `json:"group,omitempty"`
+	Words       int     `json:"words"`
+	BeforeNs    float64 `json:"before_ns_per_op"`
+	AfterNs     float64 `json:"after_ns_per_op"`
+	BeforeNsW   float64 `json:"before_ns_per_word"`
+	AfterNsW    float64 `json:"after_ns_per_word"`
+	BeforeGBps  float64 `json:"before_gbps"`
+	AfterGBps   float64 `json:"after_gbps"`
+	Speedup     float64 `json:"speedup"`
+	AllocBefore float64 `json:"allocs_before,omitempty"`
+	AllocAfter  float64 `json:"allocs_after,omitempty"`
+}
+
+type benchReport struct {
+	Mode       string       `json:"mode"` // "full" or "short"
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Entries    []benchEntry `json:"entries"`
+}
+
+// timeOp returns ns/op: a full testing.Benchmark run normally, a single
+// timed call in -short mode (the CI smoke only checks the harness runs
+// and the file is produced; nightly runs measure for real).
+func timeOp(short bool, f func()) float64 {
+	if short {
+		t0 := time.Now()
+		f()
+		return float64(time.Since(t0).Nanoseconds())
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f()
+		}
+	})
+	return float64(r.NsPerOp())
+}
+
+func entryFromNs(name string, group, words int, bns, ans float64) benchEntry {
+	bytes := float64(8 * words)
+	return benchEntry{
+		Name: name, Group: group, Words: words,
+		BeforeNs: bns, AfterNs: ans,
+		BeforeNsW: bns / float64(words), AfterNsW: ans / float64(words),
+		BeforeGBps: bytes / bns, AfterGBps: bytes / ans,
+		Speedup: bns / ans,
+	}
+}
+
+func entryFor(name string, group, words int, short bool, before, after func()) benchEntry {
+	return entryFromNs(name, group, words, timeOp(short, before), timeOp(short, after))
+}
+
+// TestKernelsBenchReport measures the seed paths against the kernel
+// layer and writes BENCH_kernels.json. It never fails on ratios — perf
+// numbers are machine-dependent — but the acceptance numbers for this
+// harness came from the full (non-short) run.
+func TestKernelsBenchReport(t *testing.T) {
+	short := testing.Short()
+	rep := benchReport{Mode: "full", GOMAXPROCS: kernels.Workers()}
+	if short {
+		rep.Mode = "short"
+	}
+
+	iters := 30
+	if short {
+		iters = 2
+	}
+	e2e := func(name string, seed, kernel func(int) (float64, error)) {
+		bns, err := seed(iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ans, err := kernel(iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Entries = append(rep.Entries, entryFromNs(name, benchGroup, benchWords*benchGroup, bns, ans))
+	}
+	e2e("group-encode-xor-e2e", xorEncodeSeed, xorEncodeKernel)
+	e2e("rs-encode-e2e", rsEncodeSeed, rsEncodeKernel)
+
+	// Micro-kernels: serial seed combine vs kernel, plus the GF(2⁸)
+	// byte round trip vs the word kernel.
+	for _, words := range []int{1 << 12, 1 << 16, 1 << 20} {
+		acc := make([]float64, words)
+		in := make([]float64, words)
+		for i := range in {
+			in[i] = float64(i) * 1.5
+			acc[i] = float64(i) * 0.5
+		}
+		w := words
+		rep.Entries = append(rep.Entries, entryFor(
+			fmt.Sprintf("xor-combine-%dw", w), 0, w, short,
+			func() { kernels.XorSerial(acc, in) },
+			func() { kernels.Xor(acc, in) },
+		))
+		b1 := make([]byte, 8*words)
+		b2 := make([]byte, 8*words)
+		rep.Entries = append(rep.Entries, entryFor(
+			fmt.Sprintf("gf-muladd-%dw", w), 0, w, short,
+			func() {
+				kernels.WordsToBytes(b1, acc)
+				kernels.WordsToBytes(b2, in)
+				gf256.MulAddSliceRef(0x8e, b1, b2)
+				kernels.BytesToWords(acc, b1)
+			},
+			func() { kernels.GFMulAdd(0x8e, acc, in) },
+		))
+	}
+
+	// Steady-state reduction allocations: the seed Reduce allocated acc
+	// and scratch per call (and Allreduce a tmp on non-root ranks); the
+	// reworked collectives reuse communicator-owned buffers.
+	func() {
+		w, err := benchWorld(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := w.Run(func(c *simmpi.Comm) error {
+			in := make([]float64, 4096)
+			out := make([]float64, 4096)
+			if err := c.Allreduce(in, out, simmpi.OpXor); err != nil {
+				return err
+			}
+			before := testing.AllocsPerRun(20, func() {
+				if err := seedReduce(c, 0, in, out, kernels.XorSerial, 0.25); err != nil {
+					panic(err)
+				}
+			})
+			after := testing.AllocsPerRun(20, func() {
+				if err := c.Allreduce(in, out, simmpi.OpXor); err != nil {
+					panic(err)
+				}
+			})
+			rep.Entries = append(rep.Entries, benchEntry{
+				Name: "allreduce-steady-state-allocs", Group: 1, Words: 4096,
+				AllocBefore: before, AllocAfter: after,
+			})
+			if after != 0 {
+				return fmt.Errorf("steady-state Allreduce allocates %v per op, want 0", after)
+			}
+			return nil
+		})
+		if res.Failed() {
+			t.Fatal(res.FirstError())
+		}
+	}()
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_kernels.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range rep.Entries {
+		if e.Speedup > 0 {
+			t.Logf("%-28s %8d words  before %8.2f ns/op  after %8.2f ns/op  speedup %.2fx",
+				e.Name, e.Words, e.BeforeNs, e.AfterNs, e.Speedup)
+		} else {
+			t.Logf("%-28s allocs/op before %.0f after %.0f", e.Name, e.AllocBefore, e.AllocAfter)
+		}
+	}
+}

@@ -20,6 +20,8 @@ import (
 var DeterminismCritical = []string{
 	"internal/crashmat",
 	"internal/checkpoint",
+	"internal/encoding",
+	"internal/kernels",
 	"internal/simmpi",
 	"internal/shm",
 	"internal/cluster",

@@ -1,0 +1,147 @@
+package encoding
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"selfckpt/internal/simmpi"
+)
+
+// encodeChecksum runs one collective encode over a domain large enough
+// to engage the parallel kernel path and returns rank 0's checksum bits.
+func encodeChecksum(t *testing.T, procs, ranks, words int, op *simmpi.Op, rs bool) []uint64 {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	var bits []uint64
+	run(t, ranks, func(comm *simmpi.Comm) error {
+		data := fillData(comm.Rank(), words, 42)
+		var ck []float64
+		var err error
+		if rs {
+			g, e := NewRSGroup(comm)
+			if e != nil {
+				return e
+			}
+			ck = make([]float64, g.ChecksumWords(words))
+			err = g.Encode(ck, data)
+		} else {
+			g, e := NewGroup(comm, op)
+			if e != nil {
+				return e
+			}
+			ck = make([]float64, g.StripeWords(words))
+			err = g.Encode(ck, data)
+		}
+		if err != nil {
+			return err
+		}
+		if comm.Rank() == 0 {
+			bits = make([]uint64, len(ck))
+			for i, v := range ck {
+				bits[i] = math.Float64bits(v)
+			}
+		}
+		return nil
+	})
+	return bits
+}
+
+// The replay-by-ID contract extends through the kernel layer: encodes
+// must be bit-identical whether the bulk kernels run serially
+// (GOMAXPROCS=1) or chunked across workers, and across repeated runs.
+// The domain is sized so stripes exceed the kernels' parallel threshold.
+func TestEncodeDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	const ranks = 4
+	words := 3 * 40000 // ~40k-word stripes, above minParallelWords
+	cases := []struct {
+		name string
+		op   *simmpi.Op
+		rs   bool
+	}{
+		{"group-xor", simmpi.OpXor, false},
+		{"group-sum", simmpi.OpSum, false},
+		{"rs-dual-parity", nil, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := encodeChecksum(t, 1, ranks, words, tc.op, tc.rs)
+			wide := encodeChecksum(t, 4, ranks, words, tc.op, tc.rs)
+			again := encodeChecksum(t, 4, ranks, words, tc.op, tc.rs)
+			for i := range serial {
+				if serial[i] != wide[i] {
+					t.Fatalf("checksum word %d differs between GOMAXPROCS=1 (%#x) and 4 (%#x)", i, serial[i], wide[i])
+				}
+				if wide[i] != again[i] {
+					t.Fatalf("checksum word %d differs between repeated runs: %#x vs %#x", i, wide[i], again[i])
+				}
+			}
+		})
+	}
+}
+
+// Steady-state encodes must reuse the group and communicator scratch:
+// repeated Encode calls on a warm group allocate only the constant
+// per-message envelopes, independent of the domain size.
+func TestEncodeAllocsDoNotScaleWithDomain(t *testing.T) {
+	measure := func(t *testing.T, words int) float64 {
+		var got float64
+		run(t, 3, func(comm *simmpi.Comm) error {
+			g, err := NewGroup(comm, simmpi.OpXor)
+			if err != nil {
+				return err
+			}
+			data := fillData(comm.Rank(), words, 7)
+			ck := make([]float64, g.StripeWords(words))
+			if err := g.Encode(ck, data); err != nil { // warm up scratch
+				return err
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if err := g.Encode(ck, data); err != nil {
+					panic(err)
+				}
+			})
+			if comm.Rank() == 0 {
+				got = allocs
+			}
+			return nil
+		})
+		return got
+	}
+	small := measure(t, 1<<8)
+	large := measure(t, 1<<14)
+	if large > small+4 {
+		t.Fatalf("encode allocs scale with domain size: %v at 2^8 words vs %v at 2^14", small, large)
+	}
+}
+
+// Unaligned multi-part domains force the staged-copy path; the result
+// must match the in-place view path bit for bit for every part split.
+func TestEncodeViewAndCopyPathsAgree(t *testing.T) {
+	const ranks, words = 4, 61
+	run(t, ranks, func(comm *simmpi.Comm) error {
+		whole := fillData(comm.Rank(), words, 11)
+		g, err := NewGroup(comm, simmpi.OpXor)
+		if err != nil {
+			return err
+		}
+		want := make([]float64, g.StripeWords(words))
+		if err := g.Encode(want, whole); err != nil {
+			return err
+		}
+		for cut := 1; cut < words; cut += 7 {
+			ck := make([]float64, g.StripeWords(words))
+			if err := g.Encode(ck, whole[:cut], whole[cut:]); err != nil {
+				return err
+			}
+			for i := range ck {
+				if math.Float64bits(ck[i]) != math.Float64bits(want[i]) {
+					return fmt.Errorf("cut %d: checksum differs at word %d", cut, i)
+				}
+			}
+		}
+		return nil
+	})
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 
+	"selfckpt/internal/kernels"
 	"selfckpt/internal/simmpi"
 )
 
@@ -27,6 +28,30 @@ import (
 type Group struct {
 	comm *simmpi.Comm
 	op   *simmpi.Op
+
+	// stripe and zeros are reusable per-rank buffers (a Group, like its
+	// Comm, is owned by one rank goroutine). stripe holds boundary-
+	// crossing stripe copies; zeros is an identity contribution that is
+	// never written after clearing, so it is zeroed only when grown.
+	stripe, zeros []float64
+}
+
+// grow returns (*buf)[:n], reallocating only when the capacity is too
+// small, so steady-state encodes reuse the group's buffers.
+func grow(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}
+
+// zeroStripe returns an all-zero stripe of n words that callers must not
+// write through (it is shared across families and calls).
+func (g *Group) zeroStripe(n int) []float64 {
+	if cap(g.zeros) < n {
+		g.zeros = make([]float64, n)
+	}
+	return g.zeros[:n]
 }
 
 // NewGroup wraps a communicator whose Size() is the group size N ≥ 2.
@@ -89,12 +114,26 @@ func (p parts) words() int {
 	return n
 }
 
+// view returns a direct window onto the virtual concatenation when words
+// [off, off+n) fall entirely inside a single part, or nil when the range
+// crosses a part boundary or reaches into the zero-padded tail. A view
+// lets the stripe reductions read the data in place instead of staging a
+// zero+copy into scratch; callers must treat it as read-only.
+func (p parts) view(off, n int) []float64 {
+	pos := 0
+	for _, s := range p {
+		if off >= pos && off+n <= pos+len(s) {
+			return s[off-pos : off-pos+n]
+		}
+		pos += len(s)
+	}
+	return nil
+}
+
 // copyRange copies words [off, off+len(dst)) of the virtual concatenation
 // into dst, zero-filling past the end (stripes are zero padded).
 func (p parts) copyRange(dst []float64, off int) {
-	for i := range dst {
-		dst[i] = 0
-	}
+	kernels.Zero(dst)
 	pos := 0
 	for _, s := range p {
 		if off < pos+len(s) && off+len(dst) > pos {
@@ -159,25 +198,27 @@ func (g *Group) EncodeFamilies(checksum []float64, dirty []bool, dataParts ...[]
 	if dirty != nil && len(dirty) != n {
 		return fmt.Errorf("encoding: dirty map has %d entries, want %d", len(dirty), n)
 	}
-	stripe := make([]float64, s)
 	for f := 0; f < n; f++ {
 		if dirty != nil && !dirty[f] {
 			continue
 		}
 		// Rank f contributes identity (zeros) to its own family; every
-		// other rank contributes its family-f stripe.
+		// other rank contributes its family-f stripe — in place when the
+		// stripe lies within one part, staged into scratch otherwise.
+		var in []float64
 		if si := stripeOf(me, f); si >= 0 {
-			p.copyRange(stripe, si*s)
-		} else {
-			for i := range stripe {
-				stripe[i] = 0
+			if in = p.view(si*s, s); in == nil {
+				in = grow(&g.stripe, s)
+				p.copyRange(in, si*s)
 			}
+		} else {
+			in = g.zeroStripe(s)
 		}
 		var out []float64
 		if me == f {
 			out = checksum
 		}
-		if err := g.comm.Reduce(f, stripe, out, g.op); err != nil {
+		if err := g.comm.Reduce(f, in, out, g.op); err != nil {
 			return fmt.Errorf("encoding: family %d reduce: %w", f, err)
 		}
 	}
@@ -236,41 +277,42 @@ func (g *Group) rebuildOne(lost int, checksum []float64, dataParts ...[]float64)
 	}
 	stripe := make([]float64, s)
 	partial := make([]float64, s)
+	// contribution returns this rank's family-f input to the reduce: a
+	// direct view when possible, a staged copy otherwise, or the shared
+	// zero stripe for identity contributions.
+	contribution := func(f int, identity bool) []float64 {
+		if si := stripeOf(me, f); si >= 0 && !identity {
+			if v := p.view(si*s, s); v != nil {
+				return v
+			}
+			p.copyRange(stripe, si*s)
+			return stripe
+		}
+		return g.zeroStripe(s)
+	}
 	for f := 0; f < n; f++ {
 		if f == lost {
 			// The lost rank's checksum slot: recompute from the
 			// surviving stripes of family lost, reduced straight to the
 			// replacement.
-			if si := stripeOf(me, f); si >= 0 && me != lost {
-				p.copyRange(stripe, si*s)
-			} else {
-				for i := range stripe {
-					stripe[i] = 0
-				}
-			}
+			in := contribution(f, me == lost)
 			var out []float64
 			if me == lost {
 				out = checksum
 			}
-			if err := g.comm.Reduce(lost, stripe, out, g.op); err != nil {
+			if err := g.comm.Reduce(lost, in, out, g.op); err != nil {
 				return fmt.Errorf("encoding: family %d (lost) reduce: %w", f, err)
 			}
 			continue
 		}
 		// Survivors other than f and lost contribute their family-f
 		// stripe; f and lost contribute identity.
-		if si := stripeOf(me, f); si >= 0 && me != lost && me != f {
-			p.copyRange(stripe, si*s)
-		} else {
-			for i := range stripe {
-				stripe[i] = 0
-			}
-		}
+		in := contribution(f, me == lost || me == f)
 		var out []float64
 		if me == f {
 			out = partial
 		}
-		if err := g.comm.Reduce(f, stripe, out, g.op); err != nil {
+		if err := g.comm.Reduce(f, in, out, g.op); err != nil {
 			return fmt.Errorf("encoding: family %d reduce: %w", f, err)
 		}
 		switch me {

@@ -1,12 +1,12 @@
 package encoding
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
 
 	"selfckpt/internal/gf256"
+	"selfckpt/internal/kernels"
 	"selfckpt/internal/simmpi"
 )
 
@@ -22,6 +22,11 @@ import (
 // its stripe by its coefficient in GF(2⁸), and XOR is GF addition.
 type RSGroup struct {
 	comm *simmpi.Comm
+
+	// sc is the persistent per-rank scratch (an RSGroup, like its Comm,
+	// is owned by one rank goroutine), grown on demand so steady-state
+	// encodes allocate nothing per call.
+	sc rsScratch
 }
 
 // NewRSGroup wraps a communicator of N ≥ 3 ranks.
@@ -86,62 +91,65 @@ func (g *RSGroup) dataIndex(f, r int) int {
 	return idx
 }
 
-// wordsToBytes and bytesToWords reinterpret float64 stripes as byte
-// strings for the GF(2⁸) arithmetic (bit-exact, little-endian).
-func wordsToBytes(dst []byte, src []float64) {
-	for i, v := range src {
-		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(v))
-	}
-}
-
-func bytesToWords(dst []float64, src []byte) {
-	for i := range dst {
-		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
-	}
-}
-
-// rsScratch carries the per-family working buffers.
+// rsScratch carries the per-family working buffers: a stripe staging /
+// premultiply buffer, an aux receive buffer, and a shared zero stripe
+// (never written after clearing). The GF(2⁸) arithmetic now runs on the
+// word bit patterns directly (internal/kernels), so the old byte-string
+// staging buffers are gone.
 type rsScratch struct {
 	s     int // stripe words
 	strip []float64
 	aux   []float64
-	b1    []byte
-	b2    []byte
+	zeros []float64
 }
 
-func newRSScratch(s int) *rsScratch {
-	return &rsScratch{
-		s:     s,
-		strip: make([]float64, s),
-		aux:   make([]float64, s),
-		b1:    make([]byte, 8*s),
-		b2:    make([]byte, 8*s),
+// reset grows the scratch to stripe size s, reusing prior capacity.
+func (sc *rsScratch) reset(s int) {
+	sc.s = s
+	sc.strip = grow(&sc.strip, s)
+	sc.aux = grow(&sc.aux, s)
+	if cap(sc.zeros) < s {
+		sc.zeros = make([]float64, s)
 	}
+	sc.zeros = sc.zeros[:s]
 }
 
-// loadStripe fills sc.strip with this rank's family-f stripe (zeros when
-// the rank holds a parity of f or is excluded).
-func (g *RSGroup) loadStripe(sc *rsScratch, p parts, f int, excluded map[int]bool) bool {
+// loadStripe returns this rank's family-f contribution to a P-style
+// reduce: a direct read-only view when the stripe sits inside one part,
+// a staged copy in sc.strip otherwise, and the shared zero stripe when
+// the rank holds a parity of f or is excluded.
+func (g *RSGroup) loadStripe(sc *rsScratch, p parts, f int, excluded map[int]bool) []float64 {
 	me := g.comm.Rank()
 	si := g.rsStripeOf(me, f)
 	if si < 0 || excluded[me] {
-		for i := range sc.strip {
-			sc.strip[i] = 0
-		}
-		return false
+		return sc.zeros
+	}
+	if v := p.view(si*sc.s, sc.s); v != nil {
+		return v
 	}
 	p.copyRange(sc.strip, si*sc.s)
-	return true
+	return sc.strip
 }
 
-// premultiply applies this rank's Q coefficient to sc.strip in place.
-func (g *RSGroup) premultiply(sc *rsScratch, f int) {
+// premultiplied returns this rank's family-f contribution to a Q-style
+// reduce: the stripe scaled by the rank's coefficient in GF(2⁸), built
+// in sc.strip with a single multiply pass from the in-place view (or
+// staged copy) — no byte round trip.
+func (g *RSGroup) premultiplied(sc *rsScratch, p parts, f int, excluded map[int]bool) []float64 {
 	me := g.comm.Rank()
+	si := g.rsStripeOf(me, f)
+	if si < 0 || excluded[me] || sc.s == 0 {
+		return sc.zeros
+	}
+	src := p.view(si*sc.s, sc.s)
+	if src == nil {
+		p.copyRange(sc.strip, si*sc.s)
+		src = sc.strip // GFMul allows dst == src
+	}
 	coeff := gf256.Exp(g.dataIndex(f, me))
-	wordsToBytes(sc.b1, sc.strip)
-	gf256.MulSlice(coeff, sc.b1, sc.b1)
-	bytesToWords(sc.strip, sc.b1)
+	kernels.GFMul(coeff, sc.strip, src)
 	g.comm.World().Compute(float64(sc.s) * 2)
+	return sc.strip
 }
 
 // Encode implements Coder: for every family, an XOR reduce to the P
@@ -155,24 +163,23 @@ func (g *RSGroup) Encode(checksum []float64, dataParts ...[]float64) error {
 	if len(checksum) != 2*s {
 		return fmt.Errorf("encoding: rs checksum slot has %d words, want %d", len(checksum), 2*s)
 	}
-	sc := newRSScratch(s)
+	sc := &g.sc
+	sc.reset(s)
 	for f := 0; f < n; f++ {
-		g.loadStripe(sc, p, f, nil)
+		in := g.loadStripe(sc, p, f, nil)
 		var out []float64
 		if me == g.pHolder(f) {
 			out = checksum[:s]
 		}
-		if err := g.comm.Reduce(g.pHolder(f), sc.strip, out, simmpi.OpXor); err != nil {
+		if err := g.comm.Reduce(g.pHolder(f), in, out, simmpi.OpXor); err != nil {
 			return fmt.Errorf("encoding: family %d P reduce: %w", f, err)
 		}
-		if g.loadStripe(sc, p, f, nil) {
-			g.premultiply(sc, f)
-		}
+		in = g.premultiplied(sc, p, f, nil)
 		out = nil
 		if me == g.qHolder(f) {
 			out = checksum[s:]
 		}
-		if err := g.comm.Reduce(g.qHolder(f), sc.strip, out, simmpi.OpXor); err != nil {
+		if err := g.comm.Reduce(g.qHolder(f), in, out, simmpi.OpXor); err != nil {
 			return fmt.Errorf("encoding: family %d Q reduce: %w", f, err)
 		}
 	}
@@ -209,19 +216,25 @@ func (g *RSGroup) Rebuild(lost []int, checksum []float64, dataParts ...[]float64
 	if len(checksum) != 2*s {
 		return fmt.Errorf("encoding: rs checksum slot has %d words, want %d", len(checksum), 2*s)
 	}
-	sc := newRSScratch(s)
+	sc := &g.sc
+	sc.reset(s)
 
 	// reduceP performs the family-f P-style reduce excluding `excl` and
-	// returns the result at root (nil elsewhere).
+	// returns the result at root (nil elsewhere). The root result is a
+	// fresh buffer: rebuilds juggle several syndromes at once, and this
+	// path is rare enough that reuse isn't worth the aliasing risk.
 	reduceP := func(f, root int, excl map[int]bool, premult bool) ([]float64, error) {
-		if g.loadStripe(sc, p, f, excl) && premult {
-			g.premultiply(sc, f)
+		var in []float64
+		if premult {
+			in = g.premultiplied(sc, p, f, excl)
+		} else {
+			in = g.loadStripe(sc, p, f, excl)
 		}
 		var out []float64
 		if me == root {
 			out = make([]float64, s)
 		}
-		if err := g.comm.Reduce(root, sc.strip, out, simmpi.OpXor); err != nil {
+		if err := g.comm.Reduce(root, in, out, simmpi.OpXor); err != nil {
 			return nil, fmt.Errorf("encoding: family %d rebuild reduce: %w", f, err)
 		}
 		return out, nil
@@ -304,10 +317,8 @@ func (g *RSGroup) Rebuild(lost []int, checksum []float64, dataParts ...[]float64
 				}
 				if me == qh {
 					simmpi.OpXor.Combine(out, checksum[s:]) // = g^ix · D_x
-					wordsToBytes(sc.b1, out)
 					inv := gf256.Inv(gf256.Exp(g.dataIndex(f, x)))
-					gf256.MulSlice(inv, sc.b1, sc.b1)
-					bytesToWords(out, sc.b1)
+					kernels.GFMul(inv, out, out)
 					g.comm.World().Compute(float64(s) * 2)
 					if err := g.comm.Send(x, out); err != nil {
 						return err
@@ -360,12 +371,9 @@ func (g *RSGroup) Rebuild(lost []int, checksum []float64, dataParts ...[]float64
 				ix, iy := g.dataIndex(f, x), g.dataIndex(f, y)
 				den := gf256.Add(gf256.Exp(ix), gf256.Exp(iy))
 				// D_x = (g^iy·A ⊕ B) / den; D_y = A ⊕ D_x.
-				wordsToBytes(sc.b1, a)
-				wordsToBytes(sc.b2, outQ)
-				gf256.MulAddSlice(gf256.Exp(iy), sc.b2, sc.b1)
-				gf256.MulSlice(gf256.Inv(den), sc.b2, sc.b2)
-				dx := make([]float64, s)
-				bytesToWords(dx, sc.b2)
+				kernels.GFMulAdd(gf256.Exp(iy), outQ, a)
+				kernels.GFMul(gf256.Inv(den), outQ, outQ)
+				dx := outQ
 				dy := make([]float64, s)
 				copy(dy, a)
 				simmpi.OpXor.Combine(dy, dx)

@@ -15,6 +15,13 @@ const poly = 0x11d
 var (
 	expTable [512]byte // doubled to skip the mod-255 on lookups
 	logTable [256]byte
+
+	// Nibble-sliced product tables: mulNibLo[c][n] = c·n and
+	// mulNibHi[c][n] = c·(n<<4), so c·v = mulNibLo[c][v&15] ^
+	// mulNibHi[c][v>>4] with two loads and no zero-check branch. 8 KiB
+	// total, built once at init; these power the bulk slice/word kernels.
+	mulNibLo [256][16]byte
+	mulNibHi [256][16]byte
 )
 
 func init() {
@@ -29,6 +36,12 @@ func init() {
 	}
 	for i := 255; i < 512; i++ {
 		expTable[i] = expTable[i-255]
+	}
+	for c := 0; c < 256; c++ {
+		for n := 0; n < 16; n++ {
+			mulNibLo[c][n] = Mul(byte(c), byte(n))
+			mulNibHi[c][n] = Mul(byte(c), byte(n<<4))
+		}
 	}
 }
 
@@ -84,13 +97,9 @@ func MulSlice(c byte, dst, src []byte) {
 		copy(dst, src)
 		return
 	}
-	lc := int(logTable[c])
+	lo, hi := &mulNibLo[c], &mulNibHi[c]
 	for i, v := range src {
-		if v == 0 {
-			dst[i] = 0
-		} else {
-			dst[i] = expTable[lc+int(logTable[v])]
-		}
+		dst[i] = lo[v&15] ^ hi[v>>4]
 	}
 }
 
@@ -105,10 +114,105 @@ func MulAddSlice(c byte, dst, src []byte) {
 		}
 		return
 	}
+	lo, hi := &mulNibLo[c], &mulNibHi[c]
+	for i, v := range src {
+		dst[i] ^= lo[v&15] ^ hi[v>>4]
+	}
+}
+
+// MulSliceRef is the pre-nibble-table MulSlice (log/exp lookups with a
+// zero-check branch per byte). It is kept as the oracle for the table
+// kernels in tests and as the "before" baseline in the perf harness.
+func MulSliceRef(c byte, dst, src []byte) {
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	lc := int(logTable[c])
+	for i, v := range src {
+		if v == 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = expTable[lc+int(logTable[v])]
+		}
+	}
+}
+
+// MulAddSliceRef is the pre-nibble-table MulAddSlice, kept as oracle and
+// perf baseline alongside MulSliceRef.
+func MulAddSliceRef(c byte, dst, src []byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, v := range src {
+			dst[i] ^= v
+		}
+		return
+	}
 	lc := int(logTable[c])
 	for i, v := range src {
 		if v != 0 {
 			dst[i] ^= expTable[lc+int(logTable[v])]
 		}
+	}
+}
+
+// mulWord multiplies the 8 field bytes packed in x by c using the nibble
+// tables, assembling the product in registers (no per-byte stores).
+func mulWord(lo, hi *[16]byte, x uint64) uint64 {
+	p := uint64(lo[x&15] ^ hi[x>>4&15])
+	p |= uint64(lo[x>>8&15]^hi[x>>12&15]) << 8
+	p |= uint64(lo[x>>16&15]^hi[x>>20&15]) << 16
+	p |= uint64(lo[x>>24&15]^hi[x>>28&15]) << 24
+	p |= uint64(lo[x>>32&15]^hi[x>>36&15]) << 32
+	p |= uint64(lo[x>>40&15]^hi[x>>44&15]) << 40
+	p |= uint64(lo[x>>48&15]^hi[x>>52&15]) << 48
+	p |= uint64(lo[x>>56&15]^hi[x>>60&15]) << 56
+	return p
+}
+
+// MulWords sets dst[i] = c·src[i] treating each uint64 as 8 packed field
+// bytes (dst and src may alias). This is the bulk kernel the encoding
+// layer uses on float64 bit patterns without detouring through byte
+// slices.
+func MulWords(c byte, dst, src []uint64) {
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	lo, hi := &mulNibLo[c], &mulNibHi[c]
+	for i, x := range src {
+		dst[i] = mulWord(lo, hi, x)
+	}
+}
+
+// MulAddWords sets dst[i] ^= c·src[i] over packed field bytes, the
+// multiply-accumulate at the heart of the Q-parity encode.
+func MulAddWords(c byte, dst, src []uint64) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, x := range src {
+			dst[i] ^= x
+		}
+		return
+	}
+	lo, hi := &mulNibLo[c], &mulNibHi[c]
+	for i, x := range src {
+		dst[i] ^= mulWord(lo, hi, x)
 	}
 }

@@ -124,6 +124,88 @@ func TestSliceOps(t *testing.T) {
 	}
 }
 
+// TestSliceOpsMatchRef pins the nibble-table kernels to the log/exp
+// reference implementations for every coefficient over a buffer that
+// covers all byte values.
+func TestSliceOpsMatchRef(t *testing.T) {
+	src := make([]byte, 300)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	for c := 0; c < 256; c++ {
+		got := make([]byte, len(src))
+		want := make([]byte, len(src))
+		MulSlice(byte(c), got, src)
+		MulSliceRef(byte(c), want, src)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("MulSlice(c=%d) diverges from ref at %d: %d != %d", c, i, got[i], want[i])
+			}
+		}
+		for i := range got {
+			got[i], want[i] = byte(i), byte(i)
+		}
+		MulAddSlice(byte(c), got, src)
+		MulAddSliceRef(byte(c), want, src)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("MulAddSlice(c=%d) diverges from ref at %d", c, i)
+			}
+		}
+	}
+}
+
+// TestWordKernelsMatchSliceOps checks that the packed-uint64 kernels
+// compute exactly the byte-slice results, including the c = 0 and c = 1
+// fast paths and aliased dst/src.
+func TestWordKernelsMatchSliceOps(t *testing.T) {
+	const words = 37
+	src := make([]uint64, words)
+	for i := range src {
+		src[i] = uint64(i)*0x0123456789abcdef + 0x8877665544332211
+	}
+	srcBytes := make([]byte, 8*words)
+	for i, x := range src {
+		for j := 0; j < 8; j++ {
+			srcBytes[8*i+j] = byte(x >> (8 * j))
+		}
+	}
+	unpack := func(w []uint64) []byte {
+		b := make([]byte, 8*len(w))
+		for i, x := range w {
+			for j := 0; j < 8; j++ {
+				b[8*i+j] = byte(x >> (8 * j))
+			}
+		}
+		return b
+	}
+	for _, c := range []byte{0, 1, 2, 7, 85, 142, 255} {
+		dst := make([]uint64, words)
+		for i := range dst {
+			dst[i] = ^src[i]
+		}
+		wantB := unpack(dst)
+		MulAddWords(c, dst, src)
+		MulAddSlice(c, wantB, srcBytes)
+		if gotB := unpack(dst); string(gotB) != string(wantB) {
+			t.Fatalf("MulAddWords(c=%d) diverges from MulAddSlice", c)
+		}
+		MulWords(c, dst, src)
+		MulSlice(c, wantB, srcBytes)
+		if gotB := unpack(dst); string(gotB) != string(wantB) {
+			t.Fatalf("MulWords(c=%d) diverges from MulSlice", c)
+		}
+		// Aliased multiply in place.
+		alias := make([]uint64, words)
+		copy(alias, src)
+		MulWords(c, alias, alias)
+		MulSlice(c, wantB, srcBytes)
+		if gotB := unpack(alias); string(gotB) != string(wantB) {
+			t.Fatalf("aliased MulWords(c=%d) diverges", c)
+		}
+	}
+}
+
 // TestRaid6Reconstruction is the end-use property: for shards D_i with
 // P = ⊕D_i and Q = ⊕ g^i·D_i, any two erased data shards are exactly
 // recoverable — the algebra the rs encoding layer builds on.

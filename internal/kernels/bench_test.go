@@ -1,0 +1,97 @@
+package kernels
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+
+	"selfckpt/internal/gf256"
+)
+
+// wordsToBytes / bytesToWords are the package-level seed staging helpers;
+// trip the GF kernels eliminate.
+func wordsToBytes(dst []byte, src []float64) {
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(v))
+	}
+}
+
+func bytesToWords(dst []float64, src []byte) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+}
+
+// benchSizes covers the small/large split around the parallel threshold.
+var benchSizes = []int{1 << 10, 1 << 16, 1 << 20}
+
+func benchPair(b *testing.B, words int, kernel, serial func(acc, in []float64)) {
+	acc := make([]float64, words)
+	in := make([]float64, words)
+	for i := range in {
+		in[i] = float64(i) * 1.5
+		acc[i] = float64(i) * 0.5
+	}
+	for name, fn := range map[string]func(acc, in []float64){"serial": serial, "kernel": kernel} {
+		fn := fn
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(8 * words))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fn(acc, in)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(words), "ns/word")
+		})
+	}
+}
+
+func BenchmarkKernelsXor(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("words%d", n), func(b *testing.B) { benchPair(b, n, Xor, XorSerial) })
+	}
+}
+
+func BenchmarkKernelsSum(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("words%d", n), func(b *testing.B) { benchPair(b, n, Add, AddSerial) })
+	}
+}
+
+func BenchmarkKernelsMaxloc(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("words%d", n), func(b *testing.B) { benchPair(b, n, MaxlocPairs, MaxlocPairsSerial) })
+	}
+}
+
+// BenchmarkKernelsGFMulAdd compares the seed path (float64 → bytes →
+// log/exp multiply-accumulate → float64) against the word kernel.
+func BenchmarkKernelsGFMulAdd(b *testing.B) {
+	const c = 0x8e
+	for _, n := range benchSizes {
+		dst := make([]float64, n)
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = float64(i) * 1.25
+		}
+		db := make([]byte, 8*n)
+		sb := make([]byte, 8*n)
+		b.Run(fmt.Sprintf("words%d/seed-bytes", n), func(b *testing.B) {
+			b.SetBytes(int64(8 * n))
+			for i := 0; i < b.N; i++ {
+				wordsToBytes(sb, src)
+				wordsToBytes(db, dst)
+				gf256.MulAddSliceRef(c, db, sb)
+				bytesToWords(dst, db)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/word")
+		})
+		b.Run(fmt.Sprintf("words%d/kernel", n), func(b *testing.B) {
+			b.SetBytes(int64(8 * n))
+			for i := 0; i < b.N; i++ {
+				GFMulAdd(c, dst, src)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/word")
+		})
+	}
+}

@@ -1,0 +1,267 @@
+// Package kernels provides the chunked, optionally parallel bulk kernels
+// behind the hot paths of the reduction operators and the stripe
+// encoders: XOR/SUM/MIN/MAX/MAXLOC element-wise combines over float64
+// word vectors, and GF(2⁸) multiply(-accumulate) over the words' byte
+// lanes for the dual-parity encode.
+//
+// XOR and the GF kernels run on a uint64 view of the float64 slice
+// (unsafe.Slice over the same backing array), skipping the per-element
+// Float64bits/Float64frombits round trips — and, more importantly on
+// amd64, the FP↔integer register moves they imply.
+//
+// Large buffers are split into fixed-size chunks farmed to a worker pool
+// sized by GOMAXPROCS. Determinism is load-bearing here (the crashmat /
+// SDC replay-by-ID contract asserts bit-identical survival tables): chunk
+// boundaries depend only on the buffer length and the chunk size, never
+// on the worker count, and every kernel is element-wise — chunk c writes
+// exactly the indices [c·chunkWords, (c+1)·chunkWords) and no partial
+// results are ever re-combined across chunks. SUM is therefore never
+// reassociated: acc[i] += in[i] happens exactly once per index in a fixed
+// order per element, so results are bit-identical across GOMAXPROCS
+// settings and repeated runs. The pool only affects which goroutine
+// executes a chunk, which is invisible in the output.
+package kernels
+
+import (
+	"runtime"
+	"sync"
+	"unsafe"
+
+	"selfckpt/internal/gf256"
+)
+
+// chunkWords is the fixed chunk size in words (64 KiB). It is a variable
+// only so the tests can randomize it; boundaries are deterministic for
+// any fixed value, and element-wise kernels produce identical bits for
+// every value.
+var chunkWords = 8192
+
+// minParallelWords is the buffer size below which chunking is pure
+// overhead: a 256 KiB combine takes tens of microseconds, comfortably
+// above the cost of farming chunks out.
+var minParallelWords = 32768
+
+// Workers reports the size the worker pool grows to: GOMAXPROCS at the
+// time of the call.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// task is one chunk of one bulk call.
+type task struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+var (
+	poolMu   sync.Mutex
+	poolSize int
+	tasks    = make(chan task, 128)
+)
+
+// ensureWorkers grows the persistent pool to at least n goroutines.
+// Workers live for the process lifetime; they are cheap when idle.
+func ensureWorkers(n int) {
+	poolMu.Lock()
+	for poolSize < n {
+		poolSize++
+		go func() {
+			for t := range tasks {
+				t.fn(t.lo, t.hi)
+				t.wg.Done()
+			}
+		}()
+	}
+	poolMu.Unlock()
+}
+
+// parallel reports whether a bulk call over n words should engage the
+// pool. The gate runs before the chunk closure is built, so serial calls
+// stay allocation-free.
+func parallel(n int) bool {
+	return n >= minParallelWords && Workers() > 1
+}
+
+// run executes fn over [0, n), split into deterministic fixed-size chunks
+// dispatched to the pool. Callers must have checked parallel(n); fn must
+// be element-wise over its index range: chunks run concurrently and
+// unordered.
+func run(n int, fn func(lo, hi int)) {
+	cw := chunkWords
+	ensureWorkers(Workers())
+	var wg sync.WaitGroup
+	for lo := cw; lo < n; lo += cw {
+		hi := lo + cw
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		tasks <- task{fn: fn, lo: lo, hi: hi, wg: &wg}
+	}
+	first := cw
+	if first > n {
+		first = n
+	}
+	fn(0, first) // the caller takes the first chunk instead of idling
+	wg.Wait()
+}
+
+// u64view reinterprets s as its IEEE-754 bit patterns in place. float64
+// and uint64 have identical size and alignment, so the view is exact and
+// bit-preserving both ways.
+func u64view(s []float64) []uint64 {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(unsafe.SliceData(s))), len(s))
+}
+
+func xorRange(a, b []uint64) {
+	b = b[:len(a)]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		a[i] ^= b[i]
+		a[i+1] ^= b[i+1]
+		a[i+2] ^= b[i+2]
+		a[i+3] ^= b[i+3]
+	}
+	for ; i < len(a); i++ {
+		a[i] ^= b[i]
+	}
+}
+
+// Xor sets acc[i] ^= in[i] over the bit patterns (in must have at least
+// len(acc) words; extra words are ignored).
+func Xor(acc, in []float64) {
+	a, b := u64view(acc), u64view(in)[:len(acc)]
+	if !parallel(len(a)) {
+		xorRange(a, b)
+		return
+	}
+	run(len(a), func(lo, hi int) { xorRange(a[lo:hi], b[lo:hi]) })
+}
+
+func addRange(a, b []float64) {
+	b = b[:len(a)]
+	for i := range a {
+		a[i] += b[i]
+	}
+}
+
+// Add sets acc[i] += in[i].
+func Add(acc, in []float64) {
+	b := in[:len(acc)]
+	if !parallel(len(acc)) {
+		addRange(acc, b)
+		return
+	}
+	run(len(acc), func(lo, hi int) { addRange(acc[lo:hi], b[lo:hi]) })
+}
+
+func subRange(a, b []float64) {
+	b = b[:len(a)]
+	for i := range a {
+		a[i] -= b[i]
+	}
+}
+
+// Sub sets acc[i] -= in[i] (the SUM cancel used by Rebuild).
+func Sub(acc, in []float64) {
+	b := in[:len(acc)]
+	if !parallel(len(acc)) {
+		subRange(acc, b)
+		return
+	}
+	run(len(acc), func(lo, hi int) { subRange(acc[lo:hi], b[lo:hi]) })
+}
+
+func minRange(a, b []float64) {
+	b = b[:len(a)]
+	for i := range a {
+		if b[i] < a[i] {
+			a[i] = b[i]
+		}
+	}
+}
+
+// Min keeps the element-wise minimum in acc.
+func Min(acc, in []float64) {
+	b := in[:len(acc)]
+	if !parallel(len(acc)) {
+		minRange(acc, b)
+		return
+	}
+	run(len(acc), func(lo, hi int) { minRange(acc[lo:hi], b[lo:hi]) })
+}
+
+func maxRange(a, b []float64) {
+	b = b[:len(a)]
+	for i := range a {
+		if b[i] > a[i] {
+			a[i] = b[i]
+		}
+	}
+}
+
+// Max keeps the element-wise maximum in acc.
+func Max(acc, in []float64) {
+	b := in[:len(acc)]
+	if !parallel(len(acc)) {
+		maxRange(acc, b)
+		return
+	}
+	run(len(acc), func(lo, hi int) { maxRange(acc[lo:hi], b[lo:hi]) })
+}
+
+func maxlocRange(a, b []float64) {
+	for i := 0; i+1 < len(a); i += 2 {
+		if b[i] > a[i] || (b[i] == a[i] && b[i+1] < a[i+1]) {
+			a[i], a[i+1] = b[i], b[i+1]
+		}
+	}
+}
+
+// MaxlocPairs combines (value, index) pairs laid out as consecutive words
+// [v0, i0, v1, i1, ...], keeping the pair with the larger value and
+// breaking ties toward the smaller index. A trailing unpaired word is
+// ignored, as in the serial operator; the collective entry points reject
+// odd-length pair buffers up front. Chunk boundaries are computed in
+// pairs so a pair is never split across workers.
+func MaxlocPairs(acc, in []float64) {
+	pairs := len(acc) / 2
+	if !parallel(pairs) {
+		maxlocRange(acc, in)
+		return
+	}
+	run(pairs, func(lo, hi int) { maxlocRange(acc[2*lo:2*hi], in[2*lo:2*hi]) })
+}
+
+// Zero clears dst (the compiler lowers the loop to memclr).
+func Zero(dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+// GFMul sets dst[i] = c·src[i] in GF(2⁸), byte-lane-wise over the word
+// bit patterns. dst and src must either be the same slice or not
+// overlap. This replaces the old wordsToBytes → MulSlice → bytesToWords
+// round trip in the dual-parity premultiply with a single pass.
+func GFMul(c byte, dst, src []float64) {
+	d, s := u64view(dst), u64view(src)[:len(dst)]
+	if !parallel(len(d)) {
+		gf256.MulWords(c, d, s)
+		return
+	}
+	run(len(d), func(lo, hi int) { gf256.MulWords(c, d[lo:hi], s[lo:hi]) })
+}
+
+// GFMulAdd sets dst[i] ^= c·src[i] in GF(2⁸) byte-lane-wise (dst and src
+// must be the same slice or disjoint).
+func GFMulAdd(c byte, dst, src []float64) {
+	d, s := u64view(dst), u64view(src)[:len(dst)]
+	if !parallel(len(d)) {
+		gf256.MulAddWords(c, d, s)
+		return
+	}
+	run(len(d), func(lo, hi int) { gf256.MulAddWords(c, d[lo:hi], s[lo:hi]) })
+}

@@ -1,0 +1,212 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"selfckpt/internal/gf256"
+)
+
+// gfMulSerial / gfMulAddSerial are byte-at-a-time oracles built on the
+// scalar field multiply.
+func gfMulSerial(c byte, dst, src []float64) {
+	for i := range dst {
+		x := math.Float64bits(src[i])
+		var p uint64
+		for j := 0; j < 64; j += 8 {
+			p |= uint64(gf256.Mul(c, byte(x>>j))) << j
+		}
+		dst[i] = math.Float64frombits(p)
+	}
+}
+
+func gfMulAddSerial(c byte, dst, src []float64) {
+	for i := range dst {
+		x := math.Float64bits(src[i])
+		var p uint64
+		for j := 0; j < 64; j += 8 {
+			p |= uint64(gf256.Mul(c, byte(x>>j))) << j
+		}
+		dst[i] = math.Float64frombits(math.Float64bits(dst[i]) ^ p)
+	}
+}
+
+// withChunk runs f with the chunk size and parallel threshold pinned,
+// restoring the defaults afterwards. The kernels are deterministic for
+// any chunk size; the tests randomize it to prove that.
+func withChunk(t *testing.T, chunk, minPar int, f func()) {
+	t.Helper()
+	oldChunk, oldMin := chunkWords, minParallelWords
+	chunkWords, minParallelWords = chunk, minPar
+	defer func() { chunkWords, minParallelWords = oldChunk, oldMin }()
+	f()
+}
+
+// withProcs runs f under the given GOMAXPROCS.
+func withProcs(t *testing.T, n int, f func()) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	f()
+}
+
+func randWords(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		switch rng.Intn(8) {
+		case 0:
+			out[i] = math.NaN() // XOR checksums routinely carry NaN patterns
+		case 1:
+			out[i] = math.Inf(1)
+		case 2:
+			out[i] = 0
+		default:
+			out[i] = math.Float64frombits(rng.Uint64())
+		}
+	}
+	return out
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// kernelCases pairs every chunked kernel with its serial oracle.
+var kernelCases = []struct {
+	name    string
+	kernel  func(acc, in []float64)
+	serial  func(acc, in []float64)
+	numeric bool // skip NaN-heavy inputs (comparisons, not bit ops)
+}{
+	{"xor", Xor, XorSerial, false},
+	{"add", Add, AddSerial, true},
+	{"sub", Sub, SubSerial, true},
+	{"min", Min, MinSerial, true},
+	{"max", Max, MaxSerial, true},
+	{"maxloc", MaxlocPairs, MaxlocPairsSerial, true},
+}
+
+// TestKernelsMatchSerial runs every kernel against its oracle with
+// randomized lengths and chunk sizes, under enough GOMAXPROCS that the
+// pool actually engages. Run under -race this also proves chunks never
+// overlap.
+func TestKernelsMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	withProcs(t, 4, func() {
+		for round := 0; round < 40; round++ {
+			n := 1 + rng.Intn(1<<14)
+			chunk := 2 * (1 + rng.Intn(256)) // even, so pairs stay aligned
+			withChunk(t, chunk, 1, func() {
+				for _, tc := range kernelCases {
+					in := randWords(rng, n)
+					acc := randWords(rng, n)
+					if tc.numeric {
+						for i := range in {
+							if math.IsNaN(in[i]) {
+								in[i] = float64(i)
+							}
+							if math.IsNaN(acc[i]) {
+								acc[i] = float64(-i)
+							}
+						}
+					}
+					want := append([]float64(nil), acc...)
+					tc.serial(want, in)
+					tc.kernel(acc, in)
+					if !bitsEqual(acc, want) {
+						t.Fatalf("%s: chunked (chunk=%d, n=%d) diverges from serial", tc.name, chunk, n)
+					}
+				}
+			})
+		}
+	})
+}
+
+// TestDeterminismAcrossGOMAXPROCS is the replay contract: the same
+// inputs produce bit-identical outputs with the pool disabled
+// (GOMAXPROCS=1), with it enabled, and across repeated runs.
+func TestDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 1 << 15
+	in := randWords(rng, n)
+	base := randWords(rng, n)
+	for _, tc := range kernelCases {
+		in, base := in, base
+		if tc.numeric {
+			in, base = make([]float64, n), make([]float64, n)
+			for i := range in {
+				in[i] = float64(i%97) * 1e-3
+				base[i] = float64((i*31)%89) * 1e-3
+			}
+		}
+		var runs [][]float64
+		for rep := 0; rep < 3; rep++ {
+			procs := []int{1, 4, 4}[rep]
+			withProcs(t, procs, func() {
+				withChunk(t, 512, 1, func() {
+					acc := append([]float64(nil), base...)
+					tc.kernel(acc, in)
+					runs = append(runs, acc)
+				})
+			})
+		}
+		if !bitsEqual(runs[0], runs[1]) || !bitsEqual(runs[1], runs[2]) {
+			t.Fatalf("%s: output depends on GOMAXPROCS or run index", tc.name)
+		}
+	}
+}
+
+// TestGFKernels pins GFMul/GFMulAdd to the byte-slice reference: the
+// float64 view must equal multiplying the little-endian byte string.
+func TestGFKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	withProcs(t, 4, func() {
+		withChunk(t, 64, 1, func() {
+			for _, n := range []int{0, 1, 63, 1024} {
+				src := randWords(rng, n)
+				for _, c := range []byte{0, 1, 2, 85, 255} {
+					dst := randWords(rng, n)
+					want := append([]float64(nil), dst...)
+					gfMulAddSerial(c, want, src)
+					GFMulAdd(c, dst, src)
+					if !bitsEqual(dst, want) {
+						t.Fatalf("GFMulAdd(c=%d, n=%d) diverges", c, n)
+					}
+					GFMul(c, dst, src)
+					gfMulSerial(c, want, src)
+					if !bitsEqual(dst, want) {
+						t.Fatalf("GFMul(c=%d, n=%d) diverges", c, n)
+					}
+					// In-place multiply, as the premultiply path uses it.
+					alias := append([]float64(nil), src...)
+					GFMul(c, alias, alias)
+					if !bitsEqual(alias, want) {
+						t.Fatalf("aliased GFMul(c=%d, n=%d) diverges", c, n)
+					}
+				}
+			}
+		})
+	})
+}
+
+// TestPoolSmallBuffersStaySerial guards the fast path: buffers under the
+// parallel threshold never touch the pool (no goroutines, no waits).
+func TestPoolSmallBuffersStaySerial(t *testing.T) {
+	withProcs(t, 4, func() {
+		a := make([]float64, 64)
+		b := make([]float64, 64)
+		if n := testing.AllocsPerRun(100, func() { Xor(a, b) }); n != 0 {
+			t.Fatalf("small-buffer Xor allocates %.0f times per op, want 0", n)
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package kernels
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// The *Serial functions are the pre-kernel seed implementations, element
+// by element with Float64bits round trips where the seed had them. They
+// are the oracles the determinism and race tests compare the chunked
+// kernels against, and the "before" baselines the perf harness times to
+// produce BENCH_kernels.json.
+
+// XorSerial is the seed xorWords: per-element bits round trip.
+func XorSerial(acc, in []float64) {
+	for i := range acc {
+		acc[i] = math.Float64frombits(math.Float64bits(acc[i]) ^ math.Float64bits(in[i]))
+	}
+}
+
+// AddSerial is the seed SUM combine.
+func AddSerial(acc, in []float64) {
+	for i := range acc {
+		acc[i] += in[i]
+	}
+}
+
+// SubSerial is the seed SUM cancel.
+func SubSerial(acc, in []float64) {
+	for i := range acc {
+		acc[i] -= in[i]
+	}
+}
+
+// MinSerial is the seed MIN combine.
+func MinSerial(acc, in []float64) {
+	for i := range acc {
+		if in[i] < acc[i] {
+			acc[i] = in[i]
+		}
+	}
+}
+
+// MaxSerial is the seed MAX combine.
+func MaxSerial(acc, in []float64) {
+	for i := range acc {
+		if in[i] > acc[i] {
+			acc[i] = in[i]
+		}
+	}
+}
+
+// MaxlocPairsSerial is the seed MAXLOC combine.
+func MaxlocPairsSerial(acc, in []float64) {
+	for i := 0; i+1 < len(acc); i += 2 {
+		if in[i] > acc[i] || (in[i] == acc[i] && in[i+1] < acc[i+1]) {
+			acc[i], acc[i+1] = in[i], in[i+1]
+		}
+	}
+}
+
+// WordsToBytes is the seed encoding-layer staging step: float64 words
+// serialized little-endian into a byte string for the GF(2⁸) math. The
+// GF word kernels made it unnecessary; it stays as the perf harness's
+// "before" path.
+func WordsToBytes(dst []byte, src []float64) {
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(v))
+	}
+}
+
+// BytesToWords is the inverse seed staging step.
+func BytesToWords(dst []float64, src []byte) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+}

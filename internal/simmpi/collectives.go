@@ -157,31 +157,73 @@ func (c *Comm) Bcast2Ring(root int, buf []float64, seg int) error {
 	return nil
 }
 
+// checkReduceArgs validates the shared preconditions of the reduction
+// collectives: pair operators (MAXLOC) need whole (value, index) pairs —
+// the serial combine used to ignore a trailing unpaired word silently —
+// and out must match in on every rank, not just at root, so a
+// size mismatch surfaces symmetrically instead of as a rank-asymmetric
+// error later. Off-root ranks may pass nil when the variant discards
+// their result.
+func checkReduceArgs(name string, op *Op, in, out []float64, atRoot, nilOK bool) error {
+	if op.Pairs && len(in)%2 != 0 {
+		return &SizeError{Op: name + "(" + op.Name + " pairs)", Want: len(in) - 1, Have: len(in)}
+	}
+	if out == nil && !atRoot && nilOK {
+		return nil
+	}
+	if len(out) != len(in) {
+		return &SizeError{Op: name + "(out)", Want: len(in), Have: len(out)}
+	}
+	return nil
+}
+
+// grow returns (*buf)[:n], reallocating only when the capacity is too
+// small, so steady-state reductions reuse the communicator's buffers.
+func grow(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}
+
 // Reduce combines in across all ranks with op, leaving the result in out
-// at root (out is ignored elsewhere and may be nil). in is not modified.
+// at root with a binomial tree. Off-root ranks may pass nil for out (the
+// result is discarded there); a non-nil out must match len(in) on every
+// rank. in is not modified.
 func (c *Comm) Reduce(root int, in, out []float64, op *Op) error {
 	if err := c.checkPeer("Reduce", root); err != nil {
 		return err
 	}
-	if c.myIdx == root {
-		if len(out) != len(in) {
-			return &SizeError{Op: "Reduce(out)", Want: len(in), Have: len(out)}
-		}
+	if err := checkReduceArgs("Reduce", op, in, out, c.myIdx == root, true); err != nil {
+		return err
 	}
 	size := c.Size()
-	acc := make([]float64, len(in))
-	copy(acc, in)
 	if size > 1 {
 		rel := (c.myIdx - root + size) % size
-		scratch := make([]float64, len(in))
+		// A leaf of the binomial tree (odd relative rank) never
+		// combines: it forwards in unchanged, skipping the acc copy and
+		// both scratch buffers. Send is rendezvous, so in is safely
+		// consumed before the call returns. The wire traffic and virtual
+		// time are identical to sending a copy.
+		if rel&1 == 1 {
+			dst := (rel &^ 1 + root) % size
+			return c.Send(dst, in)
+		}
+		// The root accumulates straight into out (out is output-only, so
+		// clobbering it mid-reduce is fine, even for the in-place
+		// Allreduce(buf, buf) shape); other combining ranks use the
+		// communicator scratch.
+		acc := out
+		if c.myIdx != root {
+			acc = grow(&c.reduceAcc, len(in))
+		}
+		copy(acc, in)
+		scratch := grow(&c.reduceScratch, len(in))
 		mask := 1
 		for mask < size {
 			if rel&mask != 0 {
 				dst := (rel&^mask + root) % size
-				if err := c.Send(dst, acc); err != nil {
-					return err
-				}
-				break
+				return c.Send(dst, acc)
 			}
 			if src := rel | mask; src < size {
 				abs := (src + root) % size
@@ -193,30 +235,154 @@ func (c *Comm) Reduce(root int, in, out []float64, op *Op) error {
 			}
 			mask <<= 1
 		}
+		return nil
 	}
 	if c.myIdx == root {
-		copy(out, acc)
+		copy(out, in)
 	}
 	return nil
 }
 
 // Allreduce combines in across all ranks with op and leaves the result in
-// out on every rank (Reduce to rank 0 followed by Bcast).
+// out on every rank (Reduce to rank 0 followed by Bcast). Reduce only
+// writes out at root, so out is passed straight through on every rank —
+// no temporary copy.
 func (c *Comm) Allreduce(in, out []float64, op *Op) error {
-	if len(out) != len(in) {
-		return &SizeError{Op: "Allreduce(out)", Want: len(in), Have: len(out)}
-	}
-	tmp := out
-	if c.myIdx != 0 {
-		tmp = make([]float64, len(in))
-	}
-	if err := c.Reduce(0, in, tmp, op); err != nil {
+	if err := checkReduceArgs("Allreduce", op, in, out, true, false); err != nil {
 		return err
 	}
-	if c.myIdx == 0 {
-		copy(out, tmp)
+	if err := c.Reduce(0, in, out, op); err != nil {
+		return err
 	}
 	return c.Bcast(0, out)
+}
+
+// ringBlock returns the [lo, hi) word range of block b when n words are
+// cut into size blocks. Boundaries are deterministic and, for pair
+// operators, aligned to whole (value, index) pairs so a pair is never
+// split across ranks.
+func ringBlock(b, n, size, elemWords int) (int, int) {
+	elems := n / elemWords
+	return (b * elems / size) * elemWords, ((b + 1) * elems / size) * elemWords
+}
+
+// AllreduceRing combines in across all ranks, leaving the result in out
+// everywhere, with the bandwidth-optimal ring algorithm: a reduce-scatter
+// pass (size−1 pipelined steps, each moving one block) followed by an
+// allgather pass. Every rank sends 2·(size−1)/size of the buffer instead
+// of the binomial tree's log₂(size) full transfers — the reduction-side
+// counterpart of BcastRing, worthwhile for large buffers. The block
+// schedule is fixed, so the combination order (and therefore the SUM bit
+// pattern) is deterministic run-to-run; it differs from Allreduce's tree
+// order, so pick one variant per datum when bit-comparing across runs.
+func (c *Comm) AllreduceRing(in, out []float64, op *Op) error {
+	if err := checkReduceArgs("AllreduceRing", op, in, out, true, false); err != nil {
+		return err
+	}
+	size := c.Size()
+	n := len(in)
+	copy(out, in)
+	if size == 1 || n == 0 {
+		return nil
+	}
+	ew := 1
+	if op.Pairs {
+		ew = 2
+	}
+	right := (c.myIdx + 1) % size
+	left := (c.myIdx - 1 + size) % size
+	scratch := grow(&c.reduceScratch, n)
+	// Reduce-scatter: at step s this rank sends block (myIdx−s) and
+	// receives block (myIdx−s−1), folding it into out. After size−1
+	// steps, block (myIdx+1) is fully reduced here.
+	for s := 0; s < size-1; s++ {
+		sb := (c.myIdx - s + size) % size
+		rb := (c.myIdx - s - 1 + size) % size
+		slo, shi := ringBlock(sb, n, size, ew)
+		rlo, rhi := ringBlock(rb, n, size, ew)
+		if err := c.SendRecv(right, out[slo:shi], left, scratch[rlo:rhi]); err != nil {
+			return err
+		}
+		op.Combine(out[rlo:rhi], scratch[rlo:rhi])
+		c.rank.Compute(float64(rhi-rlo) * op.CostPerWord)
+	}
+	// Allgather: circulate the finished blocks around the ring.
+	for s := 0; s < size-1; s++ {
+		sb := (c.myIdx + 1 - s + size) % size
+		rb := (c.myIdx - s + size) % size
+		slo, shi := ringBlock(sb, n, size, ew)
+		rlo, rhi := ringBlock(rb, n, size, ew)
+		if err := c.SendRecv(right, out[slo:shi], left, out[rlo:rhi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReduceRing combines in across all ranks with op, leaving the result in
+// out at root, via ring reduce-scatter followed by a block gather to
+// root. Like AllreduceRing it moves O(n) words per rank for large
+// buffers; off-root ranks may pass nil for out.
+func (c *Comm) ReduceRing(root int, in, out []float64, op *Op) error {
+	if err := c.checkPeer("ReduceRing", root); err != nil {
+		return err
+	}
+	if err := checkReduceArgs("ReduceRing", op, in, out, c.myIdx == root, true); err != nil {
+		return err
+	}
+	size := c.Size()
+	n := len(in)
+	if size == 1 {
+		if c.myIdx == root {
+			copy(out, in)
+		}
+		return nil
+	}
+	ew := 1
+	if op.Pairs {
+		ew = 2
+	}
+	right := (c.myIdx + 1) % size
+	left := (c.myIdx - 1 + size) % size
+	acc := grow(&c.reduceAcc, n)
+	copy(acc, in)
+	scratch := grow(&c.reduceScratch, n)
+	for s := 0; s < size-1; s++ {
+		sb := (c.myIdx - s + size) % size
+		rb := (c.myIdx - s - 1 + size) % size
+		slo, shi := ringBlock(sb, n, size, ew)
+		rlo, rhi := ringBlock(rb, n, size, ew)
+		if err := c.SendRecv(right, acc[slo:shi], left, scratch[rlo:rhi]); err != nil {
+			return err
+		}
+		op.Combine(acc[rlo:rhi], scratch[rlo:rhi])
+		c.rank.Compute(float64(rhi-rlo) * op.CostPerWord)
+	}
+	// Rank r now owns the finished block (r+1) mod size; gather them at
+	// root in deterministic source order.
+	own := (c.myIdx + 1) % size
+	olo, ohi := ringBlock(own, n, size, ew)
+	if c.myIdx != root {
+		if ohi > olo {
+			return c.Send(root, acc[olo:ohi])
+		}
+		return nil
+	}
+	copy(out[olo:ohi], acc[olo:ohi])
+	for src := 0; src < size; src++ {
+		if src == root {
+			continue
+		}
+		b := (src + 1) % size
+		blo, bhi := ringBlock(b, n, size, ew)
+		if bhi == blo {
+			continue
+		}
+		if err := c.Recv(src, out[blo:bhi]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Allgather gathers equal-size blocks from every rank into out, which must

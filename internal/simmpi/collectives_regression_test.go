@@ -1,0 +1,262 @@
+package simmpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// Regression: OpMaxloc used to silently ignore the trailing word of an
+// odd-length buffer. All reduction collectives must now reject
+// odd-length buffers for pair operators up front, on every rank.
+func TestPairOpsRejectOddBuffers(t *testing.T) {
+	calls := []struct {
+		name string
+		call func(c *Comm, in, out []float64) error
+	}{
+		{"Reduce", func(c *Comm, in, out []float64) error { return c.Reduce(0, in, out, OpMaxloc) }},
+		{"Allreduce", func(c *Comm, in, out []float64) error { return c.Allreduce(in, out, OpMaxloc) }},
+		{"AllreduceRing", func(c *Comm, in, out []float64) error { return c.AllreduceRing(in, out, OpMaxloc) }},
+		{"ReduceRing", func(c *Comm, in, out []float64) error { return c.ReduceRing(0, in, out, OpMaxloc) }},
+	}
+	for _, tc := range calls {
+		t.Run(tc.name, func(t *testing.T) {
+			res := run(t, 2, func(c *Comm) error {
+				in := []float64{3, 0, 7} // trailing unpaired word
+				out := make([]float64, 3)
+				err := tc.call(c, in, out)
+				var se *SizeError
+				if !errors.As(err, &se) {
+					return fmt.Errorf("odd-length pair buffer: got %v, want SizeError", err)
+				}
+				return nil
+			})
+			mustOK(t, res)
+		})
+	}
+}
+
+// Regression: Reduce used to validate len(out) only at root, so a
+// mis-sized off-root out went unnoticed until the rank became root.
+// Now every rank validates: nil is accepted off root (the result is
+// discarded there), any non-nil out must match len(in).
+func TestReduceValidatesOutOnEveryRank(t *testing.T) {
+	res := run(t, 3, func(c *Comm) error {
+		in := []float64{1, 2, 3, 4}
+		// nil off root is fine.
+		var out []float64
+		if c.Rank() == 0 {
+			out = make([]float64, len(in))
+		}
+		if err := c.Reduce(0, in, out, OpSum); err != nil {
+			return fmt.Errorf("nil off-root out rejected: %v", err)
+		}
+		// A mis-sized out fails on the rank that passed it, root or not.
+		bad := make([]float64, 2)
+		err := c.Reduce(0, in, bad, OpSum)
+		var se *SizeError
+		if !errors.As(err, &se) {
+			return fmt.Errorf("rank %d: short out: got %v, want SizeError", c.Rank(), err)
+		}
+		// Root may not pass nil.
+		if c.Rank() == 0 {
+			if err := c.Reduce(0, in, nil, OpSum); !errors.As(err, &se) {
+				return fmt.Errorf("root nil out: got %v, want SizeError", err)
+			}
+		}
+		return nil
+	})
+	mustOK(t, res)
+}
+
+// Regression: Allreduce used to allocate a throwaway temporary on every
+// non-root rank per call. With the communicator-owned scratch buffers a
+// steady-state Allreduce on a size-1 communicator performs zero
+// allocations per call.
+func TestAllreduceSteadyStateAllocs(t *testing.T) {
+	res := run(t, 1, func(c *Comm) error {
+		in := make([]float64, 4096)
+		out := make([]float64, 4096)
+		for i := range in {
+			in[i] = float64(i)
+		}
+		// Warm up: grows reduceAcc/reduceScratch once.
+		if err := c.Allreduce(in, out, OpSum); err != nil {
+			return err
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			if err := c.Allreduce(in, out, OpSum); err != nil {
+				panic(err)
+			}
+		})
+		if allocs != 0 {
+			return fmt.Errorf("steady-state Allreduce: %v allocs/op, want 0", allocs)
+		}
+		allocs = testing.AllocsPerRun(50, func() {
+			if err := c.Reduce(0, in, out, OpXor); err != nil {
+				panic(err)
+			}
+		})
+		if allocs != 0 {
+			return fmt.Errorf("steady-state Reduce: %v allocs/op, want 0", allocs)
+		}
+		return nil
+	})
+	mustOK(t, res)
+}
+
+// Multi-rank steady state must not allocate proportionally to the
+// buffer size: the per-call envelope (message headers, ack channels) is
+// constant, so doubling the payload may not double the allocations.
+func TestAllreduceAllocsDoNotScaleWithBuffer(t *testing.T) {
+	measure := func(t *testing.T, words int) float64 {
+		var got float64
+		res := run(t, 4, func(c *Comm) error {
+			in := make([]float64, words)
+			out := make([]float64, words)
+			if err := c.Allreduce(in, out, OpSum); err != nil { // warm up scratch
+				return err
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				if err := c.Allreduce(in, out, OpSum); err != nil {
+					panic(err)
+				}
+			})
+			if c.Rank() == 0 {
+				got = allocs
+			}
+			return nil
+		})
+		mustOK(t, res)
+		return got
+	}
+	small := measure(t, 1<<8)
+	large := measure(t, 1<<14)
+	// Allow slack for scheduling noise; the old code's per-call
+	// make([]float64, n) would push the large case far beyond this.
+	if large > small+4 {
+		t.Fatalf("allocs scale with buffer size: %v allocs at 2^8 words vs %v at 2^14", small, large)
+	}
+}
+
+// The ring variants must agree with the binomial-tree collectives. XOR
+// and MAX are order-insensitive so agreement is bitwise for any input;
+// SUM agreement is checked with exactly-representable integer values
+// (the ring's combine order differs from the tree's, which is why the
+// variant is opt-in).
+func TestRingVariantsMatchTree(t *testing.T) {
+	sizes := []int{1, 2, 3, 4, 5, 8}
+	lengths := []int{0, 1, 2, 5, 16, 63, 64, 200}
+	ops := []*Op{OpSum, OpXor, OpMax}
+	for _, p := range sizes {
+		for _, n := range lengths {
+			for _, op := range ops {
+				op := op
+				t.Run(fmt.Sprintf("p%d/n%d/%s", p, n, op.Name), func(t *testing.T) {
+					res := run(t, p, func(c *Comm) error {
+						in := make([]float64, n)
+						for i := range in {
+							in[i] = float64((c.Rank()*131 + i*17) % 1000)
+						}
+						want := make([]float64, n)
+						if err := c.Allreduce(in, want, op); err != nil {
+							return err
+						}
+						got := make([]float64, n)
+						if err := c.AllreduceRing(in, got, op); err != nil {
+							return err
+						}
+						for i := range want {
+							if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+								return fmt.Errorf("AllreduceRing[%d] = %v, want %v", i, got[i], want[i])
+							}
+						}
+						// ReduceRing: result at root only, nil accepted off root.
+						root := (p - 1) % p
+						var rr []float64
+						if c.Rank() == root {
+							rr = make([]float64, n)
+						}
+						if err := c.ReduceRing(root, in, rr, op); err != nil {
+							return err
+						}
+						if c.Rank() == root {
+							for i := range want {
+								if math.Float64bits(rr[i]) != math.Float64bits(want[i]) {
+									return fmt.Errorf("ReduceRing[%d] = %v, want %v", i, rr[i], want[i])
+								}
+							}
+						}
+						return nil
+					})
+					mustOK(t, res)
+				})
+			}
+		}
+	}
+}
+
+// MAXLOC over the ring: block boundaries must stay pair-aligned even
+// when the pair count does not divide evenly across ranks.
+func TestRingMaxlocPairAlignment(t *testing.T) {
+	for _, p := range []int{2, 3, 5} {
+		for _, pairs := range []int{1, 3, 7, 11} {
+			res := run(t, p, func(c *Comm) error {
+				in := make([]float64, 2*pairs)
+				for i := 0; i < pairs; i++ {
+					in[2*i] = float64((c.Rank()*37 + i*13) % 100)
+					in[2*i+1] = float64(c.Rank())
+				}
+				want := make([]float64, 2*pairs)
+				if err := c.Allreduce(in, want, OpMaxloc); err != nil {
+					return err
+				}
+				got := make([]float64, 2*pairs)
+				if err := c.AllreduceRing(in, got, OpMaxloc); err != nil {
+					return err
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						return fmt.Errorf("p=%d pairs=%d: ring[%d] = %v, want %v", p, pairs, i, got[i], want[i])
+					}
+				}
+				return nil
+			})
+			mustOK(t, res)
+		}
+	}
+}
+
+// The ring schedule is fixed, so repeated runs produce bit-identical
+// SUM results (the replay-by-ID contract extends to the opt-in
+// variants).
+func TestRingSumDeterministicAcrossRuns(t *testing.T) {
+	sum := func(t *testing.T) uint64 {
+		var bits uint64
+		res := run(t, 4, func(c *Comm) error {
+			in := make([]float64, 97)
+			for i := range in {
+				in[i] = math.Sqrt(float64(c.Rank()*1009+i)) * 0.1
+			}
+			out := make([]float64, len(in))
+			if err := c.AllreduceRing(in, out, OpSum); err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				var h uint64
+				for _, v := range out {
+					h = h*1099511628211 + math.Float64bits(v)
+				}
+				bits = h
+			}
+			return nil
+		})
+		mustOK(t, res)
+		return bits
+	}
+	a, b := sum(t), sum(t)
+	if a != b {
+		t.Fatalf("AllreduceRing SUM not deterministic across runs: %#x vs %#x", a, b)
+	}
+}

@@ -1,6 +1,6 @@
 package simmpi
 
-import "math"
+import "selfckpt/internal/kernels"
 
 // Op is a reduction operator over float64 word vectors. Combine folds in
 // into acc element-wise; Cancel (when non-nil) is the inverse, used by the
@@ -9,81 +9,64 @@ import "math"
 // word, applied at each combining rank; the paper notes that bitwise XOR
 // is much faster than numeric SUM on some platforms (§2.2), which this
 // captures.
+//
+// Combine and Cancel are bulk kernels (internal/kernels): chunked and,
+// for large buffers, spread over a GOMAXPROCS-sized worker pool. They
+// stay element-wise with deterministic chunk boundaries, so results are
+// bit-identical across GOMAXPROCS settings and runs — the replay-by-ID
+// contract the crashmat and SDC matrices depend on.
 type Op struct {
 	Name        string
 	CostPerWord float64
-	Combine     func(acc, in []float64)
-	Cancel      func(acc, in []float64)
+	// Pairs marks operators over (value, index) word pairs (MPI_MAXLOC
+	// layout). The collectives reject odd-length buffers for such
+	// operators: a trailing unpaired word has no meaning and the serial
+	// combine used to ignore it silently.
+	Pairs   bool
+	Combine func(acc, in []float64)
+	Cancel  func(acc, in []float64)
 }
 
 // OpSum is numeric addition (MPI_SUM over MPI_DOUBLE).
 var OpSum = &Op{
 	Name:        "SUM",
 	CostPerWord: 1.0,
-	Combine: func(acc, in []float64) {
-		for i := range acc {
-			acc[i] += in[i]
-		}
-	},
-	Cancel: func(acc, in []float64) {
-		for i := range acc {
-			acc[i] -= in[i]
-		}
-	},
+	Combine:     kernels.Add,
+	Cancel:      kernels.Sub,
 }
 
 // OpXor is bitwise exclusive-or over the float64 bit patterns
-// (MPI_BXOR over MPI_LONG_LONG). XOR is its own inverse.
+// (MPI_BXOR over MPI_LONG_LONG). XOR is its own inverse. The kernel
+// works on a uint64 view, skipping the per-element Float64bits round
+// trips of the old serial loop.
 var OpXor = &Op{
 	Name:        "XOR",
 	CostPerWord: 0.25,
-	Combine:     xorWords,
-	Cancel:      xorWords,
-}
-
-func xorWords(acc, in []float64) {
-	for i := range acc {
-		acc[i] = math.Float64frombits(math.Float64bits(acc[i]) ^ math.Float64bits(in[i]))
-	}
+	Combine:     kernels.Xor,
+	Cancel:      kernels.Xor,
 }
 
 // OpMin keeps the element-wise minimum (MPI_MIN).
 var OpMin = &Op{
 	Name:        "MIN",
 	CostPerWord: 1.0,
-	Combine: func(acc, in []float64) {
-		for i := range acc {
-			if in[i] < acc[i] {
-				acc[i] = in[i]
-			}
-		}
-	},
+	Combine:     kernels.Min,
 }
 
 // OpMax keeps the element-wise maximum (MPI_MAX).
 var OpMax = &Op{
 	Name:        "MAX",
 	CostPerWord: 1.0,
-	Combine: func(acc, in []float64) {
-		for i := range acc {
-			if in[i] > acc[i] {
-				acc[i] = in[i]
-			}
-		}
-	},
+	Combine:     kernels.Max,
 }
 
 // OpMaxloc operates on (value, index) pairs laid out as consecutive words
 // [v0, i0, v1, i1, ...] and keeps the pair with the larger value,
-// breaking ties toward the smaller index (MPI_MAXLOC).
+// breaking ties toward the smaller index (MPI_MAXLOC). Buffers must hold
+// whole pairs; the collectives return a SizeError for odd lengths.
 var OpMaxloc = &Op{
 	Name:        "MAXLOC",
 	CostPerWord: 1.0,
-	Combine: func(acc, in []float64) {
-		for i := 0; i+1 < len(acc); i += 2 {
-			if in[i] > acc[i] || (in[i] == acc[i] && in[i+1] < acc[i+1]) {
-				acc[i], acc[i+1] = in[i], in[i+1]
-			}
-		}
-	},
+	Pairs:       true,
+	Combine:     kernels.MaxlocPairs,
 }

@@ -45,6 +45,12 @@ type Comm struct {
 	myIdx    int
 	pending  []*message
 	splitSeq int
+
+	// reduceAcc and reduceScratch are reusable reduction buffers, grown
+	// on demand and retained across calls so steady-state Reduce and
+	// Allreduce perform zero per-call buffer allocations. Comm is owned
+	// by one rank goroutine (see above), so no locking is needed.
+	reduceAcc, reduceScratch []float64
 }
 
 // Rank returns this process's rank within the communicator.

@@ -38,33 +38,70 @@ func PackInto(dst []float64, b []byte) int {
 		panic(fmt.Sprintf("wordpack: PackInto dst too small: %d < %d", len(dst), need))
 	}
 	dst[0] = math.Float64frombits(uint64(len(b)))
-	var chunk [8]byte
-	for i := 0; i < len(b); i += 8 {
-		n := copy(chunk[:], b[i:])
-		for j := n; j < 8; j++ {
-			chunk[j] = 0
-		}
-		dst[1+i/8] = math.Float64frombits(binary.LittleEndian.Uint64(chunk[:]))
+	// Whole words load straight from the input — binary.LittleEndian's
+	// fixed-size Uint64 compiles to a single unaligned load — and only
+	// the tail stages through a zero-padded chunk.
+	w := 1
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		dst[w] = math.Float64frombits(binary.LittleEndian.Uint64(b[i:]))
+		w++
+	}
+	if i < len(b) {
+		var chunk [8]byte
+		copy(chunk[:], b[i:])
+		dst[w] = math.Float64frombits(binary.LittleEndian.Uint64(chunk[:]))
 	}
 	return need
 }
 
 // Unpack decodes words produced by Pack back into the original byte slice.
 func Unpack(w []float64) ([]byte, error) {
+	n, err := UnpackedLen(w)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	if _, err := UnpackInto(out, w); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// UnpackedLen reports the byte length Unpack would produce, validating
+// the header.
+func UnpackedLen(w []float64) (int, error) {
 	if len(w) == 0 {
-		return nil, fmt.Errorf("wordpack: empty input")
+		return 0, fmt.Errorf("wordpack: empty input")
 	}
 	n := math.Float64bits(w[0])
 	if n > uint64(8*(len(w)-1)) {
-		return nil, fmt.Errorf("wordpack: corrupt header: length %d exceeds payload %d", n, 8*(len(w)-1))
+		return 0, fmt.Errorf("wordpack: corrupt header: length %d exceeds payload %d", n, 8*(len(w)-1))
 	}
-	out := make([]byte, n)
-	var chunk [8]byte
-	for i := 0; i < int(n); i += 8 {
+	return int(n), nil
+}
+
+// UnpackInto decodes words produced by Pack into dst, which must have at
+// least UnpackedLen(w) bytes, and returns the number of bytes written.
+// It is the allocation-free form of Unpack.
+func UnpackInto(dst []byte, w []float64) (int, error) {
+	n, err := UnpackedLen(w)
+	if err != nil {
+		return 0, err
+	}
+	if len(dst) < n {
+		return 0, fmt.Errorf("wordpack: UnpackInto dst too small: %d < %d", len(dst), n)
+	}
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(w[1+i/8]))
+	}
+	if i < n {
+		var chunk [8]byte
 		binary.LittleEndian.PutUint64(chunk[:], math.Float64bits(w[1+i/8]))
-		copy(out[i:], chunk[:])
+		copy(dst[i:n], chunk[:])
 	}
-	return out, nil
+	return n, nil
 }
 
 // PutUint64 stores v bit-exactly in a single float64 word.

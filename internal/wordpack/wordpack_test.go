@@ -67,3 +67,45 @@ func TestUint64RoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestUnpackIntoRoundTrip(t *testing.T) {
+	f := func(in []byte) bool {
+		w := Pack(in)
+		dst := make([]byte, len(in)+3) // slack: UnpackInto must not write past n
+		for i := range dst {
+			dst[i] = 0xa5
+		}
+		n, err := UnpackInto(dst, w)
+		if err != nil || n != len(in) || !bytes.Equal(dst[:n], in) {
+			return false
+		}
+		for _, b := range dst[n:] {
+			if b != 0xa5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnpackIntoRejectsShortDst(t *testing.T) {
+	w := Pack([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	if _, err := UnpackInto(make([]byte, 8), w); err == nil {
+		t.Fatal("expected error for short dst")
+	}
+}
+
+func TestUnpackIntoSteadyStateAllocs(t *testing.T) {
+	w := Pack(bytes.Repeat([]byte{0x5c}, 1000))
+	dst := make([]byte, 1000)
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := UnpackInto(dst, w); err != nil {
+			panic(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("UnpackInto allocates %v per op, want 0", allocs)
+	}
+}
