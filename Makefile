@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test lint vet sktlint staticcheck matrix bench bench-smoke
+.PHONY: all build test lint vet sktlint staticcheck matrix bench bench-smoke bench-des bench-des-smoke equivalence equivalence-full
 
 all: build lint test
 
@@ -41,6 +41,25 @@ bench:
 bench-smoke:
 	$(GO) test -run TestKernelsBenchReport -short .
 	$(GO) test -run xxx -bench '^BenchmarkKernels' -benchtime 1x -short ./internal/kernels/ .
+
+# Discrete-event engine throughput: both engines at 64/256/1024 ranks
+# plus the DES-only 10k-rank world, written to BENCH_des.json (the
+# nightly CI job, sibling of BENCH_kernels.json).
+bench-des:
+	$(GO) test -run TestDESBenchReport -v .
+
+# Short variant for push-time CI: both engines up to 256 ranks.
+bench-des-smoke:
+	$(GO) test -run TestDESBenchReport -short .
+
+# DES-vs-goroutine differential suite: the push gate runs the sampled
+# slice; equivalence-full replays the whole 312-cell crash/SDC matrix on
+# both engines and diffs the records byte for byte (the nightly CI job).
+equivalence:
+	$(GO) test -run TestEngineEquivalenceMatrix -short -v ./internal/crashmat/
+
+equivalence-full:
+	$(GO) test -run TestEngineEquivalenceFull -v ./internal/crashmat/
 
 # The full crash + SDC survival matrices (the nightly CI job).
 matrix:

@@ -1,0 +1,118 @@
+package selfckpt
+
+// Discrete-event engine benchmark: runs the same crash-matrix cell — a
+// mid-run node kill, daemon restart, and in-memory recovery under the
+// self protocol — at growing rank counts on both simmpi engines, and
+// writes BENCH_des.json (wall clock per sweep cell, scheduler events/sec,
+// DES speedup over the goroutine engine). Like BENCH_kernels.json, the
+// numbers are machine-dependent, so the test never fails on ratios; it
+// does assert the two engines agree on the modelled virtual seconds bit
+// for bit wherever both run, because a benchmark of a wrong engine would
+// be worthless.
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"selfckpt/internal/checkpoint"
+	"selfckpt/internal/crashmat"
+	"selfckpt/internal/simmpi"
+)
+
+type desBenchRow struct {
+	Ranks            int     `json:"ranks"`
+	Cell             string  `json:"cell"`
+	VirtualSec       float64 `json:"virtual_sec"`
+	DESWallSec       float64 `json:"des_wall_sec_per_sweep"`
+	Events           int64   `json:"events"`
+	EventsPerSec     float64 `json:"events_per_sec"`
+	GoroutineWallSec float64 `json:"goroutine_wall_sec_per_sweep,omitempty"`
+	Speedup          float64 `json:"speedup_vs_goroutine,omitempty"`
+}
+
+type desBenchReport struct {
+	Mode       string        `json:"mode"` // "full" or "short"
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Rows       []desBenchRow `json:"rows"`
+}
+
+// desBenchCell is the benchmark workload at the given world size: one
+// recovered node-loss under the self protocol, the paper's protocol of
+// interest, in groups of 8.
+func desBenchCell(ranks int) crashmat.Schedule {
+	return crashmat.Schedule{
+		Workload: "iter", Protocol: "self",
+		Failpoint: checkpoint.FPAfterEncode, Occurrence: 2,
+		Role: crashmat.RoleChecksumRoot,
+		GroupSize: 8, Groups: ranks / 8, Iters: 2,
+		Second: crashmat.SecondNone,
+	}
+}
+
+func runCell(t *testing.T, engine simmpi.Engine, s crashmat.Schedule) (*crashmat.Observation, float64) {
+	t.Helper()
+	start := time.Now()
+	o, err := crashmat.RunOn(engine, s)
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		t.Fatalf("%s on %s: %v", s.ID(), engine, err)
+	}
+	if bad := crashmat.Check(s, o); len(bad) > 0 {
+		t.Fatalf("%s on %s: %v", s.ID(), engine, bad)
+	}
+	return o, wall
+}
+
+// TestDESBenchReport measures the sweep throughput of both engines and
+// writes BENCH_des.json. Short mode stops at 256 ranks; the full run
+// adds 1024 ranks on both engines and the paper-scale 10k-rank world,
+// which only the DES engine can touch in test time.
+func TestDESBenchReport(t *testing.T) {
+	short := testing.Short()
+	rep := desBenchReport{Mode: "full", GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	if short {
+		rep.Mode = "short"
+	}
+	sizes := []int{64, 256}
+	if !short {
+		sizes = append(sizes, 1024)
+	}
+	for _, ranks := range sizes {
+		s := desBenchCell(ranks)
+		g, gwall := runCell(t, simmpi.EngineGoroutine, s)
+		d, dwall := runCell(t, simmpi.EngineDES, s)
+		if math.Float64bits(g.VirtualSec) != math.Float64bits(d.VirtualSec) {
+			t.Fatalf("%s: engines disagree on virtual time: %x vs %x",
+				s.ID(), math.Float64bits(g.VirtualSec), math.Float64bits(d.VirtualSec))
+		}
+		rep.Rows = append(rep.Rows, desBenchRow{
+			Ranks: ranks, Cell: s.ID(), VirtualSec: d.VirtualSec,
+			DESWallSec: dwall, Events: d.Events, EventsPerSec: float64(d.Events) / dwall,
+			GoroutineWallSec: gwall, Speedup: gwall / dwall,
+		})
+	}
+	if !short && !raceDetectorOn {
+		ranks := 10000
+		s := desBenchCell(ranks)
+		d, dwall := runCell(t, simmpi.EngineDES, s)
+		rep.Rows = append(rep.Rows, desBenchRow{
+			Ranks: ranks, Cell: s.ID(), VirtualSec: d.VirtualSec,
+			DESWallSec: dwall, Events: d.Events, EventsPerSec: float64(d.Events) / dwall,
+		})
+	}
+	for _, r := range rep.Rows {
+		t.Logf("%6d ranks: des %.3fs (%.0f events/sec, %d events), goroutine %.3fs, speedup %.2fx",
+			r.Ranks, r.DESWallSec, r.EventsPerSec, r.Events, r.GoroutineWallSec, r.Speedup)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_des.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

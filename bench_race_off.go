@@ -1,0 +1,7 @@
+//go:build !race
+
+package selfckpt
+
+// raceDetectorOn reports whether the binary carries the race detector
+// (see bench_race_on.go).
+const raceDetectorOn = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package selfckpt
+
+// raceDetectorOn reports whether the binary carries the race detector;
+// the 10k-rank row of the DES benchmark is skipped under it (the
+// instrumentation distorts the throughput numbers it exists to record).
+const raceDetectorOn = true

@@ -14,6 +14,12 @@
 //	sktchaos -protocol self  # restrict to one protocol
 //	sktchaos -run <id>       # replay a cell — or a whole sweep — by its ID
 //	sktchaos -list           # print every cell ID without running any
+//	sktchaos -engine des     # run on the discrete-event engine
+//
+// The -engine flag selects the simmpi execution engine (goroutine or
+// des). Engines are an execution option, never part of cell or sweep
+// identity: any logged ID replays on either engine with an identical
+// verdict, which the engine equivalence suite asserts cell by cell.
 //
 // A sampled run without -seed draws its seed from the OS entropy source
 // (never the wall clock — replay IDs must not depend on when a run
@@ -33,7 +39,12 @@ import (
 
 	"selfckpt/internal/checkpoint"
 	"selfckpt/internal/crashmat"
+	"selfckpt/internal/simmpi"
 )
+
+// engine is the simmpi execution engine every cell runs on, set once in
+// main from the -engine flag before any schedule executes.
+var engine simmpi.Engine
 
 func main() {
 	full := flag.Bool("full", false, "run every cell of the matrix (plus second-failure and HPL cells)")
@@ -43,7 +54,15 @@ func main() {
 	protocol := flag.String("protocol", "", "restrict to one protocol (single, double, self, multilevel)")
 	runID := flag.String("run", "", "replay a cell or sweep by ID and report its verdict")
 	list := flag.Bool("list", false, "print every cell ID in the matrices and exit")
+	engineFlag := flag.String("engine", "goroutine", "simmpi execution engine: goroutine or des")
 	flag.Parse()
+
+	eng, err := simmpi.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sktchaos: %v\n", err)
+		os.Exit(2)
+	}
+	engine = eng
 
 	if *protocol != "" {
 		if _, ok := checkpoint.ProtocolByName(*protocol); !ok {
@@ -160,7 +179,7 @@ func sweep(schedules []crashmat.Schedule) int {
 	tables := map[string]map[string]map[crashmat.Role]*cell{}
 	violations := 0
 	for _, s := range schedules {
-		o, err := crashmat.Run(s)
+		o, err := crashmat.RunOn(engine, s)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sktchaos: %s: %v\n", s.ID(), err)
 			violations++
@@ -212,7 +231,7 @@ func sweepSDC(schedules []crashmat.SDCSchedule) int {
 	tables := map[string]map[string]map[bool]*cell{}
 	violations := 0
 	for _, s := range schedules {
-		o, err := crashmat.RunSDC(s)
+		o, err := crashmat.RunSDCOn(engine, s)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sktchaos: %s: %v\n", s.ID(), err)
 			violations++
@@ -356,7 +375,7 @@ func replay(id string) int {
 		fmt.Fprintln(os.Stderr, "sktchaos:", err)
 		return 2
 	}
-	o, err := crashmat.Run(s)
+	o, err := crashmat.RunOn(engine, s)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sktchaos:", err)
 		return 2
@@ -395,7 +414,7 @@ func replaySDC(id string) int {
 		fmt.Fprintln(os.Stderr, "sktchaos:", err)
 		return 2
 	}
-	o, err := crashmat.RunSDC(s)
+	o, err := crashmat.RunSDCOn(engine, s)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sktchaos:", err)
 		return 2

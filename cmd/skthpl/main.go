@@ -8,6 +8,7 @@
 //	skthpl -nodes 4 -rpn 2 -n 96 -group 2 -kill-slot 1    # power off node 1 mid-checkpoint
 //	skthpl -strategy none -nodes 4 -rpn 2 -n 96           # original HPL (dies on node loss)
 //	skthpl -platform tianhe2 -nodes 8 -n 512 -group 8     # Tianhe-2 preset
+//	skthpl -engine des -nodes 64 -rpn 4 -n 256            # discrete-event engine
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"selfckpt/internal/checkpoint"
 	"selfckpt/internal/cluster"
+	"selfckpt/internal/simmpi"
 	"selfckpt/internal/skthpl"
 )
 
@@ -41,6 +43,7 @@ func main() {
 		scatter  = flag.Bool("scattered", false, "use the rack-tolerant scattered group mapping")
 		look     = flag.Bool("lookahead", false, "enable HPL depth-1 lookahead (composes with checkpoints)")
 		l2every  = flag.Int("l2-every", 0, "flush every k-th checkpoint to persistent storage (0 = off)")
+		engineF  = flag.String("engine", "goroutine", "simmpi execution engine: goroutine or des")
 	)
 	flag.Parse()
 
@@ -83,22 +86,28 @@ func main() {
 		Lookahead:       *look,
 		L2Every:         *l2every,
 	}
+	engine, err := simmpi.ParseEngine(*engineF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skthpl: %v\n", err)
+		os.Exit(2)
+	}
 	m := cluster.NewMachine(p, *nodes, *spares)
+	m.Engine = engine
 	d := &cluster.Daemon{Machine: m, MaxRestarts: *restarts}
 	spec := cluster.JobSpec{Ranks: *nodes * ranksPerNode, RanksPerNode: ranksPerNode, Kills: kills}
 
 	fmt.Printf("skthpl: %d ranks (%d nodes × %d) on %s, N=%d NB=%d, strategy=%s group=%d\n",
 		spec.Ranks, *nodes, ranksPerNode, p.Name, *n, *nb, *strategy, *group)
 
-	report, err := d.Run(spec, func(env *cluster.Env) error { return skthpl.Rank(env, cfg) })
+	report, runErr := d.Run(spec, func(env *cluster.Env) error { return skthpl.Rank(env, cfg) })
 	if report != nil {
 		fmt.Println("\ntimeline:")
 		for _, ph := range report.Timeline {
 			fmt.Printf("  %-40s %10.4f s\n", ph.Name, ph.Seconds)
 		}
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "\nskthpl: job failed: %v\n", err)
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "\nskthpl: job failed: %v\n", runErr)
 		os.Exit(1)
 	}
 
@@ -112,6 +121,9 @@ func main() {
 	fmt.Printf("  checkpoints         %.0f (last took %.6f s)\n",
 		mt[skthpl.MetricCheckpoints], mt[skthpl.MetricCheckpointSec])
 	fmt.Printf("  available memory    %.2f%% of total\n", mt[skthpl.MetricAvailFrac]*100)
+	if report.Events > 0 {
+		fmt.Printf("  scheduler events    %d\n", report.Events)
+	}
 	if mt[skthpl.MetricRestored] == 1 {
 		fmt.Printf("  recovered           YES, from in-memory checkpoint in %.6f s\n", mt[skthpl.MetricRecoverSec])
 	}

@@ -1,6 +1,7 @@
 package analysis_test
 
 import (
+	"go/types"
 	"path/filepath"
 	"testing"
 
@@ -34,6 +35,29 @@ func TestLoaderResolvesModuleAndStdlib(t *testing.T) {
 	}
 	if again != pkg {
 		t.Error("LoadDir is not memoized")
+	}
+}
+
+// TestLoaderHonorsBuildConstraints loads a package carrying a
+// race-tagged constant pair (crashmat's raceEnabled) and must pick
+// exactly the !race half — without constraint handling the two halves
+// collide as a redeclaration at type-check time.
+func TestLoaderHonorsBuildConstraints(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join(loader.ModRoot, "internal", "crashmat"))
+	if err != nil {
+		t.Fatalf("LoadDir(internal/crashmat): %v", err)
+	}
+	obj := pkg.Types.Scope().Lookup("raceEnabled")
+	if obj == nil {
+		t.Fatal("raceEnabled not found — did the race-tag pair move?")
+	}
+	c, ok := obj.(*types.Const)
+	if !ok || c.Val().String() != "false" {
+		t.Errorf("raceEnabled = %v, want the !race half (false)", obj)
 	}
 }
 

@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -186,6 +188,39 @@ func hasGoFiles(dir string) (bool, error) {
 	return false, nil
 }
 
+// buildConstraintSatisfied reports whether f's //go:build (or legacy
+// // +build) constraints hold under the default build configuration:
+// the host GOOS/GOARCH, the gc toolchain, and no optional tags. This
+// matches what a plain `go build` compiles — in particular, files
+// gated on the race tag (build-tag constant pairs like raceEnabled)
+// contribute only their !race half, instead of both halves colliding
+// as a redeclaration at type-check time.
+func buildConstraintSatisfied(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue // malformed lines don't constrain, as in go/build
+			}
+			if !expr.Eval(defaultBuildTag) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func defaultBuildTag(tag string) bool {
+	return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" ||
+		strings.HasPrefix(tag, "go1")
+}
+
 // LoadDir parses and type-checks the single package in dir.
 func (l *Loader) LoadDir(dir string) (*Package, error) {
 	abs, err := filepath.Abs(dir)
@@ -214,6 +249,9 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 		f, err := parser.ParseFile(l.Fset, filepath.Join(abs, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
+		}
+		if !buildConstraintSatisfied(f) {
+			continue
 		}
 		files = append(files, f)
 	}

@@ -20,6 +20,9 @@ type RunReport struct {
 	Metrics      map[string]float64
 	LostSlots    [][]int
 	Final        *AttemptResult
+	// Events totals the discrete-event scheduler dispatches across all
+	// attempts (zero under the goroutine engine; see simmpi.Result).
+	Events int64
 }
 
 func (r *RunReport) push(name string, seconds float64) {
@@ -49,6 +52,7 @@ func (d *Daemon) Run(spec JobSpec, fn RankFn) (*RunReport, error) {
 			return report, err
 		}
 		report.Final = res
+		report.Events += res.Events
 		report.push(fmt.Sprintf("work (attempt %d)", attempt), res.MaxTime)
 		for k, v := range res.Metrics {
 			if v > report.Metrics[k] {

@@ -178,6 +178,7 @@ func (m *Machine) Launch(spec JobSpec, attempt int, fn RankFn) (*AttemptResult, 
 		Bandwidth:     []float64{p.BWPerProcessBytes()},
 		GFLOPS:        []float64{p.EffGFLOPSPerProcess()},
 		MemBW:         []float64{p.MemBWGBps * 1e9},
+		Engine:        m.Engine,
 		KillAt:        killTime,
 		FailpointKill: fpKill,
 		OnKill:        func(rank int) { nodeOf(rank).kill() },

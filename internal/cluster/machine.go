@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"selfckpt/internal/shm"
+	"selfckpt/internal/simmpi"
 )
 
 // Node is one compute node: volatile SHM that dies with the node, plus a
@@ -80,6 +81,11 @@ func (d *DiskStore) Delete(key string) {
 type Machine struct {
 	Platform Platform
 	Disk     *DiskStore
+	// Engine selects the simmpi execution engine for every job launched
+	// on this machine (zero value: the goroutine engine). Engines are an
+	// execution option, never part of schedule or sweep identity, so the
+	// same machine description replays identically under either.
+	Engine simmpi.Engine
 
 	mu     sync.Mutex
 	slots  []*Node // logical node slots; failed nodes are swapped out

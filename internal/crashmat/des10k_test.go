@@ -1,0 +1,71 @@
+package crashmat
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"selfckpt/internal/checkpoint"
+	"selfckpt/internal/simmpi"
+)
+
+// TestDESCrashSweep10kRanks is the paper-scale demonstration: a
+// single-protocol crash sweep at 10,000 ranks — kill, daemon restart,
+// in-memory recovery, full guarantee check per cell — must complete in
+// seconds under the discrete-event engine. The goroutine engine cannot
+// touch this scale in a unit test (10k live goroutines per attempt,
+// contended channel wakeups); the DES engine runs the same rank code
+// parked behind a scheduler token, so the world size only costs memory.
+//
+// The test runs under -short (it IS the fast path) but skips under the
+// race detector, whose instrumentation blows the time budget without
+// adding coverage beyond the small-world races simmpi already probes.
+func TestDESCrashSweep10kRanks(t *testing.T) {
+	if raceEnabled {
+		t.Skip("10k-rank sweep: skipped under the race detector")
+	}
+	sweep := []Schedule{
+		{Workload: "iter", Protocol: "self", Failpoint: checkpoint.FPAfterEncode,
+			Occurrence: 2, Role: RoleChecksumRoot,
+			GroupSize: 8, Groups: 1250, Iters: 2, Second: SecondNone},
+		{Workload: "iter", Protocol: "self", Failpoint: checkpoint.FPMidFlush,
+			Occurrence: 2, Role: RoleGroupPeer,
+			GroupSize: 8, Groups: 1250, Iters: 2, Second: SecondNone},
+	}
+	start := time.Now()
+	var mu sync.Mutex
+	var events int64
+	// Each cell is an independent world with its own single-threaded
+	// scheduler; running the cells in parallel uses one core per world.
+	for _, s := range sweep {
+		s := s
+		t.Run(s.ID(), func(t *testing.T) {
+			t.Parallel()
+			if got := s.Ranks(); got != 10000 {
+				t.Fatalf("cell has %d ranks, want 10000", got)
+			}
+			o, err := RunOn(simmpi.EngineDES, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range Check(s, o) {
+				t.Error(v)
+			}
+			if o.Attempts != 2 || !o.Restored {
+				t.Errorf("attempts=%d restored=%v, want a kill and an in-memory recovery",
+					o.Attempts, o.Restored)
+			}
+			mu.Lock()
+			events += o.Events
+			mu.Unlock()
+		})
+	}
+	t.Cleanup(func() {
+		elapsed := time.Since(start)
+		t.Logf("10k-rank sweep: %d cells, %d scheduler events in %v (%.0f events/sec)",
+			len(sweep), events, elapsed, float64(events)/elapsed.Seconds())
+		if elapsed > 60*time.Second {
+			t.Errorf("10k-rank sweep took %v, want seconds", elapsed)
+		}
+	})
+}

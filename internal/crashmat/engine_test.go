@@ -1,0 +1,235 @@
+package crashmat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"selfckpt/internal/checkpoint"
+	"selfckpt/internal/simmpi"
+)
+
+// This file is the engine equivalence suite: every crash-matrix and SDC
+// cell must produce byte-identical observation records under the
+// goroutine engine (the bit-exactness oracle) and the discrete-event
+// engine. Virtual seconds are compared through Float64bits, so even a
+// one-ulp drift in the modelled timeline is a failure — the engines must
+// agree bit for bit, not approximately.
+
+// record renders the engine-independent part of an Observation as a
+// canonical string. Events is deliberately excluded: it counts scheduler
+// dispatches and is zero by definition under the goroutine engine.
+func record(o *Observation) string {
+	errs := "<nil>"
+	if o.Err != nil {
+		errs = o.Err.Error()
+	}
+	return fmt.Sprintf("attempts=%d restored=%v iter=%d header=%d bitExact=%v virtual=%016x hash=%016x leaks=%s err=%s",
+		o.Attempts, o.Restored, o.RestoreIter, o.HeaderEpoch, o.BitExact,
+		math.Float64bits(o.VirtualSec), math.Float64bits(o.SolutionHash),
+		renderLeaks(o.Leaks), errs)
+}
+
+// recordSDC is record for SDC observations, adding the scrub counters
+// and the injector's flip audit log.
+func recordSDC(o *SDCObservation) string {
+	errs := "<nil>"
+	if o.Err != nil {
+		errs = o.Err.Error()
+	}
+	flips := make([]string, len(o.Flips))
+	for i, f := range o.Flips {
+		flips[i] = f.String()
+	}
+	return fmt.Sprintf("attempts=%d restored=%v iter=%d det=%d rep=%d unrep=%d passes=%d bitExact=%v virtual=%016x flips=%s leaks=%s err=%s",
+		o.Attempts, o.Restored, o.RestoreIter, o.Detected, o.Repaired, o.Unrepairable,
+		o.ScrubPasses, o.BitExact, math.Float64bits(o.VirtualSec),
+		strings.Join(flips, ","), renderLeaks(o.Leaks), errs)
+}
+
+func renderLeaks(leaks map[int][]string) string {
+	if len(leaks) == 0 {
+		return "none"
+	}
+	slots := make([]int, 0, len(leaks))
+	for s := range leaks {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots)
+	var parts []string
+	for _, s := range slots {
+		names := append([]string(nil), leaks[s]...)
+		sort.Strings(names)
+		parts = append(parts, fmt.Sprintf("%d:%v", s, names))
+	}
+	return strings.Join(parts, ";")
+}
+
+// assertEquivalent runs one crash cell on both engines and requires
+// byte-identical records.
+func assertEquivalent(t *testing.T, s Schedule) {
+	t.Helper()
+	g, err := RunOn(simmpi.EngineGoroutine, s)
+	if err != nil {
+		t.Fatalf("goroutine engine: %v", err)
+	}
+	d, err := RunOn(simmpi.EngineDES, s)
+	if err != nil {
+		t.Fatalf("DES engine: %v", err)
+	}
+	gr, dr := record(g), record(d)
+	if gr != dr {
+		t.Errorf("engines diverge on %s:\n goroutine %s\n des       %s", s.ID(), gr, dr)
+	}
+	if g.Events != 0 {
+		t.Errorf("goroutine run reported %d scheduler events, want 0", g.Events)
+	}
+	if d.Events == 0 {
+		t.Errorf("DES run reported zero scheduler events")
+	}
+}
+
+// assertEquivalentSDC is assertEquivalent for SDC cells.
+func assertEquivalentSDC(t *testing.T, s SDCSchedule) {
+	t.Helper()
+	g, err := RunSDCOn(simmpi.EngineGoroutine, s)
+	if err != nil {
+		t.Fatalf("goroutine engine: %v", err)
+	}
+	d, err := RunSDCOn(simmpi.EngineDES, s)
+	if err != nil {
+		t.Fatalf("DES engine: %v", err)
+	}
+	gr, dr := recordSDC(g), recordSDC(d)
+	if gr != dr {
+		t.Errorf("engines diverge on %s:\n goroutine %s\n des       %s", s.ID(), gr, dr)
+	}
+	if d.Events == 0 {
+		t.Errorf("DES run reported zero scheduler events")
+	}
+}
+
+// equivalenceSlice is the push-CI slice of the matrix: for every
+// protocol, the two paper recovery paths (mid-flush and post-encode) on
+// the checksum root, one HPL cell, and one scrub-mode SDC cell. Small
+// enough for every push, wide enough that any engine-semantics drift in
+// a protocol's hot path shows up immediately.
+func equivalenceSlice() ([]Schedule, []SDCSchedule) {
+	var crash []Schedule
+	var sdc []SDCSchedule
+	for _, p := range checkpoint.Protocols() {
+		for _, fp := range []string{checkpoint.FPMidFlush, checkpoint.FPAfterEncode} {
+			crash = append(crash, Schedule{
+				Workload: "iter", Protocol: p.Name, Failpoint: fp,
+				Occurrence: 2, Role: RoleChecksumRoot,
+				GroupSize: 4, Groups: 2, Iters: 6,
+				Second: SecondNone, L2Every: l2For(p.Name),
+			})
+		}
+		crash = append(crash, Schedule{
+			Workload: "hpl", Protocol: p.Name, Failpoint: checkpoint.FPMidFlush,
+			Occurrence: 3, Role: RoleChecksumRoot,
+			GroupSize: 4, Groups: 2, Iters: 12,
+			Second: SecondNone, L2Every: l2For(p.Name),
+		})
+		if len(p.ScrubTargets) > 0 {
+			sdc = append(sdc, SDCSchedule{
+				Protocol: p.Name, Target: p.ScrubTargets[0], Epoch: 2,
+				GroupSize: 4, Groups: 2, Iters: 6, Seed: 1,
+			})
+		}
+	}
+	return crash, sdc
+}
+
+// TestEngineEquivalenceMatrix is the push-CI differential check: the
+// equivalence slice must be byte-identical across engines. It runs under
+// -short; the full 312-cell matrix lives in TestEngineEquivalenceFull.
+func TestEngineEquivalenceMatrix(t *testing.T) {
+	crash, sdc := equivalenceSlice()
+	for _, s := range crash {
+		s := s
+		t.Run(s.ID(), func(t *testing.T) {
+			t.Parallel()
+			assertEquivalent(t, s)
+		})
+	}
+	for _, s := range sdc {
+		s := s
+		t.Run(s.ID(), func(t *testing.T) {
+			t.Parallel()
+			assertEquivalentSDC(t, s)
+		})
+	}
+}
+
+// TestEngineEquivalenceFull runs the complete acceptance matrix — every
+// crash, second-failure, HPL, and SDC cell — on both engines and
+// requires byte-identical records cell by cell. Nightly / on demand:
+// go test -run TestEngineEquivalenceFull ./internal/crashmat
+func TestEngineEquivalenceFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full cross-engine matrix: long; run without -short")
+	}
+	all := append(append(FullMatrix(), SecondFailureMatrix()...), HPLMatrix()...)
+	for _, s := range all {
+		s := s
+		t.Run(s.ID(), func(t *testing.T) {
+			t.Parallel()
+			assertEquivalent(t, s)
+		})
+	}
+	for _, s := range SDCMatrix() {
+		s := s
+		t.Run(s.ID(), func(t *testing.T) {
+			t.Parallel()
+			assertEquivalentSDC(t, s)
+		})
+	}
+}
+
+// FuzzEngineEquivalence derives a schedule from the fuzzer's bytes —
+// protocol, failpoint, occurrence, victim role, group shape, second
+// failure, iteration count — and requires both engines to produce
+// byte-identical records. Invalid points of the schedule space are
+// skipped, not errors: the fuzzer's job is to wander off the curated
+// matrices, and Predict is the arbiter of what is a legal cell.
+func FuzzEngineEquivalence(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(0x0123456789abcdef))
+	f.Add(uint64(0xfedcba9876543210))
+	f.Add(uint64(42))
+	protocols := checkpoint.Protocols()
+	failpoints := checkpoint.Failpoints()
+	roles := Roles()
+	seconds := []Second{SecondNone, SecondNone, SecondSameGroup, SecondOtherGroup}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		next := func(n int) int { // consume bits from the seed
+			v := int(seed % uint64(n))
+			seed /= uint64(n)
+			return v
+		}
+		p := protocols[next(len(protocols))]
+		s := Schedule{
+			Workload:   "iter",
+			Protocol:   p.Name,
+			Failpoint:  failpoints[next(len(failpoints))],
+			Occurrence: 1 + next(6),
+			Role:       roles[next(len(roles))],
+			GroupSize:  2 + next(4),
+			Groups:     1 + next(3),
+			Iters:      3 + next(4),
+			Second:     seconds[next(len(seconds))],
+			L2Every:    l2For(p.Name),
+		}
+		if s.Second == SecondOtherGroup && s.Groups < 2 {
+			t.Skip("second victim needs a second group")
+		}
+		if _, err := Predict(s); err != nil {
+			t.Skip("not a legal cell")
+		}
+		assertEquivalent(t, s)
+	})
+}

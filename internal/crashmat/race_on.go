@@ -1,0 +1,10 @@
+//go:build race
+
+package crashmat
+
+// raceEnabled reports whether the binary was built with the race
+// detector. The paper-scale 10k-rank sweep test skips under it: the
+// instrumentation multiplies memory and run time far past the
+// "completes in seconds" budget the test exists to demonstrate, and the
+// race coverage for the engine lives in the small-world simmpi tests.
+const raceEnabled = true

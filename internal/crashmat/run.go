@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"selfckpt/internal/cluster"
+	"selfckpt/internal/simmpi"
 )
 
 // Observation is what actually happened when a schedule ran.
@@ -17,6 +18,17 @@ type Observation struct {
 	// every rank checked its workspace word-for-word against the analytic
 	// reference; for HPL the solution hash matched an unfailed run's.
 	BitExact bool
+	// VirtualSec is the daemon timeline's total modelled seconds across
+	// all attempts — the quantity the engine equivalence suite pins bit
+	// for bit between the goroutine and discrete-event engines.
+	VirtualSec float64
+	// SolutionHash is the failed run's solution hash for the HPL
+	// workload (zero for the iter workload, whose golden comparison is
+	// analytic rather than hash-based).
+	SolutionHash float64
+	// Events counts discrete-event scheduler dispatches across all
+	// attempts (zero under the goroutine engine).
+	Events int64
 	// Leaks maps slot → unexpected SHM segment names after completion.
 	Leaks map[int][]string
 	// Err is the daemon's terminal error, nil when the job completed.
@@ -30,18 +42,26 @@ const (
 	mHeaderEpoch = "cm_header_epoch"
 )
 
-// Run executes one schedule on a fresh simulated machine and reports the
-// outcome. The returned error covers engine misuse (bad schedule); run
-// failures land in Observation.Err.
+// Run executes one schedule on a fresh simulated machine under the
+// goroutine engine and reports the outcome. The returned error covers
+// harness misuse (bad schedule); run failures land in Observation.Err.
 func Run(s Schedule) (*Observation, error) {
+	return RunOn(simmpi.EngineGoroutine, s)
+}
+
+// RunOn is Run with an explicit simmpi execution engine. The engine is
+// an execution option, never part of the schedule's identity: the same
+// cell ID replays on either engine, and the equivalence suite asserts
+// that both produce identical observations.
+func RunOn(engine simmpi.Engine, s Schedule) (*Observation, error) {
 	if _, err := Predict(s); err != nil {
 		return nil, err
 	}
 	switch s.Workload {
 	case "", "iter":
-		return runIter(s)
+		return runIter(engine, s)
 	case "hpl":
-		return runHPL(s)
+		return runHPL(engine, s)
 	default:
 		return nil, fmt.Errorf("crashmat: unknown workload %q", s.Workload)
 	}
@@ -99,9 +119,15 @@ func Check(s Schedule, o *Observation) []string {
 	return bad
 }
 
-// Verify runs a schedule and checks it in one step.
+// Verify runs a schedule under the goroutine engine and checks it in
+// one step.
 func Verify(s Schedule) ([]string, error) {
-	o, err := Run(s)
+	return VerifyOn(simmpi.EngineGoroutine, s)
+}
+
+// VerifyOn is Verify with an explicit simmpi execution engine.
+func VerifyOn(engine simmpi.Engine, s Schedule) ([]string, error) {
+	o, err := RunOn(engine, s)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 	"selfckpt/internal/checkpoint"
 	"selfckpt/internal/cluster"
 	"selfckpt/internal/shm"
+	"selfckpt/internal/simmpi"
 )
 
 // This file is the silent-data-corruption dimension of the matrix:
@@ -225,8 +226,13 @@ type SDCObservation struct {
 	// BitExact reports the final analytic workspace check passed on every
 	// rank (the golden run is closed-form, as in the crash matrix).
 	BitExact bool
-	Leaks    map[int][]string
-	Err      error
+	// VirtualSec is the daemon timeline's total modelled seconds (pinned
+	// bit for bit across engines by the equivalence suite); Events counts
+	// discrete-event dispatches (zero under the goroutine engine).
+	VirtualSec float64
+	Events     int64
+	Leaks      map[int][]string
+	Err        error
 }
 
 // sdcFPIter is the failpoint every rank of the SDC workload announces at
@@ -246,14 +252,21 @@ func shimSchedule(s SDCSchedule) Schedule {
 	}
 }
 
-// RunSDC executes one SDC cell on a fresh simulated machine.
+// RunSDC executes one SDC cell on a fresh simulated machine under the
+// goroutine engine.
 func RunSDC(s SDCSchedule) (*SDCObservation, error) {
+	return RunSDCOn(simmpi.EngineGoroutine, s)
+}
+
+// RunSDCOn is RunSDC with an explicit simmpi execution engine (an
+// execution option, never part of the cell's identity).
+func RunSDCOn(engine simmpi.Engine, s SDCSchedule) (*SDCObservation, error) {
 	if _, err := PredictSDC(s); err != nil {
 		return nil, err
 	}
 	reg, _ := checkpoint.ProtocolByName(s.Protocol)
 	shim := shimSchedule(s)
-	m := machineFor(shim)
+	m := machineFor(shim, engine)
 	d := &cluster.Daemon{Machine: m, MaxRestarts: 2}
 	spec := cluster.JobSpec{Ranks: s.Ranks(), RanksPerNode: 1}
 	if s.Kill {
@@ -366,6 +379,8 @@ func RunSDC(s SDCSchedule) (*SDCObservation, error) {
 		o.Repaired = int(report.Metrics[cluster.MetricScrubRepaired])
 		o.Unrepairable = int(report.Metrics[cluster.MetricScrubUnrepairable])
 		o.ScrubPasses = int(report.Metrics[cluster.MetricScrubPasses])
+		o.VirtualSec = report.TotalSeconds
+		o.Events = report.Events
 	}
 	if err == nil {
 		// Completion implies every rank's final checkFill passed.
@@ -423,9 +438,15 @@ func CheckSDC(s SDCSchedule, o *SDCObservation) []string {
 	return bad
 }
 
-// VerifySDC runs an SDC cell and checks it in one step.
+// VerifySDC runs an SDC cell under the goroutine engine and checks it
+// in one step.
 func VerifySDC(s SDCSchedule) ([]string, error) {
-	o, err := RunSDC(s)
+	return VerifySDCOn(simmpi.EngineGoroutine, s)
+}
+
+// VerifySDCOn is VerifySDC with an explicit simmpi execution engine.
+func VerifySDCOn(engine simmpi.Engine, s SDCSchedule) ([]string, error) {
+	o, err := RunSDCOn(engine, s)
 	if err != nil {
 		return nil, err
 	}

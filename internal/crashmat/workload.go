@@ -55,9 +55,13 @@ func iterFromMeta(b []byte) int {
 }
 
 // machineFor builds a fresh simulated cluster sized for the schedule: one
-// rank per node slot, enough spares to absorb both scheduled losses.
-func machineFor(s Schedule) *cluster.Machine {
-	return cluster.NewMachine(cluster.Testbed(), s.Ranks(), 4)
+// rank per node slot, enough spares to absorb both scheduled losses. The
+// engine selects the simmpi execution engine for every job launched on
+// the machine; it never enters schedule or sweep identity.
+func machineFor(s Schedule, engine simmpi.Engine) *cluster.Machine {
+	m := cluster.NewMachine(cluster.Testbed(), s.Ranks(), 4)
+	m.Engine = engine
+	return m
 }
 
 func protectorFor(s Schedule, env *cluster.Env) (checkpoint.Protector, error) {
@@ -138,8 +142,8 @@ func iterBody(s Schedule) cluster.RankFn {
 	}
 }
 
-func runIter(s Schedule) (*Observation, error) {
-	m := machineFor(s)
+func runIter(engine simmpi.Engine, s Schedule) (*Observation, error) {
+	m := machineFor(s, engine)
 	d := &cluster.Daemon{Machine: m, MaxRestarts: 2}
 	spec := cluster.JobSpec{Ranks: s.Ranks(), RanksPerNode: 1, Kills: kills(s)}
 	report, err := d.Run(spec, iterBody(s))
@@ -149,6 +153,8 @@ func runIter(s Schedule) (*Observation, error) {
 		o.Restored = report.Metrics[mRestored] == 1
 		o.RestoreIter = int(report.Metrics[mRestoreIter])
 		o.HeaderEpoch = int(report.Metrics[mHeaderEpoch])
+		o.VirtualSec = report.TotalSeconds
+		o.Events = report.Events
 	}
 	if err == nil {
 		// Completion implies every rank's final checkFill passed.
@@ -209,11 +215,11 @@ func hplConfig(s Schedule) skthpl.Config {
 
 // runHPL explores a schedule with SKT-HPL as the workload: the failed run
 // must converge to the same solution bits as an unfailed golden run.
-func runHPL(s Schedule) (*Observation, error) {
+func runHPL(engine simmpi.Engine, s Schedule) (*Observation, error) {
 	cfg := hplConfig(s)
 
 	// Golden run: same machine shape, no kills.
-	gm := machineFor(s)
+	gm := machineFor(s, engine)
 	gd := &cluster.Daemon{Machine: gm, MaxRestarts: 0}
 	golden, err := gd.Run(cluster.JobSpec{Ranks: s.Ranks(), RanksPerNode: 1}, func(env *cluster.Env) error {
 		return skthpl.Rank(env, cfg)
@@ -226,7 +232,7 @@ func runHPL(s Schedule) (*Observation, error) {
 		return nil, fmt.Errorf("crashmat: golden HPL run reported no solution hash")
 	}
 
-	m := machineFor(s)
+	m := machineFor(s, engine)
 	d := &cluster.Daemon{Machine: m, MaxRestarts: 2}
 	spec := cluster.JobSpec{Ranks: s.Ranks(), RanksPerNode: 1, Kills: kills(s)}
 	report, err := d.Run(spec, func(env *cluster.Env) error {
@@ -238,6 +244,9 @@ func runHPL(s Schedule) (*Observation, error) {
 		o.Restored = report.Metrics[skthpl.MetricRestored] == 1
 		o.RestoreIter = int(report.Metrics[skthpl.MetricRestoredEpoch])
 		o.HeaderEpoch = o.RestoreIter
+		o.VirtualSec = report.TotalSeconds
+		o.SolutionHash = report.Metrics[skthpl.MetricSolutionHash]
+		o.Events = report.Events
 	}
 	if err == nil {
 		o.BitExact = report.Metrics[skthpl.MetricSolutionHash] == goldenHash

@@ -1,0 +1,746 @@
+package simmpi
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file implements EngineDES: a discrete-event scheduler that
+// advances rank state machines one at a time instead of letting the Go
+// runtime interleave thousands of live goroutines.
+//
+// Rank bodies are arbitrary Go closures, so they cannot literally be
+// compiled into state machines. Instead each rank keeps a (parked)
+// goroutine and the scheduler grants a single run token: exactly one
+// rank executes at any moment, and a blocking communication call parks
+// the rank on the engine's wait lists and hands the token back. The
+// scheduler then pops the next runnable rank from a min-heap keyed by
+// (virtual wake time, rank id). Because only the token holder touches
+// engine state, the event queue, message queues, and waiter lists need
+// no locks; the token handoff itself (one channel send + one receive
+// per dispatch) provides the happens-before edges the race detector
+// needs. Only the external injection API (InjectAt) takes a mutex.
+//
+// Equivalence with the goroutine engine is by construction: the DES
+// paths reuse the identical arrival-time arithmetic (eagerArrival /
+// rendezvousArrival in p2p.go), the same bounded per-member inboxes
+// (desInboxCap), the same per-source FIFO matching through Comm.pending,
+// and the same abort rule — a blocked call returns ErrAborted exactly
+// when the one peer it depends on has exited, after draining anything
+// that peer delivered first. The differential suite in des_test.go and
+// internal/crashmat holds the two engines to bit-identical results.
+//
+// The heap key is the rank-local virtual time at which a rank becomes
+// runnable, not a single global clock: a rendezvous receiver at t=5 may
+// release a sender whose own clock is still 3. That is the same
+// per-rank-clock model the goroutine engine uses, and the max() in the
+// arrival arithmetic makes results independent of dispatch order.
+
+// desInboxCap bounds each member's per-communicator inbox, matching the
+// goroutine engine's channel capacity. Eager sends beyond the cap block
+// (in real time there, in scheduler events here), which keeps the two
+// engines' abort behaviour aligned when a flooded destination dies.
+const desInboxCap = 4
+
+// Wait kinds: what a blocked rank is waiting for.
+const (
+	wRecv  = iota // a message from a specific source
+	wAck   = iota // the rendezvous ack for a posted message
+	wSpace = iota // inbox space at the destination
+)
+
+// rankEvent is one pending rank resumption.
+type rankEvent struct {
+	at   float64
+	rank int
+}
+
+type rankHeap []rankEvent
+
+func (h rankHeap) Len() int { return len(h) }
+func (h rankHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].rank < h[j].rank
+}
+func (h rankHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *rankHeap) Push(x interface{}) { *h = append(*h, x.(rankEvent)) }
+func (h *rankHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// injEvent is an externally injected event (InjectAt). seq preserves
+// submission order among equal times.
+type injEvent struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+type injHeap []injEvent
+
+func (h injHeap) Len() int { return len(h) }
+func (h injHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h injHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *injHeap) Push(x interface{}) { *h = append(*h, x.(injEvent)) }
+func (h *injHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// waiterRef records that a rank blocked on the owning rank. seq is the
+// waiter's waitSeq at registration time; a mismatch at exit means the
+// waiter has since been woken (registrations are never removed eagerly).
+type waiterRef struct {
+	dr  *desRank
+	seq uint64
+}
+
+// desRank is the scheduler's view of one rank.
+type desRank struct {
+	id     int
+	r      *Rank         // set by the rank goroutine at its first resume
+	resume chan struct{} // scheduler -> rank run-token grant
+	done   bool          // rank goroutine has exited
+	inHeap bool
+
+	// Block state, owned by whoever holds the run token.
+	blocked   bool
+	wakeAbort bool   // woken because the awaited peer exited
+	waitSeq   uint64 // bumped at every block and wake; stale refs compare unequal
+	waitKind  int
+	waitCore  *commCore // wRecv: communicator being received on
+	waitSrc   int       // wRecv: communicator-local source
+	waitMsg   *message  // wAck / wSpace: the message in question
+
+	// injectKillT carries an InjectKillAt deadline delivered before the
+	// rank constructed its Rank (see run).
+	injectKillT float64
+
+	// deferred holds a SendRecv outgoing message that has not reached
+	// the destination yet. The goroutine engine posts it from a helper
+	// goroutine; the DES flushes at the rank's next yield (or at
+	// ack-wait). A rank that dies first resolves the post at exit —
+	// delivered while there is inbox space, dropped when full — matching
+	// the goroutine engine's dying spawner, which joins its helper
+	// before the death becomes observable (see exitRank).
+	deferred []deferredPost
+
+	// waiters lists ranks currently blocked on this rank (append-only
+	// until exit; stale entries are skipped by the seq check).
+	waiters []waiterRef
+}
+
+// deferredPost is a not-yet-flushed SendRecv outgoing message.
+type deferredPost struct {
+	core   *commCore
+	dstIdx int
+	m      *message
+}
+
+// desQueue is one member's inbox on one communicator: a bounded FIFO of
+// delivered messages plus the overflow of posts waiting for space.
+// Invariant: posts is non-empty only while items is full, and the
+// owner's match loop drains items (with promotion) before blocking, so
+// a promotion can never race a blocked receive.
+type desQueue struct {
+	items []*message
+	posts []*message
+}
+
+type desEngine struct {
+	w      *World
+	ranks  []*desRank
+	heap   rankHeap
+	parked chan struct{} // rank -> scheduler token return
+	clock  float64       // largest dispatch time seen (for injected events)
+	events int64
+	alive  int
+
+	extMu   sync.Mutex
+	extSeq  uint64
+	extDone bool
+	staged  []injEvent
+	timed   injHeap
+}
+
+func newDESEngine(w *World) *desEngine {
+	e := &desEngine{w: w, parked: make(chan struct{}), alive: w.cfg.Ranks}
+	e.ranks = make([]*desRank, w.cfg.Ranks)
+	for i := range e.ranks {
+		e.ranks[i] = &desRank{id: i, resume: make(chan struct{}), injectKillT: math.Inf(1)}
+	}
+	return e
+}
+
+// push schedules a rank resumption at virtual time at (no-op if already
+// scheduled or exited).
+func (e *desEngine) push(dr *desRank, at float64) {
+	if dr.inHeap || dr.done {
+		return
+	}
+	dr.inHeap = true
+	heap.Push(&e.heap, rankEvent{at: at, rank: dr.id})
+}
+
+// wake releases a blocked rank at the given virtual time. abort marks
+// the wake as "your peer exited" so the blocked call reports ErrAborted
+// once it has drained anything delivered first.
+func (e *desEngine) wake(dr *desRank, at float64, abort bool) {
+	if !dr.blocked || dr.done {
+		return
+	}
+	dr.blocked = false
+	dr.wakeAbort = abort
+	dr.waitSeq++ // invalidate outstanding waiter registrations
+	e.push(dr, at)
+}
+
+// flushDeferred resolves the rank's deferred SendRecv posts: deliver
+// when there is inbox space (delivery wins over peer death, as in the
+// goroutine engine's post), queue as a pending post while the live
+// destination's inbox is full, and drop when the destination is both
+// full and gone (the ack-wait will report ErrAborted off the done flag).
+func (e *desEngine) flushDeferred(dr *desRank) {
+	for _, dp := range dr.deferred {
+		q := &dp.core.desq[dp.dstIdx]
+		if len(q.items) < desInboxCap {
+			e.deliver(dp.core, dp.dstIdx, dp.m)
+		} else if !e.ranks[dp.core.members[dp.dstIdx]].done {
+			q.posts = append(q.posts, dp.m) // detached: no poster to wake
+		}
+	}
+	dr.deferred = dr.deferred[:0]
+}
+
+// yield parks the calling rank and hands the run token to the scheduler.
+// Deferred posts flush first: a parked spawner is exactly when the
+// goroutine engine's helper goroutine gets to run.
+func (e *desEngine) yield(dr *desRank) {
+	e.flushDeferred(dr)
+	e.parked <- struct{}{}
+	<-dr.resume
+}
+
+// blockOn parks the caller until woken. peerG (a global rank id, or -1)
+// registers the caller on that rank's waiter list so the peer's exit
+// releases it. Returns false when the wake was an abort.
+func (e *desEngine) blockOn(dr *desRank, kind, peerG int, core *commCore, src int, m *message) bool {
+	dr.blocked = true
+	dr.waitSeq++
+	dr.waitKind = kind
+	dr.waitCore = core
+	dr.waitSrc = src
+	dr.waitMsg = m
+	dr.wakeAbort = false
+	if peerG >= 0 {
+		pd := e.ranks[peerG]
+		pd.waiters = append(pd.waiters, waiterRef{dr: dr, seq: dr.waitSeq})
+	}
+	e.yield(dr)
+	return !dr.wakeAbort
+}
+
+// deliver appends m to the destination's inbox and wakes the owner if it
+// is blocked receiving on this communicator — from any source: the
+// goroutine engine's match loop drains non-matching arrivals into the
+// pending queue (freeing inbox space for other senders) even while it
+// waits, so the DES receiver must wake, drain, and re-block the same way.
+func (e *desEngine) deliver(core *commCore, dstIdx int, m *message) {
+	q := &core.desq[dstIdx]
+	q.items = append(q.items, m)
+	m.delivered = true
+	dd := e.ranks[core.members[dstIdx]]
+	if dd.blocked && dd.waitKind == wRecv && dd.waitCore == core {
+		e.wake(dd, dd.r.now, false)
+	}
+}
+
+// dequeue pops the oldest delivered message, promoting the oldest
+// pending post into the freed slot (and waking its poster, if blocked).
+func (e *desEngine) dequeue(core *commCore, idx int) *message {
+	q := &core.desq[idx]
+	if len(q.items) == 0 {
+		return nil
+	}
+	m := q.items[0]
+	q.items = q.items[1:]
+	if len(q.posts) > 0 {
+		p := q.posts[0]
+		q.posts = q.posts[1:]
+		p.delivered = true
+		q.items = append(q.items, p)
+		if pd := p.poster; pd != nil && pd.blocked && pd.waitKind == wSpace && pd.waitMsg == p {
+			e.wake(pd, pd.r.now, false)
+		}
+	}
+	return m
+}
+
+// postBlocking delivers m to dst, blocking (in virtual events, not real
+// time) while the inbox is full, exactly like the goroutine engine's
+// bounded channel send. Delivery wins over peer death when there is
+// space; a full inbox at an exited destination reports ErrAborted.
+func (e *desEngine) postBlocking(c *Comm, dstIdx int, m *message) error {
+	q := &c.core.desq[dstIdx]
+	dstG := c.core.members[dstIdx]
+	if len(q.items) < desInboxCap {
+		e.deliver(c.core, dstIdx, m)
+		return nil
+	}
+	if e.ranks[dstG].done {
+		return ErrAborted
+	}
+	dr := e.ranks[c.rank.id]
+	m.poster = dr
+	q.posts = append(q.posts, m)
+	for !m.delivered {
+		if !e.blockOn(dr, wSpace, dstG, nil, 0, m) && !m.delivered {
+			return ErrAborted
+		}
+	}
+	return nil
+}
+
+// ackWait blocks until the posted rendezvous message has been matched
+// (returning its modelled arrival time) or the destination has exited.
+// An ack recorded just before the peer's exit still counts, mirroring
+// the goroutine engine's drain of the ack channel.
+func (e *desEngine) ackWait(c *Comm, dstIdx int, m *message) (float64, error) {
+	dr := e.ranks[c.rank.id]
+	dstG := c.core.members[dstIdx]
+	// Reaching the ack wait is the goroutine engine's `<-done`: the
+	// caller is about to park, so any deferred post lands now.
+	e.flushDeferred(dr)
+	for {
+		if m.acked {
+			return m.arrival, nil
+		}
+		if e.ranks[dstG].done {
+			return 0, ErrAborted
+		}
+		e.blockOn(dr, wAck, dstG, nil, 0, m)
+	}
+}
+
+// exitRank marks the rank gone, releases everything blocked on it, and
+// returns the run token to the scheduler for the last time.
+func (e *desEngine) exitRank(dr *desRank) {
+	dr.done = true
+	dr.blocked = false
+	// A rank that died mid-SendRecv never flushed its deferred post. The
+	// delivery outcome is decided here, strictly before peers can observe
+	// the exit: the goroutine engine's dying spawner joins its helper
+	// before closing its gone channel, so a peer's gone-drain either
+	// finds the message in its inbox or never will. Deliver while there
+	// is space; a full inbox drops the post (the helper is told to give
+	// up rather than post after the death).
+	for _, dp := range dr.deferred {
+		if q := &dp.core.desq[dp.dstIdx]; len(q.items) < desInboxCap {
+			e.deliver(dp.core, dp.dstIdx, dp.m)
+		}
+	}
+	dr.deferred = nil
+	e.alive--
+	for _, ref := range dr.waiters {
+		wr := ref.dr
+		if wr.done || !wr.blocked || wr.waitSeq != ref.seq {
+			continue
+		}
+		e.wake(wr, wr.r.now, true)
+	}
+	dr.waiters = nil
+	e.parked <- struct{}{}
+}
+
+// admitInjected moves externally staged events into the scheduler-owned
+// timed heap.
+func (e *desEngine) admitInjected() {
+	e.extMu.Lock()
+	staged := e.staged
+	e.staged = nil
+	e.extMu.Unlock()
+	for _, ev := range staged {
+		heap.Push(&e.timed, ev)
+	}
+}
+
+// loop is the scheduler: pop the next runnable rank, grant it the token,
+// wait for the token back, repeat until every rank has exited. Injected
+// events fire when their time is due relative to the next resumption.
+func (e *desEngine) loop() {
+	defer func() {
+		e.extMu.Lock()
+		e.extDone = true
+		e.extMu.Unlock()
+	}()
+	for e.alive > 0 {
+		e.admitInjected()
+		next := math.Inf(1)
+		if len(e.heap) > 0 {
+			next = e.heap[0].at
+		}
+		for len(e.timed) > 0 && e.timed[0].at <= next {
+			ev := heap.Pop(&e.timed).(injEvent)
+			if ev.at > e.clock {
+				e.clock = ev.at
+			}
+			e.events++
+			ev.fn()
+			next = math.Inf(1)
+			if len(e.heap) > 0 {
+				next = e.heap[0].at
+			}
+		}
+		if len(e.heap) == 0 {
+			e.deadlock()
+		}
+		ev := heap.Pop(&e.heap).(rankEvent)
+		dr := e.ranks[ev.rank]
+		dr.inHeap = false
+		if dr.done {
+			continue
+		}
+		if ev.at > e.clock {
+			e.clock = ev.at
+		}
+		e.events++
+		dr.resume <- struct{}{}
+		<-e.parked
+	}
+}
+
+// deadlock reports an unrunnable world. The goroutine engine would hang
+// here; the scheduler can see the whole wait graph, so it fails loudly
+// with a diagnostic instead.
+func (e *desEngine) deadlock() {
+	var b strings.Builder
+	blocked := 0
+	kinds := map[int]string{wRecv: "Recv", wAck: "Send ack", wSpace: "inbox space"}
+	for _, dr := range e.ranks {
+		if dr.done || !dr.blocked {
+			continue
+		}
+		blocked++
+		if blocked <= 8 {
+			fmt.Fprintf(&b, "\n  rank %d: waiting for %s", dr.id, kinds[dr.waitKind])
+			if dr.waitKind == wRecv {
+				fmt.Fprintf(&b, " from rank %d on %q", dr.waitCore.members[dr.waitSrc], dr.waitCore.key)
+			}
+		}
+	}
+	if blocked > 8 {
+		fmt.Fprintf(&b, "\n  ... and %d more", blocked-8)
+	}
+	panic(fmt.Sprintf("simmpi: discrete-event deadlock: %d rank(s) alive, none runnable%s", e.alive, b.String()))
+}
+
+// run is the DES counterpart of World.runGoroutine: same rank lifecycle,
+// same result assembly, but rank goroutines execute one at a time under
+// the scheduler's run token.
+func (e *desEngine) run(fn func(c *Comm) error) *Result {
+	w := e.w
+	n := w.cfg.Ranks
+	res := &Result{Errors: make([]error, n), Stats: make([]RankStats, n)}
+	worldMembers := make([]int, n)
+	for i := range worldMembers {
+		worldMembers[i] = i
+	}
+	core := w.core("world", worldMembers)
+
+	times := make([]float64, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		dr := e.ranks[i]
+		e.push(dr, 0)
+		go func(dr *desRank) {
+			defer wg.Done()
+			<-dr.resume // first grant: the rank starts owning the token
+			rank := dr.id
+			r := &Rank{
+				world:  w,
+				id:     rank,
+				bw:     pick(w.cfg.Bandwidth, rank, 1e9),
+				gflops: pick(w.cfg.GFLOPS, rank, 1.0),
+				membw:  pick(w.cfg.MemBW, rank, 8e9),
+				killT:  math.Inf(1),
+			}
+			if w.cfg.KillAt != nil {
+				if t := w.cfg.KillAt(rank); !math.IsNaN(t) {
+					r.killT = t
+				}
+			}
+			if dr.injectKillT < r.killT {
+				r.killT = dr.injectKillT
+			}
+			dr.r = r
+			defer func() {
+				times[rank] = r.now
+				res.Stats[rank] = r.stats
+				if p := recover(); p != nil {
+					if k, ok := p.(killed); ok {
+						w.recordKill(k.rank)
+						w.Abort()
+					} else {
+						panic(p) // real bug: re-raise (takes the process down)
+					}
+				}
+				// Ordering matches runGoroutine: the kill is recorded
+				// before peers can observe the exit.
+				close(w.gones[rank])
+				e.exitRank(dr)
+			}()
+			c := &Comm{core: core, rank: r, myIdx: rank}
+			if err := fn(c); err != nil {
+				res.Errors[rank] = err
+				if err != ErrAborted {
+					w.Abort()
+				}
+			}
+		}(dr)
+	}
+	e.loop()
+	wg.Wait()
+
+	res.Killed = append(res.Killed, w.killed...)
+	sort.Ints(res.Killed) // dispatch order must not leak into results
+	res.Aborted = w.Aborted()
+	for _, t := range times {
+		if t > res.MaxTime {
+			res.MaxTime = t
+		}
+	}
+	res.Events = e.events
+	return res
+}
+
+// inject stages an external event for the scheduler to admit.
+func (e *desEngine) inject(at float64, fn func()) error {
+	e.extMu.Lock()
+	defer e.extMu.Unlock()
+	if e.extDone {
+		return fmt.Errorf("simmpi: world already finished")
+	}
+	e.extSeq++
+	e.staged = append(e.staged, injEvent{at: at, seq: e.extSeq, fn: fn})
+	return nil
+}
+
+// InjectAt schedules fn to run in the scheduler goroutine once the
+// simulation reaches virtual time at. It is safe to call from any
+// goroutine while the world runs — this is the one engine entry point
+// that takes a lock — and is the hook failure injectors use to steer a
+// live simulation. fn runs with the world quiescent (no rank holds the
+// run token). Events staged after the world finishes are dropped; an
+// error is returned when that is detected. Only the DES engine supports
+// injection.
+func (w *World) InjectAt(at float64, fn func()) error {
+	if w.des == nil {
+		return fmt.Errorf("simmpi: InjectAt requires Engine=%q", EngineDES)
+	}
+	return w.des.inject(at, fn)
+}
+
+// InjectKillAt schedules a virtual-time death deadline for a rank from
+// any goroutine, with Config.KillAt semantics: the rank dies as soon as
+// its own clock reaches at (a rank blocked forever never advances and
+// so never fires the deadline). DES engine only.
+func (w *World) InjectKillAt(rank int, at float64) error {
+	if rank < 0 || rank >= w.cfg.Ranks {
+		return fmt.Errorf("simmpi: InjectKillAt rank %d out of range [0,%d)", rank, w.cfg.Ranks)
+	}
+	return w.InjectAt(at, func() {
+		dr := w.des.ranks[rank]
+		if dr.done {
+			return
+		}
+		if dr.r != nil {
+			if at < dr.r.killT {
+				dr.r.killT = at
+			}
+		} else if at < dr.injectKillT {
+			dr.injectKillT = at
+		}
+	})
+}
+
+// --- point-to-point operations under the DES engine ---
+// These mirror the goroutine paths in p2p.go call for call: identical
+// validation order, identical arrival arithmetic, identical stats and
+// clock updates, so the two engines produce bit-identical results.
+
+func (c *Comm) desSend(dst int, buf []float64) error {
+	if err := c.checkPeer("Send", dst); err != nil {
+		return err
+	}
+	if dst == c.myIdx {
+		return ErrSelfSend
+	}
+	e := c.rank.world.des
+	m := &message{
+		src:       c.myIdx,
+		data:      buf,
+		sendReady: c.rank.now,
+		senderBW:  c.rank.bw,
+	}
+	if err := e.postBlocking(c, dst, m); err != nil {
+		return err
+	}
+	arrival, err := e.ackWait(c, dst, m)
+	if err != nil {
+		return err
+	}
+	c.rank.stats.MsgsSent++
+	c.rank.stats.BytesSent += int64(8 * len(buf))
+	c.rank.setClock(arrival)
+	return nil
+}
+
+func (c *Comm) desRecv(src int, buf []float64) error {
+	if err := c.checkPeer("Recv", src); err != nil {
+		return err
+	}
+	if src == c.myIdx {
+		return ErrSelfSend
+	}
+	e := c.rank.world.des
+	m, err := c.desMatch(src)
+	if err != nil {
+		return err
+	}
+	if len(m.data) != len(buf) {
+		return &SizeError{Op: fmt.Sprintf("Recv(src=%d)", src), Want: len(buf), Have: len(m.data)}
+	}
+	copy(buf, m.data)
+	var arrival float64
+	if m.eager {
+		arrival = eagerArrival(m, c.rank)
+	} else {
+		arrival = rendezvousArrival(m, c.rank)
+		m.acked = true
+		m.arrival = arrival
+		sd := e.ranks[c.core.members[m.src]]
+		if sd.blocked && sd.waitKind == wAck && sd.waitMsg == m {
+			e.wake(sd, arrival, false)
+		}
+	}
+	c.rank.stats.MsgsRecv++
+	c.rank.stats.BytesRecv += int64(8 * len(buf))
+	c.rank.setClock(arrival)
+	return nil
+}
+
+// desMatch is the DES analogue of Comm.match: consume the pending queue
+// first, then drain the inbox, then block on the source. An abort wake
+// re-drains before giving up, preserving the goroutine engine's
+// "deliveries win over exits" rule.
+func (c *Comm) desMatch(src int) (*message, error) {
+	e := c.rank.world.des
+	dr := e.ranks[c.rank.id]
+	srcG := c.core.members[src]
+	for {
+		for i, m := range c.pending {
+			if m.src == src {
+				c.pending = append(c.pending[:i], c.pending[i+1:]...)
+				return m, nil
+			}
+		}
+		for {
+			m := e.dequeue(c.core, c.myIdx)
+			if m == nil {
+				break
+			}
+			if m.src == src {
+				return m, nil
+			}
+			c.pending = append(c.pending, m)
+		}
+		if e.ranks[srcG].done {
+			return nil, ErrAborted
+		}
+		e.blockOn(dr, wRecv, srcG, c.core, src, nil)
+	}
+}
+
+func (c *Comm) desISend(dst int, buf []float64) error {
+	if err := c.checkPeer("ISend", dst); err != nil {
+		return err
+	}
+	if dst == c.myIdx {
+		return ErrSelfSend
+	}
+	e := c.rank.world.des
+	c.rank.advance(c.rank.world.cfg.Alpha + float64(len(buf)*8)/c.rank.bw)
+	data := make([]float64, len(buf))
+	copy(data, buf)
+	m := &message{
+		src:       c.myIdx,
+		data:      data,
+		sendReady: c.rank.now,
+		senderBW:  c.rank.bw,
+		eager:     true,
+	}
+	if err := e.postBlocking(c, dst, m); err != nil {
+		return err
+	}
+	c.rank.stats.MsgsSent++
+	c.rank.stats.BytesSent += int64(8 * len(buf))
+	return nil
+}
+
+// desSendRecv mirrors the goroutine SendRecv's helper-goroutine shape:
+// the outgoing message is deferred (it lands when this rank next yields,
+// the moment a parked spawner's helper goroutine would run), the receive
+// proceeds, and only then is the send's fate resolved — including
+// waiting it out when the receive failed, so the unwind order matches
+// the oracle engine.
+func (c *Comm) desSendRecv(dst int, sbuf []float64, src int, rbuf []float64) error {
+	if err := c.checkPeer("SendRecv", dst); err != nil {
+		return err
+	}
+	if dst == c.myIdx || src == c.myIdx {
+		return ErrSelfSend
+	}
+	e := c.rank.world.des
+	dr := e.ranks[c.rank.id]
+	m := &message{
+		src:       c.myIdx,
+		data:      sbuf,
+		sendReady: c.rank.now,
+		senderBW:  c.rank.bw,
+	}
+	dr.deferred = append(dr.deferred, deferredPost{core: c.core, dstIdx: dst, m: m})
+	rerr := c.desRecv(src, rbuf)
+	// Resolve the send even when the receive failed: the goroutine
+	// engine waits out its helper the same way, which shapes the abort
+	// cascade's unwind order.
+	arrival, serr := e.ackWait(c, dst, m)
+	if rerr != nil {
+		return rerr
+	}
+	if serr != nil {
+		return serr
+	}
+	c.rank.stats.MsgsSent++
+	c.rank.stats.BytesSent += int64(8 * len(sbuf))
+	c.rank.setClock(arrival)
+	return nil
+}

@@ -1,0 +1,416 @@
+package simmpi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// differentialRun executes the same workload under both engines and
+// asserts bit-identical results: virtual times (compared as raw float
+// bits), per-rank stats, error sets, kill lists, and abort flags. The
+// goroutine engine is the oracle; any divergence is a DES bug.
+func differentialRun(t *testing.T, name string, cfg Config, fn func(c *Comm) error) *Result {
+	t.Helper()
+	var results [2]*Result
+	for i, engine := range []Engine{EngineGoroutine, EngineDES} {
+		cfg := cfg
+		cfg.Engine = engine
+		w, err := NewWorld(cfg)
+		if err != nil {
+			t.Fatalf("%s: NewWorld(%s): %v", name, engine, err)
+		}
+		results[i] = w.Run(fn)
+	}
+	oracle, des := results[0], results[1]
+	if got, want := math.Float64bits(des.MaxTime), math.Float64bits(oracle.MaxTime); got != want {
+		t.Errorf("%s: MaxTime diverged: des %v (%#x) vs goroutine %v (%#x)",
+			name, des.MaxTime, got, oracle.MaxTime, want)
+	}
+	if des.Aborted != oracle.Aborted {
+		t.Errorf("%s: Aborted diverged: des %v vs goroutine %v", name, des.Aborted, oracle.Aborted)
+	}
+	if got, want := fmt.Sprint(des.Killed), fmt.Sprint(oracle.Killed); got != want {
+		t.Errorf("%s: Killed diverged: des %v vs goroutine %v", name, got, want)
+	}
+	for r := range oracle.Errors {
+		got, want := fmt.Sprint(des.Errors[r]), fmt.Sprint(oracle.Errors[r])
+		if got != want {
+			t.Errorf("%s: rank %d error diverged: des %q vs goroutine %q", name, r, got, want)
+		}
+	}
+	for r := range oracle.Stats {
+		if des.Stats[r] != oracle.Stats[r] {
+			t.Errorf("%s: rank %d stats diverged: des %+v vs goroutine %+v",
+				name, r, des.Stats[r], oracle.Stats[r])
+		}
+	}
+	if des.Events == 0 {
+		t.Errorf("%s: DES run reported zero scheduler events", name)
+	}
+	return des
+}
+
+// mixedWorkload exercises every point-to-point primitive and every
+// collective, including a Split, with data flowing in both directions.
+func mixedWorkload(c *Comm) error {
+	n := c.Size()
+	me := c.myIdx
+	buf := make([]float64, 8)
+	for i := range buf {
+		buf[i] = float64(me*100 + i)
+	}
+	out := make([]float64, 8)
+	// Ring of rendezvous sends: even ranks send first, odd receive first.
+	next, prev := (me+1)%n, (me+n-1)%n
+	if n > 1 {
+		if me%2 == 0 && next != me {
+			if err := c.Send(next, buf); err != nil {
+				return err
+			}
+			if err := c.Recv(prev, out); err != nil {
+				return err
+			}
+		} else {
+			if err := c.Recv(prev, out); err != nil {
+				return err
+			}
+			if err := c.Send(next, buf); err != nil {
+				return err
+			}
+		}
+		// Eager traffic plus a pairwise exchange.
+		if err := c.ISend(next, buf[:4]); err != nil {
+			return err
+		}
+		if err := c.Recv(prev, out[:4]); err != nil {
+			return err
+		}
+		if err := c.SendRecv(next, buf, prev, out); err != nil {
+			return err
+		}
+	}
+	if err := c.Barrier(); err != nil {
+		return err
+	}
+	if err := c.Bcast(0, buf); err != nil {
+		return err
+	}
+	red := make([]float64, 8)
+	if err := c.Allreduce(buf, red, OpSum); err != nil {
+		return err
+	}
+	if err := c.Reduce(n-1, buf, red, OpXor); err != nil {
+		return err
+	}
+	all := make([]float64, 8*n)
+	if err := c.Allgather(buf, all); err != nil {
+		return err
+	}
+	if err := c.Gather(0, buf, all); err != nil {
+		return err
+	}
+	if err := c.Scatter(0, all, buf); err != nil {
+		return err
+	}
+	if _, _, err := c.MaxlocAll(float64(me)); err != nil {
+		return err
+	}
+	// Split into two groups and reduce inside each.
+	sub, err := c.Split(me % 2)
+	if err != nil {
+		return err
+	}
+	if sub != nil && sub.Size() > 1 {
+		if err := sub.Allreduce(buf, red, OpSum); err != nil {
+			return err
+		}
+	}
+	c.Compute(1e5)
+	return c.Barrier()
+}
+
+func TestDESMatchesGoroutineCollectives(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 16} {
+		cfg := Config{Ranks: n, Alpha: 1e-6, Bandwidth: []float64{1e9}}
+		differentialRun(t, fmt.Sprintf("mixed/n%d", n), cfg, mixedWorkload)
+	}
+}
+
+func TestDESMatchesGoroutineHeterogeneous(t *testing.T) {
+	n := 6
+	bw := make([]float64, n)
+	gf := make([]float64, n)
+	for i := range bw {
+		bw[i] = 5e8 + float64(i)*1e8
+		gf[i] = 0.5 + float64(i)*0.25
+	}
+	cfg := Config{Ranks: n, Alpha: 2e-6, Bandwidth: bw, GFLOPS: gf}
+	differentialRun(t, "hetero", cfg, mixedWorkload)
+}
+
+func TestDESMatchesGoroutineKillAt(t *testing.T) {
+	for _, victim := range []int{0, 2, 3} {
+		cfg := Config{
+			Ranks: 4, Alpha: 1e-6, Bandwidth: []float64{1e9},
+			KillAt: func(rank int) float64 {
+				if rank == victim {
+					return 1e-5
+				}
+				return math.Inf(1)
+			},
+		}
+		res := differentialRun(t, fmt.Sprintf("killat/victim%d", victim), cfg, mixedWorkload)
+		if len(res.Killed) != 1 || res.Killed[0] != victim {
+			t.Errorf("victim %d: Killed = %v", victim, res.Killed)
+		}
+		if !res.Aborted {
+			t.Errorf("victim %d: job did not abort", victim)
+		}
+	}
+}
+
+func TestDESMatchesGoroutineFailpointKill(t *testing.T) {
+	cfg := Config{
+		Ranks: 5, Alpha: 1e-6, Bandwidth: []float64{1e9},
+		FailpointKill: func(rank int, label string) bool {
+			return rank == 1 && label == "mid"
+		},
+	}
+	differentialRun(t, "failpoint", cfg, func(c *Comm) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		c.rank.Failpoint("mid")
+		return c.Barrier()
+	})
+}
+
+// TestDESMatchesGoroutineEagerFlood fills a destination inbox past its
+// bound so the DES pending-post path (block-for-space) is exercised.
+func TestDESMatchesGoroutineEagerFlood(t *testing.T) {
+	cfg := Config{Ranks: 3, Alpha: 1e-6, Bandwidth: []float64{1e9}}
+	differentialRun(t, "eagerflood", cfg, func(c *Comm) error {
+		buf := []float64{float64(c.myIdx)}
+		if c.myIdx != 0 {
+			for i := 0; i < 6; i++ {
+				if err := c.ISend(0, buf); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		got := make([]float64, 1)
+		for src := 1; src < c.Size(); src++ {
+			for i := 0; i < 6; i++ {
+				if err := c.Recv(src, got); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// TestDESMatchesGoroutineSendToDead covers the abort cascade: a receiver
+// dies mid-protocol and its peers must unwind with ErrAborted in both
+// engines, with identical survivor clocks.
+func TestDESMatchesGoroutineSendToDead(t *testing.T) {
+	cfg := Config{
+		Ranks: 4, Alpha: 1e-6, Bandwidth: []float64{1e9},
+		KillAt: func(rank int) float64 {
+			if rank == 2 {
+				return 5e-6
+			}
+			return math.Inf(1)
+		},
+	}
+	differentialRun(t, "sendtodead", cfg, func(c *Comm) error {
+		sbuf := make([]float64, 16)
+		rbuf := make([]float64, 16)
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		// Rank 2's clock crosses the deadline inside this barrier or the
+		// sends below; everyone else must unwind deterministically.
+		for round := 0; round < 3; round++ {
+			if err := c.SendRecv((c.myIdx+1)%4, sbuf, (c.myIdx+3)%4, rbuf); err != nil {
+				return err
+			}
+		}
+		return c.Barrier()
+	})
+}
+
+func TestDESVirtualTimeBandwidthModel(t *testing.T) {
+	// Mirror of TestVirtualTimeBandwidthModel under the DES engine: the
+	// modelled time of a 1 MiB transfer must match the α-β model exactly.
+	cfg := Config{Ranks: 2, Engine: EngineDES, Alpha: 1e-6, Bandwidth: []float64{1e9}}
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := (1 << 20) / 8
+	res := w.Run(func(c *Comm) error {
+		buf := make([]float64, words)
+		if c.myIdx == 0 {
+			return c.Send(1, buf)
+		}
+		return c.Recv(0, buf)
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	want := 1e-6 + float64(1<<20)/1e9
+	if res.MaxTime != want {
+		t.Errorf("MaxTime = %v, want %v", res.MaxTime, want)
+	}
+}
+
+// TestDESDeadlockDiagnostic: a wait cycle hangs the goroutine engine
+// forever, but the DES scheduler sees the whole wait graph and must
+// panic with a diagnostic instead.
+func TestDESDeadlockDiagnostic(t *testing.T) {
+	cfg := Config{Ranks: 2, Engine: EngineDES, Alpha: 1e-6}
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("deadlocked world did not panic")
+		}
+		msg, ok := p.(string)
+		if !ok || msg == "" {
+			t.Fatalf("unexpected panic payload %v", p)
+		}
+	}()
+	w.Run(func(c *Comm) error {
+		// Both ranks receive first: classic head-to-head deadlock.
+		buf := make([]float64, 1)
+		if err := c.Recv(1-c.myIdx, buf); err != nil {
+			return err
+		}
+		return c.Send(1-c.myIdx, buf)
+	})
+}
+
+// TestDESInjectKill checks the external injection API: a kill scheduled
+// from outside behaves like a Config.KillAt deadline.
+func TestDESInjectKill(t *testing.T) {
+	cfg := Config{Ranks: 4, Engine: EngineDES, Alpha: 1e-6, Bandwidth: []float64{1e9}}
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.InjectKillAt(1, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run(func(c *Comm) error {
+		for i := 0; i < 50; i++ {
+			c.rank.Sleep(1e-6)
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if len(res.Killed) != 1 || res.Killed[0] != 1 {
+		t.Fatalf("Killed = %v, want [1]", res.Killed)
+	}
+	if !res.Aborted {
+		t.Fatal("job did not abort after injected kill")
+	}
+}
+
+// TestDESInjectRace is the race-detector regression test for the event
+// queue: many goroutines hammer the injection API while the scheduler
+// runs. Run with -race (the push CI job does); the assertions here are
+// secondary to the detector finding no data races on the staged queue
+// or the scheduler state.
+func TestDESInjectRace(t *testing.T) {
+	cfg := Config{Ranks: 8, Engine: EngineDES, Alpha: 1e-6, Bandwidth: []float64{1e9}}
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const injectors = 8
+	var wg sync.WaitGroup
+	wg.Add(injectors)
+	start := make(chan struct{})
+	for g := 0; g < injectors; g++ {
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 100; i++ {
+				at := float64(g*100+i) * 1e-7
+				// Late injections may race the world finishing; the
+				// "already finished" error is the documented outcome.
+				_ = w.InjectAt(at, func() {})
+				if i%10 == 0 {
+					_ = w.InjectKillAt(g%4, 1e-3+at)
+				}
+			}
+		}(g)
+	}
+	done := make(chan *Result, 1)
+	go func() {
+		done <- w.Run(func(c *Comm) error {
+			for i := 0; i < 200; i++ {
+				c.rank.Sleep(1e-6)
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}()
+	close(start)
+	wg.Wait()
+	res := <-done
+	if res.Events == 0 {
+		t.Fatal("no scheduler events recorded")
+	}
+}
+
+// TestDESInjectAfterFinish pins the documented failure modes of the
+// injection API: wrong engine and finished world.
+func TestDESInjectAfterFinish(t *testing.T) {
+	gw, err := NewWorld(Config{Ranks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.InjectAt(0, func() {}); err == nil {
+		t.Error("InjectAt on goroutine engine did not error")
+	}
+	w, err := NewWorld(Config{Ranks: 2, Engine: EngineDES})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(func(c *Comm) error { return nil })
+	if err := w.InjectAt(0, func() {}); err == nil {
+		t.Error("InjectAt after Run finished did not error")
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Engine
+		ok   bool
+	}{
+		{"", EngineGoroutine, true},
+		{"goroutine", EngineGoroutine, true},
+		{"des", EngineDES, true},
+		{"DES", "", false},
+		{"threads", "", false},
+	}
+	for _, tc := range cases {
+		got, err := ParseEngine(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseEngine(%q) = %q, %v; want %q, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package simmpi
+
+import "fmt"
+
+// Engine selects how a World executes its ranks. Both engines run the
+// same rank code against the same cost model and produce bit-identical
+// results (virtual times, stats, abort sets); they differ only in how
+// rank execution is interleaved on the host machine.
+//
+//   - EngineGoroutine (the default and the bit-exactness oracle): every
+//     rank is a live goroutine and point-to-point calls really block on
+//     channels. Simple and naturally parallel, but the host scheduler
+//     pays for every blocked rank, which caps practical world sizes at a
+//     few thousand ranks.
+//
+//   - EngineDES: a discrete-event scheduler resumes exactly one rank at
+//     a time from an event queue ordered by virtual time. Blocked ranks
+//     cost nothing until the event that releases them, so paper-scale
+//     worlds (10k+ ranks, §7's 24,576 processes) sweep in seconds.
+//
+// The equivalence between the two is enforced by the differential suite
+// in des_test.go and internal/crashmat: identical seeds and sweep IDs
+// must produce byte-identical observations under either engine, which is
+// why the DES paths reuse the exact arrival-time arithmetic of the
+// goroutine paths (see eagerArrival / rendezvousArrival in p2p.go).
+type Engine string
+
+const (
+	// EngineGoroutine runs one goroutine per rank. The zero value ""
+	// means the same thing, so existing Configs keep their behaviour.
+	EngineGoroutine Engine = "goroutine"
+	// EngineDES runs ranks under the discrete-event scheduler in des.go.
+	EngineDES Engine = "des"
+)
+
+// ParseEngine maps a command-line spelling to an Engine. The empty
+// string parses to EngineGoroutine.
+func ParseEngine(s string) (Engine, error) {
+	switch Engine(s) {
+	case "", EngineGoroutine:
+		return EngineGoroutine, nil
+	case EngineDES:
+		return EngineDES, nil
+	default:
+		return "", fmt.Errorf("simmpi: unknown engine %q (want %q or %q)", s, EngineGoroutine, EngineDES)
+	}
+}

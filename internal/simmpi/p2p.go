@@ -18,23 +18,64 @@ type message struct {
 	senderBW  float64
 	eager     bool
 	ack       chan float64
+
+	// Discrete-event engine state (unused by the goroutine engine, which
+	// carries the same information in channel operations). See des.go.
+	delivered bool     // reached the destination's bounded inbox
+	acked     bool     // rendezvous matched; arrival is valid
+	arrival   float64  // modelled arrival time recorded at the match
+	poster    *desRank // sender blocked waiting for inbox space, if any
 }
 
 // commCore is the shared half of a communicator: the member list and one
-// inbox channel per member. Rank-local state (the pending queue) lives in
-// Comm.
+// inbox per member — a buffered channel under the goroutine engine, a
+// desQueue under the discrete-event engine. Rank-local state (the
+// pending queue) lives in Comm.
 type commCore struct {
 	key     string
 	members []int // global rank ids, position = communicator rank
 	inbox   []chan *message
+	desq    []desQueue
 }
 
-func newCommCore(key string, members []int) *commCore {
-	c := &commCore{key: key, members: members, inbox: make([]chan *message, len(members))}
+func newCommCore(key string, members []int, des bool) *commCore {
+	c := &commCore{key: key, members: members}
+	if des {
+		c.desq = make([]desQueue, len(members))
+		return c
+	}
+	c.inbox = make([]chan *message, len(members))
 	for i := range c.inbox {
-		c.inbox[i] = make(chan *message, 4)
+		c.inbox[i] = make(chan *message, desInboxCap)
 	}
 	return c
+}
+
+// eagerArrival is when an eager (ISend) message becomes available to the
+// receiver: the sender already paid the wire time, so it is simply the
+// later of sendReady and the receiver's clock. Shared by both engines so
+// their virtual times agree bit for bit.
+func eagerArrival(m *message, r *Rank) float64 {
+	arrival := m.sendReady
+	if r.now > arrival {
+		arrival = r.now
+	}
+	return arrival
+}
+
+// rendezvousArrival is the α-β model arrival time of a rendezvous
+// transfer: the later endpoint's ready time plus latency plus wire time
+// at the slower endpoint's bandwidth. Shared by both engines.
+func rendezvousArrival(m *message, r *Rank) float64 {
+	bw := m.senderBW
+	if r.bw < bw {
+		bw = r.bw
+	}
+	start := m.sendReady
+	if r.now > start {
+		start = r.now
+	}
+	return start + r.world.cfg.Alpha + float64(len(m.data)*8)/bw
 }
 
 // Comm is one rank's view of a communicator. Rank and Size use
@@ -79,6 +120,9 @@ func (c *Comm) checkPeer(op string, peer int) error {
 // it returns once dst has received the data, with both clocks advanced to
 // the modelled arrival time.
 func (c *Comm) Send(dst int, buf []float64) error {
+	if c.rank.world.des != nil {
+		return c.desSend(dst, buf)
+	}
 	if err := c.checkPeer("Send", dst); err != nil {
 		return err
 	}
@@ -134,6 +178,9 @@ func post(inbox chan<- *message, m *message, gone <-chan struct{}) error {
 // other sources arriving first are queued and matched by later Recv calls,
 // preserving per-source FIFO order.
 func (c *Comm) Recv(src int, buf []float64) error {
+	if c.rank.world.des != nil {
+		return c.desRecv(src, buf)
+	}
 	if err := c.checkPeer("Recv", src); err != nil {
 		return err
 	}
@@ -150,22 +197,9 @@ func (c *Comm) Recv(src int, buf []float64) error {
 	copy(buf, m.data)
 	var arrival float64
 	if m.eager {
-		// The sender already paid the wire time; the message is simply
-		// available from sendReady onwards.
-		arrival = m.sendReady
-		if c.rank.now > arrival {
-			arrival = c.rank.now
-		}
+		arrival = eagerArrival(m, c.rank)
 	} else {
-		bw := m.senderBW
-		if c.rank.bw < bw {
-			bw = c.rank.bw
-		}
-		start := m.sendReady
-		if c.rank.now > start {
-			start = c.rank.now
-		}
-		arrival = start + c.rank.world.cfg.Alpha + float64(len(buf)*8)/bw
+		arrival = rendezvousArrival(m, c.rank)
 		m.ack <- arrival
 	}
 	c.rank.stats.MsgsRecv++
@@ -182,6 +216,9 @@ func (c *Comm) Recv(src int, buf []float64) error {
 // the call blocks until there is room (bounded buffering), which costs
 // real time but no virtual time.
 func (c *Comm) ISend(dst int, buf []float64) error {
+	if c.rank.world.des != nil {
+		return c.desISend(dst, buf)
+	}
 	if err := c.checkPeer("ISend", dst); err != nil {
 		return err
 	}
@@ -249,6 +286,9 @@ func (c *Comm) match(src int) (*message, error) {
 // must not alias (as in MPI_Sendrecv): the peer reads sbuf concurrently
 // with the local write into rbuf.
 func (c *Comm) SendRecv(dst int, sbuf []float64, src int, rbuf []float64) error {
+	if c.rank.world.des != nil {
+		return c.desSendRecv(dst, sbuf, src, rbuf)
+	}
 	if err := c.checkPeer("SendRecv", dst); err != nil {
 		return err
 	}
@@ -267,10 +307,28 @@ func (c *Comm) SendRecv(dst int, sbuf []float64, src int, rbuf []float64) error 
 		err     error
 	}
 	done := make(chan sendDone, 1)
+	posted := make(chan bool, 1) // did the message reach dst's inbox?
+	quit := make(chan struct{})  // closed if this rank dies mid-exchange
 	gone := c.rank.world.gone(c.core.members[dst])
 	go func() {
-		if err := post(c.core.inbox[dst], m, gone); err != nil {
-			done <- sendDone{err: err}
+		// Post preferring delivery (as in post), but give up if the
+		// spawner dies first: the delivery decision must land before the
+		// death becomes observable to peers.
+		ok := false
+		select {
+		case c.core.inbox[dst] <- m:
+			ok = true
+		default:
+			select {
+			case c.core.inbox[dst] <- m:
+				ok = true
+			case <-gone:
+			case <-quit:
+			}
+		}
+		posted <- ok
+		if !ok {
+			done <- sendDone{err: ErrAborted}
 			return
 		}
 		select {
@@ -285,8 +343,23 @@ func (c *Comm) SendRecv(dst int, sbuf []float64, src int, rbuf []float64) error 
 			}
 		}
 	}()
+	resolved := false
+	defer func() {
+		if resolved {
+			return
+		}
+		// Unwinding on a kill panic out of the receive: the outgoing post
+		// must be resolved before this rank exits and closes its gone
+		// channel, so a peer's gone-drain deterministically either finds
+		// the message in its inbox or never will. Without this join the
+		// helper races the peer's abort, and the winner depends on real
+		// scheduling (the race detector's instrumentation flips it).
+		close(quit)
+		<-posted
+	}()
 	rerr := c.Recv(src, rbuf)
 	s := <-done
+	resolved = true
 	if rerr != nil {
 		return rerr
 	}
@@ -304,10 +377,18 @@ func (c *Comm) SendRecv(dst int, sbuf []float64, src int, rbuf []float64) error 
 // member must call Split collectively with the same call sequence. A
 // negative color returns nil (the rank opts out), but the call still
 // participates in the collective exchange.
+//
+// The color exchange is a gather to rank 0 followed by a binomial-tree
+// broadcast — O(P) messages over O(log P) tree depth — rather than the
+// O(P²)-message ring allgather, so world-sized Splits stay tractable at
+// the paper's rank counts (10k+ ranks under the DES engine).
 func (c *Comm) Split(color int) (*Comm, error) {
 	colors := make([]float64, c.Size())
 	mine := []float64{float64(color)}
-	if err := c.AllgatherSingle(mine[0], colors); err != nil {
+	if err := c.Gather(0, mine, colors); err != nil {
+		return nil, err
+	}
+	if err := c.Bcast(0, colors); err != nil {
 		return nil, err
 	}
 	c.splitSeq++

@@ -1,9 +1,12 @@
-// Package simmpi is a simulated MPI runtime: each rank is a goroutine,
-// point-to-point messages really move data between ranks over channels,
-// and a per-rank virtual clock models time with an α-β communication model
-// plus a flops/GFLOPS compute model. Collectives are built on the
-// point-to-point layer with the usual binomial-tree and ring algorithms,
-// so their modelled cost emerges from the same primitives.
+// Package simmpi is a simulated MPI runtime: point-to-point messages
+// really move data between ranks, and a per-rank virtual clock models
+// time with an α-β communication model plus a flops/GFLOPS compute
+// model. Collectives are built on the point-to-point layer with the
+// usual binomial-tree and ring algorithms, so their modelled cost
+// emerges from the same primitives. Two execution engines share those
+// semantics (see Engine): the default runs each rank as a live
+// goroutine over channels; the discrete-event engine advances ranks one
+// at a time from an event queue and scales to paper-sized worlds.
 //
 // Failure semantics follow the stock MPI behaviour the paper depends on:
 // when any rank dies or errors, the whole job aborts and must be
@@ -28,6 +31,10 @@ import (
 // Per-rank slices may have length 1 (broadcast to all ranks) or Ranks.
 type Config struct {
 	Ranks int
+
+	// Engine selects the execution engine (see the Engine type). The
+	// zero value runs the goroutine engine.
+	Engine Engine
 
 	// Alpha is the per-message latency in seconds.
 	Alpha float64
@@ -87,6 +94,10 @@ type Result struct {
 	MaxTime float64
 	// Stats holds the per-rank communication counters.
 	Stats []RankStats
+	// Events counts discrete-event scheduler dispatches (rank
+	// resumptions plus injected events). Zero under the goroutine
+	// engine, where there is no central scheduler to count.
+	Events int64
 }
 
 // Failed reports whether the run should count as an MPI job failure.
@@ -131,6 +142,10 @@ type World struct {
 
 	killMu sync.Mutex
 	killed []int
+
+	// des is non-nil when the world runs under the discrete-event
+	// engine; the point-to-point layer branches on it.
+	des *desEngine
 }
 
 // NewWorld validates cfg and creates a world. Run may be called once.
@@ -143,16 +158,25 @@ func NewWorld(cfg Config) (*World, error) {
 			return nil, fmt.Errorf("simmpi: %s must have length 1 or %d, got %d", name, cfg.Ranks, len(s))
 		}
 	}
+	engine, err := ParseEngine(string(cfg.Engine))
+	if err != nil {
+		return nil, err
+	}
+	cfg.Engine = engine
 	gones := make([]chan struct{}, cfg.Ranks)
 	for i := range gones {
 		gones[i] = make(chan struct{})
 	}
-	return &World{
+	w := &World{
 		cfg:   cfg,
 		abort: make(chan struct{}),
 		gones: gones,
 		cores: make(map[string]*commCore),
-	}, nil
+	}
+	if engine == EngineDES {
+		w.des = newDESEngine(w)
+	}
+	return w, nil
 }
 
 // gone returns the channel closed once the given global rank has exited.
@@ -189,15 +213,25 @@ func (w *World) core(key string, members []int) *commCore {
 	if c, ok := w.cores[key]; ok {
 		return c
 	}
-	c := newCommCore(key, members)
+	c := newCommCore(key, members, w.des != nil)
 	w.cores[key] = c
 	return c
 }
 
-// Run spawns one goroutine per rank executing fn and waits for all of them.
-// A rank that returns a non-nil error aborts the job, as does a rank
-// destroyed by failure injection.
+// Run executes fn on every rank under the configured engine and waits
+// for all of them. A rank that returns a non-nil error aborts the job,
+// as does a rank destroyed by failure injection. Run may be called once.
 func (w *World) Run(fn func(c *Comm) error) *Result {
+	if w.des != nil {
+		return w.des.run(fn)
+	}
+	return w.runGoroutine(fn)
+}
+
+// runGoroutine is the original engine: one live goroutine per rank,
+// blocking on real channels. It remains the bit-exactness oracle the
+// discrete-event engine is differentially tested against.
+func (w *World) runGoroutine(fn func(c *Comm) error) *Result {
 	n := w.cfg.Ranks
 	res := &Result{Errors: make([]error, n), Stats: make([]RankStats, n)}
 	worldMembers := make([]int, n)
