@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test lint vet sktlint staticcheck matrix bench bench-smoke bench-des bench-des-smoke equivalence equivalence-full
+.PHONY: all build test lint vet sktlint staticcheck matrix bench bench-smoke bench-des bench-des-smoke equivalence equivalence-full endurance endurance-10k
 
 all: build lint test
 
@@ -60,6 +60,18 @@ equivalence:
 
 equivalence-full:
 	$(GO) test -run TestEngineEquivalenceFull -v ./internal/crashmat/
+
+# Sustained-failure endurance: the 64-rank trace/cascade workload on
+# both engines (records diffed byte for byte) plus the replay-by-ID gate
+# (the push-time CI job).
+endurance:
+	$(GO) test -run 'TestEnduranceEngineEquivalence64Ranks|TestEnduranceReplaysByID' -v ./internal/crashmat/
+
+# The 10k-rank Weibull endurance acceptance run on the DES engine: spare
+# exhaustion must walk the degradation ladder without aborting and replay
+# byte-identically from its fail/... ID (the nightly CI job).
+endurance-10k:
+	$(GO) test -run TestDESEndurance10kRanksWeibull -v ./internal/crashmat/
 
 # The full crash + SDC survival matrices (the nightly CI job).
 matrix:

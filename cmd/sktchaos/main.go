@@ -16,6 +16,19 @@
 //	sktchaos -list           # print every cell ID without running any
 //	sktchaos -engine des     # run on the discrete-event engine
 //
+// Endurance runs drive one job under a sustained statistical failure
+// workload instead of a single surgical kill, degrading gracefully
+// through the ladder (replace → retry → downgrade → shrink) as spares
+// run out:
+//
+//	sktchaos -failures fail/weibull/k0.7,l0.002,casc0.5/s11
+//	sktchaos -failures fail/exp/mtbf0.001/s3 -ranks 128 -spares 4
+//	sktchaos -run fail/exp/mtbf0.001/s3      # same run, replayed by ID
+//
+// A fail/... ID names the failure workload completely — distribution,
+// parameters, blast radius, cascade probability, seed — so any logged
+// endurance run replays byte-identically on either engine.
+//
 // The -engine flag selects the simmpi execution engine (goroutine or
 // des). Engines are an execution option, never part of cell or sweep
 // identity: any logged ID replays on either engine with an identical
@@ -39,12 +52,22 @@ import (
 
 	"selfckpt/internal/checkpoint"
 	"selfckpt/internal/crashmat"
+	"selfckpt/internal/failmodel"
 	"selfckpt/internal/simmpi"
 )
 
 // engine is the simmpi execution engine every cell runs on, set once in
 // main from the -engine flag before any schedule executes.
 var engine simmpi.Engine
+
+// Endurance-run shape, set in main so -run can replay a fail/... ID with
+// the same flags.
+var (
+	enduranceRanks    int
+	enduranceSpares   int
+	enduranceHorizon  float64
+	enduranceProtocol string
+)
 
 func main() {
 	full := flag.Bool("full", false, "run every cell of the matrix (plus second-failure and HPL cells)")
@@ -55,7 +78,12 @@ func main() {
 	runID := flag.String("run", "", "replay a cell or sweep by ID and report its verdict")
 	list := flag.Bool("list", false, "print every cell ID in the matrices and exit")
 	engineFlag := flag.String("engine", "goroutine", "simmpi execution engine: goroutine or des")
+	failures := flag.String("failures", "", "endure a sustained failure workload named by a fail/<dist>/<params>/s<seed> ID")
+	ranks := flag.Int("ranks", 64, "endurance job width (with -failures)")
+	spares := flag.Int("spares", 2, "endurance spare pool size (with -failures)")
+	horizon := flag.Float64("horizon", 1, "endurance schedule horizon in virtual seconds (with -failures)")
 	flag.Parse()
+	enduranceRanks, enduranceSpares, enduranceHorizon, enduranceProtocol = *ranks, *spares, *horizon, *protocol
 
 	eng, err := simmpi.ParseEngine(*engineFlag)
 	if err != nil {
@@ -73,6 +101,9 @@ func main() {
 	if *list {
 		listIDs(*protocol)
 		return
+	}
+	if *failures != "" {
+		os.Exit(endure(*failures))
 	}
 	if *runID != "" {
 		os.Exit(replay(*runID))
@@ -363,7 +394,67 @@ func printSDCTables(tables map[string]map[string]map[bool]*cell) {
 	}
 }
 
+// endure runs one endurance job under the failure workload named by a
+// fail/... ID and prints the ladder's record: every rung taken, the
+// controller's retune decisions, and the final configuration.
+func endure(id string) int {
+	spec, err := failmodel.Parse(id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sktchaos:", err)
+		return 2
+	}
+	proto := enduranceProtocol
+	if proto == "" {
+		proto = "self"
+	}
+	group := 0
+	for _, g := range []int{8, 4, 2} {
+		if enduranceRanks%g == 0 && enduranceRanks > g {
+			group = g
+			break
+		}
+	}
+	if group == 0 {
+		fmt.Fprintf(os.Stderr, "sktchaos: %d ranks do not partition into checksum groups\n", enduranceRanks)
+		return 2
+	}
+	s := crashmat.EnduranceSchedule{
+		FailID:  spec.ID(),
+		Horizon: enduranceHorizon,
+		Ranks:   enduranceRanks, Spares: enduranceSpares,
+		Protocol: proto, GroupSize: group,
+		WordsPerRank: 96, Iters: 6, CheckpointEvery: 1,
+		RetryBackoffSec: []float64{0.1, 0.2},
+	}
+	fmt.Printf("endurance  %s  (mean inter-arrival %.4gs, %d ranks, %d spares, %s/G=%d)\n",
+		spec.ID(), spec.MeanInterarrival(), s.Ranks, s.Spares, proto, group)
+	o, err := crashmat.RunEnduranceOn(engine, s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sktchaos:", err)
+		return 2
+	}
+	fmt.Printf("attempts   %d (events fired %d, pending %d, virtual %.4gs)\n",
+		o.Attempts, o.EventsFired, o.Pending, o.VirtualSec)
+	fmt.Printf("ladder     replace=%d retry=%d downgrade=%d shrink=%d\n",
+		o.Replaced, o.Retried, o.Downgraded, o.Shrunk)
+	finalProto := o.FinalProtocol
+	if finalProto == "" {
+		finalProto = "unprotected"
+	}
+	fmt.Printf("final      %d ranks, %s, %d words/rank, checkpoint every %d (controller decisions %d)\n",
+		o.FinalRanks, finalProto, o.FinalWords, o.FinalEvery, o.Decisions)
+	if o.Err != nil {
+		fmt.Printf("ABORTED    %v\n", o.Err)
+		return 1
+	}
+	fmt.Println("endured    run completed under the failure workload (replay with -run", spec.ID()+")")
+	return 0
+}
+
 func replay(id string) int {
+	if failmodel.IsID(id) {
+		return endure(id)
+	}
 	if crashmat.IsSweepID(id) {
 		return replaySweep(id)
 	}

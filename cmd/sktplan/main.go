@@ -1,0 +1,190 @@
+// Command sktplan recommends a fault-tolerance configuration for a
+// machine and a failure workload: it sweeps protocol × group size ×
+// checkpoint interval against the failure distribution named by a
+// fail/... ID (or a plain -mtbf), scores every feasible cell with the
+// first-order runtime model, and prints the efficiency-optimal choice.
+//
+// Feasibility is the paper's Eq. 3 memory accounting: a cell is skipped
+// when workspace + checkpoint buffers + checksum stripes exceed the
+// per-process memory share. Risk is the §3.3 grouping trade-off: the
+// probability that some group suffers more simultaneous failures than
+// its encoding tolerates before the job finishes. The score is useful
+// work divided by the failure-aware expected runtime, discounted by the
+// probability the run survives at all.
+//
+// Examples:
+//
+//	sktplan -failures fail/exp/mtbf21600/s1 -nodes 1024 -rpn 16
+//	sktplan -mtbf 7200 -platform tianhe2 -nodes 4096 -work 864000
+//	sktplan -failures fail/weibull/k0.7,l9000/s3 -nodes 256 -words 1e7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"selfckpt/internal/checkpoint"
+	"selfckpt/internal/cluster"
+	"selfckpt/internal/failmodel"
+	"selfckpt/internal/model"
+)
+
+// planCell is one scored point of the sweep.
+type planCell struct {
+	protocol  string
+	group     int // group size in nodes
+	tauSec    float64
+	deltaSec  float64
+	availFrac float64
+	runtime   float64
+	risk      float64 // P(some group unrecoverable within the run)
+	score     float64 // efficiency x survival
+}
+
+func main() {
+	var (
+		failures = flag.String("failures", "", "failure workload ID fail/<dist>/<params>/s<seed>; its mean inter-arrival is the system MTBF")
+		mtbfFlag = flag.Float64("mtbf", 0, "system MTBF in seconds (alternative to -failures)")
+		platform = flag.String("platform", "testbed", "platform preset: tianhe1a, tianhe2, local, testbed")
+		nodes    = flag.Int("nodes", 64, "number of compute nodes")
+		rpn      = flag.Int("rpn", 0, "ranks per node (0 = one per core)")
+		words    = flag.Float64("words", 1e6, "workspace words per rank")
+		work     = flag.Float64("work", 86400, "useful work in seconds")
+		top      = flag.Int("top", 8, "show the top-k configurations")
+	)
+	flag.Parse()
+
+	var p cluster.Platform
+	switch *platform {
+	case "tianhe1a":
+		p = cluster.Tianhe1A()
+	case "tianhe2":
+		p = cluster.Tianhe2()
+	case "local":
+		p = cluster.LocalCluster()
+	case "testbed":
+		p = cluster.Testbed()
+	default:
+		fmt.Fprintf(os.Stderr, "sktplan: unknown platform %q\n", *platform)
+		os.Exit(2)
+	}
+	ranksPerNode := *rpn
+	if ranksPerNode == 0 {
+		ranksPerNode = p.CoresPerNode
+	}
+
+	systemMTBF := *mtbfFlag
+	source := fmt.Sprintf("-mtbf %g", systemMTBF)
+	if *failures != "" {
+		spec, err := failmodel.Parse(*failures)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sktplan:", err)
+			os.Exit(2)
+		}
+		systemMTBF = spec.MeanInterarrival()
+		source = spec.ID()
+	}
+	if systemMTBF <= 0 {
+		fmt.Fprintln(os.Stderr, "sktplan: need a failure workload (-failures fail/... or -mtbf seconds)")
+		os.Exit(2)
+	}
+	// The schedule's inter-arrival is system-wide; each node fails
+	// independently at 1/nodes of that rate.
+	nodeMTBF := systemMTBF * float64(*nodes)
+	restart := p.DetectSec + p.ReplaceSec + p.RestartSec
+	memWords := p.MemPerProcessBytes(ranksPerNode) / 8
+	wpr := int(*words)
+
+	fmt.Printf("machine    %s: %d nodes x %d ranks, %.3g words/rank, %.0f-word memory share\n",
+		p.Name, *nodes, ranksPerNode, *words, memWords)
+	fmt.Printf("failures   %s: system MTBF %.4gs (node MTBF %.4gs), restart overhead %.3gs\n",
+		source, systemMTBF, nodeMTBF, restart)
+	fmt.Printf("job        %.4gs of useful work\n\n", *work)
+
+	var cells []planCell
+	skipped := 0
+	for _, proto := range checkpoint.Protocols() {
+		for _, g := range []int{2, 4, 8, 16, 32} {
+			if g > *nodes || *nodes%g != 0 {
+				continue
+			}
+			u, err := checkpoint.ClosedFormUsage(proto.Name, wpr, g, 0)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sktplan:", err)
+				os.Exit(2)
+			}
+			if float64(u.Total()) > memWords {
+				skipped++
+				continue // Eq. 3 says this cell does not fit
+			}
+			// δ: checkpoint buffers and checksum stripes move once per
+			// checkpoint at the per-process share of the interconnect.
+			delta := float64(u.Checkpoints+u.Checksums) * 8 / p.BWPerProcessBytes()
+			best := planCell{protocol: proto.Name, group: g, deltaSec: delta,
+				availFrac: u.AvailableFraction(), runtime: math.Inf(1)}
+			tauStar := model.OptimalInterval(delta, systemMTBF)
+			// Sweep the interval around the Young/Daly point: the model's
+			// optimum is first-order, the grid keeps the sweep honest.
+			for _, mul := range []float64{0.25, 0.5, 1, 2, 4} {
+				tau := tauStar * mul
+				rt := model.ExpectedRuntime(*work, tau, delta, restart, systemMTBF)
+				if rt < best.runtime {
+					best.runtime, best.tauSec = rt, tau
+				}
+			}
+			risk, err := model.SystemUnrecoverableProb(*nodes, g, 1,
+				model.NodeFailureProb(best.tauSec+delta, nodeMTBF))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sktplan:", err)
+				os.Exit(2)
+			}
+			// Exposure windows per run: each interval is a chance for a
+			// group to lose two members before the checkpoint commits.
+			windows := best.runtime / (best.tauSec + delta)
+			survival := math.Pow(1-risk, windows)
+			// Protocols that cannot survive a kill mid-flush (the paper's
+			// case against single in-memory checkpointing) are also exposed
+			// to ANY failure landing inside the flush window δ of each
+			// checkpoint — that state is torn and unrecoverable.
+			if !proto.SurvivesKillAt(checkpoint.FPFlush) {
+				survival *= math.Exp(-delta * windows / systemMTBF)
+			}
+			best.risk = 1 - survival
+			best.score = *work / best.runtime * survival
+			cells = append(cells, best)
+		}
+	}
+	if len(cells) == 0 {
+		fmt.Printf("no feasible configuration: every protocol/group cell exceeds the %.0f-word memory share (%d skipped)\n", memWords, skipped)
+		os.Exit(1)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].score != cells[j].score {
+			return cells[i].score > cells[j].score
+		}
+		if cells[i].protocol != cells[j].protocol {
+			return cells[i].protocol < cells[j].protocol
+		}
+		return cells[i].group < cells[j].group
+	})
+
+	fmt.Printf("%-12s %5s %10s %10s %8s %12s %10s %8s\n",
+		"protocol", "G", "tau(s)", "delta(s)", "mem", "runtime(s)", "risk", "score")
+	shown := *top
+	if shown > len(cells) {
+		shown = len(cells)
+	}
+	for _, c := range cells[:shown] {
+		fmt.Printf("%-12s %5d %10.4g %10.4g %7.1f%% %12.4g %10.3g %8.4f\n",
+			c.protocol, c.group, c.tauSec, c.deltaSec, 100*c.availFrac, c.runtime, c.risk, c.score)
+	}
+	if skipped > 0 {
+		fmt.Printf("(%d cells skipped: Eq. 3 accounting exceeds the memory share)\n", skipped)
+	}
+	bestCell := cells[0]
+	fmt.Printf("\nrecommend  %s with %d-node groups, checkpoint every %.4gs: efficiency x survival = %.4f\n",
+		bestCell.protocol, bestCell.group, bestCell.tauSec, bestCell.score)
+}

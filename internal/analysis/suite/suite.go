@@ -21,6 +21,7 @@ var DeterminismCritical = []string{
 	"internal/crashmat",
 	"internal/checkpoint",
 	"internal/encoding",
+	"internal/failmodel",
 	"internal/kernels",
 	"internal/simmpi",
 	"internal/shm",

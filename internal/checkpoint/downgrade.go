@@ -1,0 +1,172 @@
+package checkpoint
+
+// This file holds the legality predicates for the graceful-degradation
+// ladder (cluster.Daemon's response to resource exhaustion). The ladder
+// has four rungs, tried in order when a failure cannot be absorbed the
+// normal way:
+//
+//  1. replace   — claim a spare (the normal path, no predicate here)
+//  2. retry     — bounded retry with deterministic backoff when a spare
+//                 claim races another failure
+//  3. downgrade — re-launch under a cheaper protocol
+//                 (double → self → unprotected restart-from-ckpt)
+//  4. shrink    — re-launch with fewer ranks on the surviving nodes
+//
+// Rungs 3 and 4 abandon the in-memory checkpoint state: no two
+// protocols share a segment layout (compare the Segments lists in the
+// registry), and a shrink changes the stripe geometry, so neither move
+// can re-attach the old SHM. They are nonetheless *bit-safe* — the
+// re-launched job provably reaches the same answer — when the workload
+// can deterministically regenerate its state at the new configuration,
+// or when a level-2 image on stable storage can be restored into it.
+// Transition.Legal encodes exactly that.
+
+import (
+	"fmt"
+
+	"selfckpt/internal/wordpack"
+)
+
+// DowngradeTarget returns the protocol one rung down the ladder from
+// the given one, and whether the ladder defines a move. The empty
+// string is the bottom protected rung: run unprotected and restart from
+// the last stable checkpoint (or from scratch) on the next failure.
+func DowngradeTarget(from string) (string, bool) {
+	switch from {
+	case "multilevel", "double":
+		return "self", true
+	case "self", "single":
+		return "", true
+	}
+	return "", false
+}
+
+// ClosedFormUsage is the paper's Eq. 3 memory accounting in closed
+// form: the per-rank Usage a protocol will report after Open for the
+// given workspace size and group size, without opening anything. Every
+// checkpoint buffer carries the workspace plus the packed-metadata
+// capacity (metaCap bytes, 0 for the default), and each group checksum
+// stripes that buffer over the G−1 data holders. The scale tests pin
+// this form against real Opens; the degradation ladder uses it to
+// decide whether a candidate configuration still fits in memory.
+func ClosedFormUsage(protocol string, words, groupSize, metaCap int) (Usage, error) {
+	if groupSize < 2 {
+		return Usage{}, fmt.Errorf("checkpoint: group size must be at least 2, got %d", groupSize)
+	}
+	if metaCap <= 0 {
+		metaCap = 4096 // Options.MetaCap default
+	}
+	mw := wordpack.WordsNeeded(metaCap)
+	buf := words + mw
+	stripe := (buf + groupSize - 2) / (groupSize - 1)
+	u := Usage{Workspace: words, Header: headerWords}
+	switch protocol {
+	case "single":
+		u.Checkpoints = buf
+		u.Checksums = stripe
+	case "double":
+		u.Checkpoints = 2 * buf
+		u.Checksums = 2 * stripe
+	case "self", "multilevel":
+		// A1 is the workspace itself; B2 holds the previous epoch's
+		// metadata so a torn flush stays recoverable.
+		u.Checkpoints = buf + mw
+		u.Checksums = 2 * stripe
+	case "":
+		// Unprotected: just the workspace.
+		u.Header = 0
+	default:
+		return Usage{}, fmt.Errorf("checkpoint: no closed form for protocol %q", protocol)
+	}
+	return u, nil
+}
+
+// Transition describes one rung-3/4 move the ladder wants to make, plus
+// the workload properties that determine whether the move is bit-safe.
+type Transition struct {
+	// FromProtocol/ToProtocol name the protection strategy before and
+	// after ("" after = unprotected). A pure shrink keeps them equal.
+	FromProtocol, ToProtocol string
+	// FromRanks/ToRanks are the job widths. A pure downgrade keeps them
+	// equal.
+	FromRanks, ToRanks int
+	// GroupSize is the checksum group size at the new configuration.
+	GroupSize int
+
+	// DeterministicRegen reports that the workload can regenerate its
+	// state bit-exactly at any width (closed-form fill, fixed-seed
+	// matrix generation).
+	DeterministicRegen bool
+	// HasL2Image reports that a level-2 image on stable storage exists
+	// and can be restored at the new configuration.
+	HasL2Image bool
+}
+
+// Shrinks reports whether the transition reduces the job width.
+func (t Transition) Shrinks() bool { return t.ToRanks < t.FromRanks }
+
+// Downgrades reports whether the transition changes protocol.
+func (t Transition) Downgrades() bool { return t.ToProtocol != t.FromProtocol }
+
+// Legal checks the transition against the ladder's rules and returns a
+// diagnostic error when it is not allowed:
+//
+//   - the protocol move must follow the ladder (no upgrades, no
+//     sideways hops to an unregistered name);
+//   - the new width must admit the group geometry — at least one full
+//     group, and a whole number of groups (encoding.GroupColor rejects
+//     ragged partitions);
+//   - the move must be bit-safe: since no two protocols share a segment
+//     layout and shrinking changes the stripe geometry, the old
+//     in-memory state is unreadable at the new configuration, so the
+//     workload must regenerate deterministically or an L2 image must
+//     exist.
+func (t Transition) Legal() error {
+	if !t.Shrinks() && !t.Downgrades() {
+		return fmt.Errorf("checkpoint: transition changes nothing (%s/%d ranks)", t.FromProtocol, t.FromRanks)
+	}
+	if t.ToRanks > t.FromRanks {
+		return fmt.Errorf("checkpoint: ladder cannot grow the job (%d -> %d ranks)", t.FromRanks, t.ToRanks)
+	}
+	if t.Downgrades() {
+		want, ok := DowngradeTarget(t.FromProtocol)
+		if !ok {
+			return fmt.Errorf("checkpoint: no downgrade defined from protocol %q", t.FromProtocol)
+		}
+		if t.ToProtocol != want {
+			return fmt.Errorf("checkpoint: illegal downgrade %q -> %q (ladder says %q)", t.FromProtocol, t.ToProtocol, want)
+		}
+	}
+	if t.ToProtocol != "" {
+		if _, ok := ProtocolByName(t.ToProtocol); !ok {
+			return fmt.Errorf("checkpoint: unknown target protocol %q", t.ToProtocol)
+		}
+		if t.GroupSize < 2 {
+			return fmt.Errorf("checkpoint: group size must be at least 2, got %d", t.GroupSize)
+		}
+		if t.ToRanks < t.GroupSize {
+			return fmt.Errorf("checkpoint: %d ranks cannot form a group of %d", t.ToRanks, t.GroupSize)
+		}
+		if t.ToRanks%t.GroupSize != 0 {
+			return fmt.Errorf("checkpoint: %d ranks do not partition into groups of %d", t.ToRanks, t.GroupSize)
+		}
+	}
+	if t.ToRanks < 1 {
+		return fmt.Errorf("checkpoint: cannot shrink to %d ranks", t.ToRanks)
+	}
+	if !t.DeterministicRegen && !t.HasL2Image {
+		return fmt.Errorf("checkpoint: %s not bit-safe: old state is unreadable at the new configuration and the workload cannot regenerate (no deterministic fill, no L2 image)", t.describe())
+	}
+	return nil
+}
+
+func (t Transition) describe() string {
+	from, to := t.FromProtocol, t.ToProtocol
+	if to == "" {
+		to = "unprotected"
+	}
+	if from == "" {
+		from = "unprotected"
+	}
+	return fmt.Sprintf("transition %s/%d -> %s/%d", from, t.FromRanks, to, t.ToRanks)
+}

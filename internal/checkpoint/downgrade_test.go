@@ -1,0 +1,207 @@
+package checkpoint
+
+import (
+	"strings"
+	"testing"
+
+	"selfckpt/internal/encoding"
+	"selfckpt/internal/shm"
+	"selfckpt/internal/simmpi"
+)
+
+func TestDowngradeTargetLadder(t *testing.T) {
+	cases := []struct {
+		from, want string
+		ok         bool
+	}{
+		{"multilevel", "self", true},
+		{"double", "self", true},
+		{"self", "", true},
+		{"single", "", true},
+		{"", "", false},      // already at the bottom
+		{"bogus", "", false}, // unknown protocol
+	}
+	for _, c := range cases {
+		got, ok := DowngradeTarget(c.from)
+		if got != c.want || ok != c.ok {
+			t.Errorf("DowngradeTarget(%q) = %q,%v; want %q,%v", c.from, got, ok, c.want, c.ok)
+		}
+	}
+	// The ladder must terminate: from any registered protocol, repeated
+	// downgrades reach unprotected in a bounded number of steps.
+	for _, p := range Protocols() {
+		name, steps := p.Name, 0
+		for name != "" {
+			next, ok := DowngradeTarget(name)
+			if !ok {
+				t.Fatalf("ladder dead-ends at %q (from %s)", name, p.Name)
+			}
+			name = next
+			if steps++; steps > len(Protocols()) {
+				t.Fatalf("ladder cycles starting from %s", p.Name)
+			}
+		}
+	}
+}
+
+// TestTransitionLegality is the rung-by-rung table: for each transition
+// shape the ladder can propose, the predicate must accept exactly the
+// bit-safe ones and name the violated rule otherwise.
+func TestTransitionLegality(t *testing.T) {
+	cases := []struct {
+		name    string
+		tr      Transition
+		wantErr string // substring of the error, "" = legal
+	}{
+		{
+			name: "downgrade double to self with deterministic regen",
+			tr:   Transition{FromProtocol: "double", ToProtocol: "self", FromRanks: 16, ToRanks: 16, GroupSize: 4, DeterministicRegen: true},
+		},
+		{
+			name: "downgrade multilevel to self via L2 image",
+			tr:   Transition{FromProtocol: "multilevel", ToProtocol: "self", FromRanks: 16, ToRanks: 16, GroupSize: 4, HasL2Image: true},
+		},
+		{
+			name: "downgrade self to unprotected",
+			tr:   Transition{FromProtocol: "self", ToProtocol: "", FromRanks: 16, ToRanks: 16, DeterministicRegen: true},
+		},
+		{
+			name: "shrink keeping protocol",
+			tr:   Transition{FromProtocol: "self", ToProtocol: "self", FromRanks: 16, ToRanks: 8, GroupSize: 4, DeterministicRegen: true},
+		},
+		{
+			name: "shrink and downgrade together",
+			tr:   Transition{FromProtocol: "double", ToProtocol: "self", FromRanks: 16, ToRanks: 12, GroupSize: 4, DeterministicRegen: true},
+		},
+		{
+			name:    "no-op transition",
+			tr:      Transition{FromProtocol: "self", ToProtocol: "self", FromRanks: 16, ToRanks: 16, GroupSize: 4, DeterministicRegen: true},
+			wantErr: "changes nothing",
+		},
+		{
+			name:    "upgrade is not a rung",
+			tr:      Transition{FromProtocol: "self", ToProtocol: "double", FromRanks: 16, ToRanks: 16, GroupSize: 4, DeterministicRegen: true},
+			wantErr: "illegal downgrade",
+		},
+		{
+			name:    "skipping a rung",
+			tr:      Transition{FromProtocol: "double", ToProtocol: "", FromRanks: 16, ToRanks: 16, DeterministicRegen: true},
+			wantErr: "illegal downgrade",
+		},
+		{
+			name:    "growing the job",
+			tr:      Transition{FromProtocol: "double", ToProtocol: "self", FromRanks: 16, ToRanks: 24, GroupSize: 4, DeterministicRegen: true},
+			wantErr: "cannot grow",
+		},
+		{
+			name:    "ragged group partition",
+			tr:      Transition{FromProtocol: "self", ToProtocol: "self", FromRanks: 16, ToRanks: 10, GroupSize: 4, DeterministicRegen: true},
+			wantErr: "do not partition",
+		},
+		{
+			name:    "shrink below one group",
+			tr:      Transition{FromProtocol: "self", ToProtocol: "self", FromRanks: 16, ToRanks: 2, GroupSize: 4, DeterministicRegen: true},
+			wantErr: "cannot form a group",
+		},
+		{
+			name:    "not bit-safe without regen or L2",
+			tr:      Transition{FromProtocol: "double", ToProtocol: "self", FromRanks: 16, ToRanks: 16, GroupSize: 4},
+			wantErr: "not bit-safe",
+		},
+		{
+			name:    "shrink of opaque workload not bit-safe",
+			tr:      Transition{FromProtocol: "self", ToProtocol: "self", FromRanks: 16, ToRanks: 8, GroupSize: 4},
+			wantErr: "not bit-safe",
+		},
+		{
+			name:    "unknown target protocol",
+			tr:      Transition{FromProtocol: "self", ToProtocol: "rs", FromRanks: 16, ToRanks: 16, GroupSize: 4, DeterministicRegen: true},
+			wantErr: "illegal downgrade",
+		},
+	}
+	for _, c := range cases {
+		err := c.tr.Legal()
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpectedly illegal: %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: unexpectedly legal", c.name)
+		} else if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// TestShrinkUsageMatchesEq3 re-opens a real protector at the shrunken
+// configuration and checks that its measured AvailableFraction equals
+// the Eq. 3 closed form the ladder used to approve the transition — the
+// accounting the planner trusts and the accounting the protocols charge
+// must not drift apart across a shrink.
+func TestShrinkUsageMatchesEq3(t *testing.T) {
+	const words = 2048
+	shrinks := []Transition{
+		{FromProtocol: "double", ToProtocol: "self", FromRanks: 16, ToRanks: 8, GroupSize: 4, DeterministicRegen: true},
+		{FromProtocol: "self", ToProtocol: "self", FromRanks: 16, ToRanks: 6, GroupSize: 3, DeterministicRegen: true},
+		{FromProtocol: "single", ToProtocol: "", FromRanks: 8, ToRanks: 4, DeterministicRegen: true},
+	}
+	for _, tr := range shrinks {
+		if err := tr.Legal(); err != nil {
+			t.Fatalf("%+v: %v", tr, err)
+		}
+		want, err := ClosedFormUsage(tr.ToProtocol, words, max(tr.GroupSize, 2), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.ToProtocol == "" {
+			// Unprotected: the closed form must charge nothing beyond the
+			// workspace.
+			if want.AvailableFraction() != 1 {
+				t.Errorf("unprotected closed form not free: %+v", want)
+			}
+			continue
+		}
+		proto, ok := ProtocolByName(tr.ToProtocol)
+		if !ok {
+			t.Fatalf("protocol %q not registered", tr.ToProtocol)
+		}
+		// Open for real at the new group geometry.
+		w, err := simmpi.NewWorld(simmpi.Config{Ranks: tr.GroupSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]Usage, tr.GroupSize)
+		res := w.Run(func(c *simmpi.Comm) error {
+			grp, err := encoding.NewGroup(c, simmpi.OpXor)
+			if err != nil {
+				return err
+			}
+			p, err := proto.New(Options{
+				Group: grp, World: c, Store: shm.NewStore(0),
+				Namespace: "shrink/" + proto.Name,
+			}, Aux{Stable: newStableMap(), Key: "shrink-l2"})
+			if err != nil {
+				return err
+			}
+			if _, _, err := p.Open(words); err != nil {
+				return err
+			}
+			got[c.Rank()] = p.Usage()
+			return nil
+		})
+		if err := res.FirstError(); err != nil {
+			t.Fatal(err)
+		}
+		for r, u := range got {
+			if u != want {
+				t.Errorf("%s shrink to G=%d: rank %d measured %+v, Eq. 3 closed form %+v",
+					tr.ToProtocol, tr.GroupSize, r, u, want)
+			}
+			if u.AvailableFraction() != want.AvailableFraction() {
+				t.Errorf("rank %d AvailableFraction %.6f != closed form %.6f", r, u.AvailableFraction(), want.AvailableFraction())
+			}
+		}
+	}
+}

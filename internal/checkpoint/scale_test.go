@@ -7,7 +7,6 @@ import (
 	"selfckpt/internal/encoding"
 	"selfckpt/internal/shm"
 	"selfckpt/internal/simmpi"
-	"selfckpt/internal/wordpack"
 )
 
 // This file pins the paper's Eq. 3 memory accounting at paper-scale rank
@@ -17,31 +16,11 @@ import (
 // independent of the world size and approach the paper's limits (1/2 for
 // self-checkpoint, 1/3 for double in-memory) as the workspace grows.
 
-// usageClosedForm is Eq. 3 as the protocols implement it: every
-// checkpoint buffer carries the workspace plus the packed-metadata
-// capacity, and each group checksum stripes that buffer over the G−1
-// data holders (XOR coding with rotated roots).
+// usageClosedForm is Eq. 3 as the protocols implement it — now exported
+// as ClosedFormUsage (downgrade.go) because the degradation ladder
+// needs it at runtime; the tests keep anchoring it against real Opens.
 func usageClosedForm(protocol string, words, groupSize int) (Usage, error) {
-	mw := wordpack.WordsNeeded(4096) // default Options.MetaCap
-	buf := words + mw
-	stripe := (buf + groupSize - 2) / (groupSize - 1)
-	u := Usage{Workspace: words, Header: headerWords}
-	switch protocol {
-	case "single":
-		u.Checkpoints = buf
-		u.Checksums = stripe
-	case "double":
-		u.Checkpoints = 2 * buf
-		u.Checksums = 2 * stripe
-	case "self", "multilevel":
-		// A1 is the workspace itself; B2 holds the previous epoch's
-		// metadata so a torn flush stays recoverable.
-		u.Checkpoints = buf + mw
-		u.Checksums = 2 * stripe
-	default:
-		return Usage{}, fmt.Errorf("no closed form for protocol %q", protocol)
-	}
-	return u, nil
+	return ClosedFormUsage(protocol, words, groupSize, 0)
 }
 
 // measureUsage opens one real protector per rank in a G-rank world and

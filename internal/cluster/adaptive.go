@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"math"
+
+	"selfckpt/internal/model"
+)
+
+// IntervalController retunes the checkpoint interval online, per
+// Young/Daly: it estimates the system MTBF from the failures a run has
+// actually observed, blends in a prior so the first retune is sane, and
+// converts τ* = √(2·δ·MTBF) into a whole number of work units. Every
+// input is virtual time or a failure count, so the controller's
+// decisions — kept in Log — are replay-deterministic: the same failure
+// schedule yields the same sequence of intervals on either engine.
+type IntervalController struct {
+	// CkptCostSec is δ, the measured cost of one checkpoint. The
+	// endurance runner refreshes it from the MetricCkptSec job metric
+	// when the workload reports one.
+	CkptCostSec float64
+	// UnitSec is the measured seconds per work unit (iteration, panel):
+	// the granularity at which the interval can actually be applied.
+	UnitSec float64
+	// MinEvery/MaxEvery clamp the retuned interval in work units.
+	// MinEvery below 1 means 1; MaxEvery 0 means unclamped.
+	MinEvery, MaxEvery int
+
+	// PriorMTBFSec and PriorWeight seed the estimator: the prior counts
+	// as PriorWeight pseudo-failures observed over
+	// PriorWeight·PriorMTBFSec pseudo-seconds. Weight 0 defaults to 1
+	// when a prior MTBF is set.
+	PriorMTBFSec float64
+	PriorWeight  float64
+
+	observedSec float64
+	failures    int
+
+	// Log records every retune decision in order.
+	Log []IntervalDecision
+}
+
+// IntervalDecision is one logged retune.
+type IntervalDecision struct {
+	Attempt     int
+	ObservedSec float64 // total observed window so far
+	Failures    int     // failures observed so far
+	MTBFSec     float64 // blended estimate used
+	TauSec      float64 // Young/Daly optimum
+	Every       int     // chosen interval in work units
+}
+
+// Observe feeds the controller a window of windowSec observed seconds
+// during which failures failure events arrived.
+func (ic *IntervalController) Observe(windowSec float64, failures int) {
+	ic.observedSec += windowSec
+	ic.failures += failures
+}
+
+// MTBF returns the current blended estimate.
+func (ic *IntervalController) MTBF() float64 {
+	w := ic.PriorWeight
+	if w <= 0 && ic.PriorMTBFSec > 0 {
+		w = 1
+	}
+	num := ic.observedSec + w*ic.PriorMTBFSec
+	den := float64(ic.failures) + w
+	if den == 0 {
+		return math.Inf(1)
+	}
+	return num / den
+}
+
+// Retune recomputes the interval after the given attempt and logs the
+// decision. The returned value is the number of work units between
+// checkpoints.
+func (ic *IntervalController) Retune(attempt int) int {
+	mtbf := ic.MTBF()
+	tau := model.OptimalInterval(ic.CkptCostSec, mtbf)
+	every := 1
+	if ic.UnitSec > 0 && tau > 0 && !math.IsInf(tau, 1) {
+		every = int(math.Round(tau / ic.UnitSec))
+	} else if math.IsInf(mtbf, 1) || tau == 0 {
+		// No failures observed and no prior, or no measured checkpoint
+		// cost yet: stay as sparse as allowed.
+		every = ic.MaxEvery
+	}
+	lo := ic.MinEvery
+	if lo < 1 {
+		lo = 1
+	}
+	if every < lo {
+		every = lo
+	}
+	if ic.MaxEvery > 0 && every > ic.MaxEvery {
+		every = ic.MaxEvery
+	}
+	ic.Log = append(ic.Log, IntervalDecision{
+		Attempt:     attempt,
+		ObservedSec: ic.observedSec,
+		Failures:    ic.failures,
+		MTBFSec:     mtbf,
+		TauSec:      tau,
+		Every:       every,
+	})
+	return every
+}

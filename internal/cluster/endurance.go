@@ -1,0 +1,494 @@
+package cluster
+
+import (
+	"fmt"
+
+	"selfckpt/internal/checkpoint"
+	"selfckpt/internal/failmodel"
+)
+
+// This file is the endurance runner: Daemon.Run generalized from a
+// fixed list of KillSpecs to a statistical failure schedule
+// (failmodel.Schedule) on a global clock, with a graceful-degradation
+// ladder instead of Daemon's give-up-on-exhaustion behaviour. The
+// ladder's rungs, tried in order for every failure:
+//
+//  1. replace       — swap dead nodes for spares (§5.2, the normal path)
+//  2. retry-backoff — a cascade failure struck while the replacement was
+//     in flight (the claim "raced" another failure); back off a bounded,
+//     deterministic number of times and claim again
+//  3. downgrade     — spare pool exhausted and the shrunken job no
+//     longer fits its protocol in memory: fall down the protocol ladder
+//     (double → self → unprotected) per checkpoint.DowngradeTarget
+//  4. shrink        — re-launch on the surviving nodes with fewer ranks
+//     rather than aborting; surplus healthy nodes return to the spare
+//     pool
+//
+// Every rung transition is logged and surfaced in the job metrics
+// (rungs_replace, rungs_retry, rungs_downgrade, rungs_shrink), and every
+// decision is a pure function of the schedule and the jobs' virtual
+// times, so an endurance run replays byte-identically from its fail/...
+// ID on either engine.
+
+// Rung names, as logged in RungEvent.Rung and counted in the job
+// metrics under "rungs_<name>".
+const (
+	RungReplace   = "replace"
+	RungRetry     = "retry"
+	RungDowngrade = "downgrade"
+	RungShrink    = "shrink"
+)
+
+// Endurance job metric names. Workloads report the first two so the
+// interval controller can track measured costs; the runner emits the
+// rung counters.
+const (
+	// MetricCkptSec is the measured cost of one checkpoint in seconds
+	// (max across ranks), refreshing IntervalController.CkptCostSec.
+	MetricCkptSec = "endurance_ckpt_sec"
+	// MetricUnitSec is the measured seconds per work unit, refreshing
+	// IntervalController.UnitSec.
+	MetricUnitSec = "endurance_unit_sec"
+)
+
+// EnduranceConfig is the job configuration of one attempt — the ladder
+// rewrites it as rungs fire.
+type EnduranceConfig struct {
+	Ranks int
+	// Words is the per-rank workspace size: the total problem
+	// (EnduranceSpec.TotalWords) divided across the current width.
+	Words int
+	// Protocol is the protection strategy ("" = unprotected).
+	Protocol  string
+	GroupSize int
+	// CheckpointEvery is the interval in work units, retuned by the
+	// controller between attempts.
+	CheckpointEvery int
+	Attempt         int
+	// FreshStart reports that the SHM was wiped since the last attempt
+	// (first launch, or a downgrade/shrink re-launch): no restorable
+	// state exists and the workload must regenerate.
+	FreshStart bool
+}
+
+// WorkloadFactory builds the per-rank body for one attempt's
+// configuration. It is called once per attempt, so the workload can
+// adapt to the ladder's decisions (width, protocol, interval).
+type WorkloadFactory func(cfg EnduranceConfig) RankFn
+
+// EnduranceSpec describes a sustained-failure run.
+type EnduranceSpec struct {
+	Ranks        int
+	RanksPerNode int
+	// TotalWords is the conserved problem size: per-rank words are
+	// ceil(TotalWords/Ranks) and grow when the job shrinks.
+	TotalWords      int
+	Protocol        string
+	GroupSize       int
+	CheckpointEvery int // initial interval; the controller retunes it
+	// Controller, when non-nil, retunes CheckpointEvery after every
+	// failure from the observed MTBF.
+	Controller *IntervalController
+	// Schedule is the failure workload on the global clock (expand a
+	// fail/... ID with failmodel.Expand).
+	Schedule *failmodel.Schedule
+	// MaxAttempts bounds the endurance loop (0: len(events)+8).
+	MaxAttempts int
+	// RetryBackoffSec is the deterministic backoff ladder for rung 2:
+	// retry i waits RetryBackoffSec[i], and the claim is abandoned —
+	// falling through to rungs 3/4 — when the ladder is exhausted.
+	// Empty means one immediate retry.
+	RetryBackoffSec []float64
+	// DeterministicRegen and HasL2Image are the workload properties the
+	// checkpoint.Transition legality predicate needs: rungs 3/4 abandon
+	// in-memory state, which is only bit-safe when the workload can
+	// regenerate or a stable image exists.
+	DeterministicRegen bool
+	HasL2Image         bool
+	Workload           WorkloadFactory
+}
+
+func (s *EnduranceSpec) wordsAt(ranks int) int {
+	return (s.TotalWords + ranks - 1) / ranks
+}
+
+// RungEvent is one logged transition of the degradation ladder.
+type RungEvent struct {
+	Attempt int
+	Rung    string
+	AtSec   float64 // global clock when the rung fired
+	Detail  string
+}
+
+// EnduranceReport is RunReport plus the endurance-specific record.
+type EnduranceReport struct {
+	RunReport
+	// Rungs logs every ladder transition in order.
+	Rungs []RungEvent
+	// FinalConfig is the configuration the run finished (or gave up) at.
+	FinalConfig EnduranceConfig
+	// EventsFired counts consumed failure events (primaries and
+	// cascades); Pending counts schedule events never reached.
+	EventsFired, Pending int
+	// Decisions is the interval controller's log (nil without one).
+	Decisions []IntervalDecision
+}
+
+func (r *EnduranceReport) rung(attempt int, rung, detail string) {
+	r.Rungs = append(r.Rungs, RungEvent{Attempt: attempt, Rung: rung, AtSec: r.TotalSeconds, Detail: detail})
+	r.Metrics["rungs_"+rung]++
+}
+
+// enduranceRun is the in-flight state of one Endure call.
+type enduranceRun struct {
+	m      *Machine
+	spec   *EnduranceSpec
+	report *EnduranceReport
+	cfg    EnduranceConfig
+	events []failmodel.Event
+	next   int  // next unconsumed event
+	fresh  bool // wipe happened; next attempt is a fresh start
+}
+
+// Endure executes the workload to completion under the failure
+// schedule, degrading gracefully as resources run out. It returns an
+// error only when the ladder is exhausted (nothing left to shrink to,
+// or a transition that would not be bit-safe), when the workload fails
+// for a non-failure reason, or when the attempt bound is hit.
+func Endure(m *Machine, spec EnduranceSpec) (*EnduranceReport, error) {
+	if spec.Workload == nil {
+		return nil, fmt.Errorf("cluster: EnduranceSpec.Workload is required")
+	}
+	if spec.Schedule == nil {
+		return nil, fmt.Errorf("cluster: EnduranceSpec.Schedule is required (expand a fail/... ID)")
+	}
+	if spec.Ranks <= 0 || spec.TotalWords <= 0 {
+		return nil, fmt.Errorf("cluster: EnduranceSpec needs positive Ranks and TotalWords")
+	}
+	if spec.RanksPerNode <= 0 {
+		spec.RanksPerNode = 1
+	}
+	if spec.CheckpointEvery <= 0 {
+		spec.CheckpointEvery = 1
+	}
+	maxAttempts := spec.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = len(spec.Schedule.Events) + 8
+	}
+	r := &enduranceRun{
+		m:      m,
+		spec:   &spec,
+		report: &EnduranceReport{RunReport: RunReport{Metrics: make(map[string]float64)}},
+		cfg: EnduranceConfig{
+			Ranks:           spec.Ranks,
+			Words:           spec.wordsAt(spec.Ranks),
+			Protocol:        spec.Protocol,
+			GroupSize:       spec.GroupSize,
+			CheckpointEvery: spec.CheckpointEvery,
+		},
+		events: spec.Schedule.Events,
+		fresh:  true,
+	}
+	err := r.run(maxAttempts)
+	r.report.FinalConfig = r.cfg
+	r.report.Pending = r.pendingPrimaries()
+	if spec.Controller != nil {
+		r.report.Decisions = spec.Controller.Log
+	}
+	return r.report, err
+}
+
+func (r *enduranceRun) pendingPrimaries() int {
+	n := 0
+	for i := r.next; i < len(r.events); i++ {
+		if !r.events[i].Cascade {
+			n++
+		}
+	}
+	return n
+}
+
+// mapSlot folds a schedule slot (drawn over the original width) onto
+// the current active slots.
+func (r *enduranceRun) mapSlot(v int) int {
+	nodes := r.m.Nodes()
+	if nodes == 0 {
+		return 0
+	}
+	return v % nodes
+}
+
+func (r *enduranceRun) run(maxAttempts int) error {
+	p := r.m.Platform
+	for attempt := 0; ; attempt++ {
+		if attempt >= maxAttempts {
+			return fmt.Errorf("cluster: endurance run exceeded %d attempts", maxAttempts)
+		}
+		r.report.Attempts = attempt + 1
+		r.cfg.Attempt = attempt
+		r.cfg.FreshStart = r.fresh
+		r.fresh = false
+
+		// Arm the earliest pending primary event, shifted onto this
+		// attempt's clock (each attempt restarts virtual time at zero).
+		var kills []KillSpec
+		armed := -1
+		if r.next < len(r.events) {
+			e := r.events[r.next]
+			rel := e.Time - r.report.TotalSeconds
+			if rel < 0 {
+				rel = 0 // overdue (accumulated downtime): fire at launch
+			}
+			armed = r.next
+			for _, s := range e.Slots {
+				kills = append(kills, KillSpec{Slot: r.mapSlot(s), Attempt: attempt, AtTime: rel})
+			}
+		}
+
+		res, err := r.m.Launch(JobSpec{
+			Ranks:        r.cfg.Ranks,
+			RanksPerNode: r.spec.RanksPerNode,
+			Kills:        kills,
+		}, attempt, r.spec.Workload(r.cfg))
+		if err != nil {
+			return err
+		}
+		r.report.Final = res
+		r.report.Events += res.Events
+		r.report.push(fmt.Sprintf("work (attempt %d)", attempt), res.MaxTime)
+		for k, v := range res.Metrics {
+			if v > r.report.Metrics[k] {
+				r.report.Metrics[k] = v
+			}
+		}
+		if ic := r.spec.Controller; ic != nil {
+			if v := res.Metrics[MetricCkptSec]; v > 0 {
+				ic.CkptCostSec = v
+			}
+			if v := res.Metrics[MetricUnitSec]; v > 0 {
+				ic.UnitSec = v
+			}
+		}
+
+		if !res.Failed() {
+			return nil
+		}
+		if len(res.LostSlots) == 0 {
+			return fmt.Errorf("cluster: endurance job failed without a node loss: %w", res.FirstError())
+		}
+
+		// The armed event fired. Consume it with its cascade chain.
+		var cascades []failmodel.Event
+		if armed >= 0 {
+			r.next = armed + 1
+			r.report.EventsFired++
+			for r.next < len(r.events) && r.events[r.next].Cascade {
+				cascades = append(cascades, r.events[r.next])
+				r.next++
+			}
+		}
+		if ic := r.spec.Controller; ic != nil {
+			ic.Observe(res.MaxTime, 1)
+		}
+
+		r.report.push("detect the failure and kill the job", p.DetectSec)
+		if err := r.recoverDead(attempt, cascades); err != nil {
+			return err
+		}
+
+		// Primary events whose absolute time falls inside the downtime
+		// just spent strike a job that is already down: direct kills,
+		// each needing its own recovery pass (the WhileDown semantics,
+		// generalized to the global clock).
+		for r.next < len(r.events) && r.events[r.next].Time < r.report.TotalSeconds {
+			e := r.events[r.next]
+			r.next++
+			r.report.EventsFired++
+			var casc []failmodel.Event
+			for r.next < len(r.events) && r.events[r.next].Cascade {
+				casc = append(casc, r.events[r.next])
+				r.next++
+			}
+			for _, s := range e.Slots {
+				r.m.KillSlot(r.mapSlot(s))
+			}
+			if ic := r.spec.Controller; ic != nil {
+				ic.Observe(0, 1)
+			}
+			if err := r.recoverDead(attempt, casc); err != nil {
+				return err
+			}
+		}
+
+		if ic := r.spec.Controller; ic != nil {
+			r.cfg.CheckpointEvery = ic.Retune(attempt)
+		}
+		r.report.push("restart application", p.RestartSec)
+	}
+}
+
+// recoverDead climbs the ladder until the machine can host the job
+// again: replace (with bounded backoff retries while cascades land
+// mid-claim), then downgrade/shrink on spare exhaustion.
+func (r *enduranceRun) recoverDead(attempt int, cascades []failmodel.Event) error {
+	p := r.m.Platform
+	retries := 0
+	for {
+		_, err := r.m.ReplaceDead()
+		if err != nil {
+			// Spare pool exhausted. Any still-pending cascades strike
+			// now — the nodes are dead either way — then fall through to
+			// rungs 3/4.
+			r.fireCascades(cascades)
+			cascades = nil
+			return r.degrade(attempt)
+		}
+		r.report.rung(attempt, RungReplace, fmt.Sprintf("%d spare(s) left", r.m.Spares()))
+		r.report.push("replace lost nodes by spare nodes", p.ReplaceSec)
+		if len(cascades) == 0 {
+			return nil
+		}
+		// Cascade failures land while the replacement is in flight: the
+		// claim raced another failure. Back off deterministically and
+		// claim again, a bounded number of times.
+		r.fireCascades(cascades)
+		cascades = nil
+		if len(r.m.DeadSlots()) == 0 {
+			return nil // the cascade hit already-retired nodes
+		}
+		backoff := r.spec.RetryBackoffSec
+		if len(backoff) == 0 {
+			backoff = []float64{0}
+		}
+		if retries >= len(backoff) {
+			// Bounded retry exhausted; treat like exhaustion and let the
+			// lower rungs handle it.
+			return r.degrade(attempt)
+		}
+		r.report.rung(attempt, RungRetry, fmt.Sprintf("spare claim raced a cascade failure; backoff %gs", backoff[retries]))
+		r.report.push("back off after raced spare claim", backoff[retries])
+		retries++
+	}
+}
+
+func (r *enduranceRun) fireCascades(cascades []failmodel.Event) {
+	for _, ce := range cascades {
+		r.report.EventsFired++
+		for _, s := range ce.Slots {
+			r.m.KillSlot(r.mapSlot(s))
+		}
+		if ic := r.spec.Controller; ic != nil {
+			ic.Observe(0, 1)
+		}
+	}
+}
+
+// degrade is rungs 3 and 4: drop the dead slots, shrink the job onto
+// the survivors, and walk the protocol ladder until the configuration
+// fits in memory. Every move is validated against the checkpoint
+// transition predicate before it is taken.
+func (r *enduranceRun) degrade(attempt int) error {
+	removed := r.m.ShrinkDead()
+	healthy := r.m.Nodes()
+	rpn := r.spec.RanksPerNode
+	g := r.cfg.GroupSize
+
+	// Widest width the survivors can host that still partitions into
+	// checksum groups (any width when unprotected).
+	newRanks := healthy * rpn
+	if r.cfg.Protocol != "" && g >= 2 {
+		newRanks = (newRanks / g) * g
+	}
+	if newRanks < 1 || (r.cfg.Protocol != "" && newRanks < g) {
+		// Not enough nodes for even one group: the job can only continue
+		// unprotected, if the ladder allows leaving the protocol at all.
+		newRanks = healthy * rpn
+	}
+	if newRanks < 1 {
+		return fmt.Errorf("cluster: degradation ladder exhausted: no healthy nodes remain (lost slots %v)", removed)
+	}
+
+	// Walk the protocol ladder until the per-rank accounting fits the
+	// per-process memory share at the new width.
+	words := r.spec.wordsAt(newRanks)
+	memWords := int(r.m.Platform.MemPerProcessBytes(rpn) / 8)
+	proto := r.cfg.Protocol
+	for {
+		if proto == "" && newRanks < r.cfg.Ranks {
+			// Unprotected shrink needs no group partition; use the full
+			// surviving width.
+			newRanks = healthy * rpn
+			words = r.spec.wordsAt(newRanks)
+		}
+		u, err := checkpoint.ClosedFormUsage(proto, words, maxInt(g, 2), 0)
+		if err != nil {
+			return fmt.Errorf("cluster: degrade: %w", err)
+		}
+		fits := u.Total() <= memWords
+		groupOK := proto == "" || (newRanks >= g && newRanks%g == 0)
+		if fits && groupOK {
+			break
+		}
+		nextProto, ok := checkpoint.DowngradeTarget(proto)
+		if !ok {
+			return fmt.Errorf("cluster: degradation ladder exhausted: %d words/rank do not fit %d-word memory even unprotected", u.Total(), memWords)
+		}
+		r.report.rung(attempt, RungDowngrade, fmt.Sprintf("%s -> %s (%d words/rank vs %d-word share)", protoName(proto), protoName(nextProto), u.Total(), memWords))
+		proto = nextProto
+	}
+
+	tr := checkpoint.Transition{
+		FromProtocol:       r.cfg.Protocol,
+		ToProtocol:         proto,
+		FromRanks:          r.cfg.Ranks,
+		ToRanks:            newRanks,
+		GroupSize:          g,
+		DeterministicRegen: r.spec.DeterministicRegen,
+		HasL2Image:         r.spec.HasL2Image,
+	}
+	if !tr.Shrinks() && !tr.Downgrades() {
+		// Exhaustion with nothing to change means the dead slots were
+		// surplus already (job narrower than the machine): relaunch.
+		r.m.WipeSHM()
+		r.fresh = true
+		return nil
+	}
+	if err := tr.Legal(); err != nil {
+		return fmt.Errorf("cluster: degradation refused: %w", err)
+	}
+	if tr.Shrinks() {
+		r.report.rung(attempt, RungShrink, fmt.Sprintf("%d -> %d ranks on %d surviving node(s)", r.cfg.Ranks, newRanks, healthy))
+	}
+
+	// Surplus healthy nodes return to the spare pool.
+	needNodes := (newRanks + rpn - 1) / rpn
+	if needNodes < healthy {
+		if err := r.m.Retire(needNodes); err != nil {
+			return err
+		}
+	}
+	// The old state's namespaces and stripe geometry are invalid at the
+	// new configuration; wipe so the relaunch starts clean (legality
+	// above guarantees the workload can rebuild).
+	r.m.WipeSHM()
+	r.fresh = true
+	r.cfg.Ranks = newRanks
+	r.cfg.Words = r.spec.wordsAt(newRanks)
+	r.cfg.Protocol = proto
+	r.report.push("reconfigure after spare exhaustion", r.m.Platform.ReplaceSec)
+	return nil
+}
+
+func protoName(p string) string {
+	if p == "" {
+		return "unprotected"
+	}
+	return p
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,314 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"selfckpt/internal/failmodel"
+	"selfckpt/internal/model"
+)
+
+// TestAdaptiveIntervalConvergesToDaly is the acceptance criterion for
+// the interval controller: fed failures drawn from a known-MTBF
+// exponential process (via the failmodel generator, so the stream is
+// replayable), the retuned interval must converge to within 20% of the
+// Young/Daly optimum τ* = √(2δM).
+func TestAdaptiveIntervalConvergesToDaly(t *testing.T) {
+	const (
+		mtbf  = 3600.0 // 1 hour
+		delta = 10.0   // checkpoint cost
+		unit  = 5.0    // seconds per work unit
+	)
+	sched, err := failmodel.Expand("fail/exp/mtbf3600/s42", 1, 400*mtbf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Events) < 100 {
+		t.Fatalf("only %d failures generated, want a few hundred", len(sched.Events))
+	}
+	ic := &IntervalController{CkptCostSec: delta, UnitSec: unit, MaxEvery: 10000}
+	prev := 0.0
+	every := 0
+	for i, e := range sched.Events {
+		ic.Observe(e.Time-prev, 1)
+		prev = e.Time
+		every = ic.Retune(i)
+	}
+	tauStar := model.OptimalInterval(delta, mtbf)
+	got := float64(every) * unit
+	if r := math.Abs(got-tauStar) / tauStar; r > 0.20 {
+		t.Fatalf("converged interval %.1fs is %.0f%% off the Daly optimum %.1fs (every=%d units)",
+			got, 100*r, tauStar, every)
+	}
+	if len(ic.Log) != len(sched.Events) {
+		t.Fatalf("controller logged %d decisions for %d retunes", len(ic.Log), len(sched.Events))
+	}
+	// The log is the replay record: last entry must carry the final choice
+	// and a finite blended MTBF near the truth.
+	last := ic.Log[len(ic.Log)-1]
+	if last.Every != every || math.IsInf(last.MTBFSec, 1) {
+		t.Fatalf("last decision %+v does not match final choice %d", last, every)
+	}
+	if r := math.Abs(last.MTBFSec-mtbf) / mtbf; r > 0.20 {
+		t.Fatalf("MTBF estimate %.0fs is %.0f%% off the true %gs", last.MTBFSec, 100*r, mtbf)
+	}
+}
+
+func TestIntervalControllerPriorAndClamps(t *testing.T) {
+	// No observations, no prior: MTBF is infinite and the controller
+	// stays as sparse as the clamp allows.
+	ic := &IntervalController{CkptCostSec: 1, UnitSec: 1, MaxEvery: 500}
+	if !math.IsInf(ic.MTBF(), 1) {
+		t.Fatalf("MTBF with no data = %g, want +Inf", ic.MTBF())
+	}
+	if got := ic.Retune(0); got != 500 {
+		t.Fatalf("no-data retune = %d, want MaxEvery", got)
+	}
+	// A prior alone pins the estimate before any observation arrives.
+	ic = &IntervalController{CkptCostSec: 2, UnitSec: 1, PriorMTBFSec: 10000, MaxEvery: 500}
+	if got := ic.MTBF(); got != 10000 {
+		t.Fatalf("prior-only MTBF = %g, want 10000", got)
+	}
+	if got := ic.Retune(0); got != int(math.Round(model.OptimalInterval(2, 10000))) {
+		t.Fatalf("prior-only retune = %d", got)
+	}
+	// MinEvery floors the result even when τ* is tiny.
+	ic = &IntervalController{CkptCostSec: 1e-6, UnitSec: 100, MinEvery: 3}
+	ic.Observe(1, 10) // MTBF 0.1s → τ* far below one unit
+	if got := ic.Retune(1); got != 3 {
+		t.Fatalf("clamped retune = %d, want MinEvery 3", got)
+	}
+}
+
+func TestShrinkRetireWipePrimitives(t *testing.T) {
+	m := NewMachine(Testbed(), 4, 0)
+	survivor := m.Slot(0)
+	if _, err := survivor.SHM.Create("old/geometry", 8); err != nil {
+		t.Fatal(err)
+	}
+	m.KillSlot(1)
+	m.KillSlot(3)
+	if removed := m.ShrinkDead(); len(removed) != 2 || removed[0] != 1 || removed[1] != 3 {
+		t.Fatalf("ShrinkDead removed %v, want [1 3]", removed)
+	}
+	if m.Nodes() != 2 {
+		t.Fatalf("nodes after shrink = %d, want 2", m.Nodes())
+	}
+	// Survivors compact in order, keeping their SHM.
+	if m.Slot(0) != survivor || m.Slot(0).SHM.Attach("old/geometry") == nil {
+		t.Fatal("shrink disturbed the surviving slots")
+	}
+	// Retire the surplus healthy node back to the spare pool.
+	if err := m.Retire(1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes() != 1 || m.Spares() != 1 {
+		t.Fatalf("after retire: %d nodes, %d spares, want 1 and 1", m.Nodes(), m.Spares())
+	}
+	if err := m.Retire(5); err == nil || !strings.Contains(err.Error(), "cannot retire") {
+		t.Fatalf("oversized retire error = %v", err)
+	}
+	if err := m.Retire(0); err == nil {
+		t.Fatal("retire to zero slots must fail")
+	}
+	// The wipe clears stale segments so the new geometry starts clean.
+	m.WipeSHM()
+	if survivor.SHM.Attach("old/geometry") != nil {
+		t.Fatal("WipeSHM left a stale segment")
+	}
+}
+
+// enduranceWorkload is a protocol-agnostic stand-in for the test runs:
+// each work unit costs a fixed slice of virtual time, and the measured
+// unit/checkpoint costs are reported so the controller has inputs.
+func enduranceWorkload(units int) WorkloadFactory {
+	return func(cfg EnduranceConfig) RankFn {
+		return func(env *Env) error {
+			env.Metric(MetricUnitSec, 0.05)
+			env.Metric(MetricCkptSec, 0.5)
+			for i := 0; i < units; i++ {
+				env.World().Compute(0.05e9 * env.Platform.EffGFLOPSPerProcess())
+				if err := env.Barrier(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+}
+
+// TestEnduranceLadderDowngradeAndShrink drives the runner through spare
+// exhaustion: the first failure is absorbed by the spare (rung 1), the
+// second finds the pool empty and forces the job down the ladder — the
+// shrunken width no longer fits the self protocol in memory, so the
+// runner downgrades to unprotected (rung 3) and shrinks onto the
+// survivors (rung 4), then runs to completion.
+func TestEnduranceLadderDowngradeAndShrink(t *testing.T) {
+	m := NewMachine(Testbed(), 3, 1)
+	// 90M total words: 15M/rank at width 6 (self fits the 62.5M-word
+	// per-process share), 30M/rank at the post-shrink width 3 (self needs
+	// ~90M words — does not fit; unprotected at width 4 does).
+	spec := EnduranceSpec{
+		Ranks:           6,
+		RanksPerNode:    2,
+		TotalWords:      90_000_000,
+		Protocol:        "self",
+		GroupSize:       3,
+		CheckpointEvery: 4,
+		Controller:      &IntervalController{UnitSec: 0.05, CkptCostSec: 0.5, MinEvery: 1, MaxEvery: 64},
+		Schedule: &failmodel.Schedule{
+			Slots:   3,
+			Horizon: 100,
+			Events: []failmodel.Event{
+				{Time: 0.5, Slots: []int{1}},
+				{Time: 5.0, Slots: []int{0}},
+			},
+		},
+		DeterministicRegen: true,
+		Workload:           enduranceWorkload(200), // 10s of virtual work per attempt
+	}
+	rep, err := Endure(m, spec)
+	if err != nil {
+		t.Fatalf("endurance run aborted: %v", err)
+	}
+	if rep.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", rep.Attempts)
+	}
+	if rep.EventsFired != 2 || rep.Pending != 0 {
+		t.Fatalf("fired %d events with %d pending, want 2 and 0", rep.EventsFired, rep.Pending)
+	}
+	for rung, want := range map[string]float64{
+		"rungs_replace":   1,
+		"rungs_downgrade": 1,
+		"rungs_shrink":    1,
+	} {
+		if got := rep.Metrics[rung]; got != want {
+			t.Errorf("%s = %g, want %g (rung log: %+v)", rung, got, want, rep.Rungs)
+		}
+	}
+	fc := rep.FinalConfig
+	if fc.Ranks != 4 || fc.Protocol != "" {
+		t.Fatalf("final config %+v, want 4 unprotected ranks", fc)
+	}
+	if fc.Words != 22_500_000 {
+		t.Fatalf("final per-rank words = %d, want TotalWords conserved across the shrink", fc.Words)
+	}
+	if !fc.FreshStart {
+		t.Fatal("post-shrink attempt must be flagged as a fresh start")
+	}
+	if m.Nodes() != 2 || m.Spares() != 0 {
+		t.Fatalf("machine ended with %d nodes, %d spares, want 2 and 0", m.Nodes(), m.Spares())
+	}
+	// The controller saw both failures and retuned each time.
+	if len(rep.Decisions) != 2 {
+		t.Fatalf("controller logged %d decisions, want 2", len(rep.Decisions))
+	}
+	if rep.Decisions[1].Failures != 2 {
+		t.Fatalf("controller observed %d failures, want 2", rep.Decisions[1].Failures)
+	}
+	// The rung log carries the global clock, monotonically.
+	prev := -1.0
+	for _, ev := range rep.Rungs {
+		if ev.AtSec < prev {
+			t.Fatalf("rung log not monotone in time: %+v", rep.Rungs)
+		}
+		prev = ev.AtSec
+	}
+}
+
+// TestEnduranceRetryRung exercises rung 2: a cascade failure lands
+// while the spare claim for the primary is in flight, so the claim is
+// retried after a deterministic backoff and both losses are absorbed.
+func TestEnduranceRetryRung(t *testing.T) {
+	m := NewMachine(Testbed(), 3, 2)
+	spec := EnduranceSpec{
+		Ranks:        3,
+		RanksPerNode: 1,
+		TotalWords:   3000,
+		Schedule: &failmodel.Schedule{
+			Slots:   3,
+			Horizon: 100,
+			Events: []failmodel.Event{
+				{Time: 0.5, Slots: []int{0}},
+				{Time: 0.5, Slots: []int{1}, Cascade: true},
+			},
+		},
+		RetryBackoffSec:    []float64{0.25, 0.5},
+		DeterministicRegen: true,
+		Workload:           enduranceWorkload(40),
+	}
+	rep, err := Endure(m, spec)
+	if err != nil {
+		t.Fatalf("endurance run aborted: %v", err)
+	}
+	if rep.Metrics["rungs_retry"] != 1 || rep.Metrics["rungs_replace"] != 2 {
+		t.Fatalf("rung metrics %v, want one retry between two replaces", rep.Metrics)
+	}
+	if rep.Metrics["rungs_downgrade"] != 0 || rep.Metrics["rungs_shrink"] != 0 {
+		t.Fatalf("retry path must not reach the lower rungs: %v", rep.Metrics)
+	}
+	if rep.EventsFired != 2 {
+		t.Fatalf("fired %d events, want the primary and its cascade", rep.EventsFired)
+	}
+	if m.Spares() != 0 {
+		t.Fatalf("spares = %d, want both consumed", m.Spares())
+	}
+	// The backoff must appear on the timeline with its configured length.
+	found := false
+	for _, ph := range rep.Timeline {
+		if strings.Contains(ph.Name, "back off") && ph.Seconds == 0.25 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("timeline missing the 0.25s backoff phase: %+v", rep.Timeline)
+	}
+	if rep.FinalConfig.Ranks != 3 {
+		t.Fatalf("width changed to %d on the retry path", rep.FinalConfig.Ranks)
+	}
+}
+
+// TestEnduranceCompletesWithoutFailures: an empty schedule is just a
+// single clean attempt.
+func TestEnduranceNoFailures(t *testing.T) {
+	m := NewMachine(Testbed(), 2, 0)
+	rep, err := Endure(m, EnduranceSpec{
+		Ranks:        4,
+		RanksPerNode: 2,
+		TotalWords:   4000,
+		Schedule:     &failmodel.Schedule{Slots: 2, Horizon: 10},
+		Workload:     enduranceWorkload(10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Attempts != 1 || len(rep.Rungs) != 0 {
+		t.Fatalf("clean run took %d attempts with rungs %+v", rep.Attempts, rep.Rungs)
+	}
+	if rep.FinalConfig.Words != 1000 {
+		t.Fatalf("per-rank words = %d, want TotalWords/Ranks", rep.FinalConfig.Words)
+	}
+}
+
+// TestEnduranceLadderExhaustion: when every node dies and nothing is
+// left to shrink onto, the run must abort with a diagnostic rather than
+// loop.
+func TestEnduranceLadderExhaustion(t *testing.T) {
+	m := NewMachine(Testbed(), 1, 0)
+	_, err := Endure(m, EnduranceSpec{
+		Ranks:        2,
+		RanksPerNode: 2,
+		TotalWords:   2000,
+		Schedule: &failmodel.Schedule{
+			Slots:   1,
+			Horizon: 10,
+			Events:  []failmodel.Event{{Time: 0.1, Slots: []int{0}}},
+		},
+		DeterministicRegen: true,
+		Workload:           enduranceWorkload(40),
+	})
+	if err == nil || !strings.Contains(err.Error(), "ladder exhausted") {
+		t.Fatalf("err = %v, want ladder exhaustion", err)
+	}
+}

@@ -196,3 +196,63 @@ func (m *Machine) ReplaceDead() ([]int, error) {
 	}
 	return replaced, nil
 }
+
+// ShrinkDead removes every dead slot from the machine instead of
+// replacing it: the surviving nodes compact into the low slot numbers,
+// preserving their relative order. It is the shrink rung of the
+// graceful-degradation ladder, taken when ReplaceDead reports spare
+// exhaustion. The removed slot indices (pre-compaction) are returned.
+func (m *Machine) ShrinkDead() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var removed []int
+	keep := m.slots[:0]
+	for i, n := range m.slots {
+		if n.Dead() {
+			removed = append(removed, i)
+			continue
+		}
+		keep = append(keep, n)
+	}
+	m.slots = keep
+	return removed
+}
+
+// Retire moves the highest-numbered healthy slots back to the spare
+// pool until the machine has exactly nodes active slots. After a shrink
+// the job width must partition into checksum groups, which can leave
+// surplus healthy nodes; retiring them replenishes the spare pool for
+// the next failure. It is an error to retire below one slot or to call
+// with more slots than the machine has.
+func (m *Machine) Retire(nodes int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if nodes < 1 || nodes > len(m.slots) {
+		return fmt.Errorf("cluster: cannot retire %d-slot machine to %d slots", len(m.slots), nodes)
+	}
+	for len(m.slots) > nodes {
+		last := m.slots[len(m.slots)-1]
+		m.slots = m.slots[:len(m.slots)-1]
+		if !last.Dead() {
+			m.spares = append(m.spares, last)
+		}
+	}
+	return nil
+}
+
+// WipeSHM destroys every SHM segment on the active healthy nodes. The
+// ladder calls it before re-launching at a new configuration: after a
+// protocol downgrade or a shrink the old segment namespaces and stripe
+// geometry are meaningless, and stale segments would otherwise count as
+// leaks (and hold memory the new layout needs).
+func (m *Machine) WipeSHM() {
+	m.mu.Lock()
+	nodes := make([]*Node, len(m.slots))
+	copy(nodes, m.slots)
+	m.mu.Unlock()
+	for _, n := range nodes {
+		if !n.Dead() {
+			n.SHM.DestroyAll()
+		}
+	}
+}

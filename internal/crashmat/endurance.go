@@ -1,0 +1,234 @@
+package crashmat
+
+import (
+	"errors"
+	"fmt"
+
+	"selfckpt/internal/checkpoint"
+	"selfckpt/internal/cluster"
+	"selfckpt/internal/encoding"
+	"selfckpt/internal/failmodel"
+	"selfckpt/internal/simmpi"
+)
+
+// This file glues the statistical failure engine (internal/failmodel),
+// the graceful-degradation ladder, and the adaptive interval controller
+// (internal/cluster) to the crashmat workload: an endurance run drives
+// the closed-form iteration body under a sustained failure schedule
+// named by a replayable fail/... ID, instead of the matrix's one or two
+// surgically-placed kills. Like every other crashmat run the result is
+// an engine-independent observation: the same schedule must produce a
+// byte-identical record under the goroutine and discrete-event engines,
+// and under repeated expansion of the same ID.
+
+// EnduranceSchedule names one endurance run. Engines are an execution
+// option, never part of the schedule.
+type EnduranceSchedule struct {
+	// FailID is the replayable failure-workload ID (fail/<dist>/...).
+	FailID string
+	// Horizon bounds the schedule expansion in virtual seconds.
+	Horizon float64
+
+	Ranks        int
+	RanksPerNode int // 0: one rank per node
+	Spares       int
+	// Protocol/GroupSize are the initial protection configuration; the
+	// ladder may downgrade them mid-run.
+	Protocol  string
+	GroupSize int
+	// WordsPerRank is the initial per-rank workspace; the total problem
+	// Ranks·WordsPerRank is conserved across shrinks.
+	WordsPerRank int
+	// Iters is the work per attempt; CheckpointEvery the initial
+	// interval, retuned online by the controller.
+	Iters           int
+	CheckpointEvery int
+	// RetryBackoffSec is the rung-2 backoff ladder.
+	RetryBackoffSec []float64
+	// MaxEvery clamps the controller (0: 64).
+	MaxEvery int
+}
+
+func (s EnduranceSchedule) rpn() int {
+	if s.RanksPerNode <= 0 {
+		return 1
+	}
+	return s.RanksPerNode
+}
+
+func (s EnduranceSchedule) nodes() int {
+	rpn := s.rpn()
+	return (s.Ranks + rpn - 1) / rpn
+}
+
+// EnduranceObservation is the engine-independent outcome of one
+// endurance run. Every field is deterministic given the schedule: rung
+// counters, final configuration, virtual-time total, and the
+// controller's last decision.
+type EnduranceObservation struct {
+	Attempts             int
+	EventsFired, Pending int
+	// Rung counters, in ladder order.
+	Replaced, Retried, Downgraded, Shrunk int
+	FinalRanks                            int
+	FinalProtocol                         string
+	FinalWords                            int
+	// FinalEvery is the controller's last retuned interval (0 when no
+	// failure ever forced a retune).
+	FinalEvery int
+	Decisions  int
+	VirtualSec float64
+	// Events counts DES scheduler dispatches (0 under goroutines);
+	// excluded from canonical records like Observation.Events.
+	Events int64
+	Err    error
+}
+
+// enduranceBody is the per-attempt workload: the crashmat closed-form
+// iteration body generalized to the ladder's moving configuration —
+// workspace size, protocol (possibly none), and checkpoint interval all
+// come from the EnduranceConfig of the attempt. Unit and checkpoint
+// costs are measured on the virtual clock and reported through the
+// endurance metrics, closing the controller's feedback loop.
+func enduranceBody(s EnduranceSchedule, cfg cluster.EnduranceConfig) cluster.RankFn {
+	return func(env *cluster.Env) error {
+		var p checkpoint.Protector
+		if cfg.Protocol != "" {
+			reg, ok := checkpoint.ProtocolByName(cfg.Protocol)
+			if !ok {
+				return fmt.Errorf("crashmat: unknown protocol %q", cfg.Protocol)
+			}
+			color, err := encoding.GroupColor(env.Rank(), 1, env.Size(), cfg.GroupSize)
+			if err != nil {
+				return err
+			}
+			gcomm, err := env.Split(color)
+			if err != nil {
+				return err
+			}
+			grp, err := encoding.NewGroup(gcomm, simmpi.OpXor)
+			if err != nil {
+				return err
+			}
+			p, err = reg.New(checkpoint.Options{
+				Group:     grp,
+				World:     env.Comm,
+				Store:     env.Node.SHM,
+				Namespace: fmt.Sprintf("en/%d", env.Rank()),
+				MetaCap:   64,
+			}, checkpoint.Aux{
+				Stable: env.Machine.Disk,
+				Key:    fmt.Sprintf("en-l2/%d", env.Rank()),
+			})
+			if err != nil {
+				return err
+			}
+		}
+
+		var data []float64
+		start := 0
+		if p != nil {
+			ws, recoverable, err := p.Open(cfg.Words)
+			if err != nil {
+				return err
+			}
+			data = ws
+			if recoverable && !cfg.FreshStart {
+				meta, _, err := p.Restore()
+				switch {
+				case errors.Is(err, checkpoint.ErrUnrecoverable):
+					// Verify-before-restore refused the surviving state:
+					// a legal fresh start.
+				case err != nil:
+					return err
+				default:
+					start = iterFromMeta(meta)
+					if start < 0 {
+						return errFreshStart
+					}
+					if err := checkFill(data, env.Rank(), start); err != nil {
+						return err
+					}
+				}
+			}
+		} else {
+			data = make([]float64, cfg.Words)
+		}
+
+		every := cfg.CheckpointEvery
+		if every <= 0 {
+			every = 1
+		}
+		for it := start + 1; it <= s.Iters; it++ {
+			u0 := env.Now()
+			fill(data, env.Rank(), it)
+			env.World().Compute(1e6)
+			env.Metric(cluster.MetricUnitSec, env.Now()-u0)
+			if p != nil && it%every == 0 {
+				c0 := env.Now()
+				if err := p.Checkpoint(iterMeta(it)); err != nil {
+					return err
+				}
+				env.Metric(cluster.MetricCkptSec, env.Now()-c0)
+			}
+		}
+		return checkFill(data, env.Rank(), s.Iters)
+	}
+}
+
+// RunEnduranceOn expands the schedule's fail ID and endures it on the
+// given engine. Transport errors (bad schedule, bad ID) come back as
+// the function error; run outcomes — including a degradation-ladder
+// abort — land in the observation, so exhaustion is data, not a test
+// failure.
+func RunEnduranceOn(engine simmpi.Engine, s EnduranceSchedule) (*EnduranceObservation, error) {
+	if s.Ranks <= 0 || s.Iters <= 0 || s.WordsPerRank <= 0 {
+		return nil, fmt.Errorf("crashmat: endurance schedule needs positive Ranks, Iters, WordsPerRank")
+	}
+	sched, err := failmodel.Expand(s.FailID, s.nodes(), s.Horizon)
+	if err != nil {
+		return nil, err
+	}
+	m := cluster.NewMachine(cluster.Testbed(), s.nodes(), s.Spares)
+	m.Engine = engine
+	maxEvery := s.MaxEvery
+	if maxEvery <= 0 {
+		maxEvery = 64
+	}
+	ic := &cluster.IntervalController{MinEvery: 1, MaxEvery: maxEvery}
+	rep, err := cluster.Endure(m, cluster.EnduranceSpec{
+		Ranks:           s.Ranks,
+		RanksPerNode:    s.rpn(),
+		TotalWords:      s.Ranks * s.WordsPerRank,
+		Protocol:        s.Protocol,
+		GroupSize:       s.GroupSize,
+		CheckpointEvery: s.CheckpointEvery,
+		Controller:      ic,
+		Schedule:        sched,
+		RetryBackoffSec: s.RetryBackoffSec,
+		// The workload is a closed-form fill: bit-exact regeneration at
+		// any width, which is what makes rungs 3/4 legal.
+		DeterministicRegen: true,
+		Workload: func(cfg cluster.EnduranceConfig) cluster.RankFn {
+			return enduranceBody(s, cfg)
+		},
+	})
+	o := &EnduranceObservation{Err: err}
+	if rep != nil {
+		o.Attempts = rep.Attempts
+		o.EventsFired = rep.EventsFired
+		o.Pending = rep.Pending
+		o.Replaced = int(rep.Metrics["rungs_"+cluster.RungReplace])
+		o.Retried = int(rep.Metrics["rungs_"+cluster.RungRetry])
+		o.Downgraded = int(rep.Metrics["rungs_"+cluster.RungDowngrade])
+		o.Shrunk = int(rep.Metrics["rungs_"+cluster.RungShrink])
+		o.FinalRanks = rep.FinalConfig.Ranks
+		o.FinalProtocol = rep.FinalConfig.Protocol
+		o.FinalWords = rep.FinalConfig.Words
+		o.FinalEvery = rep.FinalConfig.CheckpointEvery
+		o.Decisions = len(rep.Decisions)
+		o.VirtualSec = rep.TotalSeconds
+		o.Events = rep.Events
+	}
+	return o, nil
+}

@@ -1,0 +1,167 @@
+package crashmat
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"selfckpt/internal/simmpi"
+)
+
+// recordEndurance renders the engine-independent part of an endurance
+// observation canonically, virtual seconds through Float64bits like
+// record(): the goroutine and DES engines — and repeated expansions of
+// the same fail/... ID — must agree bit for bit.
+func recordEndurance(o *EnduranceObservation) string {
+	errs := "<nil>"
+	if o.Err != nil {
+		errs = o.Err.Error()
+	}
+	return fmt.Sprintf("attempts=%d fired=%d pending=%d replace=%d retry=%d downgrade=%d shrink=%d ranks=%d proto=%q words=%d every=%d decisions=%d virtual=%016x err=%s",
+		o.Attempts, o.EventsFired, o.Pending,
+		o.Replaced, o.Retried, o.Downgraded, o.Shrunk,
+		o.FinalRanks, o.FinalProtocol, o.FinalWords, o.FinalEvery, o.Decisions,
+		math.Float64bits(o.VirtualSec), errs)
+}
+
+// TestEnduranceCleanRun: a schedule whose only event lies beyond the
+// run is a single clean attempt with the event left pending.
+func TestEnduranceCleanRun(t *testing.T) {
+	s := EnduranceSchedule{
+		FailID:  "fail/trace/t999/s1", // never fires inside the run
+		Horizon: 1000,
+		Ranks:   16, Spares: 0,
+		Protocol: "self", GroupSize: 4,
+		WordsPerRank: 96, Iters: 6, CheckpointEvery: 1,
+	}
+	o, err := RunEnduranceOn(simmpi.EngineDES, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Err != nil || o.Attempts != 1 || o.Pending != 1 || o.Replaced+o.Retried+o.Downgraded+o.Shrunk != 0 {
+		t.Fatalf("clean run observation: %s", recordEndurance(o))
+	}
+}
+
+// endurance64 is the 64-rank cross-engine schedule: two deterministic
+// failure times inside the first attempt's ~0.6 ms of virtual work,
+// cascades enabled so the retry rung is reachable, and one spare so the
+// second loss walks the lower rungs.
+func endurance64() EnduranceSchedule {
+	return EnduranceSchedule{
+		FailID:  "fail/trace/t0.0002,t0.0004,casc0.5/s7",
+		Horizon: 1,
+		Ranks:   64, Spares: 1,
+		Protocol: "self", GroupSize: 8,
+		WordsPerRank: 96, Iters: 6, CheckpointEvery: 1,
+		RetryBackoffSec: []float64{0.1},
+	}
+}
+
+// TestEnduranceEngineEquivalence64Ranks: the sustained-failure path —
+// statistical schedule, ladder, controller — must produce byte-identical
+// observation records under both engines, like every other crashmat
+// cell.
+func TestEnduranceEngineEquivalence64Ranks(t *testing.T) {
+	s := endurance64()
+	g, err := RunEnduranceOn(simmpi.EngineGoroutine, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := RunEnduranceOn(simmpi.EngineDES, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, dr := recordEndurance(g), recordEndurance(d)
+	t.Logf("record: %s", dr)
+	if gr != dr {
+		t.Errorf("engines diverge on %s:\n goroutine %s\n des       %s", s.FailID, gr, dr)
+	}
+	if g.Events != 0 {
+		t.Errorf("goroutine run reported %d scheduler events, want 0", g.Events)
+	}
+	if d.Events == 0 {
+		t.Errorf("DES run reported zero scheduler events")
+	}
+	if d.Err != nil {
+		t.Errorf("endurance run aborted: %v", d.Err)
+	}
+	if d.Replaced < 1 || d.EventsFired < 2 {
+		t.Errorf("schedule failed to exercise the ladder: %s", dr)
+	}
+}
+
+// TestEnduranceReplaysByID: expanding and enduring the same fail/... ID
+// twice must yield byte-identical records — the ID is the complete name
+// of the run.
+func TestEnduranceReplaysByID(t *testing.T) {
+	s := endurance64()
+	a, err := RunEnduranceOn(simmpi.EngineDES, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunEnduranceOn(simmpi.EngineDES, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra, rb := recordEndurance(a), recordEndurance(b); ra != rb {
+		t.Errorf("replay diverged:\n first  %s\n second %s", ra, rb)
+	}
+}
+
+// TestDESEndurance10kRanksWeibull is the acceptance-scale endurance
+// demonstration: a 10,000-rank job under a Weibull failure workload with
+// cascades and a deliberately undersized spare pool. The run must
+// complete without aborting, exercise at least three distinct rungs of
+// the degradation ladder (spare replacement, raced-claim retry, shrink),
+// and replay byte-identically from its fail/... ID. DES only — the
+// goroutine engine cannot touch this scale — and skipped under the race
+// detector like the 10k crash sweep.
+func TestDESEndurance10kRanksWeibull(t *testing.T) {
+	if raceEnabled {
+		t.Skip("10k-rank endurance: skipped under the race detector")
+	}
+	s := EnduranceSchedule{
+		FailID:  "fail/weibull/k0.7,l0.0002,casc0.5/s11",
+		Horizon: 0.0012,
+		Ranks:   10000, RanksPerNode: 4, Spares: 2,
+		Protocol: "self", GroupSize: 8,
+		WordsPerRank: 96, Iters: 6, CheckpointEvery: 1,
+		RetryBackoffSec: []float64{0.05, 0.1},
+	}
+	o, err := RunEnduranceOn(simmpi.EngineDES, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := recordEndurance(o)
+	t.Logf("10k record: %s", rec)
+	if o.Err != nil {
+		t.Fatalf("endurance run aborted instead of degrading: %v", o.Err)
+	}
+	rungs := 0
+	for _, n := range []int{o.Replaced, o.Retried, o.Downgraded, o.Shrunk} {
+		if n > 0 {
+			rungs++
+		}
+	}
+	if rungs < 3 {
+		t.Fatalf("only %d distinct rungs exercised, want >= 3: %s", rungs, rec)
+	}
+	if o.FinalRanks >= 10000 || o.FinalRanks%s.GroupSize != 0 {
+		t.Fatalf("final width %d: want a shrunken multiple of the group size", o.FinalRanks)
+	}
+	if o.FinalWords*o.FinalRanks < 10000*s.WordsPerRank {
+		t.Fatalf("problem size not conserved: %d ranks x %d words", o.FinalRanks, o.FinalWords)
+	}
+	// Replay from the ID.
+	o2, err := RunEnduranceOn(simmpi.EngineDES, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2 := recordEndurance(o2); rec2 != rec {
+		t.Fatalf("replay diverged:\n first  %s\n second %s", rec, rec2)
+	}
+	if o.Events == 0 {
+		t.Fatal("DES run reported zero scheduler events")
+	}
+}

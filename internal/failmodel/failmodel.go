@@ -1,0 +1,215 @@
+// Package failmodel generates statistical failure workloads for
+// endurance runs: seeded, deterministic sequences of node-failure events
+// drawn from exponential/Poisson, Weibull, or Gamma inter-arrival
+// distributions, or replayed from an explicit trace, optionally with
+// correlated blast-radius losses (one event takes out a block of
+// co-located slots) and cascading follow-on failures that strike while
+// the previous recovery is still in flight.
+//
+// Every workload is addressable by a replayable ID
+//
+//	fail/<dist>/<params>/s<seed>
+//
+// mirroring the crashmat sweep/ and sdc/ schemes: the same ID always
+// expands to the byte-identical event schedule, on any GOMAXPROCS
+// setting and under either simmpi engine, so a logged endurance run can
+// be replayed exactly. Examples:
+//
+//	fail/exp/mtbf3600/s42
+//	fail/weibull/k0.7,l5000/s7
+//	fail/gamma/k2,th1800,blast4/s1
+//	fail/weibull/k0.7,l40,blast2,casc0.25/s9
+//	fail/trace/t100,t250.5,t400/s3
+//
+// The package is replay-critical (sktlint DeterminismCritical): no wall
+// clocks, no global rand, no map-order dependence.
+package failmodel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Distribution names accepted in failure IDs.
+const (
+	DistExp     = "exp"     // Poisson arrivals: exponential inter-arrival, param mtbf
+	DistWeibull = "weibull" // Weibull inter-arrival, params k (shape), l (scale)
+	DistGamma   = "gamma"   // Gamma inter-arrival, params k (shape), th (scale)
+	DistTrace   = "trace"   // explicit arrival times t<sec>,t<sec>,...
+)
+
+// Spec identifies one failure workload — the distribution, its
+// parameters, the correlation model, and the sampling seed. The zero
+// values of Blast and Cascade mean independent single-slot failures.
+type Spec struct {
+	Dist string
+
+	// MTBF is the mean inter-arrival in seconds (DistExp).
+	MTBF float64
+	// Shape and Scale parameterize DistWeibull (k, λ) and DistGamma
+	// (k, θ).
+	Shape, Scale float64
+	// Trace holds explicit arrival times in ascending seconds
+	// (DistTrace); the seed still drives victim selection.
+	Trace []float64
+
+	// Blast is the blast radius: every failure takes out the aligned
+	// block of Blast co-located slots containing the drawn victim
+	// (rack/enclosure-style correlated loss). 0 or 1 means single-slot
+	// failures.
+	Blast int
+	// Cascade is the probability that a failure is followed by another
+	// failure while its recovery is in flight (and that follow-on by
+	// another, geometrically). Must be in [0, 1).
+	Cascade float64
+
+	// Seed drives the deterministic sampling.
+	Seed int64
+}
+
+// fmtF renders a float the shortest way that parses back exactly.
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ID renders the spec's replayable identifier.
+func (s Spec) ID() string {
+	var params []string
+	switch s.Dist {
+	case DistExp:
+		params = append(params, "mtbf"+fmtF(s.MTBF))
+	case DistWeibull:
+		params = append(params, "k"+fmtF(s.Shape), "l"+fmtF(s.Scale))
+	case DistGamma:
+		params = append(params, "k"+fmtF(s.Shape), "th"+fmtF(s.Scale))
+	case DistTrace:
+		for _, t := range s.Trace {
+			params = append(params, "t"+fmtF(t))
+		}
+	}
+	if s.Blast > 1 {
+		params = append(params, "blast"+strconv.Itoa(s.Blast))
+	}
+	if s.Cascade > 0 {
+		params = append(params, "casc"+fmtF(s.Cascade))
+	}
+	return fmt.Sprintf("fail/%s/%s/s%d", s.Dist, strings.Join(params, ","), s.Seed)
+}
+
+// IsID reports whether id names a failure workload.
+func IsID(id string) bool { return strings.HasPrefix(id, "fail/") }
+
+// Validate checks the spec's parameters.
+func (s Spec) Validate() error {
+	switch s.Dist {
+	case DistExp:
+		if !(s.MTBF > 0) {
+			return fmt.Errorf("failmodel: exp needs mtbf > 0, got %g", s.MTBF)
+		}
+	case DistWeibull, DistGamma:
+		if !(s.Shape > 0) || !(s.Scale > 0) {
+			return fmt.Errorf("failmodel: %s needs shape and scale > 0, got k=%g scale=%g", s.Dist, s.Shape, s.Scale)
+		}
+	case DistTrace:
+		if len(s.Trace) == 0 {
+			return fmt.Errorf("failmodel: trace needs at least one arrival time")
+		}
+		prev := 0.0
+		for _, t := range s.Trace {
+			if t < prev {
+				return fmt.Errorf("failmodel: trace times must be ascending and non-negative, got %v", s.Trace)
+			}
+			prev = t
+		}
+	default:
+		return fmt.Errorf("failmodel: unknown distribution %q", s.Dist)
+	}
+	if s.Blast < 0 {
+		return fmt.Errorf("failmodel: blast radius must be non-negative, got %d", s.Blast)
+	}
+	if s.Cascade < 0 || s.Cascade >= 1 {
+		return fmt.Errorf("failmodel: cascade probability must be in [0,1), got %g", s.Cascade)
+	}
+	return nil
+}
+
+// Parse inverts Spec.ID. The returned spec re-renders to a canonical ID:
+// Parse(s.ID()).ID() == s.ID() for any valid spec.
+func Parse(id string) (Spec, error) {
+	parts := strings.Split(id, "/")
+	if len(parts) != 4 || parts[0] != "fail" {
+		return Spec{}, fmt.Errorf("failmodel: malformed ID %q (want fail/<dist>/<params>/s<seed>)", id)
+	}
+	s := Spec{Dist: parts[1]}
+	readF := func(str, prefix string) (float64, bool) {
+		if !strings.HasPrefix(str, prefix) {
+			return 0, false
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(str, prefix), 64)
+		return v, err == nil
+	}
+	for _, p := range strings.Split(parts[2], ",") {
+		var ok bool
+		switch {
+		case strings.HasPrefix(p, "mtbf"):
+			s.MTBF, ok = readF(p, "mtbf")
+		case strings.HasPrefix(p, "th"):
+			s.Scale, ok = readF(p, "th")
+		case strings.HasPrefix(p, "k"):
+			s.Shape, ok = readF(p, "k")
+		case strings.HasPrefix(p, "l"):
+			s.Scale, ok = readF(p, "l")
+		case strings.HasPrefix(p, "t"):
+			var t float64
+			if t, ok = readF(p, "t"); ok {
+				s.Trace = append(s.Trace, t)
+			}
+		case strings.HasPrefix(p, "blast"):
+			var n int
+			var err error
+			n, err = strconv.Atoi(strings.TrimPrefix(p, "blast"))
+			ok = err == nil
+			s.Blast = n
+		case strings.HasPrefix(p, "casc"):
+			s.Cascade, ok = readF(p, "casc")
+		}
+		if !ok {
+			return Spec{}, fmt.Errorf("failmodel: ID %q: bad parameter %q", id, p)
+		}
+	}
+	if !strings.HasPrefix(parts[3], "s") {
+		return Spec{}, fmt.Errorf("failmodel: ID %q: bad seed segment %q", id, parts[3])
+	}
+	seed, err := strconv.ParseInt(strings.TrimPrefix(parts[3], "s"), 10, 64)
+	if err != nil {
+		return Spec{}, fmt.Errorf("failmodel: ID %q: bad seed %q", id, parts[3])
+	}
+	s.Seed = seed
+	if err := s.Validate(); err != nil {
+		return Spec{}, fmt.Errorf("failmodel: ID %q: %w", id, err)
+	}
+	return s, nil
+}
+
+// MeanInterarrival returns the distribution's expected seconds between
+// failure events (the system MTBF seen by the whole machine) — the
+// quantity the capacity planner feeds into the Young/Daly and expected-
+// runtime models.
+func (s Spec) MeanInterarrival() float64 {
+	switch s.Dist {
+	case DistExp:
+		return s.MTBF
+	case DistWeibull:
+		return s.Scale * gammaFn(1+1/s.Shape)
+	case DistGamma:
+		return s.Shape * s.Scale
+	case DistTrace:
+		if len(s.Trace) < 2 {
+			if len(s.Trace) == 1 {
+				return s.Trace[0]
+			}
+			return 0
+		}
+		return (s.Trace[len(s.Trace)-1] - s.Trace[0]) / float64(len(s.Trace)-1)
+	}
+	return 0
+}

@@ -1,0 +1,323 @@
+package failmodel
+
+import (
+	"encoding/binary"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var roundTripSpecs = []Spec{
+	{Dist: DistExp, MTBF: 3600, Seed: 42},
+	{Dist: DistExp, MTBF: 97.25, Blast: 4, Seed: 1},
+	{Dist: DistWeibull, Shape: 0.7, Scale: 5000, Seed: 7},
+	{Dist: DistWeibull, Shape: 1.5, Scale: 40.125, Blast: 2, Cascade: 0.25, Seed: 9},
+	{Dist: DistGamma, Shape: 2, Scale: 1800, Blast: 4, Seed: 1},
+	{Dist: DistGamma, Shape: 0.5, Scale: 12.5, Cascade: 0.125, Seed: 3},
+	{Dist: DistTrace, Trace: []float64{100, 250.5, 400}, Seed: 3},
+	{Dist: DistTrace, Trace: []float64{0, 0, 1e9}, Blast: 8, Cascade: 0.5, Seed: 11},
+}
+
+func TestIDRoundTrip(t *testing.T) {
+	for _, spec := range roundTripSpecs {
+		id := spec.ID()
+		if !IsID(id) {
+			t.Fatalf("IsID(%q) = false", id)
+		}
+		got, err := Parse(id)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", id, err)
+		}
+		if got.ID() != id {
+			t.Errorf("round trip: %q -> %q", id, got.ID())
+		}
+	}
+}
+
+func TestIDRoundTripAwkwardFloats(t *testing.T) {
+	// Shortest-repr formatting must survive floats with no short decimal
+	// form — a third of a second, the smallest normal, a near-1 cascade.
+	for _, spec := range []Spec{
+		{Dist: DistExp, MTBF: 1.0 / 3.0, Seed: 1},
+		{Dist: DistWeibull, Shape: math.Nextafter(1, 2), Scale: math.SmallestNonzeroFloat64 * 1e10, Seed: 2},
+		{Dist: DistGamma, Shape: 1.25, Scale: 3, Cascade: math.Nextafter(1, 0) - 0.5, Seed: 3},
+	} {
+		got, err := Parse(spec.ID())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec.ID(), err)
+		}
+		if got.ID() != spec.ID() {
+			t.Errorf("round trip: %q -> %q", spec.ID(), got.ID())
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, id := range []string{
+		"fail/exp/mtbf0/s1",            // non-positive mean
+		"fail/exp/mtbf-5/s1",           // negative mean
+		"fail/weibull/k1/s1",           // missing scale
+		"fail/gamma/k1,th2,casc1/s1",   // cascade must be < 1
+		"fail/gamma/k1,th2,blast-2/s1", // negative blast
+		"fail/trace//s1",               // empty trace
+		"fail/trace/t5,t1/s1",          // out of order
+		"fail/zipf/a2/s1",              // unknown distribution
+		"fail/exp/mtbf10/x1",           // bad seed segment
+		"fail/exp/mtbf10/s1/extra",     // trailing garbage
+		"sweep/mix/all/n24/s1",         // not a fail ID at all
+		"fail/exp/bogus7/s1",           // unknown parameter
+	} {
+		if _, err := Parse(id); err == nil {
+			t.Errorf("Parse(%q) accepted invalid ID", id)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, spec := range roundTripSpecs {
+		a, err := Generate(spec, 64, 1e5)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.ID(), err)
+		}
+		b, err := Expand(spec.ID(), 64, 1e5)
+		if err != nil {
+			t.Fatalf("Expand(%s): %v", spec.ID(), err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("%s: direct and via-ID expansion differ\n%s\nvs\n%s", spec.ID(), a, b)
+		}
+	}
+}
+
+// TestGenerateGOMAXPROCSInvariant pins the replay contract: the same
+// fail/... ID expands byte-identically no matter how many OS threads
+// the runtime schedules on.
+func TestGenerateGOMAXPROCSInvariant(t *testing.T) {
+	spec := Spec{Dist: DistWeibull, Shape: 0.7, Scale: 40, Blast: 2, Cascade: 0.25, Seed: 9}
+	expand := func() string {
+		s, err := Generate(spec, 128, 1e5)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.ID(), err)
+		}
+		return s.String()
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	want := expand()
+	for _, procs := range []int{2, runtime.NumCPU()} {
+		runtime.GOMAXPROCS(procs)
+		// Expand concurrently from several goroutines as well: the
+		// generator shares no state, so every expansion must agree.
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if got := expand(); got != want {
+					t.Errorf("GOMAXPROCS=%d: expansion differs\n%s\nvs\n%s", procs, got, want)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+func TestGenerateBlastBlocks(t *testing.T) {
+	s, err := Generate(Spec{Dist: DistExp, MTBF: 50, Blast: 4, Seed: 5}, 62, 1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) == 0 {
+		t.Fatal("no events generated")
+	}
+	for _, e := range s.Events {
+		if len(e.Slots) == 0 || len(e.Slots) > 4 {
+			t.Fatalf("blast 4 event destroyed %d slots: %v", len(e.Slots), e.Slots)
+		}
+		base := e.Slots[0]
+		if base%4 != 0 {
+			t.Errorf("blast block not aligned: %v", e.Slots)
+		}
+		for i, v := range e.Slots {
+			if v != base+i {
+				t.Errorf("blast block not contiguous: %v", e.Slots)
+			}
+			if v < 0 || v >= 62 {
+				t.Errorf("victim %d outside machine [0,62): %v", v, e.Slots)
+			}
+		}
+	}
+}
+
+func TestGenerateCascadesMarked(t *testing.T) {
+	s, err := Generate(Spec{Dist: DistExp, MTBF: 100, Cascade: 0.5, Seed: 2}, 16, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cascades := 0
+	for i, e := range s.Events {
+		if !e.Cascade {
+			continue
+		}
+		cascades++
+		if i == 0 {
+			t.Fatal("first event cannot be a cascade")
+		}
+		if e.Time != s.Events[i-1].Time {
+			t.Errorf("cascade at %g does not share its parent's time %g", e.Time, s.Events[i-1].Time)
+		}
+	}
+	// ~1000 primaries at p=0.5 yield ~1000 cascades; zero means the
+	// geometric chain is broken.
+	if cascades == 0 {
+		t.Error("cascade probability 0.5 produced no cascade events")
+	}
+}
+
+func TestGenerateTraceExact(t *testing.T) {
+	trace := []float64{10, 20.5, 30}
+	s, err := Generate(Spec{Dist: DistTrace, Trace: trace, Seed: 1}, 8, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Horizon 25 admits only the first two arrivals.
+	if len(s.Events) != 2 {
+		t.Fatalf("want 2 events inside horizon 25, got %d", len(s.Events))
+	}
+	for i, e := range s.Events {
+		if e.Time != trace[i] {
+			t.Errorf("event %d at %g, want %g", i, e.Time, trace[i])
+		}
+	}
+}
+
+func TestGenerateEventCap(t *testing.T) {
+	// A microscopic scale against a huge horizon must fail loudly, not
+	// allocate forever.
+	if _, err := Generate(Spec{Dist: DistExp, MTBF: 1e-9, Seed: 1}, 4, 1e6); err == nil {
+		t.Fatal("runaway schedule was not capped")
+	}
+}
+
+func TestMeanInterarrival(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want float64
+	}{
+		{Spec{Dist: DistExp, MTBF: 3600}, 3600},
+		{Spec{Dist: DistWeibull, Shape: 1, Scale: 100}, 100},           // k=1 is exponential
+		{Spec{Dist: DistWeibull, Shape: 2, Scale: 100}, 88.6226925452}, // 100·Γ(1.5)
+		{Spec{Dist: DistGamma, Shape: 2, Scale: 50}, 100},
+		{Spec{Dist: DistTrace, Trace: []float64{0, 10, 30}}, 15},
+	}
+	for _, c := range cases {
+		if got := c.spec.MeanInterarrival(); math.Abs(got-c.want) > 1e-6*c.want {
+			t.Errorf("%s: MeanInterarrival = %g, want %g", c.spec.ID(), got, c.want)
+		}
+	}
+}
+
+// TestSampleMeansMatchDistribution checks the hand-rolled samplers
+// against their analytic means — a sanity net over the inverse-CDF and
+// Marsaglia–Tsang implementations.
+func TestSampleMeansMatchDistribution(t *testing.T) {
+	const n = 200_000
+	specs := []Spec{
+		{Dist: DistExp, MTBF: 7, Seed: 1},
+		{Dist: DistWeibull, Shape: 0.7, Scale: 3, Seed: 2},
+		{Dist: DistWeibull, Shape: 2.5, Scale: 11, Seed: 3},
+		{Dist: DistGamma, Shape: 0.5, Scale: 4, Seed: 4},
+		{Dist: DistGamma, Shape: 3, Scale: 2, Seed: 5},
+	}
+	for _, spec := range specs {
+		r := newRNG(uint64(spec.Seed))
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			switch spec.Dist {
+			case DistExp:
+				sum += r.exp(spec.MTBF)
+			case DistWeibull:
+				sum += r.weibull(spec.Shape, spec.Scale)
+			case DistGamma:
+				sum += r.gamma(spec.Shape, spec.Scale)
+			}
+		}
+		got, want := sum/n, spec.MeanInterarrival()
+		if math.Abs(got-want) > 0.02*want {
+			t.Errorf("%s: sample mean %g, analytic mean %g", spec.ID(), got, want)
+		}
+	}
+}
+
+// FuzzSpecFromBytes drives the full pipeline — spec from raw bytes, ID
+// render, parse back, expand twice — and checks the two invariants the
+// replay contract rests on: Parse∘ID is the identity on canonical IDs,
+// and expansion from the parsed spec is byte-identical to expansion
+// from the original.
+func FuzzSpecFromBytes(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add([]byte("weibull-endurance-seed"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 17 {
+			return
+		}
+		u64 := func(off int) uint64 { return binary.LittleEndian.Uint64(data[off : off+8]) }
+		pos := func(off int, lo, hi float64) float64 {
+			return lo + (hi-lo)*(float64(u64(off)>>11)/(1<<53))
+		}
+		spec := Spec{Seed: int64(u64(0) % (1 << 62))}
+		switch data[16] % 4 {
+		case 0:
+			spec.Dist = DistExp
+			spec.MTBF = pos(8, 1e-3, 1e6)
+		case 1:
+			spec.Dist = DistWeibull
+			spec.Shape = pos(8, 0.1, 10)
+			spec.Scale = pos(0, 1e-3, 1e6)
+		case 2:
+			spec.Dist = DistGamma
+			spec.Shape = pos(8, 0.1, 10)
+			spec.Scale = pos(0, 1e-3, 1e6)
+		case 3:
+			spec.Dist = DistTrace
+			tt := 0.0
+			for off := 0; off+8 <= len(data); off += 8 {
+				tt += pos(off, 0, 100)
+				spec.Trace = append(spec.Trace, tt)
+			}
+		}
+		if data[16]&0x10 != 0 {
+			spec.Blast = int(data[16]>>5) + 2
+		}
+		if data[16]&0x08 != 0 {
+			spec.Cascade = pos(8, 0, 0.6)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("constructed spec invalid: %v", err)
+		}
+		id := spec.ID()
+		parsed, err := Parse(id)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", id, err)
+		}
+		if parsed.ID() != id {
+			t.Fatalf("round trip: %q -> %q", id, parsed.ID())
+		}
+		a, errA := Generate(spec, 96, 5e4)
+		b, errB := Generate(parsed, 96, 5e4)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("expansion error mismatch: %v vs %v", errA, errB)
+		}
+		if errA != nil {
+			if !strings.Contains(errA.Error(), "events") {
+				t.Fatalf("unexpected expansion error: %v", errA)
+			}
+			return
+		}
+		if a.String() != b.String() {
+			t.Fatalf("%s: original and parsed specs expand differently", id)
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package failmodel
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// gammaFn is the Γ function (MeanInterarrival of a Weibull needs
+// λ·Γ(1+1/k)).
+func gammaFn(x float64) float64 { return math.Gamma(x) }
+
+// Event is one failure in a generated schedule. Time is absolute
+// seconds on the endurance run's global clock. Slots lists every slot
+// destroyed by the event (more than one when the spec has a blast
+// radius). Cascade marks follow-on failures that strike while the
+// parent event's recovery is still in flight: the runner injects them
+// as while-down kills rather than arming them by time.
+type Event struct {
+	Time    float64
+	Slots   []int
+	Cascade bool
+}
+
+// Schedule is a fully-expanded failure workload: the spec it came from
+// and the concrete events over [0, Horizon) against a machine with
+// Slots slots. Expansion is deterministic — same spec, slots, and
+// horizon always yield byte-identical events.
+type Schedule struct {
+	Spec    Spec
+	Slots   int
+	Horizon float64
+	Events  []Event
+}
+
+// MaxEvents bounds a single expansion so a tiny scale parameter (or a
+// huge horizon) cannot generate an unbounded schedule.
+const MaxEvents = 100_000
+
+// Generate expands the spec into a concrete schedule for a machine with
+// the given slot count over horizon seconds of global time.
+//
+// Draw order is fixed and documented so the stream is auditable: for
+// each primary event, first the inter-arrival draw (none for traces),
+// then one victim draw, then the geometric cascade chain — a Bernoulli
+// draw followed by a victim draw per follow-on. Victims are drawn over
+// the full slot range; with a blast radius the victim's aligned block
+// [v−v%Blast, …) is destroyed, clamped to the machine, modeling
+// enclosure-level correlated loss. Cascade events carry the parent's
+// Time and are flagged so the runner injects them during the parent's
+// recovery window.
+func Generate(spec Spec, slots int, horizon float64) (*Schedule, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if slots <= 0 {
+		return nil, fmt.Errorf("failmodel: need at least one slot, got %d", slots)
+	}
+	if !(horizon > 0) {
+		return nil, fmt.Errorf("failmodel: horizon must be positive, got %g", horizon)
+	}
+	r := newRNG(uint64(spec.Seed))
+	sched := &Schedule{Spec: spec, Slots: slots, Horizon: horizon}
+
+	victims := func() []int {
+		v := r.intn(slots)
+		if spec.Blast <= 1 {
+			return []int{v}
+		}
+		base := v - v%spec.Blast
+		out := make([]int, 0, spec.Blast)
+		for s := base; s < base+spec.Blast && s < slots; s++ {
+			out = append(out, s)
+		}
+		return out
+	}
+
+	t := 0.0
+	for i := 0; ; i++ {
+		switch spec.Dist {
+		case DistExp:
+			t += r.exp(spec.MTBF)
+		case DistWeibull:
+			t += r.weibull(spec.Shape, spec.Scale)
+		case DistGamma:
+			t += r.gamma(spec.Shape, spec.Scale)
+		case DistTrace:
+			if i >= len(spec.Trace) {
+				return sched, nil
+			}
+			t = spec.Trace[i]
+		}
+		if t >= horizon {
+			return sched, nil
+		}
+		sched.Events = append(sched.Events, Event{Time: t, Slots: victims()})
+		for r.float64() < spec.Cascade {
+			sched.Events = append(sched.Events, Event{Time: t, Slots: victims(), Cascade: true})
+			if len(sched.Events) > MaxEvents {
+				return nil, fmt.Errorf("failmodel: %s expands past %d events (runaway cascade)", spec.ID(), MaxEvents)
+			}
+		}
+		if len(sched.Events) > MaxEvents {
+			return nil, fmt.Errorf("failmodel: %s expands past %d events over horizon %g", spec.ID(), MaxEvents, horizon)
+		}
+	}
+}
+
+// Expand parses a fail/... ID and generates its schedule — the one-call
+// replay entry point used by CLIs.
+func Expand(id string, slots int, horizon float64) (*Schedule, error) {
+	spec, err := Parse(id)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(spec, slots, horizon)
+}
+
+// String renders the schedule's canonical, byte-comparable form: one
+// line per event with the exact float bits of the time. Tests compare
+// these across GOMAXPROCS settings and engines.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s slots=%d horizon=%016x events=%d\n",
+		s.Spec.ID(), s.Slots, math.Float64bits(s.Horizon), len(s.Events))
+	for _, e := range s.Events {
+		kind := "primary"
+		if e.Cascade {
+			kind = "cascade"
+		}
+		fmt.Fprintf(&b, "  t=%016x %s slots=%v\n", math.Float64bits(e.Time), kind, e.Slots)
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package failmodel
+
+import "math"
+
+// rng is a self-contained xoshiro256** generator seeded through
+// splitmix64. The stdlib math/rand would work, but its stream is pinned
+// to the Go release's generator; failure IDs promise byte-identical
+// expansion forever, so the generator is spelled out here where no
+// toolchain update can change it.
+type rng struct{ s [4]uint64 }
+
+// newRNG seeds the state with splitmix64, the standard recipe for
+// expanding one 64-bit seed into xoshiro state (an all-zero state would
+// be a fixed point, and splitmix64 never produces one from four draws).
+func newRNG(seed uint64) *rng {
+	r := &rng{}
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// next returns the next 64 random bits (xoshiro256**).
+func (r *rng) next() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// float64 returns a uniform draw in [0, 1) with 53 significant bits.
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform draw in [0, n). The modulo bias at n ≪ 2⁶⁴ is
+// far below anything a failure schedule could observe, and avoiding the
+// rejection loop keeps the draw count per event fixed — one draw per
+// victim — which makes schedules easier to reason about.
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// exp returns an exponential draw with the given mean (inverse-CDF on a
+// (0, 1] uniform so the logarithm never sees zero).
+func (r *rng) exp(mean float64) float64 {
+	return -mean * math.Log(1-r.float64())
+}
+
+// weibull returns a Weibull draw with shape k and scale λ
+// (inverse-CDF: λ·(−ln(1−u))^(1/k)).
+func (r *rng) weibull(shape, scale float64) float64 {
+	return scale * math.Pow(-math.Log(1-r.float64()), 1/shape)
+}
+
+// normal returns a standard normal draw via Box–Muller. The polar
+// (Marsaglia) variant would need a rejection loop; Box–Muller keeps the
+// draw count fixed.
+func (r *rng) normal() float64 {
+	u := 1 - r.float64() // (0, 1]
+	v := r.float64()
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+}
+
+// gamma returns a Gamma(shape k, scale θ) draw with Marsaglia–Tsang
+// squeeze; k < 1 is boosted through Gamma(k+1)·U^(1/k).
+func (r *rng) gamma(shape, scale float64) float64 {
+	if shape < 1 {
+		u := 1 - r.float64() // (0, 1]: the boost exponent blows up at 0
+		return r.gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.normal()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := 1 - r.float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}

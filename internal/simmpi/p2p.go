@@ -372,41 +372,99 @@ func (c *Comm) SendRecv(dst int, sbuf []float64, src int, rbuf []float64) error 
 	return nil
 }
 
+// memberHash fingerprints a communicator member list (FNV-1a over the
+// global rank ids), masked to 52 bits so the value survives a float64
+// hop through the collective layer exactly.
+func memberHash(members []int) uint64 {
+	h := uint64(14695981039346656037)
+	for _, m := range members {
+		for s := 0; s < 64; s += 8 {
+			h ^= uint64(m>>s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h & (1<<52 - 1)
+}
+
+// splitKey names the core a Split with the given color materializes.
+// The member-list hash is part of the name: non-root ranks rebuild the
+// key from their own color plus the hash scattered by root, so a
+// mismatched collective sequence fails the lookup loudly instead of
+// silently attaching to the wrong core.
+func splitKey(parent string, seq, color int, hash uint64) string {
+	return fmt.Sprintf("%s/s%d/c%d/h%013x", parent, seq, color, hash)
+}
+
 // Split partitions the communicator by color, like MPI_Comm_split with
 // key = current rank (rank order is preserved within each color). Every
 // member must call Split collectively with the same call sequence. A
 // negative color returns nil (the rank opts out), but the call still
 // participates in the collective exchange.
 //
-// The color exchange is a gather to rank 0 followed by a binomial-tree
-// broadcast — O(P) messages over O(log P) tree depth — rather than the
-// O(P²)-message ring allgather, so world-sized Splits stay tractable at
-// the paper's rank counts (10k+ ranks under the DES engine).
+// The exchange moves O(1) words per rank: each rank gathers its single
+// color word to rank 0, which alone buckets the membership, creates
+// every sub-communicator's shared core, and scatters back each rank's
+// index within its color plus the member-list hash that completes the
+// core's key. The previous protocol broadcast the full O(P) color
+// vector to every rank — O(P²) words in flight and an O(P) scan per
+// rank — which was the blocker for 100k-rank DES sweeps; now only rank
+// 0 ever holds the color vector.
 func (c *Comm) Split(color int) (*Comm, error) {
-	colors := make([]float64, c.Size())
+	const root = 0
 	mine := []float64{float64(color)}
-	if err := c.Gather(0, mine, colors); err != nil {
+	var colors []float64
+	if c.myIdx == root {
+		colors = make([]float64, c.Size())
+	}
+	if err := c.Gather(root, mine, colors); err != nil {
 		return nil, err
 	}
-	if err := c.Bcast(0, colors); err != nil {
+	reply := []float64{0, 0}
+	var replies []float64
+	if c.myIdx == root {
+		replies = make([]float64, 2*c.Size())
+		order := make([]int, 0, 8)        // distinct colors in first-appearance order
+		buckets := make(map[int][]int, 8) // color → parent indices, rank order
+		for i, col := range colors {
+			cc := int(col)
+			if cc < 0 {
+				replies[2*i] = -1
+				continue
+			}
+			if _, ok := buckets[cc]; !ok {
+				order = append(order, cc)
+			}
+			replies[2*i] = float64(len(buckets[cc]))
+			buckets[cc] = append(buckets[cc], i)
+		}
+		// Materialize every core before the scatter: a non-root rank's
+		// reply receive happens-after these creations, so its lookup
+		// always succeeds.
+		for _, col := range order {
+			idxs := buckets[col]
+			members := make([]int, len(idxs))
+			for j, pi := range idxs {
+				members[j] = c.core.members[pi]
+			}
+			sort.Ints(members) // already rank-ordered; sort for determinism
+			h := memberHash(members)
+			c.rank.world.core(splitKey(c.core.key, c.splitSeq+1, col, h), members)
+			for _, pi := range idxs {
+				replies[2*pi+1] = float64(h)
+			}
+		}
+	}
+	if err := c.Scatter(root, replies, reply); err != nil {
 		return nil, err
 	}
 	c.splitSeq++
 	if color < 0 {
 		return nil, nil
 	}
-	var members []int
-	myIdx := -1
-	for i, col := range colors {
-		if int(col) == color {
-			if i == c.myIdx {
-				myIdx = len(members)
-			}
-			members = append(members, c.core.members[i])
-		}
+	key := splitKey(c.core.key, c.splitSeq, color, uint64(reply[1]))
+	core, ok := c.rank.world.lookupCore(key)
+	if !ok {
+		return nil, fmt.Errorf("simmpi: Split: core %q was never materialized (mismatched collective sequence?)", key)
 	}
-	sort.Ints(members) // members are already rank-ordered; sort for determinism
-	key := fmt.Sprintf("%s/s%d/c%d", c.core.key, c.splitSeq, color)
-	core := c.rank.world.core(key, members)
-	return &Comm{core: core, rank: c.rank, myIdx: myIdx}, nil
+	return &Comm{core: core, rank: c.rank, myIdx: int(reply[0])}, nil
 }

@@ -386,6 +386,61 @@ func TestSplitOptOut(t *testing.T) {
 	mustOK(t, res)
 }
 
+// TestSplitNestedAndRepeated drives the hashed O(1)-per-rank color
+// exchange through its tricky shapes: non-contiguous colors, repeated
+// Splits on the same parent (the sequence number must keep the cores
+// distinct), and a Split of a Split (the key chains through the
+// parent's hashed key).
+func TestSplitNestedAndRepeated(t *testing.T) {
+	res := run(t, 12, func(c *Comm) error {
+		// Colors 0,7,0,7,... — sparse, unordered values must work.
+		first, err := c.Split((c.Rank() % 2) * 7)
+		if err != nil {
+			return err
+		}
+		if first.Size() != 6 || first.Rank() != c.Rank()/2 {
+			return fmt.Errorf("first split: size %d rank %d", first.Size(), first.Rank())
+		}
+		// A second Split on the same parent must land on fresh cores.
+		second, err := c.Split(c.Rank() / 6)
+		if err != nil {
+			return err
+		}
+		if second.Size() != 6 || second.Rank() != c.Rank()%6 {
+			return fmt.Errorf("second split: size %d rank %d", second.Size(), second.Rank())
+		}
+		// Split the sub-communicator again: 6 ranks into pairs.
+		nested, err := first.Split(first.Rank() / 2)
+		if err != nil {
+			return err
+		}
+		if nested.Size() != 2 {
+			return fmt.Errorf("nested split: size %d", nested.Size())
+		}
+		// All three must be live: a sum in each proves the member lists
+		// and rank numbering are right.
+		out := []float64{0}
+		if err := first.Allreduce([]float64{float64(c.Rank())}, out, OpSum); err != nil {
+			return err
+		}
+		wantFirst := float64(0 + 2 + 4 + 6 + 8 + 10)
+		if c.Rank()%2 == 1 {
+			wantFirst = 1 + 3 + 5 + 7 + 9 + 11
+		}
+		if out[0] != wantFirst {
+			return fmt.Errorf("first split sum %g, want %g", out[0], wantFirst)
+		}
+		if err := nested.Allreduce([]float64{1}, out, OpSum); err != nil {
+			return err
+		}
+		if out[0] != 2 {
+			return fmt.Errorf("nested split sum %g, want 2", out[0])
+		}
+		return second.Barrier()
+	})
+	mustOK(t, res)
+}
+
 func TestKillAtTimeAbortsJob(t *testing.T) {
 	w, err := NewWorld(Config{
 		Ranks:     4,

@@ -218,6 +218,17 @@ func (w *World) core(key string, members []int) *commCore {
 	return c
 }
 
+// lookupCore returns the core registered under key, if any. Split's
+// non-root ranks use it to attach to the core rank 0 materialized: by
+// the time their scatter reply arrives the creation has already
+// happened, so a miss means a protocol bug, not a race.
+func (w *World) lookupCore(key string) (*commCore, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	c, ok := w.cores[key]
+	return c, ok
+}
+
 // Run executes fn on every rank under the configured engine and waits
 // for all of them. A rank that returns a non-nil error aborts the job,
 // as does a rank destroyed by failure injection. Run may be called once.

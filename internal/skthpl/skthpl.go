@@ -263,10 +263,21 @@ func Rank(env *cluster.Env, cfg Config) error {
 	checkpoints := 0
 	var lastCkpt, totalCkpt float64
 	t0 := env.Now()
+	//sktlint:ephemeral — wall-clock mark; a restarted attempt remeasures it
+	panelT := t0
 	hook := func(k int) error {
 		if err := scrub.Tick(); err != nil {
 			return err
 		}
+		// Per-panel and per-checkpoint seconds also go out under the
+		// endurance metric names, closing the adaptive interval
+		// controller's feedback loop when SKT-HPL runs under
+		// cluster.Endure.
+		env.Metric(cluster.MetricUnitSec, env.Now()-panelT)
+		defer func() {
+			//sktlint:ephemeral — wall-clock mark; a restarted attempt remeasures it
+			panelT = env.Now()
+		}()
 		if cfg.CheckpointEvery <= 0 || k%cfg.CheckpointEvery != 0 || solver.Done() {
 			return nil
 		}
@@ -282,6 +293,7 @@ func Rank(env *cluster.Env, cfg Config) error {
 		checkpoints++
 		env.Metric(MetricCheckpointSec, lastCkpt)
 		env.Metric(MetricCkptTotalSec, totalCkpt)
+		env.Metric(cluster.MetricCkptSec, lastCkpt)
 		return nil
 	}
 	activeHook := hook
