@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test lint vet sktlint staticcheck matrix bench bench-smoke bench-des bench-des-smoke equivalence equivalence-full endurance endurance-10k
+.PHONY: all build test lint vet sktlint sktlint-conc staticcheck matrix bench bench-smoke bench-des bench-des-smoke equivalence equivalence-full equivalence-full-race endurance endurance-10k
 
 all: build lint test
 
@@ -11,10 +11,10 @@ test:
 	$(GO) test ./...
 
 # lint is the one-shot static gate CI runs on every push: go vet, the
-# repo's own sktlint suite (detrand, shmlifecycle, collsym, ckpterr,
-# ckptcover — see `go run ./cmd/sktlint -list`), and staticcheck when the
-# binary is on PATH (it needs a network install, so local runs degrade
-# gracefully).
+# repo's own sktlint suite (detrand, shmlifecycle, collsym, collorder,
+# ckpterr, ckptcover, lockblock, goleak, hotalloc — see
+# `go run ./cmd/sktlint -list`), and staticcheck when the binary is on
+# PATH (it needs a network install, so local runs degrade gracefully).
 lint: vet sktlint staticcheck
 
 vet:
@@ -22,6 +22,13 @@ vet:
 
 sktlint:
 	$(GO) run ./cmd/sktlint ./...
+
+# The concurrency subset only (blocking-under-lock, goroutine joins,
+# collective ordering, hot-loop allocations) over the internal tree:
+# exercises the -run selection path the same way a downstream repo
+# adopting single analyzers would.
+sktlint-conc:
+	$(GO) run ./cmd/sktlint -run lockblock,goleak,collorder,hotalloc ./internal/...
 
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
@@ -60,6 +67,13 @@ equivalence:
 
 equivalence-full:
 	$(GO) test -run TestEngineEquivalenceFull -v ./internal/crashmat/
+
+# The same full matrix under the race detector: the DES engine hands one
+# run token around and the goroutine engine synchronizes on channels, so
+# a data race anywhere in either engine or the protocols surfaces here
+# (the nightly CI job; slower, hence separate from equivalence-full).
+equivalence-full-race:
+	$(GO) test -run TestEngineEquivalenceFull -race -timeout 60m -v ./internal/crashmat/
 
 # Sustained-failure endurance: the 64-rank trace/cascade workload on
 # both engines (records diffed byte for byte) plus the replay-by-ID gate

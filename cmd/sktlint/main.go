@@ -1,27 +1,41 @@
 // Command sktlint statically enforces the simulator's invariants over the
 // module: determinism of replay-by-ID code (detrand), SHM segment
-// lifecycle (shmlifecycle), collective-call symmetry (collsym), checked
-// checkpoint errors (ckpterr), and checkpoint coverage of loop-carried
-// state (ckptcover). It is the compile-time counterpart of the
-// crash-matrix and SDC runtime checks: the invariants those sweeps probe
-// after the fact are rejected here before the code merges.
+// lifecycle (shmlifecycle), collective-call symmetry and interprocedural
+// collective ordering (collsym, collorder), checked checkpoint errors
+// (ckpterr), checkpoint coverage of loop-carried state (ckptcover),
+// channel operations under locks (lockblock), goroutine join discipline
+// (goleak), and steady-state allocation freedom of the hot packages
+// (hotalloc). It is the compile-time counterpart of the crash-matrix and
+// SDC runtime checks: the invariants those sweeps probe after the fact
+// are rejected here before the code merges.
 //
 // Usage:
 //
-//	sktlint ./...            # lint the whole module
-//	sktlint ./internal/shm   # lint one package
-//	sktlint -json ./...      # machine-readable findings (file/line/col/
-//	                         # analyzer/message/suppression)
-//	sktlint -gha ./...       # GitHub Actions ::error annotations
-//	sktlint -list            # describe the analyzers and exit
+//	sktlint ./...                      # lint the whole module
+//	sktlint ./internal/shm             # lint one package
+//	sktlint -run goleak,hotalloc ./... # lint with a subset of the suite
+//	sktlint -json ./...                # machine-readable findings
+//	sktlint -gha ./...                 # GitHub Actions ::error annotations
+//	sktlint -baseline lint.json -write-baseline ./...  # record today's debt
+//	sktlint -baseline lint.json ./...  # fail only on NEW findings
+//	sktlint -list                      # describe the analyzers and exit
 //
-// Exit status is 1 when any diagnostic is reported, 2 on usage or load
-// errors. False positives are suppressed only with the documented
-// annotations (//sktlint:nondeterministic, //sktlint:persistent-segment,
-// //sktlint:rank-divergent, //sktlint:unchecked-error,
-// //sktlint:ephemeral) so every waiver is visible in review and grep-able
-// later; the JSON output names the applicable annotation next to each
-// finding.
+// Baseline mode supports adopting an analyzer on a codebase with existing
+// findings: -write-baseline records the current findings to the baseline
+// file, and later runs with -baseline report only findings absent from
+// it. Matching is by file, analyzer, and message — not line numbers, so
+// unrelated edits that shift a waived finding do not break the build.
+// Every baselined finding remains visible in the file itself, with a
+// written reason per entry.
+//
+// Exit status is 1 when any (non-baselined) diagnostic is reported, 2 on
+// usage or load errors. False positives are suppressed only with the
+// documented annotations (//sktlint:nondeterministic,
+// //sktlint:persistent-segment, //sktlint:rank-divergent,
+// //sktlint:unchecked-error, //sktlint:ephemeral,
+// //sktlint:held-by-design, //sktlint:detached, //sktlint:hot-alloc) so
+// every waiver is visible in review and grep-able later; the JSON output
+// names the applicable annotation next to each finding.
 package main
 
 import (
@@ -40,6 +54,9 @@ func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of plain lines")
 	ghaOut := flag.Bool("gha", false, "emit findings as GitHub Actions ::error annotations")
+	runList := flag.String("run", "", "comma-separated analyzer names to run (default: the full suite)")
+	baselinePath := flag.String("baseline", "", "JSON baseline file: report only findings not recorded there")
+	writeBaseline := flag.Bool("write-baseline", false, "write the current findings to the -baseline file and exit clean")
 	flag.Parse()
 
 	if *list {
@@ -47,6 +64,17 @@ func main() {
 			fmt.Printf("%-14s %s\n", e.Analyzer.Name, e.Analyzer.Doc)
 		}
 		return
+	}
+	if *writeBaseline && *baselinePath == "" {
+		fatal(fmt.Errorf("-write-baseline requires -baseline <file>"))
+	}
+
+	entries := suite.Analyzers()
+	if *runList != "" {
+		var err error
+		if entries, err = suite.Select(*runList); err != nil {
+			fatal(err)
+		}
 	}
 
 	patterns := flag.Args()
@@ -65,32 +93,53 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	diags, err := suite.Run(pkgs)
+	diags, err := suite.RunSelected(pkgs, entries)
 	if err != nil {
 		fatal(err)
+	}
+	findings := toFindings(cwd, diags)
+
+	if *writeBaseline {
+		if err := writeBaselineFile(*baselinePath, findings); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sktlint: recorded %d finding(s) to %s\n", len(findings), *baselinePath)
+		return
+	}
+	if *baselinePath != "" {
+		baseline, err := readBaselineFile(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		findings = newAgainstBaseline(baseline, findings)
 	}
 
 	switch {
 	case *jsonOut:
-		if err := emitJSON(os.Stdout, cwd, diags); err != nil {
+		if err := emitJSON(os.Stdout, findings); err != nil {
 			fatal(err)
 		}
 	case *ghaOut:
-		emitGHA(cwd, diags)
+		emitGHA(os.Stdout, findings)
 	default:
-		for _, d := range diags {
-			fmt.Println(d)
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "sktlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+	if len(findings) > 0 {
+		what := "finding(s)"
+		if *baselinePath != "" {
+			what = "new finding(s) beyond the baseline"
+		}
+		fmt.Fprintf(os.Stderr, "sktlint: %d %s in %d package(s)\n", len(findings), what, len(pkgs))
 		os.Exit(1)
 	}
 }
 
-// jsonDiag is the machine-readable form of one finding. Suppression is
-// the //sktlint:... annotation that would waive it, so tooling can
-// suggest the correct, grep-able escape hatch in place.
+// jsonDiag is the machine-readable form of one finding, and the unit the
+// baseline stores. Suppression is the //sktlint:... annotation that would
+// waive it, so tooling can suggest the correct, grep-able escape hatch in
+// place.
 type jsonDiag struct {
 	File        string `json:"file"`
 	Line        int    `json:"line"`
@@ -100,7 +149,7 @@ type jsonDiag struct {
 	Suppression string `json:"suppression,omitempty"`
 }
 
-func emitJSON(w *os.File, cwd string, diags []analysis.Diagnostic) error {
+func toFindings(cwd string, diags []analysis.Diagnostic) []jsonDiag {
 	suppressions := suppressionByAnalyzer()
 	out := make([]jsonDiag, 0, len(diags))
 	for _, d := range diags {
@@ -113,27 +162,95 @@ func emitJSON(w *os.File, cwd string, diags []analysis.Diagnostic) error {
 			Suppression: suppressions[d.Analyzer],
 		})
 	}
+	return out
+}
+
+func emitJSON(w *os.File, findings []jsonDiag) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return enc.Encode(findings)
 }
 
 // emitGHA prints one workflow command per finding; GitHub converts them
 // into error annotations anchored to the file and line in the diff view.
-func emitGHA(cwd string, diags []analysis.Diagnostic) {
-	for _, d := range diags {
-		fmt.Printf("::error file=%s,line=%d,col=%d,title=sktlint/%s::%s\n",
-			ghaEscape(relPath(cwd, d.Pos.Filename)), d.Pos.Line, d.Pos.Column,
-			d.Analyzer, ghaEscape(d.Message))
+func emitGHA(w *os.File, findings []jsonDiag) {
+	for _, f := range findings {
+		fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=%s::%s\n",
+			ghaEscapeProperty(f.File), f.Line, f.Col,
+			ghaEscapeProperty("sktlint/"+f.Analyzer), ghaEscapeData(f.Message))
 	}
 }
 
-// ghaEscape applies the workflow-command escaping rules for data fields.
-func ghaEscape(s string) string {
+// ghaEscapeData applies the workflow-command escaping rules for the data
+// portion (after ::): percent first, then the line breaks.
+func ghaEscapeData(s string) string {
 	s = strings.ReplaceAll(s, "%", "%25")
 	s = strings.ReplaceAll(s, "\r", "%0D")
 	s = strings.ReplaceAll(s, "\n", "%0A")
 	return s
+}
+
+// ghaEscapeProperty escapes a property value (file=..., title=...): the
+// data rules plus colon and comma, which would otherwise terminate the
+// property or the property list.
+func ghaEscapeProperty(s string) string {
+	s = ghaEscapeData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
+}
+
+// writeBaselineFile records the findings, indented for reviewable diffs.
+func writeBaselineFile(path string, findings []jsonDiag) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(findings); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readBaselineFile(path string) ([]jsonDiag, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var baseline []jsonDiag
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return baseline, nil
+}
+
+// newAgainstBaseline returns the findings not covered by the baseline.
+// Matching is a multiset over (file, analyzer, message) — line and column
+// are recorded for humans but deliberately ignored, so edits elsewhere in
+// a file do not resurrect its baselined findings. Duplicate messages in
+// one file consume baseline entries one-for-one, so adding a second
+// instance of an already-baselined defect is still reported.
+func newAgainstBaseline(baseline, current []jsonDiag) []jsonDiag {
+	covered := map[string]int{}
+	for _, b := range baseline {
+		covered[baselineKey(b)]++
+	}
+	var out []jsonDiag
+	for _, c := range current {
+		if k := baselineKey(c); covered[k] > 0 {
+			covered[k]--
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func baselineKey(d jsonDiag) string {
+	return d.File + "\x00" + d.Analyzer + "\x00" + d.Message
 }
 
 func suppressionByAnalyzer() map[string]string {

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestGHAEscaping pins the workflow-command escaping rules: the data
+// portion escapes %, \r, \n (percent first, or the escapes themselves
+// get double-escaped); property values additionally escape : and ,
+// which would otherwise terminate the property or the property list.
+func TestGHAEscaping(t *testing.T) {
+	data := []struct{ in, want string }{
+		{"plain", "plain"},
+		{"50% done", "50%25 done"},
+		{"a\nb", "a%0Ab"},
+		{"a\r\nb", "a%0D%0Ab"},
+		{"%0A", "%250A"}, // pre-escaped text must round-trip, not collapse
+		{"file.go:12, col 3", "file.go:12, col 3"},
+	}
+	for _, tt := range data {
+		if got := ghaEscapeData(tt.in); got != tt.want {
+			t.Errorf("ghaEscapeData(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+	props := []struct{ in, want string }{
+		{"internal/a.go", "internal/a.go"},
+		{"c:\\repo\\a.go", "c%3A\\repo\\a.go"},
+		{"weird,name.go", "weird%2Cname.go"},
+		{"sktlint/goleak", "sktlint/goleak"},
+		{"100%,done:now\n", "100%25%2Cdone%3Anow%0A"},
+	}
+	for _, tt := range props {
+		if got := ghaEscapeProperty(tt.in); got != tt.want {
+			t.Errorf("ghaEscapeProperty(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+// TestEmitGHA renders one finding end-to-end: the file and title go
+// through property escaping, the message through data escaping, and the
+// command shape matches what the Actions runner parses.
+func TestEmitGHA(t *testing.T) {
+	tmp, err := os.CreateTemp(t.TempDir(), "gha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitGHA(tmp, []jsonDiag{{
+		File: "internal/a,b.go", Line: 3, Col: 7,
+		Analyzer: "hotalloc", Message: "alloc: 50% hotter\nsecond line",
+	}})
+	tmp.Seek(0, 0)
+	out, _ := os.ReadFile(tmp.Name())
+	want := "::error file=internal/a%2Cb.go,line=3,col=7,title=sktlint/hotalloc::alloc: 50%25 hotter%0Asecond line\n"
+	if string(out) != want {
+		t.Errorf("emitGHA output:\n got %q\nwant %q", out, want)
+	}
+}
+
+// TestNewAgainstBaseline pins the matching semantics: file+analyzer+
+// message, line-insensitive, multiset on duplicates.
+func TestNewAgainstBaseline(t *testing.T) {
+	d := func(file, analyzer, msg string, line int) jsonDiag {
+		return jsonDiag{File: file, Line: line, Col: 1, Analyzer: analyzer, Message: msg}
+	}
+	baseline := []jsonDiag{
+		d("a.go", "goleak", "no join", 10),
+		d("a.go", "hotalloc", "make in loop", 20),
+		d("a.go", "hotalloc", "make in loop", 30), // two instances baselined
+	}
+	current := []jsonDiag{
+		d("a.go", "goleak", "no join", 99),        // moved: still covered
+		d("a.go", "hotalloc", "make in loop", 20), // covered
+		d("a.go", "hotalloc", "make in loop", 21), // covered by the second entry
+		d("a.go", "hotalloc", "make in loop", 22), // third instance: NEW
+		d("b.go", "goleak", "no join", 10),        // other file: NEW
+		d("a.go", "lockblock", "send under mu", 5),
+	}
+	got := newAgainstBaseline(baseline, current)
+	want := []jsonDiag{
+		d("a.go", "hotalloc", "make in loop", 22),
+		d("b.go", "goleak", "no join", 10),
+		d("a.go", "lockblock", "send under mu", 5),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("newAgainstBaseline:\n got %+v\nwant %+v", got, want)
+	}
+	if res := newAgainstBaseline(nil, nil); len(res) != 0 {
+		t.Errorf("empty inputs should yield no findings, got %+v", res)
+	}
+	if res := newAgainstBaseline(baseline, nil); len(res) != 0 {
+		t.Errorf("fixed findings should yield nothing, got %+v", res)
+	}
+}
+
+// TestBaselineRoundTrip writes a baseline and reads it back through the
+// same code paths the CLI uses.
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	in := []jsonDiag{
+		{File: "a.go", Line: 1, Col: 2, Analyzer: "goleak", Message: "no join", Suppression: "//sktlint:detached"},
+	}
+	if err := writeBaselineFile(path, in); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out, err := readBaselineFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", out, in)
+	}
+	// The file itself must be valid indented JSON (reviewable in diffs).
+	raw, _ := os.ReadFile(path)
+	var generic []map[string]any
+	if err := json.Unmarshal(raw, &generic); err != nil {
+		t.Fatalf("baseline file is not a JSON array: %v", err)
+	}
+	if _, err := readBaselineFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("reading a missing baseline must error, not silently pass everything")
+	}
+}

@@ -1,0 +1,672 @@
+// Package blockgraph computes an interprocedural blocking summary of one
+// package: which declared functions may block the calling goroutine, at
+// which sites, and which mutexes are held when they do. It is the shared
+// substrate of the concurrency analyzers in the sktlint suite — lockblock
+// reads the held-lock sets, goleak and collorder reuse its notion of
+// blocking and collective entry points.
+//
+// A site blocks when it can park the goroutine indefinitely:
+//
+//   - a channel send or receive outside a select,
+//   - a select with no default clause,
+//   - sync acquisitions: Mutex.Lock, RWMutex.Lock/RLock, WaitGroup.Wait,
+//     Cond.Wait, and blocking stdlib calls such as time.Sleep,
+//   - simmpi rendezvous entry points: every Comm collective plus the
+//     point-to-point Send/Recv/SendRecv/ISend (a full inbox blocks even
+//     the "immediate" send) and Split,
+//   - a call to an intra-package function whose own summary blocks — the
+//     interprocedural step, computed as a fixed point over the package
+//     call graph so chains of helpers are followed to any depth.
+//
+// Held-lock tracking is a forward may-analysis over the cfg package's
+// control-flow graphs: x.Lock()/x.RLock() gens the canonical receiver
+// expression ("w.mu", "poolMu"), x.Unlock()/x.RUnlock() kills it, and a
+// deferred unlock deliberately does not kill — the lock really is held
+// for the remainder of the function, which is exactly the window the
+// lockblock analyzer cares about. Merging paths unions their held sets
+// (may-held), so a lock taken on one arm of a branch is still reported
+// when a blocking site is reachable from both arms.
+//
+// Function literals are summarized separately from their enclosing
+// function: a goroutine body's blocking belongs to the goroutine, not to
+// the function that launches it, and a lock held at the `go` statement is
+// not held inside the new goroutine.
+package blockgraph
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"selfckpt/internal/analysis"
+	"selfckpt/internal/analysis/cfg"
+)
+
+// Kind classifies a blocking site.
+type Kind int
+
+const (
+	// ChanSend is a channel send statement outside a select.
+	ChanSend Kind = iota
+	// ChanRecv is a channel receive outside a select.
+	ChanRecv
+	// SelectBlock is a select statement with no default clause.
+	SelectBlock
+	// SyncAcquire is a bounded-wait acquisition: Mutex.Lock, RWMutex
+	// .Lock/.RLock (released by whoever holds them), or time.Sleep. These
+	// make a function "may block" but are not themselves flagged under a
+	// held lock — precise lock-order cycle detection is a different
+	// analysis.
+	SyncAcquire
+	// SyncWait is an unbounded rendezvous with other goroutines:
+	// WaitGroup.Wait or Cond.Wait. Holding a lock across one deadlocks
+	// every signaller that needs the lock.
+	SyncWait
+	// SimmpiOp is a simmpi Comm rendezvous: collective or point-to-point.
+	SimmpiOp
+	// BlockingCall is a call to an intra-package function whose summary
+	// blocks.
+	BlockingCall
+)
+
+// Hard reports whether the kind is an unbounded rendezvous — the classes
+// whose progress depends on another goroutine that may itself need the
+// held lock. BlockingCall hardness depends on the callee; use
+// Graph.HardBlocks.
+func (k Kind) Hard() bool {
+	switch k {
+	case ChanSend, ChanRecv, SelectBlock, SyncWait, SimmpiOp:
+		return true
+	}
+	return false
+}
+
+func (k Kind) String() string {
+	switch k {
+	case ChanSend:
+		return "channel send"
+	case ChanRecv:
+		return "channel receive"
+	case SelectBlock:
+		return "select without default"
+	case SyncAcquire:
+		return "sync acquisition"
+	case SyncWait:
+		return "sync wait"
+	case SimmpiOp:
+		return "simmpi rendezvous"
+	case BlockingCall:
+		return "call to blocking function"
+	}
+	return "unknown"
+}
+
+// Site is one blocking program point inside a function body.
+type Site struct {
+	Pos  token.Pos
+	Kind Kind
+	// Desc names the operation ("send on e.parked", "Comm.Allreduce",
+	// "call to yield"). Used verbatim in diagnostics.
+	Desc string
+	// Held lists the canonical lock expressions that may be held when the
+	// site executes, sorted. Empty for lock-free sites.
+	Held []Acquisition
+	// Callee is set for BlockingCall sites: the summarized callee.
+	Callee *types.Func
+}
+
+// Acquisition is one lock that may be held at a site.
+type Acquisition struct {
+	// Lock is the canonical receiver expression, e.g. "w.mu".
+	Lock string
+	// Pos is where the lock was (last) acquired on some path to the site.
+	Pos token.Pos
+	// Read marks an RLock (shared) acquisition.
+	Read bool
+}
+
+// Summary is the blocking behaviour of one function or method.
+type Summary struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	// Blocks reports whether some path through the function may block.
+	Blocks bool
+	// Sites are the function's own blocking sites in source order,
+	// including BlockingCall sites for calls into blocking package
+	// functions. Sites inside nested function literals are *not* here —
+	// they belong to the literal's own behaviour.
+	Sites []Site
+	// Witness is the first site proving Blocks, for "f may block:
+	// <op>" diagnostics.
+	Witness *Site
+
+	// hardBlocks caches the Pass-3 hardness verdict; read it through
+	// Graph.HardBlocks.
+	hardBlocks bool
+}
+
+// Graph is the package-level blocking summary.
+type Graph struct {
+	pass *analysis.Pass
+	// Summaries maps every function and method declared in the package
+	// to its summary.
+	Summaries map[*types.Func]*Summary
+}
+
+// pending is a function summary under construction during New's fixed
+// point.
+type pending struct {
+	sum   *Summary
+	calls []callRef // resolvable intra-package call sites, in order
+	added map[*ast.CallExpr]bool
+}
+
+// callRef is one resolvable intra-package call with the locks held there.
+type callRef struct {
+	callee *types.Func
+	site   *ast.CallExpr
+	held   []Acquisition
+}
+
+// New computes the blocking summary of the pass's package.
+func New(pass *analysis.Pass) *Graph {
+	g := &Graph{pass: pass, Summaries: map[*types.Func]*Summary{}}
+
+	// Pass 1: direct blocking sites and the held-lock dataflow, per
+	// declared function.
+	var fns []*pending
+	byFn := map[*types.Func]*pending{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := analysis.ObjectOf(pass.TypesInfo, fd.Name).(*types.Func)
+			if fn == nil {
+				continue
+			}
+			p := &pending{sum: &Summary{Fn: fn, Decl: fd}}
+			p.sum.Sites, p.calls = scanBody(pass, fd.Body)
+			g.Summaries[fn] = p.sum
+			fns = append(fns, p)
+			byFn[fn] = p
+		}
+	}
+
+	// Pass 2: fixed point over the call graph. A function blocks when it
+	// has a direct site or calls (intra-package) a blocking function;
+	// recognized cross-package entry points (simmpi, sync) were already
+	// turned into direct sites by scanBody.
+	for _, p := range fns {
+		p.sum.Blocks = len(p.sum.Sites) > 0
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range fns {
+			for _, cr := range p.calls {
+				callee, ok := byFn[cr.callee]
+				if !ok || !callee.sum.Blocks || p.added[cr.site] {
+					continue
+				}
+				p.addCallSite(cr)
+				p.sum.Blocks = true
+				changed = true
+			}
+		}
+	}
+	for _, p := range fns {
+		sort.SliceStable(p.sum.Sites, func(i, j int) bool {
+			return p.sum.Sites[i].Pos < p.sum.Sites[j].Pos
+		})
+		if len(p.sum.Sites) > 0 {
+			p.sum.Witness = &p.sum.Sites[0]
+		}
+	}
+
+	// Pass 3: hardness. A function hard-blocks when it has a site whose
+	// kind is an unbounded rendezvous, or a BlockingCall to a
+	// hard-blocking function.
+	for changed := true; changed; {
+		changed = false
+		for _, p := range fns {
+			if p.sum.hardBlocks {
+				continue
+			}
+			for i := range p.sum.Sites {
+				s := &p.sum.Sites[i]
+				if s.Kind.Hard() || (s.Kind == BlockingCall && g.HardBlocks(s.Callee)) {
+					p.sum.hardBlocks = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return g
+}
+
+// HardBlocks reports whether fn may block in an unbounded rendezvous —
+// directly or through a chain of intra-package calls. Cross-package
+// simmpi Comm entry points are hard by definition.
+func (g *Graph) HardBlocks(fn *types.Func) bool {
+	if sum, ok := g.Summaries[fn]; ok {
+		return sum.hardBlocks
+	}
+	return g.Blocks(fn) // recognized cross-package entries are all rendezvous
+}
+
+// addCallSite turns an intra-package call to a (now known) blocking
+// callee into a BlockingCall site carrying the held locks at the call.
+// Calls launched with `go` do not block the launcher and are skipped;
+// deferred calls block at function exit and are kept.
+func (p *pending) addCallSite(cr callRef) {
+	if p.added == nil {
+		p.added = map[*ast.CallExpr]bool{}
+	}
+	p.added[cr.site] = true
+	p.sum.Sites = append(p.sum.Sites, Site{
+		Pos:    cr.site.Pos(),
+		Kind:   BlockingCall,
+		Desc:   "call to " + cr.callee.Name(),
+		Held:   cr.held,
+		Callee: cr.callee,
+	})
+}
+
+// --- held-lock dataflow and site extraction over one body ---
+
+type heldMap map[string]Acquisition
+
+func cloneHeld(h heldMap) heldMap {
+	out := make(heldMap, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+func heldEqual(a, b heldMap) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func heldList(h heldMap) []Acquisition {
+	if len(h) == 0 {
+		return nil
+	}
+	out := make([]Acquisition, 0, len(h))
+	for _, a := range h {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lock < out[j].Lock })
+	return out
+}
+
+// scanBody finds the direct blocking sites of body (walking the AST, so
+// select statements are seen whole) and the intra-package call sites for
+// the interprocedural fixed point, each annotated with the locks that may
+// be held when it executes (from the CFG dataflow).
+func scanBody(pass *analysis.Pass, body *ast.BlockStmt) ([]Site, []callRef) {
+	graph := cfg.Build(body, cfg.Options{NoReturn: func(call *ast.CallExpr) bool {
+		return analysis.IsPkgFunc(pass.TypesInfo, call, "os", "Exit") ||
+			analysis.IsPkgFunc(pass.TypesInfo, call, "runtime", "Goexit")
+	}})
+	heldAt := solveHeld(pass, graph)
+	heldFor := func(pos token.Pos) []Acquisition {
+		blk, idx := graph.Containing(pos)
+		if blk == nil {
+			return nil
+		}
+		return heldList(heldAt[blk.Stmts[idx]])
+	}
+
+	var sites []Site
+	var calls []callRef
+	collect(pass, body, func(s Site, heldPos token.Pos) {
+		s.Held = heldFor(heldPos)
+		sites = append(sites, s)
+	}, func(cr callRef) {
+		cr.held = heldFor(cr.site.Pos())
+		calls = append(calls, cr)
+	})
+	sort.SliceStable(sites, func(i, j int) bool { return sites[i].Pos < sites[j].Pos })
+	return sites, calls
+}
+
+// collect walks body emitting raw blocking sites and resolvable
+// intra-package calls. Nested function literals are skipped (their
+// blocking belongs to whoever runs them); comm operations of select
+// clauses are folded into the select's own site; calls launched by a
+// `go` statement do not block the launcher.
+func collect(pass *analysis.Pass, body *ast.BlockStmt, emit func(Site, token.Pos), emitCall func(callRef)) {
+	selComms := map[ast.Node]bool{}
+	goCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			goCalls[n.Call] = true
+		case *ast.SelectStmt:
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					markComm(cc.Comm, selComms)
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			hasDefault := false
+			var firstComm ast.Node
+			for _, c := range n.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if cc.Comm == nil {
+					hasDefault = true
+				} else if firstComm == nil {
+					firstComm = cc.Comm
+				}
+			}
+			if !hasDefault {
+				// The held set at the select is the held set where its
+				// first comm operation would run (the select node itself
+				// is decomposed by the CFG builder).
+				heldPos := n.Pos()
+				if firstComm != nil {
+					heldPos = firstComm.Pos()
+				}
+				emit(Site{Pos: n.Pos(), Kind: SelectBlock, Desc: "select with no default clause"}, heldPos)
+			}
+		case *ast.SendStmt:
+			if !selComms[n] {
+				emit(Site{Pos: n.Pos(), Kind: ChanSend,
+					Desc: "send on " + exprString(pass.Fset, n.Chan)}, n.Pos())
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !selComms[n] {
+				emit(Site{Pos: n.Pos(), Kind: ChanRecv,
+					Desc: "receive from " + exprString(pass.Fset, n.X)}, n.Pos())
+			}
+		case *ast.CallExpr:
+			if goCalls[n] {
+				return true // arguments still walked; the call itself runs elsewhere
+			}
+			if s, ok := blockingEntryPoint(pass, n); ok {
+				emit(s, n.Pos())
+				return true
+			}
+			if fn := analysis.CalleeFunc(pass.TypesInfo, n); fn != nil && fn.Pkg() == pass.Pkg {
+				emitCall(callRef{callee: fn, site: n})
+			}
+		}
+		return true
+	})
+}
+
+// markComm records the send/receive nodes that form a select clause's
+// comm operation (including `v := <-ch` assignment forms), so they are
+// not double-counted as standalone blocking ops.
+func markComm(comm ast.Stmt, out map[ast.Node]bool) {
+	switch c := comm.(type) {
+	case *ast.SendStmt:
+		out[c] = true
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(c.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			out[u] = true
+		}
+	case *ast.AssignStmt:
+		for _, r := range c.Rhs {
+			if u, ok := ast.Unparen(r).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				out[u] = true
+			}
+		}
+	}
+}
+
+// blockingEntryPoint recognizes cross-package blocking calls: sync
+// acquisitions, time.Sleep, and the simmpi Comm rendezvous methods.
+func blockingEntryPoint(pass *analysis.Pass, call *ast.CallExpr) (Site, bool) {
+	if name, _, ok := syncMethod(pass, call); ok {
+		switch name {
+		case "Lock", "RLock":
+			return Site{Pos: call.Pos(), Kind: SyncAcquire,
+				Desc: exprString(pass.Fset, call.Fun) + "()"}, true
+		case "Wait":
+			return Site{Pos: call.Pos(), Kind: SyncWait,
+				Desc: exprString(pass.Fset, call.Fun) + "()"}, true
+		}
+		return Site{}, false
+	}
+	if analysis.IsPkgFunc(pass.TypesInfo, call, "time", "Sleep") {
+		return Site{Pos: call.Pos(), Kind: SyncAcquire, Desc: "time.Sleep"}, true
+	}
+	if method, ok := analysis.MethodOn(pass.TypesInfo, call, "internal/simmpi", "Comm"); ok && CommBlocking[method] {
+		return Site{Pos: call.Pos(), Kind: SimmpiOp, Desc: "Comm." + method}, true
+	}
+	return Site{}, false
+}
+
+// CommBlocking lists the simmpi Comm methods that rendezvous with peers:
+// every collective (all members must enter) plus the point-to-point
+// operations (Send/Recv block until matched; ISend blocks when the
+// destination inbox is full; Split is a collective exchange).
+var CommBlocking = map[string]bool{
+	"Barrier": true, "Bcast": true, "BcastRing": true, "Bcast2Ring": true,
+	"Reduce": true, "Allreduce": true, "AllreduceRing": true, "ReduceRing": true,
+	"Allgather": true, "AllgatherSingle": true, "Gather": true, "Scatter": true,
+	"MaxlocAll": true, "Send": true, "Recv": true, "SendRecv": true,
+	"ISend": true, "Split": true,
+}
+
+// solveHeld runs the forward may-held fixed point over the CFG and
+// returns the held set in force immediately *before* each block entry
+// (keyed by the entry node).
+func solveHeld(pass *analysis.Pass, g *cfg.Graph) map[ast.Node]heldMap {
+	in := make(map[*cfg.Block]heldMap, len(g.Blocks))
+	out := make(map[*cfg.Block]heldMap, len(g.Blocks))
+	preds := map[*cfg.Block][]*cfg.Block{}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	transfer := func(b *cfg.Block, h heldMap) heldMap {
+		cur := cloneHeld(h)
+		for _, entry := range b.Stmts {
+			applyLockOps(pass, entry, cur)
+		}
+		return cur
+	}
+	for _, b := range g.Blocks {
+		in[b] = heldMap{}
+		out[b] = transfer(b, in[b])
+	}
+	work := append([]*cfg.Block(nil), g.Blocks...)
+	queued := map[*cfg.Block]bool{}
+	for _, b := range work {
+		queued[b] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		acc := heldMap{}
+		for _, p := range preds[b] {
+			for k, v := range out[p] {
+				if _, ok := acc[k]; !ok {
+					acc[k] = v
+				}
+			}
+		}
+		in[b] = acc
+		newOut := transfer(b, acc)
+		if heldEqual(newOut, out[b]) {
+			continue
+		}
+		out[b] = newOut
+		for _, s := range b.Succs {
+			if !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	heldAt := map[ast.Node]heldMap{}
+	for _, b := range g.Blocks {
+		cur := cloneHeld(in[b])
+		for _, entry := range b.Stmts {
+			heldAt[entry] = cloneHeld(cur)
+			applyLockOps(pass, entry, cur)
+		}
+	}
+	return heldAt
+}
+
+// applyLockOps updates held with the lock acquisitions and releases of a
+// single CFG entry, in source order. Deferred unlocks are ignored (the
+// lock really is held until the function returns); `go` statements and
+// function literals run elsewhere and are skipped. A range head entry
+// holds the whole RangeStmt node — only its range expression executes
+// there, so the loop body (whose statements are separate entries) is not
+// descended into.
+func applyLockOps(pass *analysis.Pass, entry ast.Node, held heldMap) {
+	if r, ok := entry.(*ast.RangeStmt); ok {
+		applyLockOps(pass, r.X, held)
+		return
+	}
+	ast.Inspect(entry, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			name, recv, ok := syncMethod(pass, n)
+			if !ok {
+				return true
+			}
+			lock := exprString(pass.Fset, recv)
+			switch name {
+			case "Lock":
+				held[lock] = Acquisition{Lock: lock, Pos: n.Pos()}
+			case "RLock":
+				held[lock] = Acquisition{Lock: lock, Pos: n.Pos(), Read: true}
+			case "Unlock", "RUnlock":
+				delete(held, lock)
+			}
+		}
+		return true
+	})
+}
+
+// syncMethod resolves a call to a method on sync.Mutex, sync.RWMutex,
+// sync.WaitGroup, or sync.Cond, returning the method name and receiver
+// expression.
+func syncMethod(pass *analysis.Pass, call *ast.CallExpr) (name string, recv ast.Expr, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", nil, false
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", nil, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock", "Wait":
+		return fn.Name(), sel.X, true
+	}
+	return "", nil, false
+}
+
+// exprString renders an expression compactly for lock names and
+// diagnostics.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return fmt.Sprintf("%T", e)
+	}
+	return buf.String()
+}
+
+// WitnessOf follows a function's blocking witness through BlockingCall
+// edges to the underlying concrete operation, returning a human-readable
+// chain such as "call to yield → send on e.parked". Cycles and missing
+// summaries terminate the chain.
+func (g *Graph) WitnessOf(fn *types.Func) string {
+	var parts []string
+	seen := map[*types.Func]bool{}
+	for fn != nil && !seen[fn] {
+		seen[fn] = true
+		sum := g.Summaries[fn]
+		if sum == nil || sum.Witness == nil {
+			break
+		}
+		w := sum.Witness
+		parts = append(parts, w.Desc)
+		if w.Kind != BlockingCall {
+			break
+		}
+		fn = w.Callee
+	}
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " → "
+		}
+		out += p
+	}
+	return out
+}
+
+// LitSites returns the blocking sites of a single function literal's
+// body (lock tracking starts empty — the literal runs on its own
+// goroutine or at a later time). goleak uses it to summarize goroutine
+// bodies.
+func (g *Graph) LitSites(lit *ast.FuncLit) []Site {
+	sites, _ := scanBody(g.pass, lit.Body)
+	return sites
+}
+
+// Blocks reports whether fn may block, treating recognized cross-package
+// entry points (simmpi Comm ops) as blocking even without a summary.
+func (g *Graph) Blocks(fn *types.Func) bool {
+	if sum, ok := g.Summaries[fn]; ok {
+		return sum.Blocks
+	}
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Comm" && obj.Pkg() != nil &&
+		analysis.PathHasSuffix(obj.Pkg().Path(), "internal/simmpi") &&
+		CommBlocking[fn.Name()]
+}

@@ -1,0 +1,144 @@
+package blockgraph_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"selfckpt/internal/analysis"
+	"selfckpt/internal/analysis/blockgraph"
+)
+
+// load builds the blocking summary of the bg fixture package.
+func load(t *testing.T) (*analysis.Package, *blockgraph.Graph) {
+	t.Helper()
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(testdata)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join(testdata, "src", "bg"))
+	if err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	a := &analysis.Analyzer{Name: "blockgraph-test", Run: func(*analysis.Pass) error { return nil }}
+	pass := pkg.NewPass(a, func(analysis.Diagnostic) {})
+	return pkg, blockgraph.New(pass)
+}
+
+// summaries indexes the graph by function name.
+func summaries(g *blockgraph.Graph) map[string]*blockgraph.Summary {
+	out := map[string]*blockgraph.Summary{}
+	for fn, sum := range g.Summaries {
+		out[fn.Name()] = sum
+	}
+	return out
+}
+
+func TestBlocksClassification(t *testing.T) {
+	_, g := load(t)
+	sums := summaries(g)
+	blocking := map[string]bool{
+		"pure": false, "sendLocked": true, "sendUnlocked": true,
+		"deferHold": true, "branchHeld": true, "selector": true,
+		"pollSelector": false, "leaf": true, "middle": true, "outer": true,
+		"rlocker": true, "launcher": false, "waiter": true, "rangeLoop": true,
+	}
+	for name, want := range blocking {
+		sum, ok := sums[name]
+		if !ok {
+			t.Fatalf("no summary for %s", name)
+		}
+		if sum.Blocks != want {
+			t.Errorf("%s: Blocks=%v, want %v (witness %v)", name, sum.Blocks, want, sum.Witness)
+		}
+	}
+}
+
+// heldOf returns the sorted lock names at the first site of the given
+// kind, and whether such a site exists.
+func heldOf(sum *blockgraph.Summary, kind blockgraph.Kind) ([]string, bool) {
+	for _, s := range sum.Sites {
+		if s.Kind == kind {
+			var names []string
+			for _, a := range s.Held {
+				names = append(names, a.Lock)
+			}
+			return names, true
+		}
+	}
+	return nil, false
+}
+
+func TestHeldLocks(t *testing.T) {
+	_, g := load(t)
+	sums := summaries(g)
+
+	if held, ok := heldOf(sums["sendLocked"], blockgraph.ChanSend); !ok || len(held) != 1 || held[0] != "b.mu" {
+		t.Errorf("sendLocked: held=%v ok=%v, want [b.mu]", held, ok)
+	}
+	if held, ok := heldOf(sums["sendUnlocked"], blockgraph.ChanSend); !ok || len(held) != 0 {
+		t.Errorf("sendUnlocked: held=%v ok=%v, want [] (released before blocking)", held, ok)
+	}
+	if held, ok := heldOf(sums["deferHold"], blockgraph.ChanRecv); !ok || len(held) != 1 || held[0] != "b.mu" {
+		t.Errorf("deferHold: held=%v ok=%v, want [b.mu] (deferred unlock does not release)", held, ok)
+	}
+	if held, ok := heldOf(sums["branchHeld"], blockgraph.ChanRecv); !ok || len(held) != 1 {
+		t.Errorf("branchHeld: held=%v ok=%v, want may-held [b.mu]", held, ok)
+	}
+	if held, ok := heldOf(sums["rlocker"], blockgraph.ChanRecv); !ok || len(held) != 1 || held[0] != "b.rw" {
+		t.Errorf("rlocker: held=%v ok=%v, want [b.rw]", held, ok)
+	}
+	// rangeLoop's send executes after the in-loop unlock.
+	if held, ok := heldOf(sums["rangeLoop"], blockgraph.ChanSend); !ok || len(held) != 0 {
+		t.Errorf("rangeLoop: held=%v ok=%v, want [] (unlocked before the send)", held, ok)
+	}
+	// outer calls a blocking helper chain with the lock held.
+	if held, ok := heldOf(sums["outer"], blockgraph.BlockingCall); !ok || len(held) != 1 || held[0] != "b.mu" {
+		t.Errorf("outer: held=%v ok=%v, want BlockingCall under [b.mu]", held, ok)
+	}
+}
+
+func TestSiteKinds(t *testing.T) {
+	_, g := load(t)
+	sums := summaries(g)
+
+	if _, ok := heldOf(sums["selector"], blockgraph.SelectBlock); !ok {
+		t.Error("selector: expected a SelectBlock site")
+	}
+	if len(sums["selector"].Sites) != 1 {
+		t.Errorf("selector: %d sites, want 1 (comm clauses fold into the select)", len(sums["selector"].Sites))
+	}
+	if len(sums["pollSelector"].Sites) != 0 {
+		t.Errorf("pollSelector: %d sites, want 0 (default clause)", len(sums["pollSelector"].Sites))
+	}
+	if _, ok := heldOf(sums["leaf"], blockgraph.SimmpiOp); !ok {
+		t.Error("leaf: expected a SimmpiOp site for Comm.Barrier")
+	}
+	if _, ok := heldOf(sums["waiter"], blockgraph.SyncWait); !ok {
+		t.Error("waiter: expected a SyncWait site for WaitGroup.Wait")
+	}
+	if len(sums["launcher"].Sites) != 0 {
+		t.Errorf("launcher: %d sites, want 0 (goroutine body blocks, launcher does not)", len(sums["launcher"].Sites))
+	}
+}
+
+func TestWitnessChain(t *testing.T) {
+	_, g := load(t)
+	for fn := range g.Summaries {
+		switch fn.Name() {
+		case "middle":
+			if got, want := g.WitnessOf(fn), "call to leaf → Comm.Barrier"; got != want {
+				t.Errorf("WitnessOf(middle) = %q, want %q", got, want)
+			}
+		case "outer":
+			// outer's first blocking site in source order is its own Lock
+			// acquisition, not the helper chain.
+			if got, want := g.WitnessOf(fn), "b.mu.Lock()"; got != want {
+				t.Errorf("WitnessOf(outer) = %q, want %q", got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package blockgraph_test
+
+import (
+	"testing"
+
+	"selfckpt/internal/analysis/blockgraph"
+)
+
+// TestGotoLoopConverges pins the worklist solver on a goto-formed cycle:
+// the iteration terminates, and the conditional, never-released
+// acquisition inside the cycle is may-held at the send after it.
+func TestGotoLoopConverges(t *testing.T) {
+	_, g := load(t)
+	sum := summaries(g)["gotoLoop"]
+	if sum == nil {
+		t.Fatal("no summary for gotoLoop")
+	}
+	if !sum.Blocks {
+		t.Error("gotoLoop must block (channel send)")
+	}
+	if held, ok := heldOf(sum, blockgraph.ChanSend); !ok || len(held) != 1 || held[0] != "b.mu" {
+		t.Errorf("gotoLoop send: held=%v ok=%v, want may-held [b.mu]", held, ok)
+	}
+}
+
+// TestLabeledContinueCarriesState pins the labeled-continue edge: the
+// lock taken just before `continue outer` reaches the send on the next
+// outer lap only if the edge really targets the outer loop head. A
+// dropped or miswired edge loses the acquisition and leaves the send
+// lock-free.
+func TestLabeledContinueCarriesState(t *testing.T) {
+	_, g := load(t)
+	sum := summaries(g)["labeledEscape"]
+	if sum == nil {
+		t.Fatal("no summary for labeledEscape")
+	}
+	if held, ok := heldOf(sum, blockgraph.ChanSend); !ok || len(held) != 1 || held[0] != "b.mu" {
+		t.Errorf("labeledEscape send: held=%v ok=%v, want may-held [b.mu] carried through continue outer", held, ok)
+	}
+}
+
+// TestMultiSelectClauses pins select decomposition with several comm
+// clauses: the select folds into one blocking site with the entry lock
+// held, and the per-clause flow reaches every arm — both unlocks are
+// seen, so the send after the select runs lock-free.
+func TestMultiSelectClauses(t *testing.T) {
+	_, g := load(t)
+	sum := summaries(g)["multiSelect"]
+	if sum == nil {
+		t.Fatal("no summary for multiSelect")
+	}
+	if held, ok := heldOf(sum, blockgraph.SelectBlock); !ok || len(held) != 1 || held[0] != "b.mu" {
+		t.Errorf("multiSelect select: held=%v ok=%v, want [b.mu]", held, ok)
+	}
+	if held, ok := heldOf(sum, blockgraph.ChanSend); !ok || len(held) != 0 {
+		t.Errorf("multiSelect trailing send: held=%v ok=%v, want [] (every clause unlocks)", held, ok)
+	}
+	selects := 0
+	for _, s := range sum.Sites {
+		if s.Kind == blockgraph.SelectBlock {
+			selects++
+		}
+	}
+	if selects != 1 {
+		t.Errorf("multiSelect: %d SelectBlock sites, want 1 (comm clauses fold into the select)", selects)
+	}
+}
+
+// TestMutualRecursion pins the interprocedural fixpoint on call-graph
+// cycles: blocking propagates all the way around a two-function cycle,
+// and a pure cycle is not spuriously marked.
+func TestMutualRecursion(t *testing.T) {
+	_, g := load(t)
+	sums := summaries(g)
+	for _, name := range []string{"ping", "pong"} {
+		sum := sums[name]
+		if sum == nil {
+			t.Fatalf("no summary for %s", name)
+		}
+		if !sum.Blocks {
+			t.Errorf("%s must block: the send in pong reaches both sides of the cycle", name)
+		}
+	}
+	for _, name := range []string{"even", "odd"} {
+		sum := sums[name]
+		if sum == nil {
+			t.Fatalf("no summary for %s", name)
+		}
+		if sum.Blocks {
+			t.Errorf("%s must not block: the cycle is pure (witness %v)", name, sum.Witness)
+		}
+	}
+}

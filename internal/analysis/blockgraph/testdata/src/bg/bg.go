@@ -1,0 +1,193 @@
+// Fixture for the blockgraph summary: a mix of blocking and non-blocking
+// functions, lock windows, and helper chains. The test asserts the
+// computed summaries directly (no // want lines — blockgraph is a
+// library, not an analyzer).
+package bg
+
+import (
+	"sync"
+
+	"selfckpt/internal/simmpi"
+)
+
+type box struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	ch    chan int
+	items []int
+}
+
+// pure never blocks.
+func pure(a, b int) int { return a + b }
+
+// sendLocked blocks on a channel send while mu is held.
+func sendLocked(b *box, v int) {
+	b.mu.Lock()
+	b.ch <- v
+	b.mu.Unlock()
+}
+
+// sendUnlocked releases before blocking.
+func sendUnlocked(b *box, v int) {
+	b.mu.Lock()
+	b.items = append(b.items, v)
+	b.mu.Unlock()
+	b.ch <- v
+}
+
+// deferHold keeps the lock to the end of the function, so the receive
+// happens under it.
+func deferHold(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.ch
+}
+
+// branchHeld acquires on one arm only: the receive is may-held.
+func branchHeld(b *box, cond bool) int {
+	if cond {
+		b.mu.Lock()
+	}
+	v := <-b.ch
+	if cond {
+		b.mu.Unlock()
+	}
+	return v
+}
+
+// selector blocks (no default) — but pollSelector does not.
+func selector(b *box) int {
+	select {
+	case v := <-b.ch:
+		return v
+	case b.ch <- 0:
+		return 0
+	}
+}
+
+func pollSelector(b *box) int {
+	select {
+	case v := <-b.ch:
+		return v
+	default:
+		return -1
+	}
+}
+
+// helper chain: outer -> middle -> leaf (leaf blocks on a collective).
+func leaf(c *simmpi.Comm) error   { return c.Barrier() }
+func middle(c *simmpi.Comm) error { return leaf(c) }
+func outer(b *box, c *simmpi.Comm) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return middle(c)
+}
+
+// rlocker blocks under a read lock.
+func rlocker(b *box) int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return <-b.ch
+}
+
+// launcher's goroutine body blocks, but launcher itself does not: the
+// literal runs on its own goroutine.
+func launcher(b *box) {
+	go func() {
+		b.ch <- 1
+	}()
+}
+
+// waiter blocks on a WaitGroup.
+func waiter(wg *sync.WaitGroup) { wg.Wait() }
+
+// rangeLoop: the loop body blocks each iteration with no lock held; the
+// range head entry must not leak body lock ops into the summary.
+func rangeLoop(b *box) {
+	for _, v := range b.items {
+		b.mu.Lock()
+		b.items[0] = v
+		b.mu.Unlock()
+		b.ch <- v
+	}
+}
+
+// gotoLoop forms its loop with a backward goto: the may-held solver must
+// converge around the goto cycle and still see the conditional,
+// never-released acquisition at the send.
+func gotoLoop(b *box, n int) {
+	i := 0
+loop:
+	if i == 0 {
+		b.mu.Lock()
+	}
+	i++
+	if i < n {
+		goto loop
+	}
+	b.ch <- i
+}
+
+// labeledEscape holds the lock across a `continue outer`: only the edge
+// to the OUTER loop head carries the lock state to the send on the next
+// lap, so a miswired (or dropped) labeled-continue edge loses it.
+func labeledEscape(b *box, rows [][]int) {
+outer:
+	for _, row := range rows {
+		for _, v := range row {
+			if v < 0 {
+				b.mu.Lock()
+				continue outer
+			}
+			_ = v
+		}
+		b.ch <- len(row)
+	}
+}
+
+// multiSelect holds the lock into a multi-clause select and releases it
+// in every arm: the per-clause flow must visit each comm clause, and the
+// select folds into a single blocking site.
+func multiSelect(b *box, d chan int) {
+	b.mu.Lock()
+	select {
+	case v := <-b.ch:
+		b.mu.Unlock()
+		_ = v
+	case d <- 1:
+		b.mu.Unlock()
+	}
+	b.ch <- 2
+}
+
+// ping/pong: mutual recursion with the blocking site on one side of the
+// cycle — the interprocedural fixpoint must terminate and mark both.
+func ping(b *box, n int) {
+	if n <= 0 {
+		return
+	}
+	pong(b, n-1)
+}
+
+func pong(b *box, n int) {
+	if n == 1 {
+		b.ch <- n
+	}
+	ping(b, n-1)
+}
+
+// even/odd: a pure mutual-recursion cycle must not be marked blocking by
+// the same fixpoint.
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}

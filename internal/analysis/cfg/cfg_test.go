@@ -157,6 +157,71 @@ func TestGotoForwardAndBack(t *testing.T) {
 	}
 }
 
+// TestLabeledContinueTargetsOuterLoop pins the labeled-continue edge:
+// from inside the inner range loop, `continue outer` must jump to the
+// OUTER for loop's post block — an unlabeled continue there would go to
+// the inner range head instead.
+func TestLabeledContinueTargetsOuterLoop(t *testing.T) {
+	g, _ := build(t, `func f(rows [][]int, n int) int {
+		s := 0
+	outer:
+		for i := 0; i < n; i++ {
+			for _, v := range rows[i] {
+				if v < 0 {
+					continue outer
+				}
+				s += v
+			}
+			s++
+		}
+		return s
+	}`)
+	var contBlock *Block
+	for _, blk := range g.Blocks {
+		for _, st := range blk.Stmts {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.CONTINUE {
+				contBlock = blk
+			}
+		}
+	}
+	if contBlock == nil {
+		t.Fatal("no block holds the continue statement")
+	}
+	if len(contBlock.Succs) != 1 || contBlock.Succs[0].Kind != "for.post" {
+		t.Errorf("continue outer succs = %v, want the outer loop's [for.post]", kinds(contBlock.Succs))
+	}
+}
+
+// TestSelectMultipleCommClauses pins the decomposition of a select with
+// several comm clauses: one edge per clause out of the entry, no
+// fallthrough past the select, and every clause rejoining at the after
+// block.
+func TestSelectMultipleCommClauses(t *testing.T) {
+	g, _ := build(t, `func f(a, b chan int, c chan string) int {
+		x := 0
+		select {
+		case v := <-a:
+			x = v
+		case b <- 1:
+			x = 1
+		case s := <-c:
+			x = len(s)
+		}
+		return x
+	}`)
+	if len(g.Entry.Succs) != 3 {
+		t.Fatalf("entry succs = %v, want 3 select.case blocks", kinds(g.Entry.Succs))
+	}
+	for _, s := range g.Entry.Succs {
+		if s.Kind != "select.case" {
+			t.Fatalf("entry succs = %v, want only select.case blocks", kinds(g.Entry.Succs))
+		}
+		if len(s.Succs) != 1 || s.Succs[0].Kind != "select.after" {
+			t.Errorf("clause %s succs = %v, want [select.after]", s.Kind, kinds(s.Succs))
+		}
+	}
+}
+
 // TestContaining pins the position lookup used by the dataflow queries.
 func TestContaining(t *testing.T) {
 	g, fset := build(t, `func f(n int) int {

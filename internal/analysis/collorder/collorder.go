@@ -1,0 +1,503 @@
+// Package collorder implements the collective-sequence analyzer of the
+// sktlint suite. It deepens collsym's lexical check into an
+// interprocedural order-matching one: every member of a communicator must
+// enter the same simmpi collectives in the same order, so the analyzer
+// computes, per function, the canonical sequence of collectives executed
+// — expanding intra-package helper calls to any depth, folding loops into
+// loop{...} markers — and demands that the two arms of every
+// rank-conditioned branch produce equal sequences. Where collsym flags
+// any collective lexically inside a rank branch, collorder flags only
+// real divergence:
+//
+//   - an arm whose collective sequence differs from the other arm's
+//     (including the implicit empty arm of an if without else);
+//   - an early return on one rank class, when the fall-through code
+//     performs collectives the returning ranks skip (the continuation is
+//     folded into both arms before comparing);
+//   - a loop whose trip count is rank-derived and whose body performs
+//     collectives — the ranks fall out of step after the first lap;
+//   - all of the above when the collective hides behind a chain of
+//     package helpers, not just one call deep.
+//
+// Symmetric branches — both ranks reach the same Barrier by different
+// local work — are clean here even though collsym's coarser check would
+// flag them. Deliberate divergence (a replacement rank rejoining late by
+// construction) is waived with //sktlint:rank-divergent on or above the
+// branch, or on every contributing collective call site; the vocabulary
+// is shared with collsym so one reviewed annotation covers both views of
+// the same hazard.
+package collorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"selfckpt/internal/analysis"
+	"selfckpt/internal/analysis/collsym"
+)
+
+// Annotation marks reviewed rank divergence; shared with collsym.
+const Annotation = "//sktlint:rank-divergent"
+
+// Analyzer is the collorder instance registered with the sktlint suite.
+var Analyzer = &analysis.Analyzer{
+	Name: "collorder",
+	Doc: "match the interprocedural collective sequences of rank-conditioned " +
+		"branch arms: ranks that disagree on which collectives run, or in " +
+		"what order, deadlock at the next rendezvous (waive with " +
+		Annotation + ")",
+	Suppression: Annotation,
+	Run:         run,
+}
+
+func run(pass *analysis.Pass) error {
+	// The simmpi package itself builds the collectives out of
+	// rank-dependent point-to-point topology; the asymmetry is the design.
+	if analysis.PathHasSuffix(pass.Pkg.Path(), "internal/simmpi") {
+		return nil
+	}
+	b := &builder{
+		pass:     pass,
+		bodies:   map[*types.Func]*ast.FuncDecl{},
+		memo:     map[*types.Func][]string{},
+		active:   map[*types.Func]bool{},
+		reported: map[token.Pos]bool{},
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := analysis.ObjectOf(pass.TypesInfo, fd.Name).(*types.Func); ok {
+				b.bodies[fn] = fd
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					b.check(n.Body)
+				}
+			case *ast.FuncLit:
+				b.check(n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type builder struct {
+	pass     *analysis.Pass
+	bodies   map[*types.Func]*ast.FuncDecl
+	memo     map[*types.Func][]string // helper → collective sequence
+	active   map[*types.Func]bool     // recursion guard
+	reported map[token.Pos]bool       // continuation folding re-walks code
+}
+
+// frame carries the per-body state of one sequence walk.
+type frame struct {
+	taint  map[types.Object]bool
+	report bool
+}
+
+// check analyzes one function body with reporting enabled.
+func (b *builder) check(body *ast.BlockStmt) {
+	fr := &frame{taint: collsym.RankTaintedObjects(b.pass, body), report: true}
+	b.seq(body.List, nil, fr)
+}
+
+// cont is the continuation: the collective sequence of whatever executes
+// after the current statement list. nil means "nothing follows".
+type cont func() []string
+
+func runCont(c cont) []string {
+	if c == nil {
+		return nil
+	}
+	return c()
+}
+
+// seq computes the collective token sequence of list followed by c,
+// reporting rank-divergent branch arms when fr.report is set. Branches on
+// rank-derived conditions fold the continuation into both arms before
+// comparing, so an early return that skips later collectives is caught.
+func (b *builder) seq(list []ast.Stmt, c cont, fr *frame) []string {
+	var toks []string
+	for i, stmt := range list {
+		rest := func() []string { return b.seq(list[i+1:], c, fr) }
+		switch s := stmt.(type) {
+		case *ast.ReturnStmt:
+			for _, e := range s.Results {
+				toks = append(toks, b.exprToks(e, fr)...)
+			}
+			return toks // control leaves: the continuation never runs
+
+		case *ast.IfStmt:
+			if s.Init != nil {
+				toks = append(toks, b.stmtToks(s.Init, fr)...)
+			}
+			toks = append(toks, b.exprToks(s.Cond, fr)...)
+			var elseList []ast.Stmt
+			if s.Else != nil {
+				if blk, ok := s.Else.(*ast.BlockStmt); ok {
+					elseList = blk.List
+				} else {
+					elseList = []ast.Stmt{s.Else}
+				}
+			}
+			if b.tainted(s.Cond, fr) {
+				thenFull := b.seq(s.Body.List, rest, fr)
+				elseFull := b.seq(elseList, rest, fr)
+				if !equal(thenFull, elseFull) && fr.report {
+					b.reportBranch(s, s.Cond, thenFull, elseFull)
+				}
+				return append(toks, alt(thenFull, elseFull)...)
+			}
+			thenToks := b.seq(s.Body.List, nil, fr)
+			elseToks := b.seq(elseList, nil, fr)
+			toks = append(toks, alt(thenToks, elseToks)...)
+
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				toks = append(toks, b.stmtToks(s.Init, fr)...)
+			}
+			if s.Tag != nil {
+				toks = append(toks, b.exprToks(s.Tag, fr)...)
+			}
+			tainted := b.tainted(s.Tag, fr)
+			if !tainted && s.Tag == nil {
+				for _, cl := range s.Body.List {
+					if cc, ok := cl.(*ast.CaseClause); ok {
+						for _, e := range cc.List {
+							if b.tainted(e, fr) {
+								tainted = true
+							}
+						}
+					}
+				}
+			}
+			arms, hasDefault := b.caseArms(s.Body, ifThen(tainted, rest), fr)
+			if tainted {
+				if !hasDefault {
+					arms = append(arms, rest())
+				}
+				if fr.report && !armsEqual(arms) {
+					b.reportBranch(s, s.Tag, arms[0], firstDiffering(arms))
+				}
+				return append(toks, altN(arms)...)
+			}
+			toks = append(toks, altN(arms)...)
+
+		case *ast.ForStmt:
+			if s.Init != nil {
+				toks = append(toks, b.stmtToks(s.Init, fr)...)
+			}
+			inner := b.seq(s.Body.List, nil, fr)
+			if len(inner) > 0 && b.tainted(s.Cond, fr) && fr.report && !b.reported[s.Pos()] && !b.waived(s, s) {
+				b.reported[s.Pos()] = true
+				b.pass.Reportf(s.Pos(),
+					"loop repeats collective sequence %s a rank-dependent number of times (condition on line %d): after the shortest rank's last lap the others wait at a rendezvous it never enters; make the trip count rank-uniform or annotate %s",
+					render(inner), b.pass.Fset.Position(s.Cond.Pos()).Line, Annotation)
+			}
+			if len(inner) > 0 {
+				toks = append(toks, "loop{"+strings.Join(inner, " ")+"}")
+			}
+
+		case *ast.RangeStmt:
+			toks = append(toks, b.exprToks(s.X, fr)...)
+			inner := b.seq(s.Body.List, nil, fr)
+			if len(inner) > 0 {
+				toks = append(toks, "loop{"+strings.Join(inner, " ")+"}")
+			}
+
+		case *ast.BlockStmt:
+			toks = append(toks, b.seq(s.List, nil, fr)...)
+
+		case *ast.SelectStmt:
+			var arms [][]string
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					arms = append(arms, b.seq(cc.Body, nil, fr))
+				}
+			}
+			toks = append(toks, altN(arms)...)
+
+		case *ast.GoStmt:
+			// A goroutine's collectives run on another schedule entirely;
+			// goleak and lockblock own that territory.
+
+		case *ast.LabeledStmt:
+			toks = append(toks, b.seq([]ast.Stmt{s.Stmt}, nil, fr)...)
+
+		default:
+			toks = append(toks, b.stmtToks(stmt, fr)...)
+		}
+	}
+	return append(toks, runCont(c)...)
+}
+
+// caseArms computes each case clause's sequence; when foldRest is
+// non-nil (tainted switch) the continuation is folded into every arm.
+func (b *builder) caseArms(body *ast.BlockStmt, foldRest cont, fr *frame) (arms [][]string, hasDefault bool) {
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		arms = append(arms, b.seq(cc.Body, foldRest, fr))
+	}
+	return arms, hasDefault
+}
+
+// stmtToks collects collective tokens from a statement that has no
+// control flow of its own (assignments, expression statements, decls).
+func (b *builder) stmtToks(stmt ast.Stmt, fr *frame) []string {
+	var toks []string
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.DeferStmt:
+			return false // runs at exit, not here; out of sequence scope
+		case *ast.CallExpr:
+			toks = append(toks, b.callToks(n, fr)...)
+			return false // callToks descends into arguments itself
+		}
+		return true
+	})
+	return toks
+}
+
+// exprToks collects collective tokens from an expression.
+func (b *builder) exprToks(e ast.Expr, fr *frame) []string {
+	if e == nil {
+		return nil
+	}
+	return b.stmtToks(&ast.ExprStmt{X: e}, fr)
+}
+
+// callToks renders one call: a simmpi collective contributes its name, an
+// intra-package helper contributes its expanded sequence, and arguments
+// are scanned first (they evaluate before the call).
+func (b *builder) callToks(call *ast.CallExpr, fr *frame) []string {
+	var toks []string
+	for _, arg := range call.Args {
+		toks = append(toks, b.exprToks(arg, fr)...)
+	}
+	if method, ok := analysis.MethodOn(b.pass.TypesInfo, call, "internal/simmpi", "Comm"); ok && collsym.Collectives[method] {
+		return append(toks, method)
+	}
+	return append(toks, b.expand(analysis.CalleeFunc(b.pass.TypesInfo, call))...)
+}
+
+// expand returns the memoized collective sequence a helper performs,
+// recursively to any depth. Expansion never reports: a divergence inside
+// the helper is the helper's own finding, reported when its declaration
+// is analyzed; here its arms collapse into an alternation token.
+func (b *builder) expand(fn *types.Func) []string {
+	if fn == nil {
+		return nil
+	}
+	if toks, ok := b.memo[fn]; ok {
+		return toks
+	}
+	decl := b.bodies[fn]
+	if decl == nil || b.active[fn] {
+		return nil
+	}
+	b.active[fn] = true
+	fr := &frame{taint: collsym.RankTaintedObjects(b.pass, decl.Body), report: false}
+	toks := b.seq(decl.Body.List, nil, fr)
+	delete(b.active, fn)
+	b.memo[fn] = toks
+	return toks
+}
+
+// tainted reports whether e branches on a rank id. The carrier must be
+// integer-typed: collsym's transitive taint also marks the error and
+// bool ridealongs of `x, err := f(rank)` multi-assignments, and an
+// `if err != nil` early return is not rank divergence — the error is
+// data, not an id. Only the id itself (or integer arithmetic on it)
+// partitions the ranks structurally.
+func (b *builder) tainted(e ast.Expr, fr *frame) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if method, ok := analysis.MethodOn(b.pass.TypesInfo, n, "internal/simmpi", "Comm"); ok && method == "Rank" {
+				found = true
+				return false
+			}
+			if method, ok := analysis.MethodOn(b.pass.TypesInfo, n, "internal/simmpi", "Rank"); ok && method == "Global" {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			obj := analysis.ObjectOf(b.pass.TypesInfo, n)
+			if obj != nil && fr.taint[obj] && integral(obj.Type()) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// integral reports whether t is an integer type — the shape of a rank id.
+func integral(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// reportBranch emits the arm-mismatch diagnostic unless the branch (or
+// every contributing collective site inside it) carries the waiver.
+func (b *builder) reportBranch(branch ast.Node, cond ast.Expr, armA, armB []string) {
+	if b.reported[branch.Pos()] || b.waived(branch, branch) {
+		return
+	}
+	b.reported[branch.Pos()] = true
+	condLine := b.pass.Fset.Position(branch.Pos()).Line
+	if cond != nil {
+		condLine = b.pass.Fset.Position(cond.Pos()).Line
+	}
+	b.pass.Reportf(branch.Pos(),
+		"ranks disagree on the collective sequence: the branch on the rank id (line %d) runs %s on one side and %s on the other, so the ranks meet different rendezvous and deadlock; make the arms collectively symmetric or annotate %s",
+		condLine, render(armA), render(armB), Annotation)
+}
+
+// waived reports whether pos (or the branch as a whole) is covered by a
+// rank-divergent annotation: either directly on/above the statement, or
+// on every collective and helper call site the branch contains.
+func (b *builder) waived(stmt ast.Node, scope ast.Node) bool {
+	if b.pass.Annotated(stmt.Pos(), Annotation) {
+		return true
+	}
+	sites := 0
+	allAnnotated := true
+	ast.Inspect(scope, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		method, isComm := analysis.MethodOn(b.pass.TypesInfo, call, "internal/simmpi", "Comm")
+		isColl := isComm && collsym.Collectives[method]
+		if !isColl {
+			fn := analysis.CalleeFunc(b.pass.TypesInfo, call)
+			if fn == nil || len(b.expand(fn)) == 0 {
+				return true
+			}
+		}
+		sites++
+		if !b.pass.Annotated(call.Pos(), Annotation) {
+			allAnnotated = false
+		}
+		return true
+	})
+	return sites > 0 && allAnnotated
+}
+
+// --- sequence utilities ---
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// alt merges two arm sequences: equal arms pass through, differing arms
+// collapse into a single alternation token.
+func alt(a, b []string) []string {
+	return altN([][]string{a, b})
+}
+
+func altN(arms [][]string) []string {
+	if len(arms) == 0 {
+		return nil
+	}
+	if armsEqual(arms) {
+		return arms[0]
+	}
+	// Dedupe the arm renderings so data-dependent branch ladders do not
+	// compound into unreadable nested alternations.
+	seen := map[string]bool{}
+	var parts []string
+	for _, arm := range arms {
+		p := strings.Join(arm, " ")
+		if !seen[p] {
+			seen[p] = true
+			parts = append(parts, p)
+		}
+	}
+	if len(parts) == 1 {
+		return arms[0]
+	}
+	// Two arms, one empty: render as an optional rather than `(|X)`.
+	if len(parts) == 2 {
+		if parts[0] == "" {
+			return []string{parts[1] + "?"}
+		}
+		if parts[1] == "" {
+			return []string{parts[0] + "?"}
+		}
+	}
+	return []string{"(" + strings.Join(parts, "|") + ")"}
+}
+
+func armsEqual(arms [][]string) bool {
+	for _, arm := range arms[1:] {
+		if !equal(arms[0], arm) {
+			return false
+		}
+	}
+	return true
+}
+
+// firstDiffering returns the first arm that differs from arms[0], for
+// the two-sided diagnostic message.
+func firstDiffering(arms [][]string) []string {
+	for _, arm := range arms[1:] {
+		if !equal(arms[0], arm) {
+			return arm
+		}
+	}
+	return nil
+}
+
+// render prints a sequence for diagnostics: "[Barrier Bcast]", or
+// "no collectives" for the empty arm.
+func render(toks []string) string {
+	if len(toks) == 0 {
+		return "no collectives"
+	}
+	return "[" + strings.Join(toks, " ") + "]"
+}
+
+// ifThen returns c when cond holds, nil otherwise.
+func ifThen(cond bool, c cont) cont {
+	if !cond {
+		return nil
+	}
+	return c
+}

@@ -1,0 +1,12 @@
+package collorder_test
+
+import (
+	"testing"
+
+	"selfckpt/internal/analysis/analysistest"
+	"selfckpt/internal/analysis/collorder"
+)
+
+func TestCollorder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), collorder.Analyzer, "a")
+}

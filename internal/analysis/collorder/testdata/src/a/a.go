@@ -1,0 +1,124 @@
+// Fixture for the collorder analyzer: rank-conditioned branches must
+// leave every rank with the same collective sequence; symmetric arms are
+// clean even where collsym's lexical check would complain.
+package a
+
+import (
+	"selfckpt/internal/simmpi"
+)
+
+func seedRow(buf []float64) {
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+}
+
+// symmetric is clean for collorder: both arms end at the same Barrier.
+func symmetric(c *simmpi.Comm, buf []float64) error {
+	if c.Rank() == 0 {
+		seedRow(buf)
+		return c.Barrier()
+	}
+	return c.Barrier()
+}
+
+// missingArm diverges: rank 0 enters a Barrier nobody else reaches.
+func missingArm(c *simmpi.Comm) {
+	if c.Rank() == 0 { // want `ranks disagree on the collective sequence`
+		c.Barrier()
+	}
+}
+
+// swapped runs the same collectives in opposite orders: the rendezvous
+// pair up crosswise and deadlock.
+func swapped(c *simmpi.Comm, buf []float64) {
+	if c.Rank() == 0 { // want `runs \[Bcast Barrier\] on one side and \[Barrier Bcast\] on the other`
+		c.Bcast(0, buf)
+		c.Barrier()
+	} else {
+		c.Barrier()
+		c.Bcast(0, buf)
+	}
+}
+
+// earlyReturn folds the continuation: rank 0 leaves before the Barrier
+// the other ranks enter.
+func earlyReturn(c *simmpi.Comm) {
+	if c.Rank() == 0 { // want `ranks disagree on the collective sequence`
+		return
+	}
+	c.Barrier()
+}
+
+// Two-deep helper chain: collsym's one-level view cannot see through
+// relay, collorder expands it.
+func bottom(c *simmpi.Comm) { c.Barrier() }
+
+func relay(c *simmpi.Comm) { bottom(c) }
+
+func deepHelper(c *simmpi.Comm) {
+	if c.Rank() == 0 { // want `runs \[Barrier\] on one side and no collectives on the other`
+		relay(c)
+	}
+}
+
+// symmetricHelpers is clean: both arms expand to the same sequence.
+func viaRelay(c *simmpi.Comm) { relay(c) }
+
+func symmetricHelpers(c *simmpi.Comm) {
+	if c.Rank() == 0 {
+		relay(c)
+	} else {
+		viaRelay(c)
+	}
+}
+
+// rankLoop repeats the Barrier a rank-dependent number of times.
+func rankLoop(c *simmpi.Comm) {
+	for i := 0; i < c.Rank(); i++ { // want `loop repeats collective sequence \[Barrier\] a rank-dependent number of times`
+		c.Barrier()
+	}
+}
+
+// uniformLoop is clean: every rank does the same three laps.
+func uniformLoop(c *simmpi.Comm) {
+	for i := 0; i < 3; i++ {
+		c.Barrier()
+	}
+}
+
+// dataBranch is clean: the condition is not rank-derived, so all ranks
+// take the same side together.
+func dataBranch(c *simmpi.Comm, converged bool, buf []float64) {
+	if converged {
+		c.Barrier()
+	} else {
+		c.Bcast(0, buf)
+		c.Barrier()
+	}
+}
+
+// taintedSwitch: the implicit default arm skips the Reduce.
+func taintedSwitch(c *simmpi.Comm, buf []float64) {
+	switch c.Rank() { // want `ranks disagree on the collective sequence`
+	case 0:
+		c.Reduce(0, buf, buf, nil)
+	}
+}
+
+// waivedBranch documents deliberate divergence on the branch itself.
+func waivedBranch(c *simmpi.Comm, spare int) {
+	//sktlint:rank-divergent — the replacement rank rejoins one epoch late by construction
+	if c.Rank() == spare {
+		c.Barrier()
+	}
+}
+
+// waivedSites: every contributing call site carries the annotation, the
+// idiom the examples use for collsym.
+func waivedSites(c *simmpi.Comm) {
+	if c.Rank() == 0 {
+		//sktlint:rank-divergent — rank 0 drains the recovery queue alone
+		c.Barrier()
+	}
+}

@@ -33,15 +33,15 @@ const Annotation = "//sktlint:rank-divergent"
 // Analyzer is the collsym instance registered with the sktlint suite.
 var Analyzer = &analysis.Analyzer{
 	Name: "collsym",
-	Doc: "flag simmpi collectives called inside rank-dependent branches " +
+	Doc: "flag simmpi Collectives called inside rank-dependent branches " +
 		"(deadlock hazard) unless annotated " + Annotation,
 	Suppression: Annotation,
 	Run:         run,
 }
 
-// collectives are the Comm methods that rendezvous with every member of
+// Collectives are the Comm methods that rendezvous with every member of
 // the communicator.
-var collectives = map[string]bool{
+var Collectives = map[string]bool{
 	"Barrier": true, "Bcast": true, "BcastRing": true, "Bcast2Ring": true,
 	"Reduce": true, "Allreduce": true, "Allgather": true,
 	"AllgatherSingle": true, "Gather": true, "Scatter": true,
@@ -49,7 +49,7 @@ var collectives = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
-	// The simmpi package itself implements the collectives out of
+	// The simmpi package itself implements the Collectives out of
 	// point-to-point sends whose topology is necessarily rank-dependent.
 	if analysis.PathHasSuffix(pass.Pkg.Path(), "internal/simmpi") {
 		return nil
@@ -73,7 +73,7 @@ func run(pass *analysis.Pass) error {
 
 // isCollectiveFunc recognizes the *types.Func of a simmpi Comm collective.
 func isCollectiveFunc(fn *types.Func) bool {
-	if fn == nil || !collectives[fn.Name()] {
+	if fn == nil || !Collectives[fn.Name()] {
 		return false
 	}
 	sig, ok := fn.Type().(*types.Signature)
@@ -113,12 +113,12 @@ func collectiveHelpers(pass *analysis.Pass) map[*types.Func]dataflow.CallSite {
 }
 
 func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, helpers map[*types.Func]dataflow.CallSite) {
-	tainted := rankTaintedObjects(pass, body)
+	tainted := RankTaintedObjects(pass, body)
 	isTainted := func(e ast.Expr) bool {
 		if e == nil {
 			return false
 		}
-		return exprRankTainted(pass, e, tainted)
+		return ExprRankTainted(pass, e, tainted)
 	}
 
 	// Walk with an explicit ancestor stack so each collective call can be
@@ -141,7 +141,7 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, helpers map[*types.Func
 			return true
 		}
 		method, ok := analysis.MethodOn(pass.TypesInfo, call, "internal/simmpi", "Comm")
-		if !ok || !collectives[method] {
+		if !ok || !Collectives[method] {
 			// Not a collective itself — but a call to a package helper
 			// that directly performs one is the same hazard one level
 			// deep in the call graph.
@@ -216,9 +216,9 @@ func enclosingRankBranch(ancestors []ast.Node, call *ast.CallExpr, isTainted fun
 	return nil
 }
 
-// rankTaintedObjects computes the set of variables carrying rank-derived
+// RankTaintedObjects computes the set of variables carrying rank-derived
 // values: assigned (transitively) from Comm.Rank() or Rank.Global().
-func rankTaintedObjects(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+func RankTaintedObjects(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
 	tainted := map[types.Object]bool{}
 	for changed := true; changed; {
 		changed = false
@@ -238,7 +238,7 @@ func rankTaintedObjects(pass *analysis.Pass, body *ast.BlockStmt) map[types.Obje
 				} else if len(asg.Rhs) == 1 {
 					rhs = asg.Rhs[0]
 				}
-				if rhs == nil || !exprRankTainted(pass, rhs, tainted) {
+				if rhs == nil || !ExprRankTainted(pass, rhs, tainted) {
 					continue
 				}
 				if obj := analysis.ObjectOf(pass.TypesInfo, id); obj != nil && !tainted[obj] {
@@ -252,9 +252,9 @@ func rankTaintedObjects(pass *analysis.Pass, body *ast.BlockStmt) map[types.Obje
 	return tainted
 }
 
-// exprRankTainted reports whether e mentions a rank-id source: a call to
+// ExprRankTainted reports whether e mentions a rank-id source: a call to
 // Comm.Rank() / Rank.Global(), or a variable already known to be tainted.
-func exprRankTainted(pass *analysis.Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+func ExprRankTainted(pass *analysis.Pass, e ast.Expr, tainted map[types.Object]bool) bool {
 	found := false
 	ast.Inspect(e, func(n ast.Node) bool {
 		if found {

@@ -1,0 +1,236 @@
+// Package goleak implements the goroutine-join analyzer of the sktlint
+// suite. In replay-critical packages every goroutine's termination must
+// be observable by its launcher: the engines assert quiescence between
+// epochs (crash schedules replay by ID only if no stray goroutine from a
+// previous epoch is still mutating state), and the -race equivalence
+// suite can only prove what has actually finished. A goroutine whose body
+// signals completion on only *some* control-flow paths is worse than one
+// that never signals — the launcher's Wait deadlocks or, with a buffered
+// channel, silently proceeds while the goroutine still runs.
+//
+// The analyzer inspects every `go` statement whose body is available (a
+// function literal or an intra-package function) and demands a join
+// signal tied to termination:
+//
+//   - a deferred wg.Done() / close(ch) / channel send — defers run on
+//     every exit path, so this always joins;
+//   - a wg.Done(), channel send, or close on every CFG path from entry
+//     to exit (checked on the control-flow graph, so an early return
+//     that skips the Done is caught);
+//   - a body shaped as a range over a channel — termination is tied to
+//     the launcher closing the channel;
+//   - a body that selects on a context's Done() channel — termination is
+//     context-tied.
+//
+// A deliberately detached goroutine is waived with //sktlint:detached
+// followed by a reason on or above the `go` statement; a bare marker
+// without a reason is itself a finding, because "fire and forget" in a
+// replay-critical package needs a written justification.
+package goleak
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"selfckpt/internal/analysis"
+	"selfckpt/internal/analysis/cfg"
+)
+
+// Annotation waives a goleak finding. A written reason is required.
+const Annotation = "//sktlint:detached"
+
+// Analyzer is the goleak instance registered with the sktlint suite.
+var Analyzer = &analysis.Analyzer{
+	Name: "goleak",
+	Doc: "flag goroutines in replay-critical packages whose termination is " +
+		"not tied to a Wait/Done/close/context join on all CFG paths " +
+		"(waive with " + Annotation + " <reason>)",
+	Suppression: Annotation,
+	Run:         run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, name := goBody(pass, g)
+			if body == nil {
+				return true // external or indirect callee: body not visible
+			}
+			verdict := joinVerdict(pass, body)
+			if verdict == joined {
+				return true
+			}
+			reason, found := pass.AnnotationReason(g.Pos(), Annotation)
+			if found && strings.TrimSpace(reason) != "" {
+				return true
+			}
+			if found {
+				pass.Reportf(g.Pos(),
+					"%s requires a reason: say why this detached goroutine cannot outlive the state it touches", Annotation)
+				return true
+			}
+			switch verdict {
+			case noSignal:
+				pass.Reportf(g.Pos(),
+					"goroutine %s has no join signal: its termination is invisible to the launcher, so replay cannot prove quiescence; add a wg.Done/close/send tied to exit or annotate %s <reason>",
+					name, Annotation)
+			case partialSignal:
+				pass.Reportf(g.Pos(),
+					"goroutine %s signals completion on only some paths: an early return skips the join and the launcher waits forever (or races ahead); defer the signal or cover every path, or annotate %s <reason>",
+					name, Annotation)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// goBody resolves the launched function's body: a literal, or an
+// intra-package function/method declaration.
+func goBody(pass *analysis.Pass, g *ast.GoStmt) (*ast.BlockStmt, string) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body, "literal"
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, g.Call)
+	if fn == nil || fn.Pkg() != pass.Pkg {
+		return nil, ""
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if analysis.ObjectOf(pass.TypesInfo, fd.Name) == fn {
+				return fd.Body, fn.Name()
+			}
+		}
+	}
+	return nil, ""
+}
+
+type verdict int
+
+const (
+	joined verdict = iota
+	partialSignal
+	noSignal
+)
+
+// joinVerdict classifies the goroutine body: joined when termination is
+// observable on every path, partialSignal when a signal exists but some
+// path skips it, noSignal when nothing ties termination to the launcher.
+func joinVerdict(pass *analysis.Pass, body *ast.BlockStmt) verdict {
+	// Deferred signals and structural ties (channel range, context done)
+	// join on every path by construction.
+	structural := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if isJoinCall(pass, n.Call) {
+				structural = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					structural = true
+				}
+			}
+		case *ast.CallExpr:
+			// <-ctx.Done() or any Done() channel accessor in a receive.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if t := pass.TypesInfo.Types[n].Type; t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						structural = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if structural {
+		return joined
+	}
+
+	// Path-sensitive: every entry→exit path must pass a signaling entry.
+	graph := cfg.Build(body, cfg.Options{NoReturn: func(call *ast.CallExpr) bool {
+		return analysis.IsPkgFunc(pass.TypesInfo, call, "os", "Exit") ||
+			analysis.IsPkgFunc(pass.TypesInfo, call, "runtime", "Goexit")
+	}})
+	signals := func(entry ast.Node) bool {
+		found := false
+		ast.Inspect(entry, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.SendStmt:
+				found = true
+			case *ast.CallExpr:
+				if isJoinCall(pass, n) {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	anySignal := false
+	signalBlock := map[*cfg.Block]bool{}
+	for _, b := range graph.Blocks {
+		for _, entry := range b.Stmts {
+			if signals(entry) {
+				signalBlock[b] = true
+				anySignal = true
+				break
+			}
+		}
+	}
+	if !anySignal {
+		return noSignal
+	}
+	// Reachability entry→exit avoiding signal blocks: if the exit is
+	// unreachable, every path signals.
+	seen := map[*cfg.Block]bool{}
+	var stack []*cfg.Block
+	if !signalBlock[graph.Entry] {
+		stack = append(stack, graph.Entry)
+		seen[graph.Entry] = true
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == graph.Exit {
+			return partialSignal
+		}
+		for _, s := range b.Succs {
+			if !seen[s] && !signalBlock[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return joined
+}
+
+// isJoinCall recognizes wg.Done() on a sync.WaitGroup and close(ch).
+func isJoinCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" {
+		if pass.TypesInfo.Uses[id] == types.Universe.Lookup("close") {
+			return true
+		}
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	return fn.Name() == "Done"
+}

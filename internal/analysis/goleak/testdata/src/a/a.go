@@ -1,0 +1,122 @@
+// Fixture for the goleak analyzer: goroutines must tie termination to a
+// join signal the launcher can observe on every path.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+type pool struct {
+	mu    sync.Mutex
+	wg    sync.WaitGroup
+	tasks chan int
+	done  chan struct{}
+	n     int
+}
+
+func work() error { return nil }
+
+// bare never signals: the launcher cannot know when (or if) it finished.
+func bare(p *pool) {
+	go func() { // want `goroutine literal has no join signal`
+		p.mu.Lock()
+		p.n++
+		p.mu.Unlock()
+	}()
+}
+
+// skippedDone signals only on the success path: the early return leaks.
+func skippedDone(p *pool) {
+	p.wg.Add(1)
+	go func() { // want `goroutine literal signals completion on only some paths`
+		if err := work(); err != nil {
+			return
+		}
+		p.wg.Done()
+	}()
+	p.wg.Wait()
+}
+
+// pump is a named goroutine body with no signal.
+func (p *pool) pump() {
+	for i := 0; i < 8; i++ {
+		p.n += i
+	}
+}
+
+func namedLeak(p *pool) {
+	go p.pump() // want `goroutine pump has no join signal`
+}
+
+// deferred joins on every exit path by construction.
+func deferred(p *pool) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		if err := work(); err != nil {
+			return
+		}
+		p.n++
+	}()
+	p.wg.Wait()
+}
+
+// allPaths signals on both branches: the CFG check proves coverage.
+func allPaths(p *pool, out chan error) {
+	go func() {
+		if err := work(); err != nil {
+			out <- err
+			return
+		}
+		out <- nil
+	}()
+}
+
+// closer joins by closing: receive-until-close on the launcher side.
+func closer(p *pool) {
+	go func() {
+		defer close(p.done)
+		p.n++
+	}()
+	<-p.done
+}
+
+// ranger terminates when the launcher closes tasks: channel-range tie.
+func ranger(p *pool) {
+	go func() {
+		for t := range p.tasks {
+			p.n += t
+		}
+	}()
+}
+
+// ctxBound terminates when the context is cancelled.
+func ctxBound(p *pool, ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case t := <-p.tasks:
+				p.n += t
+			}
+		}
+	}()
+}
+
+// detached documents a reviewed fire-and-forget goroutine.
+func detached(p *pool) {
+	//sktlint:detached — metrics flush touches only its own buffer and holds no engine state
+	go func() {
+		p.n++
+	}()
+}
+
+// bareMarker has the waiver but no reason: the marker alone is a finding.
+func bareMarker(p *pool) {
+	//sktlint:detached
+	go func() { // want `sktlint:detached requires a reason`
+		p.n++
+	}()
+}

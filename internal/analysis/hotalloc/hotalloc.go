@@ -1,0 +1,382 @@
+// Package hotalloc implements the hot-loop allocation analyzer of the
+// sktlint suite: escape-analysis-lite for the packages whose steady state
+// must not allocate. The panel benchmarks assert zero allocations per
+// operation dynamically, but a benchmark only covers the paths it drives;
+// hotalloc makes the invariant static by flagging, inside loops of hot
+// packages, the four allocation shapes that creep into numeric kernels:
+//
+//   - slice and map composite literals, address-taken &T{} literals,
+//     make, and new — a fresh object every lap (a plain struct or array
+//     literal is a value and costs nothing);
+//   - append to a slice with no visible preallocation — amortized growth
+//     still allocates, and in a kernel the capacity is knowable up front;
+//   - closure literals — the capture environment is heap-allocated per
+//     lap the moment the closure escapes;
+//   - implicit interface conversions — boxing a concrete value (an int
+//     passed to a ...interface{} printf, an error built per element)
+//     allocates unless the value is pointer-shaped.
+//
+// A loop-carried allocation only matters if the allocating statement is
+// on the iterating path: an allocation inside an error arm that returns
+// immediately runs at most once. The analyzer builds the function's CFG
+// and flags a site only when its basic block can reach the loop head
+// again. Constructors (New*/make*/init) and test files are exempt —
+// building state is what they are for; the invariant protects steady
+// state. A justified allocation — growth is genuinely data-dependent, or
+// the loop is a cold recovery path — is waived with //sktlint:hot-alloc
+// plus a written reason.
+package hotalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"selfckpt/internal/analysis"
+	"selfckpt/internal/analysis/cfg"
+)
+
+// Annotation waives a hotalloc finding. A written reason is required.
+const Annotation = "//sktlint:hot-alloc"
+
+// Analyzer is the hotalloc instance registered with the sktlint suite.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "flag heap allocations (composite literals, make/new, growing " +
+		"append, closures, interface boxing) on the iterating path of loops " +
+		"in zero-steady-state-alloc packages (waive with " + Annotation +
+		" <reason>)",
+	Suppression: Annotation,
+	Run:         run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || constructor(fd.Name.Name) {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// constructor reports whether the function builds state rather than
+// running in it: allocation is its purpose.
+func constructor(name string) bool {
+	return name == "init" ||
+		strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") ||
+		strings.HasPrefix(name, "Make") || strings.HasPrefix(name, "make")
+}
+
+// site is one allocation found lexically inside a loop.
+type site struct {
+	pos    token.Pos
+	loop   ast.Node  // the innermost enclosing for/range statement
+	anchor token.Pos // a position inside the loop-head CFG block
+	what   string
+}
+
+// loopCtx tracks one enclosing loop during the collect walk. The anchor
+// is a position the CFG places in the block the back edge re-enters: the
+// condition of a for statement (its `for` keyword itself lives in no
+// entry), or the range statement, whose head entry holds the whole node.
+type loopCtx struct {
+	node   ast.Node
+	anchor token.Pos
+}
+
+func forAnchor(n *ast.ForStmt) token.Pos {
+	switch {
+	case n.Cond != nil:
+		return n.Cond.Pos()
+	case n.Post != nil:
+		return n.Post.Pos()
+	case len(n.Body.List) > 0:
+		return n.Body.List[0].Pos()
+	}
+	return n.Pos()
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	sites := collect(pass, body, nil)
+	if len(sites) == 0 {
+		return
+	}
+	graph := cfg.Build(body, cfg.Options{NoReturn: func(call *ast.CallExpr) bool {
+		return analysis.IsPkgFunc(pass.TypesInfo, call, "os", "Exit")
+	}})
+	for _, s := range sites {
+		if !iterating(graph, s) {
+			continue // error/exit arm: runs at most once per loop entry
+		}
+		reason, found := pass.AnnotationReason(s.pos, Annotation)
+		if found && strings.TrimSpace(reason) != "" {
+			continue
+		}
+		if found {
+			pass.Reportf(s.pos, "%s requires a reason: say why this per-lap allocation is acceptable", Annotation)
+			continue
+		}
+		pass.Reportf(s.pos,
+			"%s on the iterating path of the loop at line %d: the steady state of this package must not allocate; hoist it out of the loop, preallocate, or annotate %s <reason>",
+			s.what, pass.Fset.Position(s.loop.Pos()).Line, Annotation)
+	}
+}
+
+// iterating reports whether the allocation can run more than once: its
+// basic block reaches the loop head again through the back edge.
+func iterating(graph *cfg.Graph, s site) bool {
+	from, _ := graph.Containing(s.pos)
+	head, _ := graph.Containing(s.anchor)
+	if from == nil || head == nil {
+		return true // defensive: unplaced sites stay flagged
+	}
+	seen := map[*cfg.Block]bool{}
+	stack := append([]*cfg.Block(nil), from.Succs...)
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == head {
+			return true
+		}
+		for _, nxt := range b.Succs {
+			if !seen[nxt] {
+				seen[nxt] = true
+				stack = append(stack, nxt)
+			}
+		}
+	}
+	return false
+}
+
+// collect walks body gathering allocation sites and the loops that
+// enclose them. Function literals reset the loop context — their body
+// runs when the closure is called, not where it is written — and are
+// themselves a per-lap allocation when written inside a loop.
+func collect(pass *analysis.Pass, body *ast.BlockStmt, outer []loopCtx) []site {
+	var sites []site
+	loops := append([]loopCtx(nil), outer...)
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Init != nil {
+				ast.Inspect(n.Init, walk)
+			}
+			loops = append(loops, loopCtx{node: n, anchor: forAnchor(n)})
+			ast.Inspect(n.Body, walk)
+			loops = loops[:len(loops)-1]
+			return false
+		case *ast.RangeStmt:
+			ast.Inspect(n.X, walk)
+			loops = append(loops, loopCtx{node: n, anchor: n.Pos()})
+			ast.Inspect(n.Body, walk)
+			loops = loops[:len(loops)-1]
+			return false
+		case *ast.FuncLit:
+			if len(loops) > 0 {
+				l := loops[len(loops)-1]
+				sites = append(sites, site{pos: n.Pos(), loop: l.node, anchor: l.anchor,
+					what: "closure literal (heap-allocated capture environment)"})
+			}
+			sites = append(sites, collect(pass, n.Body, nil)...)
+			return false
+		case *ast.UnaryExpr:
+			// &T{} forces the literal onto the heap regardless of its kind.
+			if n.Op == token.AND {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					if len(loops) > 0 {
+						l := loops[len(loops)-1]
+						sites = append(sites, site{pos: cl.Pos(), loop: l.node, anchor: l.anchor,
+							what: "composite literal"})
+					}
+					return false
+				}
+			}
+			return true
+		case *ast.CompositeLit:
+			if len(loops) > 0 && heapLiteral(pass, n) {
+				l := loops[len(loops)-1]
+				sites = append(sites, site{pos: n.Pos(), loop: l.node, anchor: l.anchor,
+					what: "composite literal"})
+			}
+			return false // element expressions are part of the same allocation
+		case *ast.CallExpr:
+			if len(loops) > 0 {
+				classifyCall(pass, n, loops[len(loops)-1], body, &sites)
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return sites
+}
+
+// classifyCall appends allocation sites arising from one call: builtin
+// make/new, growing append, and interface boxing of the arguments.
+func classifyCall(pass *analysis.Pass, call *ast.CallExpr, loop loopCtx, body *ast.BlockStmt, sites *[]site) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				*sites = append(*sites, site{pos: call.Pos(), loop: loop.node, anchor: loop.anchor, what: "make"})
+			case "new":
+				*sites = append(*sites, site{pos: call.Pos(), loop: loop.node, anchor: loop.anchor, what: "new"})
+			case "append":
+				if len(call.Args) > 0 && !preallocated(pass, call.Args[0], body) {
+					*sites = append(*sites, site{pos: call.Pos(), loop: loop.node, anchor: loop.anchor,
+						what: fmt.Sprintf("append to %s with no visible preallocation", exprText(call.Args[0]))})
+				}
+			}
+			return
+		}
+	}
+	// Implicit interface conversions of the arguments: boxing a concrete
+	// non-pointer-shaped value allocates.
+	sig, ok := calleeSignature(pass, call)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i)
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Type == nil || tv.IsNil() {
+			continue
+		}
+		at := tv.Type
+		if _, isIface := at.Underlying().(*types.Interface); isIface {
+			continue // already boxed
+		}
+		if pointerShaped(at) {
+			continue // fits the interface word without allocating
+		}
+		*sites = append(*sites, site{pos: arg.Pos(), loop: loop.node, anchor: loop.anchor,
+			what: fmt.Sprintf("boxing %s into %s", at.String(), pt.String())})
+	}
+}
+
+// heapLiteral reports whether a bare composite literal allocates: slice
+// and map literals carry a backing store; a struct or array literal is a
+// value and lives wherever it is used (the address-taken &T{} shape is
+// caught separately, and boxing one into an interface is the boxing
+// check's job).
+func heapLiteral(pass *analysis.Pass, lit *ast.CompositeLit) bool {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || tv.Type == nil {
+		return true // defensive: untyped literals stay flagged
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// preallocated reports whether dest is a plain identifier that some
+// earlier statement of the function creates with make — the idiomatic
+// capacity-up-front shape that keeps appends allocation-free.
+func preallocated(pass *analysis.Pass, dest ast.Expr, body *ast.BlockStmt) bool {
+	id, ok := ast.Unparen(dest).(*ast.Ident)
+	if !ok {
+		return false // appending to a field or element: assume unmanaged
+	}
+	obj := analysis.ObjectOf(pass.TypesInfo, id)
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || found {
+			return !found
+		}
+		for i, lhs := range asg.Lhs {
+			lid, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || analysis.ObjectOf(pass.TypesInfo, lid) != obj {
+				continue
+			}
+			if i >= len(asg.Rhs) {
+				continue
+			}
+			if c, ok := ast.Unparen(asg.Rhs[i]).(*ast.CallExpr); ok {
+				if cid, ok := ast.Unparen(c.Fun).(*ast.Ident); ok {
+					if b, ok := pass.TypesInfo.Uses[cid].(*types.Builtin); ok && b.Name() == "make" {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// calleeSignature resolves the call's signature, covering both named
+// callees and calls through function-typed values.
+func calleeSignature(pass *analysis.Pass, call *ast.CallExpr) (*types.Signature, bool) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil, false
+	}
+	if tv.IsType() {
+		return nil, false // conversion, not a call
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+// paramType returns the static parameter type matched by argument i,
+// unrolling the variadic tail.
+func paramType(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= params.Len()-1 {
+		last := params.At(params.Len() - 1).Type()
+		if sl, ok := last.(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// pointerShaped reports whether values of t fit the interface data word
+// directly, so boxing does not allocate.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// exprText renders the append destination for the diagnostic.
+func exprText(e ast.Expr) string {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return id.Name
+	}
+	return "slice"
+}

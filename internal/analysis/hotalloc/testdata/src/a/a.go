@@ -1,0 +1,126 @@
+// Fixture for the hotalloc analyzer: allocations on the iterating path
+// of a hot loop are findings; error arms, preallocated appends,
+// constructors, and reasoned waivers are clean.
+package a
+
+import "fmt"
+
+type grid struct {
+	rows [][]float64
+}
+
+// axpy is the shape the analyzer protects: a steady-state kernel loop
+// with no allocation at all.
+func axpy(dst, src []float64, alpha float64) {
+	for i := range dst {
+		dst[i] += alpha * src[i]
+	}
+}
+
+// perLapLiteral conjures a fresh slice every lap.
+func perLapLiteral(g *grid, n int) {
+	for i := 0; i < n; i++ {
+		row := []float64{1, 2, 3}    // want `composite literal on the iterating path of the loop`
+		g.rows = append(g.rows, row) // want `append to slice with no visible preallocation`
+	}
+}
+
+// perLapMake allocates a scratch buffer per lap that belongs outside.
+func perLapMake(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		buf := make([]int, 8) // want `make on the iterating path of the loop`
+		buf[0] = i
+		total += buf[0]
+	}
+	return total
+}
+
+// perLapClosure heap-allocates a capture environment per lap.
+func perLapClosure(xs []int, apply func(func() int)) {
+	for _, x := range xs {
+		apply(func() int { return x * x }) // want `closure literal`
+	}
+}
+
+// perLapBox boxes an int into the printf interface slot every lap.
+func perLapBox(xs []int) {
+	for _, x := range xs {
+		fmt.Println(x) // want `boxing int into`
+	}
+}
+
+type task struct {
+	lo, hi int
+}
+
+// valueLiteral builds struct values per lap: they travel by copy (into a
+// channel slot, a variable) and never touch the heap, so the analyzer
+// stays silent.
+func valueLiteral(ch chan task, tick chan struct{}, n int) {
+	for i := 0; i < n; i++ {
+		ch <- task{lo: i, hi: i + 1}
+		t := task{lo: i}
+		ch <- t
+		tick <- struct{}{}
+	}
+}
+
+// pointerLiteral takes the literal's address: now it escapes to the heap
+// every lap.
+func pointerLiteral(out chan *task, n int) {
+	for i := 0; i < n; i++ {
+		out <- &task{lo: i} // want `composite literal on the iterating path of the loop`
+	}
+}
+
+// errArm allocates only on the way out: the CFG proves the boxing site
+// cannot re-reach the loop head, so it runs at most once.
+func errArm(xs []float64) error {
+	for i, x := range xs {
+		if x < 0 {
+			return fmt.Errorf("negative at %d", i)
+		}
+		xs[i] = x * x
+	}
+	return nil
+}
+
+// prealloc appends into capacity reserved up front: no growth per lap.
+func prealloc(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x*x)
+	}
+	return out
+}
+
+// NewGrid is a constructor: building state is what it is for.
+func NewGrid(n int) *grid {
+	g := &grid{}
+	for i := 0; i < n; i++ {
+		g.rows = append(g.rows, make([]float64, n))
+	}
+	return g
+}
+
+// waived documents a reviewed data-dependent growth.
+func waived(counts []int) [][]int {
+	var out [][]int
+	for _, n := range counts {
+		//sktlint:hot-alloc — ragged rows: the total size is unknowable before the failure schedule resolves
+		out = append(out, make([]int, n))
+	}
+	return out
+}
+
+// bareMarker carries the waiver with no reason: itself a finding.
+func bareMarker(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		//sktlint:hot-alloc
+		buf := make([]int, 4) // want `sktlint:hot-alloc requires a reason`
+		s += buf[0] + i
+	}
+	return s
+}

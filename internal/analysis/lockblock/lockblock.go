@@ -1,0 +1,112 @@
+// Package lockblock implements the lock-across-blocking analyzer of the
+// sktlint suite. A mutex held across an unbounded rendezvous — a channel
+// send or receive, a select with no default, a WaitGroup/Cond wait, or a
+// simmpi collective/point-to-point operation — is a deadlock waiting for
+// its schedule: the rendezvous completes only if another goroutine makes
+// progress, and that goroutine may need the held lock. On the simulator's
+// engines the pattern is doubly dangerous, because a rank parked inside a
+// collective while holding an engine lock stalls every other rank at the
+// same rendezvous.
+//
+// The analyzer reads the blockgraph summary: every blocking site carries
+// the set of locks that may be held when it executes (a forward
+// may-analysis over the CFG, where a deferred unlock deliberately keeps
+// the lock held to function exit), and calls to package helpers that
+// block are followed interprocedurally to any depth. Plain nested mutex
+// acquisitions are not flagged — bounded waits need lock-order cycle
+// detection, a different analysis — only unbounded rendezvous are.
+//
+// A reviewed, deliberate hold — for example the DES scheduler's token
+// handoff, where the protocol guarantees the peer never takes the lock —
+// is waived with //sktlint:held-by-design on or directly above the
+// blocking site, with a comment saying why the hold cannot deadlock.
+package lockblock
+
+import (
+	"fmt"
+	"strings"
+
+	"selfckpt/internal/analysis"
+	"selfckpt/internal/analysis/blockgraph"
+)
+
+// Annotation waives a lockblock finding; the comment should say why the
+// rendezvous peer can never need the held lock.
+const Annotation = "//sktlint:held-by-design"
+
+// Analyzer is the lockblock instance registered with the sktlint suite.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockblock",
+	Doc: "flag blocking rendezvous (channel ops, selects, waits, simmpi " +
+		"collectives) reached while a mutex is held — deadlock risk unless " +
+		"annotated " + Annotation,
+	Suppression: Annotation,
+	Run:         run,
+}
+
+func run(pass *analysis.Pass) error {
+	g := blockgraph.New(pass)
+	for _, sum := range g.Summaries {
+		for _, site := range sum.Sites {
+			if len(site.Held) == 0 {
+				continue
+			}
+			hard := site.Kind.Hard()
+			if site.Kind == blockgraph.BlockingCall {
+				hard = g.HardBlocks(site.Callee)
+			}
+			if !hard {
+				continue
+			}
+			if pass.Annotated(site.Pos, Annotation) {
+				continue
+			}
+			pass.Reportf(site.Pos, "%s under %s: the rendezvous completes only if "+
+				"another goroutine progresses, and it may need the lock%s; release "+
+				"before blocking or annotate %s",
+				describe(g, site), heldPhrase(pass, site.Held), chainSuffix(g, site), Annotation)
+		}
+	}
+	return nil
+}
+
+// describe renders the site operation for the diagnostic.
+func describe(g *blockgraph.Graph, s blockgraph.Site) string {
+	switch s.Kind {
+	case blockgraph.BlockingCall:
+		return fmt.Sprintf("%s (may block)", s.Desc)
+	default:
+		return s.Desc
+	}
+}
+
+// heldPhrase renders the held-lock set with acquisition lines, e.g.
+// "lock w.mu (held since line 42)".
+func heldPhrase(pass *analysis.Pass, held []blockgraph.Acquisition) string {
+	parts := make([]string, 0, len(held))
+	for _, a := range held {
+		mode := ""
+		if a.Read {
+			mode = " (read)"
+		}
+		parts = append(parts, fmt.Sprintf("%s%s held since line %d",
+			a.Lock, mode, pass.Fset.Position(a.Pos).Line))
+	}
+	if len(parts) == 1 {
+		return "lock " + parts[0]
+	}
+	return "locks " + strings.Join(parts, ", ")
+}
+
+// chainSuffix names the concrete operation behind a BlockingCall chain,
+// so "call to flush (may block)" also says what eventually parks.
+func chainSuffix(g *blockgraph.Graph, s blockgraph.Site) string {
+	if s.Kind != blockgraph.BlockingCall || s.Callee == nil {
+		return ""
+	}
+	chain := g.WitnessOf(s.Callee)
+	if chain == "" {
+		return ""
+	}
+	return " [blocks via " + chain + "]"
+}

@@ -1,0 +1,12 @@
+package lockblock_test
+
+import (
+	"testing"
+
+	"selfckpt/internal/analysis/analysistest"
+	"selfckpt/internal/analysis/lockblock"
+)
+
+func TestLockblock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockblock.Analyzer, "a")
+}

@@ -1,0 +1,117 @@
+// Fixture for the lockblock analyzer: unbounded rendezvous under a held
+// mutex are deadlock hazards; releases before blocking, bounded nested
+// locks, and annotated holds are clean.
+package a
+
+import (
+	"sync"
+
+	"selfckpt/internal/simmpi"
+)
+
+type srv struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	other sync.Mutex
+	ch    chan int
+	wg    sync.WaitGroup
+	items []int
+}
+
+// sendHeld blocks on a channel send with mu held.
+func sendHeld(s *srv, v int) {
+	s.mu.Lock()
+	s.ch <- v // want `send on s.ch under lock s.mu`
+	s.mu.Unlock()
+}
+
+// recvDeferHeld holds through a deferred unlock: the receive is under it.
+func recvDeferHeld(s *srv) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want `receive from s.ch under lock s.mu`
+}
+
+// selectHeld blocks in a select with no default while holding rw.
+func selectHeld(s *srv) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	select { // want `select with no default clause under lock s.rw`
+	case v := <-s.ch:
+		return v
+	case s.ch <- 0:
+		return 0
+	}
+}
+
+// waitHeld parks on a WaitGroup under the lock every worker needs.
+func waitHeld(s *srv) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wg.Wait() // want `s.wg.Wait\(\) under lock s.mu`
+}
+
+// collectiveHeld enters a simmpi rendezvous under a lock: every peer
+// stalls at the barrier while the lock owner is parked.
+func collectiveHeld(s *srv, c *simmpi.Comm) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return c.Barrier() // want `Comm.Barrier under lock s.mu`
+}
+
+// helperHeld hides the rendezvous one call away: interprocedural.
+func drain(s *srv) int { return <-s.ch }
+
+func helperHeld(s *srv) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return drain(s) // want `call to drain \(may block\) under lock s.mu`
+}
+
+// releaseFirst is the correct shape: unlock, then block.
+func releaseFirst(s *srv, v int) {
+	s.mu.Lock()
+	s.items = append(s.items, v)
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// pollUnderLock is clean: the select has a default and cannot park.
+func pollUnderLock(s *srv) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		return v
+	default:
+		return -1
+	}
+}
+
+// nestedLock is clean here: bounded lock-over-lock is the lock-order
+// analyzer's business, not lockblock's.
+func nestedLock(s *srv) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.other.Lock()
+	s.items = s.items[:0]
+	s.other.Unlock()
+}
+
+// goroutineBody is clean for the launcher: the send blocks the new
+// goroutine, which holds no lock (lock state does not cross `go`).
+func goroutineBody(s *srv, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- v
+	}()
+}
+
+// tokenHandoff documents a reviewed hold: the peer never takes the lock.
+func tokenHandoff(s *srv) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//sktlint:held-by-design — the scheduler side only reads s.ch and never acquires s.mu
+	s.ch <- 1
+}

@@ -4,11 +4,19 @@
 package suite
 
 import (
+	"fmt"
+	"sort"
+	"strings"
+
 	"selfckpt/internal/analysis"
 	"selfckpt/internal/analysis/ckptcover"
 	"selfckpt/internal/analysis/ckpterr"
+	"selfckpt/internal/analysis/collorder"
 	"selfckpt/internal/analysis/collsym"
 	"selfckpt/internal/analysis/detrand"
+	"selfckpt/internal/analysis/goleak"
+	"selfckpt/internal/analysis/hotalloc"
+	"selfckpt/internal/analysis/lockblock"
 	"selfckpt/internal/analysis/shmlifecycle"
 )
 
@@ -29,6 +37,19 @@ var DeterminismCritical = []string{
 	"cmd/sktchaos",
 }
 
+// ZeroSteadyStateAlloc lists the package-path suffixes whose inner loops
+// must not allocate once warmed up: the numeric kernels, the erasure
+// coding stack, and the simulated MPI data plane. The panel benchmarks
+// assert the invariant dynamically; hotalloc applies only here and makes
+// it static.
+var ZeroSteadyStateAlloc = []string{
+	"internal/kernels",
+	"internal/encoding",
+	"internal/gf256",
+	"internal/wordpack",
+	"internal/simmpi",
+}
+
 // Entry pairs an analyzer with its applicability predicate.
 type Entry struct {
 	Analyzer *analysis.Analyzer
@@ -43,9 +64,22 @@ func Analyzers() []Entry {
 		{Analyzer: detrand.Analyzer, AppliesTo: isDeterminismCritical},
 		{Analyzer: shmlifecycle.Analyzer},
 		{Analyzer: collsym.Analyzer},
+		{Analyzer: collorder.Analyzer},
 		{Analyzer: ckpterr.Analyzer},
 		{Analyzer: ckptcover.Analyzer},
+		{Analyzer: lockblock.Analyzer},
+		{Analyzer: goleak.Analyzer, AppliesTo: isDeterminismCritical},
+		{Analyzer: hotalloc.Analyzer, AppliesTo: isZeroSteadyStateAlloc},
 	}
+}
+
+func isZeroSteadyStateAlloc(pkgPath string) bool {
+	for _, suffix := range ZeroSteadyStateAlloc {
+		if analysis.PathHasSuffix(pkgPath, suffix) {
+			return true
+		}
+	}
+	return false
 }
 
 func isDeterminismCritical(pkgPath string) bool {
@@ -57,13 +91,55 @@ func isDeterminismCritical(pkgPath string) bool {
 	return false
 }
 
+// Select resolves a comma-separated list of analyzer names into suite
+// entries, preserving suite order. Unknown names are an error so a typo
+// in a CI invocation fails loudly instead of silently linting nothing.
+func Select(list string) ([]Entry, error) {
+	want := map[string]bool{}
+	for _, name := range strings.Split(list, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			want[name] = true
+		}
+	}
+	var out []Entry
+	for _, e := range Analyzers() {
+		if want[e.Analyzer.Name] {
+			out = append(out, e)
+			delete(want, e.Analyzer.Name)
+		}
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for name := range want {
+			unknown = append(unknown, name)
+		}
+		sort.Strings(unknown)
+		known := make([]string, 0, len(Analyzers()))
+		for _, e := range Analyzers() {
+			known = append(known, e.Analyzer.Name)
+		}
+		return nil, fmt.Errorf("unknown analyzer(s) %s; valid names: %s",
+			strings.Join(unknown, ", "), strings.Join(known, ", "))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return out, nil
+}
+
 // Run executes every applicable analyzer over every package and returns
 // the findings sorted by position.
 func Run(pkgs []*analysis.Package) ([]analysis.Diagnostic, error) {
+	return RunSelected(pkgs, Analyzers())
+}
+
+// RunSelected is Run restricted to the given entries, for invocations
+// that lint with a subset of the suite (sktlint -run).
+func RunSelected(pkgs []*analysis.Package, entries []Entry) ([]analysis.Diagnostic, error) {
 	var diags []analysis.Diagnostic
 	report := func(d analysis.Diagnostic) { diags = append(diags, d) }
 	for _, pkg := range pkgs {
-		for _, e := range Analyzers() {
+		for _, e := range entries {
 			if e.AppliesTo != nil && !e.AppliesTo(pkg.Path) {
 				continue
 			}

@@ -34,12 +34,13 @@ func TestRepoIsLintClean(t *testing.T) {
 	}
 }
 
-// TestScoping pins the policy: detrand is restricted to the determinism-
-// critical packages, the other analyzers run everywhere.
+// TestScoping pins the policy: detrand and goleak are restricted to the
+// determinism-critical packages, hotalloc to the zero-steady-state-alloc
+// packages, and the other analyzers run everywhere.
 func TestScoping(t *testing.T) {
 	entries := suite.Analyzers()
-	if len(entries) != 5 {
-		t.Fatalf("expected 5 analyzers, got %d", len(entries))
+	if len(entries) != 9 {
+		t.Fatalf("expected 9 analyzers, got %d", len(entries))
 	}
 	byName := map[string]suite.Entry{}
 	for _, e := range entries {
@@ -55,7 +56,28 @@ func TestScoping(t *testing.T) {
 	if det.AppliesTo("selfckpt/cmd/sktbench") {
 		t.Error("detrand must not cover sktbench (wall-time banners are legitimate there)")
 	}
-	for _, name := range []string{"shmlifecycle", "collsym", "ckpterr", "ckptcover"} {
+	leak, ok := byName["goleak"]
+	if !ok || leak.AppliesTo == nil {
+		t.Fatal("goleak must be present and scoped")
+	}
+	if !leak.AppliesTo("selfckpt/internal/simmpi") || !leak.AppliesTo("selfckpt/internal/kernels") {
+		t.Error("goleak must cover the replay-critical packages")
+	}
+	if leak.AppliesTo("selfckpt/cmd/sktbench") {
+		t.Error("goleak must not cover sktbench (fire-and-forget is fine in the bench driver)")
+	}
+	hot, ok := byName["hotalloc"]
+	if !ok || hot.AppliesTo == nil {
+		t.Fatal("hotalloc must be present and scoped")
+	}
+	if !hot.AppliesTo("selfckpt/internal/kernels") || !hot.AppliesTo("selfckpt/internal/encoding") ||
+		!hot.AppliesTo("selfckpt/internal/simmpi") {
+		t.Error("hotalloc must cover the zero-steady-state-alloc packages")
+	}
+	if hot.AppliesTo("selfckpt/internal/cluster") || hot.AppliesTo("selfckpt/cmd/sktchaos") {
+		t.Error("hotalloc must not cover the control plane (allocation there is not a defect)")
+	}
+	for _, name := range []string{"shmlifecycle", "collsym", "collorder", "ckpterr", "ckptcover", "lockblock"} {
 		e, ok := byName[name]
 		if !ok {
 			t.Fatalf("missing analyzer %s", name)
@@ -64,6 +86,32 @@ func TestScoping(t *testing.T) {
 			t.Errorf("%s should apply everywhere", name)
 		}
 	}
+}
+
+// TestSelect pins the -run resolution: names map to entries in suite
+// order, whitespace is tolerated, and unknown names fail loudly.
+func TestSelect(t *testing.T) {
+	entries, err := suite.Select("hotalloc, goleak")
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if len(entries) != 2 || entries[0].Analyzer.Name != "goleak" || entries[1].Analyzer.Name != "hotalloc" {
+		t.Errorf("expected [goleak hotalloc] in suite order, got %v", names(entries))
+	}
+	if _, err := suite.Select("goleak,nosuch"); err == nil {
+		t.Error("unknown analyzer name must be an error")
+	}
+	if _, err := suite.Select(" , "); err == nil {
+		t.Error("empty selection must be an error")
+	}
+}
+
+func names(entries []suite.Entry) []string {
+	var out []string
+	for _, e := range entries {
+		out = append(out, e.Analyzer.Name)
+	}
+	return out
 }
 
 // TestSuppressionVocabulary runs every analyzer over one shared fixture

@@ -9,6 +9,7 @@ package suppressed
 
 import (
 	"encoding/binary"
+	"sync"
 	"time"
 
 	"selfckpt/internal/checkpoint"
@@ -39,11 +40,14 @@ func segmentWaived(st *shm.Store) {
 
 // --- collsym — //sktlint:rank-divergent ---
 
+// collectiveFlagged is collectively symmetric (both arms reach the same
+// Bcast), so collorder stays silent and only collsym's stricter lexical
+// view fires.
 func collectiveFlagged(c *simmpi.Comm, buf []float64) error {
 	if c.Rank() == 0 {
 		return c.Bcast(0, buf) // want `collective Bcast inside a branch`
 	}
-	return nil
+	return c.Bcast(0, buf)
 }
 
 func collectiveWaived(c *simmpi.Comm, buf []float64) error {
@@ -52,6 +56,24 @@ func collectiveWaived(c *simmpi.Comm, buf []float64) error {
 		return c.Bcast(0, buf)
 	}
 	return c.Bcast(0, buf)
+}
+
+// --- collorder — //sktlint:rank-divergent (vocabulary shared with collsym) ---
+
+func orderFlagged(c *simmpi.Comm) error {
+	if c.Rank() == 0 { // want `ranks disagree on the collective sequence`
+		return c.Barrier() // want `collective Barrier inside a branch`
+	}
+	return nil
+}
+
+func orderWaived(c *simmpi.Comm) error {
+	//sktlint:rank-divergent — the spare rank rejoins one epoch late by construction
+	if c.Rank() == 0 {
+		//sktlint:rank-divergent — collsym's view of the same reviewed divergence
+		return c.Barrier()
+	}
+	return nil
 }
 
 // --- ckpterr — //sktlint:unchecked-error ---
@@ -104,4 +126,66 @@ func coverageWaived(prot checkpoint.Protector, n int) (float64, error) {
 		}
 	}
 	return sum, nil
+}
+
+// --- lockblock — //sktlint:held-by-design ---
+
+type guarded struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+func holdFlagged(g *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ch <- 1 // want `send on g.ch under lock g.mu`
+}
+
+func holdWaived(g *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	//sktlint:held-by-design — the receiving side only drains g.ch and never takes g.mu
+	g.ch <- 1
+}
+
+// --- goleak — //sktlint:detached <reason> ---
+
+func leakFlagged(g *guarded) {
+	go func() { // want `goroutine literal has no join signal`
+		g.mu.Lock()
+		g.n++
+		g.mu.Unlock()
+	}()
+}
+
+func leakWaived(g *guarded) {
+	//sktlint:detached — metrics tick; touches only its own counter and holds no engine state
+	go func() {
+		g.mu.Lock()
+		g.n++
+		g.mu.Unlock()
+	}()
+}
+
+// --- hotalloc — //sktlint:hot-alloc <reason> ---
+
+func allocFlagged(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		buf := make([]int, 4) // want `make on the iterating path of the loop`
+		buf[0] = i
+		s += buf[0]
+	}
+	return s
+}
+
+func allocWaived(counts []int) int {
+	s := 0
+	for _, n := range counts {
+		//sktlint:hot-alloc — cold recovery path: runs once per failure, never in the steady state
+		buf := make([]int, n)
+		s += len(buf)
+	}
+	return s
 }

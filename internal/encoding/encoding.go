@@ -290,6 +290,10 @@ func (g *Group) rebuildOne(lost int, checksum []float64, dataParts ...[]float64)
 		}
 		return g.zeroStripe(s)
 	}
+	// Scratch for the recovered stripe at the family holder, hoisted so a
+	// full recovery allocates it once rather than once per family (it is
+	// fully overwritten by the copy before each use).
+	rec := make([]float64, s)
 	for f := 0; f < n; f++ {
 		if f == lost {
 			// The lost rank's checksum slot: recompute from the
@@ -318,7 +322,6 @@ func (g *Group) rebuildOne(lost int, checksum []float64, dataParts ...[]float64)
 		switch me {
 		case f:
 			// recovered = checksum_f ⊖ partial
-			rec := make([]float64, s)
 			copy(rec, checksum)
 			g.op.Cancel(rec, partial)
 			g.comm.World().Compute(float64(s) * g.op.CostPerWord)

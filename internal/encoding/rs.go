@@ -244,9 +244,17 @@ func (g *RSGroup) Rebuild(lost []int, checksum []float64, dataParts ...[]float64
 		p.storeRange(stripe, g.rsStripeOf(me, f)*s)
 	}
 
+	// Per-family scratch, hoisted so a multi-family rebuild allocates it
+	// once rather than once per family: dataLost is reused at capacity,
+	// and a/dy serve the double-loss solve at the Q holder (both are
+	// fully overwritten before each use).
+	dataLost := make([]int, 0, len(lost))
+	a := make([]float64, s)
+	dy := make([]float64, s)
+
 	for f := 0; f < n; f++ {
 		ph, qh := g.pHolder(f), g.qHolder(f)
-		var dataLost []int
+		dataLost = dataLost[:0]
 		for _, l := range lost {
 			if l != ph && l != qh {
 				dataLost = append(dataLost, l)
@@ -279,6 +287,7 @@ func (g *RSGroup) Rebuild(lost []int, checksum []float64, dataParts ...[]float64
 
 		case 1:
 			x := dataLost[0]
+			//sktlint:hot-alloc — cold rebuild path: the exclusion set is the failure pattern itself, built once per lost family
 			excl := map[int]bool{x: true}
 			if !pLost {
 				// Cancel survivors out of P.
@@ -343,6 +352,7 @@ func (g *RSGroup) Rebuild(lost []int, checksum []float64, dataParts ...[]float64
 			// Both parities survive (≤ 2 losses total). Standard RAID-6
 			// double reconstruction at the Q holder.
 			x, y := dataLost[0], dataLost[1]
+			//sktlint:hot-alloc — cold rebuild path: the exclusion set is the failure pattern itself, built once per lost family
 			excl := map[int]bool{x: true, y: true}
 			outP, err := reduceP(f, ph, excl, false)
 			if err != nil {
@@ -363,7 +373,6 @@ func (g *RSGroup) Rebuild(lost []int, checksum []float64, dataParts ...[]float64
 			}
 			switch me {
 			case qh:
-				a := make([]float64, s)
 				if err := g.comm.Recv(ph, a); err != nil {
 					return err
 				}
@@ -374,7 +383,6 @@ func (g *RSGroup) Rebuild(lost []int, checksum []float64, dataParts ...[]float64
 				kernels.GFMulAdd(gf256.Exp(iy), outQ, a)
 				kernels.GFMul(gf256.Inv(den), outQ, outQ)
 				dx := outQ
-				dy := make([]float64, s)
 				copy(dy, a)
 				simmpi.OpXor.Combine(dy, dx)
 				g.comm.World().Compute(float64(s) * 6)

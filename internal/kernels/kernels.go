@@ -64,6 +64,7 @@ func ensureWorkers(n int) {
 	poolMu.Lock()
 	for poolSize < n {
 		poolSize++
+		//sktlint:hot-alloc — pool growth: each worker goroutine is launched once and lives for the process lifetime
 		go func() {
 			for t := range tasks {
 				t.fn(t.lo, t.hi)

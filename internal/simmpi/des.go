@@ -224,6 +224,7 @@ func (e *desEngine) flushDeferred(dr *desRank) {
 		if len(q.items) < desInboxCap {
 			e.deliver(dp.core, dp.dstIdx, dp.m)
 		} else if !e.ranks[dp.core.members[dp.dstIdx]].done {
+			//sktlint:hot-alloc — overflow protocol queue: grows only while the destination inbox is saturated, bounded by in-flight posts
 			q.posts = append(q.posts, dp.m) // detached: no poster to wake
 		}
 	}
@@ -378,6 +379,7 @@ func (e *desEngine) admitInjected() {
 	e.staged = nil
 	e.extMu.Unlock()
 	for _, ev := range staged {
+		//sktlint:hot-alloc — container/heap boxes its any-typed element; injections are per-fault control events, not data plane
 		heap.Push(&e.timed, ev)
 	}
 }
@@ -440,8 +442,10 @@ func (e *desEngine) deadlock() {
 		}
 		blocked++
 		if blocked <= 8 {
+			//sktlint:hot-alloc — deadlock post-mortem: formats the diagnostic once, immediately before panicking
 			fmt.Fprintf(&b, "\n  rank %d: waiting for %s", dr.id, kinds[dr.waitKind])
 			if dr.waitKind == wRecv {
+				//sktlint:hot-alloc — deadlock post-mortem: formats the diagnostic once, immediately before panicking
 				fmt.Fprintf(&b, " from rank %d on %q", dr.waitCore.members[dr.waitSrc], dr.waitCore.key)
 			}
 		}
@@ -471,6 +475,7 @@ func (e *desEngine) run(fn func(c *Comm) error) *Result {
 	for i := 0; i < n; i++ {
 		dr := e.ranks[i]
 		e.push(dr, 0)
+		//sktlint:hot-alloc — rank launch: one goroutine per rank at world construction, before the timed region starts
 		go func(dr *desRank) {
 			defer wg.Done()
 			<-dr.resume // first grant: the rank starts owning the token
@@ -671,6 +676,7 @@ func (c *Comm) desMatch(src int) (*message, error) {
 			if m.src == src {
 				return m, nil
 			}
+			//sktlint:hot-alloc — out-of-order stash: grows only when messages race ahead of their Recv, bounded by inbox capacity
 			c.pending = append(c.pending, m)
 		}
 		if e.ranks[srcG].done {

@@ -258,6 +258,7 @@ func (c *Comm) match(src int) (*message, error) {
 			if m.src == src {
 				return m, nil
 			}
+			//sktlint:hot-alloc — out-of-order stash: grows only when messages race ahead of their Recv, bounded by inbox capacity
 			c.pending = append(c.pending, m)
 		case <-gone:
 			// src has exited, but it may have delivered the message first
@@ -269,6 +270,7 @@ func (c *Comm) match(src int) (*message, error) {
 					if m.src == src {
 						return m, nil
 					}
+					//sktlint:hot-alloc — out-of-order stash: grows only when messages race ahead of their Recv, bounded by inbox capacity
 					c.pending = append(c.pending, m)
 				default:
 					return nil, ErrAborted
@@ -435,6 +437,7 @@ func (c *Comm) Split(color int) (*Comm, error) {
 				order = append(order, cc)
 			}
 			replies[2*i] = float64(len(buckets[cc]))
+			//sktlint:hot-alloc — Split is communicator construction: runs once per split, never in the data plane
 			buckets[cc] = append(buckets[cc], i)
 		}
 		// Materialize every core before the scatter: a non-root rank's
@@ -442,6 +445,7 @@ func (c *Comm) Split(color int) (*Comm, error) {
 		// always succeeds.
 		for _, col := range order {
 			idxs := buckets[col]
+			//sktlint:hot-alloc — Split is communicator construction: runs once per split, never in the data plane
 			members := make([]int, len(idxs))
 			for j, pi := range idxs {
 				members[j] = c.core.members[pi]

@@ -255,6 +255,7 @@ func (w *World) runGoroutine(fn func(c *Comm) error) *Result {
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for i := 0; i < n; i++ {
+		//sktlint:hot-alloc — rank launch: one goroutine per rank at world construction, before the timed region starts
 		go func(rank int) {
 			defer wg.Done()
 			// Runs after the stats/recover defer below (LIFO), so peers
