@@ -1,13 +1,17 @@
 // Command sktlint statically enforces the simulator's invariants over the
 // module: determinism of replay-by-ID code (detrand), SHM segment
-// lifecycle (shmlifecycle), collective-call symmetry and interprocedural
-// collective ordering (collsym, collorder), checked checkpoint errors
-// (ckpterr), checkpoint coverage of loop-carried state (ckptcover),
-// channel operations under locks (lockblock), goroutine join discipline
-// (goleak), and steady-state allocation freedom of the hot packages
-// (hotalloc). It is the compile-time counterpart of the crash-matrix and
-// SDC runtime checks: the invariants those sweeps probe after the fact
-// are rejected here before the code merges.
+// lifecycle (shmlifecycle), stale SHM views carried past Destroy/Restore
+// (shmalias), collective-call symmetry and interprocedural collective
+// ordering (collsym, collorder), comm-buffer aliasing and in-flight
+// reuse (sendalias), checked checkpoint errors (ckpterr), checkpoint
+// coverage of loop-carried state (ckptcover), channel operations under
+// locks (lockblock), goroutine join discipline (goleak), and
+// steady-state allocation freedom of the hot packages (hotalloc). The
+// two aliasing analyzers (shmalias, sendalias) and the coverage analyzer
+// (ckptcover) share one Andersen-style points-to computation per package
+// (internal/analysis/pointsto). sktlint is the compile-time counterpart
+// of the crash-matrix and SDC runtime checks: the invariants those
+// sweeps probe after the fact are rejected here before the code merges.
 //
 // Usage:
 //
@@ -31,11 +35,15 @@
 // Exit status is 1 when any (non-baselined) diagnostic is reported, 2 on
 // usage or load errors. False positives are suppressed only with the
 // documented annotations (//sktlint:nondeterministic,
-// //sktlint:persistent-segment, //sktlint:rank-divergent,
+// //sktlint:persistent-segment, //sktlint:stale-view,
+// //sktlint:rank-divergent, //sktlint:inflight-reuse,
 // //sktlint:unchecked-error, //sktlint:ephemeral,
 // //sktlint:held-by-design, //sktlint:detached, //sktlint:hot-alloc) so
 // every waiver is visible in review and grep-able later; the JSON output
-// names the applicable annotation next to each finding.
+// names the applicable annotation next to each finding, and for
+// lockblock/collorder findings carries the interprocedural witness
+// chain (excluded from baseline matching, so refactors that move a
+// helper do not resurrect baselined debt).
 package main
 
 import (
@@ -69,12 +77,9 @@ func main() {
 		fatal(fmt.Errorf("-write-baseline requires -baseline <file>"))
 	}
 
-	entries := suite.Analyzers()
-	if *runList != "" {
-		var err error
-		if entries, err = suite.Select(*runList); err != nil {
-			fatal(err)
-		}
+	entries, err := selectEntries(*runList)
+	if err != nil {
+		fatal(err)
 	}
 
 	patterns := flag.Args()
@@ -100,16 +105,34 @@ func main() {
 	findings := toFindings(cwd, diags)
 
 	if *writeBaseline {
+		// A rewrite naturally drops entries for findings that were fixed;
+		// say how many, so shrinking debt is visible in the CI log.
+		dropped := 0
+		if old, err := readBaselineFile(*baselinePath); err == nil {
+			dropped = len(staleAgainstCurrent(old, findings))
+		}
 		if err := writeBaselineFile(*baselinePath, findings); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "sktlint: recorded %d finding(s) to %s\n", len(findings), *baselinePath)
+		if dropped > 0 {
+			fmt.Fprintf(os.Stderr, "sktlint: recorded %d finding(s) to %s (dropped %d stale entr%s)\n",
+				len(findings), *baselinePath, dropped, plural(dropped, "y", "ies"))
+		} else {
+			fmt.Fprintf(os.Stderr, "sktlint: recorded %d finding(s) to %s\n", len(findings), *baselinePath)
+		}
 		return
 	}
 	if *baselinePath != "" {
 		baseline, err := readBaselineFile(*baselinePath)
 		if err != nil {
 			fatal(err)
+		}
+		// Stale entries are warnings, not failures: the debt they recorded
+		// is gone, and leaving them in place would mask a regression that
+		// reintroduces the same finding. -write-baseline drops them.
+		for _, s := range staleAgainstCurrent(baseline, findings) {
+			fmt.Fprintf(os.Stderr, "sktlint: baseline entry is stale (no longer reported): %s: %s: %s\n",
+				s.File, s.Analyzer, s.Message)
 		}
 		findings = newAgainstBaseline(baseline, findings)
 	}
@@ -147,6 +170,12 @@ type jsonDiag struct {
 	Analyzer    string `json:"analyzer"`
 	Message     string `json:"message"`
 	Suppression string `json:"suppression,omitempty"`
+	// Witness is the evidence chain behind interprocedural findings
+	// (lockblock, collorder): the call path from the reported site down
+	// to the concrete rendezvous, one anchored step per entry. It is
+	// carried for tooling but excluded from baseline matching, so a
+	// refactor that moves a helper does not resurrect baselined debt.
+	Witness []string `json:"witness,omitempty"`
 }
 
 func toFindings(cwd string, diags []analysis.Diagnostic) []jsonDiag {
@@ -160,6 +189,7 @@ func toFindings(cwd string, diags []analysis.Diagnostic) []jsonDiag {
 			Analyzer:    d.Analyzer,
 			Message:     d.Message,
 			Suppression: suppressions[d.Analyzer],
+			Witness:     d.Witness,
 		})
 	}
 	return out
@@ -249,8 +279,46 @@ func newAgainstBaseline(baseline, current []jsonDiag) []jsonDiag {
 	return out
 }
 
+// staleAgainstCurrent is the mirror of newAgainstBaseline: the baseline
+// entries no longer matched by any current finding — recorded debt that
+// has since been fixed. Same multiset matching over (file, analyzer,
+// message), so one fixed instance of a duplicated finding retires
+// exactly one entry.
+func staleAgainstCurrent(baseline, current []jsonDiag) []jsonDiag {
+	have := map[string]int{}
+	for _, c := range current {
+		have[baselineKey(c)]++
+	}
+	var out []jsonDiag
+	for _, b := range baseline {
+		if k := baselineKey(b); have[k] > 0 {
+			have[k]--
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
 func baselineKey(d jsonDiag) string {
 	return d.File + "\x00" + d.Analyzer + "\x00" + d.Message
+}
+
+// selectEntries resolves the -run flag: empty means the full suite, a
+// comma-separated list selects a subset, and unknown names surface
+// suite.Select's error naming every valid analyzer (exit 2 via fatal).
+func selectEntries(runList string) ([]suite.Entry, error) {
+	if runList == "" {
+		return suite.Analyzers(), nil
+	}
+	return suite.Select(runList)
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 func suppressionByAnalyzer() map[string]string {

@@ -2,10 +2,15 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
+
+	"selfckpt/internal/analysis/suite"
 )
 
 // TestGHAEscaping pins the workflow-command escaping rules: the data
@@ -93,6 +98,86 @@ func TestNewAgainstBaseline(t *testing.T) {
 	}
 	if res := newAgainstBaseline(baseline, nil); len(res) != 0 {
 		t.Errorf("fixed findings should yield nothing, got %+v", res)
+	}
+}
+
+// TestStaleAgainstCurrent pins the mirror of the baseline match: entries
+// whose finding was fixed are reported as stale, with the same multiset
+// semantics — fixing one of two duplicated findings retires one entry.
+func TestStaleAgainstCurrent(t *testing.T) {
+	d := func(file, analyzer, msg string, line int) jsonDiag {
+		return jsonDiag{File: file, Line: line, Col: 1, Analyzer: analyzer, Message: msg}
+	}
+	baseline := []jsonDiag{
+		d("a.go", "goleak", "no join", 10),
+		d("a.go", "hotalloc", "make in loop", 20),
+		d("a.go", "hotalloc", "make in loop", 30), // two instances baselined
+		d("b.go", "lockblock", "send under mu", 5),
+	}
+	current := []jsonDiag{
+		d("a.go", "goleak", "no join", 99),        // moved: still live
+		d("a.go", "hotalloc", "make in loop", 21), // one of the two remains
+	}
+	got := staleAgainstCurrent(baseline, current)
+	want := []jsonDiag{
+		d("a.go", "hotalloc", "make in loop", 30), // the second instance was fixed
+		d("b.go", "lockblock", "send under mu", 5),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("staleAgainstCurrent:\n got %+v\nwant %+v", got, want)
+	}
+	if res := staleAgainstCurrent(nil, current); len(res) != 0 {
+		t.Errorf("empty baseline has nothing stale, got %+v", res)
+	}
+	if res := staleAgainstCurrent(baseline, baseline); len(res) != 0 {
+		t.Errorf("identical findings leave nothing stale, got %+v", res)
+	}
+}
+
+// TestSelectEntriesUnknownName pins the -run failure mode: an unknown
+// analyzer name errors (main turns that into exit 2 via fatal) and the
+// message names every valid analyzer so the typo is correctable from
+// the CI log alone.
+func TestSelectEntriesUnknownName(t *testing.T) {
+	if entries, err := selectEntries(""); err != nil || len(entries) != len(suite.Analyzers()) {
+		t.Fatalf("empty -run must select the full suite, got %d entries, err %v", len(entries), err)
+	}
+	_, err := selectEntries("goleak,nosuchanalyzer")
+	if err == nil {
+		t.Fatal("unknown analyzer name must error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "nosuchanalyzer") {
+		t.Errorf("error must name the offending input, got %q", msg)
+	}
+	for _, e := range suite.Analyzers() {
+		if !strings.Contains(msg, e.Analyzer.Name) {
+			t.Errorf("error must list valid name %s, got %q", e.Analyzer.Name, msg)
+		}
+	}
+}
+
+// TestUnknownAnalyzerExitCode re-executes the test binary as the CLI and
+// checks the full contract: unknown -run name → exit status 2 with the
+// valid-names list on stderr.
+func TestUnknownAnalyzerExitCode(t *testing.T) {
+	if os.Getenv("SKTLINT_EXEC_MAIN") == "1" {
+		os.Args = []string{"sktlint", "-run", "nosuchanalyzer", "."}
+		main()
+		return
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestUnknownAnalyzerExitCode")
+	cmd.Env = append(os.Environ(), "SKTLINT_EXEC_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("expected the child to exit non-zero, got err %v, output %q", err, out)
+	}
+	if ee.ExitCode() != 2 {
+		t.Fatalf("unknown analyzer must exit 2 (usage error), got %d; output %q", ee.ExitCode(), out)
+	}
+	if !strings.Contains(string(out), "valid names:") || !strings.Contains(string(out), "nosuchanalyzer") {
+		t.Errorf("stderr must name the bad input and list valid names, got %q", out)
 	}
 }
 

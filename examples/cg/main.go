@@ -158,6 +158,9 @@ func cgRank(env *cluster.Env) (float64, int, error) {
 		}
 		it = int(binary.LittleEndian.Uint64(meta))
 		rho = math.Float64frombits(binary.LittleEndian.Uint64(meta[8:]))
+		// Restore rewrote the protected words; rebind the views rather
+		// than carrying pre-rollback slices across the boundary.
+		x, r, p = s[offX:offX+local], s[offR:offR+local], s[offP:offP+local]
 	} else {
 		// b has a bump per rank; x₀ = 0, r₀ = b, p₀ = r₀.
 		for i := 0; i < local; i++ {

@@ -7,7 +7,10 @@
 //
 // The cfg and dataflow subpackages add per-function control-flow graphs
 // and worklist dataflow (liveness, reaching definitions, a call graph)
-// on top, so analyzers can reason about paths rather than syntax.
+// on top, so analyzers can reason about paths rather than syntax, and
+// the pointsto subpackage computes one shared Andersen-style points-to
+// and escape result per package so the aliasing analyzers agree on what
+// may alias what.
 //
 // The analyzers in the subpackages enforce the simulator's load-bearing
 // invariant families at compile time instead of at runtime:
@@ -18,6 +21,11 @@
 //   - SHM lifecycle (shmlifecycle): temporary segments must be destroyed
 //     on every control-flow path, or the LeakedSegments audit fires long
 //     after the leak was written.
+//   - aliasing (shmalias, sendalias): a slice view of a destroyed or
+//     restored SHM segment must not be read through afterwards, and a
+//     comm call's read and write buffers must not share backing storage
+//     (nor may a buffer be mutated while a goroutine-launched comm call
+//     may still be using it). Both ride the shared points-to facts.
 //   - collective symmetry (collsym): a simmpi collective issued inside a
 //     rank-dependent branch deadlocks the job unless every rank takes the
 //     same path; asymmetry must be annotated to be allowed.
@@ -75,6 +83,13 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Witness, when non-empty, is the step-by-step evidence chain behind
+	// the finding — for the interprocedural analyzers, the call path from
+	// the reported site down to the concrete operation that proves it
+	// (e.g. "call to flush (engine.go:88)" → "send on e.parked
+	// (engine.go:41)"). It rides along in the JSON output so tooling can
+	// show why the finding holds without re-running the analysis.
+	Witness []string
 }
 
 func (d Diagnostic) String() string {
@@ -87,6 +102,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportWitness records a diagnostic carrying a witness chain — the
+// evidence steps (outermost first) that prove the finding.
+func (p *Pass) ReportWitness(pos token.Pos, witness []string, format string, args ...interface{}) {
+	p.Report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Witness:  witness,
 	})
 }
 

@@ -1,0 +1,48 @@
+package analysistest_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"selfckpt/internal/analysis"
+	"selfckpt/internal/analysis/analysistest"
+)
+
+// toy flags every call to a function named bad, honoring a reasoned
+// //sktlint:toy waiver — the smallest analyzer that exercises both the
+// diagnostic and the annotation machinery.
+var toy = &analysis.Analyzer{
+	Name:        "toy",
+	Doc:         "flag calls to bad (fixture-harness self-test)",
+	Suppression: "//sktlint:toy",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "bad" {
+					reason, found := pass.AnnotationReason(call.Pos(), "//sktlint:toy")
+					switch {
+					case found && reason != "":
+					case found:
+						pass.Reportf(call.Pos(), "bad is annotated //sktlint:toy but gives no reason")
+					default:
+						pass.Reportf(call.Pos(), "call to bad")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestMultiFileFixture pins that wants, diagnostics, and waivers resolve
+// per file within one fixture package: both files contribute findings
+// (at overlapping line numbers), and the annotation in one file silences
+// only its own call site.
+func TestMultiFileFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), toy, "multifile")
+}

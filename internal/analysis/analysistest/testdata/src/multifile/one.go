@@ -1,0 +1,11 @@
+// Multi-file fixture for the harness's own test: diagnostics and
+// waivers live in different files of one package, and wants must key by
+// (file, line) — a want in one file must not satisfy a diagnostic at
+// the same line number of the other.
+package multifile
+
+func bad() int { return 1 }
+
+func flaggedInOne() int {
+	return bad() // want `call to bad`
+}

@@ -1,0 +1,17 @@
+// Second file of the multifile fixture: another finding at a line
+// number that also exists in one.go, plus the waiver cases.
+package multifile
+
+func flaggedInTwo() int {
+	return bad() // want `call to bad`
+}
+
+func waived() int {
+	//sktlint:toy — reviewed: this call exercises the reasoned-waiver path
+	return bad()
+}
+
+func bareMarker() int {
+	//sktlint:toy
+	return bad() // want `bad is annotated .* but gives no reason`
+}

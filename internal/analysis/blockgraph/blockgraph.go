@@ -40,6 +40,7 @@ import (
 	"go/printer"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"sort"
 
 	"selfckpt/internal/analysis"
@@ -605,12 +606,11 @@ func exprString(fset *token.FileSet, e ast.Expr) string {
 	return buf.String()
 }
 
-// WitnessOf follows a function's blocking witness through BlockingCall
-// edges to the underlying concrete operation, returning a human-readable
-// chain such as "call to yield → send on e.parked". Cycles and missing
-// summaries terminate the chain.
-func (g *Graph) WitnessOf(fn *types.Func) string {
-	var parts []string
+// witnessSites follows a function's blocking witness through
+// BlockingCall edges to the underlying concrete operation. Cycles and
+// missing summaries terminate the chain.
+func (g *Graph) witnessSites(fn *types.Func) []*Site {
+	var sites []*Site
 	seen := map[*types.Func]bool{}
 	for fn != nil && !seen[fn] {
 		seen[fn] = true
@@ -619,18 +619,56 @@ func (g *Graph) WitnessOf(fn *types.Func) string {
 			break
 		}
 		w := sum.Witness
-		parts = append(parts, w.Desc)
+		sites = append(sites, w)
 		if w.Kind != BlockingCall {
 			break
 		}
 		fn = w.Callee
 	}
+	return sites
+}
+
+// WitnessOf renders a function's witness chain as a single
+// human-readable string such as "call to yield → send on e.parked", for
+// inline use in diagnostic messages.
+func (g *Graph) WitnessOf(fn *types.Func) string {
 	out := ""
-	for i, p := range parts {
+	for i, s := range g.witnessSites(fn) {
 		if i > 0 {
 			out += " → "
 		}
-		out += p
+		out += s.Desc
+	}
+	return out
+}
+
+// siteEntry renders one witness step with its source anchor, e.g.
+// "send on e.parked (engine.go:41)".
+func (g *Graph) siteEntry(s *Site) string {
+	pos := g.pass.Fset.Position(s.Pos)
+	return fmt.Sprintf("%s (%s:%d)", s.Desc, filepath.Base(pos.Filename), pos.Line)
+}
+
+// WitnessChain renders a function's witness chain one entry per step,
+// each anchored to its source position — the structured form carried on
+// JSON diagnostics, so tooling can walk the proof without re-running
+// the analysis.
+func (g *Graph) WitnessChain(fn *types.Func) []string {
+	sites := g.witnessSites(fn)
+	out := make([]string, 0, len(sites))
+	for _, s := range sites {
+		out = append(out, g.siteEntry(s))
+	}
+	return out
+}
+
+// ChainFrom renders the witness chain starting at one concrete blocking
+// site: the site itself, then — for BlockingCall sites — the callee's
+// chain down to the underlying rendezvous.
+func (g *Graph) ChainFrom(s *Site) []string {
+	out := []string{g.siteEntry(s)}
+	if s.Kind == BlockingCall {
+		out = append(out, g.WitnessChain(s.Callee)...)
 	}
 	return out
 }

@@ -20,6 +20,14 @@
 //     and the value together, e.g. binary.LittleEndian.PutUint64(meta,
 //     uint64(it))), and any value decoded from the blob Restore returns.
 //
+// Alias questions — does this slice still reach the protected words,
+// does that buffer back the meta blob — are answered by the shared
+// points-to facts from internal/analysis/pointsto, so aliases that
+// travel through struct fields, helper returns, and closure captures
+// are all seen. Only the scalar side (values encoded into or decoded
+// out of the blob) keeps a small syntactic flow rule of its own,
+// because the points-to engine tracks storage, not encoded values.
+//
 // Two loop shapes are analyzed. Case A — the Checkpoint call sits
 // lexically inside a for/range loop: the analyzer runs liveness and
 // reaching definitions over the function's CFG and flags loop-carried
@@ -47,6 +55,7 @@ import (
 	"selfckpt/internal/analysis"
 	"selfckpt/internal/analysis/cfg"
 	"selfckpt/internal/analysis/dataflow"
+	"selfckpt/internal/analysis/pointsto"
 )
 
 // Annotation marks reviewed, deliberately checkpoint-exempt state. A
@@ -103,7 +112,7 @@ func checkpointCalls(pass *analysis.Pass, body *ast.BlockStmt) []*ast.CallExpr {
 	var out []*ast.CallExpr
 	ast.Inspect(body, func(n ast.Node) bool {
 		if call, ok := n.(*ast.CallExpr); ok {
-			if m, ok := protMethod(pass.TypesInfo, call); ok && m == "Checkpoint" {
+			if m, ok := pointsto.ProtMethod(pass.TypesInfo, call); ok && m == "Checkpoint" {
 				out = append(out, call)
 			}
 		}
@@ -160,131 +169,137 @@ func within(n ast.Node, pos token.Pos) bool {
 
 // --- coverage ---
 
-// coverage is the set of variables a restore can reconstruct.
+// coverage is the set of state a restore can reconstruct. Storage-level
+// coverage (aliases of the protected words, buffers backing the meta
+// blob) is read straight off the shared points-to facts; only scalars
+// encoded into or decoded out of the blob need a syntactic set of their
+// own.
 type coverage struct {
-	workspace dataflow.ObjSet // aliases of Open's protected words
-	meta      dataflow.ObjSet // values flowing into (or out of) the blob
-	blob      dataflow.ObjSet // the blob buffers themselves
+	res  *pointsto.Result
+	ws   map[*pointsto.Object]bool // the Open workspaces
+	blob map[*pointsto.Object]bool // buffers checkpointed or restored
+	meta dataflow.ObjSet           // scalars flowing through the blob
 }
 
 func (c *coverage) covers(obj types.Object) bool {
-	return c.workspace[obj] || c.meta[obj] || c.blob[obj]
+	if c.meta[obj] {
+		return true
+	}
+	for _, o := range c.res.Reachable(obj) {
+		if c.ws[o] || c.blob[o] {
+			return true
+		}
+	}
+	return false
 }
 
-// computeCoverage seeds the workspace from Open results and the blob
-// from Checkpoint arguments and Restore results, then propagates to a
-// fixed point across the whole declaration body (closures included):
-// reference-typed assignments extend the workspace and blob alias sets,
-// and any value meeting a blob in an assignment or a call argument list
-// becomes meta-covered — that is how PutUint64(meta, uint64(it)) covers
-// it, and how `start = iterFromMeta(meta)` covers start on the restore
-// path.
+// blobExpr reports whether e mentions a variable that reaches one of
+// the blob buffers.
+func (c *coverage) blobExpr(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := analysis.ObjectOf(info, id).(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		for _, o := range c.res.Reachable(v) {
+			if c.blob[o] {
+				found = true
+				break
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// computeCoverage builds the coverage sets: the workspace and blob
+// objects come from the points-to engine (Open results, Restore blobs,
+// and whatever the Checkpoint arguments point at — the engine already
+// propagated aliases through struct fields, helpers, and closures, so
+// no local fixpoint is needed), and a single syntactic sweep collects
+// the scalars that meet a blob in an assignment or a call argument list
+// — that is how PutUint64(meta, uint64(it)) covers it, and how
+// `start = iterFromMeta(meta)` covers start on the restore path.
 func computeCoverage(pass *analysis.Pass, body *ast.BlockStmt, ckpts []*ast.CallExpr) *coverage {
 	info := pass.TypesInfo
-	cov := &coverage{workspace: dataflow.ObjSet{}, meta: dataflow.ObjSet{}, blob: dataflow.ObjSet{}}
+	cov := &coverage{
+		res:  pointsto.Shared(pass),
+		ws:   map[*pointsto.Object]bool{},
+		blob: map[*pointsto.Object]bool{},
+		meta: dataflow.ObjSet{},
+	}
 
+	// Reachability keeps the package-wide object sets per-function in
+	// practice: a variable only reaches the workspaces and blobs that
+	// flow through its own function.
+	for _, o := range cov.res.Objects(pointsto.Workspace) {
+		cov.ws[o] = true
+	}
+	for _, o := range cov.res.Objects(pointsto.Blob) {
+		cov.blob[o] = true
+	}
 	for _, call := range ckpts {
 		for _, arg := range call.Args {
-			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
-				if obj := analysis.ObjectOf(info, id); obj != nil {
-					cov.blob[obj] = true
-				}
+			for _, o := range cov.res.ExprObjects(arg) {
+				cov.blob[o] = true
 			}
 			addVars(info, arg, cov.meta)
 		}
 	}
+
+	// Blob-ness is fixed by the points-to facts and meta membership
+	// never feeds back into either rule, so one sweep reaches the fixed
+	// point the old alias-growing loop needed iteration for.
 	ast.Inspect(body, func(n ast.Node) bool {
-		asg, ok := n.(*ast.AssignStmt)
-		if !ok || len(asg.Rhs) != 1 {
-			return true
-		}
-		call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		m, ok := protMethod(info, call)
-		if !ok {
-			return true
-		}
-		if id, ok := ast.Unparen(asg.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
-			if obj := analysis.ObjectOf(info, id); obj != nil {
-				switch m {
-				case "Open":
-					cov.workspace[obj] = true
-				case "Restore":
-					cov.blob[obj] = true
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				lhsObj := analysis.ObjectOf(info, id)
+				if lhsObj == nil {
+					continue
+				}
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				// A value computed from the blob is restorable state.
+				if rhs != nil && cov.blobExpr(info, rhs) {
+					cov.meta[lhsObj] = true
+				}
+			}
+		case *ast.CallExpr:
+			// Sideways flow: a call that takes the blob alongside other
+			// values stores (or loads) those values — PutUint64(meta,
+			// uint64(it)), copy(meta[8:], buf), decodeMeta(meta, solver).
+			touchesBlob := false
+			for _, arg := range n.Args {
+				if cov.blobExpr(info, arg) {
+					touchesBlob = true
+					break
+				}
+			}
+			if touchesBlob {
+				for _, arg := range n.Args {
+					addVars(info, arg, cov.meta)
 				}
 			}
 		}
 		return true
 	})
-
-	for changed := true; changed; {
-		changed = false
-		grow := func(s dataflow.ObjSet, obj types.Object) {
-			if obj != nil && !s[obj] {
-				s[obj] = true
-				changed = true
-			}
-		}
-		ast.Inspect(body, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.AssignStmt:
-				for i, lhs := range n.Lhs {
-					id, ok := ast.Unparen(lhs).(*ast.Ident)
-					if !ok || id.Name == "_" {
-						continue
-					}
-					lhsObj := analysis.ObjectOf(info, id)
-					if lhsObj == nil {
-						continue
-					}
-					var rhs ast.Expr
-					if len(n.Rhs) == len(n.Lhs) {
-						rhs = n.Rhs[i]
-					} else if len(n.Rhs) == 1 {
-						rhs = n.Rhs[0]
-					}
-					if rhs == nil {
-						continue
-					}
-					if isRefType(lhsObj.Type()) {
-						if mentionsAny(info, rhs, cov.workspace) {
-							grow(cov.workspace, lhsObj)
-						}
-						if mentionsAny(info, rhs, cov.blob) {
-							grow(cov.blob, lhsObj)
-						}
-					}
-					// A value computed from the blob is restorable state.
-					if mentionsAny(info, rhs, cov.blob) {
-						grow(cov.meta, lhsObj)
-					}
-				}
-			case *ast.CallExpr:
-				// Sideways flow: a call that takes the blob alongside other
-				// values stores (or loads) those values — PutUint64(meta,
-				// uint64(it)), copy(meta[8:], buf), decodeMeta(meta, solver).
-				touchesBlob := false
-				for _, arg := range n.Args {
-					if mentionsAny(info, arg, cov.blob) {
-						touchesBlob = true
-						break
-					}
-				}
-				if touchesBlob {
-					before := len(cov.meta)
-					for _, arg := range n.Args {
-						addVars(info, arg, cov.meta)
-					}
-					if len(cov.meta) != before {
-						changed = true
-					}
-				}
-			}
-			return true
-		})
-	}
 	return cov
 }
 
@@ -551,33 +566,6 @@ func report(pass *analysis.Pass, pos token.Pos, obj types.Object, format string,
 
 // --- shared helpers ---
 
-// protMethod resolves call to a method of a type (or interface) declared
-// in internal/checkpoint — the Protector implementations and the
-// Protector interface itself.
-func protMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
-	fn := analysis.CalleeFunc(info, call)
-	if fn == nil {
-		return "", false
-	}
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return "", false
-	}
-	t := sig.Recv().Type()
-	if ptr, ok := t.(*types.Pointer); ok {
-		t = ptr.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok {
-		return "", false
-	}
-	obj := named.Obj()
-	if obj.Pkg() == nil || !analysis.PathHasSuffix(obj.Pkg().Path(), "internal/checkpoint") {
-		return "", false
-	}
-	return fn.Name(), true
-}
-
 // addVars collects every variable mentioned in e into set.
 func addVars(info *types.Info, e ast.Expr, set dataflow.ObjSet) {
 	ast.Inspect(e, func(n ast.Node) bool {
@@ -588,34 +576,6 @@ func addVars(info *types.Info, e ast.Expr, set dataflow.ObjSet) {
 		}
 		return true
 	})
-}
-
-// mentionsAny reports whether e references any variable in set.
-func mentionsAny(info *types.Info, e ast.Expr, set dataflow.ObjSet) bool {
-	found := false
-	ast.Inspect(e, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		if id, ok := n.(*ast.Ident); ok {
-			if obj := analysis.ObjectOf(info, id); obj != nil && set[obj] {
-				found = true
-			}
-		}
-		return true
-	})
-	return found
-}
-
-// isRefType reports whether writes through a value of type t are visible
-// to other holders of the same value (slices, pointers, maps, chans) —
-// the types through which workspace and blob aliasing propagates.
-func isRefType(t types.Type) bool {
-	switch t.Underlying().(type) {
-	case *types.Slice, *types.Pointer, *types.Map, *types.Chan:
-		return true
-	}
-	return false
 }
 
 func isErrorType(t types.Type) bool {

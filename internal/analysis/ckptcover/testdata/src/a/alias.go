@@ -1,0 +1,119 @@
+// Alias-shape fixtures: coverage that travels through struct fields,
+// helper returns, and closure captures. The pre-pointsto tracker lost
+// aliases at a struct field store (flagging covered state) and treated
+// any helper call that mentioned the workspace as covering its result
+// (missing uncovered state); these pin both directions.
+package a
+
+import (
+	"encoding/binary"
+
+	"selfckpt/internal/checkpoint"
+)
+
+type panelState struct {
+	words []float64
+}
+
+// structFieldAlias must stay clean: the accumulator reaches the
+// protected words through a field store and re-load — st.words = data,
+// view := st.words — so writes through view land in checkpointed
+// storage.
+func structFieldAlias(prot checkpoint.Protector, n int) (float64, error) {
+	data, _, err := prot.Open(64)
+	if err != nil {
+		return 0, err
+	}
+	var st panelState
+	st.words = data
+	view := st.words
+	meta := make([]byte, 8)
+	for it := 0; it < n; it++ {
+		view[0] += float64(it)
+		binary.LittleEndian.PutUint64(meta, uint64(it))
+		if err := prot.Checkpoint(meta); err != nil {
+			return 0, err
+		}
+	}
+	return view[0], nil
+}
+
+// head returns a prefix of its argument — an alias, not a copy.
+func head(xs []float64) []float64 { return xs[:2] }
+
+// resized returns a fresh buffer the same length as its argument — a
+// copy of the shape, not an alias of the storage.
+func resized(xs []float64) []float64 { return make([]float64, len(xs)) }
+
+// helperAlias must stay clean: the accumulator is an alias of the
+// protected words laundered through a helper return.
+func helperAlias(prot checkpoint.Protector, n int) (float64, error) {
+	data, _, err := prot.Open(64)
+	if err != nil {
+		return 0, err
+	}
+	acc := head(data)
+	meta := make([]byte, 8)
+	for it := 0; it < n; it++ {
+		acc[0] += float64(it)
+		binary.LittleEndian.PutUint64(meta, uint64(it))
+		if err := prot.Checkpoint(meta); err != nil {
+			return 0, err
+		}
+	}
+	return acc[0], nil
+}
+
+// helperFresh is the mirrored positive: the helper takes the workspace
+// but returns a fresh allocation, so the accumulator reaches nothing a
+// restore rebuilds. The old tracker covered any result whose call
+// mentioned the workspace; the points-to facts see through the helper.
+func helperFresh(prot checkpoint.Protector, n int) (float64, error) {
+	data, _, err := prot.Open(64)
+	if err != nil {
+		return 0, err
+	}
+	shadow := resized(data)
+	meta := make([]byte, 8)
+	for it := 0; it < n; it++ {
+		shadow[0] += float64(it) // want `loop-carried state shadow`
+		binary.LittleEndian.PutUint64(meta, uint64(it))
+		if err := prot.Checkpoint(meta); err != nil {
+			return 0, err
+		}
+	}
+	return shadow[0], nil
+}
+
+// closureAlias must stay clean: the hook captures a slice that reaches
+// the protected words through a struct field and a sub-slice, so its
+// accumulation survives a restore.
+func closureAlias(prot checkpoint.Protector) (func(int) error, error) {
+	data, _, err := prot.Open(64)
+	if err != nil {
+		return nil, err
+	}
+	var st panelState
+	st.words = data
+	acc := st.words[:4]
+	hook := func(k int) error {
+		acc[0] = acc[0] + float64(k)
+		return prot.Checkpoint(nil)
+	}
+	return hook, nil
+}
+
+// closureUncovered is the mirrored positive: the captured buffer is a
+// private allocation that outlives each epoch but reaches no
+// checkpointed storage.
+func closureUncovered(prot checkpoint.Protector) (func(int) error, error) {
+	if _, _, err := prot.Open(64); err != nil {
+		return nil, err
+	}
+	sum := make([]float64, 1)
+	hook := func(k int) error {
+		sum[0] = sum[0] + float64(k) // want `state sum captured by the checkpoint hook`
+		return prot.Checkpoint(nil)
+	}
+	return hook, nil
+}

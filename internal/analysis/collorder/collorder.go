@@ -29,12 +29,15 @@
 package collorder
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"strings"
 
 	"selfckpt/internal/analysis"
+	"selfckpt/internal/analysis/blockgraph"
 	"selfckpt/internal/analysis/collsym"
 )
 
@@ -98,6 +101,46 @@ type builder struct {
 	memo     map[*types.Func][]string // helper → collective sequence
 	active   map[*types.Func]bool     // recursion guard
 	reported map[token.Pos]bool       // continuation folding re-walks code
+	bg       *blockgraph.Graph        // built lazily, on the first report
+}
+
+// graph builds the blocking summary on demand: only reported packages
+// pay for it, and the witness chains on the diagnostics come from the
+// same summaries lockblock reads.
+func (b *builder) graph() *blockgraph.Graph {
+	if b.bg == nil {
+		b.bg = blockgraph.New(b.pass)
+	}
+	return b.bg
+}
+
+// witnessFor locates the first collective-contributing call inside
+// scope and renders its chain down to the concrete rendezvous: a direct
+// Comm collective is its own proof, a helper call is followed through
+// the blockgraph witness to the operation that parks the rank.
+func (b *builder) witnessFor(scope ast.Node) []string {
+	var out []string
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if out != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pos := b.pass.Fset.Position(call.Pos())
+		loc := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		if method, ok := analysis.MethodOn(b.pass.TypesInfo, call, "internal/simmpi", "Comm"); ok && collsym.Collectives[method] {
+			out = []string{fmt.Sprintf("Comm.%s (%s)", method, loc)}
+			return false
+		}
+		if fn := analysis.CalleeFunc(b.pass.TypesInfo, call); fn != nil && len(b.expand(fn)) > 0 {
+			out = append([]string{fmt.Sprintf("call to %s (%s)", fn.Name(), loc)}, b.graph().WitnessChain(fn)...)
+			return false
+		}
+		return true
+	})
+	return out
 }
 
 // frame carries the per-body state of one sequence walk.
@@ -201,7 +244,7 @@ func (b *builder) seq(list []ast.Stmt, c cont, fr *frame) []string {
 			inner := b.seq(s.Body.List, nil, fr)
 			if len(inner) > 0 && b.tainted(s.Cond, fr) && fr.report && !b.reported[s.Pos()] && !b.waived(s, s) {
 				b.reported[s.Pos()] = true
-				b.pass.Reportf(s.Pos(),
+				b.pass.ReportWitness(s.Pos(), b.witnessFor(s.Body),
 					"loop repeats collective sequence %s a rank-dependent number of times (condition on line %d): after the shortest rank's last lap the others wait at a rendezvous it never enters; make the trip count rank-uniform or annotate %s",
 					render(inner), b.pass.Fset.Position(s.Cond.Pos()).Line, Annotation)
 			}
@@ -376,7 +419,7 @@ func (b *builder) reportBranch(branch ast.Node, cond ast.Expr, armA, armB []stri
 	if cond != nil {
 		condLine = b.pass.Fset.Position(cond.Pos()).Line
 	}
-	b.pass.Reportf(branch.Pos(),
+	b.pass.ReportWitness(branch.Pos(), b.witnessFor(branch),
 		"ranks disagree on the collective sequence: the branch on the rank id (line %d) runs %s on one side and %s on the other, so the ranks meet different rendezvous and deadlock; make the arms collectively symmetric or annotate %s",
 		condLine, render(armA), render(armB), Annotation)
 }

@@ -61,9 +61,10 @@ func run(pass *analysis.Pass) error {
 			if pass.Annotated(site.Pos, Annotation) {
 				continue
 			}
-			pass.Reportf(site.Pos, "%s under %s: the rendezvous completes only if "+
-				"another goroutine progresses, and it may need the lock%s; release "+
-				"before blocking or annotate %s",
+			pass.ReportWitness(site.Pos, g.ChainFrom(&site),
+				"%s under %s: the rendezvous completes only if "+
+					"another goroutine progresses, and it may need the lock%s; release "+
+					"before blocking or annotate %s",
 				describe(g, site), heldPhrase(pass, site.Held), chainSuffix(g, site), Annotation)
 		}
 	}

@@ -1,0 +1,31 @@
+package pointsto
+
+import (
+	"selfckpt/internal/analysis"
+)
+
+// Debug is a fixture-only analyzer that surfaces the escape
+// classification of every non-local abstract object as a diagnostic at
+// its creation site. It is not registered in the suite; the pointsto
+// fixture packages use it with the analysistest harness so the engine's
+// conclusions are pinned with // want annotations exactly like the real
+// analyzers' findings.
+var Debug = &analysis.Analyzer{
+	Name: "pointstodebug",
+	Doc:  "report escape classes of abstract objects (fixture surface for the pointsto engine)",
+	Run:  runDebug,
+}
+
+func runDebug(pass *analysis.Pass) error {
+	res := Analyze(pass)
+	for _, o := range res.AllObjects() {
+		if o.Escape() == 0 {
+			continue
+		}
+		switch o.Kind {
+		case Alloc, Segment, Workspace, Blob:
+			pass.Reportf(o.Pos, "%s escapes: %s", o.Label, o.Escape())
+		}
+	}
+	return nil
+}

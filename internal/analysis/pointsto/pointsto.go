@@ -1,0 +1,1838 @@
+// Package pointsto is a stdlib-only, flow-insensitive, field- and
+// context-lite Andersen-style points-to and escape analysis for the
+// sktlint suite. It assigns abstract objects to allocation sites
+// (make/new/composite literals/func literals), SHM segment opens
+// (shm.Store Create/Attach/CreateOrAttach), checkpoint workspaces and
+// blobs (Protector Open/Restore), and function parameters; generates
+// inclusion constraints per function; and solves them with one
+// interprocedural fixpoint over the intra-package call graph (calls
+// link argument nodes to parameter nodes and return nodes to call
+// results, so aliases flow through helpers without inlining).
+//
+// The representation is deliberately coarse where coarseness is safe
+// for may-alias lint queries:
+//
+//   - struct and array values are represented by reference: a variable
+//     of struct type points to a per-variable storage object, and
+//     assignment copies the object set, so a value copy may-aliases its
+//     source. That over-approximates aliasing (never hides it).
+//   - fields are tracked by name per abstract object ("field-lite"):
+//     x.f and y.f share a field node exactly when x and y may point to
+//     the same object. Slice/map/channel element flow uses the
+//     synthetic field "$elem"; closure captures use "$free".
+//   - the analysis is context-insensitive ("context-lite"): one
+//     parameter node per parameter, one return node per result. Each
+//     parameter additionally carries an identity object, so parameters
+//     of an entry point with no intra-package callers do not alias each
+//     other spuriously.
+//   - copy(dst, src) moves values, not references: it introduces
+//     element flow for pointer-ish elements and nothing for numeric
+//     ones, so copying into a fresh buffer never aliases the source.
+//     This is the fact that turns the PR 8 "Send is rendezvous" hand
+//     argument into a checked theorem in the sendalias analyzer.
+//
+// Termination: node count is bounded by variables + expressions +
+// (objects × field names), constraints are monotone, and strongly
+// connected components of the static copy graph are collapsed with a
+// union-find before the worklist runs, so mutually recursive helpers
+// (whose parameter/return edges form cycles) converge in one pass over
+// the collapsed graph.
+//
+// Per-object escape classification is computed after the fixpoint:
+// EscGoroutine for objects reachable from the arguments or captured
+// variables of a go statement, EscHeap for objects stored into another
+// object's field, a global, a channel, or passed to unknown external
+// code, and EscSimmpi for objects reachable from arguments of
+// simmpi.Comm methods (buffers handed to the communication layer).
+package pointsto
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+
+	"selfckpt/internal/analysis"
+)
+
+// Kind classifies an abstract object by its creation site.
+type Kind int
+
+const (
+	// Alloc is a make/new/composite-literal/func-literal/append site.
+	Alloc Kind = iota
+	// VarStorage is the implicit storage of a struct- or array-typed
+	// variable (the by-reference representation of value types).
+	VarStorage
+	// Segment is the result of shm.Store Create/Attach/CreateOrAttach.
+	// Loading the Data field of a Segment object yields the object
+	// itself, so a segment and its backing array are one identity.
+	Segment
+	// Workspace is the data slice returned by Protector.Open — the
+	// checkpoint-protected region.
+	Workspace
+	// Blob is the meta blob returned by Protector.Restore.
+	Blob
+	// Param is the identity object of a function parameter or receiver.
+	Param
+	// External is the opaque result of a call the analysis cannot see
+	// into (cross-package functions, indirect calls). One object per
+	// call site and result index, so unrelated unknowns never alias.
+	External
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Alloc:
+		return "alloc"
+	case VarStorage:
+		return "var"
+	case Segment:
+		return "segment"
+	case Workspace:
+		return "workspace"
+	case Blob:
+		return "blob"
+	case Param:
+		return "param"
+	case External:
+		return "external"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// EscapeSet is a bitmask of escape classes; zero means local.
+type EscapeSet uint8
+
+const (
+	// EscGoroutine: reachable from a go statement's arguments or a
+	// go-launched closure's captured variables.
+	EscGoroutine EscapeSet = 1 << iota
+	// EscHeap: stored into an object field, global, or channel, or
+	// passed to code the analysis cannot see.
+	EscHeap
+	// EscSimmpi: reachable from an argument of a simmpi.Comm method.
+	EscSimmpi
+)
+
+func (e EscapeSet) String() string {
+	if e == 0 {
+		return "local"
+	}
+	var parts []string
+	if e&EscGoroutine != 0 {
+		parts = append(parts, "goroutine")
+	}
+	if e&EscHeap != 0 {
+		parts = append(parts, "heap")
+	}
+	if e&EscSimmpi != 0 {
+		parts = append(parts, "simmpi")
+	}
+	return strings.Join(parts, ",")
+}
+
+// Object is one abstract memory object.
+type Object struct {
+	ID    int
+	Kind  Kind
+	Pos   token.Pos
+	Label string
+	// Root is the variable the creating call's result was bound to, for
+	// Segment/Workspace/Blob objects assigned directly at their call
+	// site (`seg, err := st.Create(...)`). shmalias uses it to exempt
+	// the documented root-handle-after-Restore pattern.
+	Root types.Object
+	// Call is the creating call for Segment/Workspace/Blob objects.
+	Call *ast.CallExpr
+	esc  EscapeSet
+}
+
+// Escape reports the object's escape classification.
+func (o *Object) Escape() EscapeSet { return o.esc }
+
+func (o *Object) String() string { return fmt.Sprintf("%s#%d(%s)", o.Kind, o.ID, o.Label) }
+
+// Result is the solved analysis for one package.
+type Result struct {
+	b *builder
+}
+
+// Analyze builds and solves the points-to constraints for the pass's
+// package. The result is position-deterministic: object IDs follow
+// source order, and every query returns objects sorted by ID.
+func Analyze(pass *analysis.Pass) *Result {
+	b := newBuilder(pass)
+	b.buildAll()
+	b.solve()
+	b.classifyEscapes()
+	return &Result{b: b}
+}
+
+var (
+	sharedMu sync.Mutex
+	shared   = map[*types.Package]*Result{}
+)
+
+// Shared returns the (memoized) analysis for the pass's package. The
+// suite runs several pointsto-backed analyzers over the same loaded
+// packages in one process; the facts depend only on the package, so
+// they are computed once and reused.
+func Shared(pass *analysis.Pass) *Result {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if r, ok := shared[pass.Pkg]; ok {
+		return r
+	}
+	r := Analyze(pass)
+	shared[pass.Pkg] = r
+	return r
+}
+
+// PointsTo returns the objects a variable may point to (or, for struct
+// and array variables, may be).
+func (r *Result) PointsTo(v types.Object) []*Object {
+	n, ok := r.b.varNode[v]
+	if !ok {
+		return nil
+	}
+	return r.b.objectsAt(n)
+}
+
+// ExprObjects returns the objects an expression may evaluate to. It
+// knows every expression walked during constraint generation; an
+// untracked expression (numeric, boolean) yields nil.
+func (r *Result) ExprObjects(e ast.Expr) []*Object {
+	e = ast.Unparen(e)
+	if n, ok := r.b.exprNode[e]; ok {
+		return r.b.objectsAt(n)
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := analysis.ObjectOf(r.b.info, id); obj != nil {
+			return r.PointsTo(obj)
+		}
+	}
+	return nil
+}
+
+// MayAlias reports whether two expressions may evaluate to overlapping
+// storage — whether their points-to sets share a concrete object.
+func (r *Result) MayAlias(a, b ast.Expr) bool {
+	sa := r.ExprObjects(a)
+	if len(sa) == 0 {
+		return false
+	}
+	in := make(map[int]bool, len(sa))
+	for _, o := range sa {
+		in[o.ID] = true
+	}
+	for _, o := range r.ExprObjects(b) {
+		if in[o.ID] {
+			return true
+		}
+	}
+	return false
+}
+
+// Reachable returns the closure of PointsTo(v) through object fields:
+// every object v can reach by any chain of loads. ckptcover uses it to
+// decide whether a variable can reach the protected workspace.
+func (r *Result) Reachable(v types.Object) []*Object {
+	return r.b.reachFrom(r.PointsTo(v))
+}
+
+// ReachableFromExpr is Reachable for an arbitrary expression.
+func (r *Result) ReachableFromExpr(e ast.Expr) []*Object {
+	return r.b.reachFrom(r.ExprObjects(e))
+}
+
+// Objects returns every abstract object of the given kind, in source
+// (ID) order.
+func (r *Result) Objects(kind Kind) []*Object {
+	var out []*Object
+	for _, o := range r.b.objects {
+		if o.Kind == kind {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// AllObjects returns every abstract object in ID order.
+func (r *Result) AllObjects() []*Object { return r.b.objects }
+
+// --- constraint representation ---
+
+type loadC struct {
+	base, dst int
+	field     string
+}
+
+type storeC struct {
+	base, src int
+	field     string
+}
+
+type fieldKey struct {
+	obj   int
+	field string
+}
+
+type retKey struct {
+	fn    ast.Node // *ast.FuncDecl or *ast.FuncLit
+	index int
+}
+
+type builder struct {
+	pass *analysis.Pass
+	info *types.Info
+
+	nodes    int
+	varNode  map[types.Object]int
+	exprNode map[ast.Expr]int
+	fieldNd  map[fieldKey]int
+	retNode  map[retKey]int
+
+	pts    []map[int]bool // per canonical node: object IDs
+	succ   []map[int]bool // copy edges, per canonical node
+	loads  map[int][]loadC
+	stores map[int][]storeC
+	parent []int // union-find over nodes
+
+	objects []*Object
+	varObj  map[types.Object]*Object
+
+	decls map[*types.Func]ast.Node // *ast.FuncDecl or *ast.FuncLit
+
+	// escape roots
+	goRoots     []int
+	simmpiRoots []int
+	heapRoots   []int
+
+	curFn ast.Node // enclosing FuncDecl/FuncLit during the walk
+}
+
+func newBuilder(pass *analysis.Pass) *builder {
+	return &builder{
+		pass:     pass,
+		info:     pass.TypesInfo,
+		varNode:  make(map[types.Object]int),
+		exprNode: make(map[ast.Expr]int),
+		fieldNd:  make(map[fieldKey]int),
+		retNode:  make(map[retKey]int),
+		loads:    make(map[int][]loadC),
+		stores:   make(map[int][]storeC),
+		varObj:   make(map[types.Object]*Object),
+		decls:    make(map[*types.Func]ast.Node),
+	}
+}
+
+func (b *builder) newNode() int {
+	n := b.nodes
+	b.nodes++
+	b.pts = append(b.pts, nil)
+	b.succ = append(b.succ, nil)
+	b.parent = append(b.parent, n)
+	return n
+}
+
+func (b *builder) newObject(kind Kind, pos token.Pos, label string) *Object {
+	o := &Object{ID: len(b.objects), Kind: kind, Pos: pos, Label: label}
+	b.objects = append(b.objects, o)
+	return o
+}
+
+func (b *builder) find(n int) int {
+	for b.parent[n] != n {
+		b.parent[n] = b.parent[b.parent[n]]
+		n = b.parent[n]
+	}
+	return n
+}
+
+func (b *builder) seed(n int, o *Object) {
+	n = b.find(n)
+	if b.pts[n] == nil {
+		b.pts[n] = make(map[int]bool)
+	}
+	b.pts[n][o.ID] = true
+}
+
+func (b *builder) edge(from, to int) {
+	if from < 0 || to < 0 {
+		return
+	}
+	from, to = b.find(from), b.find(to)
+	if from == to {
+		return
+	}
+	if b.succ[from] == nil {
+		b.succ[from] = make(map[int]bool)
+	}
+	b.succ[from][to] = true
+}
+
+func (b *builder) addLoad(base int, field string, dst int) {
+	if base < 0 || dst < 0 {
+		return
+	}
+	base = b.find(base)
+	b.loads[base] = append(b.loads[base], loadC{base: base, dst: dst, field: field})
+}
+
+func (b *builder) addStore(base int, field string, src int) {
+	if base < 0 || src < 0 {
+		return
+	}
+	base = b.find(base)
+	b.stores[base] = append(b.stores[base], storeC{base: base, src: src, field: field})
+}
+
+func (b *builder) fieldNodeOf(obj int, field string) int {
+	k := fieldKey{obj: obj, field: field}
+	if n, ok := b.fieldNd[k]; ok {
+		return n
+	}
+	n := b.newNode()
+	b.fieldNd[k] = n
+	return n
+}
+
+// nodeOf returns the node of a variable, creating it (and, for struct/
+// array variables, its storage object; for globals, a heap root) on
+// first sight.
+func (b *builder) nodeOf(v types.Object) int {
+	if n, ok := b.varNode[v]; ok {
+		return n
+	}
+	n := b.newNode()
+	b.varNode[v] = n
+	if isStructLike(v.Type()) {
+		o := b.newObject(VarStorage, v.Pos(), "var "+v.Name())
+		b.varObj[v] = o
+		b.seed(n, o)
+	}
+	if v.Parent() == b.pass.Pkg.Scope() {
+		b.heapRoots = append(b.heapRoots, n)
+	}
+	return n
+}
+
+func (b *builder) exprNodeFor(e ast.Expr) int {
+	if n, ok := b.exprNode[e]; ok {
+		return n
+	}
+	n := b.newNode()
+	b.exprNode[e] = n
+	return n
+}
+
+func (b *builder) retNodeOf(fn ast.Node, i int) int {
+	k := retKey{fn: fn, index: i}
+	if n, ok := b.retNode[k]; ok {
+		return n
+	}
+	n := b.newNode()
+	b.retNode[k] = n
+	return n
+}
+
+// trackable reports whether values of t can carry aliases.
+func trackable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Basic:
+		return false
+	case *types.Tuple:
+		return false
+	}
+	return true
+}
+
+// isStructLike reports the by-reference value types.
+func isStructLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Struct, *types.Array:
+		return true
+	}
+	return false
+}
+
+func elemType(t types.Type) types.Type {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return u.Elem()
+	case *types.Array:
+		return u.Elem()
+	case *types.Map:
+		return u.Elem()
+	case *types.Chan:
+		return u.Elem()
+	case *types.Pointer:
+		return u.Elem()
+	}
+	return nil
+}
+
+// --- constraint generation ---
+
+func (b *builder) buildAll() {
+	// Pass 1: index function declarations so calls can link to bodies.
+	for _, f := range b.pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := b.info.Defs[fd.Name].(*types.Func); ok {
+				b.decls[fn] = fd
+			}
+		}
+	}
+	// Pass 2: walk everything.
+	for _, f := range b.pass.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						b.valueSpec(vs)
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				prev := b.curFn
+				b.curFn = d
+				b.funcParams(d.Recv, d.Type)
+				b.stmt(d.Body)
+				b.curFn = prev
+			}
+		}
+	}
+}
+
+// funcParams seeds identity objects for parameters and receivers.
+func (b *builder) funcParams(recv *ast.FieldList, ft *ast.FuncType) {
+	seedField := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				obj := b.info.Defs[name]
+				if obj == nil || !trackable(obj.Type()) {
+					continue
+				}
+				n := b.nodeOf(obj)
+				if b.varObj[obj] == nil {
+					o := b.newObject(Param, name.Pos(), "param "+name.Name)
+					b.seed(n, o)
+				}
+			}
+		}
+	}
+	seedField(recv)
+	seedField(ft.Params)
+	// Named results are ordinary locals; no identity object.
+	if ft.Results != nil {
+		for _, field := range ft.Results.List {
+			for _, name := range field.Names {
+				if obj := b.info.Defs[name]; obj != nil && trackable(obj.Type()) {
+					b.nodeOf(obj)
+				}
+			}
+		}
+	}
+}
+
+func (b *builder) valueSpec(vs *ast.ValueSpec) {
+	if len(vs.Values) == 1 && len(vs.Names) > 1 {
+		results := b.multiValue(vs.Values[0])
+		for i, name := range vs.Names {
+			if i < len(results) {
+				b.bindIdent(name, results[i])
+			}
+		}
+		return
+	}
+	for i, name := range vs.Names {
+		src := -1
+		if i < len(vs.Values) {
+			src = b.expr(vs.Values[i])
+		}
+		b.bindIdent(name, src)
+	}
+}
+
+func (b *builder) bindIdent(id *ast.Ident, src int) {
+	if id.Name == "_" {
+		return
+	}
+	obj := analysis.ObjectOf(b.info, id)
+	if obj == nil || !trackable(obj.Type()) {
+		return
+	}
+	b.edge(src, b.nodeOf(obj))
+}
+
+// multiValue returns per-index result nodes for a multi-assignment RHS.
+func (b *builder) multiValue(e ast.Expr) []int {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return b.call(e)
+	case *ast.TypeAssertExpr:
+		return []int{b.expr(e), -1}
+	case *ast.IndexExpr:
+		return []int{b.expr(e), -1}
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			return []int{b.expr(e), -1}
+		}
+	}
+	return []int{b.expr(e)}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.AssignStmt:
+		b.assign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					b.valueSpec(vs)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		b.expr(s.X)
+	case *ast.IncDecStmt:
+		b.expr(s.X)
+	case *ast.SendStmt:
+		ch := b.expr(s.Chan)
+		v := b.expr(s.Value)
+		b.addStore(ch, "$elem", v)
+		if v >= 0 {
+			b.heapRoots = append(b.heapRoots, v)
+		}
+	case *ast.GoStmt:
+		b.goCall(s.Call)
+	case *ast.DeferStmt:
+		b.call(s.Call)
+	case *ast.ReturnStmt:
+		b.returnStmt(s)
+	case *ast.IfStmt:
+		b.stmt(s.Init)
+		b.expr(s.Cond)
+		b.stmt(s.Body)
+		b.stmt(s.Else)
+	case *ast.ForStmt:
+		b.stmt(s.Init)
+		if s.Cond != nil {
+			b.expr(s.Cond)
+		}
+		b.stmt(s.Post)
+		b.stmt(s.Body)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.stmt(s.Init)
+		if s.Tag != nil {
+			b.expr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				b.expr(e)
+			}
+			for _, st := range cc.Body {
+				b.stmt(st)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		b.typeSwitch(s)
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			b.stmt(cc.Comm)
+			for _, st := range cc.Body {
+				b.stmt(st)
+			}
+		}
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt)
+	}
+}
+
+func (b *builder) assign(s *ast.AssignStmt) {
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		results := b.multiValue(s.Rhs[0])
+		for i, lhs := range s.Lhs {
+			src := -1
+			if i < len(results) {
+				src = results[i]
+			}
+			b.assignTo(lhs, src)
+		}
+		return
+	}
+	for i, lhs := range s.Lhs {
+		src := -1
+		if i < len(s.Rhs) {
+			src = b.expr(s.Rhs[i])
+		}
+		b.assignTo(lhs, src)
+	}
+}
+
+func (b *builder) assignTo(lhs ast.Expr, src int) {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		b.bindIdent(lhs, src)
+	case *ast.SelectorExpr:
+		// Qualified reference to a package-level var assigns like an
+		// ident; a field selector stores into the base objects.
+		if obj := analysis.ObjectOf(b.info, lhs.Sel); obj != nil {
+			if v, ok := obj.(*types.Var); ok && !v.IsField() {
+				if trackable(v.Type()) {
+					b.edge(src, b.nodeOf(v))
+				}
+				return
+			}
+		}
+		base := b.expr(lhs.X)
+		b.addStore(base, lhs.Sel.Name, src)
+	case *ast.IndexExpr:
+		base := b.expr(lhs.X)
+		b.expr(lhs.Index)
+		b.addStore(base, "$elem", src)
+	case *ast.StarExpr:
+		base := b.expr(lhs.X)
+		if isStructLike(elemType(typeOf(b.info, lhs.X))) {
+			// By-reference struct convention: *p IS the pointed-to
+			// storage, so the write flows into p's objects via "*"
+			// stores AND directly merges with them.
+			b.addStore(base, "*", src)
+			b.edge(src, base)
+		} else {
+			b.addStore(base, "*", src)
+		}
+	}
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func (b *builder) returnStmt(s *ast.ReturnStmt) {
+	fn := b.curFn
+	if fn == nil {
+		return
+	}
+	if len(s.Results) == 0 {
+		// Bare return: named results carry the values.
+		ft := funcTypeOf(fn)
+		if ft == nil || ft.Results == nil {
+			return
+		}
+		i := 0
+		for _, field := range ft.Results.List {
+			for _, name := range field.Names {
+				if obj := b.info.Defs[name]; obj != nil && trackable(obj.Type()) {
+					b.edge(b.nodeOf(obj), b.retNodeOf(fn, i))
+				}
+				i++
+			}
+		}
+		return
+	}
+	if len(s.Results) == 1 {
+		if call, ok := ast.Unparen(s.Results[0]).(*ast.CallExpr); ok {
+			if results := b.call(call); len(results) > 1 {
+				for i, n := range results {
+					b.edge(n, b.retNodeOf(fn, i))
+				}
+				return
+			} else if len(results) == 1 {
+				b.edge(results[0], b.retNodeOf(fn, 0))
+				return
+			}
+			return
+		}
+	}
+	for i, e := range s.Results {
+		b.edge(b.expr(e), b.retNodeOf(fn, i))
+	}
+}
+
+func funcTypeOf(fn ast.Node) *ast.FuncType {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Type
+	case *ast.FuncLit:
+		return fn.Type
+	}
+	return nil
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	x := b.expr(s.X)
+	t := typeOf(b.info, s.X)
+	keyField, valField := "", ""
+	if t != nil {
+		switch t.Underlying().(type) {
+		case *types.Slice, *types.Array, *types.Pointer:
+			valField = "$elem"
+		case *types.Map:
+			keyField, valField = "$key", "$elem"
+		case *types.Chan:
+			keyField = "$elem"
+		}
+	}
+	bindRange := func(e ast.Expr, field string) {
+		if e == nil || field == "" {
+			return
+		}
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name != "_" {
+			obj := analysis.ObjectOf(b.info, id)
+			if obj != nil && trackable(obj.Type()) {
+				n := b.exprNodeFor(e)
+				b.addLoad(x, field, n)
+				b.edge(n, b.nodeOf(obj))
+			}
+		}
+	}
+	bindRange(s.Key, keyField)
+	bindRange(s.Value, valField)
+	b.stmt(s.Body)
+}
+
+func (b *builder) typeSwitch(s *ast.TypeSwitchStmt) {
+	b.stmt(s.Init)
+	var src int = -1
+	// The assign is either `x.(type)` or `v := x.(type)`.
+	switch a := s.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+			src = b.expr(ta.X)
+		}
+	case *ast.AssignStmt:
+		if ta, ok := ast.Unparen(a.Rhs[0]).(*ast.TypeAssertExpr); ok {
+			src = b.expr(ta.X)
+		}
+	}
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		// Each clause binds its own implicit object for `v :=`.
+		if obj := b.info.Implicits[cc]; obj != nil && trackable(obj.Type()) {
+			b.edge(src, b.nodeOf(obj))
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+	}
+}
+
+// expr generates constraints for e and returns its node, or -1 for
+// untracked expressions. Every subexpression is walked exactly once.
+func (b *builder) expr(e ast.Expr) int {
+	switch e := e.(type) {
+	case nil:
+		return -1
+	case *ast.ParenExpr:
+		return b.expr(e.X)
+	case *ast.Ident:
+		obj := analysis.ObjectOf(b.info, e)
+		if v, ok := obj.(*types.Var); ok && !v.IsField() {
+			return b.nodeOf(v)
+		}
+		return -1
+	case *ast.SelectorExpr:
+		return b.selector(e)
+	case *ast.StarExpr:
+		base := b.expr(e.X)
+		if isStructLike(elemType(typeOf(b.info, e.X))) {
+			return base // by-reference: *p IS p's objects
+		}
+		n := b.exprNodeFor(e)
+		b.addLoad(base, "*", n)
+		return n
+	case *ast.UnaryExpr:
+		return b.unary(e)
+	case *ast.SliceExpr:
+		n := b.exprNodeFor(e)
+		b.edge(b.expr(e.X), n)
+		b.expr(e.Low)
+		b.expr(e.High)
+		b.expr(e.Max)
+		return n
+	case *ast.IndexExpr:
+		return b.index(e)
+	case *ast.IndexListExpr:
+		b.expr(e.X)
+		return -1
+	case *ast.CompositeLit:
+		return b.composite(e)
+	case *ast.CallExpr:
+		results := b.call(e)
+		if len(results) > 0 {
+			return results[0]
+		}
+		return -1
+	case *ast.FuncLit:
+		return b.funcLit(e)
+	case *ast.TypeAssertExpr:
+		n := b.exprNodeFor(e)
+		b.edge(b.expr(e.X), n)
+		return n
+	case *ast.BinaryExpr:
+		b.expr(e.X)
+		b.expr(e.Y)
+		return -1
+	case *ast.KeyValueExpr:
+		// handled in composite; reached only for orphans
+		b.expr(e.Key)
+		b.expr(e.Value)
+		return -1
+	}
+	return -1
+}
+
+func (b *builder) selector(e *ast.SelectorExpr) int {
+	obj := analysis.ObjectOf(b.info, e.Sel)
+	// Qualified package-level var (pkg.Var) resolves like an ident.
+	if v, ok := obj.(*types.Var); ok && !v.IsField() {
+		if _, isPkg := b.info.Uses[identOf(e.X)].(*types.PkgName); isPkg {
+			if trackable(v.Type()) {
+				return b.nodeOf(v)
+			}
+			return -1
+		}
+	}
+	if _, ok := obj.(*types.Func); ok {
+		// Method value: an implicit closure capturing the receiver.
+		base := b.expr(e.X)
+		if base < 0 {
+			return -1
+		}
+		o := b.newObject(Alloc, e.Pos(), "method value "+e.Sel.Name)
+		n := b.exprNodeFor(e)
+		b.seed(n, o)
+		b.addStore(n, "$free", base)
+		return n
+	}
+	base := b.expr(e.X)
+	if base < 0 {
+		return -1
+	}
+	if !trackable(typeOf(b.info, e)) {
+		return -1
+	}
+	n := b.exprNodeFor(e)
+	b.addLoad(base, e.Sel.Name, n)
+	return n
+}
+
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}
+
+func (b *builder) unary(e *ast.UnaryExpr) int {
+	switch e.Op {
+	case token.AND:
+		switch x := ast.Unparen(e.X).(type) {
+		case *ast.CompositeLit:
+			return b.expr(x) // &T{}: the composite's alloc object
+		case *ast.Ident:
+			obj := analysis.ObjectOf(b.info, x)
+			v, ok := obj.(*types.Var)
+			if !ok || v.IsField() {
+				return -1
+			}
+			n := b.nodeOf(v)
+			if isStructLike(v.Type()) {
+				return n // by-reference: &x shares x's storage objects
+			}
+			// Pointer to a non-struct var: give the var a storage
+			// object and link its contents bidirectionally through
+			// the "*" field so *p reads and writes reach x.
+			o := b.varObj[v]
+			if o == nil {
+				o = b.newObject(VarStorage, v.Pos(), "var "+v.Name())
+				b.varObj[v] = o
+			}
+			an := b.exprNodeFor(e)
+			b.seed(an, o)
+			star := b.fieldNodeOf(o.ID, "*")
+			b.edge(n, star)
+			b.edge(star, n)
+			return an
+		case *ast.IndexExpr:
+			// &x[i] aliases x's backing objects.
+			n := b.exprNodeFor(e)
+			b.edge(b.expr(x.X), n)
+			b.expr(x.Index)
+			return n
+		case *ast.SelectorExpr:
+			// &x.f approximated as the field contents' objects plus the
+			// base (a pointer into the base's storage).
+			n := b.exprNodeFor(e)
+			b.edge(b.expr(x), n)
+			return n
+		default:
+			return b.expr(e.X)
+		}
+	case token.ARROW:
+		base := b.expr(e.X)
+		if !trackable(typeOf(b.info, e)) {
+			return -1
+		}
+		n := b.exprNodeFor(e)
+		b.addLoad(base, "$elem", n)
+		return n
+	default:
+		b.expr(e.X)
+		return -1
+	}
+}
+
+func (b *builder) index(e *ast.IndexExpr) int {
+	// Generic instantiation of a function: not a value access.
+	if tv, ok := b.info.Types[e.X]; ok {
+		if _, isSig := tv.Type.Underlying().(*types.Signature); isSig {
+			return -1
+		}
+	}
+	base := b.expr(e.X)
+	b.expr(e.Index)
+	if !trackable(typeOf(b.info, e)) {
+		return -1
+	}
+	n := b.exprNodeFor(e)
+	b.addLoad(base, "$elem", n)
+	return n
+}
+
+func (b *builder) composite(e *ast.CompositeLit) int {
+	t := typeOf(b.info, e)
+	label := "composite"
+	if t != nil {
+		label = "composite " + types.TypeString(t, func(p *types.Package) string { return p.Name() })
+	}
+	o := b.newObject(Alloc, e.Pos(), label)
+	n := b.exprNodeFor(e)
+	b.seed(n, o)
+	var st *types.Struct
+	if t != nil {
+		st, _ = t.Underlying().(*types.Struct)
+	}
+	for i, elt := range e.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			v := b.expr(kv.Value)
+			if st != nil {
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					b.addStore(n, key.Name, v)
+					continue
+				}
+			}
+			b.expr(kv.Key)
+			b.addStore(n, "$elem", v)
+			continue
+		}
+		v := b.expr(elt)
+		if st != nil && i < st.NumFields() {
+			b.addStore(n, st.Field(i).Name(), v)
+		} else {
+			b.addStore(n, "$elem", v)
+		}
+	}
+	return n
+}
+
+func (b *builder) funcLit(e *ast.FuncLit) int {
+	o := b.newObject(Alloc, e.Pos(), "func literal")
+	n := b.exprNodeFor(e)
+	b.seed(n, o)
+	// Captured variables flow into the closure's "$free" field, so any
+	// escape of the closure escapes its captures too.
+	for _, fv := range b.freeVars(e) {
+		b.addStore(n, "$free", b.nodeOf(fv))
+	}
+	prev := b.curFn
+	b.curFn = e
+	b.funcParams(nil, e.Type)
+	b.stmt(e.Body)
+	b.curFn = prev
+	// Values returned out of a literal may outlive any caller we can
+	// see; treat them as heap roots.
+	if e.Type.Results != nil {
+		for i := 0; i < e.Type.Results.NumFields(); i++ {
+			b.heapRoots = append(b.heapRoots, b.retNodeOf(e, i))
+		}
+	}
+	return n
+}
+
+// freeVars returns function-local variables referenced inside lit but
+// declared outside it, in source order.
+func (b *builder) freeVars(lit *ast.FuncLit) []*types.Var {
+	seen := map[*types.Var]bool{}
+	var out []*types.Var
+	ast.Inspect(lit.Body, func(node ast.Node) bool {
+		id, ok := node.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := b.info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if !trackable(v.Type()) {
+			return true
+		}
+		if v.Parent() == b.pass.Pkg.Scope() || v.Pkg() != b.pass.Pkg {
+			return true // globals are tracked separately
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the literal
+		}
+		seen[v] = true
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// --- calls ---
+
+func (b *builder) call(call *ast.CallExpr) []int {
+	// Type conversion: T(x) aliases x.
+	if tv, ok := b.info.Types[call.Fun]; ok && tv.IsType() {
+		src := -1
+		if len(call.Args) == 1 {
+			src = b.expr(call.Args[0])
+		}
+		if !trackable(typeOf(b.info, call)) {
+			return []int{-1}
+		}
+		n := b.exprNodeFor(call)
+		b.edge(src, n)
+		return []int{n}
+	}
+	// Builtins.
+	if id := calleeIdent(call); id != nil {
+		if bi, ok := b.info.Uses[id].(*types.Builtin); ok {
+			return b.builtin(call, bi.Name())
+		}
+	}
+	fn := analysis.CalleeFunc(b.info, call)
+
+	// Recognized external APIs with modeled semantics.
+	if fn != nil {
+		if name, ok := analysis.MethodOn(b.info, call, "internal/shm", "Store"); ok {
+			switch name {
+			case "Create", "Attach", "CreateOrAttach":
+				b.walkCallOperands(call)
+				o := b.newObject(Segment, call.Pos(), "segment "+name)
+				o.Call = call
+				n := b.exprNodeFor(call)
+				b.seed(n, o)
+				b.recordRoot(call, o)
+				return []int{n, -1}
+			}
+		}
+		if name, ok := ProtMethod(b.info, call); ok {
+			switch name {
+			case "Open":
+				b.walkCallOperands(call)
+				o := b.newObject(Workspace, call.Pos(), "workspace Open")
+				o.Call = call
+				n := b.exprNodeFor(call)
+				b.seed(n, o)
+				b.recordRoot(call, o)
+				return []int{n, -1, -1}
+			case "Restore":
+				b.walkCallOperands(call)
+				o := b.newObject(Blob, call.Pos(), "blob Restore")
+				o.Call = call
+				n := b.exprNodeFor(call)
+				b.seed(n, o)
+				b.recordRoot(call, o)
+				return []int{n, -1, -1}
+			}
+		}
+		if _, ok := analysis.MethodOn(b.info, call, "internal/simmpi", "Comm"); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				b.expr(sel.X)
+			}
+			for _, arg := range call.Args {
+				if n := b.expr(arg); n >= 0 {
+					b.simmpiRoots = append(b.simmpiRoots, n)
+				}
+			}
+			return b.externalResults(call, fn)
+		}
+	}
+
+	// Intra-package function with a visible body: link args to params
+	// and returns to results.
+	if fn != nil {
+		if decl, ok := b.decls[fn].(*ast.FuncDecl); ok {
+			return b.intraCall(call, fn, decl)
+		}
+	}
+
+	// Unknown callee: walk operands, escape pointer args, fresh
+	// external objects for trackable results.
+	b.expr(call.Fun)
+	for _, arg := range call.Args {
+		if n := b.expr(arg); n >= 0 {
+			b.heapRoots = append(b.heapRoots, n)
+		}
+	}
+	return b.externalResults(call, fn)
+}
+
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	id, _ := ast.Unparen(call.Fun).(*ast.Ident)
+	return id
+}
+
+// ProtMethod matches methods on types declared in internal/checkpoint
+// (the Protector interface and its implementations), returning the
+// method name. Exported because the analyzers built on pointsto
+// (shmalias, ckptcover) classify the same calls.
+func ProtMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !analysis.PathHasSuffix(obj.Pkg().Path(), "internal/checkpoint") {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// recordRoot notes the variable a creating call is directly bound to
+// (`seg, err := st.Create(...)`), for shmalias's root-handle exemption.
+func (b *builder) recordRoot(call *ast.CallExpr, o *Object) {
+	path, _ := astPath(b.pass.Files, call.Pos())
+	for i := len(path) - 1; i >= 0; i-- {
+		asg, ok := path[i].(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		if len(asg.Rhs) == 1 && ast.Unparen(asg.Rhs[0]) == call && len(asg.Lhs) > 0 {
+			if id, ok := ast.Unparen(asg.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+				o.Root = analysis.ObjectOf(b.info, id)
+			}
+		}
+		break
+	}
+}
+
+// astPath returns the node path from a file root down to pos.
+func astPath(files []*ast.File, pos token.Pos) ([]ast.Node, bool) {
+	for _, f := range files {
+		if pos < f.Pos() || pos >= f.End() {
+			continue
+		}
+		var path []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if pos < n.Pos() || pos >= n.End() {
+				return false
+			}
+			path = append(path, n)
+			return true
+		})
+		return path, true
+	}
+	return nil, false
+}
+
+func (b *builder) walkCallOperands(call *ast.CallExpr) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		b.expr(sel.X)
+	}
+	for _, arg := range call.Args {
+		b.expr(arg)
+	}
+}
+
+func (b *builder) intraCall(call *ast.CallExpr, fn *types.Func, decl *ast.FuncDecl) []int {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return b.externalResults(call, fn)
+	}
+	// Receiver.
+	if sig.Recv() != nil && decl.Recv != nil && len(decl.Recv.List) > 0 && len(decl.Recv.List[0].Names) > 0 {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			recvObj := b.info.Defs[decl.Recv.List[0].Names[0]]
+			base := b.expr(sel.X)
+			if recvObj != nil && trackable(recvObj.Type()) {
+				b.edge(base, b.nodeOf(recvObj))
+			}
+		}
+	}
+	// Parameters.
+	params := sig.Params()
+	paramNode := func(i int) int {
+		if i >= params.Len() {
+			return -1
+		}
+		p := params.At(i)
+		if !trackable(p.Type()) {
+			return -1
+		}
+		return b.nodeOf(p)
+	}
+	nArgs := len(call.Args)
+	if sig.Variadic() && call.Ellipsis == token.NoPos {
+		fixed := params.Len() - 1
+		for i := 0; i < nArgs && i < fixed; i++ {
+			b.edge(b.expr(call.Args[i]), paramNode(i))
+		}
+		if nArgs > fixed {
+			// Pack the tail into a fresh variadic slice object.
+			o := b.newObject(Alloc, call.Pos(), "varargs "+fn.Name())
+			vn := b.newNode()
+			b.seed(vn, o)
+			for i := fixed; i < nArgs; i++ {
+				b.addStore(vn, "$elem", b.expr(call.Args[i]))
+			}
+			b.edge(vn, paramNode(fixed))
+		}
+	} else {
+		for i := 0; i < nArgs; i++ {
+			b.edge(b.expr(call.Args[i]), paramNode(i))
+		}
+	}
+	// Results.
+	nres := sig.Results().Len()
+	if nres == 0 {
+		return nil
+	}
+	out := make([]int, nres)
+	for i := 0; i < nres; i++ {
+		if !trackable(sig.Results().At(i).Type()) {
+			out[i] = -1
+			continue
+		}
+		n := b.newNode()
+		if i == 0 {
+			b.exprNode[call] = n
+		}
+		b.edge(b.retNodeOf(decl, i), n)
+		out[i] = n
+	}
+	return out
+}
+
+func (b *builder) externalResults(call *ast.CallExpr, fn *types.Func) []int {
+	var nres int
+	var results *types.Tuple
+	if fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok {
+			results = sig.Results()
+			nres = results.Len()
+		}
+	}
+	if nres == 0 {
+		// Indirect call or unknown signature: derive from the call type.
+		t := typeOf(b.info, call)
+		if t == nil {
+			return nil
+		}
+		if tup, ok := t.(*types.Tuple); ok {
+			out := make([]int, tup.Len())
+			for i := range out {
+				out[i] = b.externalResult(call, tup.At(i).Type(), i)
+			}
+			return out
+		}
+		return []int{b.externalResult(call, t, 0)}
+	}
+	out := make([]int, nres)
+	for i := 0; i < nres; i++ {
+		out[i] = b.externalResult(call, results.At(i).Type(), i)
+	}
+	return out
+}
+
+func (b *builder) externalResult(call *ast.CallExpr, t types.Type, i int) int {
+	if !trackable(t) {
+		return -1
+	}
+	label := "external call"
+	if fn := analysis.CalleeFunc(b.info, call); fn != nil {
+		label = "external " + fn.Name()
+	}
+	o := b.newObject(External, call.Pos(), label)
+	n := b.newNode()
+	if i == 0 {
+		b.exprNode[call] = n
+	}
+	b.seed(n, o)
+	return n
+}
+
+func (b *builder) goCall(call *ast.CallExpr) {
+	// The launched callee's value (closure) and every argument are
+	// goroutine-escape roots.
+	if fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		n := b.expr(fl)
+		if n >= 0 {
+			b.goRoots = append(b.goRoots, n)
+		}
+		for _, arg := range call.Args {
+			if an := b.expr(arg); an >= 0 {
+				b.goRoots = append(b.goRoots, an)
+			}
+		}
+		// Arguments still flow into the literal's parameters.
+		b.linkLitArgs(call, fl)
+		return
+	}
+	results := b.call(call)
+	_ = results
+	for _, arg := range call.Args {
+		if n, ok := b.exprNode[ast.Unparen(arg)]; ok {
+			b.goRoots = append(b.goRoots, n)
+		} else if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+			if obj := analysis.ObjectOf(b.info, id); obj != nil {
+				if vn, ok := b.varNode[obj]; ok {
+					b.goRoots = append(b.goRoots, vn)
+				}
+			}
+		}
+	}
+}
+
+func (b *builder) linkLitArgs(call *ast.CallExpr, fl *ast.FuncLit) {
+	if fl.Type.Params == nil {
+		return
+	}
+	i := 0
+	for _, field := range fl.Type.Params.List {
+		for _, name := range field.Names {
+			if i < len(call.Args) {
+				if obj := b.info.Defs[name]; obj != nil && trackable(obj.Type()) {
+					b.edge(b.expr(call.Args[i]), b.nodeOf(obj))
+				}
+			}
+			i++
+		}
+	}
+}
+
+func (b *builder) builtin(call *ast.CallExpr, name string) []int {
+	switch name {
+	case "append":
+		n := b.exprNodeFor(call)
+		if len(call.Args) > 0 {
+			b.edge(b.expr(call.Args[0]), n)
+		}
+		// Growth may move to a fresh array.
+		o := b.newObject(Alloc, call.Pos(), "append")
+		b.seed(n, o)
+		et := elemType(typeOf(b.info, call))
+		for i := 1; i < len(call.Args); i++ {
+			v := b.expr(call.Args[i])
+			if call.Ellipsis != token.NoPos {
+				// append(s, t...): element flow from t.
+				tmp := b.newNode()
+				b.addLoad(v, "$elem", tmp)
+				b.addStore(n, "$elem", tmp)
+			} else if trackable(et) {
+				b.addStore(n, "$elem", v)
+			}
+		}
+		return []int{n}
+	case "copy":
+		// Value copy: element flow only, never header aliasing.
+		if len(call.Args) == 2 {
+			dst := b.expr(call.Args[0])
+			src := b.expr(call.Args[1])
+			if et := elemType(typeOf(b.info, call.Args[0])); trackable(et) {
+				tmp := b.newNode()
+				b.addLoad(src, "$elem", tmp)
+				b.addStore(dst, "$elem", tmp)
+			}
+		}
+		return nil
+	case "make":
+		t := typeOf(b.info, call)
+		label := "make"
+		if t != nil {
+			label = "make " + types.TypeString(t, func(p *types.Package) string { return p.Name() })
+		}
+		for _, arg := range call.Args[1:] {
+			b.expr(arg)
+		}
+		o := b.newObject(Alloc, call.Pos(), label)
+		n := b.exprNodeFor(call)
+		b.seed(n, o)
+		return []int{n}
+	case "new":
+		t := typeOf(b.info, call)
+		label := "new"
+		if t != nil {
+			label = "new " + types.TypeString(t, func(p *types.Package) string { return p.Name() })
+		}
+		o := b.newObject(Alloc, call.Pos(), label)
+		n := b.exprNodeFor(call)
+		b.seed(n, o)
+		return []int{n}
+	case "panic":
+		if len(call.Args) == 1 {
+			if n := b.expr(call.Args[0]); n >= 0 {
+				b.heapRoots = append(b.heapRoots, n)
+			}
+		}
+		return nil
+	default:
+		for _, arg := range call.Args {
+			b.expr(arg)
+		}
+		return nil
+	}
+}
+
+// --- solver ---
+
+// solve collapses copy-edge SCCs, then runs the Andersen worklist:
+// points-to sets propagate along copy edges, and load/store constraints
+// materialize field-node edges as base sets grow.
+func (b *builder) solve() {
+	b.collapseSCCs()
+
+	// Canonicalize edges and constraints onto SCC representatives.
+	succ := make([]map[int]bool, b.nodes)
+	for n := 0; n < b.nodes; n++ {
+		fn := b.find(n)
+		for m := range b.succ[n] {
+			fm := b.find(m)
+			if fn == fm {
+				continue
+			}
+			if succ[fn] == nil {
+				succ[fn] = make(map[int]bool)
+			}
+			succ[fn][fm] = true
+		}
+	}
+	b.succ = succ
+	loads := make(map[int][]loadC)
+	for _, cs := range b.loads {
+		for _, c := range cs {
+			base := b.find(c.base)
+			loads[base] = append(loads[base], loadC{base: base, dst: b.find(c.dst), field: c.field})
+		}
+	}
+	b.loads = loads
+	stores := make(map[int][]storeC)
+	for _, cs := range b.stores {
+		for _, c := range cs {
+			base := b.find(c.base)
+			stores[base] = append(stores[base], storeC{base: base, src: b.find(c.src), field: c.field})
+		}
+	}
+	b.stores = stores
+
+	// Merge seed sets into representatives.
+	for n := 0; n < b.nodes; n++ {
+		fn := b.find(n)
+		if fn == n || b.pts[n] == nil {
+			continue
+		}
+		if b.pts[fn] == nil {
+			b.pts[fn] = make(map[int]bool)
+		}
+		for o := range b.pts[n] {
+			b.pts[fn][o] = true
+		}
+		b.pts[n] = nil
+	}
+
+	// Worklist. Field nodes are created lazily while solving, so the
+	// membership set must grow with the node space.
+	inWork := make(map[int]bool)
+	var work []int
+	push := func(n int) {
+		n = b.find(n)
+		if !inWork[n] {
+			inWork[n] = true
+			work = append(work, n)
+		}
+	}
+	for n := 0; n < b.nodes; n++ {
+		if b.find(n) == n && len(b.pts[n]) > 0 {
+			push(n)
+		}
+	}
+	// flow copies pts[from] into pts[to]; returns true on growth.
+	flow := func(from, to int) bool {
+		from, to = b.find(from), b.find(to)
+		if from == to {
+			return false
+		}
+		grew := false
+		for o := range b.pts[from] {
+			if b.pts[to] == nil {
+				b.pts[to] = make(map[int]bool)
+			}
+			if !b.pts[to][o] {
+				b.pts[to][o] = true
+				grew = true
+			}
+		}
+		return grew
+	}
+	addEdge := func(from, to int) {
+		from, to = b.find(from), b.find(to)
+		if from == to {
+			return
+		}
+		if b.succ[from] == nil {
+			b.succ[from] = make(map[int]bool)
+		}
+		if b.succ[from][to] {
+			return
+		}
+		b.succ[from][to] = true
+		if flow(from, to) {
+			push(to)
+		}
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		delete(inWork, n)
+		n = b.find(n)
+		// Field constraint expansion.
+		for _, c := range b.loads[n] {
+			for oid := range b.pts[n] {
+				o := b.objects[oid]
+				if (o.Kind == Segment || o.Kind == Workspace) && c.field == "Data" {
+					// A segment and its backing array are one identity.
+					to := b.find(c.dst)
+					if b.pts[to] == nil {
+						b.pts[to] = make(map[int]bool)
+					}
+					if !b.pts[to][oid] {
+						b.pts[to][oid] = true
+						push(to)
+					}
+					continue
+				}
+				addEdge(b.fieldNodeOf(oid, c.field), c.dst)
+			}
+		}
+		for _, c := range b.stores[n] {
+			for oid := range b.pts[n] {
+				addEdge(c.src, b.fieldNodeOf(oid, c.field))
+			}
+		}
+		// Copy propagation.
+		for m := range b.succ[n] {
+			if flow(n, m) {
+				push(m)
+			}
+		}
+	}
+}
+
+// collapseSCCs runs an iterative Tarjan over the static copy graph and
+// unions every cycle into one representative, so mutually recursive
+// parameter/return edges cannot make the worklist cycle.
+func (b *builder) collapseSCCs() {
+	index := make([]int, b.nodes)
+	low := make([]int, b.nodes)
+	onStack := make([]bool, b.nodes)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	next := 0
+
+	type frame struct {
+		n    int
+		iter []int // successor list snapshot
+		i    int
+	}
+	succList := func(n int) []int {
+		out := make([]int, 0, len(b.succ[n]))
+		for m := range b.succ[n] {
+			out = append(out, m)
+		}
+		sort.Ints(out)
+		return out
+	}
+	for start := 0; start < b.nodes; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		var frames []frame
+		index[start] = next
+		low[start] = next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		frames = append(frames, frame{n: start, iter: succList(start)})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.iter) {
+				m := f.iter[f.i]
+				f.i++
+				if index[m] == -1 {
+					index[m] = next
+					low[m] = next
+					next++
+					stack = append(stack, m)
+					onStack[m] = true
+					frames = append(frames, frame{n: m, iter: succList(m)})
+				} else if onStack[m] {
+					if index[m] < low[f.n] {
+						low[f.n] = index[m]
+					}
+				}
+				continue
+			}
+			// Pop.
+			n := f.n
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[n] < low[p.n] {
+					low[p.n] = low[n]
+				}
+			}
+			if low[n] == index[n] {
+				// Root of an SCC: union everything above n on the stack.
+				for {
+					m := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[m] = false
+					if m != n {
+						b.parent[b.find(m)] = b.find(n)
+					}
+					if m == n {
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// --- escape classification ---
+
+func (b *builder) classifyEscapes() {
+	mark := func(roots []int, class EscapeSet) {
+		set := make(map[int]bool)
+		for _, n := range roots {
+			for oid := range b.pts[b.find(n)] {
+				set[oid] = true
+			}
+		}
+		b.closeOverFields(set)
+		for oid := range set {
+			b.objects[oid].esc |= class
+		}
+	}
+	// Heap: field stores put the stored objects into field nodes; any
+	// object appearing in a field node's points-to set is stored.
+	var fieldRoots []int
+	for _, n := range b.fieldNd {
+		fieldRoots = append(fieldRoots, n)
+	}
+	mark(append(fieldRoots, b.heapRoots...), EscHeap)
+	mark(b.goRoots, EscGoroutine)
+	mark(b.simmpiRoots, EscSimmpi)
+}
+
+// closeOverFields extends set with every object reachable through the
+// fields of objects already in it.
+func (b *builder) closeOverFields(set map[int]bool) {
+	work := make([]int, 0, len(set))
+	for oid := range set {
+		work = append(work, oid)
+	}
+	for len(work) > 0 {
+		oid := work[len(work)-1]
+		work = work[:len(work)-1]
+		for k, n := range b.fieldNd {
+			if k.obj != oid {
+				continue
+			}
+			for m := range b.pts[b.find(n)] {
+				if !set[m] {
+					set[m] = true
+					work = append(work, m)
+				}
+			}
+		}
+	}
+}
+
+func (b *builder) objectsAt(n int) []*Object {
+	set := b.pts[b.find(n)]
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]*Object, 0, len(set))
+	for oid := range set {
+		out = append(out, b.objects[oid])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (b *builder) reachFrom(objs []*Object) []*Object {
+	set := make(map[int]bool, len(objs))
+	for _, o := range objs {
+		set[o.ID] = true
+	}
+	b.closeOverFields(set)
+	out := make([]*Object, 0, len(set))
+	for oid := range set {
+		out = append(out, b.objects[oid])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,174 @@
+package pointsto
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"testing"
+
+	"selfckpt/internal/analysis"
+	"selfckpt/internal/analysis/analysistest"
+)
+
+// TestDebugFixture pins the escape classification end to end through
+// the analysistest harness: every non-local object in the multi-file
+// fixture package must be reported with exactly the classes annotated.
+func TestDebugFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), Debug, "pt")
+}
+
+func loadFixture(t *testing.T) (*analysis.Package, *Result) {
+	t.Helper()
+	testdata := analysistest.TestData(t)
+	loader, err := analysis.NewLoader(testdata)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join(testdata, "src", "pt"))
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	pass := pkg.NewPass(Debug, func(analysis.Diagnostic) {})
+	return pkg, Analyze(pass)
+}
+
+// findVar locates the variable named varName declared inside the
+// function named fnName (parameters included).
+func findVar(t *testing.T, pkg *analysis.Package, fnName, varName string) types.Object {
+	t.Helper()
+	var lo, hi int
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fnName {
+				lo, hi = int(fd.Pos()), int(fd.End())
+			}
+		}
+	}
+	if lo == 0 {
+		t.Fatalf("no function %s in fixture", fnName)
+	}
+	for _, obj := range pkg.Info.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok || v.Name() != varName {
+			continue
+		}
+		if int(v.Pos()) >= lo && int(v.Pos()) < hi {
+			return v
+		}
+	}
+	t.Fatalf("no variable %s in %s", varName, fnName)
+	return nil
+}
+
+func sharesObject(r *Result, a, b types.Object) bool {
+	in := map[int]bool{}
+	for _, o := range r.PointsTo(a) {
+		in[o.ID] = true
+	}
+	for _, o := range r.PointsTo(b) {
+		if in[o.ID] {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMutualRecursionFixpoint: the ping/pong parameter/return cycle
+// must converge with both parameters carrying the caller's allocation
+// — the interprocedural fixpoint terminates on recursion instead of
+// chasing contexts.
+func TestMutualRecursionFixpoint(t *testing.T) {
+	pkg, r := loadFixture(t)
+	buf := findVar(t, pkg, "recursionRoot", "buf")
+	xsPing := findVar(t, pkg, "ping", "xs")
+	xsPong := findVar(t, pkg, "pong", "xs")
+	allocs := r.PointsTo(buf)
+	if len(allocs) != 1 || allocs[0].Kind != Alloc {
+		t.Fatalf("buf should point to exactly its own allocation, got %v", allocs)
+	}
+	if !sharesObject(r, xsPing, buf) {
+		t.Error("ping's parameter must alias the caller's buffer")
+	}
+	if !sharesObject(r, xsPong, buf) {
+		t.Error("pong's parameter must alias the caller's buffer")
+	}
+}
+
+// TestCycleCollapse pins the solver mechanism: the mutual-recursion
+// copy cycle must be collapsed to one representative node, not merely
+// converge by iteration.
+func TestCycleCollapse(t *testing.T) {
+	pkg, r := loadFixture(t)
+	xsPing := findVar(t, pkg, "ping", "xs")
+	xsPong := findVar(t, pkg, "pong", "xs")
+	np, ok := r.b.varNode[xsPing]
+	if !ok {
+		t.Fatal("ping's parameter has no node")
+	}
+	nq, ok := r.b.varNode[xsPong]
+	if !ok {
+		t.Fatal("pong's parameter has no node")
+	}
+	if r.b.find(np) != r.b.find(nq) {
+		t.Errorf("ping.xs (node %d → %d) and pong.xs (node %d → %d) should share an SCC representative",
+			np, r.b.find(np), nq, r.b.find(nq))
+	}
+}
+
+// TestStructFieldAlias: h.buf = data; view := h.buf must alias view
+// with data, and leave an unrelated allocation disjoint.
+func TestStructFieldAlias(t *testing.T) {
+	pkg, r := loadFixture(t)
+	data := findVar(t, pkg, "structFlow", "data")
+	view := findVar(t, pkg, "structFlow", "view")
+	other := findVar(t, pkg, "structFlow", "other")
+	if !sharesObject(r, view, data) {
+		t.Error("view loaded from h.buf must alias data stored into h.buf")
+	}
+	if sharesObject(r, view, other) {
+		t.Error("view must not alias an unrelated allocation")
+	}
+}
+
+// TestCopyMovesValues: copy(dst, src) transfers contents, not the
+// backing array — the fact sendalias's rendezvous-reuse theorem rests
+// on.
+func TestCopyMovesValues(t *testing.T) {
+	pkg, r := loadFixture(t)
+	src := findVar(t, pkg, "copyFlow", "src")
+	dst := findVar(t, pkg, "copyFlow", "dst")
+	if sharesObject(r, dst, src) {
+		t.Error("copy(dst, src) must not alias dst with src")
+	}
+}
+
+// TestHelperReturn: a sub-view returned from a helper aliases the
+// argument.
+func TestHelperReturn(t *testing.T) {
+	pkg, r := loadFixture(t)
+	data := findVar(t, pkg, "helperFlow", "data")
+	w := findVar(t, pkg, "helperFlow", "w")
+	if !sharesObject(r, w, data) {
+		t.Error("window(data, 2) return value must alias data")
+	}
+}
+
+// TestSegmentIdentity: slicing seg.Data yields the segment object
+// itself, carrying the root-handle variable for shmalias's exemption.
+func TestSegmentIdentity(t *testing.T) {
+	pkg, r := loadFixture(t)
+	v := findVar(t, pkg, "segView", "v")
+	seg := findVar(t, pkg, "segView", "seg")
+	var segObj *Object
+	for _, o := range r.PointsTo(v) {
+		if o.Kind == Segment {
+			segObj = o
+		}
+	}
+	if segObj == nil {
+		t.Fatalf("v should point to the segment object, got %v", r.PointsTo(v))
+	}
+	if segObj.Root != seg {
+		t.Errorf("segment root handle should be %v, got %v", seg, segObj.Root)
+	}
+}

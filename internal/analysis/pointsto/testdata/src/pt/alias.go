@@ -1,0 +1,71 @@
+// Alias-query half of the pointsto fixture: the shapes here are read
+// programmatically by the white-box solver tests (mutual recursion,
+// struct field flow, value copy, segment identity, helper returns).
+// Only structFlow's field store escapes; everything else must stay
+// local, so a regression that over-reports escapes fails the Debug run
+// over this file too.
+package pt
+
+import "selfckpt/internal/shm"
+
+// ping/pong form a parameter/return copy cycle: the solver must
+// collapse it and terminate with both parameters aliasing the caller's
+// buffer.
+func ping(xs []float64, n int) []float64 {
+	if n == 0 {
+		return xs
+	}
+	return pong(xs, n-1)
+}
+
+func pong(xs []float64, n int) []float64 {
+	if n == 0 {
+		return xs
+	}
+	return ping(xs, n-1)
+}
+
+func recursionRoot() []float64 {
+	buf := make([]float64, 4)
+	return ping(buf, 3)
+}
+
+type holder struct{ buf []float64 }
+
+// structFlow: an alias established through a struct field store and
+// read back through a field load.
+func structFlow() ([]float64, []float64) {
+	data := make([]float64, 8) // want `make \[\]float64 escapes: heap`
+	var h holder
+	h.buf = data
+	view := h.buf
+	other := make([]float64, 8)
+	return view, other
+}
+
+// copyFlow: copy moves values, not references — dst must not alias src.
+func copyFlow() ([]float64, []float64) {
+	src := make([]float64, 8)
+	dst := make([]float64, 8)
+	copy(dst, src)
+	return dst, src
+}
+
+// window returns a sub-view of its argument through a helper.
+func window(ws []float64, k int) []float64 { return ws[k:] }
+
+func helperFlow() []float64 {
+	data := make([]float64, 16)
+	w := window(data, 2)
+	return w
+}
+
+// segView: a slice of a segment's backing array aliases the segment.
+func segView(st *shm.Store) []float64 {
+	seg, err := st.Create("view-src", 8)
+	if err != nil {
+		return nil
+	}
+	v := seg.Data[2:4]
+	return v
+}

@@ -1,0 +1,68 @@
+// Fixture for the pointsto engine's escape classification, pinned
+// through the Debug analyzer: every non-local abstract object must be
+// reported at its creation site with the exact escape classes the
+// engine derives. Alias-query fixtures live in alias.go — wants and
+// escape-free shapes deliberately span both files so the harness's
+// multi-file handling is exercised too.
+package pt
+
+import (
+	"selfckpt/internal/shm"
+	"selfckpt/internal/simmpi"
+)
+
+var sink []float64
+
+// storesGlobal leaks a local buffer through a package-level variable.
+func storesGlobal() {
+	local := make([]float64, 8) // want `make \[\]float64 escapes: heap`
+	sink = local
+}
+
+// capturedByGoroutine hands a buffer to a goroutine through closure
+// capture: the buffer is both goroutine-captured and stored (in the
+// closure's environment).
+func capturedByGoroutine(done chan struct{}) {
+	shared := make([]float64, 8) // want `make \[\]float64 escapes: goroutine,heap`
+	go func() { // want `func literal escapes: goroutine`
+		shared[0] = 1
+		close(done)
+	}()
+	<-done
+}
+
+// goArg passes a buffer to a go-launched named function: goroutine
+// escape without a heap store.
+func goArg(n int) {
+	buf := make([]float64, n) // want `make \[\]float64 escapes: goroutine`
+	go fill(buf)
+}
+
+func fill(buf []float64) { buf[0] = 1 }
+
+// sendsBuffer hands a buffer to the communication layer.
+func sendsBuffer(c *simmpi.Comm) {
+	buf := make([]float64, 4) // want `make \[\]float64 escapes: simmpi`
+	c.Send(1, buf)
+}
+
+// storesSegment pins the segment/backing-array identity: seg.Data IS
+// the segment object, so storing the data slice globally stores the
+// segment.
+func storesSegment(st *shm.Store) {
+	seg, err := st.Create("pinned", 8) // want `segment Create escapes: heap`
+	if err != nil {
+		return
+	}
+	sink = seg.Data
+}
+
+// purelyLocal allocates and uses a buffer without letting it out: no
+// diagnostic, pinning the absence of over-reporting.
+func purelyLocal() float64 {
+	buf := make([]float64, 8)
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	return buf[3]
+}

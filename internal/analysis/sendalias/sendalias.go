@@ -1,0 +1,379 @@
+// Package sendalias implements the sktlint check for communication
+// buffers that are mutated or aliased while potentially in flight. It
+// encodes simmpi's per-call completion semantics — the rules PR 8 could
+// only state in prose — so buffer-reuse arguments become checked
+// theorems:
+//
+//   - Send is rendezvous: it returns only after the receiver has copied
+//     the payload, so reusing the buffer after the call returns is
+//     safe. This is exactly the encoding.go rebuild-loop argument (one
+//     `rec` staging buffer reused across families).
+//   - ISend is buffered-eager: the payload is copied out before the
+//     call returns, so reuse after return is equally safe.
+//   - Recv, SendRecv, and every collective complete on return.
+//
+// Two violations remain possible and are what this analyzer flags:
+//
+//  1. Same-call aliasing. Calls with distinct read and write buffers
+//     (SendRecv's sbuf/rbuf, the in/out of Reduce, Allreduce,
+//     AllreduceRing, ReduceRing, Allgather, Gather, Scatter) overlap
+//     their read and write phases internally — the peer reads the send
+//     buffer concurrently with the local write into the receive buffer
+//     — so the two arguments must not share backing storage. The
+//     may-alias facts come from the shared pointsto engine, so aliases
+//     through helpers, struct fields, and sub-slices are seen.
+//  2. Concurrent in-flight mutation. A communication call issued inside
+//     a go statement is in flight until the goroutine is joined;
+//     writing through any alias of its buffers in the launching
+//     function after the go statement races the transfer (for ISend,
+//     the eager copy itself races the write).
+//
+// Waive with //sktlint:inflight-reuse <reason>; the reason is
+// mandatory, because safe reuse always rests on a completion argument
+// worth writing down.
+package sendalias
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"selfckpt/internal/analysis"
+	"selfckpt/internal/analysis/cfg"
+	"selfckpt/internal/analysis/pointsto"
+)
+
+// Analyzer is the sendalias analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:        "sendalias",
+	Doc:         "flag comm buffers aliased within one call or mutated while a go-launched transfer may be in flight",
+	Suppression: "//sktlint:inflight-reuse",
+	Run:         run,
+}
+
+const annotation = "//sktlint:inflight-reuse"
+
+// completion encodes when each Comm operation's buffers are released:
+// every operation in this table completes on return (rendezvous Send
+// included; buffered-eager ISend copies before returning), so
+// straight-line reuse after the call is never flagged. The table is
+// also the list of calls considered "in flight" when go-launched.
+var completion = map[string]string{
+	"Send":            "rendezvous: returns after the receiver copies the payload",
+	"ISend":           "buffered-eager: copies the payload before returning",
+	"Recv":            "completes on return",
+	"SendRecv":        "completes on return",
+	"Barrier":         "completes on return",
+	"Bcast":           "completes on return",
+	"BcastRing":       "completes on return",
+	"Bcast2Ring":      "completes on return",
+	"Reduce":          "completes on return",
+	"Allreduce":       "completes on return",
+	"AllreduceRing":   "completes on return",
+	"ReduceRing":      "completes on return",
+	"Allgather":       "completes on return",
+	"AllgatherSingle": "completes on return",
+	"Gather":          "completes on return",
+	"Scatter":         "completes on return",
+	"MaxlocAll":       "completes on return",
+}
+
+// rwArgs lists, per Comm method, the (read, write) buffer argument
+// indices whose backing storage must be disjoint: the operation reads
+// the first while writing the second.
+var rwArgs = map[string][2]int{
+	"SendRecv":      {1, 3}, // sbuf read by the peer, rbuf written locally
+	"Reduce":        {1, 2},
+	"Allreduce":     {0, 1},
+	"AllreduceRing": {0, 1},
+	"ReduceRing":    {1, 2},
+	"Allgather":     {0, 1},
+	"Gather":        {1, 2},
+	"Scatter":       {1, 2}, // in read at root, out written on every rank
+}
+
+func run(pass *analysis.Pass) error {
+	// The communication layer itself implements these rules; its
+	// internal buffer handoffs are the semantics, not a misuse of them.
+	if analysis.PathHasSuffix(pass.Pkg.Path(), "internal/simmpi") {
+		return nil
+	}
+	if !hasCommCalls(pass) {
+		return nil
+	}
+	res := pointsto.Shared(pass)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkSameCall(pass, res, fd.Body)
+				checkInFlight(pass, res, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+func hasCommCalls(pass *analysis.Pass) bool {
+	found := false
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if name, ok := analysis.MethodOn(pass.TypesInfo, call, "internal/simmpi", "Comm"); ok {
+					if _, comm := completion[name]; comm {
+						found = true
+					}
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// commCall resolves a Comm method call that participates in the
+// completion table.
+func commCall(pass *analysis.Pass, n ast.Node) (*ast.CallExpr, string, bool) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return nil, "", false
+	}
+	name, ok := analysis.MethodOn(pass.TypesInfo, call, "internal/simmpi", "Comm")
+	if !ok {
+		return nil, "", false
+	}
+	if _, ok := completion[name]; !ok {
+		return nil, "", false
+	}
+	return call, name, true
+}
+
+// checkSameCall flags read/write buffer pairs of one call that may
+// share backing storage.
+func checkSameCall(pass *analysis.Pass, res *pointsto.Result, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, name, ok := commCall(pass, n)
+		if !ok {
+			return true
+		}
+		rw, ok := rwArgs[name]
+		if !ok || len(call.Args) <= rw[1] {
+			return true
+		}
+		rdArg, wrArg := call.Args[rw[0]], call.Args[rw[1]]
+		if !res.MayAlias(rdArg, wrArg) {
+			return true
+		}
+		reason, found := pass.AnnotationReason(call.Pos(), annotation)
+		if found && reason != "" {
+			return true
+		}
+		if found {
+			pass.Reportf(call.Pos(), "%s is annotated %s but gives no reason; state why the overlap is safe", name, annotation)
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"in-flight aliasing: the read buffer %s and write buffer %s of %s may share backing storage; the operation writes one while reading the other — use disjoint buffers or annotate %s <reason>",
+			render(rdArg), render(wrArg), name, annotation)
+		return true
+	})
+}
+
+func render(e ast.Expr) string { return types.ExprString(e) }
+
+// flight is one go-launched communication call and the abstract objects
+// of its buffers.
+type flight struct {
+	goStmt *ast.GoStmt
+	name   string
+	pos    token.Pos
+	bufs   map[*pointsto.Object]bool
+}
+
+// checkInFlight flags launcher-side writes through aliases of buffers
+// used by go-launched communication calls.
+func checkInFlight(pass *analysis.Pass, res *pointsto.Result, body *ast.BlockStmt) {
+	var flights []flight
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		// Direct `go c.Send(dst, buf)` or any comm call inside the
+		// launched literal.
+		collect := func(call *ast.CallExpr, name string) {
+			bufs := map[*pointsto.Object]bool{}
+			for _, arg := range call.Args {
+				for _, o := range res.ExprObjects(arg) {
+					bufs[o] = true
+				}
+			}
+			if len(bufs) > 0 {
+				flights = append(flights, flight{goStmt: g, name: name, pos: call.Pos(), bufs: bufs})
+			}
+		}
+		if call, name, ok := commCall(pass, g.Call); ok {
+			collect(call, name)
+		}
+		if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, name, ok := commCall(pass, m); ok {
+					collect(call, name)
+				}
+				return true
+			})
+		}
+		return true
+	})
+	if len(flights) == 0 {
+		return
+	}
+
+	g := cfg.New(body)
+	info := pass.TypesInfo
+	type finding struct {
+		fl  *flight
+		pos token.Pos
+		lhs string
+	}
+	seen := map[token.Pos]bool{}
+	var findings []finding
+	for i := range flights {
+		fl := &flights[i]
+		goBlk, goIdx := g.Containing(fl.goStmt.Pos())
+		if goBlk == nil {
+			continue
+		}
+		after := reachableAfter(g, goBlk)
+		for _, blk := range g.Blocks {
+			for idx, n := range blk.Stmts {
+				if blk == goBlk && idx <= goIdx {
+					continue
+				}
+				if blk != goBlk && !after[blk] {
+					continue
+				}
+				if n.Pos() >= fl.goStmt.Pos() && n.End() <= fl.goStmt.End() {
+					continue // the go statement's own entries
+				}
+				for _, mut := range mutationsIn(pass, n) {
+					if !aliasesAny(res, info, mut.base, fl.bufs) || seen[mut.pos] {
+						continue
+					}
+					seen[mut.pos] = true
+					findings = append(findings, finding{fl: fl, pos: mut.pos, lhs: mut.desc})
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		reason, found := pass.AnnotationReason(f.pos, annotation)
+		if found && reason != "" {
+			continue
+		}
+		if found {
+			pass.Reportf(f.pos, "%s is annotated %s but gives no reason; state why the write cannot race the transfer",
+				f.lhs, annotation)
+			continue
+		}
+		line := pass.Fset.Position(f.pos).Line
+		_ = line
+		pass.Reportf(f.pos,
+			"in-flight buffer mutation: %s is written while the %s launched at line %d may still be using its buffer; join the goroutine before reusing it or annotate %s <reason>",
+			f.lhs, f.fl.name, pass.Fset.Position(f.fl.goStmt.Pos()).Line, annotation)
+	}
+}
+
+// reachableAfter returns the blocks reachable from start's successors
+// (start itself included only if reachable again, e.g. via a loop back
+// edge).
+func reachableAfter(g *cfg.Graph, start *cfg.Block) map[*cfg.Block]bool {
+	out := map[*cfg.Block]bool{}
+	var work []*cfg.Block
+	work = append(work, start.Succs...)
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		if out[b] {
+			continue
+		}
+		out[b] = true
+		work = append(work, b.Succs...)
+	}
+	return out
+}
+
+// mutation is one write through a base expression that updates existing
+// backing storage (full rebinding allocates a new value and is not a
+// mutation).
+type mutation struct {
+	base ast.Expr
+	pos  token.Pos
+	desc string
+}
+
+// mutationsIn extracts the storage-mutating writes of one CFG entry:
+// element/field/pointer stores, copy-into, and in-place append.
+func mutationsIn(pass *analysis.Pass, n ast.Node) []mutation {
+	var out []mutation
+	add := func(base ast.Expr, pos token.Pos, desc string) {
+		out = append(out, mutation{base: base, pos: pos, desc: desc})
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false // a nested launch is its own flight
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				switch lhs := ast.Unparen(lhs).(type) {
+				case *ast.IndexExpr:
+					add(lhs.X, lhs.Pos(), render(lhs.X))
+				case *ast.StarExpr:
+					add(lhs.X, lhs.Pos(), render(lhs.X))
+				case *ast.SelectorExpr:
+					add(lhs.X, lhs.Pos(), render(lhs))
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := ast.Unparen(m.X).(*ast.IndexExpr); ok {
+				add(ix.X, m.Pos(), render(ix.X))
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(m.Fun).(*ast.Ident); ok {
+				if bi, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+					switch bi.Name() {
+					case "copy":
+						if len(m.Args) == 2 {
+							add(m.Args[0], m.Pos(), "copy into "+render(m.Args[0]))
+						}
+					case "append":
+						if len(m.Args) > 0 {
+							add(m.Args[0], m.Pos(), "append to "+render(m.Args[0]))
+						}
+					}
+				}
+			}
+			// A comm call that writes one of its args mutates it too.
+			if call, name, ok := commCall(pass, m); ok {
+				if rw, ok := rwArgs[name]; ok && len(call.Args) > rw[1] {
+					add(call.Args[rw[1]], call.Pos(), name+" writes "+render(call.Args[rw[1]]))
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func aliasesAny(res *pointsto.Result, info *types.Info, base ast.Expr, bufs map[*pointsto.Object]bool) bool {
+	for _, o := range res.ExprObjects(base) {
+		if bufs[o] {
+			return true
+		}
+	}
+	return false
+}

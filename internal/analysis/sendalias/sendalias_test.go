@@ -1,0 +1,12 @@
+package sendalias_test
+
+import (
+	"testing"
+
+	"selfckpt/internal/analysis/analysistest"
+	"selfckpt/internal/analysis/sendalias"
+)
+
+func TestSendalias(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), sendalias.Analyzer, "a")
+}

@@ -1,0 +1,90 @@
+// Fixture for the sendalias analyzer: comm buffers aliased within one
+// call, mutated while a go-launched transfer is in flight, and the
+// rendezvous true negatives that must stay clean.
+package a
+
+import "selfckpt/internal/simmpi"
+
+// sameBufferAllreduce is the core same-call true positive: in and out
+// share backing storage, so the reduction writes the buffer it is still
+// reading.
+func sameBufferAllreduce(c *simmpi.Comm, buf []float64) {
+	c.Allreduce(buf, buf, simmpi.OpSum) // want `in-flight aliasing: the read buffer buf and write buffer buf of Allreduce`
+}
+
+// overlappingSendRecv: sbuf and rbuf are sub-slices of one array; the
+// peer reads sbuf while the local rank writes rbuf.
+func overlappingSendRecv(c *simmpi.Comm, peer int) {
+	line := make([]float64, 16)
+	sbuf := line[:8]
+	rbuf := line[4:12]
+	c.SendRecv(peer, sbuf, peer, rbuf) // want `in-flight aliasing: the read buffer sbuf and write buffer rbuf of SendRecv`
+}
+
+// aliasThroughHelper: the overlap is laundered through a helper return;
+// the pointsto facts still connect both halves to one allocation.
+func firstHalf(xs []float64) []float64 { return xs[:len(xs)/2] }
+
+func aliasThroughHelper(c *simmpi.Comm, root int) {
+	work := make([]float64, 32)
+	in := firstHalf(work)
+	c.Reduce(root, in, work, simmpi.OpSum) // want `in-flight aliasing: the read buffer in and write buffer work of Reduce`
+}
+
+// disjointBuffers must stay clean: in and out are separate allocations.
+func disjointBuffers(c *simmpi.Comm) float64 {
+	in := make([]float64, 8)
+	out := make([]float64, 8)
+	c.Allreduce(in, out, simmpi.OpSum)
+	return out[0]
+}
+
+// mutateWhileInFlight is the concurrency true positive: the send is
+// launched on a goroutine, so it may still be reading buf when the
+// launcher overwrites it.
+func mutateWhileInFlight(c *simmpi.Comm, dst int) {
+	buf := make([]float64, 8)
+	done := make(chan struct{})
+	go func() {
+		c.Send(dst, buf)
+		close(done)
+	}()
+	buf[0] = 1 // want `in-flight buffer mutation: buf is written while the Send launched at line \d+ may still be using its buffer`
+	<-done
+}
+
+// directGoSend: the direct `go c.Send(...)` form, with the mutation
+// arriving through copy.
+func directGoSend(c *simmpi.Comm, dst int, buf, next []float64) {
+	go c.Send(dst, buf)
+	copy(buf, next) // want `in-flight buffer mutation: copy into buf is written while the Send launched at line \d+`
+}
+
+// rendezvousReuse is the checked theorem from the checkpoint encoder's
+// rebuild loop: Send is rendezvous, so once it returns the receiver has
+// the payload and the staging buffer may be refilled for the next
+// family. This must stay clean — it is the whole point of encoding the
+// completion rules.
+func rendezvousReuse(c *simmpi.Comm, dst int, families [][]float64) {
+	rec := make([]float64, 64)
+	for _, fam := range families {
+		copy(rec, fam)
+		c.Send(dst, rec)
+	}
+}
+
+// eagerReuse: ISend copies the payload before returning, so immediate
+// reuse is equally safe.
+func eagerReuse(c *simmpi.Comm, dst int, buf, next []float64) {
+	c.ISend(dst, buf)
+	copy(buf, next)
+}
+
+// mutateAfterJoin must stay clean: the channel receive joins the
+// goroutine before the write, and the write target is rebound besides.
+func mutateUnrelated(c *simmpi.Comm, dst int) {
+	buf := make([]float64, 8)
+	other := make([]float64, 8)
+	go c.Send(dst, buf)
+	other[0] = 1
+}

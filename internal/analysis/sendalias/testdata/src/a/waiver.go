@@ -1,0 +1,30 @@
+// Waiver half of the sendalias fixture, deliberately split from the
+// findings in a.go: annotations and diagnostics must resolve per-file.
+package a
+
+import "selfckpt/internal/simmpi"
+
+// waivedOverlap: a reasoned annotation silences the finding. The reason
+// here is the classic in-place reduction argument: the ring schedule
+// writes each element only after every rank's read of it has completed.
+func waivedOverlap(c *simmpi.Comm, buf []float64) {
+	//sktlint:inflight-reuse in-place allreduce; the ring schedule finishes reading element i before any rank writes it
+	c.Allreduce(buf, buf, simmpi.OpSum)
+}
+
+// bareWaiver: the annotation without a reason is itself a finding —
+// buffer overlap is only correct under a schedule argument worth
+// writing down.
+func bareWaiver(c *simmpi.Comm, buf []float64) {
+	//sktlint:inflight-reuse
+	c.Allreduce(buf, buf, simmpi.OpSum) // want `Allreduce is annotated .* but gives no reason`
+}
+
+// waivedInFlight: reasoned waiver on the concurrent-mutation check; the
+// writer only touches the second half while the transfer sends the
+// first.
+func waivedInFlight(c *simmpi.Comm, dst int, buf []float64) {
+	go c.Send(dst, buf[:4])
+	//sktlint:inflight-reuse the transfer covers buf[:4]; this write stays in the disjoint upper half
+	buf[6] = 1
+}

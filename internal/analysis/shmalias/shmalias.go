@@ -1,0 +1,390 @@
+// Package shmalias implements the sktlint check for stale views of
+// SHM-backed storage. A slice (or struct carrying one) that aliases a
+// segment's backing array must not be used past the boundary that
+// invalidates the mapping:
+//
+//   - shm.Store.Destroy / DestroyAll unmap the segment — a surviving
+//     view reads storage the simulator has already reclaimed;
+//   - checkpoint Protector.Restore rewrites the Open workspace in
+//     place — a view computed before the restore carries pre-rollback
+//     contents, which is exactly the kind of silent divergence the
+//     paper's self-checkpoint space argument (Eq. 3) assumes away.
+//
+// The aliasing facts come from the shared pointsto engine, so views
+// laundered through struct fields, helpers, or closures are tracked,
+// not just direct `v := seg.Data` bindings. Staleness itself is
+// flow-sensitive: a forward dataflow over the function's CFG marks
+// every variable whose points-to set intersects the boundary's killed
+// objects, kills the mark on full redefinition, and reports the first
+// surviving use — so rebinding after the boundary, or re-creating the
+// segment at the top of each epoch loop, stays clean.
+//
+// The handle returned by Protector.Open is exempt after Restore: the
+// documented protocol contract is precisely that the root handle
+// remains valid across Restore (the restore rewrites its contents).
+// Destroy carries no such exemption.
+//
+// Findings are waived with //sktlint:stale-view <reason>; the reason is
+// mandatory, because a surviving view is only correct under some
+// lifecycle argument worth writing down.
+package shmalias
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"selfckpt/internal/analysis"
+	"selfckpt/internal/analysis/cfg"
+	"selfckpt/internal/analysis/dataflow"
+	"selfckpt/internal/analysis/pointsto"
+)
+
+// Analyzer is the shmalias analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:        "shmalias",
+	Doc:         "flag views aliasing SHM segments or checkpoint workspaces used past Destroy/Restore boundaries",
+	Suppression: "//sktlint:stale-view",
+	Run:         run,
+}
+
+const annotation = "//sktlint:stale-view"
+
+func run(pass *analysis.Pass) error {
+	// The shm store and the checkpoint protocols manage segment
+	// lifecycles below this abstraction; their internal reuse of
+	// just-destroyed names is the implementation of the invariant, not
+	// a violation of it.
+	if analysis.PathHasSuffix(pass.Pkg.Path(), "internal/shm") ||
+		analysis.PathHasSuffix(pass.Pkg.Path(), "internal/checkpoint") {
+		return nil
+	}
+	if !hasBoundaryCalls(pass) {
+		return nil
+	}
+	res := pointsto.Shared(pass)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, res, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// hasBoundaryCalls cheaply pre-scans for Destroy/DestroyAll/Restore so
+// packages without lifecycle boundaries skip the points-to solve.
+func hasBoundaryCalls(pass *analysis.Pass) bool {
+	found := false
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			if name, ok := analysis.MethodOn(pass.TypesInfo, call, "internal/shm", "Store"); ok {
+				if name == "Destroy" || name == "DestroyAll" {
+					found = true
+				}
+			}
+			if name, ok := pointsto.ProtMethod(pass.TypesInfo, call); ok && name == "Restore" {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// boundary is one invalidation point with the abstract objects it
+// kills.
+type boundary struct {
+	call   *ast.CallExpr
+	kind   string // "Destroy", "DestroyAll", "Restore"
+	killed map[*pointsto.Object]bool
+}
+
+// collectBoundaries finds the invalidation calls in body and matches
+// each against creation sites in the same function: Destroy kills the
+// segments created with a textually identical name expression on the
+// same store, DestroyAll kills every same-store segment, Restore kills
+// the workspaces opened on the same protector. No textual match means
+// nothing is killed — cross-function lifecycles are shmlifecycle's
+// domain, not this analyzer's.
+func collectBoundaries(pass *analysis.Pass, res *pointsto.Result, body *ast.BlockStmt) []boundary {
+	inBody := func(o *pointsto.Object) bool {
+		return o.Call != nil && o.Call.Pos() >= body.Pos() && o.Call.Pos() < body.End()
+	}
+	recvString := func(call *ast.CallExpr) string {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return types.ExprString(sel.X)
+		}
+		return ""
+	}
+	var out []boundary
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := analysis.MethodOn(pass.TypesInfo, call, "internal/shm", "Store"); ok {
+			switch name {
+			case "Destroy":
+				if len(call.Args) != 1 {
+					return true
+				}
+				nameStr, store := types.ExprString(call.Args[0]), recvString(call)
+				killed := map[*pointsto.Object]bool{}
+				for _, o := range res.Objects(pointsto.Segment) {
+					if inBody(o) && recvString(o.Call) == store &&
+						len(o.Call.Args) > 0 && types.ExprString(o.Call.Args[0]) == nameStr {
+						killed[o] = true
+					}
+				}
+				if len(killed) > 0 {
+					out = append(out, boundary{call: call, kind: name, killed: killed})
+				}
+			case "DestroyAll":
+				store := recvString(call)
+				killed := map[*pointsto.Object]bool{}
+				for _, o := range res.Objects(pointsto.Segment) {
+					if inBody(o) && recvString(o.Call) == store {
+						killed[o] = true
+					}
+				}
+				if len(killed) > 0 {
+					out = append(out, boundary{call: call, kind: name, killed: killed})
+				}
+			}
+			return true
+		}
+		if name, ok := pointsto.ProtMethod(pass.TypesInfo, call); ok && name == "Restore" {
+			prot := recvString(call)
+			killed := map[*pointsto.Object]bool{}
+			for _, o := range res.Objects(pointsto.Workspace) {
+				if inBody(o) && recvString(o.Call) == prot {
+					killed[o] = true
+				}
+			}
+			if len(killed) > 0 {
+				out = append(out, boundary{call: call, kind: name, killed: killed})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// staleFact maps a stale variable to the boundary that invalidated it
+// (the earliest one, for deterministic messages).
+type staleFact map[types.Object]*boundary
+
+func checkFunc(pass *analysis.Pass, res *pointsto.Result, body *ast.BlockStmt) {
+	bounds := collectBoundaries(pass, res, body)
+	if len(bounds) == 0 {
+		return
+	}
+	info := pass.TypesInfo
+
+	// Pre-compute, per function variable, which boundaries invalidate
+	// it. The Open root handle survives Restore by contract.
+	vars := funcVars(info, body)
+	staleAfter := map[types.Object][]*boundary{}
+	for _, v := range vars {
+		pts := res.PointsTo(v)
+		for i := range bounds {
+			bd := &bounds[i]
+			hit := false
+			exempt := true
+			for _, o := range pts {
+				if bd.killed[o] {
+					hit = true
+					if bd.kind != "Restore" || o.Root != v {
+						exempt = false
+					}
+				}
+			}
+			if hit && !exempt {
+				staleAfter[v] = append(staleAfter[v], bd)
+			}
+		}
+	}
+	if len(staleAfter) == 0 {
+		return
+	}
+
+	g := cfg.New(body)
+	boundariesIn := func(n ast.Node) []*boundary {
+		var out []*boundary
+		for i := range bounds {
+			p := bounds[i].call.Pos()
+			if p >= n.Pos() && p < n.End() {
+				out = append(out, &bounds[i])
+			}
+		}
+		return out
+	}
+	// Transfer over one entry: kill full redefinitions, then mark
+	// everything the entry's boundaries invalidate. Uses are examined
+	// against the pre-entry fact, so a statement that both uses and
+	// rebinds sees the stale value.
+	step := func(n ast.Node, cur staleFact) staleFact {
+		_, defs := dataflow.UseDef(n, info)
+		for v := range defs {
+			delete(cur, v)
+		}
+		for _, bd := range boundariesIn(n) {
+			for _, v := range vars {
+				for _, cand := range staleAfter[v] {
+					if cand == bd {
+						if prev, ok := cur[v]; !ok || bd.call.Pos() < prev.call.Pos() {
+							cur[v] = bd
+						}
+					}
+				}
+			}
+		}
+		return cur
+	}
+	clone := func(s staleFact) staleFact {
+		out := make(staleFact, len(s))
+		for k, v := range s {
+			out[k] = v
+		}
+		return out
+	}
+	in, _ := dataflow.Solve(g, false,
+		func(*cfg.Block) staleFact { return staleFact{} },
+		func(dst, src staleFact) staleFact {
+			for v, bd := range src {
+				if prev, ok := dst[v]; !ok || bd.call.Pos() < prev.call.Pos() {
+					dst[v] = bd
+				}
+			}
+			return dst
+		},
+		func(b *cfg.Block, f staleFact) staleFact {
+			cur := clone(f)
+			for _, n := range b.Stmts {
+				cur = step(n, cur)
+			}
+			return cur
+		},
+		func(a, b staleFact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for v, bd := range a {
+				if b[v] != bd {
+					return false
+				}
+			}
+			return true
+		},
+	)
+
+	// Replay each block against its solved entry fact and record the
+	// earliest stale use per variable.
+	type finding struct {
+		v   types.Object
+		bd  *boundary
+		pos token.Pos
+	}
+	best := map[types.Object]finding{}
+	for _, blk := range g.Blocks {
+		cur := clone(in[blk])
+		for _, n := range blk.Stmts {
+			uses, _ := dataflow.UseDef(n, info)
+			for v, bd := range cur {
+				if !uses[v] {
+					continue
+				}
+				pos := usePos(n, info, v)
+				if prev, ok := best[v]; !ok || pos < prev.pos {
+					best[v] = finding{v: v, bd: bd, pos: pos}
+				}
+			}
+			cur = step(n, cur)
+		}
+	}
+
+	findings := make([]finding, 0, len(best))
+	for _, f := range best {
+		findings = append(findings, f)
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		report(pass, res, f.v, f.bd, f.pos)
+	}
+}
+
+func report(pass *analysis.Pass, res *pointsto.Result, v types.Object, bd *boundary, pos token.Pos) {
+	reason, found := pass.AnnotationReason(pos, annotation)
+	if found && reason != "" {
+		return
+	}
+	if found {
+		pass.Reportf(pos, "%s is annotated %s but gives no reason; state why the surviving view is safe",
+			v.Name(), annotation)
+		return
+	}
+	// Name the first killed object the variable carries, in ID order,
+	// for a deterministic message.
+	var obj *pointsto.Object
+	for _, o := range res.PointsTo(v) {
+		if bd.killed[o] {
+			obj = o
+			break
+		}
+	}
+	line := pass.Fset.Position(bd.call.Pos()).Line
+	switch bd.kind {
+	case "Restore":
+		pass.Reportf(pos, "stale view: %s aliases the Open workspace (%s) across the Restore at line %d; the restore rewrites it in place — recompute the view or annotate %s <reason>",
+			v.Name(), obj.Label, line, annotation)
+	default:
+		pass.Reportf(pos, "stale view: %s aliases %s destroyed at line %d and is used afterwards; rebind it or annotate %s <reason>",
+			v.Name(), obj.Label, line, annotation)
+	}
+}
+
+// funcVars returns the local variables (and used parameters/captures)
+// mentioned in body, in deterministic position order.
+func funcVars(info *types.Info, body *ast.BlockStmt) []types.Object {
+	seen := map[types.Object]bool{}
+	var out []types.Object
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := analysis.ObjectOf(info, id).(*types.Var); ok && !v.IsField() && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// usePos locates the first reference to v inside n, for anchoring the
+// diagnostic (and its waiver lookup) on the actual use.
+func usePos(n ast.Node, info *types.Info, v types.Object) token.Pos {
+	pos := n.Pos()
+	found := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := node.(*ast.Ident); ok && analysis.ObjectOf(info, id) == v {
+			pos = id.Pos()
+			found = true
+			return false
+		}
+		return true
+	})
+	return pos
+}

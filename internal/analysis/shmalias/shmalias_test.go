@@ -1,0 +1,12 @@
+package shmalias_test
+
+import (
+	"testing"
+
+	"selfckpt/internal/analysis/analysistest"
+	"selfckpt/internal/analysis/shmalias"
+)
+
+func TestShmalias(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), shmalias.Analyzer, "a")
+}

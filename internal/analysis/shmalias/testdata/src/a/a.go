@@ -1,0 +1,118 @@
+// Fixture for the shmalias analyzer: views of SHM segments and
+// checkpoint workspaces used past Destroy/Restore boundaries.
+package a
+
+import (
+	"selfckpt/internal/checkpoint"
+	"selfckpt/internal/shm"
+)
+
+// useAfterDestroy is the core true positive: a view of the backing
+// array survives the segment's Destroy.
+func useAfterDestroy(st *shm.Store) float64 {
+	seg, err := st.Create("scratch", 8)
+	if err != nil {
+		return 0
+	}
+	view := seg.Data[:4]
+	st.Destroy("scratch")
+	return view[0] // want `stale view: view aliases segment Create`
+}
+
+// useAfterDestroyAll: the handle itself is stale after a store-wide
+// teardown.
+func useAfterDestroyAll(st *shm.Store) float64 {
+	seg, err := st.Create("sweep", 4)
+	if err != nil {
+		return 0
+	}
+	st.DestroyAll()
+	return seg.Data[0] // want `stale view: seg aliases segment Create`
+}
+
+// throughHelper: the alias is laundered through a helper return — the
+// pointsto facts still connect it to the segment.
+func subview(xs []float64, k int) []float64 { return xs[k:] }
+
+func throughHelper(st *shm.Store) float64 {
+	seg, err := st.Create("helper", 8)
+	if err != nil {
+		return 0
+	}
+	w := subview(seg.Data, 2)
+	st.Destroy("helper")
+	return w[0] // want `stale view: w aliases segment Create`
+}
+
+// staleAcrossRestore: a derived view carries pre-rollback contents
+// across Restore. Only the root Open handle is contract-exempt.
+func staleAcrossRestore(prot checkpoint.Protector) (float64, error) {
+	data, recoverable, err := prot.Open(64)
+	if err != nil {
+		return 0, err
+	}
+	view := data[:8]
+	if recoverable {
+		if _, _, err := prot.Restore(); err != nil {
+			return 0, err
+		}
+	}
+	return view[0], nil // want `stale view: view aliases the Open workspace`
+}
+
+// rootHandleAfterRestore is the documented protocol pattern and must
+// stay clean: Restore rewrites the workspace in place, and the Open
+// handle remains the way to read the restored contents.
+func rootHandleAfterRestore(prot checkpoint.Protector) (float64, error) {
+	data, recoverable, err := prot.Open(64)
+	if err != nil {
+		return 0, err
+	}
+	if recoverable {
+		if _, _, err := prot.Restore(); err != nil {
+			return 0, err
+		}
+	}
+	return data[0], nil
+}
+
+// rebindAfterDestroy must stay clean: the full redefinition between
+// the boundary and the use kills the staleness.
+func rebindAfterDestroy(st *shm.Store) float64 {
+	seg, err := st.Create("tmp", 8)
+	if err != nil {
+		return 0
+	}
+	view := seg.Data
+	st.Destroy("tmp")
+	view = make([]float64, 8)
+	return view[0]
+}
+
+// recreateEachEpoch must stay clean: the Destroy at the bottom of the
+// loop is followed (on the back edge) by a fresh Create that redefines
+// the handle before any use.
+func recreateEachEpoch(st *shm.Store, n int) float64 {
+	var acc float64
+	for i := 0; i < n; i++ {
+		seg, err := st.Create("epoch", 8)
+		if err != nil {
+			return acc
+		}
+		acc += seg.Data[0]
+		st.Destroy("epoch")
+	}
+	return acc
+}
+
+// unrelatedDestroy must stay clean: destroying a different segment
+// (different name expression) does not invalidate this view.
+func unrelatedDestroy(st *shm.Store) float64 {
+	seg, err := st.Create("live", 8)
+	if err != nil {
+		return 0
+	}
+	view := seg.Data
+	st.Destroy("other")
+	return view[0]
+}

@@ -1,0 +1,32 @@
+// Waiver half of the shmalias fixture, deliberately in a separate file
+// from the findings in a.go: annotations and diagnostics must resolve
+// per-file, not per-package.
+package a
+
+import "selfckpt/internal/shm"
+
+// waivedStaleView: a reasoned annotation silences the finding.
+func waivedStaleView(st *shm.Store) float64 {
+	seg, err := st.Create("keep", 8)
+	if err != nil {
+		return 0
+	}
+	view := seg.Data
+	st.Destroy("keep")
+	//sktlint:stale-view the simulator keeps the mapping until the last attach detaches; this read races nothing
+	return view[0]
+}
+
+// bareWaiver: the annotation without a reason is itself a finding — a
+// stale view is only correct under a lifecycle argument worth writing
+// down.
+func bareWaiver(st *shm.Store) float64 {
+	seg, err := st.Create("bare", 8)
+	if err != nil {
+		return 0
+	}
+	view := seg.Data
+	st.Destroy("bare")
+	//sktlint:stale-view
+	return view[0] // want `view is annotated .* but gives no reason`
+}

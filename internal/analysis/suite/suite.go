@@ -17,6 +17,8 @@ import (
 	"selfckpt/internal/analysis/goleak"
 	"selfckpt/internal/analysis/hotalloc"
 	"selfckpt/internal/analysis/lockblock"
+	"selfckpt/internal/analysis/sendalias"
+	"selfckpt/internal/analysis/shmalias"
 	"selfckpt/internal/analysis/shmlifecycle"
 )
 
@@ -63,8 +65,10 @@ func Analyzers() []Entry {
 	return []Entry{
 		{Analyzer: detrand.Analyzer, AppliesTo: isDeterminismCritical},
 		{Analyzer: shmlifecycle.Analyzer},
+		{Analyzer: shmalias.Analyzer},
 		{Analyzer: collsym.Analyzer},
 		{Analyzer: collorder.Analyzer},
+		{Analyzer: sendalias.Analyzer},
 		{Analyzer: ckpterr.Analyzer},
 		{Analyzer: ckptcover.Analyzer},
 		{Analyzer: lockblock.Analyzer},

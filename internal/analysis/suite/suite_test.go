@@ -39,8 +39,8 @@ func TestRepoIsLintClean(t *testing.T) {
 // packages, and the other analyzers run everywhere.
 func TestScoping(t *testing.T) {
 	entries := suite.Analyzers()
-	if len(entries) != 9 {
-		t.Fatalf("expected 9 analyzers, got %d", len(entries))
+	if len(entries) != 11 {
+		t.Fatalf("expected 11 analyzers, got %d", len(entries))
 	}
 	byName := map[string]suite.Entry{}
 	for _, e := range entries {
@@ -77,7 +77,7 @@ func TestScoping(t *testing.T) {
 	if hot.AppliesTo("selfckpt/internal/cluster") || hot.AppliesTo("selfckpt/cmd/sktchaos") {
 		t.Error("hotalloc must not cover the control plane (allocation there is not a defect)")
 	}
-	for _, name := range []string{"shmlifecycle", "collsym", "collorder", "ckpterr", "ckptcover", "lockblock"} {
+	for _, name := range []string{"shmlifecycle", "shmalias", "collsym", "collorder", "sendalias", "ckpterr", "ckptcover", "lockblock"} {
 		e, ok := byName[name]
 		if !ok {
 			t.Fatalf("missing analyzer %s", name)

@@ -38,6 +38,29 @@ func segmentWaived(st *shm.Store) {
 	_, _ = st.Create("node-cache", 8) //sktlint:persistent-segment — owned by the node daemon for its lifetime
 }
 
+// --- shmalias — //sktlint:stale-view <reason> ---
+
+func staleViewFlagged(st *shm.Store) float64 {
+	seg, err := st.Create("stale", 8)
+	if err != nil {
+		return 0
+	}
+	view := seg.Data
+	st.Destroy("stale")
+	return view[0] // want `stale view: view aliases segment Create`
+}
+
+func staleViewWaived(st *shm.Store) float64 {
+	seg, err := st.Create("stale-waived", 8)
+	if err != nil {
+		return 0
+	}
+	view := seg.Data
+	st.Destroy("stale-waived")
+	//sktlint:stale-view — the simulator keeps the words mapped until the last detach; this read races nothing
+	return view[0]
+}
+
 // --- collsym — //sktlint:rank-divergent ---
 
 // collectiveFlagged is collectively symmetric (both arms reach the same
@@ -74,6 +97,17 @@ func orderWaived(c *simmpi.Comm) error {
 		return c.Barrier()
 	}
 	return nil
+}
+
+// --- sendalias — //sktlint:inflight-reuse <reason> ---
+
+func inflightFlagged(c *simmpi.Comm, buf []float64) {
+	c.Allreduce(buf, buf, simmpi.OpSum) // want `in-flight aliasing`
+}
+
+func inflightWaived(c *simmpi.Comm, buf []float64) {
+	//sktlint:inflight-reuse — in-place reduction reviewed: element i is fully read before any rank writes it
+	c.Allreduce(buf, buf, simmpi.OpSum)
 }
 
 // --- ckpterr — //sktlint:unchecked-error ---
