@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"selfckpt/internal/checkpoint"
@@ -218,13 +219,33 @@ func BenchmarkEncodeGroupSize(b *testing.B) {
 	}
 }
 
+// benchStable is a throwaway in-memory StableStore for the multilevel
+// protocol's L2 flushes; the benchmark only times a single checkpoint,
+// so the stable tier never needs to survive anything.
+type benchStable struct {
+	mu   sync.Mutex
+	data map[string][]float64
+}
+
+func (s *benchStable) Write(key string, data []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[key] = append([]float64(nil), data...)
+}
+
+func (s *benchStable) Read(key string) []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.data[key]...)
+}
+
 // BenchmarkCheckpointStrategies measures the modelled cost of one
-// checkpoint under each protocol at equal workspace.
+// checkpoint under each registered protocol at equal workspace.
 func BenchmarkCheckpointStrategies(b *testing.B) {
 	const group, words = 8, 1 << 14
-	for _, strategy := range []string{"self", "double", "single"} {
-		strategy := strategy
-		b.Run(strategy, func(b *testing.B) {
+	for _, reg := range checkpoint.Protocols() {
+		reg := reg
+		b.Run(reg.Name, func(b *testing.B) {
 			var vt float64
 			for i := 0; i < b.N; i++ {
 				stores := make([]*shm.Store, group)
@@ -235,22 +256,17 @@ func BenchmarkCheckpointStrategies(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				stable := &benchStable{data: map[string][]float64{}}
 				times := make([]float64, group)
 				res := w.Run(func(c *simmpi.Comm) error {
 					grp, err := encoding.NewGroup(c, simmpi.OpXor)
 					if err != nil {
 						return err
 					}
-					opts := checkpoint.Options{Group: grp, Store: stores[c.Rank()], Namespace: fmt.Sprintf("b/%d", c.Rank())}
-					var p checkpoint.Protector
-					switch strategy {
-					case "self":
-						p, err = checkpoint.NewSelf(opts)
-					case "double":
-						p, err = checkpoint.NewDouble(opts)
-					default:
-						p, err = checkpoint.NewSingle(opts)
-					}
+					opts := checkpoint.Options{Group: grp, World: c, Store: stores[c.Rank()], Namespace: fmt.Sprintf("b/%d", c.Rank())}
+					p, err := reg.New(opts, checkpoint.Aux{
+						Stable: stable, Key: fmt.Sprintf("b-l2/%d", c.Rank()), L2BytesPerSec: 1e9,
+					})
 					if err != nil {
 						return err
 					}

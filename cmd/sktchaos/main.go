@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"selfckpt/internal/checkpoint"
 	"selfckpt/internal/crashmat"
@@ -74,7 +75,7 @@ func main() {
 	sdcOnly := flag.Bool("sdc", false, "run only silent-data-corruption cells")
 	sample := flag.Int("sample", 24, "number of sampled cells when not running -full")
 	seed := flag.Int64("seed", 0, "sampling seed (0 = draw from OS entropy; always printed in the sweep ID)")
-	protocol := flag.String("protocol", "", "restrict to one protocol (single, double, self, multilevel)")
+	protocol := flag.String("protocol", "", "restrict to one protocol ("+strings.Join(protocolNames(), ", ")+")")
 	runID := flag.String("run", "", "replay a cell or sweep by ID and report its verdict")
 	list := flag.Bool("list", false, "print every cell ID in the matrices and exit")
 	engineFlag := flag.String("engine", "goroutine", "simmpi execution engine: goroutine or des")
@@ -334,18 +335,62 @@ func outcomeSDC(o *crashmat.SDCObservation) string {
 	}
 }
 
+// protocolNames lists every registry protocol name in presentation
+// order — the help text and table ordering never hardcode the set.
+func protocolNames() []string {
+	var out []string
+	for _, p := range checkpoint.Protocols() {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// tableOrder returns the protocols present in a table, in registry
+// (presentation) order rather than lexically, so the survival tables
+// line up with the README/EXPERIMENTS protocol tables; names unknown to
+// the registry sort last.
+func tableOrder(present func(string) bool) []string {
+	var out []string
+	for _, name := range protocolNames() {
+		if present(name) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// colWidth computes a right-aligned column width fitting every header
+// and verdict, plus two spaces of gutter — registry protocols are free
+// to produce verdicts (or carry role names) longer than the seed set's.
+func colWidth(min int, labels ...string) int {
+	w := min
+	for _, l := range labels {
+		if len(l) > w {
+			w = len(l)
+		}
+	}
+	return w + 2
+}
+
 func printTables(tables map[string]map[string]map[crashmat.Role]*cell) {
 	roles := crashmat.Roles()
-	var protocols []string
-	for p := range tables {
-		protocols = append(protocols, p)
+	labels := make([]string, 0, len(roles))
+	for _, r := range roles {
+		labels = append(labels, string(r))
 	}
-	sort.Strings(protocols)
-	for _, p := range protocols {
+	for _, fpt := range tables {
+		for _, rt := range fpt {
+			for _, c := range rt {
+				labels = append(labels, c.verdict)
+			}
+		}
+	}
+	w := colWidth(5, labels...)
+	for _, p := range tableOrder(func(name string) bool { return tables[name] != nil }) {
 		fmt.Printf("\n%s  (rows: failpoint, cols: victim role; eN = recovered epoch N)\n", p)
 		fmt.Printf("  %-18s", "")
 		for _, r := range roles {
-			fmt.Printf("%10s", r)
+			fmt.Printf("%*s", w, string(r))
 		}
 		fmt.Println()
 		for _, fp := range checkpoint.Failpoints() {
@@ -359,7 +404,7 @@ func printTables(tables map[string]map[string]map[crashmat.Role]*cell) {
 				if c := rt[r]; c != nil {
 					v = c.verdict
 				}
-				fmt.Printf("%10s", v)
+				fmt.Printf("%*s", w, v)
 			}
 			fmt.Println()
 		}
@@ -367,27 +412,36 @@ func printTables(tables map[string]map[string]map[crashmat.Role]*cell) {
 }
 
 func printSDCTables(tables map[string]map[string]map[bool]*cell) {
-	var protocols []string
-	for p := range tables {
-		protocols = append(protocols, p)
+	headers := []string{"scrub", "after-kill"}
+	labels := append([]string{}, headers...)
+	rowW := len("target")
+	for _, tt := range tables {
+		for t, kt := range tt {
+			if len(t) > rowW {
+				rowW = len(t)
+			}
+			for _, c := range kt {
+				labels = append(labels, c.verdict)
+			}
+		}
 	}
-	sort.Strings(protocols)
-	for _, p := range protocols {
+	w := colWidth(5, labels...)
+	for _, p := range tableOrder(func(name string) bool { return tables[name] != nil }) {
 		fmt.Printf("\n%s SDC  (rows: corruption target; eN = recovered epoch N)\n", p)
-		fmt.Printf("  %-12s%12s%12s\n", "", "scrub", "after-kill")
+		fmt.Printf("  %-*s%*s%*s\n", rowW+2, "", w, headers[0], w, headers[1])
 		var targets []string
 		for t := range tables[p] {
 			targets = append(targets, t)
 		}
 		sort.Strings(targets)
 		for _, t := range targets {
-			fmt.Printf("  %-12s", t)
+			fmt.Printf("  %-*s", rowW+2, t)
 			for _, kill := range []bool{false, true} {
 				v := "·"
 				if c := tables[p][t][kill]; c != nil {
 					v = c.verdict
 				}
-				fmt.Printf("%12s", v)
+				fmt.Printf("%*s", w, v)
 			}
 			fmt.Println()
 		}

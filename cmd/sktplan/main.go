@@ -145,12 +145,18 @@ func main() {
 			// group to lose two members before the checkpoint commits.
 			windows := best.runtime / (best.tauSec + delta)
 			survival := math.Pow(1-risk, windows)
-			// Protocols that cannot survive a kill mid-flush (the paper's
-			// case against single in-memory checkpointing) are also exposed
-			// to ANY failure landing inside the flush window δ of each
-			// checkpoint — that state is torn and unrecoverable.
-			if !proto.SurvivesKillAt(checkpoint.FPFlush) {
-				survival *= math.Exp(-delta * windows / systemMTBF)
+			// A protocol with any announced failpoint it cannot survive
+			// (single's mid-flush window — the paper's case against single
+			// in-memory checkpointing — or the mirrored protocols'
+			// post-exchange instant) is exposed to ANY failure landing
+			// inside the vulnerable window δ of each checkpoint — that
+			// state is torn and unrecoverable. Checking only one hardcoded
+			// failpoint would score such a protocol as invulnerable.
+			for _, fp := range proto.Announces {
+				if !proto.SurvivesKillAt(fp) {
+					survival *= math.Exp(-delta * windows / systemMTBF)
+					break
+				}
 			}
 			best.risk = 1 - survival
 			best.score = *work / best.runtime * survival

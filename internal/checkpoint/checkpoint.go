@@ -150,7 +150,8 @@ type Protector interface {
 	Checkpoint(meta []byte) error
 	// Usage reports the memory accounting after Open.
 	Usage() Usage
-	// Name identifies the strategy ("single", "double", "self").
+	// Name identifies the strategy ("single", "double", "self",
+	// "replica", "restore", ...) — one of the registry names.
 	Name() string
 }
 

@@ -137,15 +137,28 @@ func protectorFor(strategy string, rc *rankCtx, groupSize int) (Protector, error
 		Store:     rc.store,
 		Namespace: fmt.Sprintf("ckpt/%d", rc.comm.Rank()),
 	}
-	switch strings.TrimSuffix(strategy, "-rs") {
-	case "self":
-		return NewSelf(opts)
-	case "double":
-		return NewDouble(opts)
-	case "single":
-		return NewSingle(opts)
+	reg, ok := ProtocolByName(strings.TrimSuffix(strategy, "-rs"))
+	if !ok {
+		return nil, fmt.Errorf("unknown strategy %q", strategy)
 	}
-	return nil, fmt.Errorf("unknown strategy %q", strategy)
+	// The throwaway stable store only backs single-attempt uses of the
+	// multi-level protocol; cross-attempt L2 recovery tests wire their
+	// own via mlApp.
+	return reg.New(opts, Aux{
+		Stable:        newStableMap(),
+		Key:           fmt.Sprintf("t-l2/%d", rc.comm.Rank()),
+		L2BytesPerSec: 1e9,
+	})
+}
+
+// registryStrategies returns every registered protocol name — the
+// strategy list for tests that must cover the whole registry.
+func registryStrategies() []string {
+	var out []string
+	for _, p := range Protocols() {
+		out = append(out, p.Name)
+	}
+	return out
 }
 
 // deterministic workspace content for (rank, iteration).
@@ -226,7 +239,7 @@ func (h *harness) runToCompletion(kills []kill, fn func(rc *rankCtx) error, maxA
 }
 
 func TestFreshOpenNotRecoverable(t *testing.T) {
-	for _, strategy := range []string{"self", "double", "single"} {
+	for _, strategy := range registryStrategies() {
 		h := newHarness(t, 4, 4)
 		res := h.attempt(0, nil, func(rc *rankCtx) error {
 			p, err := protectorFor(strategy, rc, 4)
@@ -249,7 +262,7 @@ func TestFreshOpenNotRecoverable(t *testing.T) {
 }
 
 func TestCheckpointRunsClean(t *testing.T) {
-	for _, strategy := range []string{"self", "double", "single"} {
+	for _, strategy := range registryStrategies() {
 		h := newHarness(t, 8, 4)
 		if got := h.runToCompletion(nil, iterApp(strategy, 4, 100, 5), 1); got != 1 {
 			t.Fatalf("%s: attempts = %d", strategy, got)
@@ -336,11 +349,18 @@ func TestSingleComputePhaseFailureRestores(t *testing.T) {
 
 // TestMidFlushKillOnChecksumRoot kills the group's rank 0 — the checksum
 // root of stripe family 0, the §2.1 rotated-root case — at FPMidFlush and
-// requires full recovery under both crash-safe protocols. A data-node
-// victim exercises rebuild-from-checksum; the root victim additionally
-// forces the group to reconstruct the checksum holder's own stripe.
+// requires full recovery under every protocol whose guarantee covers that
+// failpoint. A data-node victim exercises rebuild-from-checksum; the root
+// victim additionally forces the group to reconstruct the checksum
+// holder's own stripe (or, for the mirrored protocols, its partner copy).
 func TestMidFlushKillOnChecksumRoot(t *testing.T) {
-	for _, strategy := range []string{"self", "double"} {
+	var survivors []string
+	for _, p := range Protocols() {
+		if p.SurvivesKillAt(FPMidFlush) {
+			survivors = append(survivors, p.Name)
+		}
+	}
+	for _, strategy := range survivors {
 		t.Run(strategy, func(t *testing.T) {
 			h := newHarness(t, 8, 4)
 			// Rank 0 is group 0's communicator rank 0: the root of family 0.
@@ -608,11 +628,7 @@ func TestMetaTooLarge(t *testing.T) {
 func TestRestoreBeforeOpenFails(t *testing.T) {
 	h := newHarness(t, 4, 4)
 	res := h.attempt(0, nil, func(rc *rankCtx) error {
-		for _, mk := range []func(Options) (Protector, error){
-			func(o Options) (Protector, error) { return NewSelf(o) },
-			func(o Options) (Protector, error) { return NewDouble(o) },
-			func(o Options) (Protector, error) { return NewSingle(o) },
-		} {
+		for i, reg := range Protocols() {
 			g, err := rc.comm.Split(0)
 			if err != nil {
 				return err
@@ -621,12 +637,14 @@ func TestRestoreBeforeOpenFails(t *testing.T) {
 			if err != nil {
 				return err
 			}
-			p, err := mk(Options{Group: grp, World: rc.comm, Store: rc.store, Namespace: fmt.Sprintf("x%d/%d", rc.comm.Rank(), rc.att)})
+			p, err := reg.New(Options{Group: grp, World: rc.comm, Store: rc.store,
+				Namespace: fmt.Sprintf("x%d/%d/%d", rc.comm.Rank(), rc.att, i)},
+				Aux{Stable: newStableMap(), Key: "x-l2"})
 			if err != nil {
 				return err
 			}
 			if _, _, err := p.Restore(); err == nil {
-				return errors.New("Restore before Open should fail")
+				return fmt.Errorf("%s: Restore before Open should fail", reg.Name)
 			}
 		}
 		return nil
@@ -637,14 +655,10 @@ func TestRestoreBeforeOpenFails(t *testing.T) {
 }
 
 func TestOptionsValidation(t *testing.T) {
-	if _, err := NewSelf(Options{}); err == nil {
-		t.Fatal("expected error for empty options")
-	}
-	if _, err := NewDouble(Options{}); err == nil {
-		t.Fatal("expected error for empty options")
-	}
-	if _, err := NewSingle(Options{}); err == nil {
-		t.Fatal("expected error for empty options")
+	for _, reg := range Protocols() {
+		if _, err := reg.New(Options{}, Aux{Stable: newStableMap()}); err == nil {
+			t.Fatalf("%s: expected error for empty options", reg.Name)
+		}
 	}
 }
 
@@ -842,8 +856,12 @@ func TestDiscardFreesMemoryAndForgetsState(t *testing.T) {
 	if res.Failed() {
 		t.Fatal(res.FirstError())
 	}
-	// Double and Single Discard also release everything.
-	for _, strategy := range []string{"double", "single"} {
+	// Every other protocol's Discard also releases everything.
+	type discarder interface{ Discard() }
+	for _, strategy := range registryStrategies() {
+		if strategy == "self" {
+			continue // covered above, including the restart check
+		}
 		h2 := newHarness(t, 4, 4)
 		res := h2.attempt(0, nil, func(rc *rankCtx) error {
 			p, err := protectorFor(strategy, rc, 4)
@@ -856,12 +874,18 @@ func TestDiscardFreesMemoryAndForgetsState(t *testing.T) {
 			if err := p.Checkpoint(metaFor(1)); err != nil {
 				return err
 			}
-			switch v := p.(type) {
-			case *Double:
-				v.Discard()
-			case *Single:
-				v.Discard()
+			d, ok := p.(discarder)
+			if !ok {
+				// The multi-level composition owns no SHM itself; its L1
+				// does.
+				if ml, isML := p.(*MultiLevel); isML {
+					d, ok = ml.opts.L1.(discarder)
+				}
 			}
+			if !ok {
+				return fmt.Errorf("%s: protector has no Discard", strategy)
+			}
+			d.Discard()
 			if rc.store.Used() != 0 {
 				return fmt.Errorf("%s: SHM still holds %d bytes", strategy, rc.store.Used())
 			}
@@ -899,7 +923,7 @@ func TestFreshStartResetsEpochNumbering(t *testing.T) {
 // group, localized to the corrupted rank, and rebuilt bit-exactly from
 // the checksum; a follow-up scrub finds nothing.
 func TestScrubDetectsAndRepairsSilentCorruption(t *testing.T) {
-	for _, strategy := range []string{"self", "double", "single", "self-rs"} {
+	for _, strategy := range append(registryStrategies(), "self-rs") {
 		t.Run(strategy, func(t *testing.T) {
 			h := newHarness(t, 4, 4)
 			res := h.attempt(0, nil, func(rc *rankCtx) error {
@@ -932,6 +956,12 @@ func TestScrubDetectsAndRepairsSilentCorruption(t *testing.T) {
 					case *Double:
 						return v.bufs[int(v.latest()%2)]
 					case *Single:
+						return v.b
+					case *MultiLevel:
+						return v.opts.L1.(*Self).b
+					case *Replica:
+						return v.b
+					case *ReStore:
 						return v.b
 					}
 					return nil
@@ -972,7 +1002,7 @@ func TestScrubDetectsAndRepairsSilentCorruption(t *testing.T) {
 }
 
 func TestScrubBeforeOpenFails(t *testing.T) {
-	for _, p := range []Scrubber{&Self{}, &Double{}, &Single{}, &MultiLevel{}} {
+	for _, p := range []Scrubber{&Self{}, &Double{}, &Single{}, &MultiLevel{}, &Replica{}, &ReStore{}} {
 		if _, err := p.Scrub(); err == nil {
 			t.Fatalf("%T: Scrub before Open should fail", p)
 		}

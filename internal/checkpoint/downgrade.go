@@ -28,17 +28,18 @@ import (
 )
 
 // DowngradeTarget returns the protocol one rung down the ladder from
-// the given one, and whether the ladder defines a move. The empty
-// string is the bottom protected rung: run unprotected and restart from
-// the last stable checkpoint (or from scratch) on the next failure.
+// the given one, and whether the ladder defines a move. The edge comes
+// from the registry (Protocol.Downgrade), so a newly registered
+// protocol declares its own ladder position instead of falling through
+// a hardcoded switch. The empty string is the bottom protected rung:
+// run unprotected and restart from the last stable checkpoint (or from
+// scratch) on the next failure. Only an unregistered name has no move.
 func DowngradeTarget(from string) (string, bool) {
-	switch from {
-	case "multilevel", "double":
-		return "self", true
-	case "self", "single":
-		return "", true
+	p, ok := ProtocolByName(from)
+	if !ok {
+		return "", false
 	}
-	return "", false
+	return p.Downgrade, true
 }
 
 // ClosedFormUsage is the paper's Eq. 3 memory accounting in closed
@@ -50,35 +51,24 @@ func DowngradeTarget(from string) (string, bool) {
 // this form against real Opens; the degradation ladder uses it to
 // decide whether a candidate configuration still fits in memory.
 func ClosedFormUsage(protocol string, words, groupSize, metaCap int) (Usage, error) {
+	if protocol == "" {
+		// Unprotected: just the workspace.
+		return Usage{Workspace: words}, nil
+	}
 	if groupSize < 2 {
 		return Usage{}, fmt.Errorf("checkpoint: group size must be at least 2, got %d", groupSize)
+	}
+	p, ok := ProtocolByName(protocol)
+	if !ok || p.ClosedForm == nil {
+		return Usage{}, fmt.Errorf("checkpoint: no closed form for protocol %q", protocol)
+	}
+	if p.EvenGroups && groupSize%2 != 0 {
+		return Usage{}, fmt.Errorf("checkpoint: protocol %q needs an even group size, got %d", protocol, groupSize)
 	}
 	if metaCap <= 0 {
 		metaCap = 4096 // Options.MetaCap default
 	}
-	mw := wordpack.WordsNeeded(metaCap)
-	buf := words + mw
-	stripe := (buf + groupSize - 2) / (groupSize - 1)
-	u := Usage{Workspace: words, Header: headerWords}
-	switch protocol {
-	case "single":
-		u.Checkpoints = buf
-		u.Checksums = stripe
-	case "double":
-		u.Checkpoints = 2 * buf
-		u.Checksums = 2 * stripe
-	case "self", "multilevel":
-		// A1 is the workspace itself; B2 holds the previous epoch's
-		// metadata so a torn flush stays recoverable.
-		u.Checkpoints = buf + mw
-		u.Checksums = 2 * stripe
-	case "":
-		// Unprotected: just the workspace.
-		u.Header = 0
-	default:
-		return Usage{}, fmt.Errorf("checkpoint: no closed form for protocol %q", protocol)
-	}
-	return u, nil
+	return p.ClosedForm(words, groupSize, wordpack.WordsNeeded(metaCap)), nil
 }
 
 // Transition describes one rung-3/4 move the ladder wants to make, plus

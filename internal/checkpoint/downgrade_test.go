@@ -16,6 +16,8 @@ func TestDowngradeTargetLadder(t *testing.T) {
 	}{
 		{"multilevel", "self", true},
 		{"double", "self", true},
+		{"replica", "self", true},
+		{"restore", "self", true},
 		{"self", "", true},
 		{"single", "", true},
 		{"", "", false},      // already at the bottom

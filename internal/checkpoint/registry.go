@@ -53,6 +53,56 @@ type Protocol struct {
 	// buffers alternate with the epoch parity).
 	TargetSegment func(target string, epoch uint64) (string, bool)
 
+	// Downgrade names the next rung down the graceful-degradation ladder:
+	// the cheaper protocol cluster.Endure re-launches under when a
+	// failure cannot be absorbed at the current one. The empty string is
+	// the bottom protected rung — run unprotected and restart from the
+	// last stable state on the next failure.
+	Downgrade string
+
+	// ClosedForm is the paper's Eq. 3 accounting in closed form: the
+	// Usage Open will report for a `words`-word workspace and a packed
+	// metadata capacity of `mw` words at the given group size. It must
+	// match the opened protector bit for bit (the scale tests pin it).
+	ClosedForm func(words, groupSize, mw int) Usage
+
+	// CommitEpoch is the torn-epoch oracle for the crash matrix: the
+	// last committed epoch that must survive a single node loss at the
+	// given announced failpoint during checkpoint number occ. Zero means
+	// the guarantee demands (or permits only) a fresh start.
+	CommitEpoch func(failpoint string, occ int) int
+
+	// CrossGroupEpoch, when non-nil, overrides CommitEpoch for the
+	// overlapping-loss case where a second node in a *different* group
+	// dies while the job is down. Group-local multi-epoch redundancy
+	// (double's pair, self's A+D) keeps the single-loss answer and
+	// leaves this nil; the mirrored protocols' redundancy slot is singly
+	// buffered, so a pair of losses straddling the exchange commit can
+	// leave no epoch that both groups can serve.
+	CrossGroupEpoch func(failpoint string, occ int) int
+
+	// BeyondTolerance predicts the epoch recoverable when one group
+	// loses more members than its coder tolerates during checkpoint occ:
+	// zero (fresh start) for the in-memory protocols, the last level-2
+	// flush for multilevel. Nil means zero.
+	BeyondTolerance func(occ, l2Every int) int
+
+	// SDCKillEpoch predicts the restore epoch of an SDC kill cell: the
+	// victim corrupted its checkpoint state (a non-workspace target)
+	// after the given epoch committed and a node of the same group then
+	// died. Zero — the nil default — means the protocol must refuse the
+	// poisoned state and legally start fresh.
+	SDCKillEpoch func(epoch, l2Every int) int
+
+	// DefaultL2Every is the level-2 flush cadence matrix cells use for
+	// this protocol; zero means the protocol has no stable-storage level
+	// and its epochs are iteration-numbered.
+	DefaultL2Every int
+
+	// EvenGroups reports that the protocol only admits even group sizes
+	// (the replica protocol pairs ranks inside the group).
+	EvenGroups bool
+
 	// New builds an unopened protector.
 	New func(opts Options, aux Aux) (Protector, error)
 }
@@ -69,10 +119,137 @@ func Failpoints() []string {
 func survivesAlways(string) bool { return true }
 
 var (
-	selfSegments   = []string{"/hdr", "/A1", "/B2", "/B", "/C", "/D"}
-	doubleSegments = []string{"/hdr", "/B0", "/C0", "/B1", "/C1"}
-	singleSegments = []string{"/hdr", "/B", "/C"}
+	selfSegments    = []string{"/hdr", "/A1", "/B2", "/B", "/C", "/D"}
+	doubleSegments  = []string{"/hdr", "/B0", "/C0", "/B1", "/C1"}
+	singleSegments  = []string{"/hdr", "/B", "/C"}
+	replicaSegments = []string{"/hdr", "/B", "/M"}
+	restoreSegments = []string{"/hdr", "/B", "/S", "/T"}
 )
+
+// stripeWords is the per-member share of a buf-word buffer striped over
+// the G−1 data holders of a group — the block size both the checksum
+// protocols' stripes and the restore protocol's store blocks use.
+func stripeWords(buf, groupSize int) int {
+	return (buf + groupSize - 2) / (groupSize - 1)
+}
+
+// The closed forms of Eq. 3, one per protocol family (see ClosedFormUsage
+// for the dispatch and the unprotected case).
+
+func singleClosedForm(words, groupSize, mw int) Usage {
+	buf := words + mw
+	return Usage{Workspace: words, Header: headerWords,
+		Checkpoints: buf, Checksums: stripeWords(buf, groupSize)}
+}
+
+func doubleClosedForm(words, groupSize, mw int) Usage {
+	buf := words + mw
+	return Usage{Workspace: words, Header: headerWords,
+		Checkpoints: 2 * buf, Checksums: 2 * stripeWords(buf, groupSize)}
+}
+
+// selfClosedForm: A1 is the workspace itself; B2 holds the previous
+// epoch's metadata so a torn flush stays recoverable.
+func selfClosedForm(words, groupSize, mw int) Usage {
+	buf := words + mw
+	return Usage{Workspace: words, Header: headerWords,
+		Checkpoints: buf + mw, Checksums: 2 * stripeWords(buf, groupSize)}
+}
+
+// replicaClosedForm: a committed copy B plus a full mirror M of the
+// partner's state — the FTHP-MPI 2× memory account, with no checksum
+// stripes at all.
+func replicaClosedForm(words, _, mw int) Usage {
+	buf := words + mw
+	return Usage{Workspace: words, Header: headerWords,
+		Checkpoints: buf, Checksums: buf}
+}
+
+// restoreClosedForm: the committed image B (padded to whole blocks) plus
+// the store S holding one block from each group peer and its per-slot
+// commit tags — replication factor 1, the same 2× total as replica.
+func restoreClosedForm(words, groupSize, mw int) Usage {
+	bw := stripeWords(words+mw, groupSize)
+	return Usage{Workspace: words, Header: headerWords,
+		Checkpoints: (groupSize - 1) * bw,
+		Checksums:   (groupSize-1)*bw + 2*(groupSize-1)}
+}
+
+// The per-protocol torn-epoch oracles (see Protocol.CommitEpoch).
+
+// singleCommitEpoch: commit happens between FPMidFlush and FPAfterFlush;
+// the window FPFlush..FPMidFlush is unrecoverable (CASE 2 of Fig 2).
+func singleCommitEpoch(fp string, occ int) int {
+	switch fp {
+	case FPBegin:
+		return occ - 1
+	case FPAfterFlush:
+		return occ
+	default: // FPFlush, FPMidFlush: fresh start
+		return 0
+	}
+}
+
+// doubleCommitEpoch: the epoch marker commits after the encode.
+func doubleCommitEpoch(fp string, occ int) int {
+	switch fp {
+	case FPAfterEncode, FPAfterFlush:
+		return occ
+	default:
+		return occ - 1
+	}
+}
+
+// selfCommitEpoch: the D checksum commits before FPAfterEncode; from
+// there on the new epoch is recoverable via CASE 2 (A+D) or, after the
+// flush, via the quiescent (B+C) path.
+func selfCommitEpoch(fp string, occ int) int {
+	switch fp {
+	case FPBegin, FPEncode:
+		return occ - 1
+	default:
+		return occ
+	}
+}
+
+// mirroredCommitEpoch covers replica and restore: the exchange replaces
+// the only redundancy copy of epoch occ−1 with epoch occ, so the one
+// dead point is FPAfterEncode — the exchange has committed everywhere
+// but no rank has flushed its own copy yet, and a loss there strands
+// the victim's old state in its own (dead) memory.
+func mirroredCommitEpoch(fp string, occ int) int {
+	switch fp {
+	case FPBegin, FPEncode:
+		return occ - 1
+	case FPAfterEncode:
+		return 0
+	default:
+		return occ
+	}
+}
+
+// mirroredCrossGroupEpoch: with one loss per group, the groups straddle
+// the exchange commit — the first victim's group still needs occ−1 while
+// the second victim's group has already overwritten its mirrors with
+// occ. Only the flush-side failpoints, where every group holds occ, keep
+// the single-loss answer.
+func mirroredCrossGroupEpoch(fp string, occ int) int {
+	switch fp {
+	case FPFlush, FPMidFlush, FPAfterFlush:
+		return occ
+	default:
+		return 0
+	}
+}
+
+// multilevelBeyondTolerance: a whole-group loss rolls back to the last
+// level-2 flush — ⌊(occ−1)/L2Every⌋ flushes completed before the kill.
+func multilevelBeyondTolerance(occ, l2Every int) int {
+	if l2Every > 0 {
+		return l2Every * ((occ - 1) / l2Every)
+	}
+	return 0
+}
 
 // selfTargets covers the protocols whose flushed pair is (B, C) and whose
 // workspace A1 itself lives in SHM.
@@ -104,6 +281,29 @@ func doubleTargets(target string, epoch uint64) (string, bool) {
 		return fmt.Sprintf("/B%d", epoch%2), true
 	case "checksum":
 		return fmt.Sprintf("/C%d", epoch%2), true
+	}
+	return "", false
+}
+
+// replicaTargets: the redundancy slot ("checksum" in matrix terms) is
+// the partner mirror M rather than a parity stripe.
+func replicaTargets(target string, _ uint64) (string, bool) {
+	switch target {
+	case "buffer":
+		return "/B", true
+	case "checksum":
+		return "/M", true
+	}
+	return "", false
+}
+
+// restoreTargets: the redundancy slot is the replicated store S.
+func restoreTargets(target string, _ uint64) (string, bool) {
+	switch target {
+	case "buffer":
+		return "/B", true
+	case "checksum":
+		return "/S", true
 	}
 	return "", false
 }
@@ -142,6 +342,9 @@ var builtins = []Protocol{
 		SurvivesKillAt: func(fp string) bool { return fp != FPFlush && fp != FPMidFlush },
 		ScrubTargets:   []string{"buffer", "checksum"},
 		TargetSegment:  singleTargets,
+		Downgrade:      "",
+		ClosedForm:     singleClosedForm,
+		CommitEpoch:    singleCommitEpoch,
 		New: func(opts Options, _ Aux) (Protector, error) {
 			return NewSingle(opts)
 		},
@@ -153,6 +356,12 @@ var builtins = []Protocol{
 		SurvivesKillAt: survivesAlways,
 		ScrubTargets:   []string{"buffer", "checksum"},
 		TargetSegment:  doubleTargets,
+		Downgrade:      "self",
+		ClosedForm:     doubleClosedForm,
+		CommitEpoch:    doubleCommitEpoch,
+		// The older buffer pair stays intact while the newest is
+		// poisoned: a kill-cell restore falls back exactly one epoch.
+		SDCKillEpoch: func(epoch, _ int) int { return epoch - 1 },
 		New: func(opts Options, _ Aux) (Protector, error) {
 			return NewDouble(opts)
 		},
@@ -164,17 +373,33 @@ var builtins = []Protocol{
 		SurvivesKillAt: survivesAlways,
 		ScrubTargets:   []string{"buffer", "checksum", "workspace"},
 		TargetSegment:  selfTargets,
+		Downgrade:      "",
+		ClosedForm:     selfClosedForm,
+		CommitEpoch:    selfCommitEpoch,
 		New: func(opts Options, _ Aux) (Protector, error) {
 			return NewSelf(opts)
 		},
 	},
 	{
-		Name:           "multilevel",
-		Announces:      []string{FPBegin, FPEncode, FPAfterEncode, FPFlush, FPMidFlush, FPAfterFlush},
-		Segments:       selfSegments, // L1 is the self protocol; L2 lives off-node
-		SurvivesKillAt: survivesAlways,
-		ScrubTargets:   []string{"buffer", "checksum", "workspace"},
-		TargetSegment:  selfTargets, // L1 is the self protocol
+		Name:            "multilevel",
+		Announces:       []string{FPBegin, FPEncode, FPAfterEncode, FPFlush, FPMidFlush, FPAfterFlush},
+		Segments:        selfSegments, // L1 is the self protocol; L2 lives off-node
+		SurvivesKillAt:  survivesAlways,
+		ScrubTargets:    []string{"buffer", "checksum", "workspace"},
+		TargetSegment:   selfTargets, // L1 is the self protocol
+		Downgrade:       "self",
+		ClosedForm:      selfClosedForm, // L2 lives off-node: Eq. 3 sees the self layout
+		CommitEpoch:     selfCommitEpoch,
+		BeyondTolerance: multilevelBeyondTolerance,
+		// A kill-cell restore leans on level 2: the last flush before
+		// the poisoned epoch (L2Every divides the injection epochs).
+		SDCKillEpoch: func(epoch, l2Every int) int {
+			if l2Every > 0 {
+				return l2Every * (epoch / l2Every)
+			}
+			return 0
+		},
+		DefaultL2Every: 2,
 		New: func(opts Options, aux Aux) (Protector, error) {
 			l1, err := NewSelf(opts)
 			if err != nil {
@@ -194,10 +419,45 @@ var builtins = []Protocol{
 			})
 		},
 	},
+	{
+		Name:      "replica",
+		Announces: []string{FPBegin, FPEncode, FPAfterEncode, FPFlush, FPMidFlush, FPAfterFlush},
+		Segments:  replicaSegments,
+		// The mirror exchange replaces the only redundancy copy: the
+		// window between its commit and the first flush (FPAfterEncode)
+		// is the one point a loss strands both epochs of the victim.
+		SurvivesKillAt:  func(fp string) bool { return fp != FPAfterEncode },
+		ScrubTargets:    []string{"buffer", "checksum"},
+		TargetSegment:   replicaTargets,
+		Downgrade:       "self",
+		ClosedForm:      replicaClosedForm,
+		CommitEpoch:     mirroredCommitEpoch,
+		CrossGroupEpoch: mirroredCrossGroupEpoch,
+		EvenGroups:      true,
+		New: func(opts Options, _ Aux) (Protector, error) {
+			return NewReplica(opts)
+		},
+	},
+	{
+		Name:            "restore",
+		Announces:       []string{FPBegin, FPEncode, FPAfterEncode, FPFlush, FPMidFlush, FPAfterFlush},
+		Segments:        restoreSegments,
+		SurvivesKillAt:  func(fp string) bool { return fp != FPAfterEncode },
+		ScrubTargets:    []string{"buffer", "checksum"},
+		TargetSegment:   restoreTargets,
+		Downgrade:       "self",
+		ClosedForm:      restoreClosedForm,
+		CommitEpoch:     mirroredCommitEpoch,
+		CrossGroupEpoch: mirroredCrossGroupEpoch,
+		New: func(opts Options, _ Aux) (Protector, error) {
+			return NewReStore(opts)
+		},
+	},
 }
 
 // Protocols returns descriptors for every registered protocol, in
-// presentation order (single, double, self, multilevel).
+// presentation order (single, double, self, multilevel, replica,
+// restore).
 func Protocols() []Protocol {
 	out := make([]Protocol, len(registry))
 	copy(out, registry)

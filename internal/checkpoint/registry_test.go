@@ -7,25 +7,35 @@ import (
 
 // TestRegistryGuaranteePredicates pins the paper's survivability claims
 // as encoded by each protocol descriptor: single dies exactly inside its
-// B/C update window (Fig 2, CASE 2), everything else survives a one-node
+// B/C update window (Fig 2, CASE 2), the mirrored protocols die exactly
+// in their post-exchange window, everything else survives a one-node
 // loss at every failpoint.
 func TestRegistryGuaranteePredicates(t *testing.T) {
 	protos := Protocols()
-	if len(protos) != 4 {
-		t.Fatalf("expected 4 registered protocols, got %d", len(protos))
+	wantOrder := []string{"single", "double", "self", "multilevel", "replica", "restore"}
+	if len(protos) != len(wantOrder) {
+		t.Fatalf("expected %d registered protocols, got %d", len(wantOrder), len(protos))
 	}
-	wantOrder := []string{"single", "double", "self", "multilevel"}
 	for i, p := range protos {
 		if p.Name != wantOrder[i] {
 			t.Fatalf("presentation order broken: got %q at %d, want %q", p.Name, i, wantOrder[i])
 		}
 	}
+	// vulnerable maps each protocol to the failpoints where a one-node
+	// loss legally forces a fresh start; absent means none.
+	vulnerable := map[string][]string{
+		"single":  {FPFlush, FPMidFlush},
+		"replica": {FPAfterEncode},
+		"restore": {FPAfterEncode},
+	}
 	for _, p := range protos {
 		for _, fp := range Failpoints() {
 			got := p.SurvivesKillAt(fp)
 			want := true
-			if p.Name == "single" && (fp == FPFlush || fp == FPMidFlush) {
-				want = false
+			for _, v := range vulnerable[p.Name] {
+				if fp == v {
+					want = false
+				}
 			}
 			if got != want {
 				t.Errorf("%s.SurvivesKillAt(%s) = %v, want %v", p.Name, fp, got, want)
@@ -72,6 +82,7 @@ func TestRegistryDescriptorsAreComplete(t *testing.T) {
 
 // TestRegisterDuplicatePanics locks in the double-registration guard.
 func TestRegisterDuplicatePanics(t *testing.T) {
+	before := len(Protocols())
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -82,8 +93,8 @@ func TestRegisterDuplicatePanics(t *testing.T) {
 		}
 		// The panic fires before the append, so the registry must be
 		// unchanged.
-		if len(Protocols()) != 4 {
-			t.Fatalf("registry mutated by failed registration: %d entries", len(Protocols()))
+		if len(Protocols()) != before {
+			t.Fatalf("registry mutated by failed registration: %d entries, want %d", len(Protocols()), before)
 		}
 	}()
 	Register(Protocol{Name: "single"})

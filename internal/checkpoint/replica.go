@@ -1,0 +1,267 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"selfckpt/internal/shm"
+	"selfckpt/internal/wordpack"
+)
+
+// Replica is an FTHP-MPI-style replication protocol (arXiv:2504.09989):
+// ranks pair up inside the encoding group (group rank r with r XOR 1, so
+// the group size must be even) and each keeps, besides its own committed
+// copy B, a full mirror M of its partner's state. Losing a rank costs
+// nothing but a copy from the surviving partner — there is no checksum
+// encode at all, which makes the checkpoint path pure data movement —
+// at the price of Eq. 3's replication account: two full buffers per
+// rank, like the double protocol but without its stripes.
+//
+// A checkpoint exchanges mirrors first and flushes the local copy
+// second. The SendRecv transfer lands atomically (an aborted exchange
+// leaves M and its epoch marker untouched), so at every announced
+// failpoint except FPAfterEncode one committed copy of each rank's
+// state survives a single node loss: before the exchange commits the
+// old mirror still holds epoch o−1; after any survivor starts flushing,
+// every survivor finishes its local flush before aborting at the
+// closing barrier, so epoch o is complete. Exactly at FPAfterEncode the
+// mirrors hold o but every B still holds o−1 — the victim's o−1 lives
+// only in its own dead memory and its o only in its dead mirror slot,
+// so the guarantee demands a fresh start (see mirroredCommitEpoch).
+type Replica struct {
+	opts  Options
+	words int
+
+	hdr  header
+	b    *shm.Segment // own committed copy, words+metaWords
+	m    *shm.Segment // partner's mirror, words+metaWords
+	a    []float64    // heap workspace
+	pack []float64    // outgoing image staging (A1 ‖ packed metadata)
+	sr   *surveyResult
+	tgt  uint64
+}
+
+var _ Protector = (*Replica)(nil)
+
+// NewReplica validates opts and returns an unopened protector. The
+// encoding group must have an even size: ranks mirror in pairs.
+func NewReplica(opts Options) (*Replica, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if n := opts.Group.Comm().Size(); n%2 != 0 {
+		return nil, fmt.Errorf("checkpoint: replica protocol needs an even group size, got %d", n)
+	}
+	return &Replica{opts: opts}, nil
+}
+
+// Name implements Protector.
+func (r *Replica) Name() string { return "replica" }
+
+// partner returns the group rank this rank mirrors with.
+func (r *Replica) partner() int { return r.opts.Group.Comm().Rank() ^ 1 }
+
+func (r *Replica) resetMarkers() {
+	r.hdr.set(hMagic, 0)
+	r.hdr.set(hBufEpoch0, 0)
+	r.hdr.set(hBufEpoch1, 0)
+}
+
+// Open implements Protector. The workspace is ordinary process memory,
+// like the double protocol's: only B and M need to survive a restart.
+func (r *Replica) Open(words int) ([]float64, bool, error) {
+	if words <= 0 {
+		return nil, false, fmt.Errorf("checkpoint: workspace must be positive, got %d", words)
+	}
+	r.words = words
+	mw := r.opts.metaWords()
+	st := r.opts.Store
+	ns := r.opts.Namespace
+
+	attachedAll := true
+	grab := func(name string, n int) (*shm.Segment, error) {
+		seg, attached, err := st.CreateOrAttach(ns+name, n)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: allocating %s%s: %w", ns, name, err)
+		}
+		attachedAll = attachedAll && attached
+		return seg, nil
+	}
+	var err error
+	if r.hdr.seg, err = grab("/hdr", headerWords); err != nil {
+		return nil, false, err
+	}
+	if r.b, err = grab("/B", words+mw); err != nil {
+		return nil, false, err
+	}
+	if r.m, err = grab("/M", words+mw); err != nil {
+		return nil, false, err
+	}
+	hasState := attachedAll && r.hdr.hasMagic()
+	if !hasState {
+		r.resetMarkers()
+	}
+	// The restore target is the world-minimum committed own-copy epoch,
+	// which the closing barrier guarantees every survivor holds — the
+	// same decision rule as the double protocol's.
+	sr, err := surveyDouble(&r.opts, status{hasState: hasState, x: r.hdr.get(hBufEpoch0)})
+	if err != nil {
+		return nil, false, err
+	}
+	if !sr.recoverable {
+		r.resetMarkers()
+	}
+	r.sr = &sr
+	r.tgt = sr.target
+	r.a = make([]float64, words)
+	r.pack = make([]float64, words+mw)
+	return r.a, sr.recoverable, nil
+}
+
+// Checkpoint implements Protector: exchange mirrors with the partner,
+// then flush the local committed copy. The exchange plays the "encode"
+// role — it is the step that builds the redundancy — so the failpoint
+// order matches the self protocol's (encode, barrier, flush).
+func (r *Replica) Checkpoint(meta []byte) error {
+	if len(meta) > r.opts.MetaCap {
+		return fmt.Errorf("%w: %d > %d bytes", ErrMetaTooLarge, len(meta), r.opts.MetaCap)
+	}
+	g := r.opts.Group.Comm()
+	rank := g.World()
+	world := r.opts.worldComm()
+	e := r.hdr.get(hBufEpoch0) + 1
+
+	rank.Failpoint(FPBegin)
+	copy(r.pack[:r.words], r.a)
+	wordpack.PackInto(r.pack[r.words:], meta)
+	rank.Failpoint(FPEncode)
+	// The transfer is atomic: an aborted exchange leaves M holding
+	// epoch e−1 with its marker and fingerprint still valid, so a kill
+	// anywhere before this commit costs at most the new epoch.
+	if err := g.SendRecv(r.partner(), r.pack, r.partner(), r.m.Data); err != nil {
+		return err
+	}
+	r.hdr.commitMagic()
+	r.hdr.set(hFpr1, fpr(r.m.Data))
+	r.hdr.set(hBufEpoch1, e)
+	rank.Failpoint(FPAfterEncode)
+	// Every mirror commits before any rank overwrites its own copy:
+	// without this barrier a fast pair could flush B to epoch e while a
+	// slow pair's exchange still aborts at e−1, leaving no epoch the
+	// whole world can restore.
+	if err := world.Barrier(); err != nil {
+		return err
+	}
+	rank.Failpoint(FPFlush)
+	r.hdr.set(hBufEpoch0, 0) // own copy now in flux
+	copy(r.b.Data, r.pack)
+	rank.MemCopy(float64(8*r.words + len(meta)))
+	rank.Failpoint(FPMidFlush)
+	r.hdr.set(hFpr0, fpr(r.b.Data))
+	r.hdr.set(hBufEpoch0, e)
+	rank.Failpoint(FPAfterFlush)
+	// The closing barrier keeps the epoch skew across groups at zero for
+	// survivors: everyone that leaves Checkpoint committed epoch e.
+	return world.Barrier()
+}
+
+// abandon records a world-consistent unrecoverable verdict (see
+// Self.abandon).
+func (r *Replica) abandon() {
+	r.resetMarkers()
+	r.sr.recoverable = false
+}
+
+// Restore implements Protector: verify both copies of every rank's
+// state at the target epoch, reload the workspace from whichever
+// verifies — the own copy, falling back to the partner's mirror — and
+// re-mirror so every pair leaves restore fully committed. The mirror is
+// singly buffered, so there is no older epoch to fall back to: the
+// fallback is pairwise (B ↔ partner's M), then a legal fresh start.
+func (r *Replica) Restore() ([]byte, uint64, error) {
+	if r.sr == nil {
+		return nil, 0, fmt.Errorf("checkpoint: Restore before Open")
+	}
+	if !r.sr.recoverable {
+		return nil, 0, ErrUnrecoverable
+	}
+	g := r.opts.Group.Comm()
+	rank := g.World()
+	world := r.opts.worldComm()
+	me := g.Rank()
+	partner := r.partner()
+	amLost := containsRank(r.sr.lost, me)
+	t := r.tgt
+
+	// Verify before restore: a copy is only trusted at the target epoch
+	// with a matching fingerprint. The two flags per rank are gathered
+	// group-wide so everyone derives the same availability verdict.
+	flags := []float64{0, 0}
+	if !amLost && r.hdr.get(hBufEpoch0) == t && fpr(r.b.Data) == r.hdr.get(hFpr0) {
+		flags[0] = 1
+	}
+	if !amLost && r.hdr.get(hBufEpoch1) == t && fpr(r.m.Data) == r.hdr.get(hFpr1) {
+		flags[1] = 1
+	}
+	all := make([]float64, 2*g.Size())
+	if err := g.Allgather(flags, all); err != nil {
+		return nil, 0, err
+	}
+	unservable := false
+	for x := 0; x < g.Size(); x++ {
+		if all[2*x] == 0 && all[2*(x^1)+1] == 0 {
+			unservable = true
+		}
+	}
+	// The world restores the epoch or nobody does: a pair that cannot
+	// serve one of its members vetoes the restore for everyone.
+	if veto, err := worldAny(&r.opts, unservable); err != nil {
+		return nil, 0, err
+	} else if veto {
+		r.abandon()
+		return nil, 0, fmt.Errorf("%w: some rank has neither a verified copy nor a verified partner mirror", ErrUnrecoverable)
+	}
+	needPull := all[2*me] == 0      // my own copy: rebuild from the partner's mirror
+	needPush := all[2*partner] == 0 // the partner's: serve it from mine
+	if needPull || needPush {
+		// Both partners compute the same verdicts, so both engage; the
+		// exchange is symmetric whichever side actually needs the data.
+		if err := g.SendRecv(partner, r.m.Data, partner, r.pack); err != nil {
+			return nil, 0, err
+		}
+		if needPull {
+			copy(r.b.Data, r.pack)
+		}
+	}
+	copy(r.a, r.b.Data[:r.words])
+	rank.MemCopy(float64(8 * r.words))
+	meta, err := wordpack.Unpack(r.b.Data[r.words:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("checkpoint: corrupt metadata after restore: %w", err)
+	}
+	// Re-mirror the restored state: a fresh replacement's M is empty and
+	// a survivor's may hold a newer, aborted epoch. One more exchange
+	// leaves every pair bilaterally committed at the target.
+	copy(r.pack, r.b.Data)
+	if err := g.SendRecv(partner, r.pack, partner, r.m.Data); err != nil {
+		return nil, 0, err
+	}
+	r.hdr.commitMagic()
+	r.hdr.set(hBufEpoch0, t)
+	r.hdr.set(hFpr0, fpr(r.b.Data))
+	r.hdr.set(hBufEpoch1, t)
+	r.hdr.set(hFpr1, fpr(r.m.Data))
+	if err := world.Barrier(); err != nil {
+		return nil, 0, err
+	}
+	return meta, t, nil
+}
+
+// Usage implements Protector.
+func (r *Replica) Usage() Usage {
+	return Usage{
+		Workspace:   len(r.a),
+		Checkpoints: len(r.b.Data),
+		Checksums:   len(r.m.Data),
+		Header:      headerWords,
+	}
+}

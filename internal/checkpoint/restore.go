@@ -1,0 +1,343 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"selfckpt/internal/shm"
+	"selfckpt/internal/wordpack"
+)
+
+// ReStore is a ReStore-style replicated in-memory store (arXiv:2203.01107):
+// each rank splits its checkpoint image into groupSize−1 blocks and
+// scatters one block to every other rank in the group, so the group as a
+// whole holds a full second copy of each image with no block co-resident
+// with its owner. Recovery pulls a lost rank's blocks back from the
+// surviving hosts — any single loss leaves every block of every image on
+// at least one live rank. Memory follows Eq. 3's replicated-store
+// account: the committed copy plus one image's worth of hosted blocks
+// plus two tag words per block.
+//
+// The scatter uses one atomic SendRecv per ring distance, and each
+// hosted block carries a per-slot commit tag (epoch + fingerprint)
+// written the moment the block lands. An aborted scatter therefore
+// leaves a mix of old and new slots, each individually attributable —
+// there is no torn whole-segment state to mistrust. Like the replica
+// protocol, the store is singly buffered, so a loss exactly between the
+// scatter commit and the local flush (FPAfterEncode) finds the old
+// epoch's only complete copy on the dead rank and forces a fresh start.
+type ReStore struct {
+	opts  Options
+	words int
+	mw    int // metadata words
+	bw    int // words per distributed block
+
+	hdr  header
+	b    *shm.Segment // own committed copy, (groupSize−1)·bw words
+	s    *shm.Segment // hosted peer blocks, one slot per ring distance
+	tags *shm.Segment // per-slot commit tags: epoch, fingerprint
+	a    []float64    // heap workspace
+	pack []float64    // outgoing image staging (A1 ‖ metadata ‖ zero pad)
+	in   []float64    // incoming block staging (slot commit is copy+tag)
+	sr   *surveyResult
+	tgt  uint64
+}
+
+var _ Protector = (*ReStore)(nil)
+
+// NewReStore validates opts and returns an unopened protector.
+func NewReStore(opts Options) (*ReStore, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if n := opts.Group.Comm().Size(); n < 2 {
+		return nil, fmt.Errorf("checkpoint: restore protocol needs a group of at least 2, got %d", n)
+	}
+	return &ReStore{opts: opts}, nil
+}
+
+// Name implements Protector.
+func (r *ReStore) Name() string { return "restore" }
+
+// slot returns the hosted block at ring distance j+1: block j of the
+// rank j+1 positions behind this one.
+func (r *ReStore) slot(j int) []float64 { return r.s.Data[j*r.bw : (j+1)*r.bw] }
+
+// block returns block j of an image laid out like pack or B.
+func (r *ReStore) block(img []float64, j int) []float64 { return img[j*r.bw : (j+1)*r.bw] }
+
+func (r *ReStore) slotEpoch(j int) uint64 { return wordpack.GetUint64(r.tags.Data[2*j]) }
+
+func (r *ReStore) slotFpr(j int) uint64 { return wordpack.GetUint64(r.tags.Data[2*j+1]) }
+
+// setSlot commits slot j's tag. It runs immediately after the block
+// lands so an abort between ring rounds never leaves an untagged slot.
+func (r *ReStore) setSlot(j int, epoch, fp uint64) {
+	r.tags.Data[2*j] = wordpack.PutUint64(epoch)
+	r.tags.Data[2*j+1] = wordpack.PutUint64(fp)
+}
+
+func (r *ReStore) resetMarkers() {
+	r.hdr.set(hMagic, 0)
+	r.hdr.set(hBufEpoch0, 0)
+	for j := 0; j < len(r.tags.Data)/2; j++ {
+		r.tags.Data[2*j] = wordpack.PutUint64(0)
+	}
+}
+
+// Open implements Protector. The workspace is ordinary process memory;
+// B, the hosted slots, and their tags survive a restart.
+func (r *ReStore) Open(words int) ([]float64, bool, error) {
+	if words <= 0 {
+		return nil, false, fmt.Errorf("checkpoint: workspace must be positive, got %d", words)
+	}
+	g := r.opts.Group.Comm()
+	n := g.Size()
+	r.words = words
+	r.mw = r.opts.metaWords()
+	r.bw = stripeWords(words+r.mw, n)
+	img := (n - 1) * r.bw
+	st := r.opts.Store
+	ns := r.opts.Namespace
+
+	attachedAll := true
+	grab := func(name string, sz int) (*shm.Segment, error) {
+		seg, attached, err := st.CreateOrAttach(ns+name, sz)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: allocating %s%s: %w", ns, name, err)
+		}
+		attachedAll = attachedAll && attached
+		return seg, nil
+	}
+	var err error
+	if r.hdr.seg, err = grab("/hdr", headerWords); err != nil {
+		return nil, false, err
+	}
+	if r.b, err = grab("/B", img); err != nil {
+		return nil, false, err
+	}
+	if r.s, err = grab("/S", img); err != nil {
+		return nil, false, err
+	}
+	if r.tags, err = grab("/T", 2*(n-1)); err != nil {
+		return nil, false, err
+	}
+	hasState := attachedAll && r.hdr.hasMagic()
+	if !hasState {
+		r.resetMarkers()
+	}
+	// Restore target: world-minimum committed own-copy epoch, exactly as
+	// for the double and replica protocols.
+	sr, err := surveyDouble(&r.opts, status{hasState: hasState, x: r.hdr.get(hBufEpoch0)})
+	if err != nil {
+		return nil, false, err
+	}
+	if !sr.recoverable {
+		r.resetMarkers()
+	}
+	r.sr = &sr
+	r.tgt = sr.target
+	r.a = make([]float64, words)
+	r.pack = make([]float64, img)
+	r.in = make([]float64, r.bw)
+	return r.a, sr.recoverable, nil
+}
+
+// scatter sends block j of img to the host j+1 positions ahead and
+// receives the peer block for slot j from the rank j+1 positions
+// behind, committing each slot tag at the given epoch as it lands.
+//
+// The receive lands in a staging buffer and the slot commit is the
+// copy-plus-tag that follows, with no abort point in between. This is
+// what makes a torn scatter attributable: SendRecv delivers its receive
+// before reporting a dead send peer, so receiving straight into the
+// slot would overwrite a committed block while the error return skips
+// its re-tag — silent-corruption-shaped damage from a mere crash, which
+// would discredit the whole hosted store on the next restore.
+func (r *ReStore) scatter(img []float64, epoch uint64) error {
+	g := r.opts.Group.Comm()
+	me, n := g.Rank(), g.Size()
+	for d := 1; d < n; d++ {
+		j := d - 1
+		if err := g.SendRecv((me+d)%n, r.block(img, j), (me-d+n)%n, r.in); err != nil {
+			return err
+		}
+		copy(r.slot(j), r.in)
+		r.setSlot(j, epoch, fpr(r.slot(j)))
+	}
+	return nil
+}
+
+// Checkpoint implements Protector: scatter the new image's blocks
+// across the group, then flush the local committed copy. The scatter
+// plays the "encode" role — it is the step that builds the redundancy.
+func (r *ReStore) Checkpoint(meta []byte) error {
+	if len(meta) > r.opts.MetaCap {
+		return fmt.Errorf("%w: %d > %d bytes", ErrMetaTooLarge, len(meta), r.opts.MetaCap)
+	}
+	rank := r.opts.Group.Comm().World()
+	world := r.opts.worldComm()
+	e := r.hdr.get(hBufEpoch0) + 1
+
+	rank.Failpoint(FPBegin)
+	copy(r.pack[:r.words], r.a)
+	wordpack.PackInto(r.pack[r.words:r.words+r.mw], meta)
+	for i := r.words + r.mw; i < len(r.pack); i++ {
+		r.pack[i] = 0
+	}
+	rank.Failpoint(FPEncode)
+	if err := r.scatter(r.pack, e); err != nil {
+		return err
+	}
+	r.hdr.commitMagic()
+	rank.Failpoint(FPAfterEncode)
+	// Every scatter commits before any rank overwrites its own copy;
+	// see Replica.Checkpoint for why the barrier sits here.
+	if err := world.Barrier(); err != nil {
+		return err
+	}
+	rank.Failpoint(FPFlush)
+	r.hdr.set(hBufEpoch0, 0) // own copy now in flux
+	copy(r.b.Data, r.pack)
+	rank.MemCopy(float64(8*r.words + len(meta)))
+	rank.Failpoint(FPMidFlush)
+	r.hdr.set(hFpr0, fpr(r.b.Data))
+	r.hdr.set(hBufEpoch0, e)
+	rank.Failpoint(FPAfterFlush)
+	return world.Barrier()
+}
+
+// abandon records a world-consistent unrecoverable verdict (see
+// Self.abandon).
+func (r *ReStore) abandon() {
+	r.resetMarkers()
+	r.sr.recoverable = false
+}
+
+// Restore implements Protector: verify every rank's own copy and every
+// hosted block at the target epoch, rebuild the workspace from the own
+// copy — falling back to pulling the image's blocks from their
+// surviving hosts — and re-scatter so the whole group leaves restore
+// fully committed at the target.
+func (r *ReStore) Restore() ([]byte, uint64, error) {
+	if r.sr == nil {
+		return nil, 0, fmt.Errorf("checkpoint: Restore before Open")
+	}
+	if !r.sr.recoverable {
+		return nil, 0, ErrUnrecoverable
+	}
+	g := r.opts.Group.Comm()
+	rank := g.World()
+	world := r.opts.worldComm()
+	me, n := g.Rank(), g.Size()
+	amLost := containsRank(r.sr.lost, me)
+	t := r.tgt
+
+	// Verify before restore: flag 0 is the own copy, flag 1+q reports a
+	// verified hosted block owned by group rank q. Gathering the full
+	// flag matrix lets every rank derive the same availability verdict.
+	stride := 1 + n
+	flags := make([]float64, stride)
+	if !amLost && r.hdr.get(hBufEpoch0) == t && fpr(r.b.Data) == r.hdr.get(hFpr0) {
+		flags[0] = 1
+	}
+	// A slot whose fingerprint disagrees with its content is silent
+	// corruption, and it discredits the whole hosted store: the restore
+	// path refuses to serve any block from it (repair is the scrubber's
+	// job, not restore's). A torn scatter never trips this — an aborted
+	// exchange leaves every slot self-consistent at its own epoch — so
+	// only genuine corruption narrows the serving set.
+	trustworthy := !amLost
+	for j := 0; trustworthy && j < n-1; j++ {
+		if r.slotFpr(j) != fpr(r.slot(j)) {
+			trustworthy = false
+		}
+	}
+	if trustworthy {
+		for j := 0; j < n-1; j++ {
+			if r.slotEpoch(j) == t {
+				flags[1+(me-j-1+n)%n] = 1
+			}
+		}
+	}
+	all := make([]float64, stride*n)
+	if err := g.Allgather(flags, all); err != nil {
+		return nil, 0, err
+	}
+	// Rank q is servable with its own verified copy, or by pulling every
+	// block j from its host (q+1+j) mod n.
+	servable := func(q int) bool {
+		if all[stride*q] == 1 {
+			return true
+		}
+		for j := 0; j < n-1; j++ {
+			if all[stride*((q+1+j)%n)+1+q] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	unservable := false
+	for q := 0; q < n; q++ {
+		if !servable(q) {
+			unservable = true
+		}
+	}
+	if veto, err := worldAny(&r.opts, unservable); err != nil {
+		return nil, 0, err
+	} else if veto {
+		r.abandon()
+		return nil, 0, fmt.Errorf("%w: some rank has neither a verified copy nor a full set of verified hosted blocks", ErrUnrecoverable)
+	}
+	// Pull lost or corrupt images back from their hosts. All ranks walk
+	// the same (owner, block) order, so the point-to-point traffic pairs
+	// up deterministically even with several ranks rebuilding at once.
+	for q := 0; q < n; q++ {
+		if all[stride*q] == 1 {
+			continue
+		}
+		for j := 0; j < n-1; j++ {
+			host := (q + 1 + j) % n
+			switch me {
+			case q:
+				if err := g.Recv(host, r.block(r.b.Data, j)); err != nil {
+					return nil, 0, err
+				}
+			case host:
+				if err := g.Send(q, r.slot(j)); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+	}
+	copy(r.a, r.b.Data[:r.words])
+	rank.MemCopy(float64(8 * r.words))
+	meta, err := wordpack.Unpack(r.b.Data[r.words : r.words+r.mw])
+	if err != nil {
+		return nil, 0, fmt.Errorf("checkpoint: corrupt metadata after restore: %w", err)
+	}
+	// Re-scatter the restored images: replacements host no blocks yet
+	// and survivors may hold slots from a newer, aborted epoch. One full
+	// scatter leaves every slot committed at the target.
+	copy(r.pack, r.b.Data)
+	if err := r.scatter(r.pack, t); err != nil {
+		return nil, 0, err
+	}
+	r.hdr.commitMagic()
+	r.hdr.set(hBufEpoch0, t)
+	r.hdr.set(hFpr0, fpr(r.b.Data))
+	if err := world.Barrier(); err != nil {
+		return nil, 0, err
+	}
+	return meta, t, nil
+}
+
+// Usage implements Protector.
+func (r *ReStore) Usage() Usage {
+	return Usage{
+		Workspace:   len(r.a),
+		Checkpoints: len(r.b.Data),
+		Checksums:   len(r.s.Data) + len(r.tags.Data),
+		Header:      headerWords,
+	}
+}
+

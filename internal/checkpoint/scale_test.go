@@ -105,6 +105,11 @@ func TestUsageAtPaperScale(t *testing.T) {
 			return (fg - 1) / (2*fg - 1) // 1/(2 + 1/(G−1))
 		case "double":
 			return (fg - 1) / (3*fg - 1) // 1/(3 + 2/(G−1))
+		case "replica", "restore":
+			// Full-copy mirroring: one committed copy plus one full
+			// redundancy copy is 2× beyond the workspace, independent of
+			// the group size.
+			return 1.0 / 3
 		default: // self, multilevel: L2 lives off-node
 			return (fg - 1) / (2 * fg) // 1/(2 + 2/(G−1))
 		}
@@ -129,9 +134,11 @@ func TestUsageAtPaperScale(t *testing.T) {
 				proto.Name, frac, limit)
 		}
 		// The G→∞ trend: at a large group the limits reach the paper's
-		// headline 1/2 (single, self) and 1/3 (double).
+		// headline 1/2 (single, self) and 1/3 (double and the full-copy
+		// mirrored protocols, whose 2× redundancy never amortizes).
 		headline := 0.5
-		if proto.Name == "double" {
+		switch proto.Name {
+		case "double", "replica", "restore":
 			headline = 1.0 / 3
 		}
 		if wide := eq3Limit(proto.Name, 1024); headline-wide > 1e-3 || wide > headline {
@@ -168,7 +175,13 @@ func TestUsageAtPaperScale(t *testing.T) {
 		// scale table so a descriptor edit cannot silently decouple the
 		// two halves of the guarantee.
 		for _, fp := range Failpoints() {
-			want := !(proto.Name == "single" && (fp == FPFlush || fp == FPMidFlush))
+			want := true
+			switch proto.Name {
+			case "single":
+				want = fp != FPFlush && fp != FPMidFlush
+			case "replica", "restore":
+				want = fp != FPAfterEncode
+			}
 			if got := proto.SurvivesKillAt(fp); got != want {
 				t.Errorf("%s.SurvivesKillAt(%s) = %v, want %v", proto.Name, fp, got, want)
 			}

@@ -40,6 +40,8 @@ var (
 	_ Scrubber = (*Double)(nil)
 	_ Scrubber = (*Single)(nil)
 	_ Scrubber = (*MultiLevel)(nil)
+	_ Scrubber = (*Replica)(nil)
+	_ Scrubber = (*ReStore)(nil)
 )
 
 // scrubPair is the shared detect-localize-repair pass over one
@@ -182,14 +184,166 @@ func (m *MultiLevel) Scrub() (ScrubResult, error) {
 	return sc.Scrub()
 }
 
+// Scrub verifies both replication copies — the own committed copy B
+// against its fingerprint and the partner mirror M against its — and
+// repairs each bad copy from the surviving half of the pair: a bad B
+// from the partner's mirror, a bad M from the partner's committed copy.
+// A pair that lost both halves of the same image is unrepairable.
+func (r *Replica) Scrub() (ScrubResult, error) {
+	if r.b == nil {
+		return ScrubResult{}, fmt.Errorf("checkpoint: Scrub before Open")
+	}
+	var res ScrubResult
+	if r.hdr.get(hBufEpoch0) == 0 {
+		return res, nil
+	}
+	g := r.opts.Group.Comm()
+	bOK := fpr(r.b.Data) == r.hdr.get(hFpr0)
+	mOK := fpr(r.m.Data) == r.hdr.get(hFpr1)
+	badB, badM, err := integritySurvey(r.opts.Group, false, bOK, mOK)
+	if err != nil {
+		return res, err
+	}
+	res.Detected = len(unionRanks(badB, badM))
+	if res.Detected == 0 {
+		return res, nil
+	}
+	// Rank x's state lives in x's B and partner(x)'s M; a copy is only
+	// repairable while the other one verifies.
+	for _, x := range badB {
+		if containsRank(badM, x^1) {
+			res.Unrepairable = res.Detected
+			return res, nil
+		}
+	}
+	for _, x := range badM {
+		if containsRank(badB, x^1) {
+			res.Unrepairable = res.Detected
+			return res, nil
+		}
+	}
+	// Round 1: rebuild bad committed copies from the partners' mirrors.
+	// Every rank participates so the pairwise exchanges line up.
+	if err := g.SendRecv(r.partner(), r.m.Data, r.partner(), r.pack); err != nil {
+		return res, err
+	}
+	if !bOK {
+		copy(r.b.Data, r.pack)
+	}
+	// Round 2: rebuild bad mirrors from the partners' committed copies.
+	if err := g.SendRecv(r.partner(), r.b.Data, r.partner(), r.pack); err != nil {
+		return res, err
+	}
+	if !mOK {
+		copy(r.m.Data, r.pack)
+	}
+	ok := fpr(r.b.Data) == r.hdr.get(hFpr0) && fpr(r.m.Data) == r.hdr.get(hFpr1)
+	bad, err := groupAny(&r.opts, !ok)
+	if err != nil {
+		return res, err
+	}
+	if bad {
+		res.Unrepairable = res.Detected
+		return res, nil
+	}
+	res.Repaired = res.Detected
+	return res, nil
+}
+
+// Scrub verifies the own committed image against its fingerprint and
+// every hosted block against its per-slot tag, then repairs: a bad
+// image is pulled back block-by-block from its hosts (a reverse ring
+// shift), bad slots are re-scattered from the still-verified images (a
+// forward shift). When both an image and a hosted slot set fail in the
+// same pass the pair of repairs would have to trust unverified block
+// provenance — every corrupt rank hosts a block of every corrupt image —
+// so the pass conservatively reports unrepairable.
+func (r *ReStore) Scrub() (ScrubResult, error) {
+	if r.b == nil {
+		return ScrubResult{}, fmt.Errorf("checkpoint: Scrub before Open")
+	}
+	var res ScrubResult
+	e := r.hdr.get(hBufEpoch0)
+	if e == 0 {
+		return res, nil
+	}
+	g := r.opts.Group.Comm()
+	me, n := g.Rank(), g.Size()
+	bOK := fpr(r.b.Data) == r.hdr.get(hFpr0)
+	sOK := true
+	for j := 0; j < n-1; j++ {
+		if r.slotEpoch(j) != e || r.slotFpr(j) != fpr(r.slot(j)) {
+			sOK = false
+		}
+	}
+	badB, badS, err := integritySurvey(r.opts.Group, false, bOK, sOK)
+	if err != nil {
+		return res, err
+	}
+	res.Detected = len(unionRanks(badB, badS))
+	if res.Detected == 0 {
+		return res, nil
+	}
+	if len(badB) > 0 && len(badS) > 0 {
+		res.Unrepairable = res.Detected
+		return res, nil
+	}
+	if len(badB) > 0 {
+		// Reverse shift: every rank returns each hosted slot to its owner
+		// and collects its own blocks back from their hosts.
+		for d := 1; d < n; d++ {
+			j := d - 1
+			if err := g.SendRecv((me-d+n)%n, r.slot(j), (me+d)%n, r.block(r.pack, j)); err != nil {
+				return res, err
+			}
+		}
+		if !bOK {
+			copy(r.b.Data, r.pack)
+		}
+	} else {
+		// Forward shift: re-scatter from the verified images; only ranks
+		// with bad slots install the received blocks and re-tag.
+		for d := 1; d < n; d++ {
+			j := d - 1
+			//sktlint:inflight-reuse send reads the SHM-backed committed image B, recv lands in the heap staging buffer pack; the two arrays never share backing storage
+			if err := g.SendRecv((me+d)%n, r.block(r.b.Data, j), (me-d+n)%n, r.block(r.pack, j)); err != nil {
+				return res, err
+			}
+		}
+		if !sOK {
+			for j := 0; j < n-1; j++ {
+				copy(r.slot(j), r.block(r.pack, j))
+				r.setSlot(j, e, fpr(r.slot(j)))
+			}
+		}
+	}
+	ok := fpr(r.b.Data) == r.hdr.get(hFpr0)
+	for j := 0; j < n-1; j++ {
+		if r.slotEpoch(j) != e || r.slotFpr(j) != fpr(r.slot(j)) {
+			ok = false
+		}
+	}
+	bad, err := groupAny(&r.opts, !ok)
+	if err != nil {
+		return res, err
+	}
+	if bad {
+		res.Unrepairable = res.Detected
+		return res, nil
+	}
+	res.Repaired = res.Detected
+	return res, nil
+}
+
 // Discard destroys every SHM segment the protector owns, releasing the
 // node memory. The application state becomes unprotected (and, for the
 // Self protocol, freed — the workspace itself lives in those segments).
 // Call it when the run has completed and the checkpoints are no longer
-// needed.
+// needed. The segment lists are the registry's, so Discard and the SHM
+// auditors always agree on what a protocol owns.
 func (s *Self) Discard() {
 	st, ns := s.opts.Store, s.opts.Namespace
-	for _, name := range []string{"/hdr", "/A1", "/B2", "/B", "/C", "/D"} {
+	for _, name := range selfSegments {
 		st.Destroy(ns + name)
 	}
 }
@@ -197,7 +351,7 @@ func (s *Self) Discard() {
 // Discard destroys every SHM segment the protector owns.
 func (d *Double) Discard() {
 	st, ns := d.opts.Store, d.opts.Namespace
-	for _, name := range []string{"/hdr", "/B0", "/C0", "/B1", "/C1"} {
+	for _, name := range doubleSegments {
 		st.Destroy(ns + name)
 	}
 }
@@ -205,7 +359,23 @@ func (d *Double) Discard() {
 // Discard destroys every SHM segment the protector owns.
 func (s *Single) Discard() {
 	st, ns := s.opts.Store, s.opts.Namespace
-	for _, name := range []string{"/hdr", "/B", "/C"} {
+	for _, name := range singleSegments {
+		st.Destroy(ns + name)
+	}
+}
+
+// Discard destroys every SHM segment the protector owns.
+func (r *Replica) Discard() {
+	st, ns := r.opts.Store, r.opts.Namespace
+	for _, name := range replicaSegments {
+		st.Destroy(ns + name)
+	}
+}
+
+// Discard destroys every SHM segment the protector owns.
+func (r *ReStore) Discard() {
+	st, ns := r.opts.Store, r.opts.Namespace
+	for _, name := range restoreSegments {
 		st.Destroy(ns + name)
 	}
 }

@@ -98,7 +98,7 @@ func TestPostRestoreScrubClean(t *testing.T) {
 // "repairing" good data to match a bad checksum. The buffer must come out
 // of the scrub bit-identical on every rank.
 func TestScrubChecksumCorruptionRegression(t *testing.T) {
-	for _, strategy := range []string{"self", "double", "single"} {
+	for _, strategy := range registryStrategies() {
 		t.Run(strategy, func(t *testing.T) {
 			h := newHarness(t, 4, 4)
 			res := h.attempt(0, nil, func(rc *rankCtx) error {
@@ -114,6 +114,9 @@ func TestScrubChecksumCorruptionRegression(t *testing.T) {
 				if err := p.Checkpoint(metaFor(1)); err != nil {
 					return err
 				}
+				// The redundancy slot per protocol: parity stripes for the
+				// encoded family, the partner mirror for replica, the hosted
+				// block store for restore.
 				buf, cks := func() (*shm.Segment, *shm.Segment) {
 					switch v := p.(type) {
 					case *Self:
@@ -123,6 +126,13 @@ func TestScrubChecksumCorruptionRegression(t *testing.T) {
 						return v.bufs[i], v.cks[i]
 					case *Single:
 						return v.b, v.c
+					case *MultiLevel:
+						l1 := v.opts.L1.(*Self)
+						return l1.b, l1.c
+					case *Replica:
+						return v.b, v.m
+					case *ReStore:
+						return v.b, v.s
 					}
 					return nil, nil
 				}()
@@ -172,28 +182,24 @@ func (h *harness) corruptStores(segment string, ranks ...int) {
 }
 
 // TestRestoreRefusesCorruptedEpoch drives the verify-before-restore
-// guarantee end to end: two corrupted ranks in one group exceed
-// single-parity tolerance, so no protocol may load the poisoned epoch.
-// Single and self have nothing older and must return ErrUnrecoverable on
-// every rank; double must fall back to the previous epoch's pair;
-// multilevel must fall back to its last level-2 flush.
+// guarantee end to end: corruption beyond what the protocol's redundancy
+// can serve means no rank may load the poisoned epoch. Single and self
+// have nothing older and must return ErrUnrecoverable on every rank;
+// double must fall back to the previous epoch's pair; multilevel to its
+// last level-2 flush; replica to the partner mirrors and restore to the
+// hosted block store — unless the redundant half is poisoned too, in
+// which case the mirrored protocols must also refuse.
 func TestRestoreRefusesCorruptedEpoch(t *testing.T) {
 	const groupSize, words = 4, 64
 
-	run := func(t *testing.T, name string, wantFresh bool, wantIter uint64) {
+	run := func(t *testing.T, name string, poison func(h *harness), wantFresh bool, wantIter uint64) {
 		h := newHarness(t, 8, groupSize)
 		stable := newStableMap()
 		app := registryApp(name, stable, groupSize, words, 3)
 		if res := h.attempt(0, nil, app); res.Failed() {
 			t.Fatal(res.FirstError())
 		}
-		// Corrupt the committed buffer B of two ranks in group 0. For
-		// double the newest pair after epoch 3 is (B1, C1).
-		seg := "/B"
-		if name == "double" {
-			seg = "/B1"
-		}
-		h.corruptStores(seg, 1, 2)
+		poison(h)
 
 		res := h.attempt(1, nil, func(rc *rankCtx) error {
 			reg, _ := ProtocolByName(name)
@@ -250,8 +256,38 @@ func TestRestoreRefusesCorruptedEpoch(t *testing.T) {
 		}
 	}
 
-	t.Run("single", func(t *testing.T) { run(t, "single", true, 0) })
-	t.Run("self", func(t *testing.T) { run(t, "self", true, 0) })
-	t.Run("double", func(t *testing.T) { run(t, "double", false, 2) })
-	t.Run("multilevel", func(t *testing.T) { run(t, "multilevel", false, 2) })
+	// Two corrupted committed buffers in group 0. For double the newest
+	// pair after epoch 3 is (B1, C1).
+	twoB := func(seg string) func(h *harness) {
+		return func(h *harness) { h.corruptStores(seg, 1, 2) }
+	}
+	t.Run("single", func(t *testing.T) { run(t, "single", twoB("/B"), true, 0) })
+	t.Run("self", func(t *testing.T) { run(t, "self", twoB("/B"), true, 0) })
+	t.Run("double", func(t *testing.T) { run(t, "double", twoB("/B1"), false, 2) })
+	t.Run("multilevel", func(t *testing.T) { run(t, "multilevel", twoB("/B"), false, 2) })
+	// The mirrored protocols hold full copies, not parity: two bad
+	// committed buffers stay servable from the partner mirrors (replica)
+	// or the hosted block stores (restore), at the newest epoch.
+	t.Run("replica/partner-mirror-fallback", func(t *testing.T) {
+		run(t, "replica", twoB("/B"), false, 3)
+	})
+	t.Run("restore/hosted-block-fallback", func(t *testing.T) {
+		run(t, "restore", twoB("/B"), false, 3)
+	})
+	// Poison both halves of one image — rank 1's own copy and the
+	// redundant copy of it (its mirror on partner rank 0; for restore, a
+	// block host whose store is thereby discredited) — and the world must
+	// refuse the epoch everywhere.
+	t.Run("replica/both-halves-poisoned", func(t *testing.T) {
+		run(t, "replica", func(h *harness) {
+			h.corruptStores("/B", 1)
+			h.corruptStores("/M", 0)
+		}, true, 0)
+	})
+	t.Run("restore/discredited-store", func(t *testing.T) {
+		run(t, "restore", func(h *harness) {
+			h.corruptStores("/B", 1)
+			h.corruptStores("/S", 2)
+		}, true, 0)
+	})
 }

@@ -431,7 +431,14 @@ func (r *enduranceRun) degrade(attempt int) error {
 		}
 		nextProto, ok := checkpoint.DowngradeTarget(proto)
 		if !ok {
-			return fmt.Errorf("cluster: degradation ladder exhausted: %d words/rank do not fit %d-word memory even unprotected", u.Total(), memWords)
+			if proto == "" {
+				return fmt.Errorf("cluster: degradation ladder exhausted: %d words/rank do not fit %d-word memory even unprotected", u.Total(), memWords)
+			}
+			// A protocol without a registry downgrade edge stops the
+			// ladder here — logged as a rung so the job metrics show the
+			// refusal instead of silently skipping the downgrade rung.
+			r.report.rung(attempt, RungDowngrade, fmt.Sprintf("refused: %s declares no downgrade edge (%d words/rank vs %d-word share)", protoName(proto), u.Total(), memWords))
+			return fmt.Errorf("cluster: degradation ladder exhausted at %q: no downgrade edge in the registry (%d words/rank vs %d-word share)", proto, u.Total(), memWords)
 		}
 		r.report.rung(attempt, RungDowngrade, fmt.Sprintf("%s -> %s (%d words/rank vs %d-word share)", protoName(proto), protoName(nextProto), u.Total(), memWords))
 		proto = nextProto

@@ -172,45 +172,12 @@ func announces(p checkpoint.Protocol, fp string) bool {
 	return false
 }
 
-// baseEpoch is the committed epoch surviving a single loss at the given
-// failpoint during checkpoint number occ — the heart of the torn-epoch
-// check. A failpoint before the protocol's commit point leaves occ−1 as
-// the last committed epoch; one after it leaves occ.
-func baseEpoch(protocol, fp string, occ int) int {
-	switch protocol {
-	case "single":
-		// Commit happens between FPMidFlush and FPAfterFlush; the window
-		// FPFlush..FPMidFlush is unrecoverable (CASE 2 of Fig 2).
-		switch fp {
-		case checkpoint.FPBegin:
-			return occ - 1
-		case checkpoint.FPAfterFlush:
-			return occ
-		default: // FPFlush, FPMidFlush: fresh start
-			return 0
-		}
-	case "double":
-		// The epoch marker commits after the encode.
-		switch fp {
-		case checkpoint.FPAfterEncode, checkpoint.FPAfterFlush:
-			return occ
-		default:
-			return occ - 1
-		}
-	default: // self, multilevel (L1 = self)
-		// The D checksum commits before FPAfterEncode; from there on the
-		// new epoch is recoverable via CASE 2 (A+D) or, after the flush,
-		// via the quiescent (B+C) path.
-		switch fp {
-		case checkpoint.FPBegin, checkpoint.FPEncode:
-			return occ - 1
-		default:
-			return occ
-		}
-	}
-}
-
 // Predict evaluates the registry's guarantee predicate for a schedule.
+// The torn-epoch arithmetic is the registry's, not crashmat's: each
+// protocol declares its commit point (CommitEpoch), its overlapping
+// cross-group behaviour (CrossGroupEpoch), and what survives a loss
+// beyond the coder's tolerance (BeyondTolerance), so a newly registered
+// protocol brings its own oracle instead of extending a switch here.
 func Predict(s Schedule) (Expectation, error) {
 	reg, ok := checkpoint.ProtocolByName(s.Protocol)
 	if !ok {
@@ -218,6 +185,12 @@ func Predict(s Schedule) (Expectation, error) {
 	}
 	if s.Role == RoleNonGroup && s.Groups < 2 {
 		return Expectation{}, fmt.Errorf("crashmat: role %q needs at least two groups", s.Role)
+	}
+	if reg.EvenGroups && s.GroupSize%2 != 0 {
+		return Expectation{}, fmt.Errorf("crashmat: protocol %q needs an even group size, got %d", s.Protocol, s.GroupSize)
+	}
+	if reg.CommitEpoch == nil {
+		return Expectation{}, fmt.Errorf("crashmat: protocol %q declares no commit-epoch oracle", s.Protocol)
 	}
 	if !announces(reg, s.Failpoint) {
 		return Expectation{Fires: false, Attempts: 1}, nil
@@ -228,18 +201,25 @@ func Predict(s Schedule) (Expectation, error) {
 	e := Expectation{Fires: true, Attempts: 2}
 	switch s.Second {
 	case SecondSameGroup:
-		// Two losses in one group exceed the single-parity tolerance:
-		// only a multi-level L2 image can roll the run back. The kill
+		// Two losses in one group exceed the single-parity tolerance; the
+		// protocol declares what (if anything) survives — e.g. the
+		// multi-level L2 image rolls back to the last flush. The kill
 		// strikes during checkpoint Occurrence, so exactly Occurrence−1
-		// level-1 checkpoints completed, i.e. ⌊(occ−1)/L2Every⌋ flushes.
-		if s.Protocol == "multilevel" && s.L2Every > 0 {
-			e.Epoch = s.L2Every * ((s.Occurrence - 1) / s.L2Every)
+		// level-1 checkpoints completed.
+		if reg.BeyondTolerance != nil {
+			e.Epoch = reg.BeyondTolerance(s.Occurrence, s.L2Every)
+		}
+	case SecondOtherGroup:
+		// One loss per group: each group can rebuild its member, but a
+		// protocol whose redundancy is singly buffered may find the two
+		// groups straddling the commit with no common epoch left.
+		if reg.CrossGroupEpoch != nil {
+			e.Epoch = reg.CrossGroupEpoch(s.Failpoint, s.Occurrence)
 		} else {
-			e.Epoch = 0
+			e.Epoch = reg.CommitEpoch(s.Failpoint, s.Occurrence)
 		}
 	default:
-		// No second failure, or one loss per group: every group rebuilds.
-		e.Epoch = baseEpoch(s.Protocol, s.Failpoint, s.Occurrence)
+		e.Epoch = reg.CommitEpoch(s.Failpoint, s.Occurrence)
 	}
 	return e, nil
 }

@@ -34,6 +34,16 @@ func TestPredictTable(t *testing.T) {
 		{"self", checkpoint.FPMidFlush, 3, true, 3},
 		{"self", checkpoint.FPAfterFlush, 3, true, 3},
 		{"multilevel", checkpoint.FPAfterEncode, 3, true, 3},
+		// The mirrored protocols commit at the exchange but stay exposed
+		// until the first flush: FPAfterEncode is their one fresh-start
+		// window (the victim's old copy lived only in its own dead memory).
+		{"replica", checkpoint.FPBegin, 3, true, 2},
+		{"replica", checkpoint.FPEncode, 3, true, 2},
+		{"replica", checkpoint.FPAfterEncode, 3, true, 0},
+		{"replica", checkpoint.FPFlush, 3, true, 3},
+		{"replica", checkpoint.FPAfterFlush, 3, true, 3},
+		{"restore", checkpoint.FPAfterEncode, 3, true, 0},
+		{"restore", checkpoint.FPMidFlush, 3, true, 3},
 		{"self", checkpoint.FPBegin, 9, false, 0}, // occurrence beyond the run
 	}
 	for _, c := range cases {
@@ -63,6 +73,10 @@ func TestPredictSecondFailure(t *testing.T) {
 		{"self", SecondOtherGroup, 0, 3},       // one loss per group: full recovery
 		{"multilevel", SecondSameGroup, 2, 2},  // rolls back to the last L2 flush
 		{"multilevel", SecondOtherGroup, 2, 3}, // L1 alone suffices
+		// Mirrored redundancy is singly buffered: losses straddling the
+		// exchange commit in two groups leave no world-common epoch.
+		{"replica", SecondOtherGroup, 0, 0},
+		{"restore", SecondOtherGroup, 0, 0},
 	} {
 		s := base
 		s.Protocol, s.Second, s.L2Every = c.protocol, c.second, c.l2
@@ -72,6 +86,52 @@ func TestPredictSecondFailure(t *testing.T) {
 		}
 		if exp.Epoch != c.epoch {
 			t.Errorf("%s: predicted epoch %d, want %d", s.ID(), exp.Epoch, c.epoch)
+		}
+	}
+}
+
+// TestMatrixShapeTracksRegistry derives the expected cell counts from
+// the protocol registry instead of pinning literal figures (the seed's
+// four protocols made this the famous 312-cell matrix): a registered
+// protocol that silently fell out of the enumeration would shrink
+// coverage without failing any individual cell, so the counts themselves
+// — and per-protocol presence — are asserted.
+func TestMatrixShapeTracksRegistry(t *testing.T) {
+	protos := checkpoint.Protocols()
+	nProto := len(protos)
+	nFP := len(checkpoint.Failpoints())
+	nRoles := len(Roles())
+	const occurrences, groupSizes = 2, 2 // {2,4} and {4,16}
+	if want, got := nProto*nFP*occurrences*nRoles*groupSizes, len(FullMatrix()); got != want {
+		t.Errorf("FullMatrix has %d cells, registry arithmetic says %d", got, want)
+	}
+	if want, got := nProto*2*2, len(SecondFailureMatrix()); got != want {
+		t.Errorf("SecondFailureMatrix has %d cells, registry arithmetic says %d", got, want)
+	}
+	if want, got := nProto*2, len(HPLMatrix()); got != want {
+		t.Errorf("HPLMatrix has %d cells, registry arithmetic says %d", got, want)
+	}
+	targets := 0
+	for _, p := range protos {
+		targets += len(p.ScrubTargets)
+	}
+	if want, got := targets*2*2, len(SDCMatrix()); got != want {
+		t.Errorf("SDCMatrix has %d cells, registry arithmetic says %d", got, want)
+	}
+	crashPer := map[string]int{}
+	for _, s := range FullMatrix() {
+		crashPer[s.Protocol]++
+	}
+	sdcPer := map[string]int{}
+	for _, s := range SDCMatrix() {
+		sdcPer[s.Protocol]++
+	}
+	for _, p := range protos {
+		if crashPer[p.Name] == 0 {
+			t.Errorf("protocol %q has no crash cells", p.Name)
+		}
+		if len(p.ScrubTargets) > 0 && sdcPer[p.Name] == 0 {
+			t.Errorf("protocol %q has no SDC cells", p.Name)
 		}
 	}
 }

@@ -146,7 +146,8 @@ func equivalenceSlice() ([]Schedule, []SDCSchedule) {
 
 // TestEngineEquivalenceMatrix is the push-CI differential check: the
 // equivalence slice must be byte-identical across engines. It runs under
-// -short; the full 312-cell matrix lives in TestEngineEquivalenceFull.
+// -short; the full registry-derived matrix (468 crash cells at six
+// protocols) lives in TestEngineEquivalenceFull.
 func TestEngineEquivalenceMatrix(t *testing.T) {
 	crash, sdc := equivalenceSlice()
 	for _, s := range crash {

@@ -89,9 +89,11 @@ func HPLMatrix() []Schedule {
 	return out
 }
 
+// l2For is the registry's default level-2 cadence for the protocol
+// (zero for protocols without a second level).
 func l2For(protocol string) int {
-	if protocol == "multilevel" {
-		return 2
+	if p, ok := checkpoint.ProtocolByName(protocol); ok {
+		return p.DefaultL2Every
 	}
 	return 0
 }

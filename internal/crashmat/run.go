@@ -104,10 +104,10 @@ func Check(s Schedule, o *Observation) []string {
 			fail("restored epoch %d, want committed epoch %d (torn or stale)", o.RestoreIter, exp.Epoch)
 		}
 		// Torn-epoch header cross-check: the epoch the protocol reported
-		// must match the epoch recorded in the restored metadata. The
-		// multilevel L2 path numbers epochs in flush units, so the check
-		// applies to the in-memory protocols.
-		if o.Restored && s.Protocol != "multilevel" && o.HeaderEpoch != o.RestoreIter {
+		// must match the epoch recorded in the restored metadata. A
+		// level-2 path numbers epochs in flush units, so the check
+		// applies to the purely in-memory (L2-less) configurations.
+		if o.Restored && s.L2Every == 0 && o.HeaderEpoch != o.RestoreIter {
 			fail("header epoch %d disagrees with restored metadata epoch %d", o.HeaderEpoch, o.RestoreIter)
 		}
 	} else if o.Restored {

@@ -191,25 +191,23 @@ func PredictSDC(s SDCSchedule) (SDCExpectation, error) {
 		return e, nil
 	}
 	e := SDCExpectation{Attempts: 2}
-	switch {
-	case s.Target == "workspace":
+	if s.Target == "workspace" {
 		// The workspace corruption is gone before the restore looks: the
 		// victim overwrites it in the next compute phase, and the restore
 		// reloads the workspace from the (clean) checkpoint buffers.
 		e.Restored, e.RestoreIter = true, s.Epoch
-	case s.Protocol == "double":
-		// The newest pair fails verification with both a lost and a
-		// corrupted rank in one group; the older pair is intact.
-		e.Restored, e.RestoreIter = true, s.Epoch-1
-	case s.Protocol == "multilevel":
-		// Level 1 refuses (same arithmetic as self); level 2 holds the
-		// flush taken inside checkpoint Epoch (L2Every=2 divides the even
-		// injection epochs).
-		e.Restored, e.RestoreIter = true, 2*(s.Epoch/2)
-	default:
-		// single, self: the sole surviving copy has a lost rank AND a
-		// corrupted rank — beyond single-parity tolerance. The run must
-		// refuse the poisoned epoch and legally start fresh.
+		return e, nil
+	}
+	// With a checkpoint buffer or checksum poisoned AND a rank lost, the
+	// registry declares what the restore can still reach: double falls
+	// back one epoch, multilevel to its last level-2 flush. A protocol
+	// without the hook (single, self, replica, restore) must refuse the
+	// poisoned epoch and legally start fresh — its sole surviving copy
+	// set has a lost rank and a corrupted rank at once.
+	if reg.SDCKillEpoch != nil {
+		if epoch := reg.SDCKillEpoch(s.Epoch, reg.DefaultL2Every); epoch > 0 {
+			e.Restored, e.RestoreIter = true, epoch
+		}
 	}
 	return e, nil
 }

@@ -21,6 +21,12 @@ func TestSDCPredictTable(t *testing.T) {
 		{"self", "workspace", false, SDCExpectation{Attempts: 1}},
 		{"double", "checksum", false, SDCExpectation{Attempts: 1, Detected: 1, Repaired: 1}},
 		{"multilevel", "buffer", false, SDCExpectation{Attempts: 1, Detected: 1, Repaired: 1}},
+		// The mirrored protocols scrub-repair from the surviving full
+		// copy: replica's partner mirror, restore's hosted block store.
+		{"replica", "buffer", false, SDCExpectation{Attempts: 1, Detected: 1, Repaired: 1}},
+		{"replica", "checksum", false, SDCExpectation{Attempts: 1, Detected: 1, Repaired: 1}},
+		{"restore", "buffer", false, SDCExpectation{Attempts: 1, Detected: 1, Repaired: 1}},
+		{"restore", "checksum", false, SDCExpectation{Attempts: 1, Detected: 1, Repaired: 1}},
 
 		// Kill cells: the restore faces the corruption.
 		{"single", "buffer", true, SDCExpectation{Attempts: 2}}, // legal fresh start
@@ -29,6 +35,12 @@ func TestSDCPredictTable(t *testing.T) {
 		{"double", "buffer", true, SDCExpectation{Attempts: 2, Restored: true, RestoreIter: 3}},
 		{"multilevel", "buffer", true, SDCExpectation{Attempts: 2, Restored: true, RestoreIter: 4}},
 		{"multilevel", "workspace", true, SDCExpectation{Attempts: 2, Restored: true, RestoreIter: 4}},
+		// Corruption plus a same-group loss strands the mirrored pair:
+		// verify-before-restore must refuse and legally start fresh.
+		{"replica", "buffer", true, SDCExpectation{Attempts: 2}},
+		{"replica", "checksum", true, SDCExpectation{Attempts: 2}},
+		{"restore", "buffer", true, SDCExpectation{Attempts: 2}},
+		{"restore", "checksum", true, SDCExpectation{Attempts: 2}},
 	}
 	for _, c := range cases {
 		s := base

@@ -195,21 +195,17 @@ func auditSHM(s Schedule, m *cluster.Machine) map[int][]string {
 // distributed solve, checkpointing every panel so the failpoint
 // occurrences line up with panel iterations.
 func hplConfig(s Schedule) skthpl.Config {
-	strategy := skthpl.Strategy(s.Protocol)
-	l2 := 0
-	if s.Protocol == "multilevel" {
-		strategy = skthpl.StrategySelf
-		l2 = s.L2Every
-	}
+	// Every registry protocol is a valid skthpl strategy; a multi-level
+	// protocol picks its L2 cadence up from the schedule directly.
 	return skthpl.Config{
 		N:               96,
 		NB:              8,
-		Strategy:        strategy,
+		Strategy:        skthpl.Strategy(s.Protocol),
 		GroupSize:       s.GroupSize,
 		RanksPerNode:    1,
 		CheckpointEvery: 1,
 		Seed:            42,
-		L2Every:         l2,
+		L2Every:         s.L2Every,
 	}
 }
 

@@ -22,11 +22,15 @@ import (
 	"selfckpt/internal/simmpi"
 )
 
-// Strategy selects the protection protocol for a run.
+// Strategy selects the protection protocol for a run: any
+// checkpoint-registry name ("single", "double", "self", "multilevel",
+// "replica", "restore", ...), or StrategyNone for the original
+// unprotected HPL.
 type Strategy string
 
-// The supported protection strategies. StrategyNone runs the original
-// HPL with no checkpointing (and no way to survive a node loss).
+// Named constants for the common strategies; any registry name works.
+// StrategyNone runs the original HPL with no checkpointing (and no way
+// to survive a node loss).
 const (
 	StrategyNone   Strategy = "none"
 	StrategySingle Strategy = "single"
@@ -176,21 +180,23 @@ func Rank(env *cluster.Env, cfg Config) error {
 		Namespace: fmt.Sprintf("skthpl/%d", env.Rank()),
 		MetaCap:   8 * (cfg.N + 3),
 	}
-	var prot checkpoint.Protector
-	switch cfg.Strategy {
-	case StrategySelf:
-		prot, err = checkpoint.NewSelf(opts)
-	case StrategyDouble:
-		prot, err = checkpoint.NewDouble(opts)
-	case StrategySingle:
-		prot, err = checkpoint.NewSingle(opts)
-	default:
-		err = fmt.Errorf("skthpl: unknown strategy %q", cfg.Strategy)
+	reg, ok := checkpoint.ProtocolByName(string(cfg.Strategy))
+	if !ok {
+		return fmt.Errorf("skthpl: unknown strategy %q", cfg.Strategy)
 	}
+	prot, err := reg.New(opts, checkpoint.Aux{
+		Stable:        env.Machine.Disk,
+		Key:           fmt.Sprintf("skthpl-l2/%d", env.Rank()),
+		L2Every:       cfg.L2Every,
+		L2BytesPerSec: env.Platform.SSDGBps * 1e9 / float64(cfg.RanksPerNode),
+	})
 	if err != nil {
 		return err
 	}
-	if cfg.L2Every > 0 {
+	if cfg.L2Every > 0 && reg.DefaultL2Every == 0 {
+		// A single-level strategy composes with level 2 by wrapping; a
+		// strategy that is itself multi-level (DefaultL2Every > 0) already
+		// consumed L2Every through the Aux above.
 		prot, err = checkpoint.NewMultiLevel(checkpoint.MLOptions{
 			L1:            prot,
 			Comm:          env.Comm,
